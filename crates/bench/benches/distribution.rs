@@ -1,0 +1,39 @@
+//! Criterion micro-bench: split distribution (fig. 13 companion).
+//!
+//! Optimal (O(N·K·cap)) vs Greedy vs LAGreedy distributing a 50% budget
+//! over precomputed MergeSplit curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sti_core::single::{MergeSplit, SingleObjectSplitter};
+use sti_core::{DistributionAlgorithm, VolumeCurve};
+use sti_datagen::RandomDatasetSpec;
+
+fn curves(n: usize) -> Vec<VolumeCurve> {
+    RandomDatasetSpec::paper(n)
+        .generate()
+        .iter()
+        .map(|o| MergeSplit.volume_curve(o, o.len() - 1))
+        .collect()
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribute_50pct");
+    group.sample_size(10);
+    for n in [250usize, 500, 1000] {
+        let cs = curves(n);
+        let k = n / 2;
+        for dist in [
+            DistributionAlgorithm::Optimal,
+            DistributionAlgorithm::Greedy,
+            DistributionAlgorithm::LaGreedy,
+        ] {
+            group.bench_with_input(BenchmarkId::new(dist.to_string(), n), &cs, |b, cs| {
+                b.iter(|| dist.distribute(cs, k))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribution);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-bench: single-object splitting (fig. 11 companion).
+//!
+//! Measures DPSplit (O(n²k)) against MergeSplit (O(n lg n)) computing
+//! the full volume curve of one object as its lifetime grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sti_core::single::{DpSplit, MergeSplit, SingleObjectSplitter};
+use sti_datagen::RandomDatasetSpec;
+use sti_trajectory::RasterizedObject;
+
+fn object_with_lifetime(n: u32) -> RasterizedObject {
+    let spec = RandomDatasetSpec {
+        lifetime: (n, n),
+        seed: 1234,
+        ..RandomDatasetSpec::paper(1)
+    };
+    spec.generate().pop().expect("one object")
+}
+
+fn bench_single_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_split_full_curve");
+    for n in [25u32, 50, 100, 200] {
+        let obj = object_with_lifetime(n);
+        group.bench_with_input(BenchmarkId::new("DPSplit", n), &obj, |b, o| {
+            b.iter(|| DpSplit.volume_curve(o, o.len() - 1))
+        });
+        group.bench_with_input(BenchmarkId::new("MergeSplit", n), &obj, |b, o| {
+            b.iter(|| MergeSplit.volume_curve(o, o.len() - 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_budgeted_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_split_k5_cuts");
+    let obj = object_with_lifetime(100);
+    group.bench_function("DPSplit", |b| b.iter(|| DpSplit.cuts(&obj, 5)));
+    group.bench_function("MergeSplit", |b| b.iter(|| MergeSplit.cuts(&obj, 5)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_split, bench_budgeted_cuts);
+criterion_main!(benches);

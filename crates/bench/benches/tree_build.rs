@@ -1,0 +1,36 @@
+//! Criterion micro-bench: index construction.
+//!
+//! PPR-Tree (time-ordered update stream) vs 3D R\*-Tree (random-order
+//! inserts) over the same split record set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sti_bench::{random_dataset, split_records};
+use sti_core::{
+    DistributionAlgorithm, IndexBackend, IndexConfig, SingleSplitAlgorithm, SpatioTemporalIndex,
+    SplitBudget,
+};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for n in [500usize, 1000] {
+        let objects = random_dataset(n);
+        let records = split_records(
+            &objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Percent(50.0),
+        );
+        for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.to_string(), n),
+                &records,
+                |b, recs| b.iter(|| SpatioTemporalIndex::build(recs, &IndexConfig::paper(backend))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-bench: query latency (wall time, complementing the
+//! I/O counts the figure binaries report).
+//!
+//! Snapshot and small-range queries against the PPR-Tree (150% splits)
+//! and the R\*-Tree (1% splits) over the same dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sti_bench::{build_index, random_dataset, split_records};
+use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
+use sti_datagen::QuerySetSpec;
+
+fn bench_queries(c: &mut Criterion) {
+    let objects = random_dataset(1000);
+    let ppr_recs = split_records(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(150.0),
+    );
+    let rstar_recs = split_records(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(1.0),
+    );
+    let mut ppr = build_index(&ppr_recs, IndexBackend::PprTree);
+    let mut rstar = build_index(&rstar_recs, IndexBackend::RStar);
+
+    for (set_name, spec) in [
+        ("snapshot_mixed", QuerySetSpec::mixed_snapshot()),
+        ("range_small", QuerySetSpec::small_range()),
+    ] {
+        let queries = {
+            let mut s = spec;
+            s.cardinality = 100;
+            s.generate()
+        };
+        let mut group = c.benchmark_group(set_name);
+        group.bench_with_input(BenchmarkId::new("PPR-Tree", 1000), &queries, |b, qs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in qs {
+                    ppr.reset_for_query();
+                    hits += ppr.query(&q.area, &q.range).len();
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("R*-Tree", 1000), &queries, |b, qs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in qs {
+                    rstar.reset_for_query();
+                    hits += rstar.query(&q.area, &q.range).len();
+                }
+                hits
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: sensitivity to the LRU buffer pool size.
+//!
+//! The paper fixes a 10-page LRU buffer (reset before every query). This
+//! sweep shows how much that choice matters for each structure and query
+//! type: single root-to-leaf descents barely revisit pages, so the
+//! buffer mostly absorbs revisits of upper levels in interval queries
+//! and DFS backtracking.
+
+use sti_bench::{print_table, random_dataset, split_records, Scale};
+use sti_core::{DistributionAlgorithm, SingleSplitAlgorithm, SplitBudget};
+use sti_datagen::{Query, QuerySetSpec, TIME_EXTENT};
+use sti_geom::Rect3;
+use sti_pprtree::{PprParams, PprTree};
+use sti_rstar::{RStarParams, RStarTree};
+
+const BUFFERS: [usize; 6] = [0, 2, 5, 10, 20, 50];
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
+    let objects = random_dataset(n);
+    let records = split_records(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(150.0),
+    );
+
+    // Build once per structure; the buffer capacity is swept per run.
+    let mut ppr = PprTree::new(PprParams::default());
+    for (t, ev, i) in sti_core::record_events(&records) {
+        let r = &records[i];
+        match ev {
+            sti_core::RecordEvent::Insert => ppr.insert(r.id, r.stbox.rect, t),
+            sti_core::RecordEvent::Delete => ppr.delete(r.id, r.stbox.rect, t),
+        }
+    }
+    let mut rstar = RStarTree::new(RStarParams::default());
+    let scale3 = f64::from(TIME_EXTENT);
+    for r in &records {
+        rstar.insert(r.id, r.to_rect3(scale3));
+    }
+
+    let mut spec = QuerySetSpec::medium_range();
+    spec.cardinality = scale.queries;
+    let queries = spec.generate();
+
+    let ppr_io = |tree: &mut PprTree, qs: &[Query]| -> f64 {
+        let mut total = 0u64;
+        for q in qs {
+            tree.reset_for_query();
+            let mut out = Vec::new();
+            tree.query_interval(&q.area, &q.range, &mut out);
+            total += tree.io_stats().reads;
+        }
+        total as f64 / qs.len() as f64
+    };
+    let rstar_io = |tree: &mut RStarTree, qs: &[Query]| -> f64 {
+        let mut total = 0u64;
+        for q in qs {
+            tree.reset_for_query();
+            let q3 = Rect3::from_query(&q.area, &q.range, scale3);
+            let mut out = Vec::new();
+            tree.query(&q3, &mut out);
+            total += tree.io_stats().reads;
+        }
+        total as f64 / qs.len() as f64
+    };
+
+    let mut rows = Vec::new();
+    for pages in BUFFERS {
+        ppr.set_buffer_capacity(pages);
+        rstar.set_buffer_capacity(pages);
+        rows.push(vec![
+            pages.to_string(),
+            format!("{:.2}", ppr_io(&mut ppr, &queries)),
+            format!("{:.2}", rstar_io(&mut rstar, &queries)),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Ablation — LRU buffer size, medium range queries ({} random dataset, 150% splits)",
+            Scale::label(n)
+        ),
+        &["Buffer pages", "PPR-Tree I/O", "R*-Tree I/O"],
+        &rows,
+    );
+}

@@ -1,0 +1,67 @@
+//! Ablation: query duration vs structure choice — why the paper targets
+//! *snapshot and small interval* queries, and what the MV3R-style hybrid
+//! (\[25\]) buys.
+//!
+//! Sweeps the query window duration and reports PPR-Tree, 3D R\*-Tree,
+//! and hybrid I/O over the same 150%-split records. Expected shape: PPR
+//! wins short windows, R\* wins long ones, the hybrid tracks the minimum
+//! at the cost of storing both structures.
+
+use sti_bench::{avg_query_io, build_index, print_table, random_dataset, split_records, Scale};
+use sti_core::hybrid::{HybridConfig, HybridIndex};
+use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
+use sti_datagen::QuerySetSpec;
+
+const DURATIONS: [u32; 8] = [1, 5, 10, 25, 50, 100, 200, 400];
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
+    let objects = random_dataset(n);
+    let records = split_records(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(150.0),
+    );
+
+    let mut ppr = build_index(&records, IndexBackend::PprTree);
+    let mut rstar = build_index(&records, IndexBackend::RStar);
+    let mut hybrid = HybridIndex::build(&records, &HybridConfig::default());
+
+    let mut rows = Vec::new();
+    for dur in DURATIONS {
+        let mut spec = QuerySetSpec::small_range();
+        spec.duration = (dur, dur);
+        spec.cardinality = scale.queries;
+        let queries = spec.generate();
+
+        let mut hybrid_total = 0u64;
+        for q in &queries {
+            hybrid.reset_for_query();
+            let _ = hybrid.query(&q.area, &q.range);
+            hybrid_total += hybrid.io_stats().reads;
+        }
+        rows.push(vec![
+            dur.to_string(),
+            format!("{:.2}", avg_query_io(&mut ppr, &queries)),
+            format!("{:.2}", avg_query_io(&mut rstar, &queries)),
+            format!("{:.2}", hybrid_total as f64 / queries.len() as f64),
+        ]);
+    }
+    rows.push(vec![
+        "pages".into(),
+        ppr.num_pages().to_string(),
+        rstar.num_pages().to_string(),
+        hybrid.num_pages().to_string(),
+    ]);
+    print_table(
+        &format!(
+            "Ablation — query duration vs structure ({} random dataset, 150% splits, hybrid threshold {})",
+            Scale::label(n),
+            HybridConfig::default().duration_threshold
+        ),
+        &["Duration", "PPR-Tree", "R*-Tree", "Hybrid (MV3R-style)"],
+        &rows,
+    );
+}

@@ -1,0 +1,99 @@
+//! Ablation: the one-pass online splitter (§VII future work) against the
+//! offline LAGreedy plan at a matched split budget.
+//!
+//! Reports total volume, record counts, and PPR-Tree query I/O for:
+//! unsplit, online (several thresholds), and offline LAGreedy given the
+//! same number of splits the online run spent.
+
+use sti_bench::{avg_query_io, build_index, print_table, random_dataset, Scale};
+use sti_core::online::{OnlineSplitConfig, OnlineSplitter};
+use sti_core::{
+    total_volume, unsplit_records, DistributionAlgorithm, IndexBackend, ObjectRecord,
+    SingleSplitAlgorithm, SplitBudget, SplitPlan,
+};
+use sti_datagen::QuerySetSpec;
+use sti_geom::Time;
+use sti_trajectory::RasterizedObject;
+
+/// Replay the dataset as a global time-ordered update stream.
+fn run_online(objects: &[RasterizedObject], config: OnlineSplitConfig) -> Vec<ObjectRecord> {
+    let mut events: Vec<(Time, u64, usize)> = Vec::new();
+    for o in objects {
+        for i in 0..o.len() {
+            events.push((o.start() + i as Time, o.id(), i));
+        }
+    }
+    events.sort_unstable();
+    let mut splitter = OnlineSplitter::new(config);
+    let mut records = Vec::new();
+    for (t, id, i) in events {
+        let o = &objects[id as usize];
+        if let Some(p) = splitter.observe(id, o.rect(i), t) {
+            records.push(p);
+        }
+    }
+    for o in objects {
+        records.push(splitter.finish(o.id(), o.lifetime().end));
+    }
+    records
+}
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
+    let objects = random_dataset(n);
+    let mut spec = QuerySetSpec::small_range();
+    spec.cardinality = scale.queries;
+    let queries = spec.generate();
+
+    let mut rows = Vec::new();
+    let mut measure = |label: String, records: &[ObjectRecord]| {
+        let mut idx = build_index(records, IndexBackend::PprTree);
+        rows.push(vec![
+            label,
+            records.len().to_string(),
+            format!("{:.3}", total_volume(records)),
+            format!("{:.2}", avg_query_io(&mut idx, &queries)),
+        ]);
+    };
+
+    measure("unsplit".into(), &unsplit_records(&objects));
+
+    let mut matched_budget = None;
+    for threshold in [32.0, 16.0, 8.0] {
+        let records = run_online(
+            &objects,
+            OnlineSplitConfig {
+                overhead_threshold: threshold,
+                ..OnlineSplitConfig::default()
+            },
+        );
+        let splits = records.len() - objects.len();
+        if threshold == 16.0 {
+            matched_budget = Some(splits);
+        }
+        measure(format!("online θ={threshold} ({splits} splits)"), &records);
+    }
+
+    let budget = matched_budget.expect("θ=16 ran");
+    let offline = SplitPlan::build(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Count(budget),
+        None,
+    );
+    measure(
+        format!("offline LAGreedy ({budget} splits)"),
+        &offline.records(&objects),
+    );
+
+    print_table(
+        &format!(
+            "Ablation — online vs offline splitting, small range queries ({} random dataset, PPR-Tree)",
+            Scale::label(n)
+        ),
+        &["Configuration", "Records", "Total volume", "Avg I/O"],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! Ablation: the R\* topological split vs Guttman's quadratic split for
+//! the 3D baseline tree.
+//!
+//! Beckmann et al.'s central claim was that the margin-driven split (plus
+//! forced reinsertion) beats the classic quadratic split; this sweep
+//! verifies our baseline is a *faithful* R\*-Tree — if the two split
+//! strategies performed alike, the "R\*" in the paper's comparison would
+//! be in name only.
+
+use sti_bench::{print_table, random_dataset, split_records, Scale};
+use sti_core::{DistributionAlgorithm, SingleSplitAlgorithm, SplitBudget};
+use sti_datagen::{QuerySetSpec, TIME_EXTENT};
+use sti_geom::Rect3;
+use sti_rstar::{RStarParams, RStarTree, SplitStrategy};
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
+    let objects = random_dataset(n);
+    let records = split_records(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(50.0),
+    );
+    let time_scale = f64::from(TIME_EXTENT);
+    let boxes: Vec<(u64, Rect3)> = records
+        .iter()
+        .map(|r| (r.id, r.to_rect3(time_scale)))
+        .collect();
+
+    let mut spec = QuerySetSpec::small_range();
+    spec.cardinality = scale.queries;
+    let queries = spec.generate();
+
+    let mut rows = Vec::new();
+    for (label, strategy, reinsert) in [
+        ("R* split + reinsert", SplitStrategy::RStar, 0.3),
+        ("R* split, no reinsert", SplitStrategy::RStar, 0.0001),
+        ("quadratic + reinsert", SplitStrategy::QuadraticGuttman, 0.3),
+        (
+            "quadratic, no reinsert",
+            SplitStrategy::QuadraticGuttman,
+            0.0001,
+        ),
+    ] {
+        let params = RStarParams {
+            split_strategy: strategy,
+            reinsert_fraction: reinsert,
+            ..RStarParams::default()
+        };
+        let mut tree = RStarTree::new(params);
+        for &(id, rect) in &boxes {
+            tree.insert(id, rect);
+        }
+        let total_avg = sti_bench::avg_rstar_query_io(&mut tree, &queries, time_scale);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", total_avg),
+            tree.num_pages().to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Ablation — R*-Tree split strategy, small range queries ({} random dataset, 50% splits)",
+            Scale::label(n)
+        ),
+        &["Configuration", "Avg I/O", "Pages"],
+        &rows,
+    );
+}

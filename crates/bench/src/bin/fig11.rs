@@ -1,0 +1,38 @@
+//! Figure 11: CPU time for the single-object split algorithms (DPSplit
+//! vs MergeSplit) over the random datasets, splitting every object with
+//! as many splits as necessary (full volume curves).
+//!
+//! The paper plots this on a log scale: DPSplit needed up to a day,
+//! MergeSplit minutes. The orders-of-magnitude gap is the result.
+
+use sti_bench::{fmt_secs, print_table, random_dataset, timed, Scale};
+use sti_core::single::{DpSplit, MergeSplit, SingleObjectSplitter};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows = Vec::new();
+    for &n in &scale.sizes {
+        let objects = random_dataset(n);
+        let (_, dp_secs) = timed(|| {
+            for o in &objects {
+                let _ = DpSplit.volume_curve(o, o.len().saturating_sub(1));
+            }
+        });
+        let (_, merge_secs) = timed(|| {
+            for o in &objects {
+                let _ = MergeSplit.volume_curve(o, o.len().saturating_sub(1));
+            }
+        });
+        rows.push(vec![
+            Scale::label(n),
+            fmt_secs(dp_secs),
+            fmt_secs(merge_secs),
+            format!("{:.0}x", dp_secs / merge_secs.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Figure 11 — CPU time, object split algorithms (random datasets)",
+        &["Dataset", "DPSplit", "MergeSplit", "Slowdown"],
+        &rows,
+    );
+}

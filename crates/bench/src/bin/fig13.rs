@@ -1,0 +1,40 @@
+//! Figure 13: CPU time of the split distribution algorithms (Optimal vs
+//! Greedy vs LAGreedy) distributing 50% splits over the random datasets.
+//!
+//! Per-object volume curves (MergeSplit) are precomputed outside the
+//! timed region — the paper measures distribution time ("the results are
+//! stored" before distribution begins).
+
+use sti_bench::{fmt_secs, print_table, random_dataset, timed, Scale};
+use sti_core::single::{MergeSplit, SingleObjectSplitter};
+use sti_core::{DistributionAlgorithm, VolumeCurve};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows = Vec::new();
+    for &n in &scale.sizes {
+        let objects = random_dataset(n);
+        let curves: Vec<VolumeCurve> = objects
+            .iter()
+            .map(|o| MergeSplit.volume_curve(o, o.len() - 1))
+            .collect();
+        let k = n / 2; // 50% splits
+
+        let mut cells = vec![Scale::label(n)];
+        for dist in [
+            DistributionAlgorithm::Optimal,
+            DistributionAlgorithm::Greedy,
+            DistributionAlgorithm::LaGreedy,
+        ] {
+            let (alloc, secs) = timed(|| dist.distribute(&curves, k));
+            assert!(alloc.splits_used() <= k);
+            cells.push(fmt_secs(secs));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Figure 13 — CPU time, split distribution algorithms (50% splits, random datasets)",
+        &["Dataset", "Optimal", "Greedy", "LAGreedy"],
+        &rows,
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 14: average disk accesses for mixed snapshot queries against
+//! PPR-Trees built from the three split distributions (150% splits).
+//!
+//! Expected shape: LAGreedy ≈ Optimal, Greedy worse.
+
+use sti_bench::{avg_query_io, build_index, print_table, random_dataset, Scale};
+use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget, SplitPlan};
+use sti_datagen::QuerySetSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut spec = QuerySetSpec::mixed_snapshot();
+    spec.cardinality = scale.queries;
+    let queries = spec.generate();
+
+    let mut rows = Vec::new();
+    for &n in &scale.sizes {
+        let objects = random_dataset(n);
+        let mut cells = vec![Scale::label(n)];
+        for dist in [
+            DistributionAlgorithm::Optimal,
+            DistributionAlgorithm::Greedy,
+            DistributionAlgorithm::LaGreedy,
+        ] {
+            let plan = SplitPlan::build(
+                &objects,
+                SingleSplitAlgorithm::MergeSplit,
+                dist,
+                SplitBudget::Percent(150.0),
+                None,
+            );
+            let records = plan.records(&objects);
+            let mut idx = build_index(&records, IndexBackend::PprTree);
+            cells.push(format!(
+                "{:.2} (vol {:.1})",
+                avg_query_io(&mut idx, &queries),
+                plan.total_volume()
+            ));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Figure 14 — mixed snapshot queries, avg disk accesses (PPR-Tree, 150% splits)",
+        &["Dataset", "Optimal", "Greedy", "LAGreedy"],
+        &rows,
+    );
+}

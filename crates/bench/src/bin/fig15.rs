@@ -1,0 +1,47 @@
+//! Figure 15: small range queries on the "50k" random dataset as the
+//! split budget grows, PPR-Tree vs 3D R\*-Tree.
+//!
+//! Expected shape: PPR-Tree I/O falls substantially with more splits;
+//! the R\*-Tree *degrades* (more records → more nodes → more overlap).
+
+use sti_bench::{avg_query_io, build_index, print_table, random_dataset, split_records, Scale};
+use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
+use sti_datagen::QuerySetSpec;
+
+const BUDGETS: [f64; 8] = [0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0];
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    // The paper uses the 50k dataset: third entry of the ladder.
+    let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
+    let objects = random_dataset(n);
+    let mut spec = QuerySetSpec::small_range();
+    spec.cardinality = scale.queries;
+    let queries = spec.generate();
+
+    let mut rows = Vec::new();
+    for pct in BUDGETS {
+        let records = split_records(
+            &objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Percent(pct),
+        );
+        let mut ppr = build_index(&records, IndexBackend::PprTree);
+        let mut rstar = build_index(&records, IndexBackend::RStar);
+        rows.push(vec![
+            format!("{pct}%"),
+            records.len().to_string(),
+            format!("{:.2}", avg_query_io(&mut ppr, &queries)),
+            format!("{:.2}", avg_query_io(&mut rstar, &queries)),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Figure 15 — small range queries vs split budget ({} random dataset, LAGreedy)",
+            Scale::label(n)
+        ),
+        &["Splits", "Records", "PPR-Tree I/O", "R*-Tree I/O"],
+        &rows,
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 16: disk space of the two structures on the "50k" random
+//! dataset as the split budget grows.
+//!
+//! Expected shape: the PPR-Tree needs roughly twice the space of the
+//! R\*-Tree (version copies), both growing with the record count.
+
+use sti_bench::{build_index, print_table, random_dataset, split_records, Scale};
+use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
+use sti_storage::PAGE_SIZE;
+
+const BUDGETS: [f64; 8] = [0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0];
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
+    let objects = random_dataset(n);
+
+    let mut rows = Vec::new();
+    for pct in BUDGETS {
+        let records = split_records(
+            &objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Percent(pct),
+        );
+        let ppr = build_index(&records, IndexBackend::PprTree);
+        let rstar = build_index(&records, IndexBackend::RStar);
+        let mb = |pages: usize| format!("{:.2} MiB", (pages * PAGE_SIZE) as f64 / (1 << 20) as f64);
+        rows.push(vec![
+            format!("{pct}%"),
+            records.len().to_string(),
+            format!("{} ({})", ppr.num_pages(), mb(ppr.num_pages())),
+            format!("{} ({})", rstar.num_pages(), mb(rstar.num_pages())),
+            format!("{:.2}x", ppr.num_pages() as f64 / rstar.num_pages() as f64),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Figure 16 — disk space vs split budget ({} random dataset)",
+            Scale::label(n)
+        ),
+        &[
+            "Splits",
+            "Records",
+            "PPR-Tree pages",
+            "R*-Tree pages",
+            "PPR/R*",
+        ],
+        &rows,
+    );
+}

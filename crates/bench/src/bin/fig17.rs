@@ -1,0 +1,59 @@
+//! Figure 17: small range queries over the random datasets — the
+//! PPR-Tree at 150% splits vs the R\*-Tree at 1% splits vs the R\*-Tree
+//! over the piecewise representation.
+//!
+//! Expected shape: PPR-150% by far the best; piecewise R\* worst.
+
+use sti_bench::{avg_query_io, build_index, print_table, random_dataset, split_records, Scale};
+use sti_core::{
+    piecewise_records, DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget,
+};
+use sti_datagen::QuerySetSpec;
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut spec = QuerySetSpec::small_range();
+    spec.cardinality = scale.queries;
+    let queries = spec.generate();
+
+    let mut rows = Vec::new();
+    for &n in &scale.sizes {
+        let objects = random_dataset(n);
+
+        let ppr_recs = split_records(
+            &objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Percent(150.0),
+        );
+        let mut ppr = build_index(&ppr_recs, IndexBackend::PprTree);
+
+        let rstar_recs = split_records(
+            &objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Percent(1.0),
+        );
+        let mut rstar = build_index(&rstar_recs, IndexBackend::RStar);
+
+        let piece_recs = piecewise_records(&objects);
+        let mut piecewise = build_index(&piece_recs, IndexBackend::RStar);
+
+        rows.push(vec![
+            Scale::label(n),
+            format!("{:.2}", avg_query_io(&mut ppr, &queries)),
+            format!("{:.2}", avg_query_io(&mut rstar, &queries)),
+            format!("{:.2}", avg_query_io(&mut piecewise, &queries)),
+        ]);
+    }
+    print_table(
+        "Figure 17 — small range queries, avg disk accesses (random datasets)",
+        &[
+            "Dataset",
+            "PPR-Tree 150%",
+            "R*-Tree 1%",
+            "R*-Tree piecewise",
+        ],
+        &rows,
+    );
+}

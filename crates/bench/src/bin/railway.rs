@@ -1,0 +1,68 @@
+//! §V-D, railway datasets: "for the railway datasets we observe that the
+//! PPR-Tree is again superior in all cases. Due to lack of space the
+//! figures have been omitted." — this binary produces those omitted
+//! figures: small range and mixed snapshot queries over the skewed train
+//! workload.
+
+use sti_bench::{avg_query_io, build_index, print_table, railway_dataset, split_records, Scale};
+use sti_core::{
+    piecewise_records, DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget,
+};
+use sti_datagen::QuerySetSpec;
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+
+    // Build every index once per dataset size; both query sets then run
+    // against the same structures.
+    let mut indexes = Vec::new();
+    for &n in &scale.sizes {
+        let objects = railway_dataset(n);
+
+        let ppr_recs = split_records(
+            &objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Percent(150.0),
+        );
+        let ppr = build_index(&ppr_recs, IndexBackend::PprTree);
+
+        let rstar_recs = split_records(
+            &objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Percent(1.0),
+        );
+        let rstar = build_index(&rstar_recs, IndexBackend::RStar);
+
+        let piecewise = build_index(&piecewise_records(&objects), IndexBackend::RStar);
+        indexes.push((n, ppr, rstar, piecewise));
+    }
+
+    for (title, mut spec) in [
+        ("small range queries", QuerySetSpec::small_range()),
+        ("mixed snapshot queries", QuerySetSpec::mixed_snapshot()),
+    ] {
+        spec.cardinality = scale.queries;
+        let queries = spec.generate();
+        let mut rows = Vec::new();
+        for (n, ppr, rstar, piecewise) in &mut indexes {
+            rows.push(vec![
+                Scale::label(*n),
+                format!("{:.2}", avg_query_io(ppr, &queries)),
+                format!("{:.2}", avg_query_io(rstar, &queries)),
+                format!("{:.2}", avg_query_io(piecewise, &queries)),
+            ]);
+        }
+        print_table(
+            &format!("Railway datasets — {title}, avg disk accesses"),
+            &[
+                "Dataset",
+                "PPR-Tree 150%",
+                "R*-Tree 1%",
+                "R*-Tree piecewise",
+            ],
+            &rows,
+        );
+    }
+}

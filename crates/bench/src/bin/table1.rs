@@ -1,0 +1,44 @@
+//! Table I: statistics of the random and railway datasets.
+
+use sti_bench::{print_table, railway_dataset, random_dataset, Scale};
+use sti_datagen::{DatasetStats, TIME_EXTENT};
+
+fn main() {
+    let scale = Scale::from_args();
+
+    type Gen = fn(usize) -> Vec<sti_trajectory::RasterizedObject>;
+    for (family, gen) in [
+        ("Random", random_dataset as Gen),
+        ("Railway", railway_dataset as Gen),
+    ] {
+        let mut rows = Vec::new();
+        for &n in &scale.sizes {
+            let objects = gen(n);
+            let s = DatasetStats::compute(&objects, TIME_EXTENT);
+            rows.push(vec![
+                Scale::label(n),
+                s.total_objects.to_string(),
+                format!("{:.3}", s.objects_per_instant),
+                s.total_segments.to_string(),
+                format!("{:.1}", s.avg_lifetime),
+                format!(
+                    "{:.2}%-{:.2}%",
+                    s.extent_range.0 * 100.0,
+                    s.extent_range.1 * 100.0
+                ),
+            ]);
+        }
+        print_table(
+            &format!("Table I — {family} datasets"),
+            &[
+                "Dataset",
+                "Total Objects",
+                "Objects/Instant (Avg.)",
+                "Total Segments",
+                "Lifetime (Avg.)",
+                "Extent",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! §IV: finding a good number of splits with the analytical model and by
+//! sampling, on the "50k" random dataset.
+
+use sti_bench::{print_table, random_dataset, Scale};
+use sti_core::tuning::{choose_splits_analytical, choose_splits_by_sampling, QueryProfile};
+use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
+use sti_datagen::QuerySetSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    // Tuning needs enough alive density for budgets to differ; the
+    // generic default ladder is too small, so this binary defaults to
+    // 20k objects unless sizes were given explicitly.
+    let n = if scale.sizes == sti_bench::DEFAULT_SIZES {
+        20_000
+    } else {
+        scale.sizes[scale.sizes.len().saturating_sub(2)]
+    };
+    let objects = random_dataset(n);
+    let candidates: Vec<SplitBudget> = [0.0, 10.0, 25.0, 50.0, 100.0, 150.0]
+        .map(SplitBudget::Percent)
+        .to_vec();
+
+    // Method 1: analytical model, tuned for small snapshot queries
+    // (extents ≈ 0.55% of the side, duration 1 — the Small set's mean).
+    let analytical = choose_splits_analytical(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        &candidates,
+        QueryProfile {
+            extents: (0.0055, 0.0055),
+            duration: 1,
+        },
+        1000,
+    );
+    let rows: Vec<Vec<String>> = analytical
+        .costs
+        .iter()
+        .enumerate()
+        .map(|(i, (b, c))| {
+            vec![
+                format!("{b:?}"),
+                format!("{c:.2}"),
+                if i == analytical.best {
+                    "<- chosen".into()
+                } else {
+                    String::new()
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "§IV method 1 — analytical model ({} random dataset)",
+            Scale::label(n)
+        ),
+        &["Budget", "Predicted node accesses", ""],
+        &rows,
+    );
+
+    // Method 2: sampling — build real indexes over 1/4 of the objects.
+    let mut spec = QuerySetSpec::small_snapshot();
+    spec.cardinality = scale.queries.min(200);
+    let queries: Vec<_> = spec.generate().iter().map(|q| (q.area, q.range)).collect();
+    let sampled = choose_splits_by_sampling(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        &candidates,
+        &queries,
+        IndexBackend::PprTree,
+        4,
+    );
+    let rows: Vec<Vec<String>> = sampled
+        .costs
+        .iter()
+        .enumerate()
+        .map(|(i, (b, c))| {
+            vec![
+                format!("{b:?}"),
+                format!("{c:.2}"),
+                if i == sampled.best {
+                    "<- chosen".into()
+                } else {
+                    String::new()
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "§IV method 2 — sampling, 1/4 of the objects ({} random dataset)",
+            Scale::label(n)
+        ),
+        &["Budget", "Measured avg I/O on sample", ""],
+        &rows,
+    );
+}

@@ -1,0 +1,226 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the experiment index). By default the
+//! datasets are scaled down (500–4000 objects instead of 10k–80k) so the
+//! whole suite runs in minutes; pass `--paper` for the published sizes,
+//! or `--sizes=a,b,c` for custom ones.
+
+use std::time::Instant;
+use sti_core::{
+    DistributionAlgorithm, IndexBackend, IndexConfig, ObjectRecord, SingleSplitAlgorithm,
+    SpatioTemporalIndex, SplitBudget, SplitPlan,
+};
+use sti_datagen::{Query, RailwayDatasetSpec, RandomDatasetSpec};
+use sti_trajectory::RasterizedObject;
+
+/// Dataset sizes used when a binary is invoked without flags. The ratios
+/// mirror the paper's 10k/30k/50k/80k ladder.
+pub const DEFAULT_SIZES: [usize; 4] = [500, 1000, 2000, 4000];
+
+/// The paper's dataset sizes (Table I).
+pub const PAPER_SIZES: [usize; 4] = [10_000, 30_000, 50_000, 80_000];
+
+/// Default ladder for the I/O figures (15–18, railway, ablations): these
+/// never run the quadratic dynamic programs, so they afford enough
+/// density for page-level effects to show.
+pub const IO_SIZES: [usize; 4] = [2_500, 5_000, 10_000, 20_000];
+
+/// Parsed command-line scale options.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Dataset sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// True when running at published scale.
+    pub paper: bool,
+    /// Queries per set (paper: 1000).
+    pub queries: usize,
+}
+
+impl Scale {
+    /// Parse `--paper`, `--sizes=a,b,c`, `--queries=n` from `std::env`,
+    /// with [`DEFAULT_SIZES`] as the unscaled ladder.
+    pub fn from_args() -> Self {
+        Self::from_args_with(&DEFAULT_SIZES)
+    }
+
+    /// Like [`Scale::from_args`] with a caller-chosen default ladder
+    /// (the I/O figures pass [`IO_SIZES`]).
+    pub fn from_args_with(defaults: &[usize]) -> Self {
+        let mut scale = Scale {
+            sizes: defaults.to_vec(),
+            paper: false,
+            queries: 1000,
+        };
+        for arg in std::env::args().skip(1) {
+            if arg == "--paper" {
+                scale.paper = true;
+                scale.sizes = PAPER_SIZES.to_vec();
+            } else if let Some(list) = arg.strip_prefix("--sizes=") {
+                scale.sizes = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes takes integers"))
+                    .collect();
+            } else if let Some(n) = arg.strip_prefix("--queries=") {
+                scale.queries = n.parse().expect("--queries takes an integer");
+            } else {
+                panic!("unknown argument {arg} (expected --paper, --sizes=.., --queries=..)");
+            }
+        }
+        scale
+    }
+
+    /// Human-readable label for a size (e.g. "10k").
+    pub fn label(n: usize) -> String {
+        if n.is_multiple_of(1000) && n > 0 {
+            format!("{}k", n / 1000)
+        } else {
+            n.to_string()
+        }
+    }
+}
+
+/// Generate (deterministically) the random dataset of `n` objects.
+pub fn random_dataset(n: usize) -> Vec<RasterizedObject> {
+    RandomDatasetSpec::paper(n).generate()
+}
+
+/// Generate (deterministically) the railway dataset of `n` trains.
+pub fn railway_dataset(n: usize) -> Vec<RasterizedObject> {
+    RailwayDatasetSpec::paper(n).generate_rasterized()
+}
+
+/// Plan splits and materialize the records.
+pub fn split_records(
+    objects: &[RasterizedObject],
+    single: SingleSplitAlgorithm,
+    dist: DistributionAlgorithm,
+    budget: SplitBudget,
+) -> Vec<ObjectRecord> {
+    SplitPlan::build(objects, single, dist, budget, None).records(objects)
+}
+
+/// Build an index with the paper's parameters.
+pub fn build_index(records: &[ObjectRecord], backend: IndexBackend) -> SpatioTemporalIndex {
+    SpatioTemporalIndex::build(records, &IndexConfig::paper(backend))
+}
+
+/// Like [`avg_query_io`] for a raw [`sti_rstar::RStarTree`] (outside the
+/// facade): queries are converted with [`sti_geom::Rect3::from_query`]
+/// at `time_scale`, the buffer is reset per query, and the average read
+/// count is returned.
+pub fn avg_rstar_query_io(
+    tree: &mut sti_rstar::RStarTree,
+    queries: &[Query],
+    time_scale: f64,
+) -> f64 {
+    assert!(!queries.is_empty());
+    let mut total = 0u64;
+    for q in queries {
+        tree.reset_for_query();
+        let mut out = Vec::new();
+        tree.query(
+            &sti_geom::Rect3::from_query(&q.area, &q.range, time_scale),
+            &mut out,
+        );
+        total += tree.io_stats().reads;
+    }
+    total as f64 / queries.len() as f64
+}
+
+/// Run a query set (buffer reset before every query, as in §V) and
+/// return the average number of disk accesses.
+pub fn avg_query_io(index: &mut SpatioTemporalIndex, queries: &[Query]) -> f64 {
+    assert!(!queries.is_empty());
+    let mut total = 0u64;
+    for q in queries {
+        index.reset_for_query();
+        let _ = index.query(&q.area, &q.range);
+        total += index.io_stats().reads;
+    }
+    total as f64 / queries.len() as f64
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Print a simple aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format seconds for the CPU-time figures (log-scale in the paper).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.0}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_datagen::QuerySetSpec;
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = random_dataset(50);
+        let b = random_dataset(50);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[7], b[7]);
+    }
+
+    #[test]
+    fn avg_query_io_is_positive() {
+        let objs = random_dataset(200);
+        let records = split_records(
+            &objs,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::Greedy,
+            SplitBudget::Percent(50.0),
+        );
+        let mut idx = build_index(&records, IndexBackend::PprTree);
+        let mut spec = QuerySetSpec::mixed_snapshot();
+        spec.cardinality = 20;
+        let io = avg_query_io(&mut idx, &spec.generate());
+        assert!(io >= 1.0, "every query reads at least the root: {io}");
+    }
+
+    #[test]
+    fn label_formatting() {
+        assert_eq!(Scale::label(10_000), "10k");
+        assert_eq!(Scale::label(512), "512");
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(0.0000005).ends_with("µs"));
+        assert!(fmt_secs(0.05).ends_with("ms"));
+        assert!(fmt_secs(2.0).ends_with('s'));
+    }
+}

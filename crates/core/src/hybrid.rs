@@ -1,0 +1,196 @@
+//! A hybrid timestamp/interval index in the spirit of the MV3R-Tree
+//! (Tao & Papadias, VLDB 2001 — reference \[25\] of the paper).
+//!
+//! The PPR-Tree is unbeatable for snapshot and *small*-interval queries
+//! (its I/O tracks the objects alive at one instant), but an interval
+//! query must walk every root whose span it touches, so its cost grows
+//! linearly with the window — by ~duration 40 the plain 3D R\*-Tree
+//! overtakes it (see the `ablation_hybrid` bench). The MV3R insight is to
+//! keep *both* structures over the same records and route each query by
+//! its duration. Storage costs the sum of the two (≈ 3× the R\*-Tree
+//! alone); query latency gets the minimum of the two curves.
+
+use crate::index::{IndexBackend, IndexConfig, SpatioTemporalIndex};
+use crate::plan::ObjectRecord;
+use sti_geom::{Rect2, Time, TimeInterval};
+use sti_pprtree::PprParams;
+use sti_rstar::RStarParams;
+use sti_storage::IoStats;
+
+/// Configuration of the hybrid index.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Queries spanning fewer instants than this go to the PPR-Tree;
+    /// the rest go to the 3D R\*-Tree. The `ablation_hybrid` sweep puts
+    /// the crossover near 40 instants for the paper's workloads.
+    pub duration_threshold: u32,
+    /// Evolution length (time scaling for the R\*-Tree side).
+    pub time_extent: Time,
+    /// PPR-Tree parameters.
+    pub ppr: PprParams,
+    /// R\*-Tree parameters.
+    pub rstar: RStarParams,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            duration_threshold: 40,
+            time_extent: 1000,
+            ppr: PprParams::default(),
+            rstar: RStarParams::default(),
+        }
+    }
+}
+
+/// Both structures over the same records, queries routed by duration.
+pub struct HybridIndex {
+    ppr: SpatioTemporalIndex,
+    rstar: SpatioTemporalIndex,
+    threshold: u32,
+    short_queries: u64,
+    long_queries: u64,
+}
+
+impl HybridIndex {
+    /// Build both component indexes over the record set.
+    pub fn build(records: &[ObjectRecord], config: &HybridConfig) -> Self {
+        assert!(config.duration_threshold >= 1);
+        let ppr = SpatioTemporalIndex::build(
+            records,
+            &IndexConfig {
+                backend: IndexBackend::PprTree,
+                time_extent: config.time_extent,
+                ppr: config.ppr,
+                rstar: config.rstar,
+            },
+        );
+        let rstar = SpatioTemporalIndex::build(
+            records,
+            &IndexConfig {
+                backend: IndexBackend::RStar,
+                time_extent: config.time_extent,
+                ppr: config.ppr,
+                rstar: config.rstar,
+            },
+        );
+        Self {
+            ppr,
+            rstar,
+            threshold: config.duration_threshold,
+            short_queries: 0,
+            long_queries: 0,
+        }
+    }
+
+    /// Answer a topological query through whichever component is cheaper
+    /// for its duration.
+    pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+        if range.len() < u64::from(self.threshold) {
+            self.short_queries += 1;
+            self.ppr.query(area, range)
+        } else {
+            self.long_queries += 1;
+            self.rstar.query(area, range)
+        }
+    }
+
+    /// Queries routed to the PPR-Tree so far.
+    pub fn short_queries(&self) -> u64 {
+        self.short_queries
+    }
+
+    /// Queries routed to the R\*-Tree so far.
+    pub fn long_queries(&self) -> u64 {
+        self.long_queries
+    }
+
+    /// Combined disk footprint (the price of hybridization).
+    pub fn num_pages(&self) -> usize {
+        self.ppr.num_pages() + self.rstar.num_pages()
+    }
+
+    /// Combined I/O counters of both components.
+    pub fn io_stats(&self) -> IoStats {
+        let a = self.ppr.io_stats();
+        let b = self.rstar.io_stats();
+        IoStats {
+            reads: a.reads + b.reads,
+            writes: a.writes + b.writes,
+            buffer_hits: a.buffer_hits + b.buffer_hits,
+        }
+    }
+
+    /// Reset both components before a measured query.
+    pub fn reset_for_query(&mut self) {
+        self.ppr.reset_for_query();
+        self.rstar.reset_for_query();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::unsplit_records;
+    use sti_geom::Point2;
+    use sti_trajectory::RasterizedObject;
+
+    fn dataset() -> Vec<RasterizedObject> {
+        (0..60u64)
+            .map(|id| {
+                let start = ((id * 13) % 800) as u32;
+                let rects = (0..40)
+                    .map(|i| {
+                        let x = 0.02 + 0.9 * ((id as f64 / 60.0) + 0.005 * i as f64).fract();
+                        Rect2::centered(Point2::new(x, 0.5), 0.02, 0.02)
+                    })
+                    .collect();
+                RasterizedObject::new(id, start, rects)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_by_duration_and_agrees_with_components() {
+        let records = unsplit_records(&dataset());
+        let mut hybrid = HybridIndex::build(&records, &HybridConfig::default());
+        let mut ppr =
+            SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree));
+        let area = Rect2::from_bounds(0.2, 0.4, 0.7, 0.6);
+
+        let short = TimeInterval::new(100, 105);
+        assert_eq!(hybrid.query(&area, &short), ppr.query(&area, &short));
+        assert_eq!(hybrid.short_queries(), 1);
+        assert_eq!(hybrid.long_queries(), 0);
+
+        let long = TimeInterval::new(100, 400);
+        let got = hybrid.query(&area, &long);
+        assert_eq!(hybrid.long_queries(), 1);
+        // Long answers still agree with the PPR component (both exact).
+        assert_eq!(got, ppr.query(&area, &long));
+    }
+
+    #[test]
+    fn pages_are_the_sum_of_components() {
+        let records = unsplit_records(&dataset());
+        let hybrid = HybridIndex::build(&records, &HybridConfig::default());
+        let ppr = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree));
+        let rstar = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar));
+        assert_eq!(hybrid.num_pages(), ppr.num_pages() + rstar.num_pages());
+    }
+
+    #[test]
+    fn threshold_one_always_uses_rstar() {
+        let records = unsplit_records(&dataset());
+        let mut hybrid = HybridIndex::build(
+            &records,
+            &HybridConfig {
+                duration_threshold: 1,
+                ..HybridConfig::default()
+            },
+        );
+        let _ = hybrid.query(&Rect2::UNIT, &TimeInterval::instant(50));
+        assert_eq!(hybrid.long_queries(), 1);
+        assert_eq!(hybrid.short_queries(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's primary contribution: algorithms that decide *where* to
+//! artificially split spatiotemporal objects and *how* to distribute a
+//! split budget across a collection, so that the total volume (empty
+//! space) of the indexed MBRs — and with it the query cost — is minimized.
+//!
+//! Pipeline:
+//!
+//! 1. rasterize trajectories ([`sti_trajectory`]),
+//! 2. build per-object [`VolumeCurve`]s with a [`single`] splitter
+//!    (`DPSplit` optimal / `MergeSplit` greedy),
+//! 3. distribute the budget with a [`multi`] algorithm
+//!    (`Optimal` / `Greedy` / `LAGreedy`),
+//! 4. materialize [`plan::ObjectRecord`]s and hand them to an index — the
+//!    [`SpatioTemporalIndex`] facade wires steps 2–4 to the partially
+//!    persistent R-Tree or the 3D R\*-Tree baseline.
+
+pub mod curve;
+pub mod hybrid;
+pub mod index;
+pub mod multi;
+pub mod online;
+pub mod plan;
+pub mod single;
+pub mod tuning;
+mod util;
+
+pub use curve::VolumeCurve;
+pub use hybrid::{HybridConfig, HybridIndex};
+pub use index::{IndexBackend, IndexConfig, SpatioTemporalIndex};
+pub use multi::{DistributionAlgorithm, SplitAllocation};
+pub use online::{OnlineIndexer, OnlineSplitConfig, OnlineSplitter};
+pub use plan::{
+    piecewise_records, record_events, total_volume, unsplit_records, ObjectRecord, RecordEvent,
+    SplitBudget, SplitPlan,
+};
+pub use single::{SingleObjectSplitter, SingleSplitAlgorithm};
+pub use tuning::{QueryProfile, TuningResult};

@@ -1,0 +1,123 @@
+//! The plain greedy split-distribution algorithm (paper §III-B.2, fig. 9).
+
+use crate::multi::SplitAllocation;
+use crate::util::OrdF64;
+use crate::VolumeCurve;
+use std::collections::BinaryHeap;
+
+/// Distribute `k` splits greedily: repeatedly give the next split to the
+/// object whose *next* split yields the largest volume reduction.
+///
+/// A max priority queue keyed by marginal gain drives the loop:
+/// O(N lg N) to seed plus O(K lg N) for the assignments (fig. 9). Entries
+/// are invalidated lazily by tagging them with the object's split count at
+/// push time.
+///
+/// With non-monotone gain curves (general motion, Claim 1 violated) this
+/// can be arbitrarily suboptimal — an object whose first split is poor but
+/// whose second is excellent never surfaces. That is precisely the gap
+/// [`distribute_lagreedy`](crate::multi::distribute_lagreedy) closes.
+pub fn distribute_greedy(curves: &[VolumeCurve], k: usize) -> SplitAllocation {
+    let n = curves.len();
+    let mut splits = vec![0usize; n];
+    let mut total: f64 = curves.iter().map(|c| c.volume(0)).sum();
+
+    // (gain of next split, object, split count when pushed)
+    let mut heap: BinaryHeap<(OrdF64, usize, usize)> = BinaryHeap::with_capacity(n);
+    for (i, c) in curves.iter().enumerate() {
+        if c.max_splits() >= 1 {
+            heap.push((OrdF64(c.gain(1)), i, 0));
+        }
+    }
+
+    let mut remaining = k;
+    while remaining > 0 {
+        let Some((OrdF64(gain), i, stamp)) = heap.pop() else {
+            break; // all objects saturated
+        };
+        if stamp != splits[i] {
+            continue; // stale entry
+        }
+        splits[i] += 1;
+        total -= gain;
+        remaining -= 1;
+        if splits[i] < curves[i].max_splits() {
+            heap.push((OrdF64(curves[i].gain(splits[i] + 1)), i, splits[i]));
+        }
+    }
+
+    SplitAllocation {
+        splits,
+        total_volume: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::distribute_optimal;
+    use crate::multi::testutil::*;
+
+    #[test]
+    fn empty_and_zero_budget() {
+        assert_eq!(distribute_greedy(&[], 3).splits.len(), 0);
+        let curves = [concave()];
+        let a = distribute_greedy(&curves, 0);
+        assert_eq!(a.splits, vec![0]);
+        assert!((a.total_volume - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn follows_marginal_gains_on_concave_curves() {
+        // Two identical concave curves, gains 4, 2, 1, 0 each.
+        let curves = [concave(), concave()];
+        let a = distribute_greedy(&curves, 4);
+        // Greedy alternates: both objects get 2 splits (gains 4+4+2+2).
+        assert_eq!(a.splits, vec![2, 2]);
+        assert!((a.total_volume - 8.0).abs() < 1e-12);
+        // On monotone curves greedy IS optimal.
+        let o = distribute_optimal(&curves, 4);
+        assert!((a.total_volume - o.total_volume).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falls_into_the_trap() {
+        // Budget 2: optimal gives both splits to the trap curve (gain 9);
+        // greedy takes concave's first two gains (4 + 2 = 6) because the
+        // trap's *first* split gains only 0.1.
+        let curves = [concave(), trap()];
+        let g = distribute_greedy(&curves, 2);
+        let o = distribute_optimal(&curves, 2);
+        assert_eq!(g.splits, vec![2, 0]);
+        assert!(g.total_volume > o.total_volume + 1.0);
+    }
+
+    #[test]
+    fn saturates_and_stops() {
+        let curves = [concave()]; // max 4 splits
+        let a = distribute_greedy(&curves, 100);
+        assert_eq!(a.splits, vec![4]);
+        assert!((a.total_volume - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_volume_matches_recompute() {
+        let curves = [concave(), trap(), flat(), concave()];
+        for k in 0..10 {
+            let a = distribute_greedy(&curves, k);
+            assert!((a.recompute_volume(&curves) - a.total_volume).abs() < 1e-9);
+            assert!(a.total_volume + 1e-9 >= distribute_optimal(&curves, k).total_volume);
+        }
+    }
+
+    #[test]
+    fn flat_curves_still_receive_splits_last() {
+        // Zero-gain splits are assigned only after all positive gains are
+        // exhausted (max-heap property); the volume is unaffected.
+        let curves = [flat(), concave()];
+        let a = distribute_greedy(&curves, 6);
+        assert_eq!(a.splits[1], 4); // concave saturated first
+        assert_eq!(a.splits[0], 2); // flat absorbed the remainder
+        assert!((a.total_volume - (5.0 + 3.0)).abs() < 1e-12);
+    }
+}

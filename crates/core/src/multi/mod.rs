@@ -1,0 +1,126 @@
+//! Distributing a split budget among a collection of objects
+//! (paper §III-B).
+//!
+//! Sub-problem B: *given a collection of objects and a predetermined
+//! number of splits `K`, distribute the splits among the objects to
+//! minimize the total volume* (and thereby the query cost of the index
+//! built over the resulting boxes).
+//!
+//! All three algorithms consume the objects through their
+//! [`VolumeCurve`]s, which a single-object splitter precomputes
+//! ("First, each object is split with DPSplit and MergeSplit and the
+//! results are stored", §V).
+
+pub mod greedy;
+pub mod lagreedy;
+pub mod optimal;
+
+pub use greedy::distribute_greedy;
+pub use lagreedy::distribute_lagreedy;
+pub use optimal::distribute_optimal;
+
+use crate::VolumeCurve;
+
+/// Result of a split-distribution algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitAllocation {
+    /// Splits assigned to each object (same order as the input curves).
+    pub splits: Vec<usize>,
+    /// Total volume of the resulting representation,
+    /// `Σ_i curve_i.volume(splits[i])`.
+    pub total_volume: f64,
+}
+
+impl SplitAllocation {
+    /// Total number of splits actually assigned.
+    pub fn splits_used(&self) -> usize {
+        self.splits.iter().sum()
+    }
+
+    /// Number of records after splitting: every object contributes
+    /// `splits + 1` boxes.
+    pub fn record_count(&self) -> usize {
+        self.splits.len() + self.splits_used()
+    }
+
+    /// Recompute the total volume from scratch (used by tests to check
+    /// the incrementally-maintained value).
+    pub fn recompute_volume(&self, curves: &[VolumeCurve]) -> f64 {
+        assert_eq!(curves.len(), self.splits.len());
+        self.splits
+            .iter()
+            .zip(curves)
+            .map(|(&s, c)| c.volume(s))
+            .sum()
+    }
+}
+
+/// Selector for the three distribution algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistributionAlgorithm {
+    /// Optimal dynamic programming, O(N·K²) (§III-B.1, Theorem 2).
+    Optimal,
+    /// Plain greedy by marginal gain, O((K + N) lg N) (§III-B.2, fig. 9).
+    Greedy,
+    /// Greedy plus the look-ahead-2 exchange refinement (§III-B.3, fig. 10).
+    LaGreedy,
+}
+
+impl DistributionAlgorithm {
+    /// Run the selected algorithm.
+    pub fn distribute(self, curves: &[VolumeCurve], k: usize) -> SplitAllocation {
+        match self {
+            DistributionAlgorithm::Optimal => distribute_optimal(curves, k),
+            DistributionAlgorithm::Greedy => distribute_greedy(curves, k),
+            DistributionAlgorithm::LaGreedy => distribute_lagreedy(curves, k),
+        }
+    }
+}
+
+impl std::fmt::Display for DistributionAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributionAlgorithm::Optimal => write!(f, "Optimal"),
+            DistributionAlgorithm::Greedy => write!(f, "Greedy"),
+            DistributionAlgorithm::LaGreedy => write!(f, "LAGreedy"),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::VolumeCurve;
+
+    /// A concave (monotone-gain) curve: volumes 10, 6, 4, 3, 3, …
+    pub fn concave() -> VolumeCurve {
+        VolumeCurve::new(vec![10.0, 6.0, 4.0, 3.0, 3.0])
+    }
+
+    /// A fig.-4 style curve: first split nearly useless, second huge.
+    pub fn trap() -> VolumeCurve {
+        VolumeCurve::new(vec![10.0, 9.9, 1.0, 0.9])
+    }
+
+    /// A flat curve (stationary object).
+    pub fn flat() -> VolumeCurve {
+        VolumeCurve::new(vec![5.0, 5.0, 5.0])
+    }
+
+    /// Brute-force optimal allocation by full enumeration (tiny inputs).
+    pub fn brute_force(curves: &[VolumeCurve], k: usize) -> f64 {
+        fn rec(curves: &[VolumeCurve], k: usize, i: usize, acc: f64, best: &mut f64) {
+            if i == curves.len() {
+                if acc < *best {
+                    *best = acc;
+                }
+                return;
+            }
+            for j in 0..=k.min(curves[i].max_splits()) {
+                rec(curves, k - j, i + 1, acc + curves[i].volume(j), best);
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(curves, k, 0, 0.0, &mut best);
+        best
+    }
+}

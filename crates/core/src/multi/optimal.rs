@@ -1,0 +1,159 @@
+//! Optimal split distribution by dynamic programming (paper §III-B.1).
+
+use crate::multi::SplitAllocation;
+use crate::VolumeCurve;
+
+/// Distribute `k` splits over the objects optimally.
+///
+/// Implements `TV_l[i] = min_{0 ≤ j ≤ l} { TV_{l−j}[i−1] + V_j[i] }`
+/// (Theorem 2). The inner minimum only ranges over
+/// `j ≤ min(l, max_splits_i)`, so the running time is
+/// O(N · K · min(K, n_max)) — the paper's O(N·K²) bound with the
+/// per-object cap made explicit. Unassigned splits are allowed (wasting a
+/// split never helps but must not be infeasible: the budget "might not be
+/// enough to split every object", and conversely can exceed what the
+/// objects can absorb).
+///
+/// Memory: O(N·K) `u16` entries for allocation reconstruction; per-object
+/// split counts above `u16::MAX` are rejected (no real lifetime is that
+/// long).
+pub fn distribute_optimal(curves: &[VolumeCurve], k: usize) -> SplitAllocation {
+    let n = curves.len();
+    if n == 0 {
+        return SplitAllocation {
+            splits: Vec::new(),
+            total_volume: 0.0,
+        };
+    }
+    for c in curves {
+        assert!(
+            c.max_splits() <= usize::from(u16::MAX),
+            "per-object split cap exceeds u16 reconstruction range"
+        );
+    }
+
+    // tv[l] = optimal volume of the objects processed so far using ≤ l
+    // splits; rolling over objects.
+    let mut tv = vec![0.0f64; k + 1];
+    let mut tv_next = vec![0.0f64; k + 1];
+    // choice[i * (k+1) + l] = splits given to object i in the optimum for
+    // budget l.
+    let mut choice = vec![0u16; n * (k + 1)];
+
+    for (i, curve) in curves.iter().enumerate() {
+        let cap = curve.max_splits();
+        for l in 0..=k {
+            let mut best = f64::INFINITY;
+            let mut best_j = 0u16;
+            for j in 0..=l.min(cap) {
+                let cand = tv[l - j] + curve.volume(j);
+                if cand < best {
+                    best = cand;
+                    best_j = j as u16;
+                }
+            }
+            tv_next[l] = best;
+            choice[i * (k + 1) + l] = best_j;
+        }
+        std::mem::swap(&mut tv, &mut tv_next);
+    }
+
+    // Backtrack the allocation.
+    let mut splits = vec![0usize; n];
+    let mut l = k;
+    for i in (0..n).rev() {
+        let j = usize::from(choice[i * (k + 1) + l]);
+        splits[i] = j;
+        l -= j;
+    }
+
+    SplitAllocation {
+        splits,
+        total_volume: tv[k],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::testutil::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input() {
+        let a = distribute_optimal(&[], 5);
+        assert!(a.splits.is_empty());
+        assert_eq!(a.total_volume, 0.0);
+    }
+
+    #[test]
+    fn zero_budget_keeps_unsplit_volumes() {
+        let curves = [concave(), trap(), flat()];
+        let a = distribute_optimal(&curves, 0);
+        assert_eq!(a.splits, vec![0, 0, 0]);
+        assert!((a.total_volume - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefers_the_trap_object_with_two_splits() {
+        // With budget 2 the optimum is to give both splits to the trap
+        // curve (gain 9.0) rather than two concave first-splits (4 + 2).
+        let curves = [concave(), trap()];
+        let a = distribute_optimal(&curves, 2);
+        assert_eq!(a.splits, vec![0, 2]);
+        assert!((a.total_volume - (10.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_budget_saturates_gracefully() {
+        let curves = [concave(), flat()];
+        let a = distribute_optimal(&curves, 100);
+        // concave saturates at 4 splits, flat gains nothing anywhere.
+        assert!((a.total_volume - (3.0 + 5.0)).abs() < 1e-12);
+        assert!(a.splits[0] <= 4 && a.splits[1] <= 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_mixed_curves() {
+        let curves = [concave(), trap(), flat(), concave()];
+        for k in 0..=8 {
+            let a = distribute_optimal(&curves, k);
+            let bf = brute_force(&curves, k);
+            assert!((a.total_volume - bf).abs() < 1e-9, "k={k}");
+            assert!((a.recompute_volume(&curves) - a.total_volume).abs() < 1e-9);
+            assert!(a.splits_used() <= k);
+        }
+    }
+
+    fn arb_curve() -> impl Strategy<Value = VolumeCurve> {
+        prop::collection::vec(0.0..5.0f64, 1..6).prop_map(|drops| {
+            // Build a non-increasing curve from random drops.
+            let mut v = 20.0;
+            let mut vols = vec![v];
+            for d in drops {
+                v -= d;
+                vols.push(v);
+            }
+            VolumeCurve::new(vols)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn equals_brute_force(curves in prop::collection::vec(arb_curve(), 1..5), k in 0usize..7) {
+            let a = distribute_optimal(&curves, k);
+            let bf = brute_force(&curves, k);
+            prop_assert!((a.total_volume - bf).abs() < 1e-9);
+            prop_assert!((a.recompute_volume(&curves) - a.total_volume).abs() < 1e-9);
+        }
+
+        #[test]
+        fn monotone_in_budget(curves in prop::collection::vec(arb_curve(), 1..5), k in 0usize..7) {
+            let a = distribute_optimal(&curves, k);
+            let b = distribute_optimal(&curves, k + 1);
+            prop_assert!(b.total_volume <= a.total_volume + 1e-9);
+        }
+    }
+}

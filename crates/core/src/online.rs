@@ -1,0 +1,708 @@
+//! The *on-line* version of the splitting problem (paper §VII: "an
+//! interesting avenue for future work is addressing the on-line version
+//! of the problem").
+//!
+//! Offline, the splitting algorithms see every object's whole trajectory
+//! before placing cuts. Online, position updates arrive one instant at a
+//! time and the split decision must be made immediately:
+//!
+//! * [`OnlineSplitter`] — one-pass piece construction: an object's
+//!   current piece is closed (an artificial update is issued) as soon as
+//!   its MBR's *empty-space overhead* crosses a threshold. No lookahead,
+//!   O(1) state per alive object.
+//! * [`OnlineIndexer`] — feeds the emitted pieces into a [`PprTree`]
+//!   while updates stream in, using a watermark reordering buffer: a
+//!   piece's insertion time lies in the past by construction (its start),
+//!   so events are buffered until no still-open piece could precede them.
+//!
+//! The `ablation_online` bench target compares the one-pass splitter
+//! against the offline LAGreedy plan in both total volume and query I/O.
+
+use crate::plan::{ObjectRecord, RecordEvent};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use sti_geom::{Rect2, StBox, Time, TimeInterval};
+use sti_pprtree::{PprParams, PprTree};
+
+/// Tuning of the online split decision.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineSplitConfig {
+    /// Close the current piece when
+    /// `volume(piece MBR) / Σ per-instant volumes ≥ overhead_threshold`.
+    /// 1.0 splits on any empty space at all. The right value is
+    /// workload-dependent: for an object of spatial extent `w` moving `v`
+    /// per instant, pieces close after roughly `(θ−1)·w/v` instants, so
+    /// pick θ to hit the record budget you can afford (the
+    /// `ablation_online` bench sweeps it).
+    pub overhead_threshold: f64,
+    /// Never close a piece before it covers this many instants (keeps the
+    /// record count bounded: at most `lifetime / min_piece_instants`
+    /// pieces per object).
+    pub min_piece_instants: u32,
+    /// Close any piece reaching this length regardless of overhead.
+    /// This bounds the indexer's watermark staleness — without it a
+    /// single stationary object would freeze the queryable horizon
+    /// forever — so it defaults to `Some(64)`; set `None` only for pure
+    /// volume-optimization experiments.
+    pub max_piece_instants: Option<u32>,
+    /// Absolute spatial-area trigger: close when the piece MBR's area
+    /// crosses this value. The relative criterion is blind to objects
+    /// with (near-)zero extent — moving *points* have zero per-instant
+    /// volume — so point workloads rely on this knob (and on
+    /// `max_piece_instants` for purely axis-parallel motion, whose MBR
+    /// area also stays zero).
+    pub max_piece_area: Option<f64>,
+}
+
+impl Default for OnlineSplitConfig {
+    fn default() -> Self {
+        Self {
+            overhead_threshold: 8.0,
+            min_piece_instants: 5,
+            max_piece_instants: Some(64),
+            max_piece_area: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenPiece {
+    start: Time,
+    /// Last instant observed (inclusive).
+    last: Time,
+    mbr: Rect2,
+    /// Σ per-instant areas, the denominator of the overhead ratio.
+    area_sum: f64,
+}
+
+impl OpenPiece {
+    fn to_record(self, id: u64) -> ObjectRecord {
+        ObjectRecord {
+            id,
+            stbox: StBox::new(self.mbr, TimeInterval::new(self.start, self.last + 1)),
+        }
+    }
+
+    fn instants(&self) -> u32 {
+        self.last - self.start + 1
+    }
+}
+
+/// One-pass artificial-split decisions over a stream of per-instant
+/// position updates.
+///
+/// ```
+/// use sti_core::online::{OnlineSplitConfig, OnlineSplitter};
+/// use sti_geom::{Point2, Rect2};
+///
+/// let mut splitter = OnlineSplitter::new(OnlineSplitConfig::default());
+/// let mut pieces = Vec::new();
+/// for t in 0..60 {
+///     let center = Point2::new(0.1 + 0.01 * f64::from(t), 0.5);
+///     if let Some(piece) = splitter.observe(1, Rect2::centered(center, 0.02, 0.02), t) {
+///         pieces.push(piece);
+///     }
+/// }
+/// pieces.push(splitter.finish(1, 60));
+/// assert!(pieces.len() >= 2, "a steady mover splits at least once");
+/// assert_eq!(pieces.last().unwrap().stbox.lifetime.end, 60);
+/// ```
+#[derive(Debug)]
+pub struct OnlineSplitter {
+    config: OnlineSplitConfig,
+    open: HashMap<u64, OpenPiece>,
+    /// Multiset of open-piece start times, so the watermark (minimum
+    /// start) is O(log n) per update instead of a full scan — the
+    /// indexer consults it after every observation.
+    open_starts: BTreeMap<Time, usize>,
+    splits_issued: u64,
+}
+
+impl OnlineSplitter {
+    /// Create a splitter with the given thresholds.
+    pub fn new(config: OnlineSplitConfig) -> Self {
+        assert!(
+            config.overhead_threshold >= 1.0,
+            "threshold below 1 splits every instant"
+        );
+        assert!(config.min_piece_instants >= 1);
+        if let Some(max) = config.max_piece_instants {
+            assert!(max >= config.min_piece_instants);
+        }
+        Self {
+            config,
+            open: HashMap::new(),
+            open_starts: BTreeMap::new(),
+            splits_issued: 0,
+        }
+    }
+
+    /// Observe object `id` occupying `rect` at instant `t`. Returns the
+    /// closed piece when this observation triggers an artificial split.
+    ///
+    /// Observations for one object must be per-instant contiguous
+    /// (`t` follows the previous observation by exactly 1).
+    ///
+    /// # Panics
+    /// On a gap in an object's observation stream.
+    pub fn observe(&mut self, id: u64, rect: Rect2, t: Time) -> Option<ObjectRecord> {
+        let Some(piece) = self.open.get_mut(&id) else {
+            self.open.insert(
+                id,
+                OpenPiece {
+                    start: t,
+                    last: t,
+                    mbr: rect,
+                    area_sum: rect.area(),
+                },
+            );
+            *self.open_starts.entry(t).or_insert(0) += 1;
+            return None;
+        };
+        assert_eq!(t, piece.last + 1, "object {id}: observation gap at {t}");
+
+        let grown = piece.mbr.union(&rect);
+        let instants = f64::from(piece.instants() + 1);
+        let area_sum = piece.area_sum + rect.area();
+        let overhead = if area_sum > 0.0 {
+            grown.area() * instants / area_sum
+        } else {
+            1.0 // zero-extent objects never trip the relative criterion
+        };
+
+        let long_enough = piece.instants() >= self.config.min_piece_instants;
+        let too_long = self
+            .config
+            .max_piece_instants
+            .is_some_and(|m| piece.instants() >= m);
+        let too_big = self
+            .config
+            .max_piece_area
+            .is_some_and(|a| grown.area() >= a);
+        let should_split =
+            long_enough && (too_long || (overhead >= self.config.overhead_threshold) || too_big);
+
+        if should_split {
+            let closed = piece.to_record(id);
+            let old_start = piece.start;
+            *piece = OpenPiece {
+                start: t,
+                last: t,
+                mbr: rect,
+                area_sum: rect.area(),
+            };
+            remove_start(&mut self.open_starts, old_start);
+            *self.open_starts.entry(t).or_insert(0) += 1;
+            self.splits_issued += 1;
+            Some(closed)
+        } else {
+            piece.mbr = grown;
+            piece.last = t;
+            piece.area_sum = area_sum;
+            None
+        }
+    }
+
+    /// The object died: `end` is its half-open lifetime end (one past the
+    /// last observed instant). Returns the final piece.
+    ///
+    /// # Panics
+    /// If the object was never observed or `end` does not follow its last
+    /// observation.
+    pub fn finish(&mut self, id: u64, end: Time) -> ObjectRecord {
+        let piece = self
+            .open
+            .remove(&id)
+            .unwrap_or_else(|| panic!("object {id} not open"));
+        remove_start(&mut self.open_starts, piece.start);
+        assert_eq!(
+            end,
+            piece.last + 1,
+            "object {id}: finish({end}) after instant {}",
+            piece.last
+        );
+        piece.to_record(id)
+    }
+
+    /// Number of artificial splits issued so far.
+    pub fn splits_issued(&self) -> u64 {
+        self.splits_issued
+    }
+
+    /// Number of objects with an open piece.
+    pub fn open_objects(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Earliest start time among open pieces — nothing emitted in the
+    /// future can precede this (the indexer's watermark).
+    pub fn watermark(&self) -> Option<Time> {
+        self.open_starts.keys().next().copied()
+    }
+}
+
+/// Remove one occurrence of `start` from the open-piece multiset.
+fn remove_start(starts: &mut BTreeMap<Time, usize>, start: Time) {
+    match starts.get_mut(&start) {
+        Some(n) if *n > 1 => *n -= 1,
+        Some(_) => {
+            starts.remove(&start);
+        }
+        None => unreachable!("open piece start {start} missing from the multiset"),
+    }
+}
+
+/// A buffered event awaiting its watermark. `RecordEvent`'s ordering
+/// (deletes before inserts at equal times) keeps an object's consecutive
+/// pieces from coexisting.
+#[derive(Debug, Clone, PartialEq)]
+struct Ev {
+    time: Time,
+    kind: RecordEvent,
+    seq: u64,
+    record: ObjectRecord,
+}
+
+impl Eq for Ev {}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.kind, self.seq).cmp(&(other.time, other.kind, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streams position updates straight into a partially persistent R-Tree.
+///
+/// The PPR-Tree only accepts time-ordered updates, but an online piece is
+/// only *known* once it closes — at which point its insertion timestamp
+/// (the piece start) lies in the past. The indexer therefore holds closed
+/// pieces in a reordering buffer and flushes every event strictly older
+/// than the **watermark** (the earliest start among still-open pieces):
+/// no future closure can produce an earlier event, so the flushed prefix
+/// is final. Historical queries are answered for any time before the
+/// watermark.
+pub struct OnlineIndexer {
+    splitter: OnlineSplitter,
+    tree: PprTree,
+    buffer: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    now: Time,
+}
+
+impl OnlineIndexer {
+    /// Create an indexer with the given split decision and tree
+    /// parameters.
+    pub fn new(config: OnlineSplitConfig, params: PprParams) -> Self {
+        Self {
+            splitter: OnlineSplitter::new(config),
+            tree: PprTree::new(params),
+            buffer: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Observe object `id` at `rect` during instant `t`.
+    pub fn update(&mut self, id: u64, rect: Rect2, t: Time) {
+        assert!(t >= self.now, "updates must be time-ordered");
+        self.now = t;
+        if let Some(record) = self.splitter.observe(id, rect, t) {
+            self.push_record(record);
+        }
+        self.flush();
+    }
+
+    /// Object `id` disappears; `end` is one past its last observed
+    /// instant.
+    pub fn finish(&mut self, id: u64, end: Time) {
+        assert!(end >= self.now, "updates must be time-ordered");
+        self.now = end;
+        let record = self.splitter.finish(id, end);
+        self.push_record(record);
+        self.flush();
+    }
+
+    fn push_record(&mut self, record: ObjectRecord) {
+        let life = record.stbox.lifetime;
+        self.buffer.push(Reverse(Ev {
+            time: life.start,
+            kind: RecordEvent::Insert,
+            seq: self.seq,
+            record,
+        }));
+        self.buffer.push(Reverse(Ev {
+            time: life.end,
+            kind: RecordEvent::Delete,
+            seq: self.seq + 1,
+            record,
+        }));
+        self.seq += 2;
+    }
+
+    /// All history strictly before this instant is queryable.
+    pub fn watermark(&self) -> Time {
+        self.splitter.watermark().unwrap_or(self.now)
+    }
+
+    fn apply_event(&mut self, ev: Ev) {
+        match ev.kind {
+            RecordEvent::Insert => self
+                .tree
+                .insert(ev.record.id, ev.record.stbox.rect, ev.time),
+            RecordEvent::Delete => self
+                .tree
+                .delete(ev.record.id, ev.record.stbox.rect, ev.time),
+        }
+    }
+
+    fn flush(&mut self) {
+        let w = self.watermark();
+        while let Some(Reverse(ev)) = self.buffer.peek() {
+            if ev.time >= w {
+                break;
+            }
+            let Reverse(ev) = self.buffer.pop().expect("peeked");
+            self.apply_event(ev);
+        }
+    }
+
+    /// Snapshot query at instant `t`, which must lie before the
+    /// watermark (later history is still buffered).
+    ///
+    /// # Panics
+    /// If `t` is at or past the watermark.
+    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) {
+        assert!(
+            t < self.watermark(),
+            "instant {t} not yet final (watermark {})",
+            self.watermark()
+        );
+        self.tree.query_snapshot(area, t, out);
+    }
+
+    /// Number of artificial splits issued so far.
+    pub fn splits_issued(&self) -> u64 {
+        self.splitter.splits_issued()
+    }
+
+    /// Close every remaining piece at `end` and return the finished tree.
+    pub fn seal(mut self, end: Time) -> PprTree {
+        assert!(end >= self.now);
+        let open_ids: Vec<u64> = self.splitter.open.keys().copied().collect();
+        for id in open_ids {
+            // `finish` keeps the splitter's start multiset consistent;
+            // each object's final piece ends one past its last
+            // observation.
+            let piece = self.splitter.open.get(&id).copied().expect("listed");
+            let record = self.splitter.finish(id, piece.last + 1);
+            self.push_record(record);
+        }
+        // Everything is closed: flush the buffer completely, in order.
+        while let Some(Reverse(ev)) = self.buffer.pop() {
+            self.apply_event(ev);
+        }
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::total_volume;
+    use sti_geom::Point2;
+    use sti_trajectory::RasterizedObject;
+
+    fn mover(n: usize) -> Vec<Rect2> {
+        (0..n)
+            .map(|i| Rect2::centered(Point2::new(0.05 + 0.01 * i as f64, 0.5), 0.02, 0.02))
+            .collect()
+    }
+
+    #[test]
+    fn stationary_objects_split_only_at_the_length_cap() {
+        // With the cap disabled a stationary object never splits.
+        let uncapped = OnlineSplitConfig {
+            max_piece_instants: None,
+            ..OnlineSplitConfig::default()
+        };
+        let mut s = OnlineSplitter::new(uncapped);
+        let r = Rect2::from_bounds(0.4, 0.4, 0.45, 0.45);
+        for t in 0..100 {
+            assert!(
+                s.observe(7, r, t).is_none(),
+                "stationary object split at {t}"
+            );
+        }
+        let last = s.finish(7, 100);
+        assert_eq!(last.stbox.lifetime, TimeInterval::new(0, 100));
+        assert_eq!(s.splits_issued(), 0);
+
+        // The default cap bounds piece length (and thereby the streaming
+        // indexer's watermark staleness).
+        let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
+        let mut splits = 0;
+        for t in 0..200 {
+            if s.observe(7, r, t).is_some() {
+                splits += 1;
+            }
+        }
+        assert!(splits >= 2, "length cap should fire, got {splits}");
+    }
+
+    #[test]
+    fn movers_split_and_pieces_partition_lifetime() {
+        let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
+        let rects = mover(80);
+        let mut pieces = Vec::new();
+        for (i, r) in rects.iter().enumerate() {
+            if let Some(p) = s.observe(1, *r, 10 + i as Time) {
+                pieces.push(p);
+            }
+        }
+        pieces.push(s.finish(1, 90));
+        assert!(
+            pieces.len() >= 3,
+            "a steady mover should split several times"
+        );
+        // Consecutive lifetimes partition [10, 90).
+        assert_eq!(pieces[0].stbox.lifetime.start, 10);
+        assert_eq!(pieces.last().expect("nonempty").stbox.lifetime.end, 90);
+        for w in pieces.windows(2) {
+            assert_eq!(w[0].stbox.lifetime.end, w[1].stbox.lifetime.start);
+        }
+        // Each piece's MBR covers the instants it claims.
+        for p in &pieces {
+            for t in p.stbox.lifetime.start..p.stbox.lifetime.end {
+                let r = rects[(t - 10) as usize];
+                assert!(
+                    p.stbox.rect.contains_rect(&r),
+                    "piece does not cover instant {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_piece_length_is_respected() {
+        let cfg = OnlineSplitConfig {
+            min_piece_instants: 10,
+            ..OnlineSplitConfig::default()
+        };
+        let mut s = OnlineSplitter::new(cfg);
+        let mut pieces = Vec::new();
+        for (i, r) in mover(60).iter().enumerate() {
+            if let Some(p) = s.observe(1, *r, i as Time) {
+                pieces.push(p);
+            }
+        }
+        pieces.push(s.finish(1, 60));
+        for p in &pieces[..pieces.len() - 1] {
+            assert!(
+                p.stbox.lifetime.len() >= 10,
+                "piece shorter than minimum: {}",
+                p.stbox
+            );
+        }
+    }
+
+    #[test]
+    fn max_piece_length_forces_splits() {
+        let cfg = OnlineSplitConfig {
+            max_piece_instants: Some(5),
+            min_piece_instants: 1,
+            overhead_threshold: 1e9, // relative criterion never fires
+            ..OnlineSplitConfig::default()
+        };
+        let mut s = OnlineSplitter::new(cfg);
+        let r = Rect2::from_bounds(0.1, 0.1, 0.12, 0.12);
+        let mut count = 0;
+        for t in 0..20 {
+            if s.observe(3, r, t).is_some() {
+                count += 1;
+            }
+        }
+        assert!(
+            count >= 3,
+            "length cap should force periodic splits, got {count}"
+        );
+    }
+
+    #[test]
+    fn zero_extent_points_use_area_cap() {
+        // Relative overhead is undefined for points; the area cap drives.
+        let cfg = OnlineSplitConfig {
+            max_piece_area: Some(0.001),
+            min_piece_instants: 1,
+            ..OnlineSplitConfig::default()
+        };
+        let mut s = OnlineSplitter::new(cfg);
+        let mut splits = 0;
+        for t in 0..50u32 {
+            // Diagonal motion: the piece MBR's area genuinely grows.
+            let p = Point2::new(0.01 * f64::from(t), 0.01 * f64::from(t));
+            if s.observe(9, Rect2::point(p), t).is_some() {
+                splits += 1;
+            }
+        }
+        assert!(
+            splits >= 5,
+            "moving point should split via the area cap, got {splits}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "observation gap")]
+    fn rejects_gaps() {
+        let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
+        let r = Rect2::from_bounds(0.1, 0.1, 0.2, 0.2);
+        s.observe(1, r, 0);
+        s.observe(1, r, 2);
+    }
+
+    #[test]
+    fn online_volume_between_optimal_and_unsplit() {
+        use crate::multi::DistributionAlgorithm;
+        use crate::plan::{SplitBudget, SplitPlan};
+        use crate::single::SingleSplitAlgorithm;
+
+        // A batch of movers; compare one-pass splits against offline.
+        let objects: Vec<RasterizedObject> = (0..20)
+            .map(|id| {
+                let rects = mover(50 + (id as usize % 17));
+                RasterizedObject::new(id, (id * 13) as Time, rects)
+            })
+            .collect();
+
+        let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
+        let mut online_records = Vec::new();
+        // Replay by global time order (interleaved objects).
+        let mut events: Vec<(Time, u64, usize)> = Vec::new();
+        for o in &objects {
+            for i in 0..o.len() {
+                events.push((o.start() + i as Time, o.id(), i));
+            }
+        }
+        events.sort_unstable();
+        for (t, id, i) in events {
+            let o = &objects[id as usize];
+            if let Some(p) = s.observe(id, o.rect(i), t) {
+                online_records.push(p);
+            }
+        }
+        for o in &objects {
+            online_records.push(s.finish(o.id(), o.lifetime().end));
+        }
+
+        let online_vol = total_volume(&online_records);
+        let online_splits = online_records.len() - objects.len();
+        let offline = SplitPlan::build(
+            &objects,
+            SingleSplitAlgorithm::DpSplit,
+            DistributionAlgorithm::Optimal,
+            SplitBudget::Count(online_splits),
+            None,
+        );
+        let unsplit_vol: f64 = objects.iter().map(|o| o.unsplit_volume()).sum();
+        assert!(
+            online_vol + 1e-9 >= offline.total_volume(),
+            "online cannot beat the offline optimum at equal budget"
+        );
+        assert!(
+            online_vol < unsplit_vol * 0.7,
+            "online splitting should remove real empty space: {online_vol} vs {unsplit_vol}"
+        );
+    }
+
+    #[test]
+    fn indexer_streams_and_answers_history() {
+        let params = PprParams {
+            max_entries: 10,
+            buffer_pages: 4,
+            ..PprParams::default()
+        };
+        let mut idx = OnlineIndexer::new(OnlineSplitConfig::default(), params);
+
+        // Two staggered movers and one stationary anchor.
+        let a = mover(40);
+        let b = mover(40);
+        for t in 0..60u32 {
+            if t < 40 {
+                idx.update(1, a[t as usize], t);
+            }
+            if t == 40 {
+                idx.finish(1, 40);
+            }
+            if (10..50).contains(&t) {
+                idx.update(2, b[(t - 10) as usize], t);
+            }
+            if t == 50 {
+                idx.finish(2, 50);
+            }
+            idx.update(3, Rect2::from_bounds(0.9, 0.9, 0.95, 0.95), t);
+        }
+        // Anchor still open from t=0: watermark is its piece start, so
+        // only a prefix is queryable mid-stream; sealing finishes all.
+        let splits = idx.splits_issued();
+        assert!(splits >= 2, "movers should have split, got {splits}");
+        let mut tree = idx.seal(60);
+        tree.validate();
+        let mut out = Vec::new();
+        tree.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 3]);
+        out.clear();
+        tree.query_snapshot(&Rect2::UNIT, 45, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 3]);
+        out.clear();
+        // Object 1's pieces: found once over its whole life.
+        tree.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 60), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn indexer_watermark_gates_queries() {
+        let params = PprParams {
+            max_entries: 10,
+            buffer_pages: 4,
+            ..PprParams::default()
+        };
+        let mut idx = OnlineIndexer::new(
+            OnlineSplitConfig {
+                max_piece_instants: Some(4),
+                min_piece_instants: 1,
+                ..OnlineSplitConfig::default()
+            },
+            params,
+        );
+        for (i, r) in mover(30).iter().enumerate() {
+            idx.update(1, *r, i as Time);
+        }
+        let w = idx.watermark();
+        assert!(w > 0, "length-capped pieces must advance the watermark");
+        let mut out = Vec::new();
+        idx.query_snapshot(&Rect2::UNIT, w - 1, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet final")]
+    fn indexer_rejects_queries_past_watermark() {
+        let params = PprParams {
+            max_entries: 10,
+            buffer_pages: 4,
+            ..PprParams::default()
+        };
+        let mut idx = OnlineIndexer::new(OnlineSplitConfig::default(), params);
+        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 0);
+        let mut out = Vec::new();
+        idx.query_snapshot(&Rect2::UNIT, 0, &mut out);
+    }
+}

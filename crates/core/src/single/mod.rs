@@ -1,0 +1,125 @@
+//! Splitting a single spatiotemporal object (paper §III-A).
+//!
+//! Sub-problem A: *given an object and an upper limit on the number of
+//! splits, find how to split the object so that the maximum possible gain
+//! in empty space is obtained.*
+//!
+//! Two budgeted algorithms are provided behind the
+//! [`SingleObjectSplitter`] trait — the optimal dynamic program
+//! [`DpSplit`] and the greedy merge heuristic [`MergeSplit`] — plus the
+//! unbudgeted [`piecewise`] baseline the paper compares against in §V.
+
+pub mod dpsplit;
+pub mod mergesplit;
+pub mod piecewise;
+
+pub use dpsplit::DpSplit;
+pub use mergesplit::MergeSplit;
+pub use piecewise::{piecewise_boxes, piecewise_cuts};
+
+use crate::VolumeCurve;
+use sti_trajectory::RasterizedObject;
+
+/// A strategy for splitting one object along the time axis.
+///
+/// Implementations must produce *cuts*: strictly increasing interior
+/// raster indices (`1..n`); `k` cuts yield `k + 1` boxes via
+/// [`RasterizedObject::boxes_for_cuts`].
+pub trait SingleObjectSplitter {
+    /// Cut positions for at most `k` splits. Fewer cuts may be returned
+    /// when the object cannot use the full budget (`k > n − 1`).
+    fn cuts(&self, obj: &RasterizedObject, k: usize) -> Vec<usize>;
+
+    /// The volume curve `vol[0..=max_splits]`, where `max_splits` is
+    /// capped at `n − 1`.
+    fn volume_curve(&self, obj: &RasterizedObject, max_splits: usize) -> VolumeCurve;
+}
+
+/// Selector for the two budgeted single-object algorithms, used by the
+/// high-level facade and the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SingleSplitAlgorithm {
+    /// Optimal dynamic programming, O(n²k) (§III-A.1).
+    DpSplit,
+    /// Greedy bottom-up merging, O(n lg n) (§III-A.2).
+    MergeSplit,
+}
+
+impl SingleSplitAlgorithm {
+    /// Instantiate the corresponding splitter.
+    pub fn splitter(self) -> Box<dyn SingleObjectSplitter> {
+        match self {
+            SingleSplitAlgorithm::DpSplit => Box::new(DpSplit),
+            SingleSplitAlgorithm::MergeSplit => Box::new(MergeSplit),
+        }
+    }
+}
+
+impl std::fmt::Display for SingleSplitAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SingleSplitAlgorithm::DpSplit => write!(f, "DPSplit"),
+            SingleSplitAlgorithm::MergeSplit => write!(f, "MergeSplit"),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use sti_geom::{Point2, Rect2};
+    use sti_trajectory::RasterizedObject;
+
+    /// Object moving diagonally at constant speed — convex gain curve.
+    pub fn diagonal_mover(n: usize) -> RasterizedObject {
+        let rects = (0..n)
+            .map(|i| Rect2::centered(Point2::new(0.1 * i as f64, 0.1 * i as f64), 0.1, 0.1))
+            .collect();
+        RasterizedObject::new(1, 0, rects)
+    }
+
+    /// Object that sits still, jumps far away, then jumps *back*: one
+    /// split leaves a piece that still spans the whole excursion, so the
+    /// second split is worth far more than the first (fig. 4 —
+    /// monotonicity violated).
+    pub fn two_jump(n_per_phase: usize) -> RasterizedObject {
+        let mut rects = Vec::new();
+        for phase in 0..3 {
+            let base = if phase == 1 { 3.0 } else { 0.0 };
+            for _ in 0..n_per_phase {
+                rects.push(Rect2::from_bounds(base, 0.0, base + 0.1, 0.1));
+            }
+        }
+        RasterizedObject::new(2, 0, rects)
+    }
+
+    /// Stationary object — every split is worthless.
+    pub fn stationary(n: usize) -> RasterizedObject {
+        RasterizedObject::new(3, 5, vec![Rect2::from_bounds(0.4, 0.4, 0.5, 0.5); n])
+    }
+
+    /// Brute-force optimal total volume for `k` splits by enumerating all
+    /// cut sets (exponential; keep n small).
+    pub fn brute_force_optimal(obj: &RasterizedObject, k: usize) -> f64 {
+        fn rec(obj: &RasterizedObject, start: usize, k: usize, best: &mut f64, acc: f64) {
+            let n = obj.len();
+            if k == 0 {
+                let total = acc + obj.volume_range(start, n);
+                if total < *best {
+                    *best = total;
+                }
+                return;
+            }
+            for c in start + 1..n {
+                // Need k-1 further cuts to fit in (c, n): c + (k-1) <= n - 1
+                if c + k > n {
+                    break;
+                }
+                rec(obj, c, k - 1, best, acc + obj.volume_range(start, c));
+            }
+        }
+        let k = k.min(obj.len() - 1);
+        let mut best = f64::INFINITY;
+        rec(obj, 0, k, &mut best, 0.0);
+        best
+    }
+}

@@ -1,0 +1,91 @@
+//! The piecewise baseline: split wherever the movement "changes
+//! characteristics".
+//!
+//! §V of the paper compares against "the simpler approach of splitting the
+//! objects in a piecewise manner, i.e., at the points in time where the
+//! polynomial representing the movement changes characteristics, which is
+//! the same as representing the movements with piecewise linear functions
+//! as in \[21\]". This splitter ignores any budget — it produced ~400% of
+//! the object count in splits for the paper's datasets — and is shown in
+//! figures 17/18 to *hurt* the R\*-Tree for snapshot queries.
+
+use sti_geom::StBox;
+use sti_trajectory::RasterizedObject;
+
+/// Cut positions of the piecewise baseline: exactly the recorded movement
+/// change points of the object.
+pub fn piecewise_cuts(obj: &RasterizedObject) -> Vec<usize> {
+    obj.boundaries().to_vec()
+}
+
+/// Space-time boxes of the piecewise representation (one box per motion
+/// segment of the original trajectory).
+pub fn piecewise_boxes(obj: &RasterizedObject) -> Vec<StBox> {
+    obj.boxes_for_cuts(obj.boundaries())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_geom::{Point2, TimeInterval};
+    use sti_trajectory::{MotionSegment, Polynomial, Trajectory};
+
+    fn zigzag() -> RasterizedObject {
+        // Three linear segments with a direction change at t=5 and t=10.
+        let s1 = MotionSegment::linear_between(
+            TimeInterval::new(0, 5),
+            Point2::new(0.0, 0.0),
+            Point2::new(0.5, 0.0),
+            0.05,
+            0.05,
+        );
+        let s2 = MotionSegment::linear_between(
+            TimeInterval::new(5, 10),
+            Point2::new(0.5, 0.0),
+            Point2::new(0.5, 0.5),
+            0.05,
+            0.05,
+        );
+        let s3 = MotionSegment::linear_between(
+            TimeInterval::new(10, 15),
+            Point2::new(0.5, 0.5),
+            Point2::new(0.0, 0.5),
+            0.05,
+            0.05,
+        );
+        Trajectory::new(1, vec![s1, s2, s3]).rasterize()
+    }
+
+    #[test]
+    fn cuts_are_segment_boundaries() {
+        let o = zigzag();
+        assert_eq!(piecewise_cuts(&o), vec![5, 10]);
+    }
+
+    #[test]
+    fn boxes_cover_lifetime_consecutively() {
+        let o = zigzag();
+        let boxes = piecewise_boxes(&o);
+        assert_eq!(boxes.len(), 3);
+        assert_eq!(boxes[0].lifetime, TimeInterval::new(0, 5));
+        assert_eq!(boxes[1].lifetime, TimeInterval::new(5, 10));
+        assert_eq!(boxes[2].lifetime, TimeInterval::new(10, 15));
+        // Each piece of a straight-line segment is much tighter than the
+        // single-MBR representation.
+        let total: f64 = boxes.iter().map(|b| b.volume()).sum();
+        assert!(total < o.unsplit_volume());
+    }
+
+    #[test]
+    fn object_without_changes_yields_single_box() {
+        let seg = MotionSegment::moving_point(
+            TimeInterval::new(3, 9),
+            Polynomial::linear(0.1, 0.05),
+            Polynomial::constant(0.5),
+        );
+        let o = Trajectory::new(2, vec![seg]).rasterize();
+        let boxes = piecewise_boxes(&o);
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0].lifetime, TimeInterval::new(3, 9));
+    }
+}

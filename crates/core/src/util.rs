@@ -1,0 +1,49 @@
+//! Small internal utilities shared by the algorithms.
+
+/// An `f64` with total ordering, usable as a `BinaryHeap` key.
+///
+/// The splitting algorithms never produce NaN (volumes are products and
+/// sums of finite coordinates), but `total_cmp` keeps the ordering a
+/// lawful `Ord` regardless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_max_first() {
+        let mut h = BinaryHeap::new();
+        for v in [0.5, -1.0, 3.25, 2.0] {
+            h.push(OrdF64(v));
+        }
+        assert_eq!(h.pop(), Some(OrdF64(3.25)));
+        assert_eq!(h.pop(), Some(OrdF64(2.0)));
+    }
+
+    #[test]
+    fn reverse_gives_min_heap() {
+        use std::cmp::Reverse;
+        let mut h = BinaryHeap::new();
+        for v in [0.5, -1.0, 3.25] {
+            h.push(Reverse(OrdF64(v)));
+        }
+        assert_eq!(h.pop(), Some(Reverse(OrdF64(-1.0))));
+    }
+}

@@ -1,0 +1,84 @@
+//! Record-set statistics feeding the analytical models.
+
+use sti_geom::StBox;
+
+/// Aggregate statistics of a set of space-time boxes (the records a split
+/// plan produces), normalized to the unit space and the evolution length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Number of boxes.
+    pub count: usize,
+    /// Mean spatial extents (fractions of the unit square).
+    pub avg_extent: (f64, f64),
+    /// Mean temporal extent as a fraction of the evolution.
+    pub avg_duration: f64,
+    /// Mean number of boxes alive at a random instant
+    /// (Σ durations / evolution length).
+    pub alive_per_instant: f64,
+    /// Total volume in the paper's measure (area × instants).
+    pub total_volume: f64,
+}
+
+impl BoxStats {
+    /// Compute over a record set. `time_extent` is the evolution length
+    /// in instants.
+    pub fn compute<'a>(boxes: impl IntoIterator<Item = &'a StBox>, time_extent: u32) -> Self {
+        let mut count = 0usize;
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut st = 0.0;
+        let mut vol = 0.0;
+        for b in boxes {
+            count += 1;
+            sx += b.rect.width();
+            sy += b.rect.height();
+            st += b.lifetime.len() as f64;
+            vol += b.volume();
+        }
+        assert!(count > 0, "no boxes");
+        let n = count as f64;
+        Self {
+            count,
+            avg_extent: (sx / n, sy / n),
+            avg_duration: (st / n) / f64::from(time_extent),
+            alive_per_instant: st / f64::from(time_extent),
+            total_volume: vol,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_geom::{Rect2, TimeInterval};
+
+    fn boxes() -> Vec<StBox> {
+        vec![
+            StBox::new(
+                Rect2::from_bounds(0.0, 0.0, 0.1, 0.2),
+                TimeInterval::new(0, 100),
+            ),
+            StBox::new(
+                Rect2::from_bounds(0.5, 0.5, 0.8, 0.6),
+                TimeInterval::new(100, 200),
+            ),
+        ]
+    }
+
+    #[test]
+    fn aggregates_are_correct() {
+        let s = BoxStats::compute(&boxes(), 1000);
+        assert_eq!(s.count, 2);
+        assert!((s.avg_extent.0 - 0.2).abs() < 1e-12); // (0.1 + 0.3) / 2
+        assert!((s.avg_extent.1 - 0.15).abs() < 1e-12); // (0.2 + 0.1) / 2
+        assert!((s.avg_duration - 0.1).abs() < 1e-12);
+        assert!((s.alive_per_instant - 0.2).abs() < 1e-12);
+        assert!((s.total_volume - (0.02 * 100.0 + 0.03 * 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no boxes")]
+    fn rejects_empty() {
+        let _ = BoxStats::compute(&[], 1000);
+    }
+}

@@ -1,0 +1,290 @@
+//! The railway map: 22 cities and 51 tracks approximating California and
+//! New York (paper §V), with a few in-between states and cross-country
+//! connections.
+//!
+//! City positions come from real approximate coordinates projected to a
+//! miles-based plane (distances "approximated to match reality"); the
+//! same positions are independently rescaled into the unit square for
+//! indexing, while leg *durations* are computed from the physical mile
+//! distances.
+
+use sti_geom::Point2;
+
+/// A city on the railway map.
+#[derive(Debug, Clone, Copy)]
+pub struct City {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Position in the unit square (index space).
+    pub pos: Point2,
+    /// Position in the miles plane (for physical distances).
+    pub miles: (f64, f64),
+}
+
+/// A straight railway track between two cities.
+#[derive(Debug, Clone, Copy)]
+pub struct Track {
+    /// City indices.
+    pub a: usize,
+    /// City indices.
+    pub b: usize,
+    /// Physical length in miles.
+    pub miles: f64,
+}
+
+/// The complete railway map with adjacency lists.
+#[derive(Debug, Clone)]
+pub struct RailwayMap {
+    cities: Vec<City>,
+    tracks: Vec<Track>,
+    adjacency: Vec<Vec<(usize, usize)>>, // city -> (neighbor city, track idx)
+}
+
+/// (name, longitude, latitude) of the 22 cities: 9 Californian, 8 New
+/// Yorker, 5 in-between.
+const CITY_COORDS: [(&str, f64, f64); 22] = [
+    // California
+    ("Los Angeles", -118.24, 34.05),
+    ("San Diego", -117.16, 32.72),
+    ("San Jose", -121.89, 37.34),
+    ("San Francisco", -122.42, 37.77),
+    ("Sacramento", -121.49, 38.58),
+    ("Fresno", -119.79, 36.75),
+    ("Bakersfield", -119.02, 35.37),
+    ("Oakland", -122.27, 37.80),
+    ("Long Beach", -118.19, 33.77),
+    // New York
+    ("New York City", -74.01, 40.71),
+    ("Buffalo", -78.88, 42.89),
+    ("Rochester", -77.61, 43.16),
+    ("Syracuse", -76.15, 43.05),
+    ("Albany", -73.76, 42.65),
+    ("Utica", -75.23, 43.10),
+    ("Binghamton", -75.91, 42.10),
+    ("Yonkers", -73.90, 40.93),
+    // In between
+    ("Denver", -104.99, 39.74),
+    ("Chicago", -87.63, 41.88),
+    ("Kansas City", -94.58, 39.10),
+    ("Salt Lake City", -111.89, 40.76),
+    ("Cleveland", -81.69, 41.50),
+];
+
+/// The 51 tracks by city index: 16 intra-California, 14 intra-New-York,
+/// 21 connecting across the country.
+const TRACKS: [(usize, usize); 51] = [
+    // California (16)
+    (0, 1),
+    (0, 8),
+    (0, 6),
+    (6, 5),
+    (5, 2),
+    (2, 3),
+    (3, 7),
+    (7, 4),
+    (4, 3),
+    (2, 7),
+    (0, 5),
+    (4, 5),
+    (1, 8),
+    (6, 2),
+    (0, 3),
+    (1, 6),
+    // New York (14)
+    (9, 16),
+    (16, 13),
+    (13, 14),
+    (14, 12),
+    (12, 11),
+    (11, 10),
+    (9, 13),
+    (9, 15),
+    (15, 12),
+    (13, 15),
+    (13, 12),
+    (10, 12),
+    (9, 12),
+    (11, 15),
+    // Cross country (21)
+    (4, 20),
+    (3, 20),
+    (0, 20),
+    (20, 17),
+    (17, 19),
+    (19, 18),
+    (18, 21),
+    (21, 10),
+    (21, 9),
+    (18, 10),
+    (17, 18),
+    (0, 17),
+    (5, 20),
+    (19, 21),
+    (18, 9),
+    (4, 17),
+    (18, 12),
+    (21, 15),
+    (17, 21),
+    (20, 19),
+    (20, 18),
+];
+
+impl RailwayMap {
+    /// Build the standard 22-city / 51-track map.
+    pub fn us_rail() -> Self {
+        // Flat projection: 1° of longitude ≈ 54.6 mi at these latitudes,
+        // 1° of latitude ≈ 69 mi.
+        let miles_of = |lon: f64, lat: f64| ((lon + 125.0) * 54.6, (lat - 30.0) * 69.0);
+
+        let raw: Vec<(&'static str, (f64, f64))> = CITY_COORDS
+            .iter()
+            .map(|&(name, lon, lat)| (name, miles_of(lon, lat)))
+            .collect();
+
+        // Rescale each axis independently into [0.02, 0.98].
+        let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, (x, y)) in &raw {
+            lo_x = lo_x.min(x);
+            hi_x = hi_x.max(x);
+            lo_y = lo_y.min(y);
+            hi_y = hi_y.max(y);
+        }
+        let unit = |v: f64, lo: f64, hi: f64| 0.02 + 0.96 * (v - lo) / (hi - lo);
+
+        let cities: Vec<City> = raw
+            .into_iter()
+            .map(|(name, (x, y))| City {
+                name,
+                pos: Point2::new(unit(x, lo_x, hi_x), unit(y, lo_y, hi_y)),
+                miles: (x, y),
+            })
+            .collect();
+
+        let tracks: Vec<Track> = TRACKS
+            .iter()
+            .map(|&(a, b)| {
+                assert_ne!(a, b, "degenerate track");
+                let (ax, ay) = cities[a].miles;
+                let (bx, by) = cities[b].miles;
+                Track {
+                    a,
+                    b,
+                    miles: ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt(),
+                }
+            })
+            .collect();
+
+        let mut adjacency = vec![Vec::new(); cities.len()];
+        for (ti, t) in tracks.iter().enumerate() {
+            adjacency[t.a].push((t.b, ti));
+            adjacency[t.b].push((t.a, ti));
+        }
+
+        Self {
+            cities,
+            tracks,
+            adjacency,
+        }
+    }
+
+    /// All cities.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// All tracks.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Cities reachable from `city` by one track: `(neighbor, track)`
+    /// index pairs.
+    pub fn neighbors(&self, city: usize) -> &[(usize, usize)] {
+        &self.adjacency[city]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paper_cardinalities() {
+        let m = RailwayMap::us_rail();
+        assert_eq!(m.cities().len(), 22);
+        assert_eq!(m.tracks().len(), 51);
+    }
+
+    #[test]
+    fn no_duplicate_tracks() {
+        let m = RailwayMap::us_rail();
+        let mut seen = HashSet::new();
+        for t in m.tracks() {
+            let key = (t.a.min(t.b), t.a.max(t.b));
+            assert!(seen.insert(key), "duplicate track {key:?}");
+        }
+    }
+
+    #[test]
+    fn positions_inside_unit_square() {
+        let m = RailwayMap::us_rail();
+        for c in m.cities() {
+            assert!((0.0..=1.0).contains(&c.pos.x), "{} x out of range", c.name);
+            assert!((0.0..=1.0).contains(&c.pos.y), "{} y out of range", c.name);
+        }
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let m = RailwayMap::us_rail();
+        let mut visited = vec![false; m.cities().len()];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        while let Some(c) = stack.pop() {
+            for &(n, _) in m.neighbors(c) {
+                if !visited[n] {
+                    visited[n] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        assert!(
+            visited.iter().all(|&v| v),
+            "railway graph must be connected"
+        );
+    }
+
+    #[test]
+    fn distances_match_reality_roughly() {
+        let m = RailwayMap::us_rail();
+        let find = |name: &str| {
+            m.cities()
+                .iter()
+                .position(|c| c.name == name)
+                .expect("city exists")
+        };
+        let dist = |a: &str, b: &str| {
+            let (ax, ay) = m.cities()[find(a)].miles;
+            let (bx, by) = m.cities()[find(b)].miles;
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        };
+        // LA–SF ≈ 350 mi straight line; NYC–Buffalo ≈ 290 mi;
+        // LA–NYC ≈ 2450 mi.
+        let la_sf = dist("Los Angeles", "San Francisco");
+        assert!((280.0..=420.0).contains(&la_sf), "LA-SF {la_sf}");
+        let nyc_buf = dist("New York City", "Buffalo");
+        assert!((230.0..=350.0).contains(&nyc_buf), "NYC-Buffalo {nyc_buf}");
+        let la_nyc = dist("Los Angeles", "New York City");
+        assert!((2200.0..=2700.0).contains(&la_nyc), "LA-NYC {la_nyc}");
+    }
+
+    #[test]
+    fn every_city_has_a_track() {
+        let m = RailwayMap::us_rail();
+        for (i, c) in m.cities().iter().enumerate() {
+            assert!(!m.neighbors(i).is_empty(), "{} is isolated", c.name);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Orbiting bodies: the introduction's "planetary movements" motivation.
+//!
+//! Bodies revolve around randomly placed centers. Circular motion is the
+//! worst case for single-MBR approximation — the bounding box of a whole
+//! revolution is the full orbit square regardless of the body's size —
+//! and a nasty case for greedy split distribution: half an orbit gains
+//! little, quarters gain a lot (a natural fig.-4 monotonicity violation).
+
+use crate::TIME_EXTENT;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sti_geom::{Point2, Rect2, Time};
+use sti_trajectory::RasterizedObject;
+
+/// Specification of an orbital dataset.
+#[derive(Debug, Clone)]
+pub struct OrbitDatasetSpec {
+    /// Number of bodies.
+    pub num_bodies: usize,
+    /// Evolution length in instants.
+    pub time_extent: Time,
+    /// Lifetime bounds in instants (inclusive).
+    pub lifetime: (u32, u32),
+    /// Orbit radius bounds as fractions of the space (inclusive).
+    pub radius: (f64, f64),
+    /// Revolution period bounds in instants (inclusive).
+    pub period: (u32, u32),
+    /// Body side extent bounds (inclusive).
+    pub extent: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl OrbitDatasetSpec {
+    /// A reasonable default configuration for `n` bodies.
+    pub fn standard(n: usize) -> Self {
+        Self {
+            num_bodies: n,
+            time_extent: TIME_EXTENT,
+            lifetime: (20, 100),
+            radius: (0.02, 0.15),
+            period: (20, 120),
+            extent: (0.002, 0.01),
+            seed: 0x5eed_0003,
+        }
+    }
+
+    /// Generate the rasterized bodies. Segment boundaries are recorded at
+    /// quarter-revolution marks (where the dominant motion axis flips),
+    /// giving the piecewise baseline a fair representation.
+    pub fn generate(&self) -> Vec<RasterizedObject> {
+        assert!(self.lifetime.0 >= 1 && self.lifetime.0 <= self.lifetime.1);
+        assert!(self.lifetime.1 < self.time_extent);
+        assert!(self.period.0 >= 4);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.num_bodies)
+            .map(|id| {
+                let life = rng.random_range(self.lifetime.0..=self.lifetime.1);
+                let start: Time = rng.random_range(0..=(self.time_extent - life));
+                let r = rng.random_range(self.radius.0..=self.radius.1);
+                let period = rng.random_range(self.period.0..=self.period.1);
+                let phase = rng.random_range(0.0..std::f64::consts::TAU);
+                let clockwise = rng.random_bool(0.5);
+                let w = rng.random_range(self.extent.0..=self.extent.1);
+                let margin = r + w;
+                let cx = rng.random_range(margin..=(1.0 - margin));
+                let cy = rng.random_range(margin..=(1.0 - margin));
+
+                let omega =
+                    std::f64::consts::TAU / f64::from(period) * if clockwise { -1.0 } else { 1.0 };
+                let rects: Vec<Rect2> = (0..life)
+                    .map(|tau| {
+                        let a = phase + omega * f64::from(tau);
+                        Rect2::centered(Point2::new(cx + r * a.cos(), cy + r * a.sin()), w, w)
+                    })
+                    .collect();
+                // Boundaries at quarter periods (interior only).
+                let quarter = (period / 4).max(1);
+                let boundaries: Vec<usize> = (1..life)
+                    .filter(|t| t % quarter == 0)
+                    .map(|t| t as usize)
+                    .collect();
+                RasterizedObject::with_boundaries(id as u64, start, rects, boundaries)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_stay_in_the_unit_square() {
+        for o in OrbitDatasetSpec::standard(200).generate() {
+            for i in 0..o.len() {
+                assert!(
+                    Rect2::UNIT.contains_rect(&o.rect(i)),
+                    "body {} escapes",
+                    o.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = OrbitDatasetSpec::standard(50).generate();
+        let b = OrbitDatasetSpec::standard(50).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_revolution_wastes_most_of_the_orbit_square() {
+        // A body that completes about one revolution has an unsplit MBR
+        // ≈ the whole orbit square; pieces short enough to cover less
+        // than a quarter arc must reclaim well over half the volume.
+        let spec = OrbitDatasetSpec {
+            lifetime: (80, 100),
+            period: (80, 100),
+            ..OrbitDatasetSpec::standard(40)
+        };
+        let objs = spec.generate();
+        let mut improved = 0;
+        for o in &objs {
+            let whole = o.unsplit_volume();
+            let n = o.len();
+            let cuts: Vec<usize> = (1..8).map(|i| i * n / 8).collect();
+            if o.volume_for_cuts(&cuts) < whole * 0.6 {
+                improved += 1;
+            }
+        }
+        assert!(
+            improved > objs.len() / 2,
+            "only {improved} orbits benefit from splits"
+        );
+    }
+
+    #[test]
+    fn orbits_produce_nonmonotone_gain_curves() {
+        use sti_trajectory::RasterizedObject;
+        // One split of a full circle barely helps (two half-moons still
+        // span the diameter); the paper's Claim 1 fails — exactly what
+        // LAGreedy exists for. Verify at least some bodies show
+        // gain(2) > gain(1).
+        let spec = OrbitDatasetSpec {
+            lifetime: (80, 100),
+            period: (80, 100),
+            ..OrbitDatasetSpec::standard(60)
+        };
+        let objs: Vec<RasterizedObject> = spec.generate();
+        let mut violations = 0;
+        for o in &objs {
+            let v0 = o.unsplit_volume();
+            let v1 = o.volume_for_cuts(&[o.len() / 2]);
+            let v2 = o.volume_for_cuts(&[o.len() / 3, 2 * o.len() / 3]);
+            let g1 = v0 - v1;
+            let g2 = v1 - v2;
+            if g2 > g1 * 1.05 {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations > 0,
+            "expected some monotonicity violations among orbits"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Snapshot and range query sets (Table II).
+
+use crate::TIME_EXTENT;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sti_geom::{Rect2, Time, TimeInterval};
+
+/// One topological query: "find all objects that appear in `area` during
+/// `range`". Snapshot queries have `range.len() == 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Spatial query window.
+    pub area: Rect2,
+    /// Temporal window (half-open instants).
+    pub range: TimeInterval,
+}
+
+impl Query {
+    /// True for single-instant (snapshot) queries.
+    pub fn is_snapshot(&self) -> bool {
+        self.range.len() == 1
+    }
+}
+
+/// Specification of one of Table II's query sets.
+#[derive(Debug, Clone)]
+pub struct QuerySetSpec {
+    /// Display name ("Tiny", "Small", …).
+    pub name: &'static str,
+    /// Number of queries (paper: 1000).
+    pub cardinality: usize,
+    /// Query-side extents as *percentages* of the space side (inclusive
+    /// range). Table II's "Extents (%)".
+    pub extent_pct: (f64, f64),
+    /// Duration bounds in instants (inclusive). (1, 1) for snapshots.
+    pub duration: (u32, u32),
+    /// Evolution length queries are drawn from.
+    pub time_extent: Time,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl QuerySetSpec {
+    fn new(name: &'static str, extent_pct: (f64, f64), duration: (u32, u32), seed: u64) -> Self {
+        Self {
+            name,
+            cardinality: 1000,
+            extent_pct,
+            duration,
+            time_extent: TIME_EXTENT,
+            seed,
+        }
+    }
+
+    /// Tiny snapshot queries: extents 0.01–0.1%, duration 1.
+    pub fn tiny_snapshot() -> Self {
+        Self::new("Tiny", (0.01, 0.1), (1, 1), q_seed(1))
+    }
+
+    /// Small snapshot queries: extents 0.1–1%, duration 1.
+    pub fn small_snapshot() -> Self {
+        Self::new("Small", (0.1, 1.0), (1, 1), q_seed(2))
+    }
+
+    /// Mixed snapshot queries: extents 0.1–5%, duration 1.
+    pub fn mixed_snapshot() -> Self {
+        Self::new("Mixed", (0.1, 5.0), (1, 1), q_seed(3))
+    }
+
+    /// Large snapshot queries: extents 1–5%, duration 1.
+    pub fn large_snapshot() -> Self {
+        Self::new("Large", (1.0, 5.0), (1, 1), q_seed(4))
+    }
+
+    /// Small range queries: extents 0.1–1%, duration 1–10.
+    pub fn small_range() -> Self {
+        Self::new("Small", (0.1, 1.0), (1, 10), q_seed(5))
+    }
+
+    /// Medium range queries: extents 0.1–1%, duration 10–50.
+    pub fn medium_range() -> Self {
+        Self::new("Medium", (0.1, 1.0), (10, 50), q_seed(6))
+    }
+
+    /// Generate the query set.
+    pub fn generate(&self) -> Vec<Query> {
+        assert!(self.extent_pct.0 > 0.0 && self.extent_pct.0 <= self.extent_pct.1);
+        assert!(self.duration.0 >= 1 && self.duration.0 <= self.duration.1);
+        assert!(self.duration.1 <= self.time_extent);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.cardinality)
+            .map(|_| {
+                let w = rng.random_range(self.extent_pct.0..=self.extent_pct.1) / 100.0;
+                let h = rng.random_range(self.extent_pct.0..=self.extent_pct.1) / 100.0;
+                let x = rng.random_range(0.0..=(1.0 - w));
+                let y = rng.random_range(0.0..=(1.0 - h));
+                let dur = rng.random_range(self.duration.0..=self.duration.1);
+                let start: Time = rng.random_range(0..=(self.time_extent - dur));
+                Query {
+                    area: Rect2::from_bounds(x, y, x + w, y + h),
+                    range: TimeInterval::new(start, start + dur),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Distinct stable seed per built-in query set.
+fn q_seed(k: u64) -> u64 {
+    0x5eed_0100 + k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sets_have_duration_one() {
+        for spec in [
+            QuerySetSpec::tiny_snapshot(),
+            QuerySetSpec::small_snapshot(),
+            QuerySetSpec::mixed_snapshot(),
+            QuerySetSpec::large_snapshot(),
+        ] {
+            let qs = spec.generate();
+            assert_eq!(qs.len(), 1000);
+            assert!(
+                qs.iter().all(Query::is_snapshot),
+                "{} not snapshots",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn extents_and_durations_in_range() {
+        let spec = QuerySetSpec::medium_range();
+        for q in spec.generate() {
+            assert!(q.area.width() >= 0.001 - 1e-12 && q.area.width() <= 0.01 + 1e-12);
+            assert!(q.area.height() >= 0.001 - 1e-12 && q.area.height() <= 0.01 + 1e-12);
+            let d = q.range.len();
+            assert!((10..=50).contains(&(d as u32)));
+            assert!(q.range.end <= TIME_EXTENT);
+            assert!(Rect2::UNIT.contains_rect(&q.area));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_distinct_seeds() {
+        let a = QuerySetSpec::small_snapshot().generate();
+        let b = QuerySetSpec::small_snapshot().generate();
+        assert_eq!(a, b);
+        let c = QuerySetSpec::tiny_snapshot().generate();
+        assert_ne!(a[0], c[0], "different sets use different seeds");
+    }
+
+    #[test]
+    fn large_queries_are_larger_than_tiny() {
+        let tiny: f64 = QuerySetSpec::tiny_snapshot()
+            .generate()
+            .iter()
+            .map(|q| q.area.area())
+            .sum();
+        let large: f64 = QuerySetSpec::large_snapshot()
+            .generate()
+            .iter()
+            .map(|q| q.area.area())
+            .sum();
+        assert!(large > tiny * 100.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! The uniform "random moving rectangles" datasets.
+
+use crate::TIME_EXTENT;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sti_geom::{Point2, Rect2, Time};
+use sti_trajectory::RasterizedObject;
+
+/// Specification of a random dataset, defaulted to the paper's §V
+/// parameters: lifetimes uniform in 1..=100 instants within a
+/// 1000-instant evolution, movement approximated by 1–10 polynomial
+/// segments of degree 1 or 2 with random coefficients, movements
+/// normalized into the unit square, rectangle extents uniform in
+/// 0.1%–1% of the space per side.
+#[derive(Debug, Clone)]
+pub struct RandomDatasetSpec {
+    /// Number of objects (paper: 10k / 30k / 50k / 80k).
+    pub num_objects: usize,
+    /// Evolution length in instants.
+    pub time_extent: Time,
+    /// Lifetime bounds (inclusive).
+    pub lifetime: (u32, u32),
+    /// Polynomial segment count bounds (inclusive).
+    pub segments: (u32, u32),
+    /// Rectangle side extents as fractions of the space (inclusive).
+    pub extent: (f64, f64),
+    /// Largest per-instant speed along each axis (fraction of the space
+    /// per instant). Segment velocities are uniform in `±max_velocity`.
+    pub max_velocity: f64,
+    /// Largest per-instant² acceleration for degree-2 segments.
+    pub max_acceleration: f64,
+    /// RNG seed: same seed, same dataset.
+    pub seed: u64,
+}
+
+impl RandomDatasetSpec {
+    /// The paper's configuration for `n` objects.
+    pub fn paper(n: usize) -> Self {
+        Self {
+            num_objects: n,
+            time_extent: TIME_EXTENT,
+            lifetime: (1, 100),
+            segments: (1, 10),
+            extent: (0.001, 0.01),
+            max_velocity: 0.004,
+            max_acceleration: 0.0002,
+            seed: 0x5eed_0001,
+        }
+    }
+
+    /// Generate the dataset. Objects are produced rasterized (one
+    /// rectangle per alive instant) with segment boundaries recorded for
+    /// the piecewise baseline. Object ids are `0..num_objects`.
+    pub fn generate(&self) -> Vec<RasterizedObject> {
+        assert!(self.lifetime.0 >= 1 && self.lifetime.0 <= self.lifetime.1);
+        assert!(self.segments.0 >= 1 && self.segments.0 <= self.segments.1);
+        assert!(
+            self.lifetime.1 < self.time_extent,
+            "lifetime exceeds evolution"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.num_objects)
+            .map(|id| self.generate_object(id as u64, &mut rng))
+            .collect()
+    }
+
+    fn generate_object(&self, id: u64, rng: &mut StdRng) -> RasterizedObject {
+        let life = rng.random_range(self.lifetime.0..=self.lifetime.1);
+        let start: Time = rng.random_range(0..=(self.time_extent - life));
+        let w = rng.random_range(self.extent.0..=self.extent.1);
+        let h = rng.random_range(self.extent.0..=self.extent.1);
+
+        // Partition the lifetime into 1..=segments pieces (each ≥ 1
+        // instant) and give each piece a random degree-1/2 polynomial
+        // motion in local time.
+        let nseg = rng
+            .random_range(self.segments.0..=self.segments.1)
+            .min(life);
+        let mut cut_points: Vec<u32> = (0..nseg - 1).map(|_| rng.random_range(1..life)).collect();
+        cut_points.sort_unstable();
+        cut_points.dedup();
+
+        // Per-tick velocity up to ~0.4% of the space, acceleration an
+        // order of magnitude below: over a ~50-instant lifetime objects
+        // sweep 10–20% of the square — enough empty space for splitting
+        // to pay off in the PPR-Tree, while the extra records it creates
+        // still hurt the 3D R*-Tree (the paper's fig. 15 trade-off).
+        let mut centers = Vec::with_capacity(life as usize);
+        let mut pos = Point2::new(rng.random::<f64>(), rng.random::<f64>());
+        let mut boundaries = Vec::with_capacity(cut_points.len());
+        let mut seg_start = 0u32;
+        for seg in 0..=cut_points.len() {
+            let seg_end = if seg == cut_points.len() {
+                life
+            } else {
+                cut_points[seg]
+            };
+            if seg > 0 {
+                boundaries.push(seg_start as usize);
+            }
+            let degree2 = rng.random_bool(0.5);
+            let vx = rng.random_range(-self.max_velocity..self.max_velocity);
+            let vy = rng.random_range(-self.max_velocity..self.max_velocity);
+            let (ax, ay) = if degree2 {
+                (
+                    rng.random_range(-self.max_acceleration..self.max_acceleration),
+                    rng.random_range(-self.max_acceleration..self.max_acceleration),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            for tau in 0..(seg_end - seg_start) {
+                let tf = f64::from(tau);
+                centers.push(Point2::new(
+                    pos.x + vx * tf + ax * tf * tf,
+                    pos.y + vy * tf + ay * tf * tf,
+                ));
+            }
+            // Continuity: the next segment starts where this one ends.
+            let tf = f64::from(seg_end - seg_start);
+            pos = Point2::new(
+                pos.x + vx * tf + ax * tf * tf,
+                pos.y + vy * tf + ay * tf * tf,
+            );
+            seg_start = seg_end;
+        }
+        debug_assert_eq!(centers.len(), life as usize);
+
+        normalize_centers(&mut centers, w, h);
+        let rects = centers.iter().map(|c| Rect2::centered(*c, w, h)).collect();
+        RasterizedObject::with_boundaries(id, start, rects, boundaries)
+    }
+}
+
+/// Normalize a center trajectory so every rectangle lies inside the unit
+/// square ("all movements are normalized in the unit square", §V): the
+/// centers are affinely mapped into `[half-extent, 1 − half-extent]²`
+/// only when they stray outside; in-bounds trajectories are untouched.
+fn normalize_centers(centers: &mut [Point2], w: f64, h: f64) {
+    let (mut lo_x, mut hi_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lo_y, mut hi_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for c in centers.iter() {
+        lo_x = lo_x.min(c.x);
+        hi_x = hi_x.max(c.x);
+        lo_y = lo_y.min(c.y);
+        hi_y = hi_y.max(c.y);
+    }
+    let map_axis = |lo: f64, hi: f64, margin: f64| -> (f64, f64) {
+        // Returns (scale, offset) mapping [lo, hi] into [margin, 1 - margin].
+        let target_lo = margin;
+        let target_hi = 1.0 - margin;
+        if lo >= target_lo && hi <= target_hi {
+            return (1.0, 0.0);
+        }
+        let span = (hi - lo).max(1e-12);
+        let scale = ((target_hi - target_lo) / span).min(1.0);
+        let offset =
+            target_lo - lo * scale + ((target_hi - target_lo) - (hi - lo) * scale).max(0.0) / 2.0;
+        (scale, offset)
+    };
+    let (sx, ox) = map_axis(lo_x, hi_x, w / 2.0);
+    let (sy, oy) = map_axis(lo_y, hi_y, h / 2.0);
+    if sx == 1.0 && ox == 0.0 && sy == 1.0 && oy == 0.0 {
+        return;
+    }
+    for c in centers.iter_mut() {
+        c.x = (c.x * sx + ox).clamp(w / 2.0, 1.0 - w / 2.0);
+        c.y = (c.y * sy + oy).clamp(h / 2.0, 1.0 - h / 2.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize) -> RandomDatasetSpec {
+        RandomDatasetSpec {
+            seed: 99,
+            ..RandomDatasetSpec::paper(n)
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = spec(50).generate();
+        let b = spec(50).generate();
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+        let c = RandomDatasetSpec {
+            seed: 100,
+            ..spec(50)
+        }
+        .generate();
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x != y),
+            "different seed, different data"
+        );
+    }
+
+    #[test]
+    fn respects_paper_parameter_ranges() {
+        let objs = spec(300).generate();
+        for o in &objs {
+            let life = o.len() as u32;
+            assert!((1..=100).contains(&life), "lifetime {life}");
+            let end = o.start() + life;
+            assert!(end <= TIME_EXTENT, "object exceeds the evolution");
+            // every rect inside the unit square, extents in range
+            for i in 0..o.len() {
+                let r = o.rect(i);
+                assert!(
+                    Rect2::UNIT.contains_rect(&r),
+                    "object {} leaves the space",
+                    o.id()
+                );
+                assert!(r.width() >= 0.001 - 1e-9 && r.width() <= 0.01 + 1e-9);
+                assert!(r.height() >= 0.001 - 1e-9 && r.height() <= 0.01 + 1e-9);
+            }
+            // boundaries are interior and fewer than 10
+            assert!(o.boundaries().len() < 10);
+        }
+    }
+
+    #[test]
+    fn lifetimes_average_near_fifty() {
+        let objs = spec(2000).generate();
+        let avg: f64 = objs.iter().map(|o| o.len() as f64).sum::<f64>() / objs.len() as f64;
+        assert!(
+            (45.0..=56.0).contains(&avg),
+            "avg lifetime {avg} far from 50"
+        );
+    }
+
+    #[test]
+    fn objects_actually_move() {
+        let objs = spec(200).generate();
+        let moving = objs
+            .iter()
+            .filter(|o| o.len() > 5)
+            .filter(|o| {
+                let whole = o.unsplit_volume();
+                let per: f64 = (0..o.len()).map(|i| o.rect(i).area()).sum();
+                whole > per * 1.5 // unsplit box much larger than the sum of instants
+            })
+            .count();
+        assert!(moving > 100, "only {moving} objects show real movement");
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let objs = spec(20).generate();
+        for (i, o) in objs.iter().enumerate() {
+            assert_eq!(o.id(), i as u64);
+        }
+    }
+}

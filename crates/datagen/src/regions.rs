@@ -1,0 +1,194 @@
+//! Evolving regions: the introduction's "satellite and earth change
+//! data (evolution of forest boundaries)" motivation, and fig. 6's
+//! object that "keeps constant extent along the x-axis and changes
+//! extent along the y-axis".
+//!
+//! Regions drift slowly while their extents grow and shrink through
+//! quadratic pulses — the only generator in the workspace that exercises
+//! non-constant `w(t)` / `h(t)` polynomials end to end.
+
+use crate::TIME_EXTENT;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sti_geom::{Time, TimeInterval};
+use sti_trajectory::{MotionSegment, Polynomial, RasterizedObject, Trajectory};
+
+/// Specification of an evolving-regions dataset.
+#[derive(Debug, Clone)]
+pub struct RegionDatasetSpec {
+    /// Number of regions.
+    pub num_regions: usize,
+    /// Evolution length in instants.
+    pub time_extent: Time,
+    /// Lifetime bounds in instants (inclusive).
+    pub lifetime: (u32, u32),
+    /// Base side extent bounds (inclusive, fraction of the space).
+    pub base_extent: (f64, f64),
+    /// Largest relative growth of an extent pulse (1.0 = can double).
+    pub max_growth: f64,
+    /// Drift speed bound per instant.
+    pub max_drift: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RegionDatasetSpec {
+    /// A reasonable default configuration for `n` regions.
+    pub fn standard(n: usize) -> Self {
+        Self {
+            num_regions: n,
+            time_extent: TIME_EXTENT,
+            lifetime: (30, 100),
+            base_extent: (0.01, 0.05),
+            max_growth: 1.0,
+            max_drift: 0.001,
+            seed: 0x5eed_0004,
+        }
+    }
+
+    /// Generate the regions as full trajectories (2–4 motion segments,
+    /// each pulsing one or both extents quadratically).
+    pub fn generate(&self) -> Vec<Trajectory> {
+        assert!(self.lifetime.0 >= 4 && self.lifetime.0 <= self.lifetime.1);
+        assert!(self.lifetime.1 < self.time_extent);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.num_regions)
+            .map(|id| self.generate_region(id as u64, &mut rng))
+            .collect()
+    }
+
+    /// Generate and rasterize.
+    pub fn generate_rasterized(&self) -> Vec<RasterizedObject> {
+        self.generate().iter().map(Trajectory::rasterize).collect()
+    }
+
+    fn generate_region(&self, id: u64, rng: &mut StdRng) -> Trajectory {
+        let life = rng.random_range(self.lifetime.0..=self.lifetime.1);
+        let start: Time = rng.random_range(0..=(self.time_extent - life));
+        let w0 = rng.random_range(self.base_extent.0..=self.base_extent.1);
+        let h0 = rng.random_range(self.base_extent.0..=self.base_extent.1);
+        // Keep the fully grown region inside the square.
+        let grown = (w0.max(h0)) * (1.0 + self.max_growth);
+        let cx = rng.random_range(grown..=(1.0 - grown));
+        let cy = rng.random_range(grown..=(1.0 - grown));
+
+        let nseg = rng.random_range(2..=4u32).min(life / 2);
+        let mut cuts: Vec<u32> = (1..nseg).map(|i| i * life / nseg).collect();
+        cuts.dedup();
+
+        let mut segments = Vec::new();
+        let mut seg_start = 0u32;
+        let mut pos = (cx, cy);
+        let mut extents = (w0, h0);
+        for (i, &cut) in cuts.iter().chain(std::iter::once(&life)).enumerate() {
+            let dur = f64::from(cut - seg_start);
+            let vx = rng.random_range(-self.max_drift..=self.max_drift);
+            let vy = rng.random_range(-self.max_drift..=self.max_drift);
+            // A quadratic pulse per axis: extent(τ) = e0 + b·τ + c·τ²,
+            // returning near its start by the end of the segment (growth
+            // then shrink) — the fig. 6 shape. On even segments only the
+            // y extent pulses; on odd, both.
+            let pulse = |rng: &mut StdRng, e0: f64, dur: f64| {
+                let peak = rng.random_range(0.0..=self.max_growth) * e0;
+                // b·τ + c·τ² with max at τ = dur/2 reaching `peak`.
+                let b = 4.0 * peak / dur;
+                let c = -4.0 * peak / (dur * dur);
+                Polynomial::quadratic(e0, b, c)
+            };
+            let w_poly = if i % 2 == 0 {
+                Polynomial::constant(extents.0)
+            } else {
+                pulse(rng, extents.0, dur)
+            };
+            let h_poly = pulse(rng, extents.1, dur);
+            segments.push(MotionSegment {
+                interval: TimeInterval::new(start + seg_start, start + cut),
+                x: Polynomial::linear(pos.0, vx),
+                y: Polynomial::linear(pos.1, vy),
+                w: w_poly.clone(),
+                h: h_poly.clone(),
+            });
+            pos = (pos.0 + vx * dur, pos.1 + vy * dur);
+            extents = (w_poly.eval(dur).max(1e-4), h_poly.eval(dur).max(1e-4));
+            seg_start = cut;
+        }
+        Trajectory::new(id, segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_geom::Rect2;
+
+    #[test]
+    fn regions_stay_in_the_unit_square() {
+        for o in RegionDatasetSpec::standard(150).generate_rasterized() {
+            for i in 0..o.len() {
+                assert!(
+                    Rect2::UNIT.contains_rect(&o.rect(i)),
+                    "region {} escapes",
+                    o.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = RegionDatasetSpec::standard(40).generate();
+        let b = RegionDatasetSpec::standard(40).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extents_actually_change_over_time() {
+        let objs = RegionDatasetSpec::standard(100).generate_rasterized();
+        let changing = objs
+            .iter()
+            .filter(|o| {
+                let first = o.rect(0);
+                (0..o.len())
+                    .any(|i| (o.rect(i).height() - first.height()).abs() > first.height() * 0.2)
+            })
+            .count();
+        assert!(changing > 50, "only {changing} regions pulse their extents");
+    }
+
+    #[test]
+    fn fig6_shape_constant_x_changing_y_exists() {
+        // Even-indexed segments keep w constant while h pulses — fig. 6.
+        let trajs = RegionDatasetSpec::standard(50).generate();
+        let mut found = false;
+        for tr in &trajs {
+            let seg = &tr.segments()[0];
+            if seg.w.degree() == 0 && seg.h.degree() == 2 {
+                found = true;
+                // Verify the rasterized shape: width constant, height not.
+                let life = seg.interval;
+                let a = seg.rect_at(life.start).expect("inside");
+                let mid = seg
+                    .rect_at(life.start + life.len() as u32 / 2)
+                    .expect("inside");
+                assert!((a.width() - mid.width()).abs() < 1e-12);
+            }
+        }
+        assert!(found, "no fig.-6-style segment generated");
+    }
+
+    #[test]
+    fn splitting_helps_pulsing_regions() {
+        // A region that doubles then shrinks wastes volume in one MBR.
+        let spec = RegionDatasetSpec {
+            max_growth: 1.0,
+            ..RegionDatasetSpec::standard(80)
+        };
+        let objs = spec.generate_rasterized();
+        let helped = objs
+            .iter()
+            .filter(|o| o.len() >= 8)
+            .filter(|o| o.volume_for_cuts(&[o.len() / 2]) < o.unsplit_volume() * 0.95)
+            .count();
+        assert!(helped > 20, "only {helped} regions benefit from a split");
+    }
+}

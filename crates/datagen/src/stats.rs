@@ -1,0 +1,119 @@
+//! Per-dataset statistics: the rows of Table I.
+
+use sti_trajectory::RasterizedObject;
+
+/// The statistics the paper reports per dataset in Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of objects.
+    pub total_objects: usize,
+    /// Average number of alive objects per time instant
+    /// (Σ lifetimes / evolution length).
+    pub objects_per_instant: f64,
+    /// Total motion segments across all objects (each object contributes
+    /// `boundaries + 1`).
+    pub total_segments: usize,
+    /// Average object lifetime in instants.
+    pub avg_lifetime: f64,
+    /// Smallest and largest rectangle side observed, as fractions of the
+    /// space (0 for point datasets).
+    pub extent_range: (f64, f64),
+}
+
+impl DatasetStats {
+    /// Compute the statistics over a rasterized dataset.
+    pub fn compute(objects: &[RasterizedObject], time_extent: u32) -> Self {
+        assert!(!objects.is_empty(), "empty dataset");
+        let total_lifetime: u64 = objects.iter().map(|o| o.len() as u64).sum();
+        let total_segments: usize = objects.iter().map(|o| o.boundaries().len() + 1).sum();
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for o in objects {
+            for i in 0..o.len() {
+                let r = o.rect(i);
+                lo = lo.min(r.width().min(r.height()));
+                hi = hi.max(r.width().max(r.height()));
+            }
+        }
+        Self {
+            total_objects: objects.len(),
+            objects_per_instant: total_lifetime as f64 / f64::from(time_extent),
+            total_segments,
+            avg_lifetime: total_lifetime as f64 / objects.len() as f64,
+            extent_range: (lo, hi),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Total Objects              {}", self.total_objects)?;
+        writeln!(
+            f,
+            "Objects Per Instant (Avg.) {:.3}",
+            self.objects_per_instant
+        )?;
+        writeln!(f, "Total Segments             {}", self.total_segments)?;
+        writeln!(f, "Object Lifetime (Avg.)     {:.1}", self.avg_lifetime)?;
+        write!(
+            f,
+            "Object Extent (%)          {:.2}%-{:.2}%",
+            self.extent_range.0 * 100.0,
+            self.extent_range.1 * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RailwayDatasetSpec, RandomDatasetSpec, TIME_EXTENT};
+
+    #[test]
+    fn random_dataset_matches_table_one_shape() {
+        let objs = RandomDatasetSpec::paper(1000).generate();
+        let s = DatasetStats::compute(&objs, TIME_EXTENT);
+        assert_eq!(s.total_objects, 1000);
+        // ≈ N · 50 / 1000 alive per instant.
+        assert!(
+            (35.0..=70.0).contains(&s.objects_per_instant),
+            "{}",
+            s.objects_per_instant
+        );
+        assert!((40.0..=60.0).contains(&s.avg_lifetime));
+        // Extents within the paper's 0.1%–1% band.
+        assert!(s.extent_range.0 >= 0.001 - 1e-9);
+        assert!(s.extent_range.1 <= 0.01 + 1e-9);
+        // Segments: between 1 and 10 per object.
+        assert!(s.total_segments >= 1000 && s.total_segments <= 10_000);
+    }
+
+    #[test]
+    fn railway_dataset_matches_table_one_shape() {
+        let objs = RailwayDatasetSpec::paper(1000).generate_rasterized();
+        let s = DatasetStats::compute(&objs, TIME_EXTENT);
+        // Table I: avg lifetime ≈ 18, ≈ 2.8 segments per train.
+        assert!(
+            (10.0..=28.0).contains(&s.avg_lifetime),
+            "{}",
+            s.avg_lifetime
+        );
+        assert!(s.total_segments >= 1500, "{}", s.total_segments);
+        assert_eq!(s.extent_range.0, 0.0, "trains are points");
+    }
+
+    #[test]
+    fn display_has_all_rows() {
+        let objs = RandomDatasetSpec::paper(10).generate();
+        let text = DatasetStats::compute(&objs, TIME_EXTENT).to_string();
+        for needle in [
+            "Total Objects",
+            "Objects Per Instant",
+            "Total Segments",
+            "Lifetime",
+            "Extent",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Space-time boxes: a spatial MBR paired with a lifetime interval.
+
+use crate::{Rect2, TimeInterval};
+
+/// A space-time box: the unit of data every index in this workspace stores.
+///
+/// A spatiotemporal object with lifetime `[t_s, t_e)` is represented by one
+/// or more space-time boxes produced by the splitting algorithms; each box
+/// covers a consecutive sub-interval of the lifetime with the spatial MBR
+/// of the object over that sub-interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StBox {
+    /// Spatial MBR over the box's lifetime.
+    pub rect: Rect2,
+    /// Half-open lifetime `[start, end)`.
+    pub lifetime: TimeInterval,
+}
+
+impl StBox {
+    /// Pair a spatial rectangle with a lifetime.
+    #[inline]
+    pub fn new(rect: Rect2, lifetime: TimeInterval) -> Self {
+        Self { rect, lifetime }
+    }
+
+    /// The paper's volume measure: spatial area × number of instants
+    /// covered. Minimizing the summed volume of all boxes is exactly the
+    /// objective of the splitting algorithms.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.rect.area() * self.lifetime.len() as f64
+    }
+
+    /// True if this box is part of the answer to the topological query
+    /// "objects intersecting `area` during `range`".
+    #[inline]
+    pub fn matches(&self, area: &Rect2, range: &TimeInterval) -> bool {
+        self.lifetime.overlaps(range) && self.rect.intersects(area)
+    }
+
+    /// Smallest space-time box covering both operands.
+    #[inline]
+    pub fn cover(&self, other: &StBox) -> StBox {
+        StBox {
+            rect: self.rect.union(&other.rect),
+            lifetime: self.lifetime.cover(&other.lifetime),
+        }
+    }
+}
+
+impl std::fmt::Display for StBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.4},{:.4}]x[{:.4},{:.4}]@{}",
+            self.rect.lo.x, self.rect.hi.x, self.rect.lo.y, self.rect.hi.y, self.lifetime
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, Point2};
+
+    fn sb(x0: f64, y0: f64, x1: f64, y1: f64, t0: u32, t1: u32) -> StBox {
+        StBox::new(
+            Rect2::from_bounds(x0, y0, x1, y1),
+            TimeInterval::new(t0, t1),
+        )
+    }
+
+    #[test]
+    fn volume_is_area_times_duration() {
+        let b = sb(0.0, 0.0, 0.5, 0.2, 10, 20);
+        assert!(approx_eq(b.volume(), 0.5 * 0.2 * 10.0));
+        // a single-instant box still has nonzero volume weight 1
+        assert!(approx_eq(sb(0.0, 0.0, 1.0, 1.0, 5, 6).volume(), 1.0));
+        // an empty lifetime yields zero volume
+        assert_eq!(sb(0.0, 0.0, 1.0, 1.0, 5, 5).volume(), 0.0);
+    }
+
+    #[test]
+    fn matches_needs_both_time_and_space() {
+        let b = sb(0.0, 0.0, 0.5, 0.5, 10, 20);
+        let q = Rect2::from_bounds(0.4, 0.4, 0.6, 0.6);
+        assert!(b.matches(&q, &TimeInterval::instant(15)));
+        assert!(!b.matches(&q, &TimeInterval::instant(20))); // after lifetime
+        assert!(!b.matches(
+            &Rect2::from_bounds(0.6, 0.6, 0.7, 0.7),
+            &TimeInterval::instant(15)
+        ));
+    }
+
+    #[test]
+    fn cover_covers_both() {
+        let a = sb(0.0, 0.0, 0.2, 0.2, 0, 5);
+        let b = sb(0.5, 0.5, 0.9, 0.9, 10, 12);
+        let c = a.cover(&b);
+        assert_eq!(c.lifetime, TimeInterval::new(0, 12));
+        assert!(c.rect.contains_rect(&a.rect));
+        assert!(c.rect.contains_rect(&b.rect));
+        assert!(c.rect.contains_point(&Point2::new(0.9, 0.9)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let b = sb(0.0, 0.0, 0.5, 0.25, 1, 4);
+        assert_eq!(b.to_string(), "[0.0000,0.5000]x[0.0000,0.2500]@[1, 4)");
+    }
+}

@@ -1,0 +1,22 @@
+//! A historical R-Tree (HR-Tree): the *overlapping* approach to partial
+//! persistence (Nascimento & Silva 1998; Burton et al.'s overlapping
+//! B-trees — references \[17\] and \[4\] of the paper).
+//!
+//! Conceptually one 2D R-Tree exists per time instant; since consecutive
+//! trees differ in only a few nodes, unchanged branches are physically
+//! *shared* between versions. Every update path-copies the nodes from
+//! the root to the touched leaf — O(height) fresh pages per change —
+//! which is exactly the "logarithmic overhead on the index storage
+//! requirements" the paper cites (§I) as the reason to prefer the
+//! multi-version PPR-Tree. The `ablation_overlapping` bench target
+//! measures that trade-off.
+//!
+//! Nodes are immutable once written (a functional data structure over
+//! disk pages); updates never mutate shared history, so every historical
+//! version stays exactly queryable.
+
+pub mod node;
+pub mod tree;
+
+pub use node::{HrEntry, HrNode, HrParams};
+pub use tree::HrTree;

@@ -1,0 +1,206 @@
+//! HR-Tree nodes: plain 2D R-Tree nodes, immutable once written.
+
+use sti_geom::Rect2;
+use sti_storage::{ByteReader, ByteWriter, CodecError, Page, PAGE_SIZE};
+
+/// Tuning parameters of the HR-Tree.
+#[derive(Debug, Clone, Copy)]
+pub struct HrParams {
+    /// Maximum entries per node (paper setup: 50).
+    pub max_entries: usize,
+    /// Minimum fill fraction for splits.
+    pub min_fill: f64,
+    /// Buffer pool capacity in pages (paper: 10).
+    pub buffer_pages: usize,
+}
+
+impl Default for HrParams {
+    fn default() -> Self {
+        Self {
+            max_entries: 50,
+            min_fill: 0.4,
+            buffer_pages: 10,
+        }
+    }
+}
+
+impl HrParams {
+    /// Minimum entries per split group.
+    pub fn min_entries(&self) -> usize {
+        ((self.min_fill * self.max_entries as f64).ceil() as usize).max(1)
+    }
+
+    /// Validate bounds and page fit.
+    pub fn validate(&self) {
+        assert!(self.max_entries >= 4, "max_entries too small");
+        assert!(
+            HrNode::encoded_size(self.max_entries) <= PAGE_SIZE,
+            "{} entries do not fit a {PAGE_SIZE}-byte page",
+            self.max_entries
+        );
+        assert!(
+            (0.0..=0.5).contains(&self.min_fill),
+            "min_fill out of range"
+        );
+    }
+}
+
+/// One HR-Tree entry: a rectangle plus an object id (leaf) or child page
+/// (directory). No lifetimes — time lives entirely in the root log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HrEntry {
+    /// Bounding rectangle.
+    pub rect: Rect2,
+    /// Object id (leaf) or child page id (directory).
+    pub ptr: u64,
+}
+
+impl HrEntry {
+    /// Interpret `ptr` as a child page id.
+    pub fn child_page(&self) -> sti_storage::PageId {
+        sti_storage::PageId::try_from(self.ptr).expect("directory entry holds a page id")
+    }
+
+    const ENCODED: usize = 4 * 8 + 8;
+}
+
+/// One immutable HR-Tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HrNode {
+    /// Height above the leaves (0 = leaf).
+    pub level: u32,
+    /// Entries.
+    pub entries: Vec<HrEntry>,
+}
+
+impl HrNode {
+    /// An empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Self {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Union of the entries' rectangles.
+    pub fn mbr(&self) -> Rect2 {
+        let mut m = Rect2::EMPTY;
+        for e in &self.entries {
+            m.expand(&e.rect);
+        }
+        m
+    }
+
+    /// Bytes needed for `n` entries.
+    pub fn encoded_size(n: usize) -> usize {
+        4 + 2 + n * HrEntry::ENCODED
+    }
+
+    /// Serialize into a page, zeroing the tail.
+    pub fn encode(&self, page: &mut Page) {
+        assert!(
+            Self::encoded_size(self.entries.len()) <= PAGE_SIZE,
+            "node too large for page"
+        );
+        let buf = page.bytes_mut();
+        let mut w = ByteWriter::new(&mut buf[..]);
+        w.put_u32(self.level);
+        w.put_u16(u16::try_from(self.entries.len()).expect("entry count fits u16"));
+        for e in &self.entries {
+            w.put_f64(e.rect.lo.x);
+            w.put_f64(e.rect.lo.y);
+            w.put_f64(e.rect.hi.x);
+            w.put_f64(e.rect.hi.y);
+            w.put_u64(e.ptr);
+        }
+        let pos = w.position();
+        buf[pos..].fill(0);
+    }
+
+    /// Deserialize from a page.
+    pub fn decode(page: &Page) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(&page.bytes()[..]);
+        let level = r.get_u32()?;
+        let count = r.get_u16()? as usize;
+        if Self::encoded_size(count) > PAGE_SIZE {
+            return Err(CodecError::InvalidValue(
+                "entry count exceeds page capacity",
+            ));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let lx = r.get_f64()?;
+            let ly = r.get_f64()?;
+            let hx = r.get_f64()?;
+            let hy = r.get_f64()?;
+            if lx > hx || ly > hy {
+                return Err(CodecError::InvalidValue("reversed rectangle in node entry"));
+            }
+            let ptr = r.get_u64()?;
+            entries.push(HrEntry {
+                rect: Rect2::from_bounds(lx, ly, hx, hy),
+                ptr,
+            });
+        }
+        Ok(Self { level, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: f64, ptr: u64) -> HrEntry {
+        HrEntry {
+            rect: Rect2::from_bounds(v, v, v + 0.1, v + 0.1),
+            ptr,
+        }
+    }
+
+    #[test]
+    fn params() {
+        let p = HrParams::default();
+        p.validate();
+        assert_eq!(p.min_entries(), 20);
+    }
+
+    #[test]
+    fn round_trip() {
+        let node = HrNode {
+            level: 2,
+            entries: (0..50).map(|i| entry(i as f64 * 0.01, i)).collect(),
+        };
+        let mut page = Page::zeroed();
+        node.encode(&mut page);
+        assert_eq!(HrNode::decode(&page).unwrap(), node);
+    }
+
+    #[test]
+    fn capacity_bounds() {
+        assert!(HrNode::encoded_size(50) <= PAGE_SIZE);
+        assert!(HrNode::encoded_size(102) <= PAGE_SIZE);
+        assert!(HrNode::encoded_size(103) > PAGE_SIZE);
+    }
+
+    #[test]
+    fn decode_rejects_reversed() {
+        let node = HrNode {
+            level: 0,
+            entries: vec![entry(0.1, 1)],
+        };
+        let mut page = Page::zeroed();
+        node.encode(&mut page);
+        page.bytes_mut()[6..14].copy_from_slice(&1e9f64.to_le_bytes());
+        assert!(HrNode::decode(&page).is_err());
+    }
+
+    #[test]
+    fn mbr_of_empty_is_empty() {
+        assert!(HrNode::new(0).mbr().is_empty());
+    }
+}

@@ -1,0 +1,709 @@
+//! The HR-Tree proper: path-copying updates over immutable nodes, one
+//! logical R-Tree version per change timestamp.
+
+use crate::node::{HrEntry, HrNode, HrParams};
+use std::collections::HashSet;
+use sti_geom::{Rect2, Time, TimeInterval};
+use sti_storage::{IoStats, Page, PageId, PageStore};
+
+/// One version of the overlapping structure: the R-Tree rooted at `page`
+/// is current from `time` until the next version's timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HrVersion {
+    /// First instant this version is valid for.
+    pub time: Time,
+    /// Root page of this version's R-Tree.
+    pub page: PageId,
+    /// Root level (tree height).
+    pub level: u32,
+}
+
+/// A historical R-Tree: the overlapping approach to partial persistence.
+///
+/// Updates never mutate written pages; each change copies the root-to-leaf
+/// path it touches (Guttman-style insertion/deletion with a quadratic
+/// split), so all versions share their unchanged branches. Storage
+/// therefore grows by O(height) pages per change — the overhead the paper
+/// cites when preferring the multi-version PPR-Tree.
+pub struct HrTree {
+    store: PageStore,
+    params: HrParams,
+    versions: Vec<HrVersion>,
+    now: Time,
+    alive: u64,
+}
+
+impl HrTree {
+    /// Create an empty tree.
+    pub fn new(params: HrParams) -> Self {
+        params.validate();
+        Self {
+            store: PageStore::new(params.buffer_pages),
+            params,
+            versions: Vec::new(),
+            now: 0,
+            alive: 0,
+        }
+    }
+
+    /// Records alive in the newest version.
+    pub fn alive_records(&self) -> u64 {
+        self.alive
+    }
+
+    /// The version log.
+    pub fn versions(&self) -> &[HrVersion] {
+        &self.versions
+    }
+
+    /// Disk footprint in pages.
+    pub fn num_pages(&self) -> usize {
+        self.store.num_pages()
+    }
+
+    /// Accumulated I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.store.stats()
+    }
+
+    /// Reset I/O counters and buffer pool before a measured query.
+    pub fn reset_for_query(&mut self) {
+        self.store.reset_stats();
+        self.store.reset_buffer();
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Insert a record alive from `t` onward.
+    pub fn insert(&mut self, id: u64, rect: Rect2, t: Time) {
+        assert!(!rect.is_empty(), "cannot index an empty rectangle");
+        self.advance(t);
+        let entry = HrEntry { rect, ptr: id };
+        match self.current() {
+            None => {
+                let node = HrNode {
+                    level: 0,
+                    entries: vec![entry],
+                };
+                let page = self.write_new(&node);
+                self.set_root(page, 0, t);
+            }
+            Some(v) => {
+                let (page, level) = self.functional_insert(v, entry, 0);
+                self.set_root(page, level, t);
+            }
+        }
+        self.alive += 1;
+    }
+
+    /// Delete the alive record `(id, rect)` at time `t`.
+    ///
+    /// # Panics
+    /// If the record is not present in the current version.
+    pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) {
+        self.advance(t);
+        let v = self.current().expect("delete on an empty evolution");
+        let mut orphans: Vec<(HrEntry, u32)> = Vec::new();
+        let outcome = self.delete_rec(v.page, id, &rect, &mut orphans, true);
+        let replacement = match outcome {
+            DelOutcome::NotHere => panic!("no record {id} to delete at {t}"),
+            DelOutcome::Replaced(page, _) => Some((page, v.level)),
+            DelOutcome::Dissolved => None,
+        };
+        // Rebuild from the (possibly missing) new root plus the orphans.
+        // Orphaned *subtrees* are flattened to their leaf entries before
+        // re-insertion: dissolving nodes is rare enough that the extra
+        // path copies are cheaper than juggling height mismatches when
+        // the root itself dissolved.
+        let mut leaf_orphans: Vec<HrEntry> = Vec::new();
+        for (e, lvl) in orphans {
+            if lvl == 0 {
+                leaf_orphans.push(e);
+            } else {
+                self.collect_leaf_entries(e.child_page(), &mut leaf_orphans);
+            }
+        }
+        let mut root = replacement;
+        for e in leaf_orphans {
+            root = Some(match root {
+                None => {
+                    let node = HrNode {
+                        level: 0,
+                        entries: vec![e],
+                    };
+                    (self.write_new(&node), 0)
+                }
+                Some((page, level)) => {
+                    let v = HrVersion {
+                        time: t,
+                        page,
+                        level,
+                    };
+                    self.functional_insert(v, e, 0)
+                }
+            });
+        }
+        // Collapse a trivial directory root.
+        while let Some((page, level)) = root {
+            if level == 0 {
+                break;
+            }
+            let node = self.read_node(page);
+            if node.entries.len() == 1 {
+                root = Some((node.entries[0].child_page(), level - 1));
+            } else {
+                break;
+            }
+        }
+        match root {
+            Some((page, level)) => self.set_root(page, level, t),
+            None => {
+                // The version at t is an empty tree.
+                let page = self.write_new(&HrNode::new(0));
+                self.set_root(page, 0, t);
+            }
+        }
+        self.alive -= 1;
+    }
+
+    fn advance(&mut self, t: Time) {
+        assert!(
+            t >= self.now,
+            "updates must be time-ordered: {t} < {}",
+            self.now
+        );
+        self.now = t;
+    }
+
+    fn current(&self) -> Option<HrVersion> {
+        self.versions.last().copied()
+    }
+
+    fn set_root(&mut self, page: PageId, level: u32, t: Time) {
+        if let Some(last) = self.versions.last_mut() {
+            if last.time == t {
+                // Same timestamp: this update refines the same version.
+                last.page = page;
+                last.level = level;
+                return;
+            }
+        }
+        self.versions.push(HrVersion {
+            time: t,
+            page,
+            level,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Snapshot query: ids of records present in the version current at
+    /// `t` whose rectangle intersects `area`.
+    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) {
+        let Some(idx) = self.version_at(t) else {
+            return;
+        };
+        let root = self.versions[idx];
+        let mut stack = vec![root.page];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page);
+            for e in &node.entries {
+                if e.rect.intersects(area) {
+                    if node.is_leaf() {
+                        out.push(e.ptr);
+                    } else {
+                        stack.push(e.child_page());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interval query: ids of records present in any version alive during
+    /// `range` whose rectangle intersects `area`, de-duplicated. Shared
+    /// branches are visited once.
+    pub fn query_interval(&mut self, area: &Rect2, range: &TimeInterval, out: &mut Vec<u64>) {
+        if range.is_empty() {
+            return;
+        }
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut visited: HashSet<PageId> = HashSet::new();
+        let first = self.version_at(range.start);
+        for i in 0..self.versions.len() {
+            let v = self.versions[i];
+            let in_range = v.time >= range.start && v.time < range.end;
+            if !(in_range || Some(i) == first) {
+                continue;
+            }
+            let mut stack = vec![v.page];
+            while let Some(page) = stack.pop() {
+                if !visited.insert(page) {
+                    continue;
+                }
+                let node = self.read_node(page);
+                for e in &node.entries {
+                    if e.rect.intersects(area) {
+                        if node.is_leaf() {
+                            seen.insert(e.ptr);
+                        } else {
+                            stack.push(e.child_page());
+                        }
+                    }
+                }
+            }
+        }
+        out.extend(seen);
+    }
+
+    /// Index of the version current at `t` (largest `time ≤ t`).
+    fn version_at(&self, t: Time) -> Option<usize> {
+        let idx = self.versions.partition_point(|v| v.time <= t);
+        idx.checked_sub(1)
+    }
+
+    // ------------------------------------------------------------------
+    // Functional (path-copying) structure changes
+    // ------------------------------------------------------------------
+
+    fn read_node(&mut self, page: PageId) -> HrNode {
+        HrNode::decode(self.store.read(page)).expect("valid node page")
+    }
+
+    fn write_new(&mut self, node: &HrNode) -> PageId {
+        let page = self.store.allocate();
+        let mut buf = Page::zeroed();
+        node.encode(&mut buf);
+        self.store.write(page, &buf.bytes()[..]);
+        page
+    }
+
+    /// Insert `entry` at `target_level` under version `v`, path-copying.
+    /// Returns the new root (page, level).
+    fn functional_insert(
+        &mut self,
+        v: HrVersion,
+        entry: HrEntry,
+        target_level: u32,
+    ) -> (PageId, u32) {
+        debug_assert!(target_level <= v.level, "orphan taller than the tree");
+        let (page, _mbr, split) = self.insert_rec(v.page, entry, target_level);
+        match split {
+            None => (page, v.level),
+            Some((sib_page, sib_mbr)) => {
+                let left = self.read_node(page);
+                let new_root = HrNode {
+                    level: v.level + 1,
+                    entries: vec![
+                        HrEntry {
+                            rect: left.mbr(),
+                            ptr: u64::from(page),
+                        },
+                        HrEntry {
+                            rect: sib_mbr,
+                            ptr: u64::from(sib_page),
+                        },
+                    ],
+                };
+                let root_page = self.write_new(&new_root);
+                (root_page, v.level + 1)
+            }
+        }
+    }
+
+    /// Returns (copied page, its MBR, optional split sibling).
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        entry: HrEntry,
+        target_level: u32,
+    ) -> (PageId, Rect2, Option<(PageId, Rect2)>) {
+        let mut node = self.read_node(page);
+        if node.level == target_level {
+            node.entries.push(entry);
+        } else {
+            let idx = choose_subtree(&node, &entry.rect);
+            let child = node.entries[idx].child_page();
+            let (new_child, child_mbr, split) = self.insert_rec(child, entry, target_level);
+            node.entries[idx] = HrEntry {
+                rect: child_mbr,
+                ptr: u64::from(new_child),
+            };
+            if let Some((sib_page, sib_mbr)) = split {
+                node.entries.push(HrEntry {
+                    rect: sib_mbr,
+                    ptr: u64::from(sib_page),
+                });
+            }
+        }
+        if node.entries.len() > self.params.max_entries {
+            let (g1, g2) = quadratic_split(node.entries, self.params.min_entries());
+            let left = HrNode {
+                level: node.level,
+                entries: g1,
+            };
+            let right = HrNode {
+                level: node.level,
+                entries: g2,
+            };
+            let left_page = self.write_new(&left);
+            let right_page = self.write_new(&right);
+            return (left_page, left.mbr(), Some((right_page, right.mbr())));
+        }
+        let mbr = node.mbr();
+        let new_page = self.write_new(&node);
+        (new_page, mbr, None)
+    }
+
+    /// Gather every leaf entry beneath `page` (orphan flattening).
+    fn collect_leaf_entries(&mut self, page: PageId, out: &mut Vec<HrEntry>) {
+        let node = self.read_node(page);
+        if node.is_leaf() {
+            out.extend(node.entries);
+        } else {
+            for e in &node.entries {
+                self.collect_leaf_entries(e.child_page(), out);
+            }
+        }
+    }
+
+    fn delete_rec(
+        &mut self,
+        page: PageId,
+        id: u64,
+        rect: &Rect2,
+        orphans: &mut Vec<(HrEntry, u32)>,
+        is_root: bool,
+    ) -> DelOutcome {
+        let mut node = self.read_node(page);
+        if node.is_leaf() {
+            let Some(pos) = node
+                .entries
+                .iter()
+                .position(|e| e.ptr == id && e.rect == *rect)
+            else {
+                return DelOutcome::NotHere;
+            };
+            node.entries.remove(pos);
+            // The root is exempt from min fill (like any R-Tree root);
+            // dissolving it would flatten and re-insert the whole tree.
+            if !is_root && node.entries.len() < self.params.min_entries() {
+                for e in node.entries {
+                    orphans.push((e, 0));
+                }
+                return DelOutcome::Dissolved;
+            }
+            let mbr = node.mbr();
+            return DelOutcome::Replaced(self.write_new(&node), mbr);
+        }
+        for i in 0..node.entries.len() {
+            if !node.entries[i].rect.contains_rect(rect) {
+                continue;
+            }
+            match self.delete_rec(node.entries[i].child_page(), id, rect, orphans, false) {
+                DelOutcome::NotHere => continue,
+                DelOutcome::Replaced(new_child, child_mbr) => {
+                    node.entries[i] = HrEntry {
+                        rect: child_mbr,
+                        ptr: u64::from(new_child),
+                    };
+                    let mbr = node.mbr();
+                    return DelOutcome::Replaced(self.write_new(&node), mbr);
+                }
+                DelOutcome::Dissolved => {
+                    let level = node.level;
+                    node.entries.remove(i);
+                    if !is_root && node.entries.len() < self.params.min_entries() {
+                        for e in node.entries {
+                            orphans.push((e, level));
+                        }
+                        return DelOutcome::Dissolved;
+                    }
+                    let mbr = node.mbr();
+                    return DelOutcome::Replaced(self.write_new(&node), mbr);
+                }
+            }
+        }
+        DelOutcome::NotHere
+    }
+
+    /// Walk the newest version and assert R-Tree invariants.
+    #[doc(hidden)]
+    pub fn validate(&mut self) {
+        let Some(v) = self.current() else { return };
+        let max = self.params.max_entries;
+        let min = self.params.min_entries();
+        let mut count = 0u64;
+        let mut stack = vec![(v.page, v.level, None::<Rect2>)];
+        while let Some((page, level, parent_rect)) = stack.pop() {
+            let node = self.read_node(page);
+            assert_eq!(node.level, level, "level mismatch at {page}");
+            assert!(node.entries.len() <= max, "overfull node {page}");
+            if page != v.page {
+                assert!(node.entries.len() >= min, "underfull node {page}");
+            }
+            if let Some(pr) = parent_rect {
+                assert!(
+                    pr.contains_rect(&node.mbr()),
+                    "parent does not cover {page}"
+                );
+            }
+            if node.is_leaf() {
+                count += node.entries.len() as u64;
+            } else {
+                for e in &node.entries {
+                    stack.push((e.child_page(), level - 1, Some(e.rect)));
+                }
+            }
+        }
+        assert_eq!(count, self.alive, "alive count mismatch");
+    }
+}
+
+enum DelOutcome {
+    NotHere,
+    Replaced(PageId, Rect2),
+    Dissolved,
+}
+
+/// Guttman's ChooseLeaf criterion: least enlargement, ties by area.
+fn choose_subtree(node: &HrNode, rect: &Rect2) -> usize {
+    debug_assert!(!node.is_leaf());
+    let mut best = 0usize;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for (i, e) in node.entries.iter().enumerate() {
+        let key = (e.rect.enlargement(rect), e.rect.area());
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Guttman's quadratic split (the HR-Tree's original substrate is a plain
+/// R-Tree, so the historically matching algorithm is used here rather
+/// than the R\* split).
+fn quadratic_split(entries: Vec<HrEntry>, min_entries: usize) -> (Vec<HrEntry>, Vec<HrEntry>) {
+    let n = entries.len();
+    assert!(
+        n >= 2 * min_entries,
+        "cannot split {n} entries with min fill {min_entries}"
+    );
+
+    // PickSeeds: the pair wasting the most area together.
+    let mut seed = (0usize, 1usize);
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in i + 1..n {
+            let waste = entries[i].rect.union(&entries[j].rect).area()
+                - entries[i].rect.area()
+                - entries[j].rect.area();
+            if waste > worst {
+                worst = waste;
+                seed = (i, j);
+            }
+        }
+    }
+
+    let mut g1 = vec![entries[seed.0]];
+    let mut g2 = vec![entries[seed.1]];
+    let mut bb1 = entries[seed.0].rect;
+    let mut bb2 = entries[seed.1].rect;
+    let mut rest: Vec<HrEntry> = entries
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| i != seed.0 && i != seed.1)
+        .map(|(_, e)| e)
+        .collect();
+
+    while !rest.is_empty() {
+        // Force-assign when one group must take everything left.
+        if g1.len() + rest.len() == min_entries {
+            for e in rest.drain(..) {
+                bb1.expand(&e.rect);
+                g1.push(e);
+            }
+            break;
+        }
+        if g2.len() + rest.len() == min_entries {
+            for e in rest.drain(..) {
+                bb2.expand(&e.rect);
+                g2.push(e);
+            }
+            break;
+        }
+        // PickNext: strongest preference first.
+        let mut pick = 0usize;
+        let mut pick_diff = f64::NEG_INFINITY;
+        for (i, e) in rest.iter().enumerate() {
+            let d1 = bb1.enlargement(&e.rect);
+            let d2 = bb2.enlargement(&e.rect);
+            let diff = (d1 - d2).abs();
+            if diff > pick_diff {
+                pick_diff = diff;
+                pick = i;
+            }
+        }
+        let e = rest.swap_remove(pick);
+        let d1 = bb1.enlargement(&e.rect);
+        let d2 = bb2.enlargement(&e.rect);
+        let to_first = match d1.partial_cmp(&d2).expect("finite") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                bb1.area() < bb2.area() || (bb1.area() == bb2.area() && g1.len() <= g2.len())
+            }
+        };
+        if to_first {
+            bb1.expand(&e.rect);
+            g1.push(e);
+        } else {
+            bb2.expand(&e.rect);
+            g2.push(e);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HrParams {
+        HrParams {
+            max_entries: 8,
+            min_fill: 0.4,
+            buffer_pages: 4,
+        }
+    }
+
+    fn rect(x: f64, y: f64) -> Rect2 {
+        Rect2::from_bounds(x, y, x + 0.03, y + 0.03)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut t = HrTree::new(small());
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn history_is_immutable() {
+        let mut t = HrTree::new(small());
+        for i in 0..20u64 {
+            t.insert(i, rect(0.04 * i as f64, 0.1), i as Time);
+        }
+        t.validate();
+        // Every prefix version still answers exactly its own content.
+        for probe in [0u32, 5, 13, 19, 100] {
+            let mut out = Vec::new();
+            t.query_snapshot(&Rect2::UNIT, probe, &mut out);
+            out.sort_unstable();
+            let expect: Vec<u64> = (0..=u64::from(probe.min(19))).collect();
+            assert_eq!(out, expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn delete_creates_a_new_version_keeps_old() {
+        let mut t = HrTree::new(small());
+        for i in 0..10u64 {
+            t.insert(i, rect(0.05 * i as f64, 0.2), 0);
+        }
+        for i in 0..5u64 {
+            t.delete(i, rect(0.05 * i as f64, 0.2), 10);
+        }
+        t.validate();
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        assert_eq!(out.len(), 10, "old version intact");
+        out.clear();
+        t.query_snapshot(&Rect2::UNIT, 10, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn interval_queries_dedup_across_versions() {
+        let mut t = HrTree::new(small());
+        t.insert(1, rect(0.5, 0.5), 0);
+        // Churn around it, creating many versions that all share record 1.
+        for round in 0..20u64 {
+            let tt = 1 + round as Time;
+            t.insert(100 + round, rect(0.01, 0.9), tt);
+        }
+        let mut out = Vec::new();
+        t.query_interval(&rect(0.5, 0.5), &TimeInterval::new(0, 50), &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn storage_overhead_is_per_update_path() {
+        // Each update copies ~height pages: storage grows linearly in
+        // updates with a slope ≥ 1, far above PPR's amortized slope.
+        let mut t = HrTree::new(small());
+        for i in 0..200u64 {
+            t.insert(
+                i,
+                rect((i % 20) as f64 * 0.04, (i / 20) as f64 * 0.08),
+                i as Time,
+            );
+        }
+        assert!(
+            t.num_pages() >= 200,
+            "path copying must allocate at least one page per update, got {}",
+            t.num_pages()
+        );
+    }
+
+    #[test]
+    fn deletion_to_empty_and_rebirth() {
+        let mut t = HrTree::new(small());
+        for i in 0..6u64 {
+            t.insert(i, rect(0.1 * i as f64, 0.4), 0);
+        }
+        for i in 0..6u64 {
+            t.delete(i, rect(0.1 * i as f64, 0.4), 5);
+        }
+        assert_eq!(t.alive_records(), 0);
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        assert!(out.is_empty());
+        t.insert(99, rect(0.5, 0.5), 8);
+        t.validate();
+        out.clear();
+        t.query_snapshot(&Rect2::UNIT, 8, &mut out);
+        assert_eq!(out, vec![99]);
+        // the pre-delete world still answers
+        out.clear();
+        t.query_snapshot(&Rect2::UNIT, 3, &mut out);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_time_travel() {
+        let mut t = HrTree::new(small());
+        t.insert(1, rect(0.1, 0.1), 10);
+        t.insert(2, rect(0.2, 0.2), 5);
+    }
+
+    #[test]
+    fn quadratic_split_respects_min_fill() {
+        let entries: Vec<HrEntry> = (0..9)
+            .map(|i| HrEntry {
+                rect: rect(0.1 * i as f64, 0.0),
+                ptr: i,
+            })
+            .collect();
+        let (g1, g2) = quadratic_split(entries, 3);
+        assert_eq!(g1.len() + g2.len(), 9);
+        assert!(g1.len() >= 3 && g2.len() >= 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Randomized churn against a naive shadow, mirroring the PPR-Tree's
+//! workload tests so the two partial-persistence approaches are held to
+//! the same standard.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sti_geom::{Rect2, TimeInterval};
+use sti_hrtree::{HrParams, HrTree};
+
+fn run_workload(seed: u64, cap: usize) -> (HrTree, Vec<(u64, Rect2, u32, u32)>) {
+    let params = HrParams {
+        max_entries: cap,
+        buffer_pages: 4,
+        ..HrParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = HrTree::new(params);
+    let mut records: Vec<(u64, Rect2, u32, u32)> = Vec::new();
+    let mut alive: Vec<(u64, Rect2)> = Vec::new();
+    let mut next = 0u64;
+    for t in 0..150u32 {
+        for _ in 0..rng.random_range(0..3) {
+            let x = rng.random::<f64>() * 0.9;
+            let y = rng.random::<f64>() * 0.9;
+            let r = Rect2::from_bounds(x, y, x + 0.05, y + 0.05);
+            tree.insert(next, r, t);
+            records.push((next, r, t, u32::MAX));
+            alive.push((next, r));
+            next += 1;
+        }
+        for _ in 0..rng.random_range(0..2) {
+            if alive.is_empty() {
+                break;
+            }
+            let k = rng.random_range(0..alive.len());
+            let (id, r) = alive.swap_remove(k);
+            tree.delete(id, r, t);
+            records
+                .iter_mut()
+                .find(|(i, ..)| *i == id)
+                .expect("exists")
+                .3 = t;
+        }
+    }
+    (tree, records)
+}
+
+fn shadow_snapshot(records: &[(u64, Rect2, u32, u32)], area: &Rect2, t: u32) -> Vec<u64> {
+    let mut v: Vec<u64> = records
+        .iter()
+        .filter(|(_, r, s, e)| *s <= t && t < *e && r.intersects(area))
+        .map(|&(id, ..)| id)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn snapshots_match_shadow(seed in any::<u64>(), cap in prop::sample::select(vec![6usize, 8, 10, 12])) {
+        let (mut tree, records) = run_workload(seed, cap);
+        tree.validate();
+        for t in (0..150).step_by(11) {
+            let area = Rect2::from_bounds(0.1, 0.1, 0.8, 0.85);
+            let mut got = Vec::new();
+            tree.query_snapshot(&area, t, &mut got);
+            got.sort_unstable();
+            prop_assert_eq!(got, shadow_snapshot(&records, &area, t), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn intervals_match_shadow(seed in any::<u64>(), cap in prop::sample::select(vec![6usize, 8, 10, 12])) {
+        let (mut tree, records) = run_workload(seed, cap);
+        for start in (0..140).step_by(19) {
+            let range = TimeInterval::new(start, start + 1 + (start % 13));
+            let area = Rect2::from_bounds(0.0, 0.0, 0.7, 0.7);
+            let mut got = Vec::new();
+            tree.query_interval(&area, &range, &mut got);
+            got.sort_unstable();
+            let mut want: Vec<u64> = records
+                .iter()
+                .filter(|(_, r, s, e)| {
+                    TimeInterval::new(*s, *e).overlaps(&range) && r.intersects(&area)
+                })
+                .map(|&(id, ..)| id)
+                .collect();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(got, want, "range={}", range);
+        }
+    }
+
+    #[test]
+    fn storage_grows_with_path_length(seed in any::<u64>()) {
+        // The defining cost of overlapping: pages ≥ updates (every change
+        // copies at least the leaf), typically ≈ height × updates.
+        let (tree, records) = run_workload(seed, 8);
+        let deletes = records.iter().filter(|(_, _, _, e)| *e != u32::MAX).count();
+        let updates = records.len() + deletes;
+        if updates > 40 {
+            prop_assert!(
+                tree.num_pages() >= updates,
+                "path copying: {} pages for {} updates",
+                tree.num_pages(),
+                updates
+            );
+        }
+    }
+}
+
+/// Deleting from a small tree (root under min fill) must not flatten and
+/// re-insert the survivors: the root is exempt from the min-fill rule.
+#[test]
+fn root_is_exempt_from_min_fill() {
+    // Default params: min fill 20 — a 10-record tree's root is "underfull"
+    // by that measure from the start.
+    let mut tree = HrTree::new(HrParams::default());
+    for i in 0..10u64 {
+        tree.insert(
+            i,
+            Rect2::from_bounds(0.05 * i as f64, 0.1, 0.05 * i as f64 + 0.02, 0.12),
+            i as u32,
+        );
+    }
+    let pages_before = tree.num_pages();
+    let r3 = Rect2::from_bounds(0.05 * 3.0, 0.1, 0.05 * 3.0 + 0.02, 0.12);
+    tree.delete(3, r3, 20);
+    // One delete on a single-node tree = exactly one new root page, not a
+    // rebuild of every record.
+    assert_eq!(
+        tree.num_pages(),
+        pages_before + 1,
+        "root deletion should path-copy one node"
+    );
+    let mut out = Vec::new();
+    tree.query_snapshot(&Rect2::UNIT, 20, &mut out);
+    assert_eq!(out.len(), 9);
+    // History intact.
+    out.clear();
+    tree.query_snapshot(&Rect2::UNIT, 15, &mut out);
+    assert_eq!(out.len(), 10);
+}

@@ -1,0 +1,379 @@
+//! PPR-Tree nodes, entries, parameters, and page serialization.
+
+use sti_geom::{Rect2, Time, TimeInterval};
+use sti_storage::{ByteReader, ByteWriter, CodecError, Page, PAGE_SIZE};
+
+/// Tuning parameters of the PPR-Tree. Defaults are the paper's §V setup.
+#[derive(Debug, Clone, Copy)]
+pub struct PprParams {
+    /// Maximum entries per node (`B`). Paper: 50.
+    pub max_entries: usize,
+    /// Weak version condition: a non-root node must hold at least
+    /// `D = ceil(p_version · B)` alive entries. Paper: 0.22.
+    pub p_version: f64,
+    /// Strong version overflow: a version-split copy holding more than
+    /// `floor(p_svo · B)` alive entries is key-split. Paper: 0.8.
+    pub p_svo: f64,
+    /// Strong version underflow: a copy holding fewer than
+    /// `ceil(p_svu · B)` alive entries is merged with a sibling.
+    /// Paper: 0.4.
+    pub p_svu: f64,
+    /// Buffer pool capacity in pages. Paper: 10.
+    pub buffer_pages: usize,
+}
+
+impl Default for PprParams {
+    fn default() -> Self {
+        Self {
+            max_entries: 50,
+            p_version: 0.22,
+            p_svo: 0.8,
+            p_svu: 0.4,
+            buffer_pages: 10,
+        }
+    }
+}
+
+impl PprParams {
+    /// `D`: minimum alive entries for a non-root node to be alive.
+    pub fn weak_min(&self) -> usize {
+        ((self.p_version * self.max_entries as f64).ceil() as usize).max(1)
+    }
+
+    /// Strong version overflow threshold (alive counts above this
+    /// key-split).
+    pub fn strong_overflow(&self) -> usize {
+        (self.p_svo * self.max_entries as f64).floor() as usize
+    }
+
+    /// Strong version underflow threshold (alive counts below this merge).
+    pub fn strong_underflow(&self) -> usize {
+        (self.p_svu * self.max_entries as f64).ceil() as usize
+    }
+
+    /// Validate thresholds: `D ≤ svu ≤ svo ≤ B` and the node fits a page.
+    pub fn validate(&self) {
+        assert!(self.max_entries >= 4, "max_entries too small");
+        assert!(
+            PprNode::encoded_size(self.max_entries) <= PAGE_SIZE,
+            "{} entries do not fit a {PAGE_SIZE}-byte page",
+            self.max_entries
+        );
+        let (d, svu, svo) = (
+            self.weak_min(),
+            self.strong_underflow(),
+            self.strong_overflow(),
+        );
+        assert!(
+            d <= svu,
+            "weak_min {d} must not exceed strong_underflow {svu}"
+        );
+        assert!(
+            svu < svo,
+            "strong_underflow {svu} must be below strong_overflow {svo}"
+        );
+        assert!(
+            svo <= self.max_entries,
+            "strong_overflow exceeds node capacity"
+        );
+        // A key split must be able to give each half at least svu alive
+        // entries: svo + 1 ≥ 2·svu.
+        assert!(
+            svo + 1 >= 2 * svu,
+            "overflow split cannot satisfy underflow bound"
+        );
+    }
+}
+
+/// One PPR-Tree entry. In a leaf (`level == 0`) `ptr` is the object id;
+/// in a directory node it is the child page id. The lifetime says when
+/// the record/child existed in the *ephemeral* R-Tree's evolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PprEntry {
+    /// Spatial MBR: the record's rectangle, or the union of everything
+    /// inserted into the child during this entry's lifetime.
+    pub rect: Rect2,
+    /// Object id (leaf) or child page id (directory).
+    pub ptr: u64,
+    /// Time the entry entered this node.
+    pub insertion: Time,
+    /// Time the entry was (logically) deleted; `TimeInterval::OPEN_END`
+    /// while alive.
+    pub deletion: Time,
+}
+
+impl PprEntry {
+    /// A still-alive entry starting at `t`.
+    pub fn alive(rect: Rect2, ptr: u64, t: Time) -> Self {
+        Self {
+            rect,
+            ptr,
+            insertion: t,
+            deletion: TimeInterval::OPEN_END,
+        }
+    }
+
+    /// True while no deletion time is recorded.
+    pub fn is_alive(&self) -> bool {
+        self.deletion == TimeInterval::OPEN_END
+    }
+
+    /// The entry's lifetime interval.
+    pub fn lifetime(&self) -> TimeInterval {
+        TimeInterval {
+            start: self.insertion,
+            end: self.deletion,
+        }
+    }
+
+    /// True if the entry existed at instant `t`.
+    pub fn alive_at(&self, t: Time) -> bool {
+        self.insertion <= t && t < self.deletion
+    }
+
+    /// Child page id (directory entries only).
+    pub fn child_page(&self) -> sti_storage::PageId {
+        sti_storage::PageId::try_from(self.ptr).expect("directory entry holds a page id")
+    }
+
+    const ENCODED: usize = 4 * 8 + 8 + 4 + 4; // rect + ptr + 2 times
+}
+
+/// One PPR-Tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PprNode {
+    /// Height above the leaves (0 = leaf).
+    pub level: u32,
+    /// Entries, append-only within the node; deletions only stamp
+    /// `deletion` times.
+    pub entries: Vec<PprEntry>,
+}
+
+impl PprNode {
+    /// An empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Self {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of alive entries.
+    pub fn alive_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_alive()).count()
+    }
+
+    /// Clone out the alive entries.
+    pub fn alive_entries(&self) -> Vec<PprEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.is_alive())
+            .copied()
+            .collect()
+    }
+
+    /// Union of the alive entries' rectangles.
+    pub fn alive_mbr(&self) -> Rect2 {
+        let mut m = Rect2::EMPTY;
+        for e in &self.entries {
+            if e.is_alive() {
+                m.expand(&e.rect);
+            }
+        }
+        m
+    }
+
+    /// Union of all entries' rectangles (alive and dead) — what a parent
+    /// directory entry must cover.
+    pub fn full_mbr(&self) -> Rect2 {
+        let mut m = Rect2::EMPTY;
+        for e in &self.entries {
+            m.expand(&e.rect);
+        }
+        m
+    }
+
+    /// Bytes needed to encode a node of `n` entries.
+    pub fn encoded_size(n: usize) -> usize {
+        4 + 2 + n * PprEntry::ENCODED
+    }
+
+    /// Serialize into a page buffer, zeroing the tail.
+    pub fn encode(&self, page: &mut Page) {
+        assert!(
+            Self::encoded_size(self.entries.len()) <= PAGE_SIZE,
+            "node too large for page"
+        );
+        let buf = page.bytes_mut();
+        let mut w = ByteWriter::new(&mut buf[..]);
+        w.put_u32(self.level);
+        w.put_u16(u16::try_from(self.entries.len()).expect("entry count fits u16"));
+        for e in &self.entries {
+            w.put_f64(e.rect.lo.x);
+            w.put_f64(e.rect.lo.y);
+            w.put_f64(e.rect.hi.x);
+            w.put_f64(e.rect.hi.y);
+            w.put_u64(e.ptr);
+            w.put_u32(e.insertion);
+            w.put_u32(e.deletion);
+        }
+        let pos = w.position();
+        buf[pos..].fill(0);
+    }
+
+    /// Deserialize from a page.
+    pub fn decode(page: &Page) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(&page.bytes()[..]);
+        let level = r.get_u32()?;
+        let count = r.get_u16()? as usize;
+        if Self::encoded_size(count) > PAGE_SIZE {
+            return Err(CodecError::InvalidValue(
+                "entry count exceeds page capacity",
+            ));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let lx = r.get_f64()?;
+            let ly = r.get_f64()?;
+            let hx = r.get_f64()?;
+            let hy = r.get_f64()?;
+            if lx > hx || ly > hy {
+                return Err(CodecError::InvalidValue("reversed rectangle in node entry"));
+            }
+            let ptr = r.get_u64()?;
+            let insertion = r.get_u32()?;
+            let deletion = r.get_u32()?;
+            if insertion > deletion {
+                return Err(CodecError::InvalidValue("entry deleted before insertion"));
+            }
+            entries.push(PprEntry {
+                rect: Rect2::from_bounds(lx, ly, hx, hy),
+                ptr,
+                insertion,
+                deletion,
+            });
+        }
+        Ok(Self { level, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: f64, ptr: u64, ins: Time, del: Time) -> PprEntry {
+        PprEntry {
+            rect: Rect2::from_bounds(v, v, v + 0.1, v + 0.1),
+            ptr,
+            insertion: ins,
+            deletion: del,
+        }
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let p = PprParams::default();
+        p.validate();
+        assert_eq!(p.weak_min(), 11); // ceil(0.22 * 50)
+        assert_eq!(p.strong_overflow(), 40); // floor(0.8 * 50)
+        assert_eq!(p.strong_underflow(), 20); // ceil(0.4 * 50)
+    }
+
+    #[test]
+    #[should_panic(expected = "strong_underflow")]
+    fn rejects_inverted_thresholds() {
+        PprParams {
+            p_svu: 0.9,
+            ..PprParams::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn entry_lifetime_logic() {
+        let e = PprEntry::alive(Rect2::UNIT, 7, 10);
+        assert!(e.is_alive());
+        assert!(e.alive_at(10));
+        assert!(e.alive_at(1_000_000));
+        assert!(!e.alive_at(9));
+        let dead = PprEntry { deletion: 20, ..e };
+        assert!(!dead.is_alive());
+        assert!(dead.alive_at(19));
+        assert!(!dead.alive_at(20));
+        assert_eq!(dead.lifetime(), TimeInterval::new(10, 20));
+    }
+
+    #[test]
+    fn alive_counting_and_mbrs() {
+        let node = PprNode {
+            level: 0,
+            entries: vec![
+                entry(0.0, 1, 0, 5),
+                entry(0.5, 2, 0, TimeInterval::OPEN_END),
+            ],
+        };
+        assert_eq!(node.alive_count(), 1);
+        assert_eq!(node.alive_entries().len(), 1);
+        // alive MBR covers only the alive entry
+        assert!(!node
+            .alive_mbr()
+            .contains_point(&sti_geom::Point2::new(0.05, 0.05)));
+        // full MBR covers both
+        assert!(node
+            .full_mbr()
+            .contains_point(&sti_geom::Point2::new(0.05, 0.05)));
+    }
+
+    #[test]
+    fn fifty_entries_fit_a_page() {
+        assert!(PprNode::encoded_size(50) <= PAGE_SIZE);
+        assert!(PprNode::encoded_size(85) <= PAGE_SIZE);
+        assert!(PprNode::encoded_size(86) > PAGE_SIZE);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let node = PprNode {
+            level: 2,
+            entries: (0..50)
+                .map(|i| {
+                    entry(
+                        i as f64 * 0.01,
+                        i,
+                        i as Time,
+                        if i % 2 == 0 {
+                            TimeInterval::OPEN_END
+                        } else {
+                            900
+                        },
+                    )
+                })
+                .collect(),
+        };
+        let mut page = Page::zeroed();
+        node.encode(&mut page);
+        assert_eq!(PprNode::decode(&page).unwrap(), node);
+    }
+
+    #[test]
+    fn decode_rejects_inverted_lifetime() {
+        let node = PprNode {
+            level: 0,
+            entries: vec![entry(0.1, 1, 50, TimeInterval::OPEN_END)],
+        };
+        let mut page = Page::zeroed();
+        node.encode(&mut page);
+        // Corrupt deletion (last 4 bytes of the entry) to 10 < insertion 50.
+        let off = 4 + 2 + PprEntry::ENCODED - 4;
+        page.bytes_mut()[off..off + 4].copy_from_slice(&10u32.to_le_bytes());
+        assert!(matches!(
+            PprNode::decode(&page),
+            Err(CodecError::InvalidValue(_))
+        ));
+    }
+}

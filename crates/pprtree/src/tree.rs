@@ -1,0 +1,1055 @@
+//! The PPR-Tree proper: timestamped updates, version splits, and
+//! historical queries.
+
+use crate::node::{PprEntry, PprNode, PprParams};
+use crate::split::key_split;
+use std::collections::HashSet;
+use sti_geom::{Rect2, Time, TimeInterval};
+use sti_storage::{IoStats, Page, PageId, PageStore};
+
+/// One span of the root log: during `interval`, the ephemeral R-Tree was
+/// rooted at `page` (a node of height `level`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootSpan {
+    /// Time span this root covers.
+    pub interval: TimeInterval,
+    /// Root node page.
+    pub page: PageId,
+    /// Root node level (tree height during the span).
+    pub level: u32,
+}
+
+/// Ops to apply to one node during bottom-up structure maintenance.
+#[derive(Debug, Default)]
+struct Ops {
+    /// Entry indices whose `deletion` is stamped with the current time.
+    kills: Vec<usize>,
+    /// Entry index whose rect grows by the given rectangle.
+    expand: Option<(usize, Rect2)>,
+    /// New entries to append.
+    adds: Vec<PprEntry>,
+}
+
+/// What a node hands its parent after ops were applied.
+enum UpOps {
+    /// Nothing further to do.
+    Done,
+    /// The parent's directory entry for this node must grow by this rect.
+    Expand(Rect2),
+    /// This node was version-split: the parent must kill its entry for
+    /// this node (and possibly a sibling's) and add the replacements.
+    Replace {
+        /// Parent entry index of a sibling that was merged away, if any.
+        kill_sibling: Option<usize>,
+        /// Directory entries for the replacement node(s) (0, 1 or 2).
+        adds: Vec<PprEntry>,
+    },
+}
+
+/// A partially persistent R-Tree over simulated disk pages.
+///
+/// Updates must arrive in non-decreasing time order (the structure is
+/// *partially* persistent: only the present is writable). Queries may ask
+/// about any past instant or interval.
+///
+/// ```
+/// use sti_geom::{Rect2, TimeInterval};
+/// use sti_pprtree::{PprParams, PprTree};
+///
+/// let mut tree = PprTree::new(PprParams::default());
+/// let rect = Rect2::from_bounds(0.4, 0.4, 0.5, 0.5);
+/// tree.insert(7, rect, 10);
+/// tree.delete(7, rect, 20);
+///
+/// let mut hits = Vec::new();
+/// tree.query_snapshot(&rect, 15, &mut hits); // alive at 15
+/// assert_eq!(hits, vec![7]);
+/// hits.clear();
+/// tree.query_snapshot(&rect, 20, &mut hits); // half-open lifetime
+/// assert!(hits.is_empty());
+/// ```
+pub struct PprTree {
+    store: PageStore,
+    params: PprParams,
+    roots: Vec<RootSpan>,
+    now: Time,
+    alive_records: u64,
+    total_posted: u64,
+}
+
+impl PprTree {
+    /// Create an empty tree.
+    pub fn new(params: PprParams) -> Self {
+        params.validate();
+        Self {
+            store: PageStore::new(params.buffer_pages),
+            params,
+            roots: Vec::new(),
+            now: 0,
+            alive_records: 0,
+            total_posted: 0,
+        }
+    }
+
+    /// The current clock (largest update time seen).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Records currently alive.
+    pub fn alive_records(&self) -> u64 {
+        self.alive_records
+    }
+
+    /// Logical records ever inserted.
+    pub fn total_records(&self) -> u64 {
+        self.total_posted
+    }
+
+    /// The root log (one span per consecutive part of the evolution).
+    pub fn roots(&self) -> &[RootSpan] {
+        &self.roots
+    }
+
+    /// Number of allocated pages (disk footprint, fig. 16).
+    pub fn num_pages(&self) -> usize {
+        self.store.num_pages()
+    }
+
+    /// Accumulated I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.store.stats()
+    }
+
+    /// Replace the buffer pool capacity (clears residency). The paper
+    /// fixes this at 10 pages; the `ablation_buffer` bench sweeps it.
+    pub fn set_buffer_capacity(&mut self, pages: usize) {
+        self.store.set_buffer_capacity(pages);
+    }
+
+    /// Reset I/O counters and the buffer pool (before each measured
+    /// query, per the paper's methodology).
+    pub fn reset_for_query(&mut self) {
+        self.store.reset_stats();
+        self.store.reset_buffer();
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Insert a record alive from `t` (until a matching
+    /// [`PprTree::delete`]).
+    ///
+    /// # Panics
+    /// If `t` precedes an earlier update (partial persistence) or the
+    /// rectangle is the empty sentinel.
+    pub fn insert(&mut self, id: u64, rect: Rect2, t: Time) {
+        assert!(!rect.is_empty(), "cannot index an empty rectangle");
+        self.advance(t);
+        if self.current_root().is_none() {
+            let page = self.store.allocate();
+            self.write_node(page, &PprNode::new(0));
+            self.roots.push(RootSpan {
+                interval: TimeInterval::open(t),
+                page,
+                level: 0,
+            });
+        }
+        let path = self.descend_for_insert(&rect);
+        let ops = Ops {
+            kills: Vec::new(),
+            expand: None,
+            adds: vec![PprEntry::alive(rect, id, t)],
+        };
+        self.propagate(&path, ops, t);
+        self.alive_records += 1;
+        self.total_posted += 1;
+    }
+
+    /// Logically delete the alive record `(id, rect)` at time `t`;
+    /// `rect` must be exactly the rectangle the record was inserted with
+    /// (it locates the leaf *and* disambiguates when several alive
+    /// records share an id).
+    ///
+    /// # Panics
+    /// If no alive record `(id, rect)` exists.
+    pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) {
+        self.advance(t);
+        let path = self
+            .locate_alive(id, &rect)
+            .unwrap_or_else(|| panic!("no alive record {id} to delete at {t}"));
+        let leaf = self.read_node(path.pages[path.pages.len() - 1]);
+        let idx = leaf
+            .entries
+            .iter()
+            .position(|e| e.is_alive() && e.ptr == id && e.rect == rect)
+            .expect("locate_alive found the record");
+        let ops = Ops {
+            kills: vec![idx],
+            expand: None,
+            adds: Vec::new(),
+        };
+        self.propagate(&path, ops, t);
+        self.alive_records -= 1;
+    }
+
+    fn advance(&mut self, t: Time) {
+        assert!(
+            t >= self.now,
+            "updates must be time-ordered: {t} < {}",
+            self.now
+        );
+        self.now = t;
+    }
+
+    /// Root span covering instant `t`, if any (for traversals layered on
+    /// the tree, e.g. the kNN search in [`crate::knn`]).
+    pub(crate) fn root_span_at(&self, t: Time) -> Option<RootSpan> {
+        self.roots
+            .iter()
+            .rev()
+            .find(|s| s.interval.contains(t))
+            .copied()
+    }
+
+    /// Node read with I/O accounting, for sibling modules.
+    pub(crate) fn read_node_pub(&mut self, page: PageId) -> PprNode {
+        self.read_node(page)
+    }
+
+    fn current_root(&self) -> Option<RootSpan> {
+        self.roots.last().copied().filter(|s| s.interval.is_open())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Snapshot query: ids of records alive at `t` whose rectangle
+    /// intersects `area`. Equivalent to querying the ephemeral R-Tree of
+    /// time `t`.
+    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) {
+        let Some(span) = self.root_span_at(t) else {
+            return;
+        };
+        let mut stack = vec![span.page];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page);
+            for e in &node.entries {
+                if e.alive_at(t) && e.rect.intersects(area) {
+                    if node.is_leaf() {
+                        out.push(e.ptr);
+                    } else {
+                        stack.push(e.child_page());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interval query: ids of records alive at any instant of `range`
+    /// whose rectangle intersects `area`, de-duplicated (a record copied
+    /// across version splits, or an object split into consecutive pieces
+    /// under the same id, is reported once).
+    ///
+    /// The query range is *clipped* to each directory entry's lifetime on
+    /// the way down: a closed node is authoritative only for its own time
+    /// span — entries inside it keep their open `deletion` even when the
+    /// record was deleted after the node was copied, so matching them
+    /// against the unclipped range would resurrect dead records.
+    pub fn query_interval(&mut self, area: &Rect2, range: &TimeInterval, out: &mut Vec<u64>) {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let spans: Vec<RootSpan> = self
+            .roots
+            .iter()
+            .filter(|s| s.interval.overlaps(range))
+            .copied()
+            .collect();
+        for span in spans {
+            let Some(root_range) = span.interval.intersect(range) else {
+                continue;
+            };
+            let mut stack = vec![(span.page, root_range)];
+            while let Some((page, clipped)) = stack.pop() {
+                let node = self.read_node(page);
+                for e in &node.entries {
+                    let Some(sub) = e.lifetime().intersect(&clipped) else {
+                        continue;
+                    };
+                    if !e.rect.intersects(area) {
+                        continue;
+                    }
+                    if node.is_leaf() {
+                        seen.insert(e.ptr);
+                    } else {
+                        stack.push((e.child_page(), sub));
+                    }
+                }
+            }
+        }
+        out.extend(seen);
+    }
+
+    // ------------------------------------------------------------------
+    // Structure maintenance
+    // ------------------------------------------------------------------
+
+    fn read_node(&mut self, page: PageId) -> PprNode {
+        PprNode::decode(self.store.read(page)).expect("valid node page")
+    }
+
+    fn write_node(&mut self, page: PageId, node: &PprNode) {
+        let mut buf = Page::zeroed();
+        node.encode(&mut buf);
+        self.store.write(page, &buf.bytes()[..]);
+    }
+
+    /// Choose-subtree descent for insertion: among *alive* directory
+    /// entries pick minimum area enlargement (ties: minimum area).
+    fn descend_for_insert(&mut self, rect: &Rect2) -> Path {
+        let root = self.current_root().expect("insert ensured a root");
+        let mut pages = vec![root.page];
+        let mut entry_idx = Vec::new();
+        loop {
+            let node = self.read_node(*pages.last().expect("nonempty"));
+            if node.is_leaf() {
+                return Path { pages, entry_idx };
+            }
+            let mut best: Option<(f64, f64, usize)> = None;
+            for (i, e) in node.entries.iter().enumerate() {
+                if !e.is_alive() {
+                    continue;
+                }
+                let key = (e.rect.enlargement(rect), e.rect.area());
+                if best.is_none_or(|(g, a, _)| (key.0, key.1) < (g, a)) {
+                    best = Some((key.0, key.1, i));
+                }
+            }
+            let (_, _, idx) = best.expect("alive directory node has an alive child");
+            entry_idx.push(idx);
+            pages.push(node.entries[idx].child_page());
+        }
+    }
+
+    /// DFS for the leaf holding the alive record `id` whose rect equals
+    /// (is contained in) `rect`.
+    fn locate_alive(&mut self, id: u64, rect: &Rect2) -> Option<Path> {
+        let root = self.current_root()?;
+        let mut path = Path {
+            pages: vec![root.page],
+            entry_idx: Vec::new(),
+        };
+        if self.locate_rec(root.page, id, rect, &mut path) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    fn locate_rec(&mut self, page: PageId, id: u64, rect: &Rect2, path: &mut Path) -> bool {
+        let node = self.read_node(page);
+        if node.is_leaf() {
+            return node
+                .entries
+                .iter()
+                .any(|e| e.is_alive() && e.ptr == id && e.rect == *rect);
+        }
+        for (i, e) in node.entries.iter().enumerate() {
+            if e.is_alive() && e.rect.contains_rect(rect) {
+                path.entry_idx.push(i);
+                path.pages.push(e.child_page());
+                if self.locate_rec(e.child_page(), id, rect, path) {
+                    return true;
+                }
+                path.entry_idx.pop();
+                path.pages.pop();
+            }
+        }
+        false
+    }
+
+    /// Apply `ops` to the node at the end of `path` and walk structural
+    /// consequences up to the root.
+    fn propagate(&mut self, path: &Path, mut ops: Ops, t: Time) {
+        let mut i = path.pages.len() - 1;
+        loop {
+            let page = path.pages[i];
+            let parent = if i > 0 {
+                Some(ParentCtx {
+                    page: path.pages[i - 1],
+                    entry_idx: path.entry_idx[i - 1],
+                })
+            } else {
+                None
+            };
+            let up = self.apply_ops(page, ops, t, parent.as_ref());
+            match up {
+                UpOps::Done => return,
+                UpOps::Expand(rect) => {
+                    if i == 0 {
+                        return;
+                    }
+                    ops = Ops {
+                        kills: Vec::new(),
+                        expand: Some((path.entry_idx[i - 1], rect)),
+                        adds: Vec::new(),
+                    };
+                }
+                UpOps::Replace { kill_sibling, adds } => {
+                    if i == 0 {
+                        self.replace_root(adds, t);
+                        return;
+                    }
+                    let mut kills = vec![path.entry_idx[i - 1]];
+                    if let Some(s) = kill_sibling {
+                        kills.push(s);
+                    }
+                    ops = Ops {
+                        kills,
+                        expand: None,
+                        adds,
+                    };
+                }
+            }
+            i -= 1;
+        }
+    }
+
+    /// Apply kills/expands/adds to one node; version-split when the node
+    /// is full or (for non-roots) the weak version condition breaks.
+    fn apply_ops(&mut self, page: PageId, ops: Ops, t: Time, parent: Option<&ParentCtx>) -> UpOps {
+        let mut node = self.read_node(page);
+        for &k in &ops.kills {
+            debug_assert!(node.entries[k].is_alive(), "killing a dead entry");
+            node.entries[k].deletion = t;
+        }
+        if let Some((idx, rect)) = ops.expand {
+            node.entries[idx].rect.expand(&rect);
+        }
+
+        if node.entries.len() + ops.adds.len() <= self.params.max_entries {
+            // Fits: apply in place.
+            let mut grow = ops.expand.map(|(_, r)| r).unwrap_or(Rect2::EMPTY);
+            for e in &ops.adds {
+                grow.expand(&e.rect);
+            }
+            let alive = node.alive_count() + ops.adds.len();
+            let is_root = parent.is_none();
+            if !is_root && alive < self.params.weak_min() {
+                // Weak version underflow: close this node and copy the
+                // survivors (possibly merging with a sibling). The adds
+                // must NOT be written into the closed node — it covers
+                // history strictly before `t`, and a never-deleted copy
+                // left behind would resurface in interval queries that
+                // span the split.
+                self.write_node(page, &node);
+                let mut with_adds = node.clone();
+                with_adds.entries.extend(ops.adds);
+                return self.version_split(&with_adds, t, parent);
+            }
+            node.entries.extend(ops.adds);
+            if is_root && !node.is_leaf() && alive == 0 {
+                // Directory root lost its last child: close the current
+                // evolution; a future insert starts a fresh root.
+                self.write_node(page, &node);
+                self.close_current_root(t);
+                return UpOps::Done;
+            }
+            self.write_node(page, &node);
+            if grow.is_empty() {
+                return UpOps::Done;
+            }
+            return UpOps::Expand(grow);
+        }
+
+        // Node is full: persist the kills/expands historically, then
+        // version-split with the pending adds folded into the copies.
+        let adds = ops.adds;
+        self.write_node(page, &node);
+        let mut with_adds = node.clone();
+        with_adds.entries.extend(adds);
+        self.version_split(&with_adds, t, parent)
+    }
+
+    /// Copy the alive entries of `node` into fresh node(s) at time `t`,
+    /// applying the strong version overflow / underflow rules. Returns
+    /// the replacement directive for the parent.
+    fn version_split(&mut self, node: &PprNode, t: Time, parent: Option<&ParentCtx>) -> UpOps {
+        let mut copies: Vec<PprEntry> = node
+            .entries
+            .iter()
+            .filter(|e| e.is_alive())
+            .map(|e| PprEntry { insertion: t, ..*e })
+            .collect();
+
+        if copies.is_empty() {
+            return UpOps::Replace {
+                kill_sibling: None,
+                adds: Vec::new(),
+            };
+        }
+
+        let svu = self.params.strong_underflow();
+        let svo = self.params.strong_overflow();
+        let mut kill_sibling = None;
+
+        if copies.len() < svu {
+            // Strong version underflow: merge with a version-split
+            // sibling when one exists.
+            if let Some(ctx) = parent {
+                if let Some((sib_idx, sib_page)) = self.pick_sibling(ctx, node) {
+                    let sib = self.read_node(sib_page);
+                    debug_assert_eq!(sib.level, node.level, "merge across levels");
+                    copies.extend(
+                        sib.entries
+                            .iter()
+                            .filter(|e| e.is_alive())
+                            .map(|e| PprEntry { insertion: t, ..*e }),
+                    );
+                    kill_sibling = Some(sib_idx);
+                }
+                // No alive sibling: fall through and create the sparse
+                // copy anyway — the weak condition is best-effort when the
+                // parent has a single alive child.
+            }
+        }
+
+        let groups: Vec<Vec<PprEntry>> = if copies.len() > svo {
+            let (g1, g2) = key_split(copies, svu);
+            vec![g1, g2]
+        } else {
+            vec![copies]
+        };
+
+        let mut adds = Vec::with_capacity(groups.len());
+        for g in groups {
+            assert!(
+                g.len() <= self.params.max_entries,
+                "version split overflowed a node"
+            );
+            let new_node = PprNode {
+                level: node.level,
+                entries: g,
+            };
+            let new_page = self.store.allocate();
+            let rect = new_node.full_mbr();
+            self.write_node(new_page, &new_node);
+            adds.push(PprEntry::alive(rect, u64::from(new_page), t));
+        }
+        UpOps::Replace { kill_sibling, adds }
+    }
+
+    /// Choose an alive sibling of the entry `ctx.entry_idx` in the parent,
+    /// preferring the one whose MBR is closest (smallest union area) to
+    /// the underflowing node.
+    fn pick_sibling(&mut self, ctx: &ParentCtx, node: &PprNode) -> Option<(usize, PageId)> {
+        let parent = self.read_node(ctx.page);
+        let my_rect = node.alive_mbr();
+        let mut best: Option<(f64, usize, PageId)> = None;
+        for (i, e) in parent.entries.iter().enumerate() {
+            if i == ctx.entry_idx || !e.is_alive() {
+                continue;
+            }
+            // Any alive sibling is safe: the combined copies are at most
+            // (svu − 1) + B entries, and when that exceeds svo the key
+            // split's min-fill bound (svu each, checked by
+            // `PprParams::validate`) caps each half below B.
+            let key = if my_rect.is_empty() {
+                e.rect.area()
+            } else {
+                my_rect.union(&e.rect).area()
+            };
+            if best.is_none_or(|(b, _, _)| key < b) {
+                best = Some((key, i, e.child_page()));
+            }
+        }
+        best.map(|(_, i, p)| (i, p))
+    }
+
+    /// Install replacements for a version-split root.
+    fn replace_root(&mut self, adds: Vec<PprEntry>, t: Time) {
+        let old = self.current_root().expect("a root was being split");
+        self.close_current_root(t);
+        match adds.len() {
+            0 => {}
+            1 => {
+                self.roots.push(RootSpan {
+                    interval: TimeInterval::open(t),
+                    page: adds[0].child_page(),
+                    level: old.level,
+                });
+            }
+            2 => {
+                let new_root = PprNode {
+                    level: old.level + 1,
+                    entries: adds,
+                };
+                let page = self.store.allocate();
+                self.write_node(page, &new_root);
+                self.roots.push(RootSpan {
+                    interval: TimeInterval::open(t),
+                    page,
+                    level: old.level + 1,
+                });
+            }
+            n => unreachable!("version split produced {n} nodes"),
+        }
+    }
+
+    fn close_current_root(&mut self, t: Time) {
+        let span = self.roots.last_mut().expect("root exists");
+        debug_assert!(span.interval.is_open());
+        span.interval.end = t;
+        if span.interval.is_empty() {
+            // Root that was opened and closed at the same instant covers
+            // no queryable time; drop it from the log.
+            self.roots.pop();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Save the whole index (pages + parameters + root log) to a file.
+    pub fn save_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut meta = vec![0u8; 1 + 4 + 8 * 3 + 4 + 4 + 8 + 8 + 4 + self.roots.len() * 16];
+        {
+            let mut w = sti_storage::ByteWriter::new(&mut meta);
+            w.put_u8(b'P'); // backend tag: partially persistent R-Tree
+            w.put_u32(self.params.max_entries as u32);
+            w.put_f64(self.params.p_version);
+            w.put_f64(self.params.p_svo);
+            w.put_f64(self.params.p_svu);
+            w.put_u32(self.params.buffer_pages as u32);
+            w.put_u32(self.now);
+            w.put_u64(self.alive_records);
+            w.put_u64(self.total_posted);
+            w.put_u32(self.roots.len() as u32);
+            for r in &self.roots {
+                w.put_u32(r.interval.start);
+                w.put_u32(r.interval.end);
+                w.put_u32(r.page);
+                w.put_u32(r.level);
+            }
+        }
+        self.store.save_to(path, &meta)
+    }
+
+    /// Load an index previously written by [`PprTree::save_to_file`].
+    pub fn open_file(path: &std::path::Path) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let bad = |m: &'static str| Error::new(ErrorKind::InvalidData, m);
+        // Buffer capacity is re-read from the metadata below; load with a
+        // placeholder first.
+        let (mut store, meta) = PageStore::load_from(path, 0)?;
+        let mut r = sti_storage::ByteReader::new(&meta);
+        match r.get_u8().map_err(|_| bad("backend tag"))? {
+            b'P' => {}
+            b'R' => return Err(bad("this file holds an R*-Tree, not a PPR-Tree")),
+            _ => return Err(bad("unknown index backend tag")),
+        }
+        let mut take = |what: &'static str| r.get_u32().map_err(move |_| bad(what));
+        let max_entries = take("max_entries")? as usize;
+        let mut rf = |what: &'static str| r.get_f64().map_err(move |_| bad(what));
+        let p_version = rf("p_version")?;
+        let p_svo = rf("p_svo")?;
+        let p_svu = rf("p_svu")?;
+        let params = PprParams {
+            max_entries,
+            p_version,
+            p_svo,
+            p_svu,
+            buffer_pages: r.get_u32().map_err(|_| bad("buffer_pages"))? as usize,
+        };
+        params.validate();
+        store.set_buffer_capacity(params.buffer_pages);
+        let now = r.get_u32().map_err(|_| bad("now"))?;
+        let alive_records = r.get_u64().map_err(|_| bad("alive"))?;
+        let total_posted = r.get_u64().map_err(|_| bad("total"))?;
+        let count = r.get_u32().map_err(|_| bad("root count"))? as usize;
+        let mut roots = Vec::with_capacity(count);
+        for _ in 0..count {
+            let start = r.get_u32().map_err(|_| bad("root start"))?;
+            let end = r.get_u32().map_err(|_| bad("root end"))?;
+            let page = r.get_u32().map_err(|_| bad("root page"))?;
+            let level = r.get_u32().map_err(|_| bad("root level"))?;
+            if end < start || (page as usize) >= store.num_pages() {
+                return Err(bad("corrupt root span"));
+            }
+            roots.push(RootSpan {
+                interval: TimeInterval { start, end },
+                page,
+                level,
+            });
+        }
+        Ok(Self {
+            store,
+            params,
+            roots,
+            now,
+            alive_records,
+            total_posted,
+        })
+    }
+
+    /// Walk the live tree and assert structural invariants (test aid).
+    ///
+    /// Checks node capacity, parent-entry spatial containment, level
+    /// consistency, and — for current non-root nodes whose parent has
+    /// other alive children — the weak version condition.
+    #[doc(hidden)]
+    pub fn validate(&mut self) {
+        let Some(root) = self.current_root() else {
+            return;
+        };
+        let weak_min = self.params.weak_min();
+        let max = self.params.max_entries;
+        // (page, level, parent rect, parent's alive-child count)
+        let mut stack: Vec<(PageId, u32, Option<Rect2>, usize)> =
+            vec![(root.page, root.level, None, 1)];
+        while let Some((page, level, parent_rect, parent_alive_children)) = stack.pop() {
+            let node = self.read_node(page);
+            assert_eq!(node.level, level, "level mismatch at page {page}");
+            assert!(node.entries.len() <= max, "overfull node {page}");
+            if let Some(pr) = parent_rect {
+                assert!(
+                    pr.contains_rect(&node.full_mbr()),
+                    "parent entry does not cover node {page}"
+                );
+            }
+            let alive = node.alive_count();
+            let is_root = page == root.page;
+            if !is_root && parent_alive_children > 1 {
+                assert!(
+                    alive >= weak_min,
+                    "weak version condition violated at page {page}: {alive} < {weak_min}"
+                );
+            }
+            if !node.is_leaf() {
+                let alive_children = alive;
+                for e in &node.entries {
+                    if e.is_alive() {
+                        stack.push((e.child_page(), level - 1, Some(e.rect), alive_children));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Root-to-leaf path recorded during descent.
+struct Path {
+    /// Node pages, root first.
+    pages: Vec<PageId>,
+    /// `entry_idx[i]` = index within `pages[i]` of the entry pointing to
+    /// `pages[i + 1]`.
+    entry_idx: Vec<usize>,
+}
+
+/// Parent context for sibling selection during merges.
+struct ParentCtx {
+    page: PageId,
+    entry_idx: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn small_params() -> PprParams {
+        // B = 10: D = ceil(2.2) = 3, svo = 8, svu = 4; svo+1 ≥ 2·svu ✓
+        PprParams {
+            max_entries: 10,
+            p_version: 0.22,
+            p_svo: 0.8,
+            p_svu: 0.4,
+            buffer_pages: 4,
+        }
+    }
+
+    fn rect(x: f64, y: f64) -> Rect2 {
+        Rect2::from_bounds(x, y, x + 0.02, y + 0.02)
+    }
+
+    /// Naive shadow structure for cross-checking queries.
+    struct Shadow {
+        records: Vec<(u64, Rect2, Time, Time)>,
+    }
+
+    impl Shadow {
+        fn snapshot(&self, area: &Rect2, t: Time) -> Vec<u64> {
+            let mut v: Vec<u64> = self
+                .records
+                .iter()
+                .filter(|(_, r, s, e)| *s <= t && t < *e && r.intersects(area))
+                .map(|&(id, ..)| id)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+
+        fn interval(&self, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+            let mut v: Vec<u64> = self
+                .records
+                .iter()
+                .filter(|(_, r, s, e)| {
+                    TimeInterval::new(*s, *e).overlaps(range) && r.intersects(area)
+                })
+                .map(|&(id, ..)| id)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+    }
+
+    #[test]
+    fn empty_tree_answers_nothing() {
+        let mut t = PprTree::new(small_params());
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        assert!(out.is_empty());
+        t.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 100), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.roots().len(), 0);
+    }
+
+    #[test]
+    fn single_record_lifecycle() {
+        let mut t = PprTree::new(small_params());
+        let r = rect(0.5, 0.5);
+        t.insert(1, r, 10);
+        t.delete(1, r, 20);
+        assert_eq!(t.alive_records(), 0);
+        assert_eq!(t.total_records(), 1);
+
+        let mut out = Vec::new();
+        t.query_snapshot(&r, 15, &mut out);
+        assert_eq!(out, vec![1]);
+        out.clear();
+        t.query_snapshot(&r, 9, &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        t.query_snapshot(&r, 20, &mut out); // half-open lifetime
+        assert!(out.is_empty());
+        out.clear();
+        t.query_interval(&r, &TimeInterval::new(0, 100), &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_time_travel() {
+        let mut t = PprTree::new(small_params());
+        t.insert(1, rect(0.1, 0.1), 10);
+        t.insert(2, rect(0.2, 0.2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no alive record")]
+    fn rejects_deleting_missing_record() {
+        let mut t = PprTree::new(small_params());
+        t.insert(1, rect(0.1, 0.1), 10);
+        t.delete(99, rect(0.1, 0.1), 11);
+    }
+
+    #[test]
+    fn version_split_preserves_history() {
+        // Fill one leaf beyond capacity; the old state must stay
+        // queryable at old timestamps.
+        let mut t = PprTree::new(small_params());
+        for i in 0..30u64 {
+            t.insert(i, rect(0.01 * i as f64, 0.0), i as Time);
+        }
+        t.validate();
+        let mut out = Vec::new();
+        // At time 5, exactly records 0..=5 are alive.
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..=5).collect::<Vec<u64>>());
+        // At time 29 all 30 are alive.
+        out.clear();
+        t.query_snapshot(&Rect2::UNIT, 29, &mut out);
+        assert_eq!(out.len(), 30);
+    }
+
+    #[test]
+    fn mass_deletion_triggers_weak_underflow_handling() {
+        let mut t = PprTree::new(small_params());
+        for i in 0..40u64 {
+            t.insert(i, rect(0.02 * (i % 20) as f64, 0.1 * (i / 20) as f64), 0);
+        }
+        // Delete most of them, forcing weak underflows and merges.
+        for i in 0..36u64 {
+            t.delete(
+                i,
+                rect(0.02 * (i % 20) as f64, 0.1 * (i / 20) as f64),
+                10 + i as Time,
+            );
+        }
+        t.validate();
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 60, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![36, 37, 38, 39]);
+        // History intact: at t=5 all 40 alive.
+        out.clear();
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert() {
+        let mut t = PprTree::new(small_params());
+        for i in 0..8u64 {
+            t.insert(i, rect(0.1 * i as f64, 0.0), 0);
+        }
+        for i in 0..8u64 {
+            t.delete(i, rect(0.1 * i as f64, 0.0), 10);
+        }
+        assert_eq!(t.alive_records(), 0);
+        // New evolution after a gap.
+        t.insert(100, rect(0.5, 0.5), 50);
+        t.validate();
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 30, &mut out);
+        assert!(out.is_empty(), "gap between evolutions must be empty");
+        out.clear();
+        t.query_snapshot(&Rect2::UNIT, 50, &mut out);
+        assert_eq!(out, vec![100]);
+        out.clear();
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn interval_query_deduplicates_copies() {
+        let mut t = PprTree::new(small_params());
+        // One long-lived record that will be copied by version splits
+        // caused by churning neighbors.
+        let target = rect(0.5, 0.5);
+        t.insert(999, target, 0);
+        for round in 0u64..20 {
+            let tt = 1 + round as Time * 2;
+            for j in 0..5u64 {
+                t.insert(round * 10 + j, rect(0.01 * j as f64, 0.9), tt);
+            }
+            for j in 0..5u64 {
+                t.delete(round * 10 + j, rect(0.01 * j as f64, 0.9), tt + 1);
+            }
+        }
+        t.validate();
+        let mut out = Vec::new();
+        t.query_interval(&target, &TimeInterval::new(0, 100), &mut out);
+        assert_eq!(
+            out,
+            vec![999],
+            "the surviving record is reported exactly once"
+        );
+    }
+
+    #[test]
+    fn randomized_against_shadow() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut tree = PprTree::new(small_params());
+        let mut shadow = Shadow {
+            records: Vec::new(),
+        };
+        let mut alive: Vec<(u64, Rect2)> = Vec::new();
+        let mut next_id = 0u64;
+
+        for t in 0..300u32 {
+            // A few births.
+            for _ in 0..rng.random_range(0..4) {
+                let r = rect(rng.random::<f64>() * 0.9, rng.random::<f64>() * 0.9);
+                tree.insert(next_id, r, t);
+                shadow.records.push((next_id, r, t, TimeInterval::OPEN_END));
+                alive.push((next_id, r));
+                next_id += 1;
+            }
+            // A few deaths.
+            for _ in 0..rng.random_range(0..3) {
+                if alive.is_empty() {
+                    break;
+                }
+                let k = rng.random_range(0..alive.len());
+                let (id, r) = alive.swap_remove(k);
+                tree.delete(id, r, t);
+                let rec = shadow
+                    .records
+                    .iter_mut()
+                    .find(|(i, ..)| *i == id)
+                    .expect("exists");
+                rec.3 = t;
+            }
+        }
+        tree.validate();
+
+        // Snapshot checks across the whole evolution.
+        for t in (0..300).step_by(13) {
+            let area = Rect2::from_bounds(0.2, 0.2, 0.7, 0.7);
+            let mut got = Vec::new();
+            tree.query_snapshot(&area, t, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, shadow.snapshot(&area, t), "snapshot at {t}");
+        }
+        // Interval checks.
+        for start in (0..280).step_by(31) {
+            let range = TimeInterval::new(start, start + 17);
+            let area = Rect2::from_bounds(0.1, 0.1, 0.6, 0.8);
+            let mut got = Vec::new();
+            tree.query_interval(&area, &range, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, shadow.interval(&area, &range), "interval at {range}");
+        }
+    }
+
+    #[test]
+    fn snapshot_io_scales_with_alive_not_history() {
+        // Insert 60 churning generations; at any instant only ~10 alive.
+        let mut t = PprTree::new(small_params());
+        let mut clock: Time = 0;
+        for gen in 0..60u64 {
+            for j in 0..10u64 {
+                t.insert(gen * 100 + j, rect(0.05 * j as f64, 0.3), clock);
+            }
+            clock += 5;
+            for j in 0..10u64 {
+                t.delete(gen * 100 + j, rect(0.05 * j as f64, 0.3), clock);
+            }
+        }
+        let pages = t.num_pages();
+        assert!(pages > 30, "history should occupy many pages, got {pages}");
+        t.reset_for_query();
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 7, &mut out);
+        let io = t.io_stats().reads;
+        assert_eq!(out.len(), 10);
+        assert!(
+            io <= 8,
+            "snapshot must touch only the ephemeral tree of its instant ({io} reads, {pages} pages)"
+        );
+    }
+
+    #[test]
+    fn roots_partition_time() {
+        let mut t = PprTree::new(small_params());
+        for i in 0..200u64 {
+            t.insert(i, rect(0.004 * i as f64, 0.004 * i as f64), i as Time);
+        }
+        let roots = t.roots();
+        assert!(!roots.is_empty());
+        for w in roots.windows(2) {
+            assert_eq!(
+                w[0].interval.end, w[1].interval.start,
+                "root spans must be consecutive"
+            );
+        }
+        assert!(roots.last().expect("nonempty").interval.is_open());
+    }
+}

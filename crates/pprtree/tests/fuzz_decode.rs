@@ -1,0 +1,52 @@
+//! Fuzzing the PPR-Tree node decoder: arbitrary or bit-flipped page
+//! bytes must produce `Err` or a structurally sane node — never a panic.
+
+use proptest::prelude::*;
+use sti_pprtree::PprNode;
+use sti_storage::{Page, PAGE_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..PAGE_SIZE)) {
+        let mut page = Page::zeroed();
+        page.fill_from(&bytes);
+        let _ = PprNode::decode(&page);
+    }
+
+    #[test]
+    fn bitflip_on_valid_page_never_panics(
+        seed_entries in 1usize..50,
+        flip_byte in 0usize..PAGE_SIZE,
+        flip_bit in 0u8..8,
+    ) {
+        use sti_geom::{Rect2, TimeInterval};
+        use sti_pprtree::PprEntry;
+        let node = PprNode {
+            level: 0,
+            entries: (0..seed_entries)
+                .map(|i| {
+                    let v = i as f64 * 0.01;
+                    PprEntry {
+                        rect: Rect2::from_bounds(v, v, v + 0.05, v + 0.05),
+                        ptr: i as u64,
+                        insertion: i as u32,
+                        deletion: if i % 2 == 0 { TimeInterval::OPEN_END } else { 500 },
+                    }
+                })
+                .collect(),
+        };
+        let mut page = Page::zeroed();
+        node.encode(&mut page);
+        page.bytes_mut()[flip_byte] ^= 1 << flip_bit;
+        if let Ok(decoded) = PprNode::decode(&page) {
+            prop_assert!(decoded.entries.len() <= 85);
+            for e in &decoded.entries {
+                prop_assert!(e.rect.lo.x <= e.rect.hi.x);
+                prop_assert!(e.rect.lo.y <= e.rect.hi.y);
+                prop_assert!(e.insertion <= e.deletion);
+            }
+        }
+    }
+}

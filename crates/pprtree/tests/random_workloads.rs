@@ -1,0 +1,151 @@
+//! Property-based workload testing: arbitrary seeded update streams,
+//! snapshot and interval queries cross-checked against a naive shadow.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sti_geom::{Rect2, TimeInterval};
+use sti_pprtree::{PprParams, PprTree};
+
+struct Shadow {
+    records: Vec<(u64, Rect2, u32, u32)>,
+}
+
+impl Shadow {
+    fn snapshot(&self, area: &Rect2, t: u32) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|(_, r, s, e)| *s <= t && t < *e && r.intersects(area))
+            .map(|&(id, ..)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn interval(&self, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|(_, r, s, e)| TimeInterval::new(*s, *e).overlaps(range) && r.intersects(area))
+            .map(|&(id, ..)| id)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+fn run_workload(seed: u64, max_entries: usize, churn: u32) -> (PprTree, Shadow) {
+    let params = PprParams {
+        max_entries,
+        buffer_pages: 4,
+        ..PprParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = PprTree::new(params);
+    let mut shadow = Shadow {
+        records: Vec::new(),
+    };
+    let mut alive: Vec<(u64, Rect2)> = Vec::new();
+    let mut next = 0u64;
+    for t in 0..200u32 {
+        for _ in 0..rng.random_range(0..=churn) {
+            let x = rng.random::<f64>() * 0.9;
+            let y = rng.random::<f64>() * 0.9;
+            let r = Rect2::from_bounds(x, y, x + 0.05, y + 0.05);
+            tree.insert(next, r, t);
+            shadow.records.push((next, r, t, u32::MAX));
+            alive.push((next, r));
+            next += 1;
+        }
+        for _ in 0..rng.random_range(0..=churn) {
+            if alive.is_empty() {
+                break;
+            }
+            let k = rng.random_range(0..alive.len());
+            let (id, r) = alive.swap_remove(k);
+            tree.delete(id, r, t);
+            shadow
+                .records
+                .iter_mut()
+                .find(|(i, ..)| *i == id)
+                .expect("recorded")
+                .3 = t;
+        }
+    }
+    (tree, shadow)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn snapshots_match_shadow(seed in any::<u64>(), cap in prop::sample::select(vec![9usize, 10, 12, 14, 15, 17, 19, 20, 22, 24])) {
+        let (mut tree, shadow) = run_workload(seed, cap, 3);
+        tree.validate();
+        for t in (0..200).step_by(17) {
+            let area = Rect2::from_bounds(0.2, 0.1, 0.8, 0.9);
+            let mut got = Vec::new();
+            tree.query_snapshot(&area, t, &mut got);
+            got.sort_unstable();
+            prop_assert_eq!(got, shadow.snapshot(&area, t), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn intervals_match_shadow(seed in any::<u64>(), cap in prop::sample::select(vec![9usize, 10, 12, 14, 15, 17, 19, 20, 22, 24])) {
+        let (mut tree, shadow) = run_workload(seed, cap, 2);
+        for start in (0..180).step_by(23) {
+            let range = TimeInterval::new(start, start + 1 + (start % 29));
+            let area = Rect2::from_bounds(0.0, 0.0, 0.6, 0.6);
+            let mut got = Vec::new();
+            tree.query_interval(&area, &range, &mut got);
+            got.sort_unstable();
+            prop_assert_eq!(got, shadow.interval(&area, &range), "range={}", range);
+        }
+    }
+
+    #[test]
+    fn storage_is_linear_in_changes(seed in any::<u64>()) {
+        // The multi-version property: pages grow linearly with the number
+        // of updates (here: generously bounded), never quadratically.
+        let (tree, shadow) = run_workload(seed, 10, 3);
+        let updates = shadow.records.len() * 2; // each record: insert + delete
+        let entries_capacity = tree.num_pages() * 10;
+        prop_assert!(
+            entries_capacity <= updates.max(1) * 8,
+            "storage blow-up: {} pages for {} updates",
+            tree.num_pages(),
+            updates
+        );
+    }
+}
+
+/// Two alive records with the same id but different rectangles must be
+/// individually deletable — the rect disambiguates.
+#[test]
+fn same_id_different_rects_delete_the_right_one() {
+    let params = PprParams {
+        max_entries: 10,
+        buffer_pages: 4,
+        ..PprParams::default()
+    };
+    let mut tree = PprTree::new(params);
+    let a = Rect2::from_bounds(0.1, 0.1, 0.15, 0.15);
+    let b = Rect2::from_bounds(0.8, 0.8, 0.85, 0.85);
+    tree.insert(7, a, 0);
+    tree.insert(7, b, 0);
+    // Kill the FAR one; the near one must survive.
+    tree.delete(7, b, 10);
+    let mut out = Vec::new();
+    tree.query_snapshot(&a, 10, &mut out);
+    assert_eq!(out, vec![7], "record (7, a) must still be alive");
+    out.clear();
+    tree.query_snapshot(&b, 10, &mut out);
+    assert!(out.is_empty(), "record (7, b) must be gone");
+    tree.delete(7, a, 20);
+    out.clear();
+    tree.query_snapshot(&Rect2::UNIT, 20, &mut out);
+    assert!(out.is_empty());
+}

@@ -1,0 +1,24 @@
+//! A disk-based 3-dimensional R\*-Tree (Beckmann, Kriegel, Schneider,
+//! Seeger — SIGMOD 1990).
+//!
+//! This is the paper's *straightforward baseline*: treat time as a third
+//! spatial dimension, box every spatiotemporal record into (x, y, t), and
+//! index the boxes. The implementation is complete R\*: ChooseSubtree with
+//! minimum overlap enlargement at the leaf level, forced reinsertion of
+//! the farthest 30% on first overflow per level, and the margin-driven
+//! topological split.
+//!
+//! Nodes are serialized to fixed-size pages of a
+//! [`sti_storage::PageStore`], so query I/O (with the paper's 10-page LRU
+//! buffer) is measured exactly as in the evaluation. The paper's setup
+//! uses a page capacity of 50 entries.
+
+pub mod bulk;
+pub mod knn;
+pub mod node;
+pub mod split;
+pub mod tree;
+
+pub use bulk::PackingAlgorithm;
+pub use node::{Entry, Node, RStarParams, SplitStrategy};
+pub use tree::RStarTree;

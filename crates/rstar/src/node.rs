@@ -1,0 +1,303 @@
+//! R\*-Tree nodes and their page serialization.
+
+use sti_geom::Rect3;
+use sti_storage::{ByteReader, ByteWriter, CodecError, Page, PageId, PAGE_SIZE};
+
+/// Node split algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SplitStrategy {
+    /// The R\* topological split (margin-driven axis choice) — default.
+    #[default]
+    RStar,
+    /// Guttman's quadratic split (R-Tree, 1984), for comparison.
+    QuadraticGuttman,
+}
+
+/// Tuning parameters of the R\*-Tree.
+#[derive(Debug, Clone, Copy)]
+pub struct RStarParams {
+    /// Maximum entries per node (`M`). The paper's setup: 50.
+    pub max_entries: usize,
+    /// Minimum fill fraction for splits (`m = ceil(fraction · M)`);
+    /// Beckmann et al. recommend 0.4.
+    pub min_fill: f64,
+    /// Fraction of entries force-reinserted on first overflow per level;
+    /// Beckmann et al. recommend 0.3.
+    pub reinsert_fraction: f64,
+    /// Buffer pool capacity in pages (paper: 10).
+    pub buffer_pages: usize,
+    /// Which split algorithm overflowing nodes use.
+    pub split_strategy: SplitStrategy,
+}
+
+impl Default for RStarParams {
+    fn default() -> Self {
+        Self {
+            max_entries: 50,
+            min_fill: 0.4,
+            reinsert_fraction: 0.3,
+            buffer_pages: 10,
+            split_strategy: SplitStrategy::default(),
+        }
+    }
+}
+
+impl RStarParams {
+    /// Minimum entries a split group must receive.
+    pub fn min_entries(&self) -> usize {
+        ((self.min_fill * self.max_entries as f64).ceil() as usize).max(1)
+    }
+
+    /// Number of entries removed by forced reinsertion.
+    pub fn reinsert_count(&self) -> usize {
+        ((self.reinsert_fraction * self.max_entries as f64).floor() as usize).max(1)
+    }
+
+    /// Check a node of `max_entries` (+1 transient overflow slot is kept
+    /// in memory only) fits a page.
+    pub fn validate(&self) {
+        assert!(self.max_entries >= 4, "max_entries too small");
+        assert!(
+            Node::encoded_size(self.max_entries) <= PAGE_SIZE,
+            "{} entries do not fit a {PAGE_SIZE}-byte page",
+            self.max_entries
+        );
+        assert!(
+            (0.0..=0.5).contains(&self.min_fill),
+            "min_fill out of range"
+        );
+        assert!(
+            (0.0..0.5).contains(&self.reinsert_fraction),
+            "reinsert_fraction out of range"
+        );
+    }
+}
+
+/// A node entry. In a leaf (`level == 0`) `ptr` is the record's object
+/// id; in an internal node it is the child's [`PageId`] (widened to u64).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Bounding box of the record / child subtree.
+    pub rect: Rect3,
+    /// Object id (leaf) or child page id (internal).
+    pub ptr: u64,
+}
+
+impl Entry {
+    /// Convenience constructor for internal entries.
+    pub fn child(rect: Rect3, page: PageId) -> Self {
+        Self {
+            rect,
+            ptr: u64::from(page),
+        }
+    }
+
+    /// Interpret `ptr` as a child page id.
+    pub fn child_page(&self) -> PageId {
+        PageId::try_from(self.ptr).expect("internal entry holds a page id")
+    }
+
+    const ENCODED: usize = 6 * 8 + 8; // rect + ptr
+}
+
+/// One R\*-Tree node: a level (0 = leaf) and up to `M` entries (one extra
+/// transient entry may be present in memory during overflow handling; it
+/// is never written to a page).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Height above the leaves: 0 for leaf nodes.
+    pub level: u32,
+    /// The entries.
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// An empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Self {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Bounding box of all entries.
+    pub fn mbr(&self) -> Rect3 {
+        let mut m = Rect3::EMPTY;
+        for e in &self.entries {
+            m.expand(&e.rect);
+        }
+        m
+    }
+
+    /// Bytes needed to encode a node of `n` entries.
+    pub fn encoded_size(n: usize) -> usize {
+        4 + 2 + n * Entry::ENCODED
+    }
+
+    /// Serialize into a page buffer.
+    ///
+    /// # Panics
+    /// If the node does not fit (the tree splits before this can happen).
+    pub fn encode(&self, page: &mut Page) {
+        assert!(
+            Self::encoded_size(self.entries.len()) <= PAGE_SIZE,
+            "node too large for page"
+        );
+        let buf = page.bytes_mut();
+        let mut w = ByteWriter::new(&mut buf[..]);
+        w.put_u32(self.level);
+        w.put_u16(u16::try_from(self.entries.len()).expect("entry count fits u16"));
+        for e in &self.entries {
+            for d in 0..3 {
+                w.put_f64(e.rect.lo[d]);
+            }
+            for d in 0..3 {
+                w.put_f64(e.rect.hi[d]);
+            }
+            w.put_u64(e.ptr);
+        }
+        // Zero the tail so stale bytes from a previous, larger version of
+        // this node can never be mis-decoded.
+        let pos = w.position();
+        buf[pos..].fill(0);
+    }
+
+    /// Deserialize from a page.
+    pub fn decode(page: &Page) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(&page.bytes()[..]);
+        let level = r.get_u32()?;
+        let count = r.get_u16()? as usize;
+        if Self::encoded_size(count) > PAGE_SIZE {
+            return Err(CodecError::InvalidValue(
+                "entry count exceeds page capacity",
+            ));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut lo = [0.0; 3];
+            let mut hi = [0.0; 3];
+            for v in &mut lo {
+                *v = r.get_f64()?;
+            }
+            for v in &mut hi {
+                *v = r.get_f64()?;
+            }
+            let ptr = r.get_u64()?;
+            if lo[0] > hi[0] || lo[1] > hi[1] || lo[2] > hi[2] {
+                return Err(CodecError::InvalidValue("reversed rectangle in node entry"));
+            }
+            entries.push(Entry {
+                rect: Rect3 { lo, hi },
+                ptr,
+            });
+        }
+        Ok(Self { level, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: f64, ptr: u64) -> Entry {
+        Entry {
+            rect: Rect3::new([v, v, v], [v + 0.1, v + 0.2, v + 0.3]),
+            ptr,
+        }
+    }
+
+    #[test]
+    fn params_derived_values() {
+        let p = RStarParams::default();
+        p.validate();
+        assert_eq!(p.min_entries(), 20);
+        assert_eq!(p.reinsert_count(), 15);
+    }
+
+    #[test]
+    fn fifty_entries_fit_a_page() {
+        assert!(Node::encoded_size(50) <= PAGE_SIZE);
+        // and the hard cap:
+        assert!(Node::encoded_size(73) <= PAGE_SIZE);
+        assert!(Node::encoded_size(74) > PAGE_SIZE);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let node = Node {
+            level: 3,
+            entries: (0..50).map(|i| entry(i as f64 * 0.01, 1000 + i)).collect(),
+        };
+        let mut page = Page::zeroed();
+        node.encode(&mut page);
+        let back = Node::decode(&page).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn encode_zeroes_stale_tail() {
+        let big = Node {
+            level: 0,
+            entries: (0..10).map(|i| entry(0.0, i)).collect(),
+        };
+        let small = Node {
+            level: 0,
+            entries: vec![entry(0.5, 9)],
+        };
+        let mut page = Page::zeroed();
+        big.encode(&mut page);
+        small.encode(&mut page);
+        let back = Node::decode(&page).unwrap();
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back, small);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_count() {
+        let mut page = Page::zeroed();
+        // level 0, count 60000
+        page.bytes_mut()[4] = 0x60;
+        page.bytes_mut()[5] = 0xea;
+        assert!(Node::decode(&page).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_reversed_rect() {
+        let node = Node {
+            level: 0,
+            entries: vec![entry(0.1, 1)],
+        };
+        let mut page = Page::zeroed();
+        node.encode(&mut page);
+        // Corrupt lo[0] (offset 6) to be huge.
+        let bytes = 1e9f64.to_le_bytes();
+        page.bytes_mut()[6..14].copy_from_slice(&bytes);
+        assert!(matches!(
+            Node::decode(&page),
+            Err(CodecError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn mbr_covers_entries() {
+        let node = Node {
+            level: 1,
+            entries: vec![entry(0.0, 1), entry(0.5, 2)],
+        };
+        let m = node.mbr();
+        assert!(m.contains(&node.entries[0].rect));
+        assert!(m.contains(&node.entries[1].rect));
+        assert_eq!(Node::new(0).mbr(), Rect3::EMPTY);
+    }
+
+    #[test]
+    fn child_page_round_trip() {
+        let e = Entry::child(Rect3::new([0.0; 3], [1.0; 3]), 42);
+        assert_eq!(e.child_page(), 42);
+    }
+}

@@ -1,0 +1,761 @@
+//! The R\*-Tree proper: insertion with forced reinsertion, and box
+//! queries with I/O accounting.
+
+use crate::node::SplitStrategy;
+use crate::node::{Entry, Node, RStarParams};
+use crate::split::{quadratic_split, rstar_split};
+use sti_geom::Rect3;
+use sti_storage::{IoStats, Page, PageId, PageStore};
+
+/// A disk-based 3D R\*-Tree.
+///
+/// All node traffic goes through an internal [`PageStore`], so
+/// [`RStarTree::io_stats`] reports faithful page-access counts. Queries
+/// read through the store's LRU buffer; call
+/// [`RStarTree::reset_for_query`] before each measured query to reproduce
+/// the paper's buffer-reset methodology.
+///
+/// Supports dynamic insertion (R\* forced reinsertion + topological
+/// split), Guttman-style deletion with CondenseTree, bulk loading (see
+/// [`crate::bulk`]), and window queries. The paper's experiments only
+/// build offline and query, but a production index needs the full set.
+pub struct RStarTree {
+    pub(crate) store: PageStore,
+    pub(crate) params: RStarParams,
+    pub(crate) root: PageId,
+    pub(crate) root_level: u32,
+    pub(crate) len: u64,
+}
+
+impl RStarTree {
+    /// Create an empty tree.
+    pub fn new(params: RStarParams) -> Self {
+        params.validate();
+        let mut store = PageStore::new(params.buffer_pages);
+        let root = store.allocate();
+        let mut page = Page::zeroed();
+        Node::new(0).encode(&mut page);
+        store.write(root, &page.bytes()[..]);
+        Self {
+            store,
+            params,
+            root,
+            root_level: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of data records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no records have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (level of the root node).
+    pub fn height(&self) -> u32 {
+        self.root_level
+    }
+
+    /// Page id of the root node (for traversals built on top of the
+    /// tree, e.g. the kNN search in [`crate::knn`]).
+    pub(crate) fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of allocated pages (disk footprint).
+    pub fn num_pages(&self) -> usize {
+        self.store.num_pages()
+    }
+
+    /// Accumulated I/O counters of the underlying store.
+    pub fn io_stats(&self) -> IoStats {
+        self.store.stats()
+    }
+
+    /// Replace the buffer pool capacity (clears residency). The paper
+    /// fixes this at 10 pages; the `ablation_buffer` bench sweeps it.
+    pub fn set_buffer_capacity(&mut self, pages: usize) {
+        self.store.set_buffer_capacity(pages);
+    }
+
+    /// Reset I/O counters and empty the buffer pool — call before each
+    /// measured query, as the paper does.
+    pub fn reset_for_query(&mut self) {
+        self.store.reset_stats();
+        self.store.reset_buffer();
+    }
+
+    /// Insert a data record.
+    pub fn insert(&mut self, id: u64, rect: Rect3) {
+        assert!(!rect.is_empty(), "cannot index an empty rectangle");
+        self.insert_entry(Entry { rect, ptr: id }, 0);
+        self.len += 1;
+    }
+
+    /// Collect the ids of all records whose box intersects `query`.
+    pub fn query(&mut self, query: &Rect3, out: &mut Vec<u64>) {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page);
+            if node.is_leaf() {
+                for e in &node.entries {
+                    if e.rect.intersects(query) {
+                        out.push(e.ptr);
+                    }
+                }
+            } else {
+                for e in &node.entries {
+                    if e.rect.intersects(query) {
+                        stack.push(e.child_page());
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn read_node(&mut self, page: PageId) -> Node {
+        Node::decode(self.store.read(page)).expect("valid node page")
+    }
+
+    pub(crate) fn write_node(&mut self, page: PageId, node: &Node) {
+        let mut buf = Page::zeroed();
+        node.encode(&mut buf);
+        self.store.write(page, &buf.bytes()[..]);
+    }
+
+    /// Insert `entry` into a node of `target_level`, processing any forced
+    /// reinsertions the insertion triggers.
+    fn insert_entry(&mut self, entry: Entry, target_level: u32) {
+        // One flag per level: forced reinsertion fires at most once per
+        // level per data insertion (R* OverflowTreatment).
+        let mut reinsert_done = vec![false; self.root_level as usize + 2];
+        let mut pending: Vec<(Entry, u32)> = vec![(entry, target_level)];
+        while let Some((e, lvl)) = pending.pop() {
+            let root = self.root;
+            let (mbr, split) = self.insert_rec(root, e, lvl, &mut reinsert_done, &mut pending);
+            if let Some(sibling) = split {
+                // Root split: grow the tree by one level.
+                let new_root_level = self.root_level + 1;
+                let mut new_root = Node::new(new_root_level);
+                new_root.entries.push(Entry::child(mbr, self.root));
+                new_root.entries.push(sibling);
+                let pid = self.store.allocate();
+                self.write_node(pid, &new_root);
+                self.root = pid;
+                self.root_level = new_root_level;
+                reinsert_done.resize(new_root_level as usize + 2, false);
+            }
+        }
+    }
+
+    /// Recursive insertion. Returns the node's MBR after the insertion
+    /// and, when the node split, the entry for the new sibling.
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        entry: Entry,
+        target_level: u32,
+        reinsert_done: &mut [bool],
+        pending: &mut Vec<(Entry, u32)>,
+    ) -> (Rect3, Option<Entry>) {
+        let mut node = self.read_node(page);
+        debug_assert!(node.level >= target_level, "descended past target level");
+
+        if node.level == target_level {
+            node.entries.push(entry);
+        } else {
+            let idx = choose_subtree(&node, &entry.rect);
+            let child = node.entries[idx].child_page();
+            let (child_mbr, split) =
+                self.insert_rec(child, entry, target_level, reinsert_done, pending);
+            node.entries[idx].rect = child_mbr;
+            if let Some(sibling) = split {
+                node.entries.push(sibling);
+            }
+        }
+
+        if node.entries.len() > self.params.max_entries {
+            let lvl = node.level as usize;
+            if page != self.root && !reinsert_done[lvl] {
+                // Forced reinsertion: remove the entries farthest from the
+                // node center and re-insert them from the top ("close
+                // reinsert": nearest first).
+                reinsert_done[lvl] = true;
+                let removed = select_reinsert_victims(&mut node, self.params.reinsert_count());
+                // `removed` is farthest-first; pushing in that order makes
+                // the nearest pop first from the stack.
+                for e in removed {
+                    pending.push((e, node.level));
+                }
+                self.write_node(page, &node);
+                return (node.mbr(), None);
+            }
+            // Split.
+            let level = node.level;
+            let entries = std::mem::take(&mut node.entries);
+            let (g1, g2) = match self.params.split_strategy {
+                SplitStrategy::RStar => rstar_split(entries, self.params.min_entries()),
+                SplitStrategy::QuadraticGuttman => {
+                    quadratic_split(entries, self.params.min_entries())
+                }
+            };
+            let node1 = Node { level, entries: g1 };
+            let node2 = Node { level, entries: g2 };
+            let new_page = self.store.allocate();
+            self.write_node(page, &node1);
+            self.write_node(new_page, &node2);
+            return (node1.mbr(), Some(Entry::child(node2.mbr(), new_page)));
+        }
+
+        self.write_node(page, &node);
+        (node.mbr(), None)
+    }
+
+    /// Delete the record previously inserted as `(id, rect)`. Returns
+    /// `true` when found and removed.
+    ///
+    /// Follows Guttman's CondenseTree: underfull nodes along the deletion
+    /// path are dissolved, their surviving entries re-inserted at their
+    /// original level, and the root is collapsed while it holds a single
+    /// child. Freed node pages return to the store's free list.
+    ///
+    /// (The paper's experiments never delete from the R\*-Tree — records
+    /// are historical — but a production index supports it.)
+    pub fn delete(&mut self, id: u64, rect: &Rect3) -> bool {
+        let root = self.root;
+        let mut orphans: Vec<(Entry, u32)> = Vec::new();
+        let outcome = self.delete_rec(root, id, rect, &mut orphans);
+        if matches!(outcome, DelOutcome::NotHere) {
+            debug_assert!(orphans.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        // Re-insert orphans *before* shrinking the root: a level-L orphan
+        // needs the tree to still be at least L+1 tall.
+        orphans.sort_by_key(|&(_, lvl)| std::cmp::Reverse(lvl));
+        for (e, lvl) in orphans {
+            self.insert_entry(e, lvl);
+        }
+        // Collapse trivial roots.
+        loop {
+            let node = self.read_node(self.root);
+            if !node.is_leaf() && node.entries.len() == 1 {
+                let child = node.entries[0].child_page();
+                self.store.free(self.root);
+                self.root = child;
+                self.root_level -= 1;
+            } else {
+                break;
+            }
+        }
+        true
+    }
+
+    fn delete_rec(
+        &mut self,
+        page: PageId,
+        id: u64,
+        rect: &Rect3,
+        orphans: &mut Vec<(Entry, u32)>,
+    ) -> DelOutcome {
+        let mut node = self.read_node(page);
+        if node.is_leaf() {
+            let Some(pos) = node
+                .entries
+                .iter()
+                .position(|e| e.ptr == id && e.rect == *rect)
+            else {
+                return DelOutcome::NotHere;
+            };
+            node.entries.remove(pos);
+            if page != self.root && node.entries.len() < self.params.min_entries() {
+                for e in node.entries {
+                    orphans.push((e, 0));
+                }
+                self.store.free(page);
+                return DelOutcome::Underflow;
+            }
+            self.write_node(page, &node);
+            return DelOutcome::Removed(node.mbr());
+        }
+        for i in 0..node.entries.len() {
+            if !node.entries[i].rect.contains(rect) {
+                continue;
+            }
+            match self.delete_rec(node.entries[i].child_page(), id, rect, orphans) {
+                DelOutcome::NotHere => continue,
+                DelOutcome::Removed(child_mbr) => {
+                    node.entries[i].rect = child_mbr;
+                    self.write_node(page, &node);
+                    return DelOutcome::Removed(node.mbr());
+                }
+                DelOutcome::Underflow => {
+                    let level = node.level;
+                    node.entries.remove(i);
+                    if page != self.root && node.entries.len() < self.params.min_entries() {
+                        for e in node.entries {
+                            orphans.push((e, level));
+                        }
+                        self.store.free(page);
+                        return DelOutcome::Underflow;
+                    }
+                    self.write_node(page, &node);
+                    return DelOutcome::Removed(node.mbr());
+                }
+            }
+        }
+        DelOutcome::NotHere
+    }
+
+    /// Save the whole index (pages + parameters + root pointer) to a
+    /// file.
+    pub fn save_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut meta = vec![0u8; 1 + 4 + 8 + 8 + 4 + 4 + 4 + 8];
+        {
+            let mut w = sti_storage::ByteWriter::new(&mut meta);
+            w.put_u8(b'R'); // backend tag: 3D R*-Tree
+            w.put_u32(self.params.max_entries as u32);
+            w.put_f64(self.params.min_fill);
+            w.put_f64(self.params.reinsert_fraction);
+            w.put_u32(self.params.buffer_pages as u32);
+            w.put_u32(self.root);
+            w.put_u32(self.root_level);
+            w.put_u64(self.len);
+        }
+        self.store.save_to(path, &meta)
+    }
+
+    /// Load an index previously written by [`RStarTree::save_to_file`].
+    pub fn open_file(path: &std::path::Path) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let bad = |m: &'static str| Error::new(ErrorKind::InvalidData, m);
+        let (mut store, meta) = PageStore::load_from(path, 0)?;
+        let mut r = sti_storage::ByteReader::new(&meta);
+        match r.get_u8().map_err(|_| bad("backend tag"))? {
+            b'R' => {}
+            b'P' => return Err(bad("this file holds a PPR-Tree, not an R*-Tree")),
+            _ => return Err(bad("unknown index backend tag")),
+        }
+        let params = RStarParams {
+            max_entries: r.get_u32().map_err(|_| bad("max_entries"))? as usize,
+            min_fill: r.get_f64().map_err(|_| bad("min_fill"))?,
+            reinsert_fraction: r.get_f64().map_err(|_| bad("reinsert_fraction"))?,
+            buffer_pages: r.get_u32().map_err(|_| bad("buffer_pages"))? as usize,
+            // The split strategy only affects future insertions, not the
+            // stored structure; files reopen with the default.
+            split_strategy: SplitStrategy::default(),
+        };
+        params.validate();
+        store.set_buffer_capacity(params.buffer_pages);
+        let root = r.get_u32().map_err(|_| bad("root"))?;
+        let root_level = r.get_u32().map_err(|_| bad("root_level"))?;
+        let len = r.get_u64().map_err(|_| bad("len"))?;
+        if (root as usize) >= store.num_pages() {
+            return Err(bad("root page out of range"));
+        }
+        Ok(Self {
+            store,
+            params,
+            root,
+            root_level,
+            len,
+        })
+    }
+
+    /// Walk the whole tree and assert structural invariants. Test/debug
+    /// aid; O(tree size) and counts I/O.
+    #[doc(hidden)]
+    pub fn validate(&mut self) {
+        self.validate_impl(true);
+    }
+
+    /// Like [`RStarTree::validate`] but without the minimum-fill check:
+    /// bulk-loaded trees legitimately leave the trailing chunk of each
+    /// level underfull.
+    #[doc(hidden)]
+    pub fn validate_packed(&mut self) {
+        self.validate_impl(false);
+    }
+
+    fn validate_impl(&mut self, check_min: bool) {
+        let root_level = self.root_level;
+        let max = self.params.max_entries;
+        let min = if check_min {
+            self.params.min_entries()
+        } else {
+            1
+        };
+        let mut stack = vec![(self.root, root_level, None::<Rect3>)];
+        let mut data_count = 0u64;
+        while let Some((page, expect_level, parent_rect)) = stack.pop() {
+            let node = self.read_node(page);
+            assert_eq!(node.level, expect_level, "level mismatch at page {page}");
+            assert!(node.entries.len() <= max, "overfull node {page}");
+            if page != self.root {
+                assert!(node.entries.len() >= min, "underfull node {page}");
+            }
+            if let Some(pr) = parent_rect {
+                assert!(
+                    pr.contains(&node.mbr()),
+                    "parent entry does not cover node {page}"
+                );
+            }
+            if node.is_leaf() {
+                data_count += node.entries.len() as u64;
+            } else {
+                assert!(node.level >= 1);
+                for e in &node.entries {
+                    stack.push((e.child_page(), node.level - 1, Some(e.rect)));
+                }
+            }
+        }
+        assert_eq!(data_count, self.len, "record count mismatch");
+    }
+}
+
+/// Result of one recursive deletion step.
+enum DelOutcome {
+    /// The record is not in this subtree.
+    NotHere,
+    /// Removed; the subtree's new MBR.
+    Removed(Rect3),
+    /// Removed, and this node dissolved (entries orphaned, page freed).
+    Underflow,
+}
+
+/// R\* ChooseSubtree: at the level just above the leaves pick the entry
+/// whose box needs the least *overlap* enlargement; higher up, the least
+/// volume enlargement. Ties break by volume enlargement then volume.
+fn choose_subtree(node: &Node, rect: &Rect3) -> usize {
+    debug_assert!(!node.is_leaf());
+    let entries = &node.entries;
+    if node.level == 1 {
+        // Children are leaves: minimum overlap enlargement.
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let enlarged = e.rect.union(rect);
+            let mut overlap_before = 0.0;
+            let mut overlap_after = 0.0;
+            for (j, other) in entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                overlap_before += e.rect.overlap_volume(&other.rect);
+                overlap_after += enlarged.overlap_volume(&other.rect);
+            }
+            let key = (
+                overlap_after - overlap_before,
+                e.rect.enlargement(rect),
+                e.rect.volume(),
+            );
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    } else {
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let key = (e.rect.enlargement(rect), e.rect.volume());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Remove the `count` entries whose centers lie farthest from the node's
+/// MBR center, returning them farthest-first.
+fn select_reinsert_victims(node: &mut Node, count: usize) -> Vec<Entry> {
+    let center = node.mbr().center();
+    let dist2 = |e: &Entry| -> f64 {
+        let c = e.rect.center();
+        (0..3)
+            .map(|d| (c[d] - center[d]) * (c[d] - center[d]))
+            .sum()
+    };
+    // Nearest first; the farthest `count` entries split off the tail.
+    node.entries.sort_by(|a, b| dist2(a).total_cmp(&dist2(b)));
+    let mut removed = node.entries.split_off(node.entries.len() - count);
+    removed.reverse(); // farthest-first
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn small_params() -> RStarParams {
+        RStarParams {
+            max_entries: 8,
+            buffer_pages: 4,
+            ..RStarParams::default()
+        }
+    }
+
+    fn random_box(rng: &mut StdRng) -> Rect3 {
+        let lo = [
+            rng.random::<f64>(),
+            rng.random::<f64>(),
+            rng.random::<f64>(),
+        ];
+        let ext = [
+            rng.random::<f64>() * 0.05,
+            rng.random::<f64>() * 0.05,
+            rng.random::<f64>() * 0.05,
+        ];
+        Rect3::new(lo, [lo[0] + ext[0], lo[1] + ext[1], lo[2] + ext[2]])
+    }
+
+    #[test]
+    fn empty_tree_answers_nothing() {
+        let mut t = RStarTree::new(small_params());
+        let mut out = Vec::new();
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out);
+        assert!(out.is_empty());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn single_insert_and_query() {
+        let mut t = RStarTree::new(small_params());
+        let r = Rect3::new([0.1; 3], [0.2; 3]);
+        t.insert(42, r);
+        let mut out = Vec::new();
+        t.query(&Rect3::new([0.15; 3], [0.16; 3]), &mut out);
+        assert_eq!(out, vec![42]);
+        out.clear();
+        t.query(&Rect3::new([0.5; 3], [0.6; 3]), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn thousand_inserts_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = RStarTree::new(small_params());
+        let mut data = Vec::new();
+        for id in 0..1000u64 {
+            let r = random_box(&mut rng);
+            t.insert(id, r);
+            data.push((id, r));
+        }
+        t.validate();
+        assert!(t.height() >= 2, "tree should have grown");
+
+        for _ in 0..50 {
+            let q = random_box(&mut rng);
+            let mut got = Vec::new();
+            t.query(&q, &mut got);
+            got.sort_unstable();
+            let mut want: Vec<u64> = data
+                .iter()
+                .filter(|(_, r)| r.intersects(&q))
+                .map(|&(id, _)| id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn io_accounting_and_buffer_reset() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = RStarTree::new(small_params());
+        for id in 0..500u64 {
+            t.insert(id, random_box(&mut rng));
+        }
+        t.reset_for_query();
+        let mut out = Vec::new();
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out);
+        let full_scan = t.io_stats().reads;
+        assert!(
+            full_scan as usize >= t.num_pages() / 2,
+            "full query touches most pages"
+        );
+
+        t.reset_for_query();
+        out.clear();
+        t.query(&Rect3::new([0.5; 3], [0.5001; 3]), &mut out);
+        let point = t.io_stats().reads;
+        assert!(
+            point < full_scan,
+            "selective query must read fewer pages ({point} vs {full_scan})"
+        );
+        assert!(
+            point >= t.height() as u64,
+            "must at least walk one root-to-leaf path"
+        );
+    }
+
+    #[test]
+    fn duplicate_geometry_is_allowed() {
+        let mut t = RStarTree::new(small_params());
+        let r = Rect3::new([0.3; 3], [0.4; 3]);
+        for id in 0..20 {
+            t.insert(id, r);
+        }
+        t.validate();
+        let mut out = Vec::new();
+        t.query(&r, &mut out);
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rectangle")]
+    fn rejects_empty_rect() {
+        let mut t = RStarTree::new(small_params());
+        t.insert(1, Rect3::EMPTY);
+    }
+
+    #[test]
+    fn clustered_data_stays_valid() {
+        // Heavy duplication + clustering stresses reinsertion and split.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut t = RStarTree::new(small_params());
+        for id in 0..800u64 {
+            let cluster = (id % 5) as f64 * 0.2;
+            let jitter = rng.random::<f64>() * 0.01;
+            let lo = [cluster + jitter, cluster, 0.0];
+            t.insert(id, Rect3::new(lo, [lo[0] + 0.01, lo[1] + 0.01, 0.9]));
+        }
+        t.validate();
+        assert_eq!(t.len(), 800);
+    }
+
+    #[test]
+    fn delete_roundtrip_small() {
+        let mut t = RStarTree::new(small_params());
+        let r = Rect3::new([0.2; 3], [0.3; 3]);
+        t.insert(1, r);
+        assert!(t.delete(1, &r));
+        assert!(!t.delete(1, &r), "double delete returns false");
+        assert_eq!(t.len(), 0);
+        let mut out = Vec::new();
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = RStarTree::new(small_params());
+        for id in 0..100u64 {
+            t.insert(id, random_box(&mut rng));
+        }
+        assert!(!t.delete(999, &random_box(&mut rng)));
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut t = RStarTree::new(small_params());
+        let mut live: Vec<(u64, Rect3)> = Vec::new();
+        let mut next = 0u64;
+        for round in 0..60 {
+            for _ in 0..20 {
+                let r = random_box(&mut rng);
+                t.insert(next, r);
+                live.push((next, r));
+                next += 1;
+            }
+            for _ in 0..(if round % 3 == 0 { 25 } else { 10 }) {
+                if live.is_empty() {
+                    break;
+                }
+                let k = rng.random_range(0..live.len());
+                let (id, r) = live.swap_remove(k);
+                assert!(t.delete(id, &r), "record {id} must be deletable");
+            }
+            t.validate();
+        }
+        assert_eq!(t.len(), live.len() as u64);
+        for _ in 0..30 {
+            let q = random_box(&mut rng);
+            let mut got = Vec::new();
+            t.query(&q, &mut got);
+            got.sort_unstable();
+            let mut want: Vec<u64> = live
+                .iter()
+                .filter(|(_, r)| r.intersects(&q))
+                .map(|&(id, _)| id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn delete_everything_shrinks_to_empty_root() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut t = RStarTree::new(small_params());
+        let mut recs = Vec::new();
+        for id in 0..300u64 {
+            let r = random_box(&mut rng);
+            t.insert(id, r);
+            recs.push((id, r));
+        }
+        assert!(t.height() >= 2);
+        let pages_full = t.num_pages();
+        for (id, r) in recs {
+            assert!(t.delete(id, &r));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0, "root must collapse back to a leaf");
+        // Freed pages are recycled on the next insert wave.
+        for id in 0..300u64 {
+            t.insert(1000 + id, random_box(&mut rng));
+        }
+        assert!(
+            t.num_pages() <= pages_full + pages_full / 2,
+            "page recycling should bound growth: {} vs {}",
+            t.num_pages(),
+            pages_full
+        );
+        t.validate();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn queries_always_match_brute_force(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = RStarTree::new(small_params());
+            let mut data = Vec::new();
+            for id in 0..200u64 {
+                let r = random_box(&mut rng);
+                t.insert(id, r);
+                data.push((id, r));
+            }
+            t.validate();
+            for _ in 0..10 {
+                let q = random_box(&mut rng);
+                let mut got = Vec::new();
+                t.query(&q, &mut got);
+                got.sort_unstable();
+                let mut want: Vec<u64> = data
+                    .iter()
+                    .filter(|(_, r)| r.intersects(&q))
+                    .map(|&(id, _)| id)
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! A small LRU buffer pool.
+
+use crate::PageId;
+
+/// Tracks which pages are resident in the buffer pool, with
+/// least-recently-used eviction.
+///
+/// The paper uses a 10-page LRU buffer, so the pool is tiny; a plain
+/// `Vec` ordered most-recent-first is both simpler and faster than a
+/// linked-list + hash-map LRU at this size. Operations are O(capacity).
+///
+/// The buffer only tracks *residency* — page bytes live in the
+/// [`crate::PageStore`]; the store consults the buffer to decide whether a
+/// read hits the (free) buffer or costs a disk access.
+#[derive(Debug, Clone)]
+pub struct LruBuffer {
+    /// Resident pages, most recently used first.
+    resident: Vec<PageId>,
+    capacity: usize,
+}
+
+impl LruBuffer {
+    /// Create a buffer holding at most `capacity` pages. A capacity of 0
+    /// disables buffering (every read is a disk access).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            resident: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident pages.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// True if `page` is resident (does not touch recency).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.resident.contains(&page)
+    }
+
+    /// Record an access to `page`. Returns `true` on a buffer hit, `false`
+    /// on a miss; on a miss the page becomes resident, evicting the least
+    /// recently used page if the buffer is full.
+    pub fn access(&mut self, page: PageId) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(idx) = self.resident.iter().position(|&p| p == page) {
+            // Move to front.
+            let p = self.resident.remove(idx);
+            self.resident.insert(0, p);
+            true
+        } else {
+            if self.resident.len() == self.capacity {
+                self.resident.pop();
+            }
+            self.resident.insert(0, page);
+            false
+        }
+    }
+
+    /// Drop a page from the buffer (e.g., when its content is rewritten
+    /// from scratch and the caller wants the next read to count).
+    pub fn invalidate(&mut self, page: PageId) {
+        self.resident.retain(|&p| p != page);
+    }
+
+    /// Empty the buffer. The paper resets the buffer before every query.
+    pub fn clear(&mut self) {
+        self.resident.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let mut b = LruBuffer::new(2);
+        assert!(!b.access(1));
+        assert!(b.access(1));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut b = LruBuffer::new(2);
+        b.access(1);
+        b.access(2);
+        b.access(1); // 1 is now most recent
+        b.access(3); // evicts 2
+        assert!(b.contains(1));
+        assert!(!b.contains(2));
+        assert!(b.contains(3));
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut b = LruBuffer::new(0);
+        assert!(!b.access(5));
+        assert!(!b.access(5));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_and_invalidate() {
+        let mut b = LruBuffer::new(4);
+        b.access(1);
+        b.access(2);
+        b.invalidate(1);
+        assert!(!b.contains(1));
+        assert!(b.contains(2));
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.access(2));
+    }
+
+    #[test]
+    fn repeated_access_is_single_slot() {
+        let mut b = LruBuffer::new(3);
+        for _ in 0..10 {
+            b.access(7);
+        }
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn lru_order_under_mixed_workload() {
+        let mut b = LruBuffer::new(3);
+        for p in [1, 2, 3, 4, 2, 5] {
+            b.access(p);
+        }
+        // After: 4 inserted (evicts 1), 2 refreshed, 5 inserted (evicts 3).
+        assert!(b.contains(5) && b.contains(2) && b.contains(4));
+        assert!(!b.contains(1) && !b.contains(3));
+    }
+}

@@ -1,0 +1,24 @@
+//! Simulated disk storage.
+//!
+//! Both index structures in this workspace are *disk-based*: nodes are
+//! serialized to fixed-size pages and every page touched during a query is
+//! a potential disk access. The paper's evaluation metric is the average
+//! number of disk accesses per query with a 10-page LRU buffer that is
+//! reset before every query; this crate provides exactly that substrate:
+//!
+//! * [`Page`] / [`PageId`] — fixed-size byte pages,
+//! * [`PageStore`] — an in-memory "disk" of pages with an LRU buffer pool
+//!   in front and [`IoStats`] counting logical reads/writes,
+//! * [`codec`] — bounds-checked little-endian encode/decode helpers used
+//!   by the tree node serializers.
+
+pub mod buffer;
+pub mod codec;
+pub mod page;
+pub mod persist;
+pub mod store;
+
+pub use buffer::LruBuffer;
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use store::{IoStats, PageStore};

@@ -1,0 +1,184 @@
+//! Saving and loading a [`PageStore`] (plus owner metadata) to a real
+//! file, so a built index survives process restarts.
+//!
+//! File layout (all little-endian):
+//!
+//! ```text
+//! magic "STIDX1\0\0" · meta_len: u32 · meta bytes · page_count: u32 ·
+//! free_count: u32 · free page ids · raw pages (page_count × PAGE_SIZE)
+//! ```
+//!
+//! The `meta` region belongs to the structure owning the store (tree
+//! parameters, root log, counters); the store itself doesn't interpret
+//! it.
+
+use crate::{PageId, PageStore, PAGE_SIZE};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic prefix identifying index files.
+pub const MAGIC: &[u8; 8] = b"STIDX1\0\0";
+
+impl PageStore {
+    /// Write the store plus the owner's `meta` bytes to `path`.
+    pub fn save_to(&self, path: &Path, meta: &[u8]) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(MAGIC)?;
+        f.write_all(
+            &u32::try_from(meta.len())
+                .expect("meta fits u32")
+                .to_le_bytes(),
+        )?;
+        f.write_all(meta)?;
+        f.write_all(
+            &u32::try_from(self.num_pages())
+                .expect("page count fits u32")
+                .to_le_bytes(),
+        )?;
+        let free = self.free_list();
+        f.write_all(
+            &u32::try_from(free.len())
+                .expect("free count fits u32")
+                .to_le_bytes(),
+        )?;
+        for id in free {
+            f.write_all(&id.to_le_bytes())?;
+        }
+        for i in 0..self.num_pages() {
+            f.write_all(&self.raw_page(i as PageId).bytes()[..])?;
+        }
+        f.sync_all()
+    }
+
+    /// Read a store back from `path`, returning it together with the
+    /// owner's meta bytes. The buffer pool starts empty with
+    /// `buffer_pages` capacity; I/O counters start at zero.
+    pub fn load_from(path: &Path, buffer_pages: usize) -> io::Result<(Self, Vec<u8>)> {
+        let mut f = File::open(path)?;
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an STIDX file",
+            ));
+        }
+        let meta_len = read_u32(&mut f)? as usize;
+        if meta_len > 1 << 24 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized metadata",
+            ));
+        }
+        let mut meta = vec![0u8; meta_len];
+        f.read_exact(&mut meta)?;
+        let page_count = read_u32(&mut f)? as usize;
+        let free_count = read_u32(&mut f)? as usize;
+        if free_count > page_count {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "free list exceeds pages",
+            ));
+        }
+        let mut free = Vec::with_capacity(free_count);
+        for _ in 0..free_count {
+            let id = read_u32(&mut f)?;
+            if id as usize >= page_count {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "free id out of range",
+                ));
+            }
+            free.push(id);
+        }
+        let mut store = PageStore::new(buffer_pages);
+        for _ in 0..page_count {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            f.read_exact(&mut buf)?;
+            let id = store.allocate_silent();
+            store.raw_page_mut(id).fill_from(&buf);
+        }
+        store.set_free_list(free);
+        Ok((store, meta))
+    }
+}
+
+fn read_u32(f: &mut File) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    f.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sti-persist-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_pages_meta_and_free_list() {
+        let mut store = PageStore::new(4);
+        let a = store.allocate();
+        let b = store.allocate();
+        let c = store.allocate();
+        store.write(a, &[1, 2, 3]);
+        store.write(b, &[4; 100]);
+        store.write(c, &[7]);
+        store.free(b);
+        let meta = b"hello index metadata".to_vec();
+
+        let path = temp_path("roundtrip");
+        store.save_to(&path, &meta).expect("save");
+        let (mut back, meta2) = PageStore::load_from(&path, 4).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(meta2, meta);
+        assert_eq!(back.num_pages(), 3);
+        assert_eq!(back.free_pages(), 1);
+        assert_eq!(&back.read(a).bytes()[..3], &[1, 2, 3]);
+        assert_eq!(&back.read(c).bytes()[..1], &[7]);
+        // Freed page is handed out again on allocate.
+        assert_eq!(back.allocate(), b);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, b"NOTANIDX????????").expect("write");
+        let err = PageStore::load_from(&path, 4).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut store = PageStore::new(2);
+        let a = store.allocate();
+        store.write(a, &[9]);
+        let path = temp_path("trunc");
+        store.save_to(&path, b"meta").expect("save");
+        let full = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() - 100]).expect("truncate");
+        assert!(PageStore::load_from(&path, 2).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_store_counts_fresh_io() {
+        let mut store = PageStore::new(2);
+        let a = store.allocate();
+        store.write(a, &[1]);
+        let path = temp_path("io");
+        store.save_to(&path, &[]).expect("save");
+        let (mut back, _) = PageStore::load_from(&path, 2).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.stats().reads, 0);
+        back.read(a);
+        assert_eq!(back.stats().reads, 1);
+    }
+}

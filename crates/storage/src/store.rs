@@ -1,0 +1,307 @@
+//! The simulated disk: a growable array of pages behind an LRU buffer.
+
+use crate::{LruBuffer, Page, PageId, PAGE_SIZE};
+
+/// Counters for logical disk traffic.
+///
+/// A *read* is counted whenever a page is fetched and misses the buffer
+/// pool; buffer hits are free, matching how the paper reports "average
+/// number of disk accesses" with a 10-page LRU buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page fetches that missed the buffer.
+    pub reads: u64,
+    /// Page writes (build-time traffic; not part of the query metric).
+    pub writes: u64,
+    /// Page fetches that hit the buffer (for diagnostics).
+    pub buffer_hits: u64,
+}
+
+impl IoStats {
+    /// Total disk accesses (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// An in-memory simulated disk of fixed-size pages with an LRU buffer pool
+/// and I/O accounting.
+///
+/// Both tree implementations own one `PageStore` and route *all* node
+/// traffic through it, so query-time I/O counts are faithful to a
+/// disk-resident index: the paper's page capacity is enforced by the node
+/// serializers (entries per node), and the buffer is reset before every
+/// measured query via [`PageStore::reset_buffer`].
+#[derive(Debug, Clone)]
+pub struct PageStore {
+    pages: Vec<Page>,
+    free: Vec<PageId>,
+    buffer: LruBuffer,
+    stats: IoStats,
+}
+
+impl PageStore {
+    /// Create an empty store with a buffer pool of `buffer_capacity` pages.
+    pub fn new(buffer_capacity: usize) -> Self {
+        Self {
+            pages: Vec::new(),
+            free: Vec::new(),
+            buffer: LruBuffer::new(buffer_capacity),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Number of allocated pages (the index's disk footprint, fig. 16).
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Disk footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Allocate a page and return its id, reusing freed pages first.
+    ///
+    /// # Panics
+    /// If more than `u32::MAX` pages are allocated.
+    pub fn allocate(&mut self) -> PageId {
+        if let Some(id) = self.free.pop() {
+            self.pages[id as usize] = Page::zeroed();
+            return id;
+        }
+        let id = PageId::try_from(self.pages.len()).expect("page id overflow");
+        self.pages.push(Page::zeroed());
+        id
+    }
+
+    /// Return a page to the free list for reuse by a later
+    /// [`PageStore::allocate`]. The page's content becomes invalid and it
+    /// is dropped from the buffer pool.
+    ///
+    /// # Panics
+    /// On an unallocated id or a double free.
+    pub fn free(&mut self, id: PageId) {
+        assert!(
+            (id as usize) < self.pages.len(),
+            "free of unallocated page {id}"
+        );
+        // The linear double-free scan would make mass deallocation
+        // quadratic in the free-list length; keep it as a debug check.
+        debug_assert!(!self.free.contains(&id), "double free of page {id}");
+        self.buffer.invalidate(id);
+        self.free.push(id);
+    }
+
+    /// Number of pages currently on the free list.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Fetch a page for reading, going through the buffer pool. A miss
+    /// costs one disk read.
+    ///
+    /// # Panics
+    /// On an unallocated id — tree code never follows dangling pointers.
+    pub fn read(&mut self, id: PageId) -> &Page {
+        assert!(
+            (id as usize) < self.pages.len(),
+            "read of unallocated page {id}"
+        );
+        if self.buffer.access(id) {
+            self.stats.buffer_hits += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        &self.pages[id as usize]
+    }
+
+    /// Overwrite a page's payload. Costs one disk write; the new content
+    /// becomes buffer-resident (write-through).
+    ///
+    /// # Panics
+    /// On an unallocated id or oversized payload.
+    pub fn write(&mut self, id: PageId, payload: &[u8]) {
+        assert!(
+            (id as usize) < self.pages.len(),
+            "write of unallocated page {id}"
+        );
+        self.pages[id as usize].fill_from(payload);
+        self.stats.writes += 1;
+        self.buffer.access(id);
+    }
+
+    /// Accumulated I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zero the I/O counters (start of a measured query batch).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Empty the buffer pool (the paper resets it before every query).
+    pub fn reset_buffer(&mut self) {
+        self.buffer.clear();
+    }
+
+    /// Replace the buffer pool capacity (clears residency).
+    pub fn set_buffer_capacity(&mut self, capacity: usize) {
+        self.buffer = LruBuffer::new(capacity);
+    }
+
+    // --- persistence plumbing (see `crate::persist`) ------------------
+
+    /// The free list, for serialization.
+    pub(crate) fn free_list(&self) -> &[PageId] {
+        &self.free
+    }
+
+    /// Restore a free list after loading.
+    pub(crate) fn set_free_list(&mut self, free: Vec<PageId>) {
+        self.free = free;
+    }
+
+    /// Allocate without consulting the free list (used while loading a
+    /// serialized store, where page ids must stay dense and ordered).
+    pub(crate) fn allocate_silent(&mut self) -> PageId {
+        let id = PageId::try_from(self.pages.len()).expect("page id overflow");
+        self.pages.push(Page::zeroed());
+        id
+    }
+
+    /// Raw page access without buffer accounting (serialization only).
+    pub(crate) fn raw_page(&self, id: PageId) -> &Page {
+        &self.pages[id as usize]
+    }
+
+    /// Raw mutable page access without accounting (deserialization only).
+    pub(crate) fn raw_page_mut(&mut self, id: PageId) -> &mut Page {
+        &mut self.pages[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_round_trip() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate();
+        let b = s.allocate();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.num_pages(), 2);
+        assert_eq!(s.bytes(), 2 * PAGE_SIZE);
+
+        s.write(a, &[1, 2, 3]);
+        assert_eq!(&s.read(a).bytes()[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn read_miss_then_hit_accounting() {
+        let mut s = PageStore::new(2);
+        let a = s.allocate();
+        s.reset_stats();
+        s.reset_buffer();
+        s.read(a); // miss
+        s.read(a); // hit
+        let st = s.stats();
+        assert_eq!(st.reads, 1);
+        assert_eq!(st.buffer_hits, 1);
+    }
+
+    #[test]
+    fn buffer_reset_makes_reads_cost_again() {
+        let mut s = PageStore::new(2);
+        let a = s.allocate();
+        s.read(a);
+        s.reset_stats();
+        s.reset_buffer();
+        s.read(a);
+        assert_eq!(s.stats().reads, 1);
+    }
+
+    #[test]
+    fn write_is_write_through() {
+        let mut s = PageStore::new(2);
+        let a = s.allocate();
+        s.reset_stats();
+        s.write(a, &[7]);
+        s.read(a); // should hit: write populated the buffer
+        let st = s.stats();
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.reads, 0);
+        assert_eq!(st.buffer_hits, 1);
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let mut s = PageStore::new(1);
+        let a = s.allocate();
+        let b = s.allocate();
+        s.reset_stats();
+        s.read(a);
+        s.read(b); // evicts a
+        s.read(a); // miss again
+        assert_eq!(s.stats().reads, 3);
+        assert_eq!(s.stats().buffer_hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated page")]
+    fn read_unallocated_panics() {
+        let mut s = PageStore::new(2);
+        s.read(0);
+    }
+
+    #[test]
+    fn stats_total() {
+        let st = IoStats {
+            reads: 3,
+            writes: 4,
+            buffer_hits: 9,
+        };
+        assert_eq!(st.total(), 7);
+    }
+
+    #[test]
+    fn freed_pages_are_reused() {
+        let mut s = PageStore::new(2);
+        let a = s.allocate();
+        let _b = s.allocate();
+        s.write(a, &[9]);
+        s.free(a);
+        assert_eq!(s.free_pages(), 1);
+        let c = s.allocate();
+        assert_eq!(c, a, "free list should hand back the freed page");
+        assert_eq!(s.free_pages(), 0);
+        // Reused page comes back zeroed.
+        assert!(s.read(c).bytes().iter().all(|&x| x == 0));
+        assert_eq!(s.num_pages(), 2, "no growth when reusing");
+    }
+
+    #[test]
+    fn free_invalidates_buffer_residency() {
+        let mut s = PageStore::new(2);
+        let a = s.allocate();
+        s.read(a); // resident
+        s.free(a);
+        let b = s.allocate();
+        assert_eq!(a, b);
+        s.reset_stats();
+        s.read(b);
+        assert_eq!(s.stats().reads, 1, "stale residency must not mask the read");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // the double-free scan is a debug-only check
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut s = PageStore::new(2);
+        let a = s.allocate();
+        s.free(a);
+        s.free(a);
+    }
+}

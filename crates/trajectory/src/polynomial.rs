@@ -1,0 +1,177 @@
+//! Dense univariate polynomials.
+
+/// A polynomial `c0 + c1·t + c2·t² + …` stored densely by ascending degree.
+///
+/// The paper restricts movement functions to polynomials "up to a maximal
+/// value" of the degree; the experiments use degree 1 or 2. Nothing here
+/// restricts the degree, but coefficients are evaluated with Horner's rule
+/// so low degrees stay cheap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Build from coefficients by ascending degree. Trailing zero
+    /// coefficients are trimmed so `degree` is meaningful; the zero
+    /// polynomial keeps a single `0.0` coefficient.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Self { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Self { coeffs: vec![c] }
+    }
+
+    /// The linear polynomial `a + b·t`.
+    pub fn linear(a: f64, b: f64) -> Self {
+        Self::new(vec![a, b])
+    }
+
+    /// The quadratic polynomial `a + b·t + c·t²`.
+    pub fn quadratic(a: f64, b: f64, c: f64) -> Self {
+        Self::new(vec![a, b, c])
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficients by ascending degree.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluate at `t` using Horner's rule.
+    #[inline]
+    pub fn eval(&self, t: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * t + c;
+        }
+        acc
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::constant(0.0);
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &c)| c * i as f64)
+                .collect(),
+        )
+    }
+
+    /// Minimum and maximum over the *integer* grid `{0, 1, …, n}`.
+    ///
+    /// Discrete time makes this exact for our purposes: an object only
+    /// occupies positions at integer instants, so extremes between grid
+    /// points are irrelevant to MBR computation.
+    pub fn min_max_on_grid(&self, n: u32) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in 0..=n {
+            let v = self.eval(f64::from(t));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i == 0 {
+                write!(f, "{c}")?;
+            } else {
+                write!(f, " {} {}t^{i}", if *c < 0.0 { "-" } else { "+" }, c.abs())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_constant_linear_quadratic() {
+        assert_eq!(Polynomial::constant(3.5).eval(100.0), 3.5);
+        assert_eq!(Polynomial::linear(1.0, 2.0).eval(3.0), 7.0);
+        assert_eq!(Polynomial::quadratic(1.0, 0.0, 2.0).eval(3.0), 19.0);
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let z = Polynomial::new(vec![]);
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(42.0), 0.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        // d/dt (1 + 2t + 3t²) = 2 + 6t
+        let p = Polynomial::quadratic(1.0, 2.0, 3.0);
+        assert_eq!(p.derivative(), Polynomial::linear(2.0, 6.0));
+        assert_eq!(
+            Polynomial::constant(5.0).derivative(),
+            Polynomial::constant(0.0)
+        );
+    }
+
+    #[test]
+    fn min_max_on_grid_parabola() {
+        // (t - 2)² has min at t = 2 (on-grid) and max at t = 0 or 4.
+        let p = Polynomial::quadratic(4.0, -4.0, 1.0);
+        let (lo, hi) = p.min_max_on_grid(4);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 4.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Polynomial::linear(1.0, -2.0).to_string(), "1 - 2t^1");
+    }
+
+    proptest! {
+        #[test]
+        fn horner_matches_naive(coeffs in prop::collection::vec(-10.0..10.0f64, 1..6), t in -5.0..5.0f64) {
+            let p = Polynomial::new(coeffs.clone());
+            let naive: f64 = coeffs.iter().enumerate().map(|(i, c)| c * t.powi(i as i32)).sum();
+            prop_assert!((p.eval(t) - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        }
+
+        #[test]
+        fn grid_minmax_bounds_every_grid_value(coeffs in prop::collection::vec(-3.0..3.0f64, 1..4), n in 0u32..20) {
+            let p = Polynomial::new(coeffs);
+            let (lo, hi) = p.min_max_on_grid(n);
+            for t in 0..=n {
+                let v = p.eval(f64::from(t));
+                prop_assert!(lo <= v && v <= hi);
+            }
+        }
+    }
+}

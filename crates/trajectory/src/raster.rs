@@ -1,0 +1,287 @@
+//! Discrete-time view of a spatiotemporal object.
+
+use sti_geom::{Rect2, StBox, Time, TimeInterval};
+
+/// A spatiotemporal object sampled at every instant of its lifetime: the
+/// input format of all splitting algorithms ("a sequence of n spatial
+/// objects, one at each time instant", §III-A, fig. 8).
+///
+/// Index `i` corresponds to absolute instant `start + i`. A *cut* at index
+/// `c` (0 < c < n) splits the object between instants `c−1` and `c`; `k`
+/// cuts produce `k+1` consecutive pieces, each approximated by the spatial
+/// MBR of its instants and a lifetime covering them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RasterizedObject {
+    id: u64,
+    start: Time,
+    rects: Vec<Rect2>,
+    /// Indices where the underlying movement changes characteristics
+    /// (interior segment boundaries); strictly increasing, in `1..n`.
+    boundaries: Vec<usize>,
+}
+
+impl RasterizedObject {
+    /// Build from per-instant rectangles with no recorded change points.
+    ///
+    /// # Panics
+    /// If `rects` is empty — an object is alive for at least one instant.
+    pub fn new(id: u64, start: Time, rects: Vec<Rect2>) -> Self {
+        Self::with_boundaries(id, start, rects, Vec::new())
+    }
+
+    /// Build from per-instant rectangles plus movement change points.
+    ///
+    /// # Panics
+    /// If `rects` is empty or any boundary is out of `1..rects.len()` or
+    /// boundaries are not strictly increasing.
+    pub fn with_boundaries(
+        id: u64,
+        start: Time,
+        rects: Vec<Rect2>,
+        boundaries: Vec<usize>,
+    ) -> Self {
+        assert!(!rects.is_empty(), "object {id} has no instants");
+        for (k, &b) in boundaries.iter().enumerate() {
+            assert!(
+                b >= 1 && b < rects.len(),
+                "object {id}: boundary {b} out of range"
+            );
+            if k > 0 {
+                assert!(
+                    boundaries[k - 1] < b,
+                    "object {id}: boundaries not increasing"
+                );
+            }
+        }
+        Self {
+            id,
+            start,
+            rects,
+            boundaries,
+        }
+    }
+
+    /// Stable object identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// First alive instant.
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// Number of alive instants (`n`).
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Always false — construction rejects empty objects. Provided for
+    /// clippy-idiomatic pairing with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Lifetime `[start, start + n)`.
+    pub fn lifetime(&self) -> TimeInterval {
+        TimeInterval::new(self.start, self.start + self.rects.len() as Time)
+    }
+
+    /// Spatial rectangle at raster index `i` (instant `start + i`).
+    pub fn rect(&self, i: usize) -> Rect2 {
+        self.rects[i]
+    }
+
+    /// All per-instant rectangles.
+    pub fn rects(&self) -> &[Rect2] {
+        &self.rects
+    }
+
+    /// Movement change points as raster indices (for the piecewise
+    /// baseline splitter).
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Spatial MBR over raster indices `[j, i)`.
+    ///
+    /// O(i − j); the dynamic programs maintain running unions instead of
+    /// calling this in inner loops.
+    pub fn mbr_range(&self, j: usize, i: usize) -> Rect2 {
+        assert!(j < i && i <= self.rects.len(), "bad range [{j}, {i})");
+        let mut mbr = self.rects[j];
+        for r in &self.rects[j + 1..i] {
+            mbr.expand(r);
+        }
+        mbr
+    }
+
+    /// Volume of the single box covering indices `[j, i)`:
+    /// spatial area × number of instants.
+    pub fn volume_range(&self, j: usize, i: usize) -> f64 {
+        self.mbr_range(j, i).area() * (i - j) as f64
+    }
+
+    /// Volume of the whole object approximated by one MBR (no splits).
+    pub fn unsplit_volume(&self) -> f64 {
+        self.volume_range(0, self.rects.len())
+    }
+
+    /// Materialize the space-time boxes for a sorted list of interior cut
+    /// indices; `k` cuts yield `k + 1` boxes with consecutive lifetimes.
+    ///
+    /// # Panics
+    /// If cuts are not strictly increasing inside `1..n`.
+    pub fn boxes_for_cuts(&self, cuts: &[usize]) -> Vec<StBox> {
+        let n = self.rects.len();
+        let mut out = Vec::with_capacity(cuts.len() + 1);
+        let mut prev = 0usize;
+        for &c in cuts {
+            assert!(c > prev && c < n, "cut {c} invalid after {prev} (n = {n})");
+            out.push(self.piece(prev, c));
+            prev = c;
+        }
+        out.push(self.piece(prev, n));
+        out
+    }
+
+    /// Total volume of the boxes produced by `boxes_for_cuts`.
+    pub fn volume_for_cuts(&self, cuts: &[usize]) -> f64 {
+        let mut total = 0.0;
+        let n = self.rects.len();
+        let mut prev = 0usize;
+        for &c in cuts {
+            assert!(c > prev && c < n, "cut {c} invalid after {prev} (n = {n})");
+            total += self.volume_range(prev, c);
+            prev = c;
+        }
+        total + self.volume_range(prev, n)
+    }
+
+    fn piece(&self, j: usize, i: usize) -> StBox {
+        StBox::new(
+            self.mbr_range(j, i),
+            TimeInterval::new(self.start + j as Time, self.start + i as Time),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sti_geom::Point2;
+
+    /// Object moving diagonally one 0.1-step per instant, size 0.1 × 0.1.
+    fn diagonal(n: usize) -> RasterizedObject {
+        let rects = (0..n)
+            .map(|i| {
+                let c = Point2::new(0.05 + 0.1 * i as f64, 0.05 + 0.1 * i as f64);
+                Rect2::centered(c, 0.1, 0.1)
+            })
+            .collect();
+        RasterizedObject::new(9, 100, rects)
+    }
+
+    #[test]
+    fn lifetime_and_len() {
+        let o = diagonal(5);
+        assert_eq!(o.len(), 5);
+        assert_eq!(o.lifetime(), TimeInterval::new(100, 105));
+    }
+
+    #[test]
+    #[should_panic(expected = "no instants")]
+    fn rejects_empty() {
+        let _ = RasterizedObject::new(1, 0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_boundary() {
+        let _ = RasterizedObject::with_boundaries(1, 0, vec![Rect2::UNIT, Rect2::UNIT], vec![2]);
+    }
+
+    #[test]
+    fn mbr_range_is_union() {
+        let o = diagonal(3);
+        let m = o.mbr_range(0, 3);
+        // covers [0, 0.3] on both axes
+        assert!((m.lo.x - 0.0).abs() < 1e-12);
+        assert!((m.hi.x - 0.3).abs() < 1e-12);
+        let single = o.mbr_range(1, 2);
+        assert_eq!(single, o.rect(1));
+    }
+
+    #[test]
+    fn splitting_reduces_volume_for_movers() {
+        let o = diagonal(10);
+        let whole = o.unsplit_volume();
+        let halves = o.volume_for_cuts(&[5]);
+        assert!(halves < whole, "splitting a mover must shrink volume");
+        // and boxes_for_cuts agrees with volume_for_cuts
+        let sum: f64 = o.boxes_for_cuts(&[5]).iter().map(StBox::volume).sum();
+        assert!((sum - halves).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_object_gains_nothing() {
+        let rects = vec![Rect2::from_bounds(0.1, 0.1, 0.2, 0.2); 8];
+        let o = RasterizedObject::new(2, 0, rects);
+        assert!((o.unsplit_volume() - o.volume_for_cuts(&[4])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxes_lifetimes_are_consecutive() {
+        let o = diagonal(10);
+        let boxes = o.boxes_for_cuts(&[3, 7]);
+        assert_eq!(boxes.len(), 3);
+        assert_eq!(boxes[0].lifetime, TimeInterval::new(100, 103));
+        assert_eq!(boxes[1].lifetime, TimeInterval::new(103, 107));
+        assert_eq!(boxes[2].lifetime, TimeInterval::new(107, 110));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid after")]
+    fn rejects_unsorted_cuts() {
+        let o = diagonal(10);
+        let _ = o.boxes_for_cuts(&[7, 3]);
+    }
+
+    fn arb_object() -> impl Strategy<Value = RasterizedObject> {
+        prop::collection::vec((0.0..0.9f64, 0.0..0.9f64), 1..30).prop_map(|pts| {
+            let rects = pts
+                .into_iter()
+                .map(|(x, y)| Rect2::from_bounds(x, y, x + 0.1, y + 0.1))
+                .collect();
+            RasterizedObject::new(1, 0, rects)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn any_cut_never_increases_volume(o in arb_object(), cut_frac in 0.01..0.99f64) {
+            // A single box always covers at least as much as two sub-boxes:
+            // union is monotone, so splitting can only remove volume.
+            let n = o.len();
+            if n >= 2 {
+                let c = ((n as f64 * cut_frac) as usize).clamp(1, n - 1);
+                prop_assert!(o.volume_for_cuts(&[c]) <= o.unsplit_volume() + 1e-9);
+            }
+        }
+
+        #[test]
+        fn boxes_cover_every_instant(o in arb_object()) {
+            let n = o.len();
+            let cuts: Vec<usize> = (1..n).step_by(3).collect();
+            let boxes = o.boxes_for_cuts(&cuts);
+            for i in 0..n {
+                let t = o.start() + i as Time;
+                let covered = boxes.iter().any(|b| {
+                    b.lifetime.contains(t) && b.rect.contains_rect(&o.rect(i))
+                });
+                prop_assert!(covered, "instant {i} not covered");
+            }
+        }
+    }
+}

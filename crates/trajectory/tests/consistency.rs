@@ -1,0 +1,90 @@
+//! Property tests tying the continuous motion model to its discrete
+//! rasterization: `Trajectory::rect_at` and `rasterize()` must agree at
+//! every instant, for arbitrary piecewise polynomial motion.
+
+use proptest::prelude::*;
+use sti_geom::TimeInterval;
+use sti_trajectory::{MotionSegment, Polynomial, Trajectory};
+
+/// Arbitrary motion segment over a given absolute interval.
+fn arb_segment(start: u32, dur: u32) -> impl Strategy<Value = MotionSegment> {
+    (
+        -0.5..0.5f64,
+        -0.01..0.01f64,
+        -0.001..0.001f64,
+        -0.5..0.5f64,
+        -0.01..0.01f64,
+        0.0..0.05f64,
+        0.0..0.05f64,
+    )
+        .prop_map(move |(x0, vx, ax, y0, vy, w, h)| MotionSegment {
+            interval: TimeInterval::new(start, start + dur),
+            x: Polynomial::quadratic(x0, vx, ax),
+            y: Polynomial::linear(y0, vy),
+            w: Polynomial::constant(w),
+            h: Polynomial::constant(h),
+        })
+}
+
+/// Arbitrary multi-segment trajectory; segments are glued consecutively
+/// (positions may jump between segments — the raster must simply record
+/// whatever the model says).
+fn arb_trajectory() -> impl Strategy<Value = Trajectory> {
+    (1u32..200, prop::collection::vec(2u32..12, 1..5)).prop_flat_map(|(start, durs)| {
+        let mut t = start;
+        let mut strategies = Vec::new();
+        for d in durs {
+            strategies.push(arb_segment(t, d));
+            t += d;
+        }
+        strategies.prop_map(|segments| Trajectory::new(7, segments))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn raster_agrees_with_rect_at_everywhere(tr in arb_trajectory()) {
+        let ras = tr.rasterize();
+        let life = tr.lifetime();
+        prop_assert_eq!(ras.lifetime(), life);
+        for t in life.start..life.end {
+            let from_model = tr.rect_at(t).expect("inside lifetime");
+            let from_raster = ras.rect((t - life.start) as usize);
+            prop_assert_eq!(from_model, from_raster, "t = {}", t);
+        }
+        // Outside the lifetime the model returns nothing.
+        prop_assert!(tr.rect_at(life.end).is_none());
+        if life.start > 0 {
+            prop_assert!(tr.rect_at(life.start - 1).is_none());
+        }
+    }
+
+    #[test]
+    fn boundaries_are_exactly_the_change_points(tr in arb_trajectory()) {
+        let ras = tr.rasterize();
+        let life = tr.lifetime();
+        let expected: Vec<usize> = tr
+            .change_points()
+            .into_iter()
+            .map(|t| (t - life.start) as usize)
+            .collect();
+        prop_assert_eq!(ras.boundaries(), &expected[..]);
+    }
+
+    #[test]
+    fn mbr_range_contains_every_instant(tr in arb_trajectory()) {
+        let ras = tr.rasterize();
+        let n = ras.len();
+        let whole = ras.mbr_range(0, n);
+        for i in 0..n {
+            prop_assert!(whole.contains_rect(&ras.rect(i)), "instant {}", i);
+        }
+        // And sub-ranges nest: [0, n) covers any [j, i).
+        if n >= 3 {
+            let sub = ras.mbr_range(1, n - 1);
+            prop_assert!(whole.contains_rect(&sub));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Streaming ingestion: the paper's §VII future work in action.
+//!
+//! Position updates arrive one instant at a time; the online splitter
+//! decides artificial splits on the fly and the indexer keeps a
+//! partially persistent R-Tree current behind a watermark. Historical
+//! queries run *while* the stream is still flowing.
+//!
+//! Run with: `cargo run --release --example online_stream`
+
+use spatiotemporal_index::core::online::{OnlineIndexer, OnlineSplitConfig};
+use spatiotemporal_index::pprtree::PprParams;
+use spatiotemporal_index::prelude::*;
+
+fn main() {
+    let objects = RandomDatasetSpec::paper(500).generate();
+    let config = OnlineSplitConfig {
+        overhead_threshold: 8.0,
+        min_piece_instants: 5,
+        // Cap piece length so the watermark keeps advancing even when
+        // some object barely moves.
+        max_piece_instants: Some(40),
+        max_piece_area: None,
+    };
+    let mut indexer = OnlineIndexer::new(config, PprParams::default());
+
+    // Replay the dataset as a global time-ordered stream of updates.
+    let mut events: Vec<(Time, u64, usize, bool)> = Vec::new();
+    for o in &objects {
+        for i in 0..o.len() {
+            events.push((o.start() + i as Time, o.id(), i, false));
+        }
+        events.push((o.lifetime().end, o.id(), 0, true));
+    }
+    events.sort_unstable();
+
+    let mut asked = 0;
+    for (t, id, i, done) in events {
+        if done {
+            indexer.finish(id, t);
+        } else {
+            indexer.update(id, objects[id as usize].rect(i), t);
+        }
+        // Every ~200 ticks, ask a question about finalized history.
+        if t % 200 == 0 && indexer.watermark() > 50 && asked < t / 200 {
+            asked = t / 200;
+            let probe = indexer.watermark() - 1;
+            let mut out = Vec::new();
+            indexer.query_snapshot(&Rect2::from_bounds(0.25, 0.25, 0.75, 0.75), probe, &mut out);
+            println!(
+                "t={t:4}  watermark={:4}  objects in the center at t={probe}: {}",
+                indexer.watermark(),
+                out.len()
+            );
+        }
+    }
+
+    println!(
+        "\nstream done: {} artificial splits issued online",
+        indexer.splits_issued()
+    );
+    let mut tree = indexer.seal(1000);
+    let mut out = Vec::new();
+    tree.query_interval(
+        &Rect2::from_bounds(0.45, 0.45, 0.55, 0.55),
+        &TimeInterval::new(0, 1000),
+        &mut out,
+    );
+    println!(
+        "objects that ever crossed the center 10% window: {}",
+        out.len()
+    );
+    println!(
+        "final index: {} pages over {} roots",
+        tree.num_pages(),
+        tree.roots().len()
+    );
+}

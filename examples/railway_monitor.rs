@@ -1,0 +1,85 @@
+//! Railway monitoring: historical queries over the skewed train
+//! workload (paper §V's second dataset family).
+//!
+//! Builds the 22-city / 51-track map, runs thousands of trains across
+//! it, indexes their trajectories, and answers questions like "which
+//! trains passed near Chicago around hour 500?".
+//!
+//! Run with: `cargo run --release --example railway_monitor`
+
+use spatiotemporal_index::core::{IndexBackend, IndexConfig, SplitPlan};
+use spatiotemporal_index::datagen::RailwayMap;
+use spatiotemporal_index::prelude::*;
+
+fn main() {
+    let map = RailwayMap::us_rail();
+    println!(
+        "railway map: {} cities, {} tracks",
+        map.cities().len(),
+        map.tracks().len()
+    );
+
+    let spec = RailwayDatasetSpec::paper(3000);
+    let trains = spec.generate_rasterized();
+    println!(
+        "simulated {} train trips (1 instant = 1 hour)",
+        trains.len()
+    );
+
+    let plan = SplitPlan::build(
+        &trains,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(150.0),
+        None,
+    );
+    let mut index = SpatioTemporalIndex::build(
+        &plan.records(&trains),
+        &IndexConfig::paper(IndexBackend::PprTree),
+    );
+
+    // "Which trains were within ~100 miles of Chicago at hour 500?"
+    let chicago = map
+        .cities()
+        .iter()
+        .find(|c| c.name == "Chicago")
+        .expect("Chicago is on the map")
+        .pos;
+    let window = Rect2::centered(chicago, 0.08, 0.14);
+    let at_500 = index.query(&window, &TimeInterval::instant(500));
+    println!("\ntrains near Chicago at hour 500: {}", at_500.len());
+
+    // "Any trains there during the whole day around it?"
+    let day = TimeInterval::new(488, 512);
+    let during_day = index.query(&window, &day);
+    println!(
+        "trains near Chicago during hours [488, 512): {}",
+        during_day.len()
+    );
+    assert!(
+        during_day.len() >= at_500.len(),
+        "interval answers contain snapshot answers"
+    );
+
+    // Compare coasts: the workload is skewed toward CA and NY.
+    let la = map
+        .cities()
+        .iter()
+        .find(|c| c.name == "Los Angeles")
+        .expect("exists")
+        .pos;
+    let ca_window = Rect2::centered(la, 0.08, 0.14);
+    let ca_traffic = index.query(&ca_window, &day);
+    println!(
+        "trains near Los Angeles during the same day: {}",
+        ca_traffic.len()
+    );
+
+    index.reset_for_query();
+    let _ = index.query(&window, &TimeInterval::instant(500));
+    println!(
+        "\nsnapshot query cost: {} disk reads",
+        index.io_stats().reads
+    );
+    println!("index footprint: {} pages", index.num_pages());
+}

@@ -1,0 +1,75 @@
+//! Choosing the split budget (paper §IV): analytical model vs sampling.
+//!
+//! The split budget trades disk space for query speed. This example runs
+//! both tuning methods the paper describes on the same dataset and shows
+//! they point at a similar budget — without ever building the full-size
+//! candidate indexes.
+//!
+//! Run with: `cargo run --release --example split_tuning`
+
+use spatiotemporal_index::core::tuning::{
+    choose_splits_analytical, choose_splits_by_sampling, QueryProfile,
+};
+use spatiotemporal_index::core::IndexBackend;
+use spatiotemporal_index::datagen::QuerySetSpec;
+use spatiotemporal_index::prelude::*;
+
+fn main() {
+    let objects = RandomDatasetSpec::paper(20_000).generate();
+    let candidates: Vec<SplitBudget> = [0.0, 10.0, 25.0, 50.0, 100.0, 150.0]
+        .map(SplitBudget::Percent)
+        .to_vec();
+
+    // Method 1: analytical. Predict the average query cost per budget
+    // from dataset statistics (no index built at all).
+    let analytical = choose_splits_analytical(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        &candidates,
+        QueryProfile {
+            extents: (0.0055, 0.0055),
+            duration: 1,
+        },
+        1000,
+    );
+    println!("analytical model predictions (node accesses per query):");
+    for (i, (budget, cost)) in analytical.costs.iter().enumerate() {
+        let mark = if i == analytical.best {
+            "  <== chosen"
+        } else {
+            ""
+        };
+        println!("  {budget:?}: {cost:.2}{mark}");
+    }
+
+    // Method 2: sampling. Build real indexes over 1/4 of the objects and
+    // measure; percent budgets normalize to the full dataset for free.
+    let mut spec = QuerySetSpec::small_snapshot();
+    spec.cardinality = 200;
+    let queries: Vec<_> = spec.generate().iter().map(|q| (q.area, q.range)).collect();
+    let sampled = choose_splits_by_sampling(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        &candidates,
+        &queries,
+        IndexBackend::PprTree,
+        4,
+    );
+    println!("\nsampled measurements (avg disk reads on a 1/4 sample):");
+    for (i, (budget, cost)) in sampled.costs.iter().enumerate() {
+        let mark = if i == sampled.best {
+            "  <== chosen"
+        } else {
+            ""
+        };
+        println!("  {budget:?}: {cost:.2}{mark}");
+    }
+
+    println!(
+        "\nanalytical pick: {:?} | sampling pick: {:?}",
+        analytical.best_budget(),
+        sampled.best_budget()
+    );
+}

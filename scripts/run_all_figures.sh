@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every table, figure, and ablation at default scale.
+# Usage: scripts/run_all_figures.sh [outdir] [extra flags, e.g. --paper]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-results}"
+shift || true
+mkdir -p "$OUT"
+cargo build --release -p sti-bench --bins
+for bin in table1 table2 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 \
+           railway tuning ablation_motion ablation_packing ablation_online \
+           ablation_orbits ablation_overlapping ablation_buffer \
+           ablation_split ablation_hybrid; do
+  echo "== $bin"
+  ./target/release/"$bin" "$@" | tee "$OUT/$bin.txt"
+done

@@ -1,0 +1,335 @@
+//! `stidx` — command-line front end for the spatiotemporal index.
+//!
+//! ```text
+//! stidx generate --kind random --n 10000 --out data.stdat [--seed 7]
+//! stidx stats    --data data.stdat
+//! stidx build    --data data.stdat --out index.stidx
+//!                [--backend ppr|rstar] [--splits 150%|--splits 5000]
+//!                [--single merge|dp] [--dist lagreedy|greedy|optimal]
+//! stidx query    --index index.stidx --backend ppr|rstar
+//!                --area x0,y0,x1,y1 --time T [--until T2]
+//! stidx nearest  --index index.stidx --backend ppr
+//!                --point x,y --time T [--k 5]
+//! ```
+//!
+//! Datasets use the `STDAT1` format (`sti_datagen::io`); indexes use the
+//! `STIDX1` page-store format with tree metadata. Index files carry a
+//! backend tag, so opening one with the wrong `--backend` fails with a
+//! clear error naming the actual backend.
+//!
+//! R\*-Tree indexes are interpreted with the paper's 1000-instant
+//! evolution (time scaled by `TIME_EXTENT`); `stidx build` always writes
+//! that scale, but an R\* file saved by library code with a custom
+//! `IndexConfig::time_extent` would be misread here.
+
+use spatiotemporal_index::core::{
+    DistributionAlgorithm, IndexBackend, IndexConfig, SingleSplitAlgorithm, SpatioTemporalIndex,
+    SplitBudget, SplitPlan,
+};
+use spatiotemporal_index::datagen::{
+    load_dataset, save_dataset, DatasetStats, OrbitDatasetSpec, RailwayDatasetSpec,
+    RandomDatasetSpec, RegionDatasetSpec, TIME_EXTENT,
+};
+use spatiotemporal_index::geom::{Rect2, TimeInterval};
+use spatiotemporal_index::pprtree::PprTree;
+use spatiotemporal_index::rstar::RStarTree;
+use spatiotemporal_index::trajectory::RasterizedObject;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  stidx generate --kind random|railway|orbits|regions --n N --out FILE [--seed S]
+  stidx stats    --data FILE
+  stidx build    --data FILE --out FILE [--backend ppr|rstar]
+                 [--splits P% | --splits N] [--single merge|dp]
+                 [--dist lagreedy|greedy|optimal]
+  stidx query    --index FILE --backend ppr|rstar
+                 --area x0,y0,x1,y1 --time T [--until T2]
+  stidx nearest  --index FILE --backend ppr
+                 --point x,y --time T [--k 5]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("stidx: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let opts = parse_flags(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&opts),
+        "stats" => stats(&opts),
+        "build" => build(&opts),
+        "query" => query(&opts),
+        "nearest" => nearest(&opts),
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {flag}"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        map.insert(name.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn need<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
+}
+
+fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = need(opts, "kind")?;
+    let n: usize = need(opts, "n")?
+        .parse()
+        .map_err(|_| "--n must be an integer")?;
+    let out = PathBuf::from(need(opts, "out")?);
+    let seed: Option<u64> = match opts.get("seed") {
+        Some(s) => Some(s.parse().map_err(|_| "--seed must be an integer")?),
+        None => None,
+    };
+    let objects: Vec<RasterizedObject> = match kind {
+        "random" => {
+            let mut spec = RandomDatasetSpec::paper(n);
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            spec.generate()
+        }
+        "railway" => {
+            let mut spec = RailwayDatasetSpec::paper(n);
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            spec.generate_rasterized()
+        }
+        "orbits" => {
+            let mut spec = OrbitDatasetSpec::standard(n);
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            spec.generate()
+        }
+        "regions" => {
+            let mut spec = RegionDatasetSpec::standard(n);
+            if let Some(s) = seed {
+                spec.seed = s;
+            }
+            spec.generate_rasterized()
+        }
+        other => return Err(format!("unknown dataset kind {other}")),
+    };
+    save_dataset(&out, &objects).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {} objects to {}", objects.len(), out.display());
+    Ok(())
+}
+
+fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = PathBuf::from(need(opts, "data")?);
+    let objects = load_dataset(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    println!("{}", DatasetStats::compute(&objects, TIME_EXTENT));
+    Ok(())
+}
+
+fn build(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data = PathBuf::from(need(opts, "data")?);
+    let out = PathBuf::from(need(opts, "out")?);
+    let backend = parse_backend(opts.get("backend").map(String::as_str).unwrap_or("ppr"))?;
+    let budget = match opts.get("splits").map(String::as_str) {
+        None => SplitBudget::Percent(150.0),
+        Some(s) => match s.strip_suffix('%') {
+            Some(p) => {
+                let pct: f64 = p
+                    .parse()
+                    .map_err(|_| "--splits percentage must be a number")?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--splits percentage must be a non-negative number".into());
+                }
+                SplitBudget::Percent(pct)
+            }
+            None => SplitBudget::Count(s.parse().map_err(|_| "--splits must be N or P%")?),
+        },
+    };
+    let single = match opts.get("single").map(String::as_str).unwrap_or("merge") {
+        "merge" => SingleSplitAlgorithm::MergeSplit,
+        "dp" => SingleSplitAlgorithm::DpSplit,
+        other => return Err(format!("unknown single-object algorithm {other}")),
+    };
+    let dist = match opts.get("dist").map(String::as_str).unwrap_or("lagreedy") {
+        "lagreedy" => DistributionAlgorithm::LaGreedy,
+        "greedy" => DistributionAlgorithm::Greedy,
+        "optimal" => DistributionAlgorithm::Optimal,
+        other => return Err(format!("unknown distribution algorithm {other}")),
+    };
+
+    let objects = load_dataset(&data).map_err(|e| format!("reading {}: {e}", data.display()))?;
+    println!(
+        "planning splits for {} objects ({single} + {dist})...",
+        objects.len()
+    );
+    let plan = SplitPlan::build(&objects, single, dist, budget, None);
+    let records = plan.records(&objects);
+    println!(
+        "{} records (volume {:.3}); building {backend}...",
+        records.len(),
+        plan.total_volume()
+    );
+    let index = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+    let saved = match backend {
+        IndexBackend::PprTree => index.as_ppr().expect("ppr backend").save_to_file(&out),
+        IndexBackend::RStar => index.as_rstar().expect("rstar backend").save_to_file(&out),
+    };
+    saved.map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {} pages to {}", index.num_pages(), out.display());
+    Ok(())
+}
+
+fn query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = PathBuf::from(need(opts, "index")?);
+    let backend = parse_backend(need(opts, "backend")?)?;
+    let area = parse_area(need(opts, "area")?)?;
+    let t: u32 = need(opts, "time")?
+        .parse()
+        .map_err(|_| "--time must be an integer")?;
+    let until: u32 = match opts.get("until") {
+        Some(s) => s.parse().map_err(|_| "--until must be an integer")?,
+        None => t + 1,
+    };
+    if until <= t {
+        return Err("--until must be after --time".into());
+    }
+    let range = TimeInterval::new(t, until);
+
+    let (mut ids, reads) = match backend {
+        IndexBackend::PprTree => {
+            let mut tree = PprTree::open_file(&path)
+                .map_err(|e| format!("opening {}: {e}", path.display()))?;
+            tree.reset_for_query();
+            let mut out = Vec::new();
+            if range.len() == 1 {
+                tree.query_snapshot(&area, t, &mut out);
+            } else {
+                tree.query_interval(&area, &range, &mut out);
+            }
+            (out, tree.io_stats().reads)
+        }
+        IndexBackend::RStar => {
+            let mut tree = RStarTree::open_file(&path)
+                .map_err(|e| format!("opening {}: {e}", path.display()))?;
+            tree.reset_for_query();
+            let q = spatiotemporal_index::geom::Rect3::from_query(
+                &area,
+                &range,
+                f64::from(TIME_EXTENT),
+            );
+            let mut out = Vec::new();
+            tree.query(&q, &mut out);
+            (out, tree.io_stats().reads)
+        }
+    };
+    ids.sort_unstable();
+    ids.dedup();
+    let mut out = String::with_capacity(ids.len() * 8 + 64);
+    out.push_str(&format!("{} objects, {reads} disk reads\n", ids.len()));
+    for id in ids {
+        out.push_str(&format!("{id}\n"));
+    }
+    print_or_pipe(&out)
+}
+
+/// Write to stdout, treating a closed pipe (`stidx query | head`) as a
+/// normal early exit instead of a panic.
+fn print_or_pipe(text: &str) -> Result<(), String> {
+    match std::io::stdout().lock().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing to stdout: {e}")),
+    }
+}
+
+fn nearest(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = PathBuf::from(need(opts, "index")?);
+    let backend = parse_backend(need(opts, "backend")?)?;
+    let point = parse_point(need(opts, "point")?)?;
+    let t: u32 = need(opts, "time")?
+        .parse()
+        .map_err(|_| "--time must be an integer")?;
+    let k: usize = match opts.get("k") {
+        Some(s) => s.parse().map_err(|_| "--k must be an integer")?,
+        None => 5,
+    };
+
+    let results = match backend {
+        IndexBackend::PprTree => {
+            let mut tree = PprTree::open_file(&path)
+                .map_err(|e| format!("opening {}: {e}", path.display()))?;
+            tree.nearest_at(point, t, k)
+        }
+        IndexBackend::RStar => {
+            // The R*-Tree has no aliveness notion: its kNN ranks by 3D
+            // spatiotemporal distance (time scaled into the unit range),
+            // which can surface records dead at `t` and is not comparable
+            // to the ppr backend's pure-spatial, alive-only ranking.
+            return Err(
+                "historical kNN needs the ppr backend; the rstar backend's 3D distance \
+                 mixes space with scaled time and ignores aliveness"
+                    .into(),
+            );
+        }
+    };
+    let mut out = format!("{} nearest at t={t}:\n", results.len());
+    for (id, d2) in results {
+        out.push_str(&format!("{id}  dist {:.6}\n", d2.sqrt()));
+    }
+    print_or_pipe(&out)
+}
+
+fn parse_point(s: &str) -> Result<spatiotemporal_index::geom::Point2, String> {
+    let parts: Vec<f64> = s
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad coordinate {p}")))
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 2 {
+        return Err("--point takes x,y".into());
+    }
+    Ok(spatiotemporal_index::geom::Point2::new(parts[0], parts[1]))
+}
+
+fn parse_backend(s: &str) -> Result<IndexBackend, String> {
+    match s {
+        "ppr" => Ok(IndexBackend::PprTree),
+        "rstar" => Ok(IndexBackend::RStar),
+        other => Err(format!("unknown backend {other} (expected ppr or rstar)")),
+    }
+}
+
+fn parse_area(s: &str) -> Result<Rect2, String> {
+    let parts: Vec<f64> = s
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad coordinate {p}")))
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 4 {
+        return Err("--area takes x0,y0,x1,y1".into());
+    }
+    if parts[0] > parts[2] || parts[1] > parts[3] {
+        return Err("--area corners are reversed".into());
+    }
+    Ok(Rect2::from_bounds(parts[0], parts[1], parts[2], parts[3]))
+}

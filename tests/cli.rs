@@ -1,0 +1,229 @@
+//! End-to-end tests of the `stidx` command-line tool: generate → stats →
+//! build (both backends) → query, plus error handling.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn stidx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stidx"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sti-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn full_pipeline_both_backends() {
+    let data = temp("data.stdat");
+    let out = stidx()
+        .args(["generate", "--kind", "random", "--n", "300", "--out"])
+        .arg(&data)
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = stidx()
+        .args(["stats", "--data"])
+        .arg(&data)
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("Total Objects              300"),
+        "stats output: {text}"
+    );
+
+    for backend in ["ppr", "rstar"] {
+        let idx = temp(&format!("index.{backend}"));
+        let out = stidx()
+            .args(["build", "--data"])
+            .arg(&data)
+            .args(["--out"])
+            .arg(&idx)
+            .args(["--backend", backend, "--splits", "100%"])
+            .output()
+            .expect("run build");
+        assert!(
+            out.status.success(),
+            "build {backend} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+
+        let out = stidx()
+            .args(["query", "--index"])
+            .arg(&idx)
+            .args([
+                "--backend",
+                backend,
+                "--area",
+                "0.0,0.0,1.0,1.0",
+                "--time",
+                "500",
+            ])
+            .output()
+            .expect("run query");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        let first = text.lines().next().expect("summary line");
+        assert!(
+            first.contains("objects") && first.contains("disk reads"),
+            "{first}"
+        );
+        // The whole-space snapshot finds a plausible number of objects
+        // (~ objects-per-instant = 300 * 50 / 1000 = 15).
+        let found: usize = first
+            .split_whitespace()
+            .next()
+            .expect("count")
+            .parse()
+            .expect("int");
+        assert!((3..=60).contains(&found), "implausible hit count {found}");
+        std::fs::remove_file(&idx).ok();
+    }
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn interval_queries_return_supersets_of_snapshots() {
+    let data = temp("interval.stdat");
+    let idx = temp("interval.ppr");
+    assert!(stidx()
+        .args(["generate", "--kind", "railway", "--n", "200", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    assert!(stidx()
+        .args(["build", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&idx)
+        .status()
+        .expect("build")
+        .success());
+
+    let run = |args: &[&str]| -> usize {
+        let out = stidx()
+            .args(["query", "--index"])
+            .arg(&idx)
+            .args(["--backend", "ppr"])
+            .args(args)
+            .output()
+            .expect("query");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .next()
+            .expect("summary")
+            .split_whitespace()
+            .next()
+            .expect("count")
+            .parse()
+            .expect("int")
+    };
+    let snap = run(&["--area", "0.0,0.0,1.0,1.0", "--time", "400"]);
+    let span = run(&[
+        "--area",
+        "0.0,0.0,1.0,1.0",
+        "--time",
+        "400",
+        "--until",
+        "440",
+    ]);
+    assert!(
+        span >= snap,
+        "interval ({span}) must contain snapshot ({snap})"
+    );
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&idx).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let out = stidx().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = stidx()
+        .args([
+            "query",
+            "--index",
+            "/nonexistent",
+            "--backend",
+            "ppr",
+            "--area",
+            "0,0,1,1",
+            "--time",
+            "5",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+
+    let out = stidx()
+        .args([
+            "generate", "--kind", "martian", "--n", "5", "--out", "/tmp/x",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset kind"));
+}
+
+#[test]
+fn nearest_subcommand_works() {
+    let data = temp("knn.stdat");
+    let idx = temp("knn.ppr");
+    assert!(stidx()
+        .args(["generate", "--kind", "random", "--n", "200", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    assert!(stidx()
+        .args(["build", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&idx)
+        .status()
+        .expect("build")
+        .success());
+    let out = stidx()
+        .args(["nearest", "--index"])
+        .arg(&idx)
+        .args([
+            "--backend",
+            "ppr",
+            "--point",
+            "0.5,0.5",
+            "--time",
+            "500",
+            "--k",
+            "3",
+        ])
+        .output()
+        .expect("nearest");
+    assert!(
+        out.status.success(),
+        "nearest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nearest at t=500"), "{text}");
+    // Distances are printed ascending.
+    let dists: Vec<f64> = text
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_whitespace().last()?.parse().ok())
+        .collect();
+    assert!(dists.windows(2).all(|w| w[0] <= w[1]), "{dists:?}");
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&idx).ok();
+}

@@ -1,0 +1,119 @@
+//! Cross-structure equivalence: the three persistence approaches (PPR,
+//! HR, and the 3D R\*-Tree) must agree on every historical query over the
+//! same update stream — they differ in cost, never in answers.
+
+use spatiotemporal_index::core::SplitPlan;
+use spatiotemporal_index::geom::{Rect3, TimeInterval};
+use spatiotemporal_index::hrtree::{HrParams, HrTree};
+use spatiotemporal_index::pprtree::{PprParams, PprTree};
+use spatiotemporal_index::prelude::*;
+use spatiotemporal_index::rstar::{RStarParams, RStarTree};
+
+fn build_all(records: &[spatiotemporal_index::core::ObjectRecord]) -> (PprTree, HrTree, RStarTree) {
+    let mut events: Vec<(u32, u8, usize)> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        events.push((r.stbox.lifetime.start, 1, i));
+        events.push((r.stbox.lifetime.end, 0, i));
+    }
+    events.sort_unstable();
+
+    let mut ppr = PprTree::new(PprParams {
+        max_entries: 12,
+        ..PprParams::default()
+    });
+    let mut hr = HrTree::new(HrParams {
+        max_entries: 12,
+        ..HrParams::default()
+    });
+    for &(t, kind, i) in &events {
+        let r = &records[i];
+        if kind == 1 {
+            ppr.insert(r.id, r.stbox.rect, t);
+            hr.insert(r.id, r.stbox.rect, t);
+        } else {
+            ppr.delete(r.id, r.stbox.rect, t);
+            hr.delete(r.id, r.stbox.rect, t);
+        }
+    }
+    let mut rstar = RStarTree::new(RStarParams {
+        max_entries: 12,
+        ..RStarParams::default()
+    });
+    for r in records {
+        rstar.insert(r.id, r.to_rect3(1000.0));
+    }
+    (ppr, hr, rstar)
+}
+
+#[test]
+fn all_three_structures_agree_everywhere() {
+    let objects = RandomDatasetSpec::paper(500).generate();
+    let plan = SplitPlan::build(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(120.0),
+        None,
+    );
+    let records = plan.records(&objects);
+    let (mut ppr, mut hr, mut rstar) = build_all(&records);
+
+    for i in 0..40u32 {
+        let x = 0.09 * f64::from(i % 10);
+        let area = Rect2::from_bounds(x, 0.1, (x + 0.12).min(1.0), 0.6);
+        let t = 25 * i;
+        // Snapshot agreement.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        ppr.query_snapshot(&area, t, &mut a);
+        hr.query_snapshot(&area, t, &mut b);
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(a, b, "PPR vs HR snapshot at t={t}");
+        let mut c = Vec::new();
+        let q = Rect3::new(
+            [area.lo.x, area.lo.y, f64::from(t) / 1000.0],
+            [area.hi.x, area.hi.y, f64::from(t) / 1000.0],
+        );
+        rstar.query(&q, &mut c);
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(a, c, "PPR vs R* snapshot at t={t}");
+
+        // Interval agreement.
+        let range = TimeInterval::new(t, t + 1 + (i % 13));
+        let mut d = Vec::new();
+        let mut e = Vec::new();
+        ppr.query_interval(&area, &range, &mut d);
+        hr.query_interval(&area, &range, &mut e);
+        d.sort_unstable();
+        e.sort_unstable();
+        assert_eq!(d, e, "PPR vs HR interval at {range}");
+    }
+}
+
+#[test]
+fn railway_stream_agreement() {
+    let trains = RailwayDatasetSpec::paper(400).generate_rasterized();
+    let plan = SplitPlan::build(
+        &trains,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::Greedy,
+        SplitBudget::Percent(80.0),
+        None,
+    );
+    let records = plan.records(&trains);
+    let (mut ppr, mut hr, _) = build_all(&records);
+    for t in (0..1000).step_by(111) {
+        let area = Rect2::from_bounds(0.0, 0.5, 0.3, 1.0); // around California
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        ppr.query_snapshot(&area, t, &mut a);
+        hr.query_snapshot(&area, t, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "t={t}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Edge cases across the public API surface: empty and minimal inputs,
+//! degenerate geometry, extreme budgets.
+
+use spatiotemporal_index::core::{
+    total_volume, unsplit_records, IndexBackend, IndexConfig, SpatioTemporalIndex, SplitPlan,
+};
+use spatiotemporal_index::prelude::*;
+
+#[test]
+fn empty_record_set_builds_and_answers_nothing() {
+    for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+        let mut idx = SpatioTemporalIndex::build(&[], &IndexConfig::paper(backend));
+        assert_eq!(idx.record_count(), 0);
+        let hits = idx.query(&Rect2::UNIT, &TimeInterval::new(0, 1000));
+        assert!(hits.is_empty(), "{backend}");
+    }
+}
+
+#[test]
+fn empty_object_collection_plans_trivially() {
+    let objects: Vec<RasterizedObject> = Vec::new();
+    let plan = SplitPlan::build(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(150.0),
+        None,
+    );
+    assert_eq!(plan.allocation().splits_used(), 0);
+    assert_eq!(plan.records(&objects).len(), 0);
+    assert_eq!(plan.total_volume(), 0.0);
+}
+
+#[test]
+fn single_instant_objects_index_fine() {
+    // Lifetime of exactly one instant: no splits possible, still queryable.
+    let objects: Vec<RasterizedObject> = (0..30u64)
+        .map(|id| {
+            RasterizedObject::new(
+                id,
+                (id * 30) as u32,
+                vec![Rect2::from_bounds(0.1, 0.1, 0.2, 0.2)],
+            )
+        })
+        .collect();
+    let plan = SplitPlan::build(
+        &objects,
+        SingleSplitAlgorithm::DpSplit,
+        DistributionAlgorithm::Optimal,
+        SplitBudget::Percent(150.0),
+        None,
+    );
+    assert_eq!(
+        plan.allocation().splits_used(),
+        0,
+        "1-instant objects cannot split"
+    );
+    let records = plan.records(&objects);
+    assert_eq!(records.len(), 30);
+    for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+        let hits = idx.query(
+            &Rect2::from_bounds(0.0, 0.0, 0.3, 0.3),
+            &TimeInterval::instant(60),
+        );
+        assert_eq!(hits, vec![2], "{backend}");
+    }
+}
+
+#[test]
+fn zero_extent_point_objects_work_end_to_end() {
+    // Moving points: degenerate rectangles everywhere (railway-style).
+    let objects: Vec<RasterizedObject> = (0..20u64)
+        .map(|id| {
+            let rects = (0..15)
+                .map(|i| {
+                    Rect2::point(spatiotemporal_index::geom::Point2::new(
+                        0.05 * id as f64 % 1.0,
+                        0.05 * i as f64,
+                    ))
+                })
+                .collect();
+            RasterizedObject::new(id, 100, rects)
+        })
+        .collect();
+    let records = unsplit_records(&objects);
+    assert_eq!(total_volume(&records), 0.0, "points have zero volume");
+    for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+        let hits = idx.query(&Rect2::UNIT, &TimeInterval::instant(105));
+        assert_eq!(hits.len(), 20, "{backend}");
+    }
+}
+
+#[test]
+fn budget_vastly_exceeding_capacity_saturates() {
+    let objects: Vec<RasterizedObject> = (0..5u64)
+        .map(|id| {
+            let rects = (0..6)
+                .map(|i| Rect2::from_bounds(0.1 * i as f64, 0.0, 0.1 * i as f64 + 0.05, 0.05))
+                .collect();
+            RasterizedObject::new(id, 0, rects)
+        })
+        .collect();
+    let plan = SplitPlan::build(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::Greedy,
+        SplitBudget::Count(1_000_000),
+        None,
+    );
+    // 5 objects × (6 − 1) max splits each.
+    assert_eq!(plan.allocation().splits_used(), 25);
+    assert_eq!(plan.records(&objects).len(), 30);
+}
+
+#[test]
+fn whole_space_whole_time_query_returns_everything() {
+    let objects = RandomDatasetSpec::paper(200).generate();
+    let records = unsplit_records(&objects);
+    for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+        let hits = idx.query(&Rect2::UNIT, &TimeInterval::new(0, 1000));
+        assert_eq!(hits.len(), 200, "{backend}");
+    }
+}
+
+#[test]
+fn queries_outside_all_lifetimes_return_nothing() {
+    let objects: Vec<RasterizedObject> = (0..10u64)
+        .map(|id| RasterizedObject::new(id, 100, vec![Rect2::from_bounds(0.4, 0.4, 0.6, 0.6); 20]))
+        .collect();
+    let records = unsplit_records(&objects);
+    for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+        assert!(idx
+            .query(&Rect2::UNIT, &TimeInterval::new(0, 100))
+            .is_empty());
+        assert!(idx
+            .query(&Rect2::UNIT, &TimeInterval::new(120, 900))
+            .is_empty());
+        assert_eq!(
+            idx.query(&Rect2::UNIT, &TimeInterval::new(119, 121)).len(),
+            10
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end pipeline tests: generator → splitter → distributor →
+//! index → queries, cross-checked against brute force over the records
+//! and over the raw per-instant geometry.
+
+use spatiotemporal_index::core::{
+    total_volume, unsplit_records, IndexBackend, IndexConfig, ObjectRecord, SplitPlan,
+};
+use spatiotemporal_index::prelude::*;
+
+fn dataset(n: usize) -> Vec<RasterizedObject> {
+    RandomDatasetSpec {
+        seed: 0xabcd,
+        ..RandomDatasetSpec::paper(n)
+    }
+    .generate()
+}
+
+/// Brute force over the split records (exact semantics of the index).
+fn brute_records(records: &[ObjectRecord], area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+    let mut v: Vec<u64> = records
+        .iter()
+        .filter(|r| r.stbox.matches(area, range))
+        .map(|r| r.id)
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Brute force over the raw geometry (the "ground truth" an application
+/// cares about; MBR-based indexes may report supersets of this).
+fn brute_geometry(objs: &[RasterizedObject], area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+    let mut v: Vec<u64> = objs
+        .iter()
+        .filter(|o| {
+            let life = o.lifetime();
+            life.overlaps(range)
+                && (range.start.max(life.start)..range.end.min(life.end))
+                    .any(|t| o.rect((t - life.start) as usize).intersects(area))
+        })
+        .map(|o| o.id())
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn query_grid() -> Vec<(Rect2, TimeInterval)> {
+    let mut qs = Vec::new();
+    for i in 0..6u32 {
+        for j in 0..4u32 {
+            let x = 0.15 * f64::from(i);
+            let y = 0.2 * f64::from(j);
+            let t = 150 * i + 37 * j;
+            qs.push((
+                Rect2::from_bounds(x, y, (x + 0.1).min(1.0), (y + 0.12).min(1.0)),
+                TimeInterval::new(t, t + 1),
+            ));
+            qs.push((
+                Rect2::from_bounds(x, y, (x + 0.05).min(1.0), (y + 0.05).min(1.0)),
+                TimeInterval::new(t, t + 9),
+            ));
+        }
+    }
+    qs
+}
+
+#[test]
+fn every_algorithm_combination_yields_a_correct_index() {
+    let objs = dataset(300);
+    for single in [
+        SingleSplitAlgorithm::DpSplit,
+        SingleSplitAlgorithm::MergeSplit,
+    ] {
+        for dist in [
+            DistributionAlgorithm::Optimal,
+            DistributionAlgorithm::Greedy,
+            DistributionAlgorithm::LaGreedy,
+        ] {
+            let plan = SplitPlan::build(&objs, single, dist, SplitBudget::Percent(75.0), Some(20));
+            let records = plan.records(&objs);
+            assert!((total_volume(&records) - plan.total_volume()).abs() < 1e-6);
+            for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+                let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+                for (area, range) in query_grid() {
+                    let got = idx.query(&area, &range);
+                    let want = brute_records(&records, &area, &range);
+                    assert_eq!(got, want, "{single}/{dist}/{backend} at {range}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn indexes_never_miss_true_geometry_hits() {
+    // MBR approximations may add false positives but must never lose an
+    // object that truly intersects the query.
+    let objs = dataset(400);
+    let plan = SplitPlan::build(
+        &objs,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(150.0),
+        None,
+    );
+    let records = plan.records(&objs);
+    for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+        for (area, range) in query_grid() {
+            let got = idx.query(&area, &range);
+            for id in brute_geometry(&objs, &area, &range) {
+                assert!(got.contains(&id), "{backend} lost object {id} at {range}");
+            }
+        }
+    }
+}
+
+#[test]
+fn splitting_only_removes_false_positives() {
+    // The split representation is contained in the unsplit one, so split
+    // answers are subsets of unsplit answers (and supersets of truth).
+    let objs = dataset(300);
+    let whole = unsplit_records(&objs);
+    let plan = SplitPlan::build(
+        &objs,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::Greedy,
+        SplitBudget::Percent(100.0),
+        None,
+    );
+    let split = plan.records(&objs);
+    let cfg = IndexConfig::paper(IndexBackend::PprTree);
+    let mut whole_idx = SpatioTemporalIndex::build(&whole, &cfg);
+    let mut split_idx = SpatioTemporalIndex::build(&split, &cfg);
+    for (area, range) in query_grid() {
+        let broad = whole_idx.query(&area, &range);
+        let tight = split_idx.query(&area, &range);
+        for id in &tight {
+            assert!(
+                broad.contains(id),
+                "split answer must be a subset at {range}"
+            );
+        }
+    }
+}
+
+#[test]
+fn railway_pipeline_end_to_end() {
+    let trains = RailwayDatasetSpec {
+        seed: 5,
+        ..RailwayDatasetSpec::paper(400)
+    }
+    .generate_rasterized();
+    let plan = SplitPlan::build(
+        &trains,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(150.0),
+        None,
+    );
+    let records = plan.records(&trains);
+    let mut ppr = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree));
+    let mut rstar = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar));
+    for (area, range) in query_grid() {
+        let want = brute_records(&records, &area, &range);
+        assert_eq!(ppr.query(&area, &range), want, "PPR at {range}");
+        assert_eq!(rstar.query(&area, &range), want, "R* at {range}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Index persistence: save a built index to a real file, load it in a
+//! "fresh process" (new object), and verify answers and I/O accounting
+//! are identical.
+
+use spatiotemporal_index::core::{IndexBackend, IndexConfig, SpatioTemporalIndex, SplitPlan};
+use spatiotemporal_index::pprtree::PprTree;
+use spatiotemporal_index::prelude::*;
+use spatiotemporal_index::rstar::RStarTree;
+use std::path::PathBuf;
+
+fn temp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sti-index-{}-{name}", std::process::id()));
+    p
+}
+
+fn records() -> Vec<spatiotemporal_index::core::ObjectRecord> {
+    let objects = RandomDatasetSpec::paper(400).generate();
+    SplitPlan::build(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(100.0),
+        None,
+    )
+    .records(&objects)
+}
+
+#[test]
+fn pprtree_survives_a_round_trip() {
+    let recs = records();
+    // Build via the facade to exercise the real ingestion path, then
+    // reach the concrete tree through a fresh build for saving.
+    let mut tree = PprTree::new(Default::default());
+    let mut events: Vec<(u32, u8, usize)> = Vec::new();
+    for (i, r) in recs.iter().enumerate() {
+        events.push((r.stbox.lifetime.start, 1, i));
+        events.push((r.stbox.lifetime.end, 0, i));
+    }
+    events.sort_unstable();
+    for (t, kind, i) in events {
+        if kind == 1 {
+            tree.insert(recs[i].id, recs[i].stbox.rect, t);
+        } else {
+            tree.delete(recs[i].id, recs[i].stbox.rect, t);
+        }
+    }
+
+    let path = temp("ppr");
+    tree.save_to_file(&path).expect("save");
+    let mut back = PprTree::open_file(&path).expect("open");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(back.num_pages(), tree.num_pages());
+    assert_eq!(back.roots(), tree.roots());
+    assert_eq!(back.alive_records(), tree.alive_records());
+    back.validate();
+
+    for t in (0..1000).step_by(83) {
+        let area = Rect2::from_bounds(0.2, 0.2, 0.7, 0.7);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        tree.query_snapshot(&area, t, &mut a);
+        back.query_snapshot(&area, t, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "snapshot at {t}");
+        let mut c = Vec::new();
+        let mut d = Vec::new();
+        let range = TimeInterval::new(t, t + 40);
+        tree.query_interval(&area, &range, &mut c);
+        back.query_interval(&area, &range, &mut d);
+        c.sort_unstable();
+        d.sort_unstable();
+        assert_eq!(c, d, "interval at {t}");
+    }
+
+    // I/O accounting still behaves after loading.
+    back.reset_for_query();
+    let mut out = Vec::new();
+    back.query_snapshot(&Rect2::UNIT, 500, &mut out);
+    assert!(back.io_stats().reads > 0);
+}
+
+#[test]
+fn rstar_survives_a_round_trip() {
+    let recs = records();
+    let mut idx = SpatioTemporalIndex::build(&recs, &IndexConfig::paper(IndexBackend::RStar));
+    // Rebuild a raw tree the same way the facade does, then persist it.
+    let mut tree = RStarTree::new(Default::default());
+    for r in &recs {
+        tree.insert(r.id, r.to_rect3(1000.0));
+    }
+    let path = temp("rstar");
+    tree.save_to_file(&path).expect("save");
+    let mut back = RStarTree::open_file(&path).expect("open");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back.len(), tree.len());
+    assert_eq!(back.num_pages(), tree.num_pages());
+    back.validate();
+
+    for t in (0..1000u32).step_by(129) {
+        let area = Rect2::from_bounds(0.1, 0.3, 0.6, 0.8);
+        let q = spatiotemporal_index::geom::Rect3::new(
+            [area.lo.x, area.lo.y, f64::from(t) / 1000.0],
+            [area.hi.x, area.hi.y, f64::from(t) / 1000.0],
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        tree.query(&q, &mut a);
+        back.query(&q, &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "query at {t}");
+        // And the loaded tree agrees with the facade-built index.
+        let mut facade = idx.query(&area, &TimeInterval::instant(t));
+        facade.sort_unstable();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(b, facade, "facade agreement at {t}");
+    }
+}
+
+#[test]
+fn loading_garbage_fails_cleanly() {
+    let path = temp("garbage");
+    std::fs::write(&path, b"definitely not an index file").expect("write");
+    assert!(PprTree::open_file(&path).is_err());
+    assert!(RStarTree::open_file(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn backend_mismatch_is_a_clean_error() {
+    let recs = records();
+    let mut ppr = PprTree::new(Default::default());
+    let mut events: Vec<(u32, u8, usize)> = Vec::new();
+    for (i, r) in recs.iter().enumerate() {
+        events.push((r.stbox.lifetime.start, 1, i));
+        events.push((r.stbox.lifetime.end, 0, i));
+    }
+    events.sort_unstable();
+    for (t, kind, i) in events {
+        if kind == 1 {
+            ppr.insert(recs[i].id, recs[i].stbox.rect, t);
+        } else {
+            ppr.delete(recs[i].id, recs[i].stbox.rect, t);
+        }
+    }
+    let path = temp("mismatch");
+    ppr.save_to_file(&path).expect("save");
+    let err = match RStarTree::open_file(&path) {
+        Err(e) => e,
+        Ok(_) => panic!("opening a PPR file as R* must fail"),
+    };
+    assert!(
+        err.to_string().contains("PPR-Tree"),
+        "mismatch should name the actual backend: {err}"
+    );
+    // And the right backend still opens it.
+    assert!(PprTree::open_file(&path).is_ok());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,187 @@
+//! Partial-persistence semantics under adversarial churn, checked
+//! against a naive shadow and across backends.
+
+use spatiotemporal_index::geom::{Rect2, TimeInterval};
+use spatiotemporal_index::pprtree::{PprParams, PprTree};
+
+fn rect(x: f64, y: f64, s: f64) -> Rect2 {
+    Rect2::from_bounds(x, y, (x + s).min(1.0), (y + s).min(1.0))
+}
+
+struct Shadow {
+    records: Vec<(u64, Rect2, u32, u32)>,
+}
+
+impl Shadow {
+    fn snapshot(&self, area: &Rect2, t: u32) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|(_, r, s, e)| *s <= t && t < *e && r.intersects(area))
+            .map(|&(id, ..)| id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Deterministic "chaos" workload: waves of correlated births and deaths,
+/// including whole-population extinctions, rebuilding from nothing, and
+/// single-survivor eras — the regimes that stress version splits, merges
+/// and root turnover.
+#[test]
+fn extinction_and_rebirth_eras() {
+    let params = PprParams {
+        max_entries: 12,
+        buffer_pages: 4,
+        ..PprParams::default()
+    };
+    let mut tree = PprTree::new(params);
+    let mut shadow = Shadow {
+        records: Vec::new(),
+    };
+    let mut next_id = 0u64;
+
+    let mut alive: Vec<(u64, Rect2)> = Vec::new();
+    for era in 0..6u32 {
+        let t0 = era * 100;
+        // Boom: 30 objects in a tight cluster (stresses key splits).
+        for i in 0..30u64 {
+            let r = rect(
+                0.3 + 0.01 * (i % 6) as f64,
+                0.3 + 0.01 * (i / 6) as f64,
+                0.015,
+            );
+            tree.insert(next_id, r, t0 + i as u32 / 10);
+            shadow
+                .records
+                .push((next_id, r, t0 + i as u32 / 10, u32::MAX));
+            alive.push((next_id, r));
+            next_id += 1;
+        }
+        // Bust: everything dies except one survivor per era.
+        let survivor = alive[era as usize % alive.len()];
+        for (id, r) in alive.drain(..) {
+            if id == survivor.0 {
+                continue;
+            }
+            let td = t0 + 50;
+            tree.delete(id, r, td);
+            let rec = shadow
+                .records
+                .iter_mut()
+                .find(|(i, ..)| *i == id)
+                .expect("exists");
+            rec.3 = td;
+        }
+        alive.push(survivor);
+        // Kill the survivor too on even eras → total extinction.
+        if era % 2 == 0 {
+            let (id, r) = alive.pop().expect("survivor");
+            tree.delete(id, r, t0 + 60);
+            let rec = shadow
+                .records
+                .iter_mut()
+                .find(|(i, ..)| *i == id)
+                .expect("exists");
+            rec.3 = t0 + 60;
+        }
+    }
+    tree.validate();
+
+    // Every instant of the whole evolution, three windows each.
+    for t in 0..620u32 {
+        for area in [
+            Rect2::UNIT,
+            Rect2::from_bounds(0.3, 0.3, 0.34, 0.34),
+            Rect2::from_bounds(0.8, 0.8, 0.9, 0.9),
+        ] {
+            let mut got = Vec::new();
+            tree.query_snapshot(&area, t, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, shadow.snapshot(&area, t), "t={t}");
+        }
+    }
+}
+
+/// Long-lived records must survive arbitrarily many version splits
+/// caused by churning neighbors, and interval queries must report them
+/// exactly once.
+#[test]
+fn long_lived_records_survive_churn() {
+    let params = PprParams {
+        max_entries: 10,
+        buffer_pages: 4,
+        ..PprParams::default()
+    };
+    let mut tree = PprTree::new(params);
+    // Ten immortal anchors spread over space.
+    for i in 0..10u64 {
+        tree.insert(i, rect(0.09 * i as f64, 0.5, 0.02), 0);
+    }
+    // 500 churners near the anchors.
+    let mut id = 100u64;
+    for round in 0..100u32 {
+        let t = 1 + round * 3;
+        for j in 0..5u64 {
+            let r = rect(0.09 * ((id + j) % 10) as f64, 0.5, 0.02);
+            tree.insert(id + j, r, t);
+        }
+        for j in 0..5u64 {
+            let r = rect(0.09 * ((id + j) % 10) as f64, 0.5, 0.02);
+            tree.delete(id + j, r, t + 1);
+        }
+        id += 5;
+    }
+    tree.validate();
+
+    // All ten anchors alive at every probed instant.
+    for t in (0..300).step_by(23) {
+        let mut got = Vec::new();
+        tree.query_snapshot(&Rect2::UNIT, t, &mut got);
+        let anchors = got.iter().filter(|&&i| i < 10).count();
+        assert_eq!(anchors, 10, "t={t}");
+    }
+    // Interval query over everything reports each anchor once.
+    let mut got = Vec::new();
+    tree.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 400), &mut got);
+    let mut anchors: Vec<u64> = got.into_iter().filter(|&i| i < 10).collect();
+    anchors.sort_unstable();
+    assert_eq!(anchors, (0..10).collect::<Vec<u64>>());
+}
+
+/// The root log is a consistent, consecutive partition of time.
+#[test]
+fn root_log_invariants_under_heavy_load() {
+    let params = PprParams {
+        max_entries: 10,
+        buffer_pages: 4,
+        ..PprParams::default()
+    };
+    let mut tree = PprTree::new(params);
+    for i in 0..2000u64 {
+        tree.insert(
+            i,
+            rect((i % 40) as f64 * 0.024, (i % 25) as f64 * 0.039, 0.02),
+            (i / 2) as u32,
+        );
+    }
+    for i in 0..1000u64 {
+        tree.delete(
+            i,
+            rect((i % 40) as f64 * 0.024, (i % 25) as f64 * 0.039, 0.02),
+            1000 + i as u32,
+        );
+    }
+    tree.validate();
+    let roots = tree.roots();
+    assert!(roots.len() > 1, "heavy load should turn over the root");
+    for w in roots.windows(2) {
+        assert_eq!(
+            w[0].interval.end, w[1].interval.start,
+            "gaps in the root log"
+        );
+    }
+    assert_eq!(tree.alive_records(), 1000);
+    assert_eq!(tree.total_records(), 2000);
+}
