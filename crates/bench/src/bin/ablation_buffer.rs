@@ -32,7 +32,9 @@ fn main() {
         let r = &records[i];
         match ev {
             sti_core::RecordEvent::Insert => ppr.insert(r.id, r.stbox.rect, t),
-            sti_core::RecordEvent::Delete => ppr.delete(r.id, r.stbox.rect, t),
+            sti_core::RecordEvent::Delete => {
+                ppr.delete(r.id, r.stbox.rect, t).expect("matched insert")
+            }
         }
     }
     let mut rstar = RStarTree::new(RStarParams::default());

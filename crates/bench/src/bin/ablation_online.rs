@@ -33,7 +33,11 @@ fn run_online(objects: &[RasterizedObject], config: OnlineSplitConfig) -> Vec<Ob
         }
     }
     for o in objects {
-        records.push(splitter.finish(o.id(), o.lifetime().end));
+        records.push(
+            splitter
+                .finish(o.id(), o.lifetime().end)
+                .expect("replayed stream is gap-free"),
+        );
     }
     records
 }

@@ -36,7 +36,7 @@ fn main() {
                 hr.insert(r.id, r.stbox.rect, t);
             }
             sti_core::RecordEvent::Delete => {
-                ppr.delete(r.id, r.stbox.rect, t);
+                ppr.delete(r.id, r.stbox.rect, t).expect("matched insert");
                 hr.delete(r.id, r.stbox.rect, t);
             }
         }

@@ -4,24 +4,30 @@
 //!
 //! The paper plots this on a log scale: DPSplit needed up to a day,
 //! MergeSplit minutes. The orders-of-magnitude gap is the result.
+//!
+//! Per-object curves are independent, so the loop fans out over
+//! `--threads=auto|seq|N` (identical curves for every setting).
 
+use std::time::Duration;
 use sti_bench::{fmt_secs, print_table, random_dataset, timed, Scale};
 use sti_core::single::{DpSplit, MergeSplit, SingleObjectSplitter};
+use sti_core::{map_chunked, BuildStats};
 
 fn main() {
     let scale = Scale::from_args();
     let mut rows = Vec::new();
+    let mut stats_lines = Vec::new();
     for &n in &scale.sizes {
         let objects = random_dataset(n);
         let (_, dp_secs) = timed(|| {
-            for o in &objects {
-                let _ = DpSplit.volume_curve(o, o.len().saturating_sub(1));
-            }
+            map_chunked(&objects, scale.threads, |_, o| {
+                DpSplit.volume_curve(o, o.len().saturating_sub(1))
+            })
         });
         let (_, merge_secs) = timed(|| {
-            for o in &objects {
-                let _ = MergeSplit.volume_curve(o, o.len().saturating_sub(1));
-            }
+            map_chunked(&objects, scale.threads, |_, o| {
+                MergeSplit.volume_curve(o, o.len().saturating_sub(1))
+            })
         });
         rows.push(vec![
             Scale::label(n),
@@ -29,10 +35,23 @@ fn main() {
             fmt_secs(merge_secs),
             format!("{:.0}x", dp_secs / merge_secs.max(1e-9)),
         ]);
+        stats_lines.push(format!(
+            "n={}: {}",
+            Scale::label(n),
+            BuildStats {
+                workers: scale.threads.workers(),
+                curve_time: Duration::from_secs_f64(dp_secs + merge_secs),
+                ..BuildStats::default()
+            }
+        ));
     }
     print_table(
         "Figure 11 — CPU time, object split algorithms (random datasets)",
         &["Dataset", "DPSplit", "MergeSplit", "Slowdown"],
         &rows,
     );
+    println!("\nbuild stats (curve phase only, DPSplit + MergeSplit):");
+    for line in &stats_lines {
+        println!("  {line}");
+    }
 }

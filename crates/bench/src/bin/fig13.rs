@@ -3,24 +3,30 @@
 //!
 //! Per-object volume curves (MergeSplit) are precomputed outside the
 //! timed region — the paper measures distribution time ("the results are
-//! stored" before distribution begins).
+//! stored" before distribution begins). The precompute fans out over
+//! `--threads=auto|seq|N` (identical curves for every setting); its
+//! wall-clock is reported in the build-stats lines.
 
+use std::time::Duration;
 use sti_bench::{fmt_secs, print_table, random_dataset, timed, Scale};
 use sti_core::single::{MergeSplit, SingleObjectSplitter};
-use sti_core::{DistributionAlgorithm, VolumeCurve};
+use sti_core::{map_chunked, BuildStats, DistributionAlgorithm};
 
 fn main() {
     let scale = Scale::from_args();
     let mut rows = Vec::new();
+    let mut stats_lines = Vec::new();
     for &n in &scale.sizes {
         let objects = random_dataset(n);
-        let curves: Vec<VolumeCurve> = objects
-            .iter()
-            .map(|o| MergeSplit.volume_curve(o, o.len() - 1))
-            .collect();
+        let (curves, curve_secs) = timed(|| {
+            map_chunked(&objects, scale.threads, |_, o| {
+                MergeSplit.volume_curve(o, o.len() - 1)
+            })
+        });
         let k = n / 2; // 50% splits
 
         let mut cells = vec![Scale::label(n)];
+        let mut distribute_secs = 0.0;
         for dist in [
             DistributionAlgorithm::Optimal,
             DistributionAlgorithm::Greedy,
@@ -28,13 +34,28 @@ fn main() {
         ] {
             let (alloc, secs) = timed(|| dist.distribute(&curves, k));
             assert!(alloc.splits_used() <= k);
+            distribute_secs += secs;
             cells.push(fmt_secs(secs));
         }
         rows.push(cells);
+        stats_lines.push(format!(
+            "n={}: {}",
+            Scale::label(n),
+            BuildStats {
+                workers: scale.threads.workers(),
+                curve_time: Duration::from_secs_f64(curve_secs),
+                distribute_time: Duration::from_secs_f64(distribute_secs),
+                ..BuildStats::default()
+            }
+        ));
     }
     print_table(
         "Figure 13 — CPU time, split distribution algorithms (50% splits, random datasets)",
         &["Dataset", "Optimal", "Greedy", "LAGreedy"],
         &rows,
     );
+    println!("\nbuild stats (curve precompute + all three distributions):");
+    for line in &stats_lines {
+        println!("  {line}");
+    }
 }

@@ -33,6 +33,7 @@ fn main() {
             duration: 1,
         },
         1000,
+        scale.threads,
     );
     let rows: Vec<Vec<String>> = analytical
         .costs
@@ -71,6 +72,7 @@ fn main() {
         &queries,
         IndexBackend::PprTree,
         4,
+        scale.threads,
     );
     let rows: Vec<Vec<String>> = sampled
         .costs

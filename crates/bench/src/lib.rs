@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 use sti_core::{
-    DistributionAlgorithm, IndexBackend, IndexConfig, ObjectRecord, SingleSplitAlgorithm,
-    SpatioTemporalIndex, SplitBudget, SplitPlan,
+    DistributionAlgorithm, IndexBackend, IndexConfig, ObjectRecord, Parallelism,
+    SingleSplitAlgorithm, SpatioTemporalIndex, SplitBudget, SplitPlan,
 };
 use sti_datagen::{Query, RailwayDatasetSpec, RandomDatasetSpec};
 use sti_trajectory::RasterizedObject;
@@ -35,11 +35,14 @@ pub struct Scale {
     pub paper: bool,
     /// Queries per set (paper: 1000).
     pub queries: usize,
+    /// Worker threads for the split-planning phase
+    /// (`--threads=auto|seq|N`; output is identical for every setting).
+    pub threads: Parallelism,
 }
 
 impl Scale {
-    /// Parse `--paper`, `--sizes=a,b,c`, `--queries=n` from `std::env`,
-    /// with [`DEFAULT_SIZES`] as the unscaled ladder.
+    /// Parse `--paper`, `--sizes=a,b,c`, `--queries=n`, `--threads=t`
+    /// from `std::env`, with [`DEFAULT_SIZES`] as the unscaled ladder.
     pub fn from_args() -> Self {
         Self::from_args_with(&DEFAULT_SIZES)
     }
@@ -51,6 +54,7 @@ impl Scale {
             sizes: defaults.to_vec(),
             paper: false,
             queries: 1000,
+            threads: Parallelism::Sequential,
         };
         for arg in std::env::args().skip(1) {
             if arg == "--paper" {
@@ -63,8 +67,13 @@ impl Scale {
                     .collect();
             } else if let Some(n) = arg.strip_prefix("--queries=") {
                 scale.queries = n.parse().expect("--queries takes an integer");
+            } else if let Some(t) = arg.strip_prefix("--threads=") {
+                scale.threads = Parallelism::parse(t).expect("--threads takes auto, seq, or N");
             } else {
-                panic!("unknown argument {arg} (expected --paper, --sizes=.., --queries=..)");
+                panic!(
+                    "unknown argument {arg} \
+                     (expected --paper, --sizes=.., --queries=.., --threads=..)"
+                );
             }
         }
         scale

@@ -1,11 +1,16 @@
 //! The high-level spatiotemporal index: split records + a disk-based
 //! index backend, queried uniformly.
 
-use crate::plan::ObjectRecord;
+use crate::multi::DistributionAlgorithm;
+use crate::parallel::Parallelism;
+use crate::plan::{ObjectRecord, SplitBudget, SplitPlan};
+use crate::single::SingleSplitAlgorithm;
 use sti_geom::{Rect2, Rect3, Time, TimeInterval};
 use sti_pprtree::{PprParams, PprTree};
 use sti_rstar::{RStarParams, RStarTree};
 use sti_storage::IoStats;
+use sti_trajectory::RasterizedObject;
+use std::time::{Duration, Instant};
 
 /// Which index structure backs a [`SpatioTemporalIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +58,37 @@ impl IndexConfig {
     }
 }
 
+/// Timing breakdown of an end-to-end [`SpatioTemporalIndex::build_from_objects`]
+/// call, reported by every figure binary and the `stidx` CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BuildStats {
+    /// Worker threads the data-parallel curve phase resolved to.
+    pub workers: usize,
+    /// Wall-clock building per-object split sources and volume curves.
+    pub curve_time: Duration,
+    /// Wall-clock distributing the split budget across objects.
+    pub distribute_time: Duration,
+    /// Wall-clock materializing records and ingesting them into the
+    /// backend structure.
+    pub tree_build_time: Duration,
+    /// Number of [`ObjectRecord`]s the plan emitted (= objects + splits).
+    pub records_emitted: usize,
+}
+
+impl std::fmt::Display for BuildStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workers={} curves={:.3}s distribute={:.3}s tree={:.3}s records={}",
+            self.workers,
+            self.curve_time.as_secs_f64(),
+            self.distribute_time.as_secs_f64(),
+            self.tree_build_time.as_secs_f64(),
+            self.records_emitted
+        )
+    }
+}
+
 enum Backend {
     Ppr(PprTree),
     RStar { tree: RStarTree, time_scale: f64 },
@@ -87,6 +123,44 @@ impl SpatioTemporalIndex {
             backend,
             record_count: records.len(),
         }
+    }
+
+    /// Split the objects and build an index in one step, reporting a
+    /// per-phase [`BuildStats`].
+    ///
+    /// The curve phase fans out over `parallelism`
+    /// ([`crate::parallel::map_chunked`]); the resulting plan, records,
+    /// and index are byte-identical for every setting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_from_objects(
+        objects: &[RasterizedObject],
+        single: SingleSplitAlgorithm,
+        distribution: DistributionAlgorithm,
+        budget: SplitBudget,
+        max_splits_per_object: Option<usize>,
+        config: &IndexConfig,
+        parallelism: Parallelism,
+    ) -> (Self, BuildStats) {
+        let plan = SplitPlan::build_with(
+            objects,
+            single,
+            distribution,
+            budget,
+            max_splits_per_object,
+            parallelism,
+        );
+        let start = Instant::now();
+        let records = plan.records(objects);
+        let index = Self::build(&records, config);
+        let plan_stats = plan.stats();
+        let stats = BuildStats {
+            workers: plan_stats.workers,
+            curve_time: plan_stats.curve_time,
+            distribute_time: plan_stats.distribute_time,
+            tree_build_time: start.elapsed(),
+            records_emitted: records.len(),
+        };
+        (index, stats)
     }
 
     /// Borrow the underlying PPR-Tree, when that backend is active
@@ -175,7 +249,9 @@ fn build_ppr(records: &[ObjectRecord], params: PprParams) -> PprTree {
         let r = &records[i];
         match ev {
             crate::plan::RecordEvent::Insert => tree.insert(r.id, r.stbox.rect, t),
-            crate::plan::RecordEvent::Delete => tree.delete(r.id, r.stbox.rect, t),
+            crate::plan::RecordEvent::Delete => tree
+                .delete(r.id, r.stbox.rect, t)
+                .expect("every delete event matches an earlier insert"),
         }
     }
     tree

@@ -19,6 +19,7 @@ pub mod hybrid;
 pub mod index;
 pub mod multi;
 pub mod online;
+pub mod parallel;
 pub mod plan;
 pub mod single;
 pub mod tuning;
@@ -26,12 +27,13 @@ mod util;
 
 pub use curve::VolumeCurve;
 pub use hybrid::{HybridConfig, HybridIndex};
-pub use index::{IndexBackend, IndexConfig, SpatioTemporalIndex};
+pub use index::{BuildStats, IndexBackend, IndexConfig, SpatioTemporalIndex};
 pub use multi::{DistributionAlgorithm, SplitAllocation};
-pub use online::{OnlineIndexer, OnlineSplitConfig, OnlineSplitter};
+pub use online::{FinishError, OnlineIndexer, OnlineSplitConfig, OnlineSplitter};
+pub use parallel::{map_chunked, Parallelism};
 pub use plan::{
-    piecewise_records, record_events, total_volume, unsplit_records, ObjectRecord, RecordEvent,
-    SplitBudget, SplitPlan,
+    piecewise_records, record_events, total_volume, unsplit_records, ObjectRecord, PlanStats,
+    RecordEvent, SplitBudget, SplitPlan,
 };
 pub use single::{SingleObjectSplitter, SingleSplitAlgorithm};
 pub use tuning::{QueryProfile, TuningResult};

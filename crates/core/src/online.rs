@@ -24,6 +24,43 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use sti_geom::{Rect2, StBox, Time, TimeInterval};
 use sti_pprtree::{PprParams, PprTree};
 
+/// Failure of an [`OnlineSplitter::finish`] (or [`OnlineIndexer::finish`])
+/// call. The splitter is left unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishError {
+    /// The object has no open piece: it was never observed, or was
+    /// already finished.
+    NotOpen {
+        /// The id the caller tried to finish.
+        id: u64,
+    },
+    /// `end` does not follow the object's last observation — lifetimes
+    /// are half-open, so a valid `end` is exactly `last observation + 1`.
+    WrongEnd {
+        /// The id the caller tried to finish.
+        id: u64,
+        /// The lifetime end the caller supplied.
+        end: Time,
+        /// The only end consistent with the observation stream.
+        expected: Time,
+    },
+}
+
+impl std::fmt::Display for FinishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FinishError::NotOpen { id } => write!(f, "object {id} not open"),
+            FinishError::WrongEnd { id, end, expected } => write!(
+                f,
+                "object {id}: finish({end}) after instant {}, expected end {expected}",
+                expected - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FinishError {}
+
 /// Tuning of the online split decision.
 #[derive(Debug, Clone, Copy)]
 pub struct OnlineSplitConfig {
@@ -103,7 +140,7 @@ impl OpenPiece {
 ///         pieces.push(piece);
 ///     }
 /// }
-/// pieces.push(splitter.finish(1, 60));
+/// pieces.push(splitter.finish(1, 60).unwrap());
 /// assert!(pieces.len() >= 2, "a steady mover splits at least once");
 /// assert_eq!(pieces.last().unwrap().stbox.lifetime.end, 60);
 /// ```
@@ -206,22 +243,24 @@ impl OnlineSplitter {
     /// The object died: `end` is its half-open lifetime end (one past the
     /// last observed instant). Returns the final piece.
     ///
-    /// # Panics
-    /// If the object was never observed or `end` does not follow its last
-    /// observation.
-    pub fn finish(&mut self, id: u64, end: Time) -> ObjectRecord {
-        let piece = self
-            .open
-            .remove(&id)
-            .unwrap_or_else(|| panic!("object {id} not open"));
+    /// # Errors
+    /// [`FinishError::NotOpen`] if the object was never observed (or was
+    /// already finished); [`FinishError::WrongEnd`] if `end` does not
+    /// follow its last observation. The splitter is unchanged on error.
+    pub fn finish(&mut self, id: u64, end: Time) -> Result<ObjectRecord, FinishError> {
+        let Some(piece) = self.open.get(&id) else {
+            return Err(FinishError::NotOpen { id });
+        };
+        if end != piece.last + 1 {
+            return Err(FinishError::WrongEnd {
+                id,
+                end,
+                expected: piece.last + 1,
+            });
+        }
+        let piece = self.open.remove(&id).expect("checked above");
         remove_start(&mut self.open_starts, piece.start);
-        assert_eq!(
-            end,
-            piece.last + 1,
-            "object {id}: finish({end}) after instant {}",
-            piece.last
-        );
-        piece.to_record(id)
+        Ok(piece.to_record(id))
     }
 
     /// Number of artificial splits issued so far.
@@ -320,12 +359,20 @@ impl OnlineIndexer {
 
     /// Object `id` disappears; `end` is one past its last observed
     /// instant.
-    pub fn finish(&mut self, id: u64, end: Time) {
+    ///
+    /// # Errors
+    /// Propagates the splitter's [`FinishError`]; the indexer is
+    /// unchanged on error (in particular, time does not advance).
+    ///
+    /// # Panics
+    /// If `end` precedes an earlier update (streams are time-ordered).
+    pub fn finish(&mut self, id: u64, end: Time) -> Result<(), FinishError> {
         assert!(end >= self.now, "updates must be time-ordered");
+        let record = self.splitter.finish(id, end)?;
         self.now = end;
-        let record = self.splitter.finish(id, end);
         self.push_record(record);
         self.flush();
+        Ok(())
     }
 
     fn push_record(&mut self, record: ObjectRecord) {
@@ -357,7 +404,8 @@ impl OnlineIndexer {
                 .insert(ev.record.id, ev.record.stbox.rect, ev.time),
             RecordEvent::Delete => self
                 .tree
-                .delete(ev.record.id, ev.record.stbox.rect, ev.time),
+                .delete(ev.record.id, ev.record.stbox.rect, ev.time)
+                .expect("every buffered delete matches an earlier insert"),
         }
     }
 
@@ -400,7 +448,10 @@ impl OnlineIndexer {
             // each object's final piece ends one past its last
             // observation.
             let piece = self.splitter.open.get(&id).copied().expect("listed");
-            let record = self.splitter.finish(id, piece.last + 1);
+            let record = self
+                .splitter
+                .finish(id, piece.last + 1)
+                .expect("open piece finishes at last + 1");
             self.push_record(record);
         }
         // Everything is closed: flush the buffer completely, in order.
@@ -439,7 +490,7 @@ mod tests {
                 "stationary object split at {t}"
             );
         }
-        let last = s.finish(7, 100);
+        let last = s.finish(7, 100).unwrap();
         assert_eq!(last.stbox.lifetime, TimeInterval::new(0, 100));
         assert_eq!(s.splits_issued(), 0);
 
@@ -465,7 +516,7 @@ mod tests {
                 pieces.push(p);
             }
         }
-        pieces.push(s.finish(1, 90));
+        pieces.push(s.finish(1, 90).unwrap());
         assert!(
             pieces.len() >= 3,
             "a steady mover should split several times"
@@ -501,7 +552,7 @@ mod tests {
                 pieces.push(p);
             }
         }
-        pieces.push(s.finish(1, 60));
+        pieces.push(s.finish(1, 60).unwrap());
         for p in &pieces[..pieces.len() - 1] {
             assert!(
                 p.stbox.lifetime.len() >= 10,
@@ -557,6 +608,51 @@ mod tests {
     }
 
     #[test]
+    fn finish_errors_are_typed_and_leave_state_intact() {
+        let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
+        assert_eq!(s.finish(5, 10), Err(FinishError::NotOpen { id: 5 }));
+
+        let r = Rect2::from_bounds(0.1, 0.1, 0.2, 0.2);
+        for t in 0..4 {
+            s.observe(5, r, t);
+        }
+        // Wrong end: the piece stays open and keeps accepting updates.
+        assert_eq!(
+            s.finish(5, 10),
+            Err(FinishError::WrongEnd {
+                id: 5,
+                end: 10,
+                expected: 4
+            })
+        );
+        assert_eq!(s.open_objects(), 1);
+        s.observe(5, r, 4);
+        let rec = s.finish(5, 5).unwrap();
+        assert_eq!(rec.stbox.lifetime, TimeInterval::new(0, 5));
+        assert_eq!(s.open_objects(), 0);
+        // Double finish: the piece is gone.
+        assert_eq!(s.finish(5, 5), Err(FinishError::NotOpen { id: 5 }));
+    }
+
+    #[test]
+    fn indexer_propagates_finish_errors_without_advancing_time() {
+        let params = PprParams {
+            max_entries: 10,
+            buffer_pages: 4,
+            ..PprParams::default()
+        };
+        let mut idx = OnlineIndexer::new(OnlineSplitConfig::default(), params);
+        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 0);
+        assert!(matches!(
+            idx.finish(2, 5),
+            Err(FinishError::NotOpen { id: 2 })
+        ));
+        // The failed finish must not have advanced the clock past 0.
+        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 1);
+        idx.finish(1, 2).unwrap();
+    }
+
+    #[test]
     #[should_panic(expected = "observation gap")]
     fn rejects_gaps() {
         let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
@@ -596,7 +692,7 @@ mod tests {
             }
         }
         for o in &objects {
-            online_records.push(s.finish(o.id(), o.lifetime().end));
+            online_records.push(s.finish(o.id(), o.lifetime().end).unwrap());
         }
 
         let online_vol = total_volume(&online_records);
@@ -636,13 +732,13 @@ mod tests {
                 idx.update(1, a[t as usize], t);
             }
             if t == 40 {
-                idx.finish(1, 40);
+                idx.finish(1, 40).unwrap();
             }
             if (10..50).contains(&t) {
                 idx.update(2, b[(t - 10) as usize], t);
             }
             if t == 50 {
-                idx.finish(2, 50);
+                idx.finish(2, 50).unwrap();
             }
             idx.update(3, Rect2::from_bounds(0.9, 0.9, 0.95, 0.95), t);
         }

@@ -1,0 +1,194 @@
+//! Data-parallel fan-out for the split-planning pipeline.
+//!
+//! The planning phase — one [`crate::VolumeCurve`] per object via
+//! `DPSplit` (O(n²k)) or `MergeSplit` (O(n lg n)) — dominates build
+//! wall-clock (the paper's fig. 11 DPSplit bars reach a day of CPU) and
+//! is embarrassingly parallel across objects. [`map_chunked`] fans an
+//! index-ordered slice across scoped threads and reassembles results in
+//! input order, so every parallel caller is **byte-identical** to its
+//! sequential equivalent: per-item work is a pure function of the item,
+//! and no result ever observes scheduling order.
+//!
+//! Std-only by design (`std::thread::scope`): the registry is unreliable
+//! in CI, so no rayon.
+
+use std::num::NonZeroUsize;
+
+/// How many worker threads a parallel stage may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker, on the calling thread. The baseline every other
+    /// setting must match byte-for-byte.
+    Sequential,
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+    /// Exactly this many workers.
+    Fixed(NonZeroUsize),
+}
+
+impl Parallelism {
+    /// A fixed worker count; `0` is promoted to `1`.
+    pub fn fixed(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(n) => Parallelism::Fixed(n),
+            None => Parallelism::Sequential,
+        }
+    }
+
+    /// The number of workers this setting resolves to on this machine.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => n.get(),
+        }
+    }
+
+    /// Parse a CLI flag value: `auto`, `seq`, or a thread count.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(Parallelism::Auto),
+            "seq" | "sequential" | "1" => Ok(Parallelism::Sequential),
+            n => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Parallelism::fixed)
+                .ok_or_else(|| format!("expected auto, seq, or a thread count ≥ 1, got {n}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Parallelism::Sequential => write!(f, "seq"),
+            Parallelism::Auto => write!(f, "auto({})", self.workers()),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Apply `f` to every item and collect the results **in input order**.
+///
+/// Items are dealt to workers in fixed index-order chunks (worker `w`
+/// gets the `w`-th contiguous slice), each worker maps its chunk, and
+/// the chunks are concatenated in chunk order. `f` receives the item's
+/// global index alongside the item. For any `parallelism` the output is
+/// identical to `items.iter().enumerate().map(|(i, t)| f(i, t))` — the
+/// property the split-planning determinism tests pin down.
+///
+/// Panics in `f` propagate to the caller (after all workers have been
+/// joined), preserving the panic payload.
+pub fn map_chunked<T, R, F>(items: &[T], parallelism: Parallelism, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = parallelism.workers().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(c, slice)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = c * chunk_len;
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(base + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        // Join in chunk order; a worker panic is re-raised only after
+        // every thread has stopped (scope guarantees the join).
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_resolve_sensibly() {
+        assert_eq!(Parallelism::Sequential.workers(), 1);
+        assert_eq!(Parallelism::fixed(3).workers(), 3);
+        assert_eq!(Parallelism::fixed(0).workers(), 1);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_forms() {
+        assert_eq!(Parallelism::parse("auto"), Ok(Parallelism::Auto));
+        assert_eq!(Parallelism::parse("seq"), Ok(Parallelism::Sequential));
+        assert_eq!(Parallelism::parse("1"), Ok(Parallelism::Sequential));
+        assert_eq!(Parallelism::parse("8"), Ok(Parallelism::fixed(8)));
+        assert!(Parallelism::parse("0").is_err());
+        assert!(Parallelism::parse("fast").is_err());
+    }
+
+    #[test]
+    fn output_order_matches_sequential_for_every_worker_count() {
+        let items: Vec<usize> = (0..101).collect();
+        let expect: Vec<(usize, usize)> = items.iter().map(|&x| (x, x * x)).collect();
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Auto,
+            Parallelism::fixed(2),
+            Parallelism::fixed(3),
+            Parallelism::fixed(8),
+            Parallelism::fixed(1000), // more workers than items
+        ] {
+            let got = map_chunked(&items, par, |i, &x| (i, x * x));
+            assert_eq!(got, expect, "parallelism {par}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_chunked(&empty, Parallelism::fixed(8), |_, &x| x).is_empty());
+        assert_eq!(map_chunked(&[7u32], Parallelism::fixed(8), |_, &x| x), [7]);
+    }
+
+    #[test]
+    fn indices_are_global() {
+        let items = vec![0u8; 57];
+        let got = map_chunked(&items, Parallelism::fixed(4), |i, _| i);
+        assert_eq!(got, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            map_chunked(&items, Parallelism::fixed(4), |i, _| {
+                assert!(i != 17, "boom at 17");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

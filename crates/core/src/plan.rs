@@ -2,12 +2,14 @@
 //! space-time boxes an index ingests.
 
 use crate::multi::{DistributionAlgorithm, SplitAllocation};
+use crate::parallel::{map_chunked, Parallelism};
 use crate::single::dpsplit::DpTable;
 use crate::single::mergesplit::MergeHierarchy;
 use crate::single::{piecewise_cuts, SingleSplitAlgorithm};
 use crate::VolumeCurve;
 use sti_geom::StBox;
 use sti_trajectory::RasterizedObject;
+use std::time::{Duration, Instant};
 
 /// How many splits to spend on a dataset.
 ///
@@ -136,27 +138,45 @@ pub struct SplitPlan {
     distribution: DistributionAlgorithm,
     allocation: SplitAllocation,
     sources: Vec<SplitSource>,
+    stats: PlanStats,
+}
+
+/// Timing breakdown of a [`SplitPlan::build_with`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanStats {
+    /// Worker threads the curve phase resolved to.
+    pub workers: usize,
+    /// Wall-clock spent building per-object split sources and curves
+    /// (the data-parallel phase).
+    pub curve_time: Duration,
+    /// Wall-clock spent distributing the budget (sequential by nature:
+    /// the algorithms make globally ordered greedy/DP decisions).
+    pub distribute_time: Duration,
 }
 
 impl SplitPlan {
     /// Build the per-object split sources and volume curves once; the
     /// tuner re-distributes different budgets over the same curves.
+    ///
+    /// Each object's source is a pure function of that object, so the
+    /// per-object work fans out over [`map_chunked`]; results come back
+    /// in object order and are identical for every `parallelism`.
     pub(crate) fn prepare(
         objects: &[RasterizedObject],
         single: SingleSplitAlgorithm,
         max_splits_per_object: Option<usize>,
+        parallelism: Parallelism,
     ) -> (Vec<SplitSource>, Vec<VolumeCurve>) {
-        let mut sources = Vec::with_capacity(objects.len());
-        let mut curves = Vec::with_capacity(objects.len());
-        for o in objects {
+        map_chunked(objects, parallelism, |_, o| {
             let cap = max_splits_per_object
                 .unwrap_or(o.len() - 1)
                 .min(o.len() - 1);
             let source = SplitSource::build(o, single, cap);
-            curves.push(source.curve(cap));
-            sources.push(source);
-        }
-        (sources, curves)
+            let curve = source.curve(cap);
+            (source, curve)
+        })
+        .into_iter()
+        .unzip()
     }
 
     /// Assemble a plan from prepared parts plus a distribution result.
@@ -165,12 +185,14 @@ impl SplitPlan {
         distribution: DistributionAlgorithm,
         allocation: SplitAllocation,
         sources: Vec<SplitSource>,
+        stats: PlanStats,
     ) -> Self {
         Self {
             single,
             distribution,
             allocation,
             sources,
+            stats,
         }
     }
 
@@ -181,6 +203,9 @@ impl SplitPlan {
     /// to `n − 1` splits per object (exact, but makes `DpSplit` cubic in
     /// the lifetime — the reason the paper's fig. 11 DPSplit bars reach a
     /// day of CPU).
+    ///
+    /// Single-threaded; [`SplitPlan::build_with`] takes a
+    /// [`Parallelism`] knob and produces byte-identical output.
     pub fn build(
         objects: &[RasterizedObject],
         single: SingleSplitAlgorithm,
@@ -188,10 +213,45 @@ impl SplitPlan {
         budget: SplitBudget,
         max_splits_per_object: Option<usize>,
     ) -> Self {
+        Self::build_with(
+            objects,
+            single,
+            distribution,
+            budget,
+            max_splits_per_object,
+            Parallelism::Sequential,
+        )
+    }
+
+    /// [`SplitPlan::build`] with an explicit [`Parallelism`] for the
+    /// curve phase. Output (allocation, volumes, records) is identical
+    /// for every setting; only wall-clock differs. Timings land in
+    /// [`SplitPlan::stats`].
+    pub fn build_with(
+        objects: &[RasterizedObject],
+        single: SingleSplitAlgorithm,
+        distribution: DistributionAlgorithm,
+        budget: SplitBudget,
+        max_splits_per_object: Option<usize>,
+        parallelism: Parallelism,
+    ) -> Self {
         let k = budget.resolve(objects.len());
-        let (sources, curves) = Self::prepare(objects, single, max_splits_per_object);
+        let start = Instant::now();
+        let (sources, curves) = Self::prepare(objects, single, max_splits_per_object, parallelism);
+        let curve_time = start.elapsed();
+        let start = Instant::now();
         let allocation = distribution.distribute(&curves, k);
-        Self::from_parts(single, distribution, allocation, sources)
+        let stats = PlanStats {
+            workers: parallelism.workers(),
+            curve_time,
+            distribute_time: start.elapsed(),
+        };
+        Self::from_parts(single, distribution, allocation, sources, stats)
+    }
+
+    /// Timing breakdown of the build that produced this plan.
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
     }
 
     /// The single-object algorithm used.
@@ -427,6 +487,37 @@ mod tests {
             Some(2),
         );
         assert!(plan.allocation().splits.iter().all(|&s| s <= 2));
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        use crate::parallel::Parallelism;
+        let objs = objects();
+        let seq = SplitPlan::build(
+            &objs,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Count(5),
+            None,
+        );
+        for workers in [2, 3, 8] {
+            let par = SplitPlan::build_with(
+                &objs,
+                SingleSplitAlgorithm::MergeSplit,
+                DistributionAlgorithm::LaGreedy,
+                SplitBudget::Count(5),
+                None,
+                Parallelism::fixed(workers),
+            );
+            assert_eq!(par.allocation().splits, seq.allocation().splits);
+            assert_eq!(
+                par.total_volume().to_bits(),
+                seq.total_volume().to_bits(),
+                "{workers} workers"
+            );
+            assert_eq!(par.records(&objs), seq.records(&objs));
+            assert_eq!(par.stats().workers, workers);
+        }
     }
 
     #[test]

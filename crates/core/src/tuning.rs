@@ -13,6 +13,7 @@
 
 use crate::index::{IndexBackend, IndexConfig, SpatioTemporalIndex};
 use crate::multi::DistributionAlgorithm;
+use crate::parallel::{map_chunked, Parallelism};
 use crate::plan::{SplitBudget, SplitPlan};
 use crate::single::SingleSplitAlgorithm;
 use sti_costmodel::{BoxStats, RTreeCostModel};
@@ -62,15 +63,18 @@ pub fn choose_splits_analytical(
     candidates: &[SplitBudget],
     profile: QueryProfile,
     time_extent: Time,
+    parallelism: Parallelism,
 ) -> TuningResult {
     assert!(!candidates.is_empty(), "no candidate budgets");
     assert!(profile.duration >= 1, "queries span at least one instant");
     let model = RTreeCostModel::default();
     // Split sources depend only on the objects and the single-object
-    // algorithm: build them once and re-distribute per candidate.
-    let (sources, curves) = SplitPlan::prepare(objects, single, None);
-    let mut costs = Vec::with_capacity(candidates.len());
-    for &budget in candidates {
+    // algorithm: build them once (fanning per-object work out over
+    // `parallelism`) and re-distribute per candidate. Candidates are
+    // themselves independent, so the candidate loop fans out too;
+    // results come back in candidate order either way.
+    let (sources, curves) = SplitPlan::prepare(objects, single, None, parallelism);
+    let costs = map_chunked(candidates, parallelism, |_, &budget| {
         let k = budget.resolve(objects.len());
         let allocation = distribution.distribute(&curves, k);
         let records = crate::plan::records_for(objects, &sources, &allocation.splits);
@@ -87,8 +91,8 @@ pub fn choose_splits_analytical(
             &[stats.avg_extent.0, stats.avg_extent.1],
             &[profile.extents.0, profile.extents.1],
         );
-        costs.push((budget, cost));
-    }
+        (budget, cost)
+    });
     let best = argmin(&costs);
     TuningResult { best, costs }
 }
@@ -99,6 +103,7 @@ pub fn choose_splits_analytical(
 /// [`SplitBudget::Percent`] transfer to the full dataset unchanged; the
 /// paper's "the number of splits should be normalized to the full
 /// dataset" is exactly this.
+#[allow(clippy::too_many_arguments)]
 pub fn choose_splits_by_sampling(
     objects: &[RasterizedObject],
     single: SingleSplitAlgorithm,
@@ -107,6 +112,7 @@ pub fn choose_splits_by_sampling(
     queries: &[(Rect2, TimeInterval)],
     backend: IndexBackend,
     sample_denominator: usize,
+    parallelism: Parallelism,
 ) -> TuningResult {
     assert!(!candidates.is_empty(), "no candidate budgets");
     assert!(sample_denominator >= 1);
@@ -118,10 +124,12 @@ pub fn choose_splits_by_sampling(
     assert!(!sample.is_empty(), "sample is empty");
 
     // Split sources depend only on the sample and the single-object
-    // algorithm: build them once and re-distribute per candidate.
-    let (sample_sources, sample_curves) = SplitPlan::prepare(&sample, single, None);
-    let mut costs = Vec::with_capacity(candidates.len());
-    for &budget in candidates {
+    // algorithm: build them once and re-distribute per candidate. Each
+    // candidate owns its (small) index, so the build-and-measure pass
+    // fans out over `parallelism`; measured I/O is deterministic per
+    // candidate and comes back in candidate order.
+    let (sample_sources, sample_curves) = SplitPlan::prepare(&sample, single, None, parallelism);
+    let costs = map_chunked(candidates, parallelism, |_, &budget| {
         // Percent budgets transfer to the sample unchanged; absolute
         // counts must shrink with it, or the sampled index would carry
         // `denominator`× the intended splits per object.
@@ -139,8 +147,8 @@ pub fn choose_splits_by_sampling(
             let _ = idx.query(area, range);
             total_io += idx.io_stats().reads;
         }
-        costs.push((budget, total_io as f64 / queries.len().max(1) as f64));
-    }
+        (budget, total_io as f64 / queries.len().max(1) as f64)
+    });
     let best = argmin(&costs);
     TuningResult { best, costs }
 }
@@ -196,6 +204,7 @@ mod tests {
                 duration: 1,
             },
             1000,
+            Parallelism::Sequential,
         );
         assert_eq!(result.costs.len(), 3);
         // Costs must be monotone non-increasing in the split budget for
@@ -233,10 +242,45 @@ mod tests {
             &queries,
             IndexBackend::PprTree,
             2,
+            Parallelism::Sequential,
         );
         assert_eq!(result.costs.len(), 2);
         assert!(result.best < 2);
         let _ = result.best_budget();
+    }
+
+    #[test]
+    fn analytical_tuner_is_parallelism_invariant() {
+        let objs = movers(60);
+        let candidates = [
+            SplitBudget::Percent(0.0),
+            SplitBudget::Percent(50.0),
+            SplitBudget::Percent(100.0),
+        ];
+        let profile = QueryProfile {
+            extents: (0.05, 0.05),
+            duration: 3,
+        };
+        let run = |par| {
+            choose_splits_analytical(
+                &objs,
+                SingleSplitAlgorithm::MergeSplit,
+                DistributionAlgorithm::Greedy,
+                &candidates,
+                profile,
+                1000,
+                par,
+            )
+        };
+        let seq = run(Parallelism::Sequential);
+        for workers in [2, 4] {
+            let par = run(Parallelism::fixed(workers));
+            assert_eq!(par.best, seq.best);
+            for (a, b) in par.costs.iter().zip(&seq.costs) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "{workers} workers");
+            }
+        }
     }
 
     #[test]
@@ -253,6 +297,7 @@ mod tests {
                 duration: 0,
             },
             1000,
+            Parallelism::Sequential,
         );
     }
 
@@ -271,6 +316,7 @@ mod tests {
             &queries,
             IndexBackend::PprTree,
             4,
+            Parallelism::Sequential,
         );
         // It ran and produced a cost for the (scaled) candidate.
         assert_eq!(result.costs.len(), 1);
@@ -291,6 +337,7 @@ mod tests {
                 duration: 1,
             },
             1000,
+            Parallelism::Sequential,
         );
     }
 }

@@ -1,0 +1,184 @@
+//! Property tests for the data-parallel split planner: for ANY dataset
+//! and ANY worker count, `SplitPlan::build_with` must produce output
+//! byte-identical to the sequential path — same allocation vector, same
+//! total volume (compared via `f64::to_bits`), same emitted records.
+//!
+//! Determinism is the contract that makes the `--threads` knob safe to
+//! flip in experiments: figures regenerated in parallel are the *same*
+//! figures, not statistically-similar ones.
+
+use proptest::prelude::*;
+use sti_core::{
+    DistributionAlgorithm, Parallelism, SingleSplitAlgorithm, SplitBudget, SplitPlan,
+};
+use sti_geom::Rect2;
+use sti_trajectory::RasterizedObject;
+
+/// Worker counts the issue calls out explicitly (1, 2, 8), plus `Auto`.
+fn parallelisms() -> Vec<Parallelism> {
+    vec![
+        Parallelism::fixed(1),
+        Parallelism::fixed(2),
+        Parallelism::fixed(8),
+        Parallelism::Auto,
+    ]
+}
+
+/// An arbitrary rasterized object: a random walk of small boxes so
+/// volume curves are non-trivial (moving objects benefit from splits).
+fn arb_object(id: u64) -> impl Strategy<Value = RasterizedObject> {
+    (
+        0u32..200,
+        0.05f64..0.9,
+        0.05f64..0.9,
+        prop::collection::vec((-0.04f64..0.04, -0.04f64..0.04, 0.005f64..0.05), 1..24),
+    )
+        .prop_map(move |(start, x0, y0, steps)| {
+            let (mut x, mut y) = (x0, y0);
+            let rects: Vec<Rect2> = steps
+                .into_iter()
+                .map(|(dx, dy, s)| {
+                    x = (x + dx).clamp(0.0, 0.95);
+                    y = (y + dy).clamp(0.0, 0.95);
+                    Rect2::from_bounds(x, y, x + s, y + s)
+                })
+                .collect();
+            RasterizedObject::new(id, start, rects)
+        })
+}
+
+fn arb_dataset(max_objects: usize) -> impl Strategy<Value = Vec<RasterizedObject>> {
+    prop::collection::vec(0u64..1, 0..max_objects).prop_flat_map(|slots| {
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_object(i as u64))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Assert every observable of two plans matches bit-for-bit.
+fn assert_plans_identical(
+    objects: &[RasterizedObject],
+    seq: &SplitPlan,
+    par: &SplitPlan,
+    label: &str,
+) {
+    assert_eq!(
+        seq.allocation().splits,
+        par.allocation().splits,
+        "allocation vector diverged ({label})"
+    );
+    assert_eq!(
+        seq.total_volume().to_bits(),
+        par.total_volume().to_bits(),
+        "total volume diverged ({label})"
+    );
+    assert_eq!(
+        seq.records(objects),
+        par.records(objects),
+        "emitted records diverged ({label})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MergeSplit + LAGreedy (the paper's practical pipeline) is
+    /// parallelism-invariant on arbitrary datasets.
+    #[test]
+    fn merge_split_lagreedy_is_parallelism_invariant(objects in arb_dataset(10)) {
+        let seq = SplitPlan::build(
+            &objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Percent(150.0),
+            None,
+        );
+        for p in parallelisms() {
+            let par = SplitPlan::build_with(
+                &objects,
+                SingleSplitAlgorithm::MergeSplit,
+                DistributionAlgorithm::LaGreedy,
+                SplitBudget::Percent(150.0),
+                None,
+                p,
+            );
+            assert_plans_identical(&objects, &seq, &par, &format!("{p}"));
+        }
+    }
+
+    /// The exact pipeline (DPSplit + Optimal) too, on smaller inputs —
+    /// it is the most numerically delicate path.
+    #[test]
+    fn dp_split_optimal_is_parallelism_invariant(objects in arb_dataset(6)) {
+        let seq = SplitPlan::build(
+            &objects,
+            SingleSplitAlgorithm::DpSplit,
+            DistributionAlgorithm::Optimal,
+            SplitBudget::Count(2 * objects.len()),
+            Some(4),
+        );
+        for p in [Parallelism::fixed(2), Parallelism::fixed(8)] {
+            let par = SplitPlan::build_with(
+                &objects,
+                SingleSplitAlgorithm::DpSplit,
+                DistributionAlgorithm::Optimal,
+                SplitBudget::Count(2 * objects.len()),
+                Some(4),
+                p,
+            );
+            assert_plans_identical(&objects, &seq, &par, &format!("{p}"));
+        }
+    }
+}
+
+/// The issue's named edge cases: zero objects and one object must work
+/// (and agree) at every worker count, including more workers than work.
+#[test]
+fn zero_and_one_object_edge_cases() {
+    let empty: Vec<RasterizedObject> = Vec::new();
+    let one = vec![RasterizedObject::new(
+        0,
+        3,
+        vec![
+            Rect2::from_bounds(0.1, 0.1, 0.2, 0.2),
+            Rect2::from_bounds(0.5, 0.5, 0.6, 0.6),
+            Rect2::from_bounds(0.8, 0.1, 0.9, 0.2),
+        ],
+    )];
+    for objects in [&empty, &one] {
+        let seq = SplitPlan::build(
+            objects,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::LaGreedy,
+            SplitBudget::Count(2),
+            None,
+        );
+        for p in [
+            Parallelism::fixed(1),
+            Parallelism::fixed(2),
+            Parallelism::fixed(8),
+            Parallelism::Auto,
+        ] {
+            let par = SplitPlan::build_with(
+                objects,
+                SingleSplitAlgorithm::MergeSplit,
+                DistributionAlgorithm::LaGreedy,
+                SplitBudget::Count(2),
+                None,
+                p,
+            );
+            assert_plans_identical(objects, &seq, &par, &format!("n={} {p}", objects.len()));
+        }
+    }
+    // Sanity: the one-object plan actually emits records.
+    let plan = SplitPlan::build(
+        &one,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Count(2),
+        None,
+    );
+    assert_eq!(plan.records(&one).len(), 1 + plan.allocation().splits[0]);
+}

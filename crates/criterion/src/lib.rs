@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the API the workspace's benches use —
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — as a simple walltime harness with no
+//! dependencies. Statistical machinery (outlier detection, HTML
+//! reports) is intentionally absent; each benchmark reports the median
+//! of its sample means.
+//!
+//! `cargo bench -- --test` (the CI smoke mode) runs every closure once
+//! and reports nothing, exactly like the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from hoisting or
+/// deleting the computation producing `x`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Things accepted where a benchmark name is expected (`&str` or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Test mode: run the closure once, skip measurement.
+    test_only: bool,
+    /// Mean seconds per iteration of the latest sample.
+    last_sample: f64,
+}
+
+impl Bencher {
+    /// Time `f`, called in a loop.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_only {
+            black_box(f());
+            self.last_sample = 0.0;
+            return;
+        }
+        // Warm up once, then scale the iteration count to ~50ms.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.05 / once).ceil() as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_sample = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_only: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` asks for a single-shot smoke run; any
+        // other argument (e.g. cargo's own `--bench`) is ignored.
+        let test_only = std::env::args().any(|a| a == "--test");
+        Self {
+            test_only,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure the default sample count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.default_sample_size;
+        run_one(self.test_only, "", &id.into_id(), sample_size, f);
+    }
+}
+
+/// A named group; see [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let n = self.samples();
+        run_one(self.criterion.test_only, &self.name, &id.into_id(), n, f);
+    }
+
+    /// Benchmark a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let n = self.samples();
+        run_one(self.criterion.test_only, &self.name, &id.into_id(), n, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Close the group (a no-op; results print as they complete).
+    pub fn finish(self) {}
+
+    fn samples(&self) -> usize {
+        self.sample_size
+            .unwrap_or(self.criterion.default_sample_size)
+    }
+}
+
+fn run_one(
+    test_only: bool,
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut b = Bencher {
+        test_only,
+        last_sample: 0.0,
+    };
+    if test_only {
+        f(&mut b);
+        println!("{full}: test mode, ran once");
+        return;
+    }
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            f(&mut b);
+            b.last_sample
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    println!("{full}: median {} ({} samples)", fmt_time(median), sample_size);
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn harness_runs_closures() {
+        let mut c = Criterion {
+            test_only: true,
+            default_sample_size: 3,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0;
+        group.sample_size(2).bench_function("count", |b| {
+            b.iter(|| ());
+            calls += 1;
+        });
+        group.bench_with_input("with_input", &41, |b, &x| {
+            b.iter(|| x + 1);
+            calls += 1;
+        });
+        group.finish();
+        assert_eq!(calls, 2, "test mode still invokes each benchmark once");
+    }
+}

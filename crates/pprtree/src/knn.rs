@@ -115,7 +115,7 @@ mod tests {
             if kind == 1 {
                 tree.insert(id, r, t);
             } else {
-                tree.delete(id, r, t);
+                tree.delete(id, r, t).unwrap();
             }
         }
         (tree, records)

@@ -34,4 +34,4 @@ pub mod split;
 pub mod tree;
 
 pub use node::{PprEntry, PprNode, PprParams};
-pub use tree::{PprTree, RootSpan};
+pub use tree::{DeleteError, PprTree, RootSpan};

@@ -7,6 +7,32 @@ use std::collections::HashSet;
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_storage::{IoStats, Page, PageId, PageStore};
 
+/// Failure of a [`PprTree::delete`] call. The tree is left unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteError {
+    /// No record with this id (and the given rectangle) is alive at the
+    /// deletion time — it was never inserted, already deleted, or the
+    /// rectangle does not exactly match the inserted one.
+    NotFound {
+        /// The id the caller asked to delete.
+        id: u64,
+        /// The requested deletion time.
+        t: Time,
+    },
+}
+
+impl std::fmt::Display for DeleteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeleteError::NotFound { id, t } => {
+                write!(f, "no alive record {id} to delete at {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeleteError {}
+
 /// One span of the root log: during `interval`, the ephemeral R-Tree was
 /// rooted at `page` (a node of height `level`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,7 +85,7 @@ enum UpOps {
 /// let mut tree = PprTree::new(PprParams::default());
 /// let rect = Rect2::from_bounds(0.4, 0.4, 0.5, 0.5);
 /// tree.insert(7, rect, 10);
-/// tree.delete(7, rect, 20);
+/// tree.delete(7, rect, 20).unwrap();
 ///
 /// let mut hits = Vec::new();
 /// tree.query_snapshot(&rect, 15, &mut hits); // alive at 15
@@ -172,13 +198,17 @@ impl PprTree {
     /// (it locates the leaf *and* disambiguates when several alive
     /// records share an id).
     ///
+    /// # Errors
+    /// [`DeleteError::NotFound`] if no alive record `(id, rect)` exists;
+    /// the tree is unchanged (the failed update does not advance time).
+    ///
     /// # Panics
-    /// If no alive record `(id, rect)` exists.
-    pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) {
+    /// If `t` precedes an earlier update (partial persistence).
+    pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), DeleteError> {
+        let Some(path) = self.locate_alive(id, &rect) else {
+            return Err(DeleteError::NotFound { id, t });
+        };
         self.advance(t);
-        let path = self
-            .locate_alive(id, &rect)
-            .unwrap_or_else(|| panic!("no alive record {id} to delete at {t}"));
         let leaf = self.read_node(path.pages[path.pages.len() - 1]);
         let idx = leaf
             .entries
@@ -192,6 +222,7 @@ impl PprTree {
         };
         self.propagate(&path, ops, t);
         self.alive_records -= 1;
+        Ok(())
     }
 
     fn advance(&mut self, t: Time) {
@@ -824,7 +855,7 @@ mod tests {
         let mut t = PprTree::new(small_params());
         let r = rect(0.5, 0.5);
         t.insert(1, r, 10);
-        t.delete(1, r, 20);
+        t.delete(1, r, 20).unwrap();
         assert_eq!(t.alive_records(), 0);
         assert_eq!(t.total_records(), 1);
 
@@ -851,11 +882,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no alive record")]
-    fn rejects_deleting_missing_record() {
+    fn deleting_missing_record_is_an_error_and_leaves_tree_intact() {
         let mut t = PprTree::new(small_params());
         t.insert(1, rect(0.1, 0.1), 10);
-        t.delete(99, rect(0.1, 0.1), 11);
+        assert_eq!(
+            t.delete(99, rect(0.1, 0.1), 11),
+            Err(DeleteError::NotFound { id: 99, t: 11 })
+        );
+        // Wrong rectangle is also not found, and the real record stays.
+        assert!(t.delete(1, rect(0.5, 0.5), 11).is_err());
+        assert_eq!(t.alive_records(), 1);
+        t.delete(1, rect(0.1, 0.1), 11).unwrap();
+        assert_eq!(t.alive_records(), 0);
     }
 
     #[test]
@@ -890,7 +928,8 @@ mod tests {
                 i,
                 rect(0.02 * (i % 20) as f64, 0.1 * (i / 20) as f64),
                 10 + i as Time,
-            );
+            )
+            .unwrap();
         }
         t.validate();
         let mut out = Vec::new();
@@ -910,7 +949,7 @@ mod tests {
             t.insert(i, rect(0.1 * i as f64, 0.0), 0);
         }
         for i in 0..8u64 {
-            t.delete(i, rect(0.1 * i as f64, 0.0), 10);
+            t.delete(i, rect(0.1 * i as f64, 0.0), 10).unwrap();
         }
         assert_eq!(t.alive_records(), 0);
         // New evolution after a gap.
@@ -940,7 +979,8 @@ mod tests {
                 t.insert(round * 10 + j, rect(0.01 * j as f64, 0.9), tt);
             }
             for j in 0..5u64 {
-                t.delete(round * 10 + j, rect(0.01 * j as f64, 0.9), tt + 1);
+                t.delete(round * 10 + j, rect(0.01 * j as f64, 0.9), tt + 1)
+                    .unwrap();
             }
         }
         t.validate();
@@ -979,7 +1019,7 @@ mod tests {
                 }
                 let k = rng.random_range(0..alive.len());
                 let (id, r) = alive.swap_remove(k);
-                tree.delete(id, r, t);
+                tree.delete(id, r, t).unwrap();
                 let rec = shadow
                     .records
                     .iter_mut()
@@ -1020,7 +1060,8 @@ mod tests {
             }
             clock += 5;
             for j in 0..10u64 {
-                t.delete(gen * 100 + j, rect(0.05 * j as f64, 0.3), clock);
+                t.delete(gen * 100 + j, rect(0.05 * j as f64, 0.3), clock)
+                    .unwrap();
             }
         }
         let pages = t.num_pages();

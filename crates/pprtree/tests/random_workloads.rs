@@ -65,7 +65,7 @@ fn run_workload(seed: u64, max_entries: usize, churn: u32) -> (PprTree, Shadow) 
             }
             let k = rng.random_range(0..alive.len());
             let (id, r) = alive.swap_remove(k);
-            tree.delete(id, r, t);
+            tree.delete(id, r, t).unwrap();
             shadow
                 .records
                 .iter_mut()
@@ -137,14 +137,14 @@ fn same_id_different_rects_delete_the_right_one() {
     tree.insert(7, a, 0);
     tree.insert(7, b, 0);
     // Kill the FAR one; the near one must survive.
-    tree.delete(7, b, 10);
+    tree.delete(7, b, 10).unwrap();
     let mut out = Vec::new();
     tree.query_snapshot(&a, 10, &mut out);
     assert_eq!(out, vec![7], "record (7, a) must still be alive");
     out.clear();
     tree.query_snapshot(&b, 10, &mut out);
     assert!(out.is_empty(), "record (7, b) must be gone");
-    tree.delete(7, a, 20);
+    tree.delete(7, a, 20).unwrap();
     out.clear();
     tree.query_snapshot(&Rect2::UNIT, 20, &mut out);
     assert!(out.is_empty());

@@ -1,0 +1,470 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The real crate cannot be fetched on a clean registry (and CI
+//! registries have proven unreliable), so this path crate implements the
+//! subset of the API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range, tuple, `Vec`, and function-built strategies,
+//! * [`collection::vec`], [`sample::select`], [`array::uniform3`],
+//!   [`any`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from the real crate, deliberate for an offline CI: cases
+//! are generated from a **fixed seed** derived from the test name (runs
+//! are reproducible by construction, no persisted failure files), and
+//! there is **no shrinking** — a failing case reports its case number,
+//! which is stable across runs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration. Only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy built from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy producing exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: rand::SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: rand::SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(*self.start()..=*self.end())
+    }
+}
+
+/// Every element drawn from the inner strategy, in index order.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
+}
+
+/// `any::<T>()` — the whole domain of `T` (full bit patterns for floats,
+/// including NaN and infinities, as the real crate's edge cases would
+/// exercise).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types usable with [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw one value from the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.random())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.random())
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Sizes accepted by [`vec`]: a fixed `usize` or a `usize` range.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S, impl SizeRange> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A uniformly selected element of `options` (which must be
+    /// nonempty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Array strategies (`prop::array`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    macro_rules! uniform_array {
+        ($($name:ident $ty:ident $n:literal),*) => {$(
+            /// An array whose elements are drawn independently from one
+            /// strategy, in index order.
+            pub fn $name<S: Strategy>(element: S) -> $ty<S> {
+                $ty(element)
+            }
+
+            #[doc = "See the constructor of the same (lowercased) name."]
+            pub struct $ty<S>(S);
+
+            impl<S: Strategy> Strategy for $ty<S> {
+                type Value = [S::Value; $n];
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    // Explicit order: index 0 first.
+                    let mut out = Vec::with_capacity($n);
+                    for _ in 0..$n {
+                        out.push(self.0.generate(rng));
+                    }
+                    out.try_into().ok().expect("exact length")
+                }
+            }
+        )*};
+    }
+    uniform_array!(uniform2 Uniform2 2, uniform3 Uniform3 3, uniform4 Uniform4 4);
+}
+
+/// The `prop::` namespace the prelude exposes.
+pub mod prop {
+    pub use crate::{array, collection, sample};
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Seed for a test: a stable hash of its name, so every test draws an
+/// independent, reproducible stream.
+#[doc(hidden)]
+pub fn seed_for(name: &str, case: u32) -> TestRng {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SeedableRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Run `body` for every case, reporting the (reproducible) case number
+/// on failure.
+#[doc(hidden)]
+pub fn run_cases(name: &str, config: &ProptestConfig, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..config.cases {
+        let mut rng = seed_for(name, case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("proptest {name}: failed at case {case}/{} (deterministic; rerun reproduces it)", config.cases);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The macro the property tests are written in. Supports an optional
+/// leading `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategies = ($($strat,)*);
+                $crate::run_cases(stringify!($name), &__config, |__rng| {
+                    let ($($arg,)*) = $crate::Strategy::generate(&__strategies, __rng);
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Property-test assertion; identical to `assert!` here (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion; identical to `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion; identical to `assert_ne!` here.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0.0..1.0f64, 3..10);
+        let a = Strategy::generate(&strat, &mut crate::seed_for("x", 0));
+        let b = Strategy::generate(&strat, &mut crate::seed_for("x", 0));
+        assert_eq!(a, b);
+        let c = Strategy::generate(&strat, &mut crate::seed_for("x", 1));
+        assert_ne!(a, c, "cases draw distinct streams");
+    }
+
+    #[test]
+    fn vec_of_strategies_generates_in_order() {
+        let strats = vec![0..1usize, 5..6, 9..10];
+        let v = Strategy::generate(&strats, &mut crate::seed_for("y", 0));
+        assert_eq!(v, vec![0, 5, 9]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -1.0..1.0f64) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn maps_and_flat_maps_compose(
+            v in prop::collection::vec(1usize..5, 1..4).prop_flat_map(|lens| {
+                lens.into_iter().map(|n| 0..n).collect::<Vec<_>>()
+            }),
+            picked in prop::sample::select(vec![2, 4, 6]),
+            arr in prop::array::uniform3(0.0..1.0f64),
+        ) {
+            prop_assert!(v.iter().all(|&x| x < 5));
+            prop_assert!(picked % 2 == 0);
+            prop_assert!(arr.iter().all(|&a| (0.0..1.0).contains(&a)));
+        }
+
+        #[test]
+        fn tuples_and_any(t in (any::<u8>(), 0usize..3), flag in any::<bool>()) {
+            let (_, small) = t;
+            prop_assert!(small < 3, "flag was {}", flag);
+        }
+    }
+}

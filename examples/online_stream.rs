@@ -36,7 +36,7 @@ fn main() {
     let mut asked = 0;
     for (t, id, i, done) in events {
         if done {
-            indexer.finish(id, t);
+            indexer.finish(id, t).expect("replayed stream is gap-free");
         } else {
             indexer.update(id, objects[id as usize].rect(i), t);
         }

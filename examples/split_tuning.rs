@@ -32,6 +32,7 @@ fn main() {
             duration: 1,
         },
         1000,
+        Parallelism::Auto,
     );
     println!("analytical model predictions (node accesses per query):");
     for (i, (budget, cost)) in analytical.costs.iter().enumerate() {
@@ -56,6 +57,7 @@ fn main() {
         &queries,
         IndexBackend::PprTree,
         4,
+        Parallelism::Auto,
     );
     println!("\nsampled measurements (avg disk reads on a 1/4 sample):");
     for (i, (budget, cost)) in sampled.costs.iter().enumerate() {

@@ -6,6 +6,7 @@
 //! stidx build    --data data.stdat --out index.stidx
 //!                [--backend ppr|rstar] [--splits 150%|--splits 5000]
 //!                [--single merge|dp] [--dist lagreedy|greedy|optimal]
+//!                [--threads auto|seq|N]
 //! stidx query    --index index.stidx --backend ppr|rstar
 //!                --area x0,y0,x1,y1 --time T [--until T2]
 //! stidx nearest  --index index.stidx --backend ppr
@@ -23,8 +24,8 @@
 //! `IndexConfig::time_extent` would be misread here.
 
 use spatiotemporal_index::core::{
-    DistributionAlgorithm, IndexBackend, IndexConfig, SingleSplitAlgorithm, SpatioTemporalIndex,
-    SplitBudget, SplitPlan,
+    DistributionAlgorithm, IndexBackend, IndexConfig, Parallelism, SingleSplitAlgorithm,
+    SpatioTemporalIndex, SplitBudget,
 };
 use spatiotemporal_index::datagen::{
     load_dataset, save_dataset, DatasetStats, OrbitDatasetSpec, RailwayDatasetSpec,
@@ -44,7 +45,7 @@ const USAGE: &str = "usage:
   stidx stats    --data FILE
   stidx build    --data FILE --out FILE [--backend ppr|rstar]
                  [--splits P% | --splits N] [--single merge|dp]
-                 [--dist lagreedy|greedy|optimal]
+                 [--dist lagreedy|greedy|optimal] [--threads auto|seq|N]
   stidx query    --index FILE --backend ppr|rstar
                  --area x0,y0,x1,y1 --time T [--until T2]
   stidx nearest  --index FILE --backend ppr
@@ -179,19 +180,26 @@ fn build(opts: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown distribution algorithm {other}")),
     };
 
+    let threads = match opts.get("threads") {
+        Some(t) => Parallelism::parse(t).map_err(|e| format!("--threads: {e}"))?,
+        None => Parallelism::Auto,
+    };
+
     let objects = load_dataset(&data).map_err(|e| format!("reading {}: {e}", data.display()))?;
     println!(
-        "planning splits for {} objects ({single} + {dist})...",
+        "planning splits for {} objects ({single} + {dist}, threads={threads})...",
         objects.len()
     );
-    let plan = SplitPlan::build(&objects, single, dist, budget, None);
-    let records = plan.records(&objects);
-    println!(
-        "{} records (volume {:.3}); building {backend}...",
-        records.len(),
-        plan.total_volume()
+    let (index, stats) = SpatioTemporalIndex::build_from_objects(
+        &objects,
+        single,
+        dist,
+        budget,
+        None,
+        &IndexConfig::paper(backend),
+        threads,
     );
-    let index = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+    println!("build stats: {stats}");
     let saved = match backend {
         IndexBackend::PprTree => index.as_ppr().expect("ppr backend").save_to_file(&out),
         IndexBackend::RStar => index.as_rstar().expect("rstar backend").save_to_file(&out),

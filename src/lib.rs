@@ -25,8 +25,8 @@ pub use sti_trajectory as trajectory;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use sti_core::{
-        DistributionAlgorithm, HybridConfig, HybridIndex, SingleSplitAlgorithm,
-        SpatioTemporalIndex, SplitBudget, SplitPlan,
+        BuildStats, DistributionAlgorithm, HybridConfig, HybridIndex, Parallelism,
+        SingleSplitAlgorithm, SpatioTemporalIndex, SplitBudget, SplitPlan,
     };
     pub use sti_datagen::{QuerySetSpec, RailwayDatasetSpec, RandomDatasetSpec};
     pub use sti_geom::{Point2, Rect2, Rect3, StBox, Time, TimeInterval};

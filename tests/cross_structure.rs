@@ -31,7 +31,7 @@ fn build_all(records: &[spatiotemporal_index::core::ObjectRecord]) -> (PprTree, 
             ppr.insert(r.id, r.stbox.rect, t);
             hr.insert(r.id, r.stbox.rect, t);
         } else {
-            ppr.delete(r.id, r.stbox.rect, t);
+            ppr.delete(r.id, r.stbox.rect, t).unwrap();
             hr.delete(r.id, r.stbox.rect, t);
         }
     }

@@ -137,7 +137,7 @@ fn multiversion_storage_model_tracks_measurements() {
             ppr.insert(r.id, r.stbox.rect, t);
             hr.insert(r.id, r.stbox.rect, t);
         } else {
-            ppr.delete(r.id, r.stbox.rect, t);
+            ppr.delete(r.id, r.stbox.rect, t).unwrap();
             hr.delete(r.id, r.stbox.rect, t);
         }
     }

@@ -42,7 +42,7 @@ fn pprtree_survives_a_round_trip() {
         if kind == 1 {
             tree.insert(recs[i].id, recs[i].stbox.rect, t);
         } else {
-            tree.delete(recs[i].id, recs[i].stbox.rect, t);
+            tree.delete(recs[i].id, recs[i].stbox.rect, t).unwrap();
         }
     }
 
@@ -144,7 +144,7 @@ fn backend_mismatch_is_a_clean_error() {
         if kind == 1 {
             ppr.insert(recs[i].id, recs[i].stbox.rect, t);
         } else {
-            ppr.delete(recs[i].id, recs[i].stbox.rect, t);
+            ppr.delete(recs[i].id, recs[i].stbox.rect, t).unwrap();
         }
     }
     let path = temp("mismatch");

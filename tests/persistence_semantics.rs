@@ -66,7 +66,7 @@ fn extinction_and_rebirth_eras() {
                 continue;
             }
             let td = t0 + 50;
-            tree.delete(id, r, td);
+            tree.delete(id, r, td).unwrap();
             let rec = shadow
                 .records
                 .iter_mut()
@@ -78,7 +78,7 @@ fn extinction_and_rebirth_eras() {
         // Kill the survivor too on even eras → total extinction.
         if era % 2 == 0 {
             let (id, r) = alive.pop().expect("survivor");
-            tree.delete(id, r, t0 + 60);
+            tree.delete(id, r, t0 + 60).unwrap();
             let rec = shadow
                 .records
                 .iter_mut()
@@ -129,7 +129,7 @@ fn long_lived_records_survive_churn() {
         }
         for j in 0..5u64 {
             let r = rect(0.09 * ((id + j) % 10) as f64, 0.5, 0.02);
-            tree.delete(id + j, r, t + 1);
+            tree.delete(id + j, r, t + 1).unwrap();
         }
         id += 5;
     }
@@ -171,7 +171,8 @@ fn root_log_invariants_under_heavy_load() {
             i,
             rect((i % 40) as f64 * 0.024, (i % 25) as f64 * 0.039, 0.02),
             1000 + i as u32,
-        );
+        )
+        .unwrap();
     }
     tree.validate();
     let roots = tree.roots();
