@@ -50,7 +50,7 @@ fn bench_updates(c: &mut Criterion) {
                     if ins {
                         t.insert(id, r, at);
                     } else {
-                        t.delete(id, r, at);
+                        t.delete(id, r, at).unwrap();
                     }
                 }
                 t.num_pages()

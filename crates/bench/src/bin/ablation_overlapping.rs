@@ -37,7 +37,7 @@ fn main() {
             }
             sti_core::RecordEvent::Delete => {
                 ppr.delete(r.id, r.stbox.rect, t).expect("matched insert");
-                hr.delete(r.id, r.stbox.rect, t);
+                hr.delete(r.id, r.stbox.rect, t).expect("matched insert");
             }
         }
     }

@@ -110,7 +110,8 @@ pub fn distribute_lagreedy(curves: &[VolumeCurve], k: usize) -> SplitAllocation 
             Some((g3, _)) => g3 > g1 + g2 + 1e-12 * (1.0 + total.abs()),
             None => false,
         };
-        if !improves {
+        let viable = if improves { receiver } else { None };
+        let Some((g3, o3)) = viable else {
             // Put everything back (the receiver entry, if any, is still
             // valid) and stop: no further exchange helps.
             la1.push(Reverse((OrdF64(g1), o1, splits[o1])));
@@ -119,8 +120,7 @@ pub fn distribute_lagreedy(curves: &[VolumeCurve], k: usize) -> SplitAllocation 
                 la2.push((OrdF64(g3), o3, splits[o3]));
             }
             break;
-        }
-        let (g3, o3) = receiver.expect("improves implies receiver");
+        };
 
         // Execute the exchange: o1, o2 each give back their last split,
         // o3 receives two.

@@ -248,7 +248,7 @@ impl OnlineSplitter {
     /// already finished); [`FinishError::WrongEnd`] if `end` does not
     /// follow its last observation. The splitter is unchanged on error.
     pub fn finish(&mut self, id: u64, end: Time) -> Result<ObjectRecord, FinishError> {
-        let Some(piece) = self.open.get(&id) else {
+        let Some(&piece) = self.open.get(&id) else {
             return Err(FinishError::NotOpen { id });
         };
         if end != piece.last + 1 {
@@ -258,7 +258,7 @@ impl OnlineSplitter {
                 expected: piece.last + 1,
             });
         }
-        let piece = self.open.remove(&id).expect("checked above");
+        self.open.remove(&id);
         remove_start(&mut self.open_starts, piece.start);
         Ok(piece.to_record(id))
     }
@@ -287,6 +287,7 @@ fn remove_start(starts: &mut BTreeMap<Time, usize>, start: Time) {
         Some(_) => {
             starts.remove(&start);
         }
+        // stilint::allow(no_panic, "every open piece registers its start on open and unregisters exactly once on finish")
         None => unreachable!("open piece start {start} missing from the multiset"),
     }
 }
@@ -405,17 +406,21 @@ impl OnlineIndexer {
             RecordEvent::Delete => self
                 .tree
                 .delete(ev.record.id, ev.record.stbox.rect, ev.time)
+                // stilint::allow(no_panic, "record_events pairs each delete with the insert it buffered earlier, and deletes sort before inserts at equal times")
                 .expect("every buffered delete matches an earlier insert"),
         }
     }
 
     fn flush(&mut self) {
         let w = self.watermark();
-        while let Some(Reverse(ev)) = self.buffer.peek() {
-            if ev.time >= w {
+        loop {
+            let Some(top) = self.buffer.peek_mut() else {
+                break;
+            };
+            if top.0.time >= w {
                 break;
             }
-            let Reverse(ev) = self.buffer.pop().expect("peeked");
+            let Reverse(ev) = std::collections::binary_heap::PeekMut::pop(top);
             self.apply_event(ev);
         }
     }
@@ -442,15 +447,20 @@ impl OnlineIndexer {
     /// Close every remaining piece at `end` and return the finished tree.
     pub fn seal(mut self, end: Time) -> PprTree {
         assert!(end >= self.now);
-        let open_ids: Vec<u64> = self.splitter.open.keys().copied().collect();
-        for id in open_ids {
+        let open: Vec<(u64, Time)> = self
+            .splitter
+            .open
+            .iter()
+            .map(|(&id, p)| (id, p.last))
+            .collect();
+        for (id, last) in open {
             // `finish` keeps the splitter's start multiset consistent;
             // each object's final piece ends one past its last
             // observation.
-            let piece = self.splitter.open.get(&id).copied().expect("listed");
             let record = self
                 .splitter
-                .finish(id, piece.last + 1)
+                .finish(id, last + 1)
+                // stilint::allow(no_panic, "the id/last pairs were snapshotted from the open map, and last + 1 is exactly the end finish accepts")
                 .expect("open piece finishes at last + 1");
             self.push_record(record);
         }
@@ -800,5 +810,75 @@ mod tests {
         idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 0);
         let mut out = Vec::new();
         idx.query_snapshot(&Rect2::UNIT, 0, &mut out);
+    }
+
+    /// Failed finishes are typed errors and leave the splitter's open
+    /// pieces, watermark, and split counter exactly as they were.
+    #[test]
+    fn splitter_finish_errors_leave_state_unchanged() {
+        let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
+        let r = Rect2::from_bounds(0.4, 0.4, 0.45, 0.45);
+        for t in 0..10 {
+            assert!(s.observe(7, r, t).is_none());
+        }
+
+        assert_eq!(s.finish(99, 10), Err(FinishError::NotOpen { id: 99 }));
+        assert_eq!(
+            s.finish(7, 25),
+            Err(FinishError::WrongEnd {
+                id: 7,
+                end: 25,
+                expected: 10
+            })
+        );
+        assert_eq!(s.open_objects(), 1, "failed finish must not close pieces");
+        assert_eq!(s.watermark(), Some(0));
+        assert_eq!(s.splits_issued(), 0);
+
+        // The piece is still finishable with the correct end...
+        let rec = s.finish(7, 10).unwrap();
+        assert_eq!(rec.stbox.lifetime, TimeInterval::new(0, 10));
+        assert_eq!(s.open_objects(), 0);
+        assert_eq!(s.watermark(), None);
+        // ...and exactly once.
+        assert_eq!(s.finish(7, 10), Err(FinishError::NotOpen { id: 7 }));
+    }
+
+    /// The indexer propagates finish errors without corrupting the
+    /// stream: the failed call changes nothing, the corrected call
+    /// succeeds, and the sealed tree passes the full-history sanitizer.
+    #[test]
+    fn indexer_finish_error_then_recovery() {
+        let params = PprParams {
+            max_entries: 10,
+            buffer_pages: 4,
+            ..PprParams::default()
+        };
+        let mut idx = OnlineIndexer::new(OnlineSplitConfig::default(), params);
+        let r = Rect2::from_bounds(0.3, 0.3, 0.35, 0.35);
+        for t in 0..10 {
+            idx.update(5, r, t);
+        }
+        let w = idx.watermark();
+
+        assert_eq!(
+            idx.finish(5, 25),
+            Err(FinishError::WrongEnd {
+                id: 5,
+                end: 25,
+                expected: 10
+            })
+        );
+        assert_eq!(idx.finish(6, 10), Err(FinishError::NotOpen { id: 6 }));
+        assert_eq!(
+            idx.watermark(),
+            w,
+            "failed finish must not move the watermark"
+        );
+
+        idx.finish(5, 10).unwrap();
+        let tree = idx.seal(10);
+        assert_eq!(tree.alive_records(), 0);
+        assert!(sti_pprtree::check::validate(&tree).is_ok());
     }
 }

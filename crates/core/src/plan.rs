@@ -7,9 +7,9 @@ use crate::single::dpsplit::DpTable;
 use crate::single::mergesplit::MergeHierarchy;
 use crate::single::{piecewise_cuts, SingleSplitAlgorithm};
 use crate::VolumeCurve;
+use std::time::{Duration, Instant};
 use sti_geom::StBox;
 use sti_trajectory::RasterizedObject;
-use std::time::{Duration, Instant};
 
 /// How many splits to spend on a dataset.
 ///

@@ -8,9 +8,7 @@
 //! figures, not statistically-similar ones.
 
 use proptest::prelude::*;
-use sti_core::{
-    DistributionAlgorithm, Parallelism, SingleSplitAlgorithm, SplitBudget, SplitPlan,
-};
+use sti_core::{DistributionAlgorithm, Parallelism, SingleSplitAlgorithm, SplitBudget, SplitPlan};
 use sti_geom::Rect2;
 use sti_trajectory::RasterizedObject;
 

@@ -177,9 +177,13 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) {
         let n = self.samples();
-        run_one(self.criterion.test_only, &self.name, &id.into_id(), n, |b| {
-            f(b, input)
-        });
+        run_one(
+            self.criterion.test_only,
+            &self.name,
+            &id.into_id(),
+            n,
+            |b| f(b, input),
+        );
     }
 
     /// Close the group (a no-op; results print as they complete).
@@ -220,7 +224,11 @@ fn run_one(
         .collect();
     samples.sort_by(f64::total_cmp);
     let median = samples[samples.len() / 2];
-    println!("{full}: median {} ({} samples)", fmt_time(median), sample_size);
+    println!(
+        "{full}: median {} ({} samples)",
+        fmt_time(median),
+        sample_size
+    );
 }
 
 fn fmt_time(secs: f64) -> String {

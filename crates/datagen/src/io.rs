@@ -22,27 +22,15 @@ pub const DATASET_MAGIC: &[u8; 8] = b"STDAT1\0\0";
 pub fn save_dataset(path: &Path, objects: &[RasterizedObject]) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(DATASET_MAGIC)?;
-    w.write_all(
-        &u32::try_from(objects.len())
-            .expect("object count fits u32")
-            .to_le_bytes(),
-    )?;
+    w.write_all(&field_u32(objects.len(), "object count")?.to_le_bytes())?;
     for o in objects {
         w.write_all(&o.id().to_le_bytes())?;
         w.write_all(&o.start().to_le_bytes())?;
-        w.write_all(
-            &u32::try_from(o.len())
-                .expect("instants fit u32")
-                .to_le_bytes(),
-        )?;
+        w.write_all(&field_u32(o.len(), "instant count")?.to_le_bytes())?;
         let bounds = o.boundaries();
-        w.write_all(
-            &u32::try_from(bounds.len())
-                .expect("boundaries fit u32")
-                .to_le_bytes(),
-        )?;
+        w.write_all(&field_u32(bounds.len(), "boundary count")?.to_le_bytes())?;
         for &b in bounds {
-            w.write_all(&u32::try_from(b).expect("boundary fits u32").to_le_bytes())?;
+            w.write_all(&field_u32(b, "boundary offset")?.to_le_bytes())?;
         }
         for i in 0..o.len() {
             let r = o.rect(i);
@@ -52,6 +40,17 @@ pub fn save_dataset(path: &Path, objects: &[RasterizedObject]) -> io::Result<()>
         }
     }
     w.flush()
+}
+
+/// Encode a length/offset field, rejecting values the `u32` file format
+/// cannot represent instead of truncating them.
+fn field_u32(n: usize, what: &str) -> io::Result<u32> {
+    u32::try_from(n).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{what} too large for dataset file format: {n}"),
+        )
+    })
 }
 
 /// Read a dataset previously written by [`save_dataset`].

@@ -19,4 +19,4 @@ pub mod node;
 pub mod tree;
 
 pub use node::{HrEntry, HrNode, HrParams};
-pub use tree::HrTree;
+pub use tree::{DeleteError, HrTree};

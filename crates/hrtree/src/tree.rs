@@ -6,6 +6,30 @@ use std::collections::HashSet;
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_storage::{IoStats, Page, PageId, PageStore};
 
+/// Error from [`HrTree::delete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteError {
+    /// No record `(id, rect)` exists in the current version.
+    NotFound {
+        /// The record id that was requested.
+        id: u64,
+        /// The delete timestamp.
+        t: Time,
+    },
+}
+
+impl std::fmt::Display for DeleteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeleteError::NotFound { id, t } => {
+                write!(f, "no record {id} alive in the current version at t={t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeleteError {}
+
 /// One version of the overlapping structure: the R-Tree rooted at `page`
 /// is current from `time` until the next version's timestamp.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,18 +124,27 @@ impl HrTree {
 
     /// Delete the alive record `(id, rect)` at time `t`.
     ///
+    /// # Errors
+    /// [`DeleteError::NotFound`] if no record `(id, rect)` exists in the
+    /// current version; the evolution is unchanged (the failed update
+    /// does not advance time or register a version).
+    ///
     /// # Panics
-    /// If the record is not present in the current version.
-    pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) {
-        self.advance(t);
-        let v = self.current().expect("delete on an empty evolution");
+    /// If `t` precedes an earlier update (versions are time-ordered).
+    pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), DeleteError> {
+        let Some(v) = self.current() else {
+            return Err(DeleteError::NotFound { id, t });
+        };
         let mut orphans: Vec<(HrEntry, u32)> = Vec::new();
         let outcome = self.delete_rec(v.page, id, &rect, &mut orphans, true);
         let replacement = match outcome {
-            DelOutcome::NotHere => panic!("no record {id} to delete at {t}"),
+            // delete_rec copies no pages until it has found the record,
+            // so NotHere leaves the store untouched.
+            DelOutcome::NotHere => return Err(DeleteError::NotFound { id, t }),
             DelOutcome::Replaced(page, _) => Some((page, v.level)),
             DelOutcome::Dissolved => None,
         };
+        self.advance(t);
         // Rebuild from the (possibly missing) new root plus the orphans.
         // Orphaned *subtrees* are flattened to their leaf entries before
         // re-insertion: dissolving nodes is rare enough that the extra
@@ -166,6 +199,7 @@ impl HrTree {
             }
         }
         self.alive -= 1;
+        Ok(())
     }
 
     fn advance(&mut self, t: Time) {
@@ -270,6 +304,7 @@ impl HrTree {
     // ------------------------------------------------------------------
 
     fn read_node(&mut self, page: PageId) -> HrNode {
+        // stilint::allow(no_panic, "pages are written only by write_new, so a decode failure is memory corruption, not a runtime condition")
         HrNode::decode(self.store.read(page)).expect("valid node page")
     }
 
@@ -551,7 +586,7 @@ fn quadratic_split(entries: Vec<HrEntry>, min_entries: usize) -> (Vec<HrEntry>, 
         let e = rest.swap_remove(pick);
         let d1 = bb1.enlargement(&e.rect);
         let d2 = bb2.enlargement(&e.rect);
-        let to_first = match d1.partial_cmp(&d2).expect("finite") {
+        let to_first = match d1.total_cmp(&d2) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => {
@@ -617,7 +652,7 @@ mod tests {
             t.insert(i, rect(0.05 * i as f64, 0.2), 0);
         }
         for i in 0..5u64 {
-            t.delete(i, rect(0.05 * i as f64, 0.2), 10);
+            t.delete(i, rect(0.05 * i as f64, 0.2), 10).unwrap();
         }
         t.validate();
         let mut out = Vec::new();
@@ -669,7 +704,7 @@ mod tests {
             t.insert(i, rect(0.1 * i as f64, 0.4), 0);
         }
         for i in 0..6u64 {
-            t.delete(i, rect(0.1 * i as f64, 0.4), 5);
+            t.delete(i, rect(0.1 * i as f64, 0.4), 5).unwrap();
         }
         assert_eq!(t.alive_records(), 0);
         let mut out = Vec::new();

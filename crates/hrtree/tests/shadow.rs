@@ -35,7 +35,7 @@ fn run_workload(seed: u64, cap: usize) -> (HrTree, Vec<(u64, Rect2, u32, u32)>) 
             }
             let k = rng.random_range(0..alive.len());
             let (id, r) = alive.swap_remove(k);
-            tree.delete(id, r, t);
+            tree.delete(id, r, t).unwrap();
             records
                 .iter_mut()
                 .find(|(i, ..)| *i == id)
@@ -128,7 +128,7 @@ fn root_is_exempt_from_min_fill() {
     }
     let pages_before = tree.num_pages();
     let r3 = Rect2::from_bounds(0.05 * 3.0, 0.1, 0.05 * 3.0 + 0.02, 0.12);
-    tree.delete(3, r3, 20);
+    tree.delete(3, r3, 20).unwrap();
     // One delete on a single-node tree = exactly one new root page, not a
     // rebuild of every record.
     assert_eq!(

@@ -63,6 +63,7 @@ impl PprTree {
                 }
                 continue;
             }
+            // stilint::allow(no_panic, "directory items carry allocate()-returned u32 page ids widened into the shared ptr field")
             let page = u32::try_from(item.ptr).expect("page id");
             let node = self.read_node_pub(page);
             for e in &node.entries {

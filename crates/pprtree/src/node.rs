@@ -133,6 +133,7 @@ impl PprEntry {
 
     /// Child page id (directory entries only).
     pub fn child_page(&self) -> sti_storage::PageId {
+        // stilint::allow(no_panic, "directory entries are built exclusively from allocate()-returned u32 page ids widened into the shared ptr field")
         sti_storage::PageId::try_from(self.ptr).expect("directory entry holds a page id")
     }
 
@@ -212,6 +213,7 @@ impl PprNode {
         let buf = page.bytes_mut();
         let mut w = ByteWriter::new(&mut buf[..]);
         w.put_u32(self.level);
+        // stilint::allow(no_panic, "the encoded_size assert above bounds entries by the page capacity, far below u16::MAX")
         w.put_u16(u16::try_from(self.entries.len()).expect("entry count fits u16"));
         for e in &self.entries {
             w.put_f64(e.rect.lo.x);

@@ -36,7 +36,8 @@ pub fn key_split(entries: Vec<PprEntry>, min_entries: usize) -> (Vec<PprEntry>, 
                     (lo, hi)
                 }
             };
-            key(ra).partial_cmp(&key(rb)).expect("finite bounds")
+            let (ka, kb) = (key(ra), key(rb));
+            ka.0.total_cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
         });
         idx
     };
@@ -97,6 +98,7 @@ pub fn key_split(entries: Vec<PprEntry>, min_entries: usize) -> (Vec<PprEntry>, 
         }
     }
 
+    // stilint::allow(no_panic, "k_range is nonempty whenever n >= 2*min_entries (asserted on entry), so the distribution loop always ran")
     let (_, _, order, split_at) = best.expect("at least one distribution");
     let g1 = order[..split_at].iter().map(|&i| entries[i]).collect();
     let g2 = order[split_at..].iter().map(|&i| entries[i]).collect();

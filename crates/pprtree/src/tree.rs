@@ -101,6 +101,9 @@ pub struct PprTree {
     now: Time,
     alive_records: u64,
     total_posted: u64,
+    /// Updates seen, for the debug-build check sampling schedule.
+    #[cfg(debug_assertions)]
+    debug_mutations: u64,
 }
 
 impl PprTree {
@@ -114,6 +117,8 @@ impl PprTree {
             now: 0,
             alive_records: 0,
             total_posted: 0,
+            #[cfg(debug_assertions)]
+            debug_mutations: 0,
         }
     }
 
@@ -191,6 +196,7 @@ impl PprTree {
         self.propagate(&path, ops, t);
         self.alive_records += 1;
         self.total_posted += 1;
+        self.debug_check();
     }
 
     /// Logically delete the alive record `(id, rect)` at time `t`;
@@ -205,16 +211,10 @@ impl PprTree {
     /// # Panics
     /// If `t` precedes an earlier update (partial persistence).
     pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), DeleteError> {
-        let Some(path) = self.locate_alive(id, &rect) else {
+        let Some((path, idx)) = self.locate_alive(id, &rect) else {
             return Err(DeleteError::NotFound { id, t });
         };
         self.advance(t);
-        let leaf = self.read_node(path.pages[path.pages.len() - 1]);
-        let idx = leaf
-            .entries
-            .iter()
-            .position(|e| e.is_alive() && e.ptr == id && e.rect == rect)
-            .expect("locate_alive found the record");
         let ops = Ops {
             kills: vec![idx],
             expand: None,
@@ -222,8 +222,32 @@ impl PprTree {
         };
         self.propagate(&path, ops, t);
         self.alive_records -= 1;
+        self.debug_check();
         Ok(())
     }
+
+    /// Debug builds sanity-check the structure after updates: every
+    /// mutation while the index is small, then a sample (the current-view
+    /// walk is linear in the live tree, so checking each of `n` updates
+    /// would make test workloads quadratic).
+    #[cfg(debug_assertions)]
+    fn debug_check(&mut self) {
+        self.debug_mutations += 1;
+        if self.store.num_pages() <= 64 || self.debug_mutations.is_multiple_of(64) {
+            if let Err(violations) = crate::check::validate_current(self) {
+                let lines: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+                // stilint::allow(no_panic, "debug-only tripwire; release builds skip the check and the typed API is check::validate")
+                panic!(
+                    "PPR-Tree invariants broken after update at t={}:\n{}",
+                    self.now,
+                    lines.join("\n")
+                );
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check(&mut self) {}
 
     fn advance(&mut self, t: Time) {
         assert!(
@@ -247,6 +271,30 @@ impl PprTree {
     /// Node read with I/O accounting, for sibling modules.
     pub(crate) fn read_node_pub(&mut self, page: PageId) -> PprNode {
         self.read_node(page)
+    }
+
+    /// The structural parameters the tree was built with.
+    pub fn params(&self) -> &PprParams {
+        &self.params
+    }
+
+    /// Read-only page store access for [`crate::check`] (which fetches
+    /// pages with `peek`, outside the I/O accounting).
+    pub(crate) fn store_ref(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Deliberately desynchronize the record counter (sanitizer tests).
+    #[cfg(test)]
+    pub(crate) fn corrupt_alive_records_for_test(&mut self, n: u64) {
+        self.alive_records = n;
+    }
+
+    /// Overwrite a page with garbage (sanitizer tests).
+    #[cfg(test)]
+    pub(crate) fn corrupt_page_for_test(&mut self, page: PageId) {
+        let junk = vec![0xFFu8; 64];
+        self.store.write(page, &junk);
     }
 
     fn current_root(&self) -> Option<RootSpan> {
@@ -327,6 +375,7 @@ impl PprTree {
     // ------------------------------------------------------------------
 
     fn read_node(&mut self, page: PageId) -> PprNode {
+        // stilint::allow(no_panic, "pages are written only by write_node, so a decode failure is memory corruption; offline integrity checking goes through check::validate, which reports instead")
         PprNode::decode(self.store.read(page)).expect("valid node page")
     }
 
@@ -339,11 +388,13 @@ impl PprTree {
     /// Choose-subtree descent for insertion: among *alive* directory
     /// entries pick minimum area enlargement (ties: minimum area).
     fn descend_for_insert(&mut self, rect: &Rect2) -> Path {
+        // stilint::allow(no_panic, "insert creates a root before descending, so the root log is nonempty here")
         let root = self.current_root().expect("insert ensured a root");
-        let mut pages = vec![root.page];
+        let mut page = root.page;
+        let mut pages = vec![page];
         let mut entry_idx = Vec::new();
         loop {
-            let node = self.read_node(*pages.last().expect("nonempty"));
+            let node = self.read_node(page);
             if node.is_leaf() {
                 return Path { pages, entry_idx };
             }
@@ -357,47 +408,53 @@ impl PprTree {
                     best = Some((key.0, key.1, i));
                 }
             }
+            // stilint::allow(no_panic, "the weak version condition keeps every reachable directory node at >= D alive children; check::validate reports EmptyDirectory if this is ever violated")
             let (_, _, idx) = best.expect("alive directory node has an alive child");
             entry_idx.push(idx);
-            pages.push(node.entries[idx].child_page());
+            page = node.entries[idx].child_page();
+            pages.push(page);
         }
     }
 
     /// DFS for the leaf holding the alive record `id` whose rect equals
-    /// (is contained in) `rect`.
-    fn locate_alive(&mut self, id: u64, rect: &Rect2) -> Option<Path> {
+    /// (is contained in) `rect`; returns the path to that leaf plus the
+    /// record's entry index within it.
+    fn locate_alive(&mut self, id: u64, rect: &Rect2) -> Option<(Path, usize)> {
         let root = self.current_root()?;
         let mut path = Path {
             pages: vec![root.page],
             entry_idx: Vec::new(),
         };
-        if self.locate_rec(root.page, id, rect, &mut path) {
-            Some(path)
-        } else {
-            None
-        }
+        let idx = self.locate_rec(root.page, id, rect, &mut path)?;
+        Some((path, idx))
     }
 
-    fn locate_rec(&mut self, page: PageId, id: u64, rect: &Rect2, path: &mut Path) -> bool {
+    fn locate_rec(
+        &mut self,
+        page: PageId,
+        id: u64,
+        rect: &Rect2,
+        path: &mut Path,
+    ) -> Option<usize> {
         let node = self.read_node(page);
         if node.is_leaf() {
             return node
                 .entries
                 .iter()
-                .any(|e| e.is_alive() && e.ptr == id && e.rect == *rect);
+                .position(|e| e.is_alive() && e.ptr == id && e.rect == *rect);
         }
         for (i, e) in node.entries.iter().enumerate() {
             if e.is_alive() && e.rect.contains_rect(rect) {
                 path.entry_idx.push(i);
                 path.pages.push(e.child_page());
-                if self.locate_rec(e.child_page(), id, rect, path) {
-                    return true;
+                if let Some(idx) = self.locate_rec(e.child_page(), id, rect, path) {
+                    return Some(idx);
                 }
                 path.entry_idx.pop();
                 path.pages.pop();
             }
         }
-        false
+        None
     }
 
     /// Apply `ops` to the node at the end of `path` and walk structural
@@ -600,6 +657,7 @@ impl PprTree {
 
     /// Install replacements for a version-split root.
     fn replace_root(&mut self, adds: Vec<PprEntry>, t: Time) {
+        // stilint::allow(no_panic, "only called from propagate while the current root overflows, so a current root exists")
         let old = self.current_root().expect("a root was being split");
         self.close_current_root(t);
         match adds.len() {
@@ -624,11 +682,13 @@ impl PprTree {
                     level: old.level + 1,
                 });
             }
+            // stilint::allow(no_panic, "apply_version_split emits at most two replacement nodes (copy + optional key-split sibling)")
             n => unreachable!("version split produced {n} nodes"),
         }
     }
 
     fn close_current_root(&mut self, t: Time) {
+        // stilint::allow(no_panic, "callers close the root only after current_root() returned Some")
         let span = self.roots.last_mut().expect("root exists");
         debug_assert!(span.interval.is_open());
         span.interval.end = t;
@@ -645,19 +705,27 @@ impl PprTree {
 
     /// Save the whole index (pages + parameters + root log) to a file.
     pub fn save_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let meta_u32 = |n: usize, what: &str| {
+            u32::try_from(n).map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("{what} too large for the index file format: {n}"),
+                )
+            })
+        };
         let mut meta = vec![0u8; 1 + 4 + 8 * 3 + 4 + 4 + 8 + 8 + 4 + self.roots.len() * 16];
         {
             let mut w = sti_storage::ByteWriter::new(&mut meta);
             w.put_u8(b'P'); // backend tag: partially persistent R-Tree
-            w.put_u32(self.params.max_entries as u32);
+            w.put_u32(meta_u32(self.params.max_entries, "max_entries")?);
             w.put_f64(self.params.p_version);
             w.put_f64(self.params.p_svo);
             w.put_f64(self.params.p_svu);
-            w.put_u32(self.params.buffer_pages as u32);
+            w.put_u32(meta_u32(self.params.buffer_pages, "buffer_pages")?);
             w.put_u32(self.now);
             w.put_u64(self.alive_records);
             w.put_u64(self.total_posted);
-            w.put_u32(self.roots.len() as u32);
+            w.put_u32(meta_u32(self.roots.len(), "root log length")?);
             for r in &self.roots {
                 w.put_u32(r.interval.start);
                 w.put_u32(r.interval.end);
@@ -722,50 +790,24 @@ impl PprTree {
             now,
             alive_records,
             total_posted,
+            #[cfg(debug_assertions)]
+            debug_mutations: 0,
         })
     }
 
-    /// Walk the live tree and assert structural invariants (test aid).
+    /// Panic unless every structural invariant holds (test aid).
     ///
-    /// Checks node capacity, parent-entry spatial containment, level
-    /// consistency, and — for current non-root nodes whose parent has
-    /// other alive children — the weak version condition.
+    /// Delegates to [`crate::check::validate`], which walks the whole
+    /// history — root log, MBR containment, lifetime nesting, weak
+    /// version condition, record accounting — and returns typed
+    /// [`crate::check::Violation`]s; this wrapper only turns them into a
+    /// panic for `assert!`-style test call sites.
     #[doc(hidden)]
-    pub fn validate(&mut self) {
-        let Some(root) = self.current_root() else {
-            return;
-        };
-        let weak_min = self.params.weak_min();
-        let max = self.params.max_entries;
-        // (page, level, parent rect, parent's alive-child count)
-        let mut stack: Vec<(PageId, u32, Option<Rect2>, usize)> =
-            vec![(root.page, root.level, None, 1)];
-        while let Some((page, level, parent_rect, parent_alive_children)) = stack.pop() {
-            let node = self.read_node(page);
-            assert_eq!(node.level, level, "level mismatch at page {page}");
-            assert!(node.entries.len() <= max, "overfull node {page}");
-            if let Some(pr) = parent_rect {
-                assert!(
-                    pr.contains_rect(&node.full_mbr()),
-                    "parent entry does not cover node {page}"
-                );
-            }
-            let alive = node.alive_count();
-            let is_root = page == root.page;
-            if !is_root && parent_alive_children > 1 {
-                assert!(
-                    alive >= weak_min,
-                    "weak version condition violated at page {page}: {alive} < {weak_min}"
-                );
-            }
-            if !node.is_leaf() {
-                let alive_children = alive;
-                for e in &node.entries {
-                    if e.is_alive() {
-                        stack.push((e.child_page(), level - 1, Some(e.rect), alive_children));
-                    }
-                }
-            }
+    pub fn validate(&self) {
+        if let Err(violations) = crate::check::validate(self) {
+            let lines: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            // stilint::allow(no_panic, "test-only wrapper; the typed API is check::validate")
+            panic!("PPR-Tree invariant check failed:\n{}", lines.join("\n"));
         }
     }
 }

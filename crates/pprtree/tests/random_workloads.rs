@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sti_geom::{Rect2, TimeInterval};
-use sti_pprtree::{PprParams, PprTree};
+use sti_pprtree::tree::DeleteError;
+use sti_pprtree::{check, PprParams, PprTree};
 
 struct Shadow {
     records: Vec<(u64, Rect2, u32, u32)>,
@@ -106,6 +107,21 @@ proptest! {
         }
     }
 
+    /// The offline sanitizer accepts every tree a random insert/delete
+    /// interleaving can produce — the full history (all root spans, dead
+    /// edges included), not just the current view.
+    #[test]
+    fn full_history_check_passes_after_random_interleavings(
+        seed in any::<u64>(),
+        cap in prop::sample::select(vec![9usize, 12, 15, 20, 24]),
+    ) {
+        let (tree, _) = run_workload(seed, cap, 3);
+        if let Err(violations) = check::validate(&tree) {
+            let lines: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            prop_assert!(false, "invariants broken:\n{}", lines.join("\n"));
+        }
+    }
+
     #[test]
     fn storage_is_linear_in_changes(seed in any::<u64>()) {
         // The multi-version property: pages grow linearly with the number
@@ -148,4 +164,54 @@ fn same_id_different_rects_delete_the_right_one() {
     out.clear();
     tree.query_snapshot(&Rect2::UNIT, 20, &mut out);
     assert!(out.is_empty());
+}
+
+/// A failed delete is a typed error and leaves the tree completely
+/// unchanged: no clock advance, no page allocation, no root-log change.
+#[test]
+fn delete_not_found_is_typed_and_leaves_tree_unchanged() {
+    let params = PprParams {
+        max_entries: 10,
+        buffer_pages: 4,
+        ..PprParams::default()
+    };
+    let mut tree = PprTree::new(params);
+
+    // Empty tree: nothing to delete.
+    assert_eq!(
+        tree.delete(1, Rect2::UNIT, 0),
+        Err(DeleteError::NotFound { id: 1, t: 0 })
+    );
+
+    let r = Rect2::from_bounds(0.1, 0.1, 0.2, 0.2);
+    tree.insert(1, r, 3);
+    let roots_before = tree.roots().to_vec();
+    let pages_before = tree.num_pages();
+    let now_before = tree.now();
+
+    // Unknown id, and known id with a non-matching rectangle.
+    let other = Rect2::from_bounds(0.5, 0.5, 0.6, 0.6);
+    assert_eq!(
+        tree.delete(99, r, 7),
+        Err(DeleteError::NotFound { id: 99, t: 7 })
+    );
+    assert_eq!(
+        tree.delete(1, other, 7),
+        Err(DeleteError::NotFound { id: 1, t: 7 })
+    );
+
+    assert_eq!(tree.roots(), &roots_before[..]);
+    assert_eq!(tree.num_pages(), pages_before);
+    assert_eq!(
+        tree.now(),
+        now_before,
+        "failed delete must not advance time"
+    );
+    assert_eq!(tree.alive_records(), 1);
+    assert!(check::validate(&tree).is_ok());
+
+    // The record is still deletable after the failures.
+    tree.delete(1, r, 7).unwrap();
+    assert_eq!(tree.alive_records(), 0);
+    assert!(check::validate(&tree).is_ok());
 }

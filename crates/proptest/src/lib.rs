@@ -229,7 +229,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::RngExt;
 
-    /// Sizes accepted by [`vec`]: a fixed `usize` or a `usize` range.
+    /// Sizes accepted by [`vec()`]: a fixed `usize` or a `usize` range.
     pub trait SizeRange {
         /// Draw a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -259,7 +259,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,
@@ -363,7 +363,10 @@ pub fn run_cases(name: &str, config: &ProptestConfig, mut body: impl FnMut(&mut 
         let mut rng = seed_for(name, case);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(payload) = outcome {
-            eprintln!("proptest {name}: failed at case {case}/{} (deterministic; rerun reproduces it)", config.cases);
+            eprintln!(
+                "proptest {name}: failed at case {case}/{} (deterministic; rerun reproduces it)",
+                config.cases
+            );
             std::panic::resume_unwind(payload);
         }
     }

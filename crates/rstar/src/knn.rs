@@ -64,6 +64,7 @@ impl RStarTree {
                     }
                 }
                 Some(_) => {
+                    // stilint::allow(no_panic, "directory items carry allocate()-returned u32 page ids widened into the shared ptr field")
                     let page = u32::try_from(item.ptr).expect("page id");
                     let node = self.read_node(page);
                     for e in &node.entries {

@@ -94,6 +94,7 @@ impl Entry {
 
     /// Interpret `ptr` as a child page id.
     pub fn child_page(&self) -> PageId {
+        // stilint::allow(no_panic, "internal entries are built exclusively from allocate()-returned u32 page ids widened into the shared ptr field")
         PageId::try_from(self.ptr).expect("internal entry holds a page id")
     }
 
@@ -151,6 +152,7 @@ impl Node {
         let buf = page.bytes_mut();
         let mut w = ByteWriter::new(&mut buf[..]);
         w.put_u32(self.level);
+        // stilint::allow(no_panic, "the encoded_size assert above bounds entries by the page capacity, far below u16::MAX")
         w.put_u16(u16::try_from(self.entries.len()).expect("entry count fits u16"));
         for e in &self.entries {
             for d in 0..3 {

@@ -38,7 +38,8 @@ pub fn rstar_split(entries: Vec<Entry>, min_entries: usize) -> (Vec<Entry>, Vec<
                     (r.lo[axis], r.hi[axis])
                 }
             };
-            key(ra).partial_cmp(&key(rb)).expect("finite bounds")
+            let (ka, kb) = (key(ra), key(rb));
+            ka.0.total_cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
         });
         idx
     };
@@ -100,6 +101,7 @@ pub fn rstar_split(entries: Vec<Entry>, min_entries: usize) -> (Vec<Entry>, Vec<
         }
     }
 
+    // stilint::allow(no_panic, "k_range is nonempty whenever n >= 2*min_entries (asserted on entry), so the distribution loop always ran")
     let (_, _, order, split_at) = best.expect("at least one distribution");
     let g1 = order[..split_at].iter().map(|&i| entries[i]).collect();
     let g2 = order[split_at..].iter().map(|&i| entries[i]).collect();
@@ -169,7 +171,7 @@ pub fn quadratic_split(entries: Vec<Entry>, min_entries: usize) -> (Vec<Entry>, 
         let e = rest.swap_remove(pick);
         let d1 = bb1.enlargement(&e.rect);
         let d2 = bb2.enlargement(&e.rect);
-        let to_first = match d1.partial_cmp(&d2).expect("finite") {
+        let to_first = match d1.total_cmp(&d2) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => {

@@ -118,6 +118,7 @@ impl RStarTree {
     }
 
     pub(crate) fn read_node(&mut self, page: PageId) -> Node {
+        // stilint::allow(no_panic, "pages are written only by write_node, so a decode failure is memory corruption, not a runtime condition")
         Node::decode(self.store.read(page)).expect("valid node page")
     }
 

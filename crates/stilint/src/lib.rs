@@ -1,0 +1,569 @@
+//! `stilint` — the workspace's repo-specific static-analysis pass.
+//!
+//! A dependency-free line/token scanner (no `syn`; the build environment
+//! is offline) enforcing rules the type system cannot express:
+//!
+//! * **R1 `no_panic`** — no `unwrap`/`expect`/`panic!`/`unreachable!`/
+//!   `todo!`/`unimplemented!` in non-test, non-bench library code.
+//! * **R2 `float_eq`** — no `==`/`!=` on floating-point operands in
+//!   `sti-geom` and `sti-costmodel` math.
+//! * **R3 `narrowing_cast`** — no narrowing `as` casts on index/page
+//!   arithmetic in `sti-storage` and `sti-pprtree`.
+//! * **R4 `no_process_io`** — no `std::process::exit` or direct stdout
+//!   writes in library crates.
+//!
+//! Any hit can be suppressed with a justified escape hatch on (or
+//! immediately above) the offending line:
+//!
+//! ```text
+//! // stilint::allow(no_panic, "pages written by this tree always decode")
+//! ```
+//!
+//! Allows without a reason string, with an unknown rule name, or that no
+//! longer suppress anything are themselves diagnostics, so the allowlist
+//! cannot rot.
+
+pub mod mask;
+pub mod rules;
+
+use mask::Comment;
+use rules::{Finding, RuleId};
+use std::path::{Path, PathBuf};
+
+/// One diagnostic: a rule hit or a broken allow directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (or `bad_allow` / `unused_allow`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules apply to one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    pub no_panic: bool,
+    pub float_eq: bool,
+    pub narrowing_cast: bool,
+    pub no_process_io: bool,
+}
+
+impl FileClass {
+    /// A file no rule applies to.
+    pub const SKIP: FileClass = FileClass {
+        no_panic: false,
+        float_eq: false,
+        narrowing_cast: false,
+        no_process_io: false,
+    };
+
+    fn is_skip(&self) -> bool {
+        !(self.no_panic || self.float_eq || self.narrowing_cast || self.no_process_io)
+    }
+
+    fn applies(&self, rule: RuleId) -> bool {
+        match rule {
+            RuleId::NoPanic => self.no_panic,
+            RuleId::FloatEq => self.float_eq,
+            RuleId::NarrowingCast => self.narrowing_cast,
+            RuleId::NoProcessIo => self.no_process_io,
+        }
+    }
+}
+
+/// Classify a workspace-relative path (forward slashes).
+///
+/// * Vendored offline stand-ins (`crates/rand`, `crates/proptest`,
+///   `crates/criterion`) mirror external crates' APIs — including their
+///   panicking contracts — and are exempt wholesale.
+/// * `crates/bench`, `src/bin`, `tests/`, `benches/`, `examples/` are
+///   binaries or test code: measurement and test harnesses may panic and
+///   print.
+/// * `crates/stilint` itself is a tool crate: panic-freedom applies
+///   (dogfood), terminal I/O is its job.
+/// * Everything else under `crates/*/src` or `src/` is library code.
+pub fn classify(rel: &str) -> FileClass {
+    if !rel.ends_with(".rs") {
+        return FileClass::SKIP;
+    }
+    for vendored in ["crates/rand/", "crates/proptest/", "crates/criterion/"] {
+        if rel.starts_with(vendored) {
+            return FileClass::SKIP;
+        }
+    }
+    let test_or_bin = rel.starts_with("crates/bench/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.starts_with("src/bin/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/src/bin/");
+    if test_or_bin {
+        return FileClass::SKIP;
+    }
+    if rel.starts_with("crates/stilint/") {
+        return FileClass {
+            no_panic: true,
+            float_eq: false,
+            narrowing_cast: false,
+            no_process_io: false,
+        };
+    }
+    let library = rel.starts_with("src/") || rel.starts_with("crates/");
+    if !library {
+        return FileClass::SKIP;
+    }
+    FileClass {
+        no_panic: true,
+        float_eq: rel.starts_with("crates/geom/") || rel.starts_with("crates/costmodel/"),
+        narrowing_cast: rel.starts_with("crates/storage/") || rel.starts_with("crates/pprtree/"),
+        no_process_io: true,
+    }
+}
+
+/// A parsed `stilint::allow` directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: RuleId,
+    /// Line the directive's comment starts on.
+    comment_line: usize,
+    /// Line whose findings it suppresses.
+    target_line: usize,
+    used: bool,
+}
+
+/// Parse the directives out of the captured comments. Malformed ones
+/// become diagnostics immediately.
+fn parse_allows(
+    comments: &[Comment],
+    code_lines: &[bool],
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        // A directive is a plain `//` comment that begins with the
+        // directive itself; doc comments and prose that merely *mention*
+        // `stilint::allow` are not directives.
+        let body = c.text.trim_start_matches('/').trim_start();
+        if c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        if !body.starts_with("stilint::allow") {
+            continue;
+        }
+        let rest = &body["stilint::allow".len()..];
+        let bad = |msg: String, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
+                path: path.to_string(),
+                line: c.line,
+                rule: "bad_allow".to_string(),
+                message: msg,
+            });
+        };
+        let Some(open) = rest.find('(') else {
+            bad(
+                "malformed directive: expected `stilint::allow(rule, \"reason\")`".to_string(),
+                diags,
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("malformed directive: missing `)`".to_string(), diags);
+            continue;
+        };
+        if close < open {
+            bad("malformed directive: `)` before `(`".to_string(), diags);
+            continue;
+        }
+        let inner = &rest[open + 1..close];
+        let (rule_name, reason) = match inner.split_once(',') {
+            Some((r, rest)) => (r.trim(), rest.trim()),
+            None => (inner.trim(), ""),
+        };
+        let Some(rule) = RuleId::parse(rule_name) else {
+            let known: Vec<&str> = RuleId::ALL.iter().map(|r| r.name()).collect();
+            bad(
+                format!(
+                    "unknown rule `{rule_name}` (known rules: {})",
+                    known.join(", ")
+                ),
+                diags,
+            );
+            continue;
+        };
+        let unquoted = reason.trim_matches('"').trim();
+        if !reason.starts_with('"') || unquoted.is_empty() {
+            bad(
+                format!(
+                    "allow for `{}` needs a non-empty quoted reason: \
+                     `stilint::allow({}, \"why this is safe\")`",
+                    rule.name(),
+                    rule.name()
+                ),
+                diags,
+            );
+            continue;
+        }
+        // Trailing comment suppresses its own line; a standalone comment
+        // suppresses the next line that holds code.
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            let mut t = c.line; // 1-based; code_lines is 0-based
+            while t < code_lines.len() && !code_lines[t] {
+                t += 1;
+            }
+            t + 1
+        };
+        allows.push(Allow {
+            rule,
+            comment_line: c.line,
+            target_line,
+            used: false,
+        });
+    }
+    allows
+}
+
+/// Mark the 1-based lines covered by `#[cfg(test)]` / `#[test]` /
+/// `#[bench]`-gated items in the masked text.
+fn test_exempt_lines(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count();
+    let mut exempt = vec![false; line_count + 2];
+    let bytes = masked.as_bytes();
+
+    // Byte offset -> 1-based line number, cheap via prefix scan.
+    let mut line_of = vec![1usize; bytes.len() + 1];
+    let mut ln = 1usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        line_of[i] = ln;
+        if b == b'\n' {
+            ln += 1;
+        }
+    }
+    line_of[bytes.len()] = ln;
+
+    let mut mark = |from: usize, to: usize| {
+        let (a, b) = (line_of[from.min(bytes.len())], line_of[to.min(bytes.len())]);
+        for line in exempt.iter_mut().take(b + 1).skip(a) {
+            *line = true;
+        }
+    };
+
+    let mut search_from = 0;
+    while let Some(rel) = masked[search_from..].find("#[") {
+        let attr_at = search_from + rel;
+        search_from = attr_at + 2;
+        let rest = &masked[attr_at..];
+        let Some(attr_close) = rest.find(']') else {
+            continue;
+        };
+        let attr = &rest[..attr_close + 1];
+        let compact: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+        let is_test_attr = compact == "#[test]"
+            || compact == "#[bench]"
+            || compact.starts_with("#[cfg(test")
+            || compact.starts_with("#[cfg(all(test")
+            || compact.starts_with("#[cfg(any(test");
+        if !is_test_attr {
+            continue;
+        }
+        // Exempt from the attribute through the end of the following item:
+        // the block opened by the next `{` (or just the attribute line for
+        // path-form `mod tests;`).
+        let body = &masked[attr_at + attr.len()..];
+        let brace = body.find('{');
+        let semi = body.find(';');
+        let open = match (brace, semi) {
+            (Some(b), Some(s)) if s < b => {
+                mark(attr_at, attr_at + attr.len() + s);
+                continue;
+            }
+            (Some(b), _) => attr_at + attr.len() + b,
+            (None, Some(s)) => {
+                mark(attr_at, attr_at + attr.len() + s);
+                continue;
+            }
+            (None, None) => continue,
+        };
+        let mut depth = 0usize;
+        let mut end = open;
+        for (off, ch) in masked[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        mark(attr_at, end);
+    }
+    exempt
+}
+
+/// Scan one file's source, returning its diagnostics.
+pub fn scan_source(rel_path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if class.is_skip() {
+        return diags;
+    }
+    let masked = mask::mask(src);
+    // Byte-index the masked text safely: non-ASCII can only sit in
+    // identifiers after masking; blank it for the rule matchers.
+    let ascii: String = masked
+        .text
+        .chars()
+        .map(|c| if c.is_ascii() { c } else { ' ' })
+        .collect();
+    let exempt = test_exempt_lines(&ascii);
+    let code_lines: Vec<bool> = ascii.lines().map(|l| !l.trim().is_empty()).collect();
+    let mut allows = parse_allows(&masked.comments, &code_lines, rel_path, &mut diags);
+
+    for (idx, line) in ascii.lines().enumerate() {
+        let line_no = idx + 1;
+        if exempt.get(line_no).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut findings: Vec<Finding> = Vec::new();
+        if class.applies(RuleId::NoPanic) {
+            findings.extend(rules::check_no_panic(line));
+        }
+        if class.applies(RuleId::FloatEq) {
+            findings.extend(rules::check_float_eq(line));
+        }
+        if class.applies(RuleId::NarrowingCast) {
+            findings.extend(rules::check_narrowing_cast(line));
+        }
+        if class.applies(RuleId::NoProcessIo) {
+            findings.extend(rules::check_no_process_io(line));
+        }
+        for f in findings {
+            let allowed = allows
+                .iter_mut()
+                .find(|a| a.rule == f.rule && a.target_line == line_no);
+            if let Some(a) = allowed {
+                a.used = true;
+                continue;
+            }
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: line_no,
+                rule: f.rule.name().to_string(),
+                message: f.message,
+            });
+        }
+    }
+
+    for a in &allows {
+        if !a.used {
+            // Allows inside test-exempt regions are noise, not load-bearing.
+            let target_exempt = exempt.get(a.target_line).copied().unwrap_or(false)
+                || exempt.get(a.comment_line).copied().unwrap_or(false);
+            let rule_active = class.applies(a.rule);
+            if !target_exempt && rule_active {
+                diags.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: a.comment_line,
+                    rule: "unused_allow".to_string(),
+                    message: format!(
+                        "`stilint::allow({})` no longer suppresses anything; remove it",
+                        a.rule.name()
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Collect the `.rs` files to scan under `root` (workspace-relative,
+/// sorted for deterministic output).
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name == "target" || name == ".git" || name == ".github" {
+            continue;
+        }
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scan the whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let files = collect_files(root)?;
+    let mut diags = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let class = classify(&rel);
+        if class.is_skip() {
+            continue;
+        }
+        scanned += 1;
+        let src = std::fs::read_to_string(file)?;
+        diags.extend(scan_source(&rel, &src, class));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok((diags, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: FileClass = FileClass {
+        no_panic: true,
+        float_eq: true,
+        narrowing_cast: true,
+        no_process_io: true,
+    };
+
+    #[test]
+    fn classification_matrix() {
+        let geom = classify("crates/geom/src/rect2.rs");
+        assert!(geom.no_panic && geom.float_eq && !geom.narrowing_cast);
+        let storage = classify("crates/storage/src/codec.rs");
+        assert!(storage.no_panic && storage.narrowing_cast && !storage.float_eq);
+        assert_eq!(classify("crates/rand/src/lib.rs"), FileClass::SKIP);
+        assert_eq!(classify("crates/bench/src/bin/fig11.rs"), FileClass::SKIP);
+        assert_eq!(classify("src/bin/stidx.rs"), FileClass::SKIP);
+        assert_eq!(classify("tests/cli.rs"), FileClass::SKIP);
+        assert_eq!(classify("crates/pprtree/benches/x.rs"), FileClass::SKIP);
+        assert!(classify("src/lib.rs").no_panic);
+        let tool = classify("crates/stilint/src/rules.rs");
+        assert!(tool.no_panic && !tool.no_process_io);
+    }
+
+    #[test]
+    fn flags_unwrap_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g() { y.unwrap(); }\n\
+                   }\n";
+        let d = scan_source("crates/geom/src/a.rs", src, LIB);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].rule, "no_panic");
+    }
+
+    #[test]
+    fn doc_comments_and_strings_do_not_fire() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() { let s = \"panic!\"; }\n";
+        assert!(scan_source("crates/geom/src/a.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_same_line_and_next_line() {
+        let src = "fn f() {\n\
+                   x.unwrap(); // stilint::allow(no_panic, \"checked above\")\n\
+                   // stilint::allow(no_panic, \"invariant: y is Some\")\n\
+                   y.unwrap();\n\
+                   }\n";
+        assert!(scan_source("crates/geom/src/a.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn allow_requires_reason_and_known_rule() {
+        let src = "// stilint::allow(no_panic)\nx.unwrap();\n";
+        let d = scan_source("crates/geom/src/a.rs", src, LIB);
+        assert!(d.iter().any(|d| d.rule == "bad_allow"));
+        assert!(d.iter().any(|d| d.rule == "no_panic"), "not suppressed");
+
+        let src2 = "// stilint::allow(no_such_rule, \"reason\")\nx.unwrap();\n";
+        let d2 = scan_source("crates/geom/src/a.rs", src2, LIB);
+        assert!(d2.iter().any(|d| d.rule == "bad_allow"));
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let src = "// stilint::allow(no_panic, \"was needed once\")\nlet x = 1;\n";
+        let d = scan_source("crates/geom/src/a.rs", src, LIB);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unused_allow");
+    }
+
+    #[test]
+    fn allow_is_rule_scoped() {
+        let src = "// stilint::allow(float_eq, \"bit-exact sentinel\")\nx.unwrap();\n";
+        let d = scan_source("crates/geom/src/a.rs", src, LIB);
+        assert!(d.iter().any(|d| d.rule == "no_panic"), "{d:?}");
+    }
+
+    #[test]
+    fn cfg_test_block_exempts_to_closing_brace_only() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g() { y.unwrap(); }\n\
+                   }\n\
+                   fn after() { z.unwrap(); }\n";
+        let d = scan_source("crates/geom/src/a.rs", src, LIB);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn float_eq_only_in_configured_crates() {
+        let src = "fn f(a: f64) -> bool { a == 0.25 }\n";
+        let in_geom = scan_source(
+            "crates/geom/src/a.rs",
+            src,
+            classify("crates/geom/src/a.rs"),
+        );
+        assert!(in_geom.iter().any(|d| d.rule == "float_eq"));
+        let in_core = scan_source(
+            "crates/core/src/a.rs",
+            src,
+            classify("crates/core/src/a.rs"),
+        );
+        assert!(in_core.iter().all(|d| d.rule != "float_eq"));
+    }
+
+    #[test]
+    fn narrowing_cast_fires_in_storage_class_files() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }\n";
+        let d = scan_source(
+            "crates/storage/src/a.rs",
+            src,
+            classify("crates/storage/src/a.rs"),
+        );
+        assert!(d.iter().any(|d| d.rule == "narrowing_cast"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Command-line driver: `cargo run -p stilint [-- [ROOT]]`.
+//!
+//! Scans the workspace, prints `file:line: [rule] message` diagnostics to
+//! stdout, and exits non-zero when any are found (so CI can gate on it).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// the workspace.
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.first() {
+        Some(arg) if arg == "--help" || arg == "-h" => {
+            println!("usage: stilint [WORKSPACE_ROOT]");
+            println!("Lints the workspace's library crates; see CONTRIBUTING.md for the rules.");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => PathBuf::from(path),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("stilint: no workspace Cargo.toml found above the current directory");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    match stilint::scan_workspace(&root) {
+        Ok((diags, scanned)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                println!("stilint: {scanned} files clean");
+                ExitCode::SUCCESS
+            } else {
+                println!("stilint: {} diagnostics in {scanned} files", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("stilint: scanning {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The lint rules, matched against masked source lines.
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// R1: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in non-test library code.
+    NoPanic,
+    /// R2: no `==`/`!=` with a floating-point operand.
+    FloatEq,
+    /// R3: no narrowing `as` casts (`as u8/u16/u32/i8/i16/i32`) on
+    /// index/page arithmetic.
+    NarrowingCast,
+    /// R4: no `std::process::exit` or direct stdout writes in library
+    /// crates.
+    NoProcessIo,
+}
+
+impl RuleId {
+    /// The name used in diagnostics and in `stilint::allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NoPanic => "no_panic",
+            RuleId::FloatEq => "float_eq",
+            RuleId::NarrowingCast => "narrowing_cast",
+            RuleId::NoProcessIo => "no_process_io",
+        }
+    }
+
+    /// Parse a rule name as written in an allow directive.
+    pub fn parse(name: &str) -> Option<RuleId> {
+        match name {
+            "no_panic" => Some(RuleId::NoPanic),
+            "float_eq" => Some(RuleId::FloatEq),
+            "narrowing_cast" => Some(RuleId::NarrowingCast),
+            "no_process_io" => Some(RuleId::NoProcessIo),
+            _ => None,
+        }
+    }
+
+    /// All rules, for directive validation messages.
+    pub const ALL: [RuleId; 4] = [
+        RuleId::NoPanic,
+        RuleId::FloatEq,
+        RuleId::NarrowingCast,
+        RuleId::NoProcessIo,
+    ];
+}
+
+/// One rule hit on one line (line numbers are attached by the caller).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: RuleId,
+    pub message: String,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Positions where `needle` occurs in `hay` with a non-identifier (or
+/// line-start) character immediately before it.
+fn find_token(hay: &str, needle: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    // Needles starting with `.` carry their own boundary; identifier-led
+    // needles must not match inside a longer identifier.
+    let needs_boundary = needle.chars().next().is_some_and(is_ident);
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let bounded = !needs_boundary
+            || at == 0
+            || hay[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        if bounded {
+            hits.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    hits
+}
+
+/// R1: panic-family tokens.
+pub fn check_no_panic(line: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for needle in [".unwrap()", ".expect("] {
+        for _ in find_token(line, needle) {
+            out.push(Finding {
+                rule: RuleId::NoPanic,
+                message: format!(
+                    "`{}` in library code: return a typed error or add \
+                     `// stilint::allow(no_panic, \"<invariant>\")`",
+                    needle.trim_end_matches('(')
+                ),
+            });
+        }
+    }
+    for needle in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        for _ in find_token(line, needle) {
+            out.push(Finding {
+                rule: RuleId::NoPanic,
+                message: format!(
+                    "`{needle}` in library code: return a typed error or add \
+                     `// stilint::allow(no_panic, \"<invariant>\")`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// A window around one side of a comparison operator, delimited by tokens
+/// that end an operand expression.
+fn operand_window(line: &str, op_at: usize, op_len: usize, left: bool) -> String {
+    // Stop at expression separators; keep `(`/`)` so method calls like
+    // `.area()` stay inside the window. Cap the width so an unrelated
+    // float elsewhere on a long line cannot leak in.
+    const STOP: [char; 4] = [',', ';', '{', '}'];
+    const WIDTH: usize = 48;
+    let chars: Vec<char> = if left {
+        line[..op_at].chars().rev().collect()
+    } else {
+        line[op_at + op_len..].chars().collect()
+    };
+    let mut taken = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if STOP.contains(&c) || taken.len() >= WIDTH {
+            break;
+        }
+        // Two-char logical operators delimit operands; a single `&`/`|`
+        // is a reference or bit-op and stays.
+        if (c == '&' || c == '|') && chars.get(i + 1) == Some(&c) {
+            break;
+        }
+        taken.push(c);
+    }
+    if left {
+        taken.iter().rev().collect()
+    } else {
+        taken.iter().collect()
+    }
+}
+
+/// Heuristic: does this operand text look like an `f64` expression?
+fn looks_float(window: &str) -> bool {
+    // A float literal: digit '.' digit anywhere in the window.
+    let chars: Vec<char> = window.chars().collect();
+    for w in chars.windows(3) {
+        if w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit() {
+            return true;
+        }
+    }
+    for marker in ["f64", "f32", "INFINITY", "NAN", "EPSILON"] {
+        if window.contains(marker) {
+            return true;
+        }
+    }
+    for call in [
+        ".area(",
+        ".width(",
+        ".height(",
+        ".margin(",
+        ".volume(",
+        ".min_dist2(",
+        ".abs(",
+        ".sqrt(",
+    ] {
+        if window.contains(call) {
+            return true;
+        }
+    }
+    // Coordinate field access: `.x` / `.y` followed by a non-identifier.
+    for field in [".x", ".y"] {
+        let mut from = 0;
+        while let Some(rel) = window[from..].find(field) {
+            let at = from + rel;
+            let after = window[at + field.len()..].chars().next();
+            if after.is_none_or(|c| !is_ident(c) && c != '(') {
+                return true;
+            }
+            from = at + field.len();
+        }
+    }
+    false
+}
+
+/// R2: `==` / `!=` where an operand looks floating-point.
+pub fn check_float_eq(line: &str) -> Vec<Finding> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &line[i..i + 2];
+        let is_eq = two == "==";
+        let is_ne = two == "!=";
+        if !(is_eq || is_ne) {
+            i += 1;
+            continue;
+        }
+        // Not part of `<=`, `>=`, `=>`, `===`-like runs, or `!` prefix ops.
+        let prev = line[..i].chars().next_back();
+        let next = line[i + 2..].chars().next();
+        let op_ok = next != Some('=')
+            && (!is_eq
+                || prev.is_none_or(|c| {
+                    !matches!(
+                        c,
+                        '=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+                    )
+                }));
+        if op_ok {
+            let lhs = operand_window(line, i, 2, true);
+            let rhs = operand_window(line, i, 2, false);
+            if looks_float(&lhs) || looks_float(&rhs) {
+                out.push(Finding {
+                    rule: RuleId::FloatEq,
+                    message: format!(
+                        "`{two}` on a floating-point operand: use an epsilon or \
+                         bit-exact helper (`sti_geom::approx_eq`, `f64::to_bits`)"
+                    ),
+                });
+            }
+        }
+        i += 2;
+    }
+    out
+}
+
+/// R3: narrowing integer `as` casts.
+pub fn check_narrowing_cast(line: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for at in find_token(line, "as ") {
+        // `as` must itself be a standalone token (`alias ` must not match).
+        let rest = line[at + 3..].trim_start();
+        for ty in ["u8", "u16", "u32", "i8", "i16", "i32"] {
+            if let Some(tail) = rest.strip_prefix(ty) {
+                if tail.chars().next().is_none_or(|c| !is_ident(c)) {
+                    out.push(Finding {
+                        rule: RuleId::NarrowingCast,
+                        message: format!(
+                            "narrowing `as {ty}` cast: use `{ty}::try_from` (or \
+                             allowlist with the range invariant)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// R4: process exit and direct stdout writes.
+pub fn check_no_process_io(line: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for needle in ["process::exit", "println!", "print!", "stdout("] {
+        for _ in find_token(line, needle) {
+            out.push(Finding {
+                rule: RuleId::NoProcessIo,
+                message: format!(
+                    "`{needle}` in library code: return data to the caller; \
+                     only binaries may write to stdout or exit"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_panic_matches_the_panic_family() {
+        assert_eq!(check_no_panic("x.unwrap();").len(), 1);
+        assert_eq!(check_no_panic("x.expect(\"reason\");").len(), 1);
+        assert_eq!(check_no_panic("panic!(\"boom\")").len(), 1);
+        assert_eq!(check_no_panic("unreachable!()").len(), 1);
+        assert_eq!(check_no_panic("todo!()").len(), 1);
+        assert_eq!(check_no_panic("a.unwrap(); b.unwrap()").len(), 2);
+    }
+
+    #[test]
+    fn no_panic_skips_non_panicking_relatives() {
+        assert!(check_no_panic("x.unwrap_or(0)").is_empty());
+        assert!(check_no_panic("x.unwrap_or_else(|| 0)").is_empty());
+        assert!(check_no_panic("x.unwrap_or_default()").is_empty());
+        assert!(check_no_panic("x.expect_err(\"must fail\")").is_empty());
+        assert!(check_no_panic("debug_assert!(ok)").is_empty());
+        assert!(check_no_panic("#[should_panic(expected = y)]").is_empty());
+    }
+
+    #[test]
+    fn float_eq_flags_float_operands() {
+        assert_eq!(check_float_eq("if x == 0.0 {").len(), 1);
+        assert_eq!(check_float_eq("if 1.5 != y {").len(), 1);
+        assert_eq!(check_float_eq("a.area() == b.area()").len(), 1);
+        assert_eq!(check_float_eq("p.x == q.x").len(), 1);
+        assert_eq!(check_float_eq("v == f64::INFINITY").len(), 1);
+    }
+
+    #[test]
+    fn float_eq_skips_integers_and_orderings() {
+        assert!(check_float_eq("if n == 0 {").is_empty());
+        assert!(check_float_eq("self.start == self.end").is_empty());
+        assert!(check_float_eq("if x <= 0.5 {").is_empty());
+        assert!(check_float_eq("if x >= 0.5 {").is_empty());
+        assert!(check_float_eq("|x| x == flag").is_empty());
+        assert!(check_float_eq("let y = 0.5;").is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_flags_small_targets_only() {
+        assert_eq!(check_narrowing_cast("len as u32").len(), 1);
+        assert_eq!(check_narrowing_cast("x as u16;").len(), 1);
+        assert_eq!(check_narrowing_cast("(a + b) as i32").len(), 1);
+        assert!(check_narrowing_cast("id as usize").is_empty());
+        assert!(check_narrowing_cast("n as u64").is_empty());
+        assert!(check_narrowing_cast("n as f64").is_empty());
+        assert!(check_narrowing_cast("alias u32").is_empty());
+        assert!(check_narrowing_cast("x as u32_custom").is_empty());
+    }
+
+    #[test]
+    fn process_io_flags_exit_and_stdout() {
+        assert_eq!(check_no_process_io("std::process::exit(1)").len(), 1);
+        assert_eq!(check_no_process_io("println!(\"x\")").len(), 1);
+        assert_eq!(check_no_process_io("print!(\"x\")").len(), 1);
+        assert_eq!(check_no_process_io("io::stdout().lock()").len(), 1);
+        assert!(check_no_process_io("eprintln!(\"x\")").is_empty());
+        assert!(check_no_process_io("eprint!(\"x\")").is_empty());
+        assert!(check_no_process_io("writeln!(f, \"x\")").is_empty());
+    }
+}

@@ -118,6 +118,14 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// Take exactly `N` bytes as a fixed-size array, without any
+    /// slice-length fallibility at the call sites.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Read a `u8`.
     pub fn get_u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
@@ -125,22 +133,22 @@ impl<'a> ByteReader<'a> {
 
     /// Read a `u16`.
     pub fn get_u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Read a `u32`.
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read an `f64`.
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 }
 

@@ -25,23 +25,11 @@ impl PageStore {
     pub fn save_to(&self, path: &Path, meta: &[u8]) -> io::Result<()> {
         let mut f = File::create(path)?;
         f.write_all(MAGIC)?;
-        f.write_all(
-            &u32::try_from(meta.len())
-                .expect("meta fits u32")
-                .to_le_bytes(),
-        )?;
+        f.write_all(&len_u32(meta.len(), "metadata")?.to_le_bytes())?;
         f.write_all(meta)?;
-        f.write_all(
-            &u32::try_from(self.num_pages())
-                .expect("page count fits u32")
-                .to_le_bytes(),
-        )?;
+        f.write_all(&len_u32(self.num_pages(), "page count")?.to_le_bytes())?;
         let free = self.free_list();
-        f.write_all(
-            &u32::try_from(free.len())
-                .expect("free count fits u32")
-                .to_le_bytes(),
-        )?;
+        f.write_all(&len_u32(free.len(), "free list")?.to_le_bytes())?;
         for id in free {
             f.write_all(&id.to_le_bytes())?;
         }
@@ -108,6 +96,17 @@ fn read_u32(f: &mut File) -> io::Result<u32> {
     let mut b = [0u8; 4];
     f.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
+}
+
+/// Encode a length field, rejecting sizes the `u32` file format can't
+/// represent instead of truncating them.
+fn len_u32(n: usize, what: &str) -> io::Result<u32> {
+    u32::try_from(n).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{what} too large for index file format: {n}"),
+        )
+    })
 }
 
 #[cfg(test)]

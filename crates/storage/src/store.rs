@@ -70,6 +70,7 @@ impl PageStore {
             self.pages[id as usize] = Page::zeroed();
             return id;
         }
+        // stilint::allow(no_panic, "u32::MAX pages is a 16 TiB simulated disk; exceeding it is unreachable in experiments and unrecoverable if hit")
         let id = PageId::try_from(self.pages.len()).expect("page id overflow");
         self.pages.push(Page::zeroed());
         id
@@ -131,6 +132,23 @@ impl PageStore {
         self.buffer.access(id);
     }
 
+    /// Inspect a page without touching the buffer pool or I/O counters,
+    /// or `None` for an unallocated id.
+    ///
+    /// For integrity checkers and tooling only: unlike
+    /// [`PageStore::read`], a `peek` is invisible to the paper's I/O
+    /// accounting, so walking a whole index for validation does not
+    /// perturb a measured query that follows.
+    pub fn peek(&self, id: PageId) -> Option<&Page> {
+        self.pages.get(id as usize)
+    }
+
+    /// Whether `id` currently sits on the free list (integrity checkers:
+    /// no reachable node may point at a freed page).
+    pub fn is_free(&self, id: PageId) -> bool {
+        self.free.contains(&id)
+    }
+
     /// Accumulated I/O counters.
     pub fn stats(&self) -> IoStats {
         self.stats
@@ -166,6 +184,7 @@ impl PageStore {
     /// Allocate without consulting the free list (used while loading a
     /// serialized store, where page ids must stay dense and ordered).
     pub(crate) fn allocate_silent(&mut self) -> PageId {
+        // stilint::allow(no_panic, "loader caps page_count at u32 (file format length fields), so the conversion cannot fail")
         let id = PageId::try_from(self.pages.len()).expect("page id overflow");
         self.pages.push(Page::zeroed());
         id

@@ -37,7 +37,7 @@ use spatiotemporal_index::rstar::RStarTree;
 use spatiotemporal_index::trajectory::RasterizedObject;
 use std::collections::HashMap;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -49,7 +49,8 @@ const USAGE: &str = "usage:
   stidx query    --index FILE --backend ppr|rstar
                  --area x0,y0,x1,y1 --time T [--until T2]
   stidx nearest  --index FILE --backend ppr
-                 --point x,y --time T [--k 5]";
+                 --point x,y --time T [--k 5]
+  stidx check    FILE | --index FILE";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +67,17 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no command given".into());
     };
+    // `check` takes its index as a bare positional too (`stidx check
+    // index.stidx`), matching fsck-style tools.
+    if cmd == "check" {
+        if let [path] = rest {
+            if !path.starts_with("--") {
+                return check(&PathBuf::from(path));
+            }
+        }
+        let opts = parse_flags(rest)?;
+        return check(&PathBuf::from(need(&opts, "index")?));
+    }
     let opts = parse_flags(rest)?;
     match cmd.as_str() {
         "generate" => generate(&opts),
@@ -74,6 +86,34 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => query(&opts),
         "nearest" => nearest(&opts),
         other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// Open a saved PPR-Tree index and run the full-history invariant
+/// sanitizer over it ([`spatiotemporal_index::pprtree::check`]).
+fn check(path: &Path) -> Result<(), String> {
+    use spatiotemporal_index::pprtree::check::validate;
+    let tree = PprTree::open_file(path).map_err(|e| {
+        format!(
+            "opening {}: {e} (only ppr indexes can be checked)",
+            path.display()
+        )
+    })?;
+    match validate(&tree) {
+        Ok(report) => {
+            println!("{}: ok — {report}", path.display());
+            Ok(())
+        }
+        Err(violations) => {
+            for v in &violations {
+                println!("{}: {v}", path.display());
+            }
+            Err(format!(
+                "{} invariant violation(s) in {}",
+                violations.len(),
+                path.display()
+            ))
+        }
     }
 }
 

@@ -32,7 +32,7 @@ fn build_all(records: &[spatiotemporal_index::core::ObjectRecord]) -> (PprTree, 
             hr.insert(r.id, r.stbox.rect, t);
         } else {
             ppr.delete(r.id, r.stbox.rect, t).unwrap();
-            hr.delete(r.id, r.stbox.rect, t);
+            hr.delete(r.id, r.stbox.rect, t).unwrap();
         }
     }
     let mut rstar = RStarTree::new(RStarParams {

@@ -138,7 +138,7 @@ fn multiversion_storage_model_tracks_measurements() {
             hr.insert(r.id, r.stbox.rect, t);
         } else {
             ppr.delete(r.id, r.stbox.rect, t).unwrap();
-            hr.delete(r.id, r.stbox.rect, t);
+            hr.delete(r.id, r.stbox.rect, t).unwrap();
         }
     }
 

@@ -161,3 +161,73 @@ fn backend_mismatch_is_a_clean_error() {
     assert!(PprTree::open_file(&path).is_ok());
     std::fs::remove_file(&path).ok();
 }
+
+/// Corrupt index files fail closed: header or metadata damage surfaces
+/// as an `io::Error` from `open_file`, and page-body damage that the
+/// loader cannot see is caught by the integrity checker — never a panic.
+#[test]
+fn corrupted_index_files_fail_closed() {
+    use spatiotemporal_index::pprtree::check;
+    use spatiotemporal_index::storage::PAGE_SIZE;
+
+    let mut tree = PprTree::new(spatiotemporal_index::pprtree::PprParams {
+        max_entries: 10,
+        buffer_pages: 4,
+        ..Default::default()
+    });
+    let rect_for = |i: u64| {
+        let x = (i % 30) as f64 * 0.03;
+        let y = (i / 30) as f64 * 0.2;
+        Rect2::from_bounds(x, y, x + 0.02, y + 0.02)
+    };
+    for i in 0..120u64 {
+        tree.insert(i, rect_for(i), i as u32 / 4);
+    }
+    for i in (0..120u64).step_by(3) {
+        tree.delete(i, rect_for(i), 31 + i as u32 / 4).unwrap();
+    }
+    let path = temp("corrupt");
+    tree.save_to_file(&path).expect("save");
+    let pristine = std::fs::read(&path).expect("read back");
+
+    // Wrong magic.
+    let mut bad = pristine.clone();
+    bad[0] = b'X';
+    std::fs::write(&path, &bad).unwrap();
+    assert!(PprTree::open_file(&path).is_err(), "wrong magic must fail");
+
+    // Truncation anywhere in the file.
+    for cut in [9, pristine.len() / 2, pristine.len() - 17] {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        assert!(
+            PprTree::open_file(&path).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+
+    // Garbage metadata (valid magic, shredded header region).
+    let mut bad = pristine.clone();
+    for b in bad.iter_mut().skip(8).take(40) {
+        *b = 0xFF;
+    }
+    std::fs::write(&path, &bad).unwrap();
+    assert!(PprTree::open_file(&path).is_err(), "garbage meta must fail");
+
+    // Shred the page region (the trailing pages): the loader cannot
+    // detect this, but the sanitizer reports instead of panicking.
+    let mut bad = pristine.clone();
+    let tail = bad.len() - 2 * PAGE_SIZE;
+    for b in bad.iter_mut().skip(tail) {
+        *b = 0xFF;
+    }
+    std::fs::write(&path, &bad).unwrap();
+    let back = PprTree::open_file(&path).expect("page damage is invisible to the loader");
+    let violations = check::validate(&back).expect_err("sanitizer must catch shredded pages");
+    assert!(!violations.is_empty());
+
+    // And the pristine bytes still round-trip cleanly.
+    std::fs::write(&path, &pristine).unwrap();
+    let back = PprTree::open_file(&path).expect("pristine file reopens");
+    assert!(check::validate(&back).is_ok());
+    std::fs::remove_file(&path).ok();
+}
