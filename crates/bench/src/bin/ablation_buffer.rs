@@ -6,9 +6,9 @@
 //! buffer mostly absorbs revisits of upper levels in interval queries
 //! and DFS backtracking.
 
-use sti_bench::{print_table, random_dataset, split_records, Scale};
+use sti_bench::{profile_queries, random_dataset, series, split_records, BenchReport, Scale};
 use sti_core::{DistributionAlgorithm, SingleSplitAlgorithm, SplitBudget};
-use sti_datagen::{Query, QuerySetSpec, TIME_EXTENT};
+use sti_datagen::{QuerySetSpec, TIME_EXTENT};
 use sti_geom::Rect3;
 use sti_pprtree::{PprParams, PprTree};
 use sti_rstar::{RStarParams, RStarTree};
@@ -17,6 +17,7 @@ const BUFFERS: [usize; 6] = [0, 2, 5, 10, 20, 50];
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("ablation_buffer", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let objects = random_dataset(n);
     let records = split_records(
@@ -47,44 +48,39 @@ fn main() {
     spec.cardinality = scale.queries;
     let queries = spec.generate();
 
-    let ppr_io = |tree: &mut PprTree, qs: &[Query]| -> f64 {
-        let mut total = 0u64;
-        for q in qs {
-            tree.reset_for_query();
-            let mut out = Vec::new();
-            tree.query_interval(&q.area, &q.range, &mut out);
-            total += tree.io_stats().reads;
-        }
-        total as f64 / qs.len() as f64
-    };
-    let rstar_io = |tree: &mut RStarTree, qs: &[Query]| -> f64 {
-        let mut total = 0u64;
-        for q in qs {
-            tree.reset_for_query();
-            let q3 = Rect3::from_query(&q.area, &q.range, scale3);
-            let mut out = Vec::new();
-            tree.query(&q3, &mut out);
-            total += tree.io_stats().reads;
-        }
-        total as f64 / qs.len() as f64
-    };
-
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for pages in BUFFERS {
         ppr.set_buffer_capacity(pages);
         rstar.set_buffer_capacity(pages);
+        let ppr_p = profile_queries(&queries, |q| {
+            ppr.reset_for_query();
+            let mut out = Vec::new();
+            ppr.query_interval(&q.area, &q.range, &mut out)
+        });
+        let rstar_p = profile_queries(&queries, |q| {
+            rstar.reset_for_query();
+            let q3 = Rect3::from_query(&q.area, &q.range, scale3);
+            let mut out = Vec::new();
+            rstar.query(&q3, &mut out)
+        });
+        let label = pages.to_string();
         rows.push(vec![
-            pages.to_string(),
-            format!("{:.2}", ppr_io(&mut ppr, &queries)),
-            format!("{:.2}", rstar_io(&mut rstar, &queries)),
+            label.clone(),
+            format!("{:.2}", ppr_p.avg),
+            format!("{:.2}", rstar_p.avg),
         ]);
+        profiles.push(series(label.clone(), "ppr", ppr_p));
+        profiles.push(series(label, "rstar", rstar_p));
     }
-    print_table(
+    report.table_with_profiles(
         &format!(
             "Ablation — LRU buffer size, medium range queries ({} random dataset, 150% splits)",
             Scale::label(n)
         ),
         &["Buffer pages", "PPR-Tree I/O", "R*-Tree I/O"],
         &rows,
+        profiles,
     );
+    report.finish();
 }

@@ -7,7 +7,10 @@
 //! wins short windows, R\* wins long ones, the hybrid tracks the minimum
 //! at the cost of storing both structures.
 
-use sti_bench::{avg_query_io, build_index, print_table, random_dataset, split_records, Scale};
+use sti_bench::{
+    build_index, profile_queries, query_io_profile, random_dataset, series, split_records,
+    BenchReport, Scale,
+};
 use sti_core::hybrid::{HybridConfig, HybridIndex};
 use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
 use sti_datagen::QuerySetSpec;
@@ -16,6 +19,7 @@ const DURATIONS: [u32; 8] = [1, 5, 10, 25, 50, 100, 200, 400];
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("ablation_hybrid", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let objects = random_dataset(n);
     let records = split_records(
@@ -30,24 +34,29 @@ fn main() {
     let mut hybrid = HybridIndex::build(&records, &HybridConfig::default());
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for dur in DURATIONS {
         let mut spec = QuerySetSpec::small_range();
         spec.duration = (dur, dur);
         spec.cardinality = scale.queries;
         let queries = spec.generate();
 
-        let mut hybrid_total = 0u64;
-        for q in &queries {
+        let ppr_p = query_io_profile(&mut ppr, &queries);
+        let rstar_p = query_io_profile(&mut rstar, &queries);
+        let hybrid_p = profile_queries(&queries, |q| {
             hybrid.reset_for_query();
-            let _ = hybrid.query(&q.area, &q.range);
-            hybrid_total += hybrid.io_stats().reads;
-        }
+            hybrid.query_with_stats(&q.area, &q.range).1
+        });
+        let label = dur.to_string();
         rows.push(vec![
-            dur.to_string(),
-            format!("{:.2}", avg_query_io(&mut ppr, &queries)),
-            format!("{:.2}", avg_query_io(&mut rstar, &queries)),
-            format!("{:.2}", hybrid_total as f64 / queries.len() as f64),
+            label.clone(),
+            format!("{:.2}", ppr_p.avg),
+            format!("{:.2}", rstar_p.avg),
+            format!("{:.2}", hybrid_p.avg),
         ]);
+        profiles.push(series(label.clone(), "ppr", ppr_p));
+        profiles.push(series(label.clone(), "rstar", rstar_p));
+        profiles.push(series(label, "hybrid", hybrid_p));
     }
     rows.push(vec![
         "pages".into(),
@@ -55,7 +64,7 @@ fn main() {
         rstar.num_pages().to_string(),
         hybrid.num_pages().to_string(),
     ]);
-    print_table(
+    report.table_with_profiles(
         &format!(
             "Ablation — query duration vs structure ({} random dataset, 150% splits, hybrid threshold {})",
             Scale::label(n),
@@ -63,5 +72,7 @@ fn main() {
         ),
         &["Duration", "PPR-Tree", "R*-Tree", "Hybrid (MV3R-style)"],
         &rows,
+        profiles,
     );
+    report.finish();
 }

@@ -9,7 +9,7 @@
 //! binary sweeps the motion-speed regime to expose exactly where each
 //! behavior holds.
 
-use sti_bench::{avg_query_io, build_index, print_table, split_records, Scale};
+use sti_bench::{build_index, query_io_profile, series, split_records, BenchReport, Scale};
 use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
 use sti_datagen::{QuerySetSpec, RandomDatasetSpec};
 
@@ -17,6 +17,7 @@ const BUDGETS: [f64; 5] = [0.0, 10.0, 25.0, 50.0, 150.0];
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("ablation_motion", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let mut spec = QuerySetSpec::small_range();
     spec.cardinality = scale.queries;
@@ -24,12 +25,14 @@ fn main() {
 
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
         let mut rows = Vec::new();
+        let mut profiles = Vec::new();
         for vel in [0.0005f64, 0.002, 0.004, 0.01] {
             let mut ds = RandomDatasetSpec::paper(n);
             ds.max_velocity = vel;
             ds.max_acceleration = vel / 20.0;
             let objects = ds.generate();
-            let mut cells = vec![format!("{vel}")];
+            let label = format!("{vel}");
+            let mut cells = vec![label.clone()];
             for pct in BUDGETS {
                 let records = split_records(
                     &objects,
@@ -38,17 +41,21 @@ fn main() {
                     SplitBudget::Percent(pct),
                 );
                 let mut idx = build_index(&records, backend);
-                cells.push(format!("{:.2}", avg_query_io(&mut idx, &queries)));
+                let profile = query_io_profile(&mut idx, &queries);
+                cells.push(format!("{:.2}", profile.avg));
+                profiles.push(series(label.clone(), format!("split_{pct}"), profile));
             }
             rows.push(cells);
         }
-        print_table(
+        report.table_with_profiles(
             &format!(
                 "Ablation — {backend}, small range query I/O vs split budget, by max speed ({} objects)",
                 Scale::label(n)
             ),
             &["Speed", "0%", "10%", "25%", "50%", "150%"],
             &rows,
+            profiles,
         );
     }
+    report.finish();
 }

@@ -5,7 +5,7 @@
 //! unsplit, online (several thresholds), and offline LAGreedy given the
 //! same number of splits the online run spent.
 
-use sti_bench::{avg_query_io, build_index, print_table, random_dataset, Scale};
+use sti_bench::{build_index, query_io_profile, random_dataset, series, BenchReport, Scale};
 use sti_core::online::{OnlineSplitConfig, OnlineSplitter};
 use sti_core::{
     total_volume, unsplit_records, DistributionAlgorithm, IndexBackend, ObjectRecord,
@@ -44,6 +44,7 @@ fn run_online(objects: &[RasterizedObject], config: OnlineSplitConfig) -> Vec<Ob
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("ablation_online", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let objects = random_dataset(n);
     let mut spec = QuerySetSpec::small_range();
@@ -51,14 +52,17 @@ fn main() {
     let queries = spec.generate();
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     let mut measure = |label: String, records: &[ObjectRecord]| {
         let mut idx = build_index(records, IndexBackend::PprTree);
+        let profile = query_io_profile(&mut idx, &queries);
         rows.push(vec![
-            label,
+            label.clone(),
             records.len().to_string(),
             format!("{:.3}", total_volume(records)),
-            format!("{:.2}", avg_query_io(&mut idx, &queries)),
+            format!("{:.2}", profile.avg),
         ]);
+        profiles.push(series(label, "ppr", profile));
     };
 
     measure("unsplit".into(), &unsplit_records(&objects));
@@ -92,12 +96,14 @@ fn main() {
         &offline.records(&objects),
     );
 
-    print_table(
+    report.table_with_profiles(
         &format!(
             "Ablation — online vs offline splitting, small range queries ({} random dataset, PPR-Tree)",
             Scale::label(n)
         ),
         &["Configuration", "Records", "Total volume", "Avg I/O"],
         &rows,
+        profiles,
     );
+    report.finish();
 }

@@ -9,13 +9,15 @@
 //! volume and PPR-Tree query I/O per distribution algorithm, plus how
 //! many objects violate Claim 1.
 
-use sti_bench::{avg_query_io, build_index, print_table, Scale};
+use sti_bench::{build_index, query_io_profile, series, BenchReport, Scale};
 use sti_core::single::{MergeSplit, SingleObjectSplitter};
 use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget, SplitPlan};
 use sti_datagen::{OrbitDatasetSpec, QuerySetSpec};
+use sti_obs::JsonValue;
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("ablation_orbits", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     // Long-period orbits: every body lives ~one revolution.
     let spec = OrbitDatasetSpec {
@@ -38,16 +40,25 @@ fn main() {
         violators,
         objects.len()
     );
+    report.note(
+        "claim1",
+        JsonValue::object([
+            ("violators", JsonValue::UInt(violators as u64)),
+            ("orbits", JsonValue::UInt(objects.len() as u64)),
+        ]),
+    );
 
     let mut spec_q = QuerySetSpec::mixed_snapshot();
     spec_q.cardinality = scale.queries;
     let queries = spec_q.generate();
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     // A *tight* budget (25%) is where distribution quality matters: at
     // 150% every algorithm can afford the good splits.
     for pct in [25.0, 50.0, 150.0] {
-        let mut cells = vec![format!("{pct}%")];
+        let label = format!("{pct}%");
+        let mut cells = vec![label.clone()];
         for dist in [
             DistributionAlgorithm::Optimal,
             DistributionAlgorithm::Greedy,
@@ -62,20 +73,24 @@ fn main() {
             );
             let records = plan.records(&objects);
             let mut idx = build_index(&records, IndexBackend::PprTree);
+            let profile = query_io_profile(&mut idx, &queries);
             cells.push(format!(
                 "{:.2} (vol {:.1})",
-                avg_query_io(&mut idx, &queries),
+                profile.avg,
                 plan.total_volume()
             ));
+            profiles.push(series(label.clone(), format!("{dist:?}"), profile));
         }
         rows.push(cells);
     }
-    print_table(
+    report.table_with_profiles(
         &format!(
             "Ablation — distribution algorithms on {} orbiting bodies (mixed snapshot queries, PPR-Tree)",
             Scale::label(n)
         ),
         &["Budget", "Optimal", "Greedy", "LAGreedy"],
         &rows,
+        profiles,
     );
+    report.finish();
 }

@@ -8,14 +8,16 @@
 //! that claim over the same record stream: disk pages, snapshot query
 //! I/O, and small-range query I/O.
 
-use sti_bench::{print_table, random_dataset, split_records, Scale};
+use sti_bench::{profile_queries, random_dataset, series, split_records, BenchReport, Scale};
 use sti_core::{DistributionAlgorithm, SingleSplitAlgorithm, SplitBudget};
 use sti_datagen::QuerySetSpec;
 use sti_hrtree::{HrParams, HrTree};
+use sti_obs::JsonValue;
 use sti_pprtree::{PprParams, PprTree};
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("ablation_overlapping", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let objects = random_dataset(n);
     let records = split_records(
@@ -48,43 +50,50 @@ fn main() {
     range.cardinality = scale.queries;
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for (qname, queries) in [
         ("mixed snapshot", snapshot.generate()),
         ("small range", range.generate()),
     ] {
-        let mut ppr_io = 0u64;
-        let mut hr_io = 0u64;
-        for q in &queries {
+        let ppr_p = profile_queries(&queries, |q| {
             ppr.reset_for_query();
             let mut out = Vec::new();
             if q.range.len() == 1 {
-                ppr.query_snapshot(&q.area, q.range.start, &mut out);
+                ppr.query_snapshot(&q.area, q.range.start, &mut out)
             } else {
-                ppr.query_interval(&q.area, &q.range, &mut out);
+                ppr.query_interval(&q.area, &q.range, &mut out)
             }
-            ppr_io += ppr.io_stats().reads;
-
+        });
+        let hr_p = profile_queries(&queries, |q| {
             hr.reset_for_query();
             let mut out = Vec::new();
             if q.range.len() == 1 {
-                hr.query_snapshot(&q.area, q.range.start, &mut out);
+                hr.query_snapshot(&q.area, q.range.start, &mut out)
             } else {
-                hr.query_interval(&q.area, &q.range, &mut out);
+                hr.query_interval(&q.area, &q.range, &mut out)
             }
-            hr_io += hr.io_stats().reads;
-        }
+        });
         rows.push(vec![
             qname.to_string(),
-            format!("{:.2}", ppr_io as f64 / queries.len() as f64),
-            format!("{:.2}", hr_io as f64 / queries.len() as f64),
+            format!("{:.2}", ppr_p.avg),
+            format!("{:.2}", hr_p.avg),
         ]);
+        profiles.push(series(qname, "ppr", ppr_p));
+        profiles.push(series(qname, "hr", hr_p));
     }
     rows.push(vec![
         "disk pages".into(),
         ppr.num_pages().to_string(),
         hr.num_pages().to_string(),
     ]);
-    print_table(
+    report.note(
+        "disk_pages",
+        JsonValue::object([
+            ("ppr", JsonValue::UInt(ppr.num_pages() as u64)),
+            ("hr", JsonValue::UInt(hr.num_pages() as u64)),
+        ]),
+    );
+    report.table_with_profiles(
         &format!(
             "Ablation — multi-version (PPR) vs overlapping (HR), {} random dataset, 150% splits ({} updates)",
             Scale::label(n),
@@ -92,5 +101,7 @@ fn main() {
         ),
         &["Metric", "PPR-Tree", "HR-Tree"],
         &rows,
+        profiles,
     );
+    report.finish();
 }

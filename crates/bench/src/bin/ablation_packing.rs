@@ -9,7 +9,10 @@
 //! This binary tests that claim: STR and Hilbert bulk loading versus
 //! dynamic R\* insertion, over unsplit and split records.
 
-use sti_bench::{print_table, random_dataset, split_records, Scale};
+use sti_bench::{
+    query_io_profile, random_dataset, rstar_query_io_profile, series, split_records, BenchReport,
+    Scale,
+};
 use sti_core::{
     DistributionAlgorithm, IndexBackend, IndexConfig, SingleSplitAlgorithm, SpatioTemporalIndex,
     SplitBudget,
@@ -20,6 +23,7 @@ use sti_rstar::{PackingAlgorithm, RStarParams, RStarTree};
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("ablation_packing", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let objects = random_dataset(n);
     let mut spec = QuerySetSpec::small_range();
@@ -28,6 +32,7 @@ fn main() {
     let time_scale = f64::from(TIME_EXTENT);
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for (label, pct) in [("unsplit", 0.0), ("150% splits", 150.0)] {
         let records = split_records(
             &objects,
@@ -38,34 +43,33 @@ fn main() {
         // Dynamic R* via the facade (random insert order, time scaled).
         let mut dynamic =
             SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar));
-        let mut dyn_io = 0u64;
-        for q in &queries {
-            dynamic.reset_for_query();
-            let _ = dynamic.query(&q.area, &q.range);
-            dyn_io += dynamic.io_stats().reads;
-        }
+        let dyn_p = query_io_profile(&mut dynamic, &queries);
 
         // Packed variants over the identical 3D boxes.
         let boxes: Vec<(u64, Rect3)> = records
             .iter()
             .map(|r| (r.id, r.to_rect3(time_scale)))
             .collect();
-        let mut packed_io = Vec::new();
+        let mut packed = Vec::new();
         for algo in [PackingAlgorithm::Str, PackingAlgorithm::Hilbert] {
             let mut tree = RStarTree::bulk_load(&boxes, RStarParams::default(), algo);
-            let total_avg = sti_bench::avg_rstar_query_io(&mut tree, &queries, time_scale);
-            packed_io.push(total_avg);
+            packed.push(rstar_query_io_profile(&mut tree, &queries, time_scale));
         }
+        let hilbert_p = packed.pop().expect("two packed runs");
+        let str_p = packed.pop().expect("two packed runs");
 
         rows.push(vec![
             label.to_string(),
             records.len().to_string(),
-            format!("{:.2}", dyn_io as f64 / queries.len() as f64),
-            format!("{:.2}", packed_io[0]),
-            format!("{:.2}", packed_io[1]),
+            format!("{:.2}", dyn_p.avg),
+            format!("{:.2}", str_p.avg),
+            format!("{:.2}", hilbert_p.avg),
         ]);
+        profiles.push(series(label, "dynamic", dyn_p));
+        profiles.push(series(label, "str_packed", str_p));
+        profiles.push(series(label, "hilbert_packed", hilbert_p));
     }
-    print_table(
+    report.table_with_profiles(
         &format!(
             "Ablation — packing the R*-Tree, small range query I/O ({} random dataset)",
             Scale::label(n)
@@ -78,5 +82,7 @@ fn main() {
             "Hilbert packed",
         ],
         &rows,
+        profiles,
     );
+    report.finish();
 }

@@ -7,7 +7,9 @@
 //! strategies performed alike, the "R\*" in the paper's comparison would
 //! be in name only.
 
-use sti_bench::{print_table, random_dataset, split_records, Scale};
+use sti_bench::{
+    random_dataset, rstar_query_io_profile, series, split_records, BenchReport, Scale,
+};
 use sti_core::{DistributionAlgorithm, SingleSplitAlgorithm, SplitBudget};
 use sti_datagen::{QuerySetSpec, TIME_EXTENT};
 use sti_geom::Rect3;
@@ -15,6 +17,7 @@ use sti_rstar::{RStarParams, RStarTree, SplitStrategy};
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("ablation_split", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let objects = random_dataset(n);
     let records = split_records(
@@ -34,6 +37,7 @@ fn main() {
     let queries = spec.generate();
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for (label, strategy, reinsert) in [
         ("R* split + reinsert", SplitStrategy::RStar, 0.3),
         ("R* split, no reinsert", SplitStrategy::RStar, 0.0001),
@@ -53,19 +57,22 @@ fn main() {
         for &(id, rect) in &boxes {
             tree.insert(id, rect);
         }
-        let total_avg = sti_bench::avg_rstar_query_io(&mut tree, &queries, time_scale);
+        let profile = rstar_query_io_profile(&mut tree, &queries, time_scale);
         rows.push(vec![
             label.to_string(),
-            format!("{:.2}", total_avg),
+            format!("{:.2}", profile.avg),
             tree.num_pages().to_string(),
         ]);
+        profiles.push(series(label, "rstar", profile));
     }
-    print_table(
+    report.table_with_profiles(
         &format!(
             "Ablation — R*-Tree split strategy, small range queries ({} random dataset, 50% splits)",
             Scale::label(n)
         ),
         &["Configuration", "Avg I/O", "Pages"],
         &rows,
+        profiles,
     );
+    report.finish();
 }

@@ -4,7 +4,9 @@
 //! Expected shape: PPR-Tree I/O falls substantially with more splits;
 //! the R\*-Tree *degrades* (more records → more nodes → more overlap).
 
-use sti_bench::{avg_query_io, build_index, print_table, random_dataset, split_records, Scale};
+use sti_bench::{
+    build_index, query_io_profile, random_dataset, series, split_records, BenchReport, Scale,
+};
 use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
 use sti_datagen::QuerySetSpec;
 
@@ -12,6 +14,7 @@ const BUDGETS: [f64; 8] = [0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0];
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("fig15", &scale);
     // The paper uses the 50k dataset: third entry of the ladder.
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let objects = random_dataset(n);
@@ -20,6 +23,7 @@ fn main() {
     let queries = spec.generate();
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for pct in BUDGETS {
         let records = split_records(
             &objects,
@@ -29,19 +33,26 @@ fn main() {
         );
         let mut ppr = build_index(&records, IndexBackend::PprTree);
         let mut rstar = build_index(&records, IndexBackend::RStar);
+        let ppr_profile = query_io_profile(&mut ppr, &queries);
+        let rstar_profile = query_io_profile(&mut rstar, &queries);
+        let label = format!("{pct}%");
         rows.push(vec![
-            format!("{pct}%"),
+            label.clone(),
             records.len().to_string(),
-            format!("{:.2}", avg_query_io(&mut ppr, &queries)),
-            format!("{:.2}", avg_query_io(&mut rstar, &queries)),
+            format!("{:.2}", ppr_profile.avg),
+            format!("{:.2}", rstar_profile.avg),
         ]);
+        profiles.push(series(label.clone(), "ppr", ppr_profile));
+        profiles.push(series(label, "rstar", rstar_profile));
     }
-    print_table(
+    report.table_with_profiles(
         &format!(
             "Figure 15 — small range queries vs split budget ({} random dataset, LAGreedy)",
             Scale::label(n)
         ),
         &["Splits", "Records", "PPR-Tree I/O", "R*-Tree I/O"],
         &rows,
+        profiles,
     );
+    report.finish();
 }

@@ -4,7 +4,7 @@
 //! Expected shape: the PPR-Tree needs roughly twice the space of the
 //! R\*-Tree (version copies), both growing with the record count.
 
-use sti_bench::{build_index, print_table, random_dataset, split_records, Scale};
+use sti_bench::{build_index, random_dataset, split_records, BenchReport, Scale};
 use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
 use sti_storage::PAGE_SIZE;
 
@@ -12,6 +12,7 @@ const BUDGETS: [f64; 8] = [0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0];
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("fig16", &scale);
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];
     let objects = random_dataset(n);
 
@@ -34,7 +35,7 @@ fn main() {
             format!("{:.2}x", ppr.num_pages() as f64 / rstar.num_pages() as f64),
         ]);
     }
-    print_table(
+    report.table(
         &format!(
             "Figure 16 — disk space vs split budget ({} random dataset)",
             Scale::label(n)
@@ -48,4 +49,5 @@ fn main() {
         ],
         &rows,
     );
+    report.finish();
 }

@@ -4,7 +4,9 @@
 //!
 //! Expected shape: PPR-150% by far the best; piecewise R\* worst.
 
-use sti_bench::{avg_query_io, build_index, print_table, random_dataset, split_records, Scale};
+use sti_bench::{
+    build_index, query_io_profile, random_dataset, series, split_records, BenchReport, Scale,
+};
 use sti_core::{
     piecewise_records, DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget,
 };
@@ -12,11 +14,13 @@ use sti_datagen::QuerySetSpec;
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("fig17", &scale);
     let mut spec = QuerySetSpec::small_range();
     spec.cardinality = scale.queries;
     let queries = spec.generate();
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for &n in &scale.sizes {
         let objects = random_dataset(n);
 
@@ -39,14 +43,21 @@ fn main() {
         let piece_recs = piecewise_records(&objects);
         let mut piecewise = build_index(&piece_recs, IndexBackend::RStar);
 
+        let label = Scale::label(n);
+        let ppr_p = query_io_profile(&mut ppr, &queries);
+        let rstar_p = query_io_profile(&mut rstar, &queries);
+        let piece_p = query_io_profile(&mut piecewise, &queries);
         rows.push(vec![
-            Scale::label(n),
-            format!("{:.2}", avg_query_io(&mut ppr, &queries)),
-            format!("{:.2}", avg_query_io(&mut rstar, &queries)),
-            format!("{:.2}", avg_query_io(&mut piecewise, &queries)),
+            label.clone(),
+            format!("{:.2}", ppr_p.avg),
+            format!("{:.2}", rstar_p.avg),
+            format!("{:.2}", piece_p.avg),
         ]);
+        profiles.push(series(label.clone(), "ppr_150", ppr_p));
+        profiles.push(series(label.clone(), "rstar_1", rstar_p));
+        profiles.push(series(label, "rstar_piecewise", piece_p));
     }
-    print_table(
+    report.table_with_profiles(
         "Figure 17 — small range queries, avg disk accesses (random datasets)",
         &[
             "Dataset",
@@ -55,5 +66,7 @@ fn main() {
             "R*-Tree piecewise",
         ],
         &rows,
+        profiles,
     );
+    report.finish();
 }

@@ -5,7 +5,9 @@
 //! Expected shape: PPR-150% best (20–50% better than the best
 //! alternative); piecewise clearly *worse* than the barely-split R\*.
 
-use sti_bench::{avg_query_io, build_index, print_table, random_dataset, split_records, Scale};
+use sti_bench::{
+    build_index, query_io_profile, random_dataset, series, split_records, BenchReport, Scale,
+};
 use sti_core::{
     piecewise_records, DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget,
 };
@@ -13,11 +15,13 @@ use sti_datagen::QuerySetSpec;
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("fig18", &scale);
     let mut spec = QuerySetSpec::mixed_snapshot();
     spec.cardinality = scale.queries;
     let queries = spec.generate();
 
     let mut rows = Vec::new();
+    let mut profiles = Vec::new();
     for &n in &scale.sizes {
         let objects = random_dataset(n);
 
@@ -40,14 +44,21 @@ fn main() {
         let piece_recs = piecewise_records(&objects);
         let mut piecewise = build_index(&piece_recs, IndexBackend::RStar);
 
+        let label = Scale::label(n);
+        let ppr_p = query_io_profile(&mut ppr, &queries);
+        let rstar_p = query_io_profile(&mut rstar, &queries);
+        let piece_p = query_io_profile(&mut piecewise, &queries);
         rows.push(vec![
-            Scale::label(n),
-            format!("{:.2}", avg_query_io(&mut ppr, &queries)),
-            format!("{:.2}", avg_query_io(&mut rstar, &queries)),
-            format!("{:.2}", avg_query_io(&mut piecewise, &queries)),
+            label.clone(),
+            format!("{:.2}", ppr_p.avg),
+            format!("{:.2}", rstar_p.avg),
+            format!("{:.2}", piece_p.avg),
         ]);
+        profiles.push(series(label.clone(), "ppr_150", ppr_p));
+        profiles.push(series(label.clone(), "rstar_1", rstar_p));
+        profiles.push(series(label, "rstar_piecewise", piece_p));
     }
-    print_table(
+    report.table_with_profiles(
         "Figure 18 — mixed snapshot queries, avg disk accesses (random datasets)",
         &[
             "Dataset",
@@ -56,5 +67,7 @@ fn main() {
             "R*-Tree piecewise",
         ],
         &rows,
+        profiles,
     );
+    report.finish();
 }

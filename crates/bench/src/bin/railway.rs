@@ -4,7 +4,9 @@
 //! figures: small range and mixed snapshot queries over the skewed train
 //! workload.
 
-use sti_bench::{avg_query_io, build_index, print_table, railway_dataset, split_records, Scale};
+use sti_bench::{
+    build_index, query_io_profile, railway_dataset, series, split_records, BenchReport, Scale,
+};
 use sti_core::{
     piecewise_records, DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget,
 };
@@ -12,6 +14,7 @@ use sti_datagen::QuerySetSpec;
 
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("railway", &scale);
 
     // Build every index once per dataset size; both query sets then run
     // against the same structures.
@@ -46,15 +49,23 @@ fn main() {
         spec.cardinality = scale.queries;
         let queries = spec.generate();
         let mut rows = Vec::new();
+        let mut profiles = Vec::new();
         for (n, ppr, rstar, piecewise) in &mut indexes {
+            let label = Scale::label(*n);
+            let ppr_p = query_io_profile(ppr, &queries);
+            let rstar_p = query_io_profile(rstar, &queries);
+            let piece_p = query_io_profile(piecewise, &queries);
             rows.push(vec![
-                Scale::label(*n),
-                format!("{:.2}", avg_query_io(ppr, &queries)),
-                format!("{:.2}", avg_query_io(rstar, &queries)),
-                format!("{:.2}", avg_query_io(piecewise, &queries)),
+                label.clone(),
+                format!("{:.2}", ppr_p.avg),
+                format!("{:.2}", rstar_p.avg),
+                format!("{:.2}", piece_p.avg),
             ]);
+            profiles.push(series(label.clone(), "ppr_150", ppr_p));
+            profiles.push(series(label.clone(), "rstar_1", rstar_p));
+            profiles.push(series(label, "rstar_piecewise", piece_p));
         }
-        print_table(
+        report.table_with_profiles(
             &format!("Railway datasets — {title}, avg disk accesses"),
             &[
                 "Dataset",
@@ -63,6 +74,8 @@ fn main() {
                 "R*-Tree piecewise",
             ],
             &rows,
+            profiles,
         );
     }
+    report.finish();
 }

@@ -6,12 +6,14 @@
 //! whole suite runs in minutes; pass `--paper` for the published sizes,
 //! or `--sizes=a,b,c` for custom ones.
 
+use std::path::PathBuf;
 use std::time::Instant;
 use sti_core::{
-    DistributionAlgorithm, IndexBackend, IndexConfig, ObjectRecord, Parallelism,
+    BuildStats, DistributionAlgorithm, IndexBackend, IndexConfig, ObjectRecord, Parallelism,
     SingleSplitAlgorithm, SpatioTemporalIndex, SplitBudget, SplitPlan,
 };
 use sti_datagen::{Query, RailwayDatasetSpec, RandomDatasetSpec};
+use sti_obs::{JsonValue, QueryStats};
 use sti_trajectory::RasterizedObject;
 
 /// Dataset sizes used when a binary is invoked without flags. The ratios
@@ -38,6 +40,11 @@ pub struct Scale {
     /// Worker threads for the split-planning phase
     /// (`--threads=auto|seq|N`; output is identical for every setting).
     pub threads: Parallelism,
+    /// Machine-readable output: `--json <path>` / `--json=<path>` writes
+    /// a `BENCH_<name>.json` record next to the printed tables. A bare
+    /// `--json` (empty path) uses the default `BENCH_<name>.json` in the
+    /// working directory.
+    pub json: Option<PathBuf>,
 }
 
 impl Scale {
@@ -50,13 +57,20 @@ impl Scale {
     /// Like [`Scale::from_args`] with a caller-chosen default ladder
     /// (the I/O figures pass [`IO_SIZES`]).
     pub fn from_args_with(defaults: &[usize]) -> Self {
+        Self::parse(defaults, std::env::args().skip(1).collect())
+    }
+
+    fn parse(defaults: &[usize], args: Vec<String>) -> Self {
         let mut scale = Scale {
             sizes: defaults.to_vec(),
             paper: false,
             queries: 1000,
             threads: Parallelism::Sequential,
+            json: None,
         };
-        for arg in std::env::args().skip(1) {
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
             if arg == "--paper" {
                 scale.paper = true;
                 scale.sizes = PAPER_SIZES.to_vec();
@@ -69,12 +83,24 @@ impl Scale {
                 scale.queries = n.parse().expect("--queries takes an integer");
             } else if let Some(t) = arg.strip_prefix("--threads=") {
                 scale.threads = Parallelism::parse(t).expect("--threads takes auto, seq, or N");
+            } else if arg == "--json" {
+                // Optional value: `--json out.json` or a bare `--json`
+                // (empty path = the binary's default BENCH_<name>.json).
+                if let Some(next) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
+                    scale.json = Some(PathBuf::from(next));
+                    i += 1;
+                } else {
+                    scale.json = Some(PathBuf::new());
+                }
+            } else if let Some(p) = arg.strip_prefix("--json=") {
+                scale.json = Some(PathBuf::from(p));
             } else {
                 panic!(
                     "unknown argument {arg} \
-                     (expected --paper, --sizes=.., --queries=.., --threads=..)"
+                     (expected --paper, --sizes=.., --queries=.., --threads=.., --json[=path])"
                 );
             }
+            i += 1;
         }
         scale
     }
@@ -150,6 +176,260 @@ pub fn avg_query_io(index: &mut SpatioTemporalIndex, queries: &[Query]) -> f64 {
     total as f64 / queries.len() as f64
 }
 
+/// Per-query-set I/O distribution, measured via `sti-obs` deltas: the
+/// paper's average plus percentiles and the summed [`QueryStats`].
+///
+/// `avg` uses the exact arithmetic of [`avg_query_io`] (total disk reads
+/// over query count), so a table cell printed from one matches a JSON
+/// field computed from the other digit for digit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoProfile {
+    /// Average disk reads per query (the paper's figure of merit).
+    pub avg: f64,
+    /// Median disk reads (nearest-rank on the sorted per-query counts).
+    pub p50: u64,
+    /// 95th-percentile disk reads.
+    pub p95: u64,
+    /// Worst single query.
+    pub max: u64,
+    /// Number of queries measured.
+    pub queries: usize,
+    /// Wall-clock for the whole query set, in seconds.
+    pub wall_secs: f64,
+    /// Summed per-query deltas (nodes visited, entries scanned, ...).
+    pub totals: QueryStats,
+}
+
+impl IoProfile {
+    /// Aggregate a batch of per-query deltas.
+    pub fn from_stats(per_query: &[QueryStats], wall_secs: f64) -> IoProfile {
+        assert!(!per_query.is_empty(), "profile of an empty query set");
+        let mut reads: Vec<u64> = per_query.iter().map(|s| s.disk_reads).collect();
+        reads.sort_unstable();
+        let total: u64 = reads.iter().sum();
+        let rank = |pct: usize| reads[(reads.len() - 1) * pct / 100];
+        IoProfile {
+            avg: total as f64 / per_query.len() as f64,
+            p50: rank(50),
+            p95: rank(95),
+            max: reads[reads.len() - 1],
+            queries: per_query.len(),
+            wall_secs,
+            totals: per_query.iter().copied().sum(),
+        }
+    }
+
+    /// Structured form for `BENCH_*.json`. `avg_formatted` repeats `avg`
+    /// through the `{:.2}` formatting the tables print, so the JSON can
+    /// be diffed against the human output verbatim.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("avg", JsonValue::Num(self.avg)),
+            ("avg_formatted", JsonValue::str(format!("{:.2}", self.avg))),
+            ("p50", JsonValue::UInt(self.p50)),
+            ("p95", JsonValue::UInt(self.p95)),
+            ("max", JsonValue::UInt(self.max)),
+            ("queries", JsonValue::UInt(self.queries as u64)),
+            ("wall_secs", JsonValue::Num(self.wall_secs)),
+            ("io", self.totals.to_json()),
+        ])
+    }
+}
+
+/// One measured series of a table: which row it belongs to, the series
+/// (column) name, and the measured profile.
+#[derive(Debug, Clone)]
+pub struct SeriesProfile {
+    /// Row label, e.g. a split budget ("150%") or a size ("10k").
+    pub row: String,
+    /// Series name, e.g. "ppr" or "rstar".
+    pub series: String,
+    /// The measured I/O distribution.
+    pub profile: IoProfile,
+}
+
+/// Convenience constructor for [`SeriesProfile`].
+pub fn series(
+    row: impl Into<String>,
+    name: impl Into<String>,
+    profile: IoProfile,
+) -> SeriesProfile {
+    SeriesProfile {
+        row: row.into(),
+        series: name.into(),
+        profile,
+    }
+}
+
+/// Run one [`QueryStats`]-returning closure per query (the closure is in
+/// charge of the per-query buffer reset) and aggregate the deltas.
+pub fn profile_queries(queries: &[Query], mut run: impl FnMut(&Query) -> QueryStats) -> IoProfile {
+    assert!(!queries.is_empty());
+    let start = Instant::now();
+    let per: Vec<QueryStats> = queries.iter().map(&mut run).collect();
+    IoProfile::from_stats(&per, start.elapsed().as_secs_f64())
+}
+
+/// [`avg_query_io`], upgraded: same buffer-reset-per-query methodology,
+/// but the full [`IoProfile`] comes back. `profile.avg` equals what
+/// [`avg_query_io`] returns for the same index and queries.
+pub fn query_io_profile(index: &mut SpatioTemporalIndex, queries: &[Query]) -> IoProfile {
+    profile_queries(queries, |q| {
+        index.reset_for_query();
+        index.query_with_stats(&q.area, &q.range).1
+    })
+}
+
+/// [`avg_rstar_query_io`], upgraded to a full [`IoProfile`].
+pub fn rstar_query_io_profile(
+    tree: &mut sti_rstar::RStarTree,
+    queries: &[Query],
+    time_scale: f64,
+) -> IoProfile {
+    profile_queries(queries, |q| {
+        tree.reset_for_query();
+        let mut out = Vec::new();
+        tree.query(
+            &sti_geom::Rect3::from_query(&q.area, &q.range, time_scale),
+            &mut out,
+        )
+    })
+}
+
+/// Accumulates everything a figure binary prints — tables, measured
+/// profiles, build spans, free-form notes — and optionally serializes it
+/// as a `BENCH_<name>.json` record when the binary was invoked with
+/// `--json`.
+///
+/// Usage: create one per binary, route every `print_table` call through
+/// [`BenchReport::table`] / [`BenchReport::table_with_profiles`], and
+/// call [`BenchReport::finish`] last.
+pub struct BenchReport {
+    name: String,
+    out_path: Option<PathBuf>,
+    scale_json: JsonValue,
+    tables: Vec<JsonValue>,
+    notes: Vec<(String, JsonValue)>,
+    started: Instant,
+}
+
+impl BenchReport {
+    /// Start a report for the binary `name` (e.g. "fig15").
+    pub fn new(name: &str, scale: &Scale) -> BenchReport {
+        let out_path = scale.json.as_ref().map(|p| {
+            if p.as_os_str().is_empty() {
+                PathBuf::from(format!("BENCH_{name}.json"))
+            } else {
+                p.clone()
+            }
+        });
+        let scale_json = JsonValue::object([
+            ("paper", JsonValue::Bool(scale.paper)),
+            (
+                "sizes",
+                JsonValue::array(scale.sizes.iter().map(|&n| JsonValue::UInt(n as u64))),
+            ),
+            ("queries", JsonValue::UInt(scale.queries as u64)),
+            ("threads", JsonValue::str(format!("{:?}", scale.threads))),
+        ]);
+        BenchReport {
+            name: name.to_string(),
+            out_path,
+            scale_json,
+            tables: Vec::new(),
+            notes: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Print a table and record it (headers and cells verbatim).
+    pub fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        self.table_with_profiles(title, headers, rows, Vec::new());
+    }
+
+    /// Print a table and record it together with the measured I/O
+    /// profiles behind its cells.
+    pub fn table_with_profiles(
+        &mut self,
+        title: &str,
+        headers: &[&str],
+        rows: &[Vec<String>],
+        profiles: Vec<SeriesProfile>,
+    ) {
+        print_table(title, headers, rows);
+        let mut table = JsonValue::object([
+            ("title", JsonValue::str(title)),
+            (
+                "headers",
+                JsonValue::array(headers.iter().map(|&h| JsonValue::str(h))),
+            ),
+            (
+                "rows",
+                JsonValue::array(
+                    rows.iter()
+                        .map(|row| JsonValue::array(row.iter().map(|c| JsonValue::str(c.clone())))),
+                ),
+            ),
+        ]);
+        if !profiles.is_empty() {
+            table.push_field(
+                "profiles",
+                JsonValue::array(profiles.iter().map(|sp| {
+                    let mut obj = JsonValue::object([
+                        ("row", JsonValue::str(sp.row.clone())),
+                        ("series", JsonValue::str(sp.series.clone())),
+                    ]);
+                    if let JsonValue::Obj(fields) = sp.profile.to_json() {
+                        for (k, v) in fields {
+                            obj.push_field(k, v);
+                        }
+                    }
+                    obj
+                })),
+            );
+        }
+        self.tables.push(table);
+    }
+
+    /// Record the per-phase build spans for a dataset size.
+    pub fn build_spans(&mut self, label: &str, stats: &BuildStats) {
+        let spans = JsonValue::array(stats.spans().iter().map(sti_obs::Span::to_json));
+        self.notes.push((format!("build_spans_{label}"), spans));
+    }
+
+    /// Attach a free-form key/value to the record.
+    pub fn note(&mut self, key: &str, value: JsonValue) {
+        self.notes.push((key.to_string(), value));
+    }
+
+    /// Serialize the record if `--json` was given. Call once, last.
+    pub fn finish(self) {
+        let Some(path) = self.out_path else {
+            return;
+        };
+        let mut doc = JsonValue::object([
+            ("schema", JsonValue::str("sti-bench/1")),
+            ("bench", JsonValue::str(self.name.clone())),
+            ("scale", self.scale_json),
+            (
+                "wall_secs",
+                JsonValue::Num(self.started.elapsed().as_secs_f64()),
+            ),
+            ("tables", JsonValue::Arr(self.tables)),
+        ]);
+        if !self.notes.is_empty() {
+            doc.push_field("notes", JsonValue::Obj(self.notes));
+        }
+        match std::fs::write(&path, doc.render_pretty()) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Time a closure, returning (result, seconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -218,6 +498,71 @@ mod tests {
         spec.cardinality = 20;
         let io = avg_query_io(&mut idx, &spec.generate());
         assert!(io >= 1.0, "every query reads at least the root: {io}");
+    }
+
+    #[test]
+    fn scale_parses_json_flag_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let s = Scale::parse(&DEFAULT_SIZES, args(&["--json", "out.json"]));
+        assert_eq!(s.json, Some(PathBuf::from("out.json")));
+        let s = Scale::parse(&DEFAULT_SIZES, args(&["--json=x.json", "--queries=5"]));
+        assert_eq!(s.json, Some(PathBuf::from("x.json")));
+        assert_eq!(s.queries, 5);
+        // Bare --json followed by another flag: default path sentinel.
+        let s = Scale::parse(&DEFAULT_SIZES, args(&["--json", "--paper"]));
+        assert_eq!(s.json, Some(PathBuf::new()));
+        assert!(s.paper);
+        let s = Scale::parse(&DEFAULT_SIZES, args(&[]));
+        assert_eq!(s.json, None);
+    }
+
+    #[test]
+    fn io_profile_matches_avg_query_io_exactly() {
+        let objs = random_dataset(200);
+        let records = split_records(
+            &objs,
+            SingleSplitAlgorithm::MergeSplit,
+            DistributionAlgorithm::Greedy,
+            SplitBudget::Percent(50.0),
+        );
+        let mut spec = QuerySetSpec::mixed_snapshot();
+        spec.cardinality = 25;
+        let queries = spec.generate();
+        let mut idx = build_index(&records, IndexBackend::PprTree);
+        let avg = avg_query_io(&mut idx, &queries);
+        let profile = query_io_profile(&mut idx, &queries);
+        assert_eq!(profile.avg.to_bits(), avg.to_bits(), "identical arithmetic");
+        assert_eq!(profile.queries, queries.len());
+        assert!(profile.max >= profile.p95 && profile.p95 >= profile.p50);
+        assert_eq!(profile.totals.disk_writes, 0, "queries are read-only");
+        assert!(profile.totals.nodes_visited > 0);
+        // The formatted average is what the tables print.
+        let cell = format!("{:.2}", avg);
+        match profile.to_json() {
+            JsonValue::Obj(fields) => {
+                let formatted = fields
+                    .iter()
+                    .find(|(k, _)| k == "avg_formatted")
+                    .map(|(_, v)| v.clone());
+                assert_eq!(formatted, Some(JsonValue::str(cell)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_profile_percentiles_nearest_rank() {
+        let per: Vec<QueryStats> = (1..=100u64)
+            .map(|n| QueryStats {
+                disk_reads: n,
+                ..QueryStats::new()
+            })
+            .collect();
+        let p = IoProfile::from_stats(&per, 0.0);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p95, 95);
+        assert_eq!(p.max, 100);
+        assert_eq!(p.avg.to_bits(), 50.5f64.to_bits());
     }
 
     #[test]

@@ -86,12 +86,22 @@ impl HybridIndex {
     /// Answer a topological query through whichever component is cheaper
     /// for its duration.
     pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+        self.query_with_stats(area, range).0
+    }
+
+    /// Like [`HybridIndex::query`], but also report the routed
+    /// component's per-query [`sti_obs::QueryStats`] delta.
+    pub fn query_with_stats(
+        &mut self,
+        area: &Rect2,
+        range: &TimeInterval,
+    ) -> (Vec<u64>, sti_obs::QueryStats) {
         if range.len() < u64::from(self.threshold) {
             self.short_queries += 1;
-            self.ppr.query(area, range)
+            self.ppr.query_with_stats(area, range)
         } else {
             self.long_queries += 1;
-            self.rstar.query(area, range)
+            self.rstar.query_with_stats(area, range)
         }
     }
 

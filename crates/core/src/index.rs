@@ -5,8 +5,9 @@ use crate::multi::DistributionAlgorithm;
 use crate::parallel::Parallelism;
 use crate::plan::{ObjectRecord, SplitBudget, SplitPlan};
 use crate::single::SingleSplitAlgorithm;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use sti_geom::{Rect2, Rect3, Time, TimeInterval};
+use sti_obs::{QueryStats, Span, SpanSink, SpanTimer};
 use sti_pprtree::{PprParams, PprTree};
 use sti_rstar::{RStarParams, RStarTree};
 use sti_storage::IoStats;
@@ -73,6 +74,28 @@ pub struct BuildStats {
     pub tree_build_time: Duration,
     /// Number of [`ObjectRecord`]s the plan emitted (= objects + splits).
     pub records_emitted: usize,
+}
+
+impl BuildStats {
+    /// The phase timings as named [`Span`]s, in execution order:
+    /// `split_planning` (per-object curves), `distribute` (budget
+    /// distribution / packing), `tree_build` (record materialization and
+    /// backend ingest).
+    pub fn spans(&self) -> Vec<Span> {
+        vec![
+            Span::from_duration("split_planning", self.curve_time),
+            Span::from_duration("distribute", self.distribute_time),
+            Span::from_duration("tree_build", self.tree_build_time),
+        ]
+    }
+
+    /// Deliver the phase spans to a pluggable [`SpanSink`] (metrics
+    /// collectors, the bench JSON writer, ...).
+    pub fn emit_spans(&self, sink: &mut dyn SpanSink) {
+        for span in self.spans() {
+            sink.record(span);
+        }
+    }
 }
 
 impl std::fmt::Display for BuildStats {
@@ -149,7 +172,7 @@ impl SpatioTemporalIndex {
             max_splits_per_object,
             parallelism,
         );
-        let start = Instant::now();
+        let timer = SpanTimer::start("tree_build");
         let records = plan.records(objects);
         let index = Self::build(&records, config);
         let plan_stats = plan.stats();
@@ -157,7 +180,7 @@ impl SpatioTemporalIndex {
             workers: plan_stats.workers,
             curve_time: plan_stats.curve_time,
             distribute_time: plan_stats.distribute_time,
-            tree_build_time: start.elapsed(),
+            tree_build_time: timer.finish_span().elapsed,
             records_emitted: records.len(),
         };
         (index, stats)
@@ -220,23 +243,36 @@ impl SpatioTemporalIndex {
     /// Answer a topological query: ids of objects intersecting `area`
     /// at any instant of `range`, de-duplicated and sorted.
     pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+        self.query_with_stats(area, range).0
+    }
+
+    /// Like [`SpatioTemporalIndex::query`], but also report the
+    /// per-query [`QueryStats`] delta. `results` reflects the
+    /// de-duplicated result count the caller receives; the I/O fields
+    /// reconcile exactly with the global [`IoStats`] counters.
+    pub fn query_with_stats(
+        &mut self,
+        area: &Rect2,
+        range: &TimeInterval,
+    ) -> (Vec<u64>, QueryStats) {
         assert!(!range.is_empty(), "empty query range");
         let mut out = Vec::new();
-        match &mut self.backend {
+        let mut stats = match &mut self.backend {
             Backend::Ppr(t) => {
                 if range.len() == 1 {
-                    t.query_snapshot(area, range.start, &mut out);
+                    t.query_snapshot(area, range.start, &mut out)
                 } else {
-                    t.query_interval(area, range, &mut out);
+                    t.query_interval(area, range, &mut out)
                 }
             }
             Backend::RStar { tree, time_scale } => {
-                tree.query(&Rect3::from_query(area, range, *time_scale), &mut out);
+                tree.query(&Rect3::from_query(area, range, *time_scale), &mut out)
             }
-        }
+        };
         out.sort_unstable();
         out.dedup();
-        out
+        stats.results = out.len() as u64;
+        (out, stats)
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::node::{HrEntry, HrNode, HrParams};
 use std::collections::HashSet;
 use sti_geom::{Rect2, Time, TimeInterval};
+use sti_obs::QueryStats;
 use sti_storage::{IoStats, Page, PageId, PageStore};
 
 /// Error from [`HrTree::delete`].
@@ -55,6 +56,21 @@ pub struct HrTree {
     versions: Vec<HrVersion>,
     now: Time,
     alive: u64,
+    scratch: QueryScratch,
+}
+
+/// Reusable query-time allocations, cleared at every query entry (they
+/// carry capacity, never data, between calls) — same pattern as the
+/// PPR-Tree's scratch block.
+#[derive(Debug, Default)]
+struct QueryScratch {
+    /// Dedup set for interval-query results.
+    seen: HashSet<u64>,
+    /// Pages already visited across versions (shared branches are
+    /// descended once).
+    visited: HashSet<PageId>,
+    /// Descent stack.
+    stack: Vec<PageId>,
 }
 
 impl HrTree {
@@ -67,6 +83,7 @@ impl HrTree {
             versions: Vec::new(),
             now: 0,
             alive: 0,
+            scratch: QueryScratch::default(),
         }
     }
 
@@ -88,6 +105,17 @@ impl HrTree {
     /// Accumulated I/O counters.
     pub fn io_stats(&self) -> IoStats {
         self.store.stats()
+    }
+
+    /// Timestamp of the newest update (0 on an empty tree).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Replace the buffer pool capacity (clears residency), mirroring
+    /// the PPR-Tree's knob so buffer sweeps can compare structures.
+    pub fn set_buffer_capacity(&mut self, pages: usize) {
+        self.store.set_buffer_capacity(pages);
     }
 
     /// Reset I/O counters and buffer pool before a measured query.
@@ -237,35 +265,73 @@ impl HrTree {
 
     /// Snapshot query: ids of records present in the version current at
     /// `t` whose rectangle intersects `area`.
-    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) {
-        let Some(idx) = self.version_at(t) else {
-            return;
-        };
-        let root = self.versions[idx];
-        let mut stack = vec![root.page];
-        while let Some(page) = stack.pop() {
-            let node = self.read_node(page);
-            for e in &node.entries {
-                if e.rect.intersects(area) {
-                    if node.is_leaf() {
-                        out.push(e.ptr);
-                    } else {
-                        stack.push(e.child_page());
+    ///
+    /// Append contract: matches are *appended* to `out`; the vector is
+    /// never cleared here, so a caller can accumulate several queries
+    /// into one buffer (all three tree backends share this contract).
+    ///
+    /// Returns the [`QueryStats`] delta for this call, reconciling
+    /// exactly with the global [`IoStats`] counters.
+    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) -> QueryStats {
+        let mut stats = QueryStats::new();
+        let before = self.store.stats();
+        if let Some(idx) = self.version_at(t) {
+            let root = self.versions[idx];
+            let mut stack = std::mem::take(&mut self.scratch.stack);
+            stack.clear();
+            stack.push(root.page);
+            while let Some(page) = stack.pop() {
+                let node = self.read_node(page);
+                stats.nodes_visited += 1;
+                for e in &node.entries {
+                    stats.entries_scanned += 1;
+                    if e.rect.intersects(area) {
+                        if node.is_leaf() {
+                            out.push(e.ptr);
+                            stats.results += 1;
+                        } else {
+                            stack.push(e.child_page());
+                        }
                     }
                 }
             }
+            self.scratch.stack = stack;
         }
+        let after = self.store.stats();
+        stats.disk_reads = after.reads - before.reads;
+        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
+        stats.disk_writes = after.writes - before.writes;
+        stats
     }
 
     /// Interval query: ids of records present in any version alive during
     /// `range` whose rectangle intersects `area`, de-duplicated. Shared
     /// branches are visited once.
-    pub fn query_interval(&mut self, area: &Rect2, range: &TimeInterval, out: &mut Vec<u64>) {
+    ///
+    /// Append contract: matches are *appended* to `out`; the vector is
+    /// never cleared here (all three tree backends share this contract).
+    /// Dedup applies to this call only — ids already in `out` from
+    /// earlier queries may be appended again.
+    ///
+    /// Returns the [`QueryStats`] delta for this call (see
+    /// [`HrTree::query_snapshot`]).
+    pub fn query_interval(
+        &mut self,
+        area: &Rect2,
+        range: &TimeInterval,
+        out: &mut Vec<u64>,
+    ) -> QueryStats {
+        let mut stats = QueryStats::new();
         if range.is_empty() {
-            return;
+            return stats;
         }
-        let mut seen: HashSet<u64> = HashSet::new();
-        let mut visited: HashSet<PageId> = HashSet::new();
+        let before = self.store.stats();
+        let mut seen = std::mem::take(&mut self.scratch.seen);
+        let mut visited = std::mem::take(&mut self.scratch.visited);
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        seen.clear();
+        visited.clear();
+        stack.clear();
         let first = self.version_at(range.start);
         for i in 0..self.versions.len() {
             let v = self.versions[i];
@@ -273,13 +339,15 @@ impl HrTree {
             if !(in_range || Some(i) == first) {
                 continue;
             }
-            let mut stack = vec![v.page];
+            stack.push(v.page);
             while let Some(page) = stack.pop() {
                 if !visited.insert(page) {
                     continue;
                 }
                 let node = self.read_node(page);
+                stats.nodes_visited += 1;
                 for e in &node.entries {
+                    stats.entries_scanned += 1;
                     if e.rect.intersects(area) {
                         if node.is_leaf() {
                             seen.insert(e.ptr);
@@ -290,7 +358,17 @@ impl HrTree {
                 }
             }
         }
-        out.extend(seen);
+        stats.dedup_candidates = seen.len() as u64;
+        stats.results = stats.dedup_candidates;
+        out.extend(seen.drain());
+        self.scratch.seen = seen;
+        self.scratch.visited = visited;
+        self.scratch.stack = stack;
+        let after = self.store.stats();
+        stats.disk_reads = after.reads - before.reads;
+        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
+        stats.disk_writes = after.writes - before.writes;
+        stats
     }
 
     /// Index of the version current at `t` (largest `time ≤ t`).

@@ -1,0 +1,225 @@
+//! A minimal JSON document model and renderer.
+//!
+//! The workspace is offline and dependency-free, so instead of serde this
+//! module provides an explicit value tree whose object fields keep their
+//! insertion order — serialized output is byte-stable across runs, which
+//! the bench harness relies on for diffable `BENCH_*.json` artifacts.
+
+use core::fmt::Write as _;
+
+/// One JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Unsigned integers (counters, sizes) render without a decimal point.
+    UInt(u64),
+    Int(i64),
+    /// Finite floats render via Rust's shortest-roundtrip `Display`;
+    /// NaN and infinities render as `null` (JSON has no spelling for
+    /// them).
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn object<K, I>(fields: I) -> JsonValue
+    where
+        K: Into<String>,
+        I: IntoIterator<Item = (K, JsonValue)>,
+    {
+        JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array from any iterator of values.
+    pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> JsonValue {
+        JsonValue::Arr(items.into_iter().collect())
+    }
+
+    /// Convenience for string values.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Append a field to an object; ignored (by design) on non-objects so
+    /// builders can chain unconditionally.
+    pub fn push_field(&mut self, key: impl Into<String>, value: JsonValue) {
+        if let JsonValue::Obj(fields) = self {
+            fields.push((key.into(), value));
+        }
+    }
+
+    /// Render as compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Render with two-space indentation, for human-inspectable artifacts.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Num(x) => write_f64(out, *x),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// JSON has no representation for NaN or infinity; map them to `null`
+/// rather than emitting an invalid document.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+        // `Display` prints integral floats without a decimal point
+        // ("3"), which is valid JSON but loses the "this was a float"
+        // hint; keep it as-is for compactness.
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::UInt(42).render(), "42");
+        assert_eq!(JsonValue::Int(-7).render(), "-7");
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            JsonValue::str("a\"b\\c\nd\te\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = JsonValue::object([("zebra", JsonValue::UInt(1)), ("apple", JsonValue::UInt(2))]);
+        assert_eq!(v.render(), "{\"zebra\":1,\"apple\":2}");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparsable_shape() {
+        let v = JsonValue::object([
+            ("name", JsonValue::str("fig15")),
+            (
+                "rows",
+                JsonValue::array([JsonValue::array([JsonValue::str("0%")])]),
+            ),
+            ("empty", JsonValue::Arr(Vec::new())),
+        ]);
+        let text = v.render_pretty();
+        assert!(text.contains("\n  \"name\": \"fig15\""), "{text}");
+        assert!(text.contains("\"empty\": []"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+}

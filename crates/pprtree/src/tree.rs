@@ -5,6 +5,7 @@ use crate::node::{PprEntry, PprNode, PprParams};
 use crate::split::key_split;
 use std::collections::HashSet;
 use sti_geom::{Rect2, Time, TimeInterval};
+use sti_obs::QueryStats;
 use sti_storage::{IoStats, Page, PageId, PageStore};
 
 /// Failure of a [`PprTree::delete`] call. The tree is left unchanged.
@@ -43,6 +44,25 @@ pub struct RootSpan {
     pub page: PageId,
     /// Root node level (tree height during the span).
     pub level: u32,
+}
+
+/// Reusable query-time allocations. Queries used to build a fresh
+/// `HashSet` / span list / traversal stack per call, which churned the
+/// allocator across a measured batch (the paper's methodology runs
+/// thousands of queries back to back); the tree now keeps one scratch
+/// block and hands it to each query via `std::mem::take`, so steady-state
+/// queries allocate nothing. Contents are cleared at every query entry —
+/// they carry capacity, never data, between calls.
+#[derive(Debug, Default)]
+struct QueryScratch {
+    /// Dedup set for interval queries.
+    seen: HashSet<u64>,
+    /// Root spans overlapping the query range.
+    spans: Vec<RootSpan>,
+    /// Descent stack for interval queries (page, clipped range).
+    stack: Vec<(PageId, TimeInterval)>,
+    /// Descent stack for snapshot queries.
+    snap_stack: Vec<PageId>,
 }
 
 /// Ops to apply to one node during bottom-up structure maintenance.
@@ -101,6 +121,7 @@ pub struct PprTree {
     now: Time,
     alive_records: u64,
     total_posted: u64,
+    scratch: QueryScratch,
     /// Updates seen, for the debug-build check sampling schedule.
     #[cfg(debug_assertions)]
     debug_mutations: u64,
@@ -117,6 +138,7 @@ impl PprTree {
             now: 0,
             alive_records: 0,
             total_posted: 0,
+            scratch: QueryScratch::default(),
             #[cfg(debug_assertions)]
             debug_mutations: 0,
         }
@@ -308,23 +330,44 @@ impl PprTree {
     /// Snapshot query: ids of records alive at `t` whose rectangle
     /// intersects `area`. Equivalent to querying the ephemeral R-Tree of
     /// time `t`.
-    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) {
-        let Some(span) = self.root_span_at(t) else {
-            return;
-        };
-        let mut stack = vec![span.page];
-        while let Some(page) = stack.pop() {
-            let node = self.read_node(page);
-            for e in &node.entries {
-                if e.alive_at(t) && e.rect.intersects(area) {
-                    if node.is_leaf() {
-                        out.push(e.ptr);
-                    } else {
-                        stack.push(e.child_page());
+    ///
+    /// Append contract: matches are *appended* to `out`; the vector is
+    /// never cleared here, so a caller can accumulate several queries
+    /// into one buffer (all three tree backends share this contract).
+    ///
+    /// Returns the [`QueryStats`] delta for this call: I/O counters are
+    /// snapshotted on the backing store at entry and exit, so summing the
+    /// returned deltas over a batch reproduces the global
+    /// [`IoStats`] delta exactly.
+    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) -> QueryStats {
+        let mut stats = QueryStats::new();
+        let before = self.store.stats();
+        if let Some(span) = self.root_span_at(t) {
+            let mut stack = std::mem::take(&mut self.scratch.snap_stack);
+            stack.clear();
+            stack.push(span.page);
+            while let Some(page) = stack.pop() {
+                let node = self.read_node(page);
+                stats.nodes_visited += 1;
+                for e in &node.entries {
+                    stats.entries_scanned += 1;
+                    if e.alive_at(t) && e.rect.intersects(area) {
+                        if node.is_leaf() {
+                            out.push(e.ptr);
+                            stats.results += 1;
+                        } else {
+                            stack.push(e.child_page());
+                        }
                     }
                 }
             }
+            self.scratch.snap_stack = stack;
         }
+        let after = self.store.stats();
+        stats.disk_reads = after.reads - before.reads;
+        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
+        stats.disk_writes = after.writes - before.writes;
+        stats
     }
 
     /// Interval query: ids of records alive at any instant of `range`
@@ -337,22 +380,45 @@ impl PprTree {
     /// span — entries inside it keep their open `deletion` even when the
     /// record was deleted after the node was copied, so matching them
     /// against the unclipped range would resurrect dead records.
-    pub fn query_interval(&mut self, area: &Rect2, range: &TimeInterval, out: &mut Vec<u64>) {
-        let mut seen: HashSet<u64> = HashSet::new();
-        let spans: Vec<RootSpan> = self
-            .roots
-            .iter()
-            .filter(|s| s.interval.overlaps(range))
-            .copied()
-            .collect();
-        for span in spans {
+    ///
+    /// Append contract: matches are *appended* to `out`; the vector is
+    /// never cleared here, so a caller can accumulate several queries
+    /// into one buffer (all three tree backends share this contract).
+    /// Dedup applies to this call only — ids already in `out` from
+    /// earlier queries may be appended again.
+    ///
+    /// Returns the [`QueryStats`] delta for this call (see
+    /// [`PprTree::query_snapshot`]).
+    pub fn query_interval(
+        &mut self,
+        area: &Rect2,
+        range: &TimeInterval,
+        out: &mut Vec<u64>,
+    ) -> QueryStats {
+        let mut stats = QueryStats::new();
+        let before = self.store.stats();
+        let mut seen = std::mem::take(&mut self.scratch.seen);
+        let mut spans = std::mem::take(&mut self.scratch.spans);
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        seen.clear();
+        spans.clear();
+        stack.clear();
+        spans.extend(
+            self.roots
+                .iter()
+                .filter(|s| s.interval.overlaps(range))
+                .copied(),
+        );
+        for span in &spans {
             let Some(root_range) = span.interval.intersect(range) else {
                 continue;
             };
-            let mut stack = vec![(span.page, root_range)];
+            stack.push((span.page, root_range));
             while let Some((page, clipped)) = stack.pop() {
                 let node = self.read_node(page);
+                stats.nodes_visited += 1;
                 for e in &node.entries {
+                    stats.entries_scanned += 1;
                     let Some(sub) = e.lifetime().intersect(&clipped) else {
                         continue;
                     };
@@ -367,7 +433,17 @@ impl PprTree {
                 }
             }
         }
-        out.extend(seen);
+        stats.dedup_candidates = seen.len() as u64;
+        stats.results = stats.dedup_candidates;
+        out.extend(seen.drain());
+        self.scratch.seen = seen;
+        self.scratch.spans = spans;
+        self.scratch.stack = stack;
+        let after = self.store.stats();
+        stats.disk_reads = after.reads - before.reads;
+        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
+        stats.disk_writes = after.writes - before.writes;
+        stats
     }
 
     // ------------------------------------------------------------------
@@ -790,6 +866,7 @@ impl PprTree {
             now,
             alive_records,
             total_posted,
+            scratch: QueryScratch::default(),
             #[cfg(debug_assertions)]
             debug_mutations: 0,
         })
@@ -913,6 +990,147 @@ mod tests {
         out.clear();
         t.query_interval(&r, &TimeInterval::new(0, 100), &mut out);
         assert_eq!(out, vec![1]);
+    }
+
+    /// Build a deterministic tree with inserts and deletes for the
+    /// interleaving / accounting tests below.
+    fn populated_tree() -> PprTree {
+        let mut t = PprTree::new(small_params());
+        for i in 0..120u32 {
+            t.insert(
+                u64::from(i),
+                rect(0.008 * f64::from(i % 100), 0.009 * f64::from(i % 90)),
+                i,
+            );
+        }
+        for i in (0..60u32).step_by(3) {
+            t.delete(
+                u64::from(i),
+                rect(0.008 * f64::from(i % 100), 0.009 * f64::from(i % 90)),
+                120 + i,
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    /// Satellite regression: scratch reuse must not leak state between
+    /// queries. Interleaving snapshot and interval queries (and running
+    /// each twice) returns exactly what a fresh tree returns per query.
+    #[test]
+    fn interleaved_queries_match_fresh_queries() {
+        let areas = [
+            Rect2::UNIT,
+            Rect2::from_bounds(0.0, 0.0, 0.3, 0.3),
+            Rect2::from_bounds(0.2, 0.1, 0.7, 0.8),
+            Rect2::from_bounds(0.9, 0.9, 1.0, 1.0),
+        ];
+        let times: [Time; 3] = [5, 60, 150];
+        let ranges = [
+            TimeInterval::new(0, 40),
+            TimeInterval::new(50, 130),
+            TimeInterval::new(0, 500),
+        ];
+
+        // Expected answers, each from a fresh tree (no shared scratch).
+        let mut expected_snap = Vec::new();
+        for area in &areas {
+            for &t in &times {
+                let mut fresh = populated_tree();
+                let mut out = Vec::new();
+                fresh.query_snapshot(area, t, &mut out);
+                out.sort_unstable();
+                expected_snap.push(out);
+            }
+        }
+        let mut expected_int = Vec::new();
+        for area in &areas {
+            for range in &ranges {
+                let mut fresh = populated_tree();
+                let mut out = Vec::new();
+                fresh.query_interval(area, range, &mut out);
+                out.sort_unstable();
+                expected_int.push(out);
+            }
+        }
+
+        // One tree, queries interleaved and repeated.
+        let mut tree = populated_tree();
+        for round in 0..2 {
+            let mut si = 0;
+            let mut ii = 0;
+            for area in &areas {
+                for &t in &times {
+                    let mut out = Vec::new();
+                    tree.query_snapshot(area, t, &mut out);
+                    out.sort_unstable();
+                    assert_eq!(out, expected_snap[si], "snapshot {si} round {round}");
+                    si += 1;
+                    // Interleave an interval query between snapshots.
+                    if ii < expected_int.len() {
+                        let mut out = Vec::new();
+                        tree.query_interval(
+                            &areas[ii % areas.len()],
+                            &ranges[ii % ranges.len()],
+                            &mut out,
+                        );
+                        out.sort_unstable();
+                        let mut fresh = populated_tree();
+                        let mut want = Vec::new();
+                        fresh.query_interval(
+                            &areas[ii % areas.len()],
+                            &ranges[ii % ranges.len()],
+                            &mut want,
+                        );
+                        want.sort_unstable();
+                        assert_eq!(out, want, "interleaved interval {ii} round {round}");
+                        ii += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queries append to `out` without clearing it.
+    #[test]
+    fn queries_append_without_clearing() {
+        let mut t = populated_tree();
+        let mut out = vec![u64::MAX];
+        t.query_snapshot(&Rect2::UNIT, 50, &mut out);
+        assert_eq!(out[0], u64::MAX);
+        let before = out.len();
+        t.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 20), &mut out);
+        assert!(out.len() > before);
+        assert_eq!(out[0], u64::MAX);
+    }
+
+    /// Per-query deltas reported by `QueryStats` reconcile with the
+    /// global store counters, and traversal tallies are populated.
+    #[test]
+    fn query_stats_reconcile_with_global_counters() {
+        let mut t = populated_tree();
+        let base = t.io_stats();
+        let mut sum = QueryStats::new();
+        let mut out = Vec::new();
+        for i in 0..10u32 {
+            let area = Rect2::from_bounds(0.0, 0.0, 0.1 * f64::from(i % 9), 1.0);
+            let s1 = t.query_snapshot(&area, 30 + i, &mut out);
+            let s2 = t.query_interval(&area, &TimeInterval::new(i, 90 + i), &mut out);
+            assert_eq!(
+                s1.results as usize + s2.results as usize + sum.results as usize,
+                out.len()
+            );
+            assert!(s1.nodes_visited >= 1);
+            assert!(s1.entries_scanned >= s1.results);
+            assert_eq!(s2.dedup_candidates, s2.results);
+            sum += s1;
+            sum += s2;
+        }
+        let now = t.io_stats();
+        assert_eq!(sum.disk_reads, now.reads - base.reads);
+        assert_eq!(sum.buffer_hits, now.buffer_hits - base.buffer_hits);
+        assert_eq!(sum.disk_writes, now.writes - base.writes);
+        assert_eq!(sum.disk_writes, 0, "queries are read-only");
     }
 
     #[test]

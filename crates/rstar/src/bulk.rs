@@ -81,6 +81,7 @@ impl RStarTree {
                     root,
                     root_level: level,
                     len,
+                    query_stack: Vec::new(),
                 };
             }
             let mut parents: Vec<Entry> =

@@ -5,6 +5,7 @@ use crate::node::SplitStrategy;
 use crate::node::{Entry, Node, RStarParams};
 use crate::split::{quadratic_split, rstar_split};
 use sti_geom::Rect3;
+use sti_obs::QueryStats;
 use sti_storage::{IoStats, Page, PageId, PageStore};
 
 /// A disk-based 3D R\*-Tree.
@@ -25,6 +26,10 @@ pub struct RStarTree {
     pub(crate) root: PageId,
     pub(crate) root_level: u32,
     pub(crate) len: u64,
+    /// Reusable descent stack; cleared at every query entry, it carries
+    /// capacity (never data) between calls so steady-state queries do
+    /// not allocate.
+    pub(crate) query_stack: Vec<PageId>,
 }
 
 impl RStarTree {
@@ -42,6 +47,7 @@ impl RStarTree {
             root,
             root_level: 0,
             len: 0,
+            query_stack: Vec::new(),
         }
     }
 
@@ -97,24 +103,47 @@ impl RStarTree {
     }
 
     /// Collect the ids of all records whose box intersects `query`.
-    pub fn query(&mut self, query: &Rect3, out: &mut Vec<u64>) {
-        let mut stack = vec![self.root];
+    ///
+    /// Append contract: matches are *appended* to `out`; the vector is
+    /// never cleared here, so a caller can accumulate several queries
+    /// into one buffer (all three tree backends share this contract).
+    ///
+    /// Returns the [`QueryStats`] delta for this call: I/O counters are
+    /// snapshotted on the backing store at entry and exit, so summing the
+    /// returned deltas over a batch reproduces the global [`IoStats`]
+    /// delta exactly.
+    pub fn query(&mut self, query: &Rect3, out: &mut Vec<u64>) -> QueryStats {
+        let mut stats = QueryStats::new();
+        let before = self.store.stats();
+        let mut stack = std::mem::take(&mut self.query_stack);
+        stack.clear();
+        stack.push(self.root);
         while let Some(page) = stack.pop() {
             let node = self.read_node(page);
+            stats.nodes_visited += 1;
             if node.is_leaf() {
                 for e in &node.entries {
+                    stats.entries_scanned += 1;
                     if e.rect.intersects(query) {
                         out.push(e.ptr);
+                        stats.results += 1;
                     }
                 }
             } else {
                 for e in &node.entries {
+                    stats.entries_scanned += 1;
                     if e.rect.intersects(query) {
                         stack.push(e.child_page());
                     }
                 }
             }
         }
+        self.query_stack = stack;
+        let after = self.store.stats();
+        stats.disk_reads = after.reads - before.reads;
+        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
+        stats.disk_writes = after.writes - before.writes;
+        stats
     }
 
     pub(crate) fn read_node(&mut self, page: PageId) -> Node {
@@ -364,6 +393,7 @@ impl RStarTree {
             root,
             root_level,
             len,
+            query_stack: Vec::new(),
         })
     }
 

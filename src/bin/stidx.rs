@@ -32,17 +32,19 @@ use spatiotemporal_index::datagen::{
     RandomDatasetSpec, RegionDatasetSpec, TIME_EXTENT,
 };
 use spatiotemporal_index::geom::{Rect2, TimeInterval};
+use spatiotemporal_index::obs::MetricSet;
 use spatiotemporal_index::pprtree::PprTree;
 use spatiotemporal_index::rstar::RStarTree;
 use spatiotemporal_index::trajectory::RasterizedObject;
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
+  stidx [--metrics FILE] COMMAND ...
   stidx generate --kind random|railway|orbits|regions --n N --out FILE [--seed S]
-  stidx stats    --data FILE
+  stidx stats    FILE | --data FILE | --index FILE
   stidx build    --data FILE --out FILE [--backend ppr|rstar]
                  [--splits P% | --splits N] [--single merge|dp]
                  [--dist lagreedy|greedy|optimal] [--threads auto|seq|N]
@@ -50,12 +52,32 @@ const USAGE: &str = "usage:
                  --area x0,y0,x1,y1 --time T [--until T2]
   stidx nearest  --index FILE --backend ppr
                  --point x,y --time T [--k 5]
-  stidx check    FILE | --index FILE";
+  stidx check    FILE | --index FILE
+
+  --metrics FILE (any position) writes counters from the run — per-query
+  I/O, build phase timings, index gauges — in Prometheus text format, or
+  JSON when FILE ends in .json.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+    let (args, metrics_path) = match strip_metrics_flag(args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("stidx: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut metrics = MetricSet::new();
+    match run(&args, &mut metrics) {
+        Ok(()) => {
+            if let Some(path) = metrics_path {
+                if let Err(msg) = write_metrics(&path, &metrics) {
+                    eprintln!("stidx: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
         Err(msg) => {
             eprintln!("stidx: {msg}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -63,12 +85,40 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Pull the global `--metrics FILE` / `--metrics=FILE` flag out of the
+/// argument list (any position) so subcommand parsers never see it.
+fn strip_metrics_flag(args: Vec<String>) -> Result<(Vec<String>, Option<PathBuf>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--metrics" {
+            let v = it.next().ok_or("--metrics needs a file path")?;
+            path = Some(PathBuf::from(v));
+        } else if let Some(v) = arg.strip_prefix("--metrics=") {
+            path = Some(PathBuf::from(v));
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((rest, path))
+}
+
+fn write_metrics(path: &Path, metrics: &MetricSet) -> Result<(), String> {
+    let text = if path.extension().is_some_and(|e| e == "json") {
+        metrics.to_json()
+    } else {
+        metrics.to_prometheus()
+    };
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn run(args: &[String], metrics: &mut MetricSet) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("no command given".into());
     };
-    // `check` takes its index as a bare positional too (`stidx check
-    // index.stidx`), matching fsck-style tools.
+    // `check` and `stats` take their file as a bare positional too
+    // (`stidx stats index.stidx`), matching fsck-style tools.
     if cmd == "check" {
         if let [path] = rest {
             if !path.starts_with("--") {
@@ -78,12 +128,24 @@ fn run(args: &[String]) -> Result<(), String> {
         let opts = parse_flags(rest)?;
         return check(&PathBuf::from(need(&opts, "index")?));
     }
+    if cmd == "stats" {
+        if let [path] = rest {
+            if !path.starts_with("--") {
+                return stats(&PathBuf::from(path), metrics);
+            }
+        }
+        let opts = parse_flags(rest)?;
+        let path = opts
+            .get("data")
+            .or_else(|| opts.get("index"))
+            .ok_or("stats needs a file: positional, --data, or --index")?;
+        return stats(&PathBuf::from(path), metrics);
+    }
     let opts = parse_flags(rest)?;
     match cmd.as_str() {
         "generate" => generate(&opts),
-        "stats" => stats(&opts),
-        "build" => build(&opts),
-        "query" => query(&opts),
+        "build" => build(&opts, metrics),
+        "query" => query(&opts, metrics),
         "nearest" => nearest(&opts),
         other => Err(format!("unknown command {other}")),
     }
@@ -182,14 +244,96 @@ fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
-    let path = PathBuf::from(need(opts, "data")?);
-    let objects = load_dataset(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    println!("{}", DatasetStats::compute(&objects, TIME_EXTENT));
-    Ok(())
+/// `stidx stats FILE` — sniff the 8-byte magic and describe either a
+/// dataset (`STDAT1`) or a saved index (`STIDX1`).
+fn stats(path: &Path, metrics: &mut MetricSet) -> Result<(), String> {
+    let mut magic = [0u8; 8];
+    {
+        let mut f =
+            std::fs::File::open(path).map_err(|e| format!("opening {}: {e}", path.display()))?;
+        f.read_exact(&mut magic)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    }
+    if &magic == spatiotemporal_index::datagen::io::DATASET_MAGIC {
+        let objects = load_dataset(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        println!("{}", DatasetStats::compute(&objects, TIME_EXTENT));
+        metrics.gauge(
+            "stidx_dataset_objects",
+            "objects in the dataset file",
+            objects.len() as f64,
+        );
+        return Ok(());
+    }
+    if &magic != spatiotemporal_index::storage::persist::MAGIC {
+        return Err(format!(
+            "{}: neither an STDAT dataset nor an STIDX index file",
+            path.display()
+        ));
+    }
+    index_stats(path, metrics)
 }
 
-fn build(opts: &HashMap<String, String>) -> Result<(), String> {
+/// Describe a saved index: backend, size on disk, record counts, shape.
+fn index_stats(path: &Path, metrics: &mut MetricSet) -> Result<(), String> {
+    let bytes = std::fs::metadata(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?
+        .len();
+    // The backend tag is the first metadata byte; `open_file` validates
+    // it, so try ppr first and fall back to rstar on the tag mismatch.
+    match PprTree::open_file(path) {
+        Ok(tree) => {
+            let height = tree.roots().iter().map(|r| r.level + 1).max().unwrap_or(0);
+            println!("backend          ppr (partially persistent R-Tree)");
+            println!("file             {} ({bytes} bytes)", path.display());
+            println!("pages            {}", tree.num_pages());
+            println!("records posted   {}", tree.total_records());
+            println!("records alive    {}", tree.alive_records());
+            println!("root log spans   {}", tree.roots().len());
+            println!("height           {height}");
+            println!("clock (now)      {}", tree.now());
+            metrics.gauge(
+                "stidx_index_pages",
+                "pages in the index",
+                tree.num_pages() as f64,
+            );
+            metrics.gauge(
+                "stidx_index_records",
+                "records posted to the index",
+                tree.total_records() as f64,
+            );
+            metrics.gauge("stidx_index_height", "tree height", f64::from(height));
+            Ok(())
+        }
+        Err(first) => match RStarTree::open_file(path) {
+            Ok(tree) => {
+                println!("backend          rstar (3D R*-Tree)");
+                println!("file             {} ({bytes} bytes)", path.display());
+                println!("pages            {}", tree.num_pages());
+                println!("records          {}", tree.len());
+                println!("height           {}", tree.height());
+                metrics.gauge(
+                    "stidx_index_pages",
+                    "pages in the index",
+                    tree.num_pages() as f64,
+                );
+                metrics.gauge(
+                    "stidx_index_records",
+                    "records posted to the index",
+                    tree.len() as f64,
+                );
+                metrics.gauge(
+                    "stidx_index_height",
+                    "tree height",
+                    f64::from(tree.height()),
+                );
+                Ok(())
+            }
+            Err(_) => Err(format!("opening {}: {first}", path.display())),
+        },
+    }
+}
+
+fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), String> {
     let data = PathBuf::from(need(opts, "data")?);
     let out = PathBuf::from(need(opts, "out")?);
     let backend = parse_backend(opts.get("backend").map(String::as_str).unwrap_or("ppr"))?;
@@ -240,6 +384,17 @@ fn build(opts: &HashMap<String, String>) -> Result<(), String> {
         threads,
     );
     println!("build stats: {stats}");
+    metrics.record_spans("stidx_build", &stats.spans());
+    metrics.gauge(
+        "stidx_build_records_emitted",
+        "records the split plan emitted",
+        stats.records_emitted as f64,
+    );
+    metrics.gauge(
+        "stidx_index_pages",
+        "pages in the index",
+        index.num_pages() as f64,
+    );
     let saved = match backend {
         IndexBackend::PprTree => index.as_ppr().expect("ppr backend").save_to_file(&out),
         IndexBackend::RStar => index.as_rstar().expect("rstar backend").save_to_file(&out),
@@ -249,7 +404,7 @@ fn build(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn query(opts: &HashMap<String, String>) -> Result<(), String> {
+fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), String> {
     let path = PathBuf::from(need(opts, "index")?);
     let backend = parse_backend(need(opts, "backend")?)?;
     let area = parse_area(need(opts, "area")?)?;
@@ -265,18 +420,18 @@ fn query(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     let range = TimeInterval::new(t, until);
 
-    let (mut ids, reads) = match backend {
+    let (mut ids, qs) = match backend {
         IndexBackend::PprTree => {
             let mut tree = PprTree::open_file(&path)
                 .map_err(|e| format!("opening {}: {e}", path.display()))?;
             tree.reset_for_query();
             let mut out = Vec::new();
-            if range.len() == 1 {
-                tree.query_snapshot(&area, t, &mut out);
+            let qs = if range.len() == 1 {
+                tree.query_snapshot(&area, t, &mut out)
             } else {
-                tree.query_interval(&area, &range, &mut out);
-            }
-            (out, tree.io_stats().reads)
+                tree.query_interval(&area, &range, &mut out)
+            };
+            (out, qs)
         }
         IndexBackend::RStar => {
             let mut tree = RStarTree::open_file(&path)
@@ -288,10 +443,12 @@ fn query(opts: &HashMap<String, String>) -> Result<(), String> {
                 f64::from(TIME_EXTENT),
             );
             let mut out = Vec::new();
-            tree.query(&q, &mut out);
-            (out, tree.io_stats().reads)
+            let qs = tree.query(&q, &mut out);
+            (out, qs)
         }
     };
+    let reads = qs.disk_reads;
+    qs.record_metrics(metrics, "stidx_query");
     ids.sort_unstable();
     ids.dedup();
     let mut out = String::with_capacity(ids.len() * 8 + 64);

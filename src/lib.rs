@@ -17,6 +17,7 @@ pub use sti_costmodel as costmodel;
 pub use sti_datagen as datagen;
 pub use sti_geom as geom;
 pub use sti_hrtree as hrtree;
+pub use sti_obs as obs;
 pub use sti_pprtree as pprtree;
 pub use sti_rstar as rstar;
 pub use sti_storage as storage;
@@ -30,5 +31,6 @@ pub mod prelude {
     };
     pub use sti_datagen::{QuerySetSpec, RailwayDatasetSpec, RandomDatasetSpec};
     pub use sti_geom::{Point2, Rect2, Rect3, StBox, Time, TimeInterval};
+    pub use sti_obs::{MetricSet, QueryStats, Span};
     pub use sti_trajectory::{RasterizedObject, Trajectory};
 }

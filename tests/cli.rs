@@ -146,6 +146,99 @@ fn interval_queries_return_supersets_of_snapshots() {
 }
 
 #[test]
+fn stats_describes_index_files_and_metrics_flag_writes_counters() {
+    let data = temp("obs.stdat");
+    let idx = temp("obs.ppr");
+    assert!(stidx()
+        .args(["generate", "--kind", "random", "--n", "200", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+    assert!(stidx()
+        .args(["build", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&idx)
+        .status()
+        .expect("build")
+        .success());
+
+    // `stats` sniffs the magic: bare positional works for both kinds.
+    let out = stidx().arg("stats").arg(&data).output().expect("stats");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Total Objects"));
+
+    let out = stidx().arg("stats").arg(&idx).output().expect("stats");
+    assert!(
+        out.status.success(),
+        "index stats failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["backend", "ppr", "pages", "records posted", "height"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // Global --metrics flag, any position: Prometheus text for a query.
+    let prom = temp("query.prom");
+    let out = stidx()
+        .args(["--metrics"])
+        .arg(&prom)
+        .args(["query", "--index"])
+        .arg(&idx)
+        .args([
+            "--backend",
+            "ppr",
+            "--area",
+            "0.0,0.0,1.0,1.0",
+            "--time",
+            "500",
+        ])
+        .output()
+        .expect("query with metrics");
+    assert!(
+        out.status.success(),
+        "query --metrics failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reads: u64 = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .next()
+        .expect("summary")
+        .split_whitespace()
+        .nth(2)
+        .expect("reads field")
+        .parse()
+        .expect("int");
+    let metrics = std::fs::read_to_string(&prom).expect("metrics file written");
+    assert!(metrics.contains("# TYPE stidx_query_disk_reads counter"));
+    assert!(
+        metrics.contains(&format!("stidx_query_disk_reads {reads}")),
+        "metrics disagree with the printed read count {reads}:\n{metrics}"
+    );
+
+    // `.json` extension switches the serializer.
+    let json = temp("stats.json");
+    assert!(stidx()
+        .arg(format!("--metrics={}", json.display()))
+        .arg("stats")
+        .arg(&idx)
+        .status()
+        .expect("stats with metrics")
+        .success());
+    let text = std::fs::read_to_string(&json).expect("json metrics written");
+    assert!(
+        text.trim_start().starts_with('[') && text.contains("\"stidx_index_pages\""),
+        "not the JSON serializer:\n{text}"
+    );
+
+    for p in [&data, &idx, &prom, &json] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn helpful_errors() {
     let out = stidx().args(["frobnicate"]).output().expect("run");
     assert!(!out.status.success());

@@ -1,0 +1,165 @@
+//! Conservation law for the per-query observability layer: the
+//! [`sti_obs::QueryStats`] a tree returns are *deltas* of the global
+//! [`spatiotemporal_index::storage::IoStats`] counters, so over any
+//! sequence of queries — with no counter resets in between — the
+//! per-query deltas must sum exactly to the global counter movement.
+//! If a query path ever touched the store outside its snapshot window
+//! (or double-counted inside it), these sums would drift.
+//!
+//! Runs across all three tree backends and multiple buffer capacities,
+//! including the degenerate capacity-0 pool where every access is a
+//! disk read.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spatiotemporal_index::geom::{Rect2, Rect3, TimeInterval};
+use spatiotemporal_index::hrtree::{HrParams, HrTree};
+use spatiotemporal_index::obs::QueryStats;
+use spatiotemporal_index::pprtree::{PprParams, PprTree};
+use spatiotemporal_index::rstar::{RStarParams, RStarTree};
+use spatiotemporal_index::storage::IoStats;
+
+const BUFFER_CAPACITIES: [usize; 3] = [0, 4, 10];
+
+fn random_rect2(rng: &mut StdRng) -> Rect2 {
+    let x = rng.random::<f64>() * 0.8;
+    let y = rng.random::<f64>() * 0.8;
+    let w = 0.05 + rng.random::<f64>() * 0.2;
+    Rect2::from_bounds(x, y, x + w, y + w)
+}
+
+/// Assert that summed per-query deltas equal the global counter delta.
+fn assert_conserved(label: &str, total: QueryStats, before: IoStats, after: IoStats) {
+    assert_eq!(
+        total.disk_reads,
+        after.reads - before.reads,
+        "{label}: disk reads drifted"
+    );
+    assert_eq!(
+        total.disk_writes,
+        after.writes - before.writes,
+        "{label}: disk writes drifted"
+    );
+    assert_eq!(
+        total.buffer_hits,
+        after.buffer_hits - before.buffer_hits,
+        "{label}: buffer hits drifted"
+    );
+}
+
+fn build_ppr(rng: &mut StdRng, n: u32) -> PprTree {
+    let mut tree = PprTree::new(PprParams::default());
+    let mut alive = Vec::new();
+    for i in 0..n {
+        let rect = random_rect2(rng);
+        tree.insert(u64::from(i), rect, i);
+        alive.push((u64::from(i), rect));
+        // Interleave deletions so several tree versions exist.
+        if alive.len() > 4 && rng.random_bool(0.3) {
+            let (id, r) = alive.swap_remove(rng.random_range(0..alive.len() - 1));
+            tree.delete(id, r, i).expect("record is alive");
+        }
+    }
+    tree
+}
+
+fn build_hr(rng: &mut StdRng, n: u32) -> HrTree {
+    let mut tree = HrTree::new(HrParams::default());
+    let mut alive = Vec::new();
+    for i in 0..n {
+        let rect = random_rect2(rng);
+        tree.insert(u64::from(i), rect, i);
+        alive.push((u64::from(i), rect));
+        if alive.len() > 4 && rng.random_bool(0.3) {
+            let (id, r) = alive.swap_remove(rng.random_range(0..alive.len() - 1));
+            tree.delete(id, r, i).expect("record is alive");
+        }
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ppr_query_stats_sum_to_global_delta(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = build_ppr(&mut rng, 80);
+        let horizon = tree.now();
+        for capacity in BUFFER_CAPACITIES {
+            tree.set_buffer_capacity(capacity);
+            let before = tree.io_stats();
+            let mut total = QueryStats::new();
+            for _ in 0..12 {
+                let area = random_rect2(&mut rng);
+                let mut out = Vec::new();
+                if rng.random_bool(0.5) {
+                    let t = rng.random_range(0..horizon.max(1));
+                    total += tree.query_snapshot(&area, t, &mut out);
+                } else {
+                    let a = rng.random_range(0..horizon.max(1));
+                    let b = rng.random_range(a..=horizon);
+                    total += tree.query_interval(&area, &TimeInterval::new(a, b + 1), &mut out);
+                }
+            }
+            assert_conserved("ppr", total, before, tree.io_stats());
+        }
+    }
+
+    #[test]
+    fn hr_query_stats_sum_to_global_delta(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = build_hr(&mut rng, 80);
+        let horizon = tree.now();
+        for capacity in BUFFER_CAPACITIES {
+            tree.set_buffer_capacity(capacity);
+            let before = tree.io_stats();
+            let mut total = QueryStats::new();
+            for _ in 0..12 {
+                let area = random_rect2(&mut rng);
+                let mut out = Vec::new();
+                if rng.random_bool(0.5) {
+                    let t = rng.random_range(0..horizon.max(1));
+                    total += tree.query_snapshot(&area, t, &mut out);
+                } else {
+                    let a = rng.random_range(0..horizon.max(1));
+                    let b = rng.random_range(a..=horizon);
+                    total += tree.query_interval(&area, &TimeInterval::new(a, b + 1), &mut out);
+                }
+            }
+            assert_conserved("hr", total, before, tree.io_stats());
+        }
+    }
+
+    #[test]
+    fn rstar_query_stats_sum_to_global_delta(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = RStarTree::new(RStarParams::default());
+        for id in 0..150u64 {
+            let lo = [
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ];
+            let hi = [lo[0] + 0.1, lo[1] + 0.1, lo[2] + 0.1];
+            tree.insert(id, Rect3::new(lo, hi));
+        }
+        for capacity in BUFFER_CAPACITIES {
+            tree.set_buffer_capacity(capacity);
+            let before = tree.io_stats();
+            let mut total = QueryStats::new();
+            for _ in 0..12 {
+                let lo = [
+                    rng.random::<f64>() * 0.7,
+                    rng.random::<f64>() * 0.7,
+                    rng.random::<f64>() * 0.7,
+                ];
+                let hi = [lo[0] + 0.3, lo[1] + 0.3, lo[2] + 0.3];
+                let mut out = Vec::new();
+                total += tree.query(&Rect3::new(lo, hi), &mut out);
+            }
+            assert_conserved("rstar", total, before, tree.io_stats());
+        }
+    }
+}
