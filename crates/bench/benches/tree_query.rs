@@ -41,7 +41,7 @@ fn bench_queries(c: &mut Criterion) {
                 let mut hits = 0usize;
                 for q in qs {
                     ppr.reset_for_query();
-                    hits += ppr.query(&q.area, &q.range).len();
+                    hits += ppr.query(&q.area, &q.range).expect("mem query").len();
                 }
                 hits
             })
@@ -51,7 +51,7 @@ fn bench_queries(c: &mut Criterion) {
                 let mut hits = 0usize;
                 for q in qs {
                     rstar.reset_for_query();
-                    hits += rstar.query(&q.area, &q.range).len();
+                    hits += rstar.query(&q.area, &q.range).expect("mem query").len();
                 }
                 hits
             })

@@ -35,7 +35,7 @@ fn bench_updates(c: &mut Criterion) {
                 let mut t = PprTree::new(PprParams::default());
                 for &(id, r, at, ins) in ops {
                     if ins {
-                        t.insert(id, r, at);
+                        t.insert(id, r, at).unwrap();
                     } else {
                         t.delete(id, r, at).unwrap();
                     }
@@ -48,7 +48,7 @@ fn bench_updates(c: &mut Criterion) {
                 let mut t = HrTree::new(HrParams::default());
                 for &(id, r, at, ins) in ops {
                     if ins {
-                        t.insert(id, r, at);
+                        t.insert(id, r, at).unwrap();
                     } else {
                         t.delete(id, r, at).unwrap();
                     }

@@ -32,7 +32,7 @@ fn main() {
     for (t, ev, i) in sti_core::record_events(&records) {
         let r = &records[i];
         match ev {
-            sti_core::RecordEvent::Insert => ppr.insert(r.id, r.stbox.rect, t),
+            sti_core::RecordEvent::Insert => ppr.insert(r.id, r.stbox.rect, t).expect("mem insert"),
             sti_core::RecordEvent::Delete => {
                 ppr.delete(r.id, r.stbox.rect, t).expect("matched insert")
             }
@@ -41,7 +41,7 @@ fn main() {
     let mut rstar = RStarTree::new(RStarParams::default());
     let scale3 = f64::from(TIME_EXTENT);
     for r in &records {
-        rstar.insert(r.id, r.to_rect3(scale3));
+        rstar.insert(r.id, r.to_rect3(scale3)).expect("mem insert");
     }
 
     let mut spec = QuerySetSpec::medium_range();
@@ -57,12 +57,13 @@ fn main() {
             ppr.reset_for_query();
             let mut out = Vec::new();
             ppr.query_interval(&q.area, &q.range, &mut out)
+                .expect("mem query")
         });
         let rstar_p = profile_queries(&queries, |q| {
             rstar.reset_for_query();
             let q3 = Rect3::from_query(&q.area, &q.range, scale3);
             let mut out = Vec::new();
-            rstar.query(&q3, &mut out)
+            rstar.query(&q3, &mut out).expect("mem query")
         });
         let label = pages.to_string();
         rows.push(vec![

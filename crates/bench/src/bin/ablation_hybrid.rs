@@ -31,7 +31,8 @@ fn main() {
 
     let mut ppr = build_index(&records, IndexBackend::PprTree);
     let mut rstar = build_index(&records, IndexBackend::RStar);
-    let mut hybrid = HybridIndex::build(&records, &HybridConfig::default());
+    let mut hybrid = HybridIndex::build(&records, &HybridConfig::default())
+        .expect("in-memory build cannot fail");
 
     let mut rows = Vec::new();
     let mut profiles = Vec::new();
@@ -45,7 +46,10 @@ fn main() {
         let rstar_p = query_io_profile(&mut rstar, &queries);
         let hybrid_p = profile_queries(&queries, |q| {
             hybrid.reset_for_query();
-            hybrid.query_with_stats(&q.area, &q.range).1
+            hybrid
+                .query_with_stats(&q.area, &q.range)
+                .expect("in-memory query cannot fail")
+                .1
         });
         let label = dur.to_string();
         rows.push(vec![

@@ -34,8 +34,8 @@ fn main() {
         let r = &records[i];
         match ev {
             sti_core::RecordEvent::Insert => {
-                ppr.insert(r.id, r.stbox.rect, t);
-                hr.insert(r.id, r.stbox.rect, t);
+                ppr.insert(r.id, r.stbox.rect, t).expect("mem insert");
+                hr.insert(r.id, r.stbox.rect, t).expect("mem insert");
             }
             sti_core::RecordEvent::Delete => {
                 ppr.delete(r.id, r.stbox.rect, t).expect("matched insert");
@@ -63,6 +63,7 @@ fn main() {
             } else {
                 ppr.query_interval(&q.area, &q.range, &mut out)
             }
+            .expect("mem query")
         });
         let hr_p = profile_queries(&queries, |q| {
             hr.reset_for_query();
@@ -72,6 +73,7 @@ fn main() {
             } else {
                 hr.query_interval(&q.area, &q.range, &mut out)
             }
+            .expect("mem query")
         });
         rows.push(vec![
             qname.to_string(),

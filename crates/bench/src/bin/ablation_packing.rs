@@ -42,7 +42,8 @@ fn main() {
         );
         // Dynamic R* via the facade (random insert order, time scaled).
         let mut dynamic =
-            SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar));
+            SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar))
+                .expect("in-memory build cannot fail");
         let dyn_p = query_io_profile(&mut dynamic, &queries);
 
         // Packed variants over the identical 3D boxes.
@@ -52,7 +53,8 @@ fn main() {
             .collect();
         let mut packed = Vec::new();
         for algo in [PackingAlgorithm::Str, PackingAlgorithm::Hilbert] {
-            let mut tree = RStarTree::bulk_load(&boxes, RStarParams::default(), algo);
+            let mut tree = RStarTree::bulk_load(&boxes, RStarParams::default(), algo)
+                .expect("in-memory build cannot fail");
             packed.push(rstar_query_io_profile(&mut tree, &queries, time_scale));
         }
         let hilbert_p = packed.pop().expect("two packed runs");

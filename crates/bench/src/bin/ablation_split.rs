@@ -55,7 +55,7 @@ fn main() {
         };
         let mut tree = RStarTree::new(params);
         for &(id, rect) in &boxes {
-            tree.insert(id, rect);
+            tree.insert(id, rect).expect("mem insert");
         }
         let profile = rstar_query_io_profile(&mut tree, &queries, time_scale);
         rows.push(vec![

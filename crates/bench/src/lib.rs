@@ -138,6 +138,7 @@ pub fn split_records(
 /// Build an index with the paper's parameters.
 pub fn build_index(records: &[ObjectRecord], backend: IndexBackend) -> SpatioTemporalIndex {
     SpatioTemporalIndex::build(records, &IndexConfig::paper(backend))
+        .expect("in-memory build cannot fail")
 }
 
 /// Like [`avg_query_io`] for a raw [`sti_rstar::RStarTree`] (outside the
@@ -157,7 +158,8 @@ pub fn avg_rstar_query_io(
         tree.query(
             &sti_geom::Rect3::from_query(&q.area, &q.range, time_scale),
             &mut out,
-        );
+        )
+        .expect("in-memory query cannot fail");
         total += tree.io_stats().reads;
     }
     total as f64 / queries.len() as f64
@@ -170,7 +172,9 @@ pub fn avg_query_io(index: &mut SpatioTemporalIndex, queries: &[Query]) -> f64 {
     let mut total = 0u64;
     for q in queries {
         index.reset_for_query();
-        let _ = index.query(&q.area, &q.range);
+        let _ = index
+            .query(&q.area, &q.range)
+            .expect("in-memory query cannot fail");
         total += index.io_stats().reads;
     }
     total as f64 / queries.len() as f64
@@ -276,7 +280,10 @@ pub fn profile_queries(queries: &[Query], mut run: impl FnMut(&Query) -> QuerySt
 pub fn query_io_profile(index: &mut SpatioTemporalIndex, queries: &[Query]) -> IoProfile {
     profile_queries(queries, |q| {
         index.reset_for_query();
-        index.query_with_stats(&q.area, &q.range).1
+        index
+            .query_with_stats(&q.area, &q.range)
+            .expect("in-memory query cannot fail")
+            .1
     })
 }
 
@@ -293,6 +300,7 @@ pub fn rstar_query_io_profile(
             &sti_geom::Rect3::from_query(&q.area, &q.range, time_scale),
             &mut out,
         )
+        .expect("in-memory query cannot fail")
     })
 }
 

@@ -15,7 +15,7 @@ use crate::plan::ObjectRecord;
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_pprtree::PprParams;
 use sti_rstar::RStarParams;
-use sti_storage::IoStats;
+use sti_storage::{IoStats, StorageError};
 
 /// Configuration of the hybrid index.
 #[derive(Debug, Clone)]
@@ -54,7 +54,10 @@ pub struct HybridIndex {
 
 impl HybridIndex {
     /// Build both component indexes over the record set.
-    pub fn build(records: &[ObjectRecord], config: &HybridConfig) -> Self {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if either component's ingest fails.
+    pub fn build(records: &[ObjectRecord], config: &HybridConfig) -> Result<Self, StorageError> {
         assert!(config.duration_threshold >= 1);
         let ppr = SpatioTemporalIndex::build(
             records,
@@ -64,7 +67,7 @@ impl HybridIndex {
                 ppr: config.ppr,
                 rstar: config.rstar,
             },
-        );
+        )?;
         let rstar = SpatioTemporalIndex::build(
             records,
             &IndexConfig {
@@ -73,29 +76,36 @@ impl HybridIndex {
                 ppr: config.ppr,
                 rstar: config.rstar,
             },
-        );
-        Self {
+        )?;
+        Ok(Self {
             ppr,
             rstar,
             threshold: config.duration_threshold,
             short_queries: 0,
             long_queries: 0,
-        }
+        })
     }
 
     /// Answer a topological query through whichever component is cheaper
     /// for its duration.
-    pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
-        self.query_with_stats(area, range).0
+    ///
+    /// # Errors
+    /// A [`StorageError`] if the routed component's page reads fail.
+    pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Result<Vec<u64>, StorageError> {
+        Ok(self.query_with_stats(area, range)?.0)
     }
 
     /// Like [`HybridIndex::query`], but also report the routed
     /// component's per-query [`sti_obs::QueryStats`] delta.
+    ///
+    /// # Errors
+    /// A [`StorageError`] if the routed component's page reads fail.
+    /// The routing counters still record the attempt.
     pub fn query_with_stats(
         &mut self,
         area: &Rect2,
         range: &TimeInterval,
-    ) -> (Vec<u64>, sti_obs::QueryStats) {
+    ) -> Result<(Vec<u64>, sti_obs::QueryStats), StorageError> {
         if range.len() < u64::from(self.threshold) {
             self.short_queries += 1;
             self.ppr.query_with_stats(area, range)
@@ -163,29 +173,35 @@ mod tests {
     #[test]
     fn routes_by_duration_and_agrees_with_components() {
         let records = unsplit_records(&dataset());
-        let mut hybrid = HybridIndex::build(&records, &HybridConfig::default());
+        let mut hybrid = HybridIndex::build(&records, &HybridConfig::default()).unwrap();
         let mut ppr =
-            SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree));
+            SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree))
+                .unwrap();
         let area = Rect2::from_bounds(0.2, 0.4, 0.7, 0.6);
 
         let short = TimeInterval::new(100, 105);
-        assert_eq!(hybrid.query(&area, &short), ppr.query(&area, &short));
+        assert_eq!(
+            hybrid.query(&area, &short).unwrap(),
+            ppr.query(&area, &short).unwrap()
+        );
         assert_eq!(hybrid.short_queries(), 1);
         assert_eq!(hybrid.long_queries(), 0);
 
         let long = TimeInterval::new(100, 400);
-        let got = hybrid.query(&area, &long);
+        let got = hybrid.query(&area, &long).unwrap();
         assert_eq!(hybrid.long_queries(), 1);
         // Long answers still agree with the PPR component (both exact).
-        assert_eq!(got, ppr.query(&area, &long));
+        assert_eq!(got, ppr.query(&area, &long).unwrap());
     }
 
     #[test]
     fn pages_are_the_sum_of_components() {
         let records = unsplit_records(&dataset());
-        let hybrid = HybridIndex::build(&records, &HybridConfig::default());
-        let ppr = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree));
-        let rstar = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar));
+        let hybrid = HybridIndex::build(&records, &HybridConfig::default()).unwrap();
+        let ppr = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree))
+            .unwrap();
+        let rstar =
+            SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar)).unwrap();
         assert_eq!(hybrid.num_pages(), ppr.num_pages() + rstar.num_pages());
     }
 
@@ -198,8 +214,11 @@ mod tests {
                 duration_threshold: 1,
                 ..HybridConfig::default()
             },
-        );
-        let _ = hybrid.query(&Rect2::UNIT, &TimeInterval::instant(50));
+        )
+        .unwrap();
+        let _ = hybrid
+            .query(&Rect2::UNIT, &TimeInterval::instant(50))
+            .unwrap();
         assert_eq!(hybrid.long_queries(), 1);
         assert_eq!(hybrid.short_queries(), 0);
     }

@@ -8,9 +8,9 @@ use crate::single::SingleSplitAlgorithm;
 use std::time::Duration;
 use sti_geom::{Rect2, Rect3, Time, TimeInterval};
 use sti_obs::{QueryStats, Span, SpanSink, SpanTimer};
-use sti_pprtree::{PprParams, PprTree};
+use sti_pprtree::{DeleteError, PprParams, PprTree};
 use sti_rstar::{RStarParams, RStarTree};
-use sti_storage::IoStats;
+use sti_storage::{FaultStats, IoStats, StorageError};
 use sti_trajectory::RasterizedObject;
 
 /// Which index structure backs a [`SpatioTemporalIndex`].
@@ -131,21 +131,26 @@ pub struct SpatioTemporalIndex {
 
 impl SpatioTemporalIndex {
     /// Build an index over the record set.
-    pub fn build(records: &[ObjectRecord], config: &IndexConfig) -> Self {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if the backend's page store fails during
+    /// ingest (only possible with a fallible backing store; the default
+    /// in-memory store cannot fail).
+    pub fn build(records: &[ObjectRecord], config: &IndexConfig) -> Result<Self, StorageError> {
         let backend = match config.backend {
-            IndexBackend::PprTree => Backend::Ppr(build_ppr(records, config.ppr)),
+            IndexBackend::PprTree => Backend::Ppr(build_ppr(records, config.ppr)?),
             IndexBackend::RStar => {
                 let time_scale = f64::from(config.time_extent);
                 Backend::RStar {
-                    tree: build_rstar(records, config.rstar, time_scale),
+                    tree: build_rstar(records, config.rstar, time_scale)?,
                     time_scale,
                 }
             }
         };
-        Self {
+        Ok(Self {
             backend,
             record_count: records.len(),
-        }
+        })
     }
 
     /// Split the objects and build an index in one step, reporting a
@@ -154,6 +159,10 @@ impl SpatioTemporalIndex {
     /// The curve phase fans out over `parallelism`
     /// ([`crate::parallel::map_chunked`]); the resulting plan, records,
     /// and index are byte-identical for every setting.
+    ///
+    /// # Errors
+    /// A [`StorageError`] if ingest fails (see
+    /// [`SpatioTemporalIndex::build`]).
     #[allow(clippy::too_many_arguments)]
     pub fn build_from_objects(
         objects: &[RasterizedObject],
@@ -163,7 +172,7 @@ impl SpatioTemporalIndex {
         max_splits_per_object: Option<usize>,
         config: &IndexConfig,
         parallelism: Parallelism,
-    ) -> (Self, BuildStats) {
+    ) -> Result<(Self, BuildStats), StorageError> {
         let plan = SplitPlan::build_with(
             objects,
             single,
@@ -174,7 +183,7 @@ impl SpatioTemporalIndex {
         );
         let timer = SpanTimer::start("tree_build");
         let records = plan.records(objects);
-        let index = Self::build(&records, config);
+        let index = Self::build(&records, config)?;
         let plan_stats = plan.stats();
         let stats = BuildStats {
             workers: plan_stats.workers,
@@ -183,13 +192,22 @@ impl SpatioTemporalIndex {
             tree_build_time: timer.finish_span().elapsed,
             records_emitted: records.len(),
         };
-        (index, stats)
+        Ok((index, stats))
     }
 
-    /// Borrow the underlying PPR-Tree, when that backend is active
-    /// (e.g. to persist it with [`PprTree::save_to_file`]).
+    /// Borrow the underlying PPR-Tree, when that backend is active.
     pub fn as_ppr(&self) -> Option<&PprTree> {
         match &self.backend {
+            Backend::Ppr(t) => Some(t),
+            Backend::RStar { .. } => None,
+        }
+    }
+
+    /// Mutably borrow the underlying PPR-Tree, when that backend is
+    /// active (e.g. to persist it with [`PprTree::save_to_file`], which
+    /// needs `&mut` to flush and stamp the store).
+    pub fn as_ppr_mut(&mut self) -> Option<&mut PprTree> {
+        match &mut self.backend {
             Backend::Ppr(t) => Some(t),
             Backend::RStar { .. } => None,
         }
@@ -198,6 +216,15 @@ impl SpatioTemporalIndex {
     /// Borrow the underlying R\*-Tree, when that backend is active.
     pub fn as_rstar(&self) -> Option<&RStarTree> {
         match &self.backend {
+            Backend::RStar { tree, .. } => Some(tree),
+            Backend::Ppr(_) => None,
+        }
+    }
+
+    /// Mutably borrow the underlying R\*-Tree, when that backend is
+    /// active.
+    pub fn as_rstar_mut(&mut self) -> Option<&mut RStarTree> {
+        match &mut self.backend {
             Backend::RStar { tree, .. } => Some(tree),
             Backend::Ppr(_) => None,
         }
@@ -232,6 +259,15 @@ impl SpatioTemporalIndex {
         }
     }
 
+    /// Accumulated fault/retry counters from the backing store (all
+    /// zero unless a fault-injecting backend is attached).
+    pub fn fault_stats(&self) -> FaultStats {
+        match &self.backend {
+            Backend::Ppr(t) => t.fault_stats(),
+            Backend::RStar { tree, .. } => tree.fault_stats(),
+        }
+    }
+
     /// Reset I/O counters and buffer pool before a measured query.
     pub fn reset_for_query(&mut self) {
         match &mut self.backend {
@@ -242,61 +278,76 @@ impl SpatioTemporalIndex {
 
     /// Answer a topological query: ids of objects intersecting `area`
     /// at any instant of `range`, de-duplicated and sorted.
-    pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
-        self.query_with_stats(area, range).0
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries; the index
+    /// is unchanged (queries are read-only).
+    pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Result<Vec<u64>, StorageError> {
+        Ok(self.query_with_stats(area, range)?.0)
     }
 
     /// Like [`SpatioTemporalIndex::query`], but also report the
     /// per-query [`QueryStats`] delta. `results` reflects the
     /// de-duplicated result count the caller receives; the I/O fields
     /// reconcile exactly with the global [`IoStats`] counters.
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries.
     pub fn query_with_stats(
         &mut self,
         area: &Rect2,
         range: &TimeInterval,
-    ) -> (Vec<u64>, QueryStats) {
+    ) -> Result<(Vec<u64>, QueryStats), StorageError> {
         assert!(!range.is_empty(), "empty query range");
         let mut out = Vec::new();
         let mut stats = match &mut self.backend {
             Backend::Ppr(t) => {
                 if range.len() == 1 {
-                    t.query_snapshot(area, range.start, &mut out)
+                    t.query_snapshot(area, range.start, &mut out)?
                 } else {
-                    t.query_interval(area, range, &mut out)
+                    t.query_interval(area, range, &mut out)?
                 }
             }
             Backend::RStar { tree, time_scale } => {
-                tree.query(&Rect3::from_query(area, range, *time_scale), &mut out)
+                tree.query(&Rect3::from_query(area, range, *time_scale), &mut out)?
             }
         };
         out.sort_unstable();
         out.dedup();
         stats.results = out.len() as u64;
-        (out, stats)
+        Ok((out, stats))
     }
 }
 
 /// Ingest records into a PPR-Tree as a time-ordered update stream.
 /// Deletions at an instant are applied before insertions so an object's
 /// consecutive split pieces never coexist.
-fn build_ppr(records: &[ObjectRecord], params: PprParams) -> PprTree {
+fn build_ppr(records: &[ObjectRecord], params: PprParams) -> Result<PprTree, StorageError> {
     let mut tree = PprTree::new(params);
     for (t, ev, i) in crate::plan::record_events(records) {
         let r = &records[i];
         match ev {
-            crate::plan::RecordEvent::Insert => tree.insert(r.id, r.stbox.rect, t),
-            crate::plan::RecordEvent::Delete => tree
-                .delete(r.id, r.stbox.rect, t)
-                // stilint::allow(no_panic, "record_events derives every delete from a record it also emits an insert for, and deletes sort before inserts at equal times")
-                .expect("every delete event matches an earlier insert"),
+            crate::plan::RecordEvent::Insert => tree.insert(r.id, r.stbox.rect, t)?,
+            crate::plan::RecordEvent::Delete => match tree.delete(r.id, r.stbox.rect, t) {
+                Ok(()) => {}
+                Err(DeleteError::Storage(e)) => return Err(e),
+                Err(e @ DeleteError::NotFound { .. }) => {
+                    // stilint::allow(no_panic, "record_events derives every delete from a record it also emits an insert for, and deletes sort before inserts at equal times")
+                    panic!("every delete event matches an earlier insert: {e}")
+                }
+            },
         }
     }
-    tree
+    Ok(tree)
 }
 
 /// Ingest records into a 3D R\*-Tree in deterministic pseudo-random order
 /// (the paper inserts "in random order"), time scaled to the unit range.
-fn build_rstar(records: &[ObjectRecord], params: RStarParams, time_scale: f64) -> RStarTree {
+fn build_rstar(
+    records: &[ObjectRecord],
+    params: RStarParams,
+    time_scale: f64,
+) -> Result<RStarTree, StorageError> {
     let mut order: Vec<usize> = (0..records.len()).collect();
     // Multiplicative-hash shuffle: deterministic, dependency-free.
     order.sort_by_key(|&i| {
@@ -307,9 +358,9 @@ fn build_rstar(records: &[ObjectRecord], params: RStarParams, time_scale: f64) -
     let mut tree = RStarTree::new(params);
     for i in order {
         let r = &records[i];
-        tree.insert(r.id, r.to_rect3(time_scale));
+        tree.insert(r.id, r.to_rect3(time_scale))?;
     }
-    tree
+    Ok(tree)
 }
 
 #[cfg(test)]
@@ -376,11 +427,11 @@ mod tests {
         let objs = dataset();
         let records = unsplit_records(&objs);
         for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-            let mut idx = SpatioTemporalIndex::build(&records, &small_config(backend));
+            let mut idx = SpatioTemporalIndex::build(&records, &small_config(backend)).unwrap();
             for (cx, cy, t) in [(0.3, 0.3, 100u32), (0.7, 0.2, 400), (0.1, 0.9, 750)] {
                 let area = Rect2::from_bounds(cx, cy, cx + 0.2, cy + 0.08);
                 let range = TimeInterval::new(t, t + 1);
-                let got = idx.query(&area, &range);
+                let got = idx.query(&area, &range).unwrap();
                 // Unsplit MBRs over-approximate: every true hit must be
                 // reported, because an object's MBR contains the object.
                 for id in oracle(&objs, &area, &range) {
@@ -401,8 +452,10 @@ mod tests {
             None,
         );
         let records = plan.records(&objs);
-        let mut ppr = SpatioTemporalIndex::build(&records, &small_config(IndexBackend::PprTree));
-        let mut rstar = SpatioTemporalIndex::build(&records, &small_config(IndexBackend::RStar));
+        let mut ppr =
+            SpatioTemporalIndex::build(&records, &small_config(IndexBackend::PprTree)).unwrap();
+        let mut rstar =
+            SpatioTemporalIndex::build(&records, &small_config(IndexBackend::RStar)).unwrap();
 
         let brute = |area: &Rect2, range: &TimeInterval| -> Vec<u64> {
             let mut v: Vec<u64> = records
@@ -420,8 +473,8 @@ mod tests {
             let area = Rect2::from_bounds(x, 0.1, x + 0.15, 0.5);
             let range = TimeInterval::new(i * 40, i * 40 + 1 + (i % 7));
             let want = brute(&area, &range);
-            assert_eq!(ppr.query(&area, &range), want, "PPR query {i}");
-            assert_eq!(rstar.query(&area, &range), want, "R* query {i}");
+            assert_eq!(ppr.query(&area, &range).unwrap(), want, "PPR query {i}");
+            assert_eq!(rstar.query(&area, &range).unwrap(), want, "R* query {i}");
         }
     }
 
@@ -438,11 +491,12 @@ mod tests {
             Some(8),
         );
         let records = plan.records(&objs);
-        let mut idx = SpatioTemporalIndex::build(&records, &small_config(IndexBackend::PprTree));
+        let mut idx =
+            SpatioTemporalIndex::build(&records, &small_config(IndexBackend::PprTree)).unwrap();
         for t in (0..900).step_by(97) {
             let area = Rect2::from_bounds(0.2, 0.2, 0.6, 0.6);
             let range = TimeInterval::new(t, t + 1);
-            let got = idx.query(&area, &range);
+            let got = idx.query(&area, &range).unwrap();
             for id in oracle(&objs, &area, &range) {
                 assert!(got.contains(&id), "missing object {id} at t={t}");
             }
@@ -453,9 +507,12 @@ mod tests {
     fn io_counting_is_wired_through() {
         let objs = dataset();
         let records = unsplit_records(&objs);
-        let mut idx = SpatioTemporalIndex::build(&records, &small_config(IndexBackend::PprTree));
+        let mut idx =
+            SpatioTemporalIndex::build(&records, &small_config(IndexBackend::PprTree)).unwrap();
         idx.reset_for_query();
-        let _ = idx.query(&Rect2::UNIT, &TimeInterval::new(100, 101));
+        let _ = idx
+            .query(&Rect2::UNIT, &TimeInterval::new(100, 101))
+            .unwrap();
         assert!(idx.io_stats().reads > 0, "queries must cost I/O");
         assert!(idx.num_pages() > 0);
         assert_eq!(idx.record_count(), records.len());
@@ -467,7 +524,8 @@ mod tests {
     fn rejects_empty_range() {
         let objs = dataset();
         let records = unsplit_records(&objs);
-        let mut idx = SpatioTemporalIndex::build(&records, &small_config(IndexBackend::RStar));
+        let mut idx =
+            SpatioTemporalIndex::build(&records, &small_config(IndexBackend::RStar)).unwrap();
         let _ = idx.query(&Rect2::UNIT, &TimeInterval::new(5, 5));
     }
 }

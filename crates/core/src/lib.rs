@@ -29,7 +29,7 @@ pub use curve::VolumeCurve;
 pub use hybrid::{HybridConfig, HybridIndex};
 pub use index::{BuildStats, IndexBackend, IndexConfig, SpatioTemporalIndex};
 pub use multi::{DistributionAlgorithm, SplitAllocation};
-pub use online::{FinishError, OnlineIndexer, OnlineSplitConfig, OnlineSplitter};
+pub use online::{FinishError, OnlineError, OnlineIndexer, OnlineSplitConfig, OnlineSplitter};
 pub use parallel::{map_chunked, Parallelism};
 pub use plan::{
     piecewise_records, record_events, total_volume, unsplit_records, ObjectRecord, PlanStats,

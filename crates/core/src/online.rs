@@ -22,7 +22,9 @@ use crate::plan::{ObjectRecord, RecordEvent};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use sti_geom::{Rect2, StBox, Time, TimeInterval};
-use sti_pprtree::{PprParams, PprTree};
+use sti_obs::QueryStats;
+use sti_pprtree::{DeleteError, PprParams, PprTree};
+use sti_storage::StorageError;
 
 /// Failure of an [`OnlineSplitter::finish`] (or [`OnlineIndexer::finish`])
 /// call. The splitter is left unchanged.
@@ -60,6 +62,48 @@ impl std::fmt::Display for FinishError {
 }
 
 impl std::error::Error for FinishError {}
+
+/// Failure of an [`OnlineIndexer`] operation: either the splitter
+/// rejected the call (a caller error) or the backing page store failed
+/// (an I/O error, possibly after retries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlineError {
+    /// The splitter rejected the call; see [`FinishError`].
+    Split(FinishError),
+    /// The tree's page store failed; the affected events stay buffered
+    /// and are retried on the next flush.
+    Storage(StorageError),
+}
+
+impl From<FinishError> for OnlineError {
+    fn from(e: FinishError) -> Self {
+        OnlineError::Split(e)
+    }
+}
+
+impl From<StorageError> for OnlineError {
+    fn from(e: StorageError) -> Self {
+        OnlineError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::Split(e) => write!(f, "{e}"),
+            OnlineError::Storage(e) => write!(f, "indexing halted by storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnlineError::Split(e) => Some(e),
+            OnlineError::Storage(e) => Some(e),
+        }
+    }
+}
 
 /// Tuning of the online split decision.
 #[derive(Debug, Clone, Copy)]
@@ -349,30 +393,39 @@ impl OnlineIndexer {
     }
 
     /// Observe object `id` at `rect` during instant `t`.
-    pub fn update(&mut self, id: u64, rect: Rect2, t: Time) {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if flushing finalized events into the tree
+    /// fails. The observation itself is absorbed either way; the events
+    /// that could not be applied stay buffered and are retried on the
+    /// next flush (each failed tree update rolls back atomically).
+    pub fn update(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), StorageError> {
         assert!(t >= self.now, "updates must be time-ordered");
         self.now = t;
         if let Some(record) = self.splitter.observe(id, rect, t) {
             self.push_record(record);
         }
-        self.flush();
+        self.flush()
     }
 
     /// Object `id` disappears; `end` is one past its last observed
     /// instant.
     ///
     /// # Errors
-    /// Propagates the splitter's [`FinishError`]; the indexer is
-    /// unchanged on error (in particular, time does not advance).
+    /// [`OnlineError::Split`] if the splitter rejects the call; the
+    /// indexer is unchanged (in particular, time does not advance).
+    /// [`OnlineError::Storage`] if flushing into the tree fails; the
+    /// finish itself is recorded and its events stay buffered for the
+    /// next flush.
     ///
     /// # Panics
     /// If `end` precedes an earlier update (streams are time-ordered).
-    pub fn finish(&mut self, id: u64, end: Time) -> Result<(), FinishError> {
+    pub fn finish(&mut self, id: u64, end: Time) -> Result<(), OnlineError> {
         assert!(end >= self.now, "updates must be time-ordered");
         let record = self.splitter.finish(id, end)?;
         self.now = end;
         self.push_record(record);
-        self.flush();
+        self.flush()?;
         Ok(())
     }
 
@@ -398,20 +451,28 @@ impl OnlineIndexer {
         self.splitter.watermark().unwrap_or(self.now)
     }
 
-    fn apply_event(&mut self, ev: Ev) {
+    fn apply_event(&mut self, ev: &Ev) -> Result<(), StorageError> {
         match ev.kind {
             RecordEvent::Insert => self
                 .tree
                 .insert(ev.record.id, ev.record.stbox.rect, ev.time),
-            RecordEvent::Delete => self
-                .tree
-                .delete(ev.record.id, ev.record.stbox.rect, ev.time)
-                // stilint::allow(no_panic, "record_events pairs each delete with the insert it buffered earlier, and deletes sort before inserts at equal times")
-                .expect("every buffered delete matches an earlier insert"),
+            RecordEvent::Delete => {
+                match self
+                    .tree
+                    .delete(ev.record.id, ev.record.stbox.rect, ev.time)
+                {
+                    Ok(()) => Ok(()),
+                    Err(DeleteError::Storage(e)) => Err(e),
+                    Err(e @ DeleteError::NotFound { .. }) => {
+                        // stilint::allow(no_panic, "record_events pairs each delete with the insert it buffered earlier, and deletes sort before inserts at equal times")
+                        panic!("every buffered delete matches an earlier insert: {e}")
+                    }
+                }
+            }
         }
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), StorageError> {
         let w = self.watermark();
         loop {
             let Some(top) = self.buffer.peek_mut() else {
@@ -421,22 +482,36 @@ impl OnlineIndexer {
                 break;
             }
             let Reverse(ev) = std::collections::binary_heap::PeekMut::pop(top);
-            self.apply_event(ev);
+            if let Err(e) = self.apply_event(&ev) {
+                // The tree update rolled back; requeue the event (same
+                // seq, so ordering is preserved) and surface the error.
+                self.buffer.push(Reverse(ev));
+                return Err(e);
+            }
         }
+        Ok(())
     }
 
     /// Snapshot query at instant `t`, which must lie before the
     /// watermark (later history is still buffered).
     ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries.
+    ///
     /// # Panics
     /// If `t` is at or past the watermark.
-    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) {
+    pub fn query_snapshot(
+        &mut self,
+        area: &Rect2,
+        t: Time,
+        out: &mut Vec<u64>,
+    ) -> Result<QueryStats, StorageError> {
         assert!(
             t < self.watermark(),
             "instant {t} not yet final (watermark {})",
             self.watermark()
         );
-        self.tree.query_snapshot(area, t, out);
+        self.tree.query_snapshot(area, t, out)
     }
 
     /// Number of artificial splits issued so far.
@@ -445,7 +520,12 @@ impl OnlineIndexer {
     }
 
     /// Close every remaining piece at `end` and return the finished tree.
-    pub fn seal(mut self, end: Time) -> PprTree {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if the final flush fails; the indexer is
+    /// consumed either way (a fallible backend that keeps failing leaves
+    /// nothing worth resuming — rebuild from the stream instead).
+    pub fn seal(mut self, end: Time) -> Result<PprTree, StorageError> {
         assert!(end >= self.now);
         let open: Vec<(u64, Time)> = self
             .splitter
@@ -466,9 +546,9 @@ impl OnlineIndexer {
         }
         // Everything is closed: flush the buffer completely, in order.
         while let Some(Reverse(ev)) = self.buffer.pop() {
-            self.apply_event(ev);
+            self.apply_event(&ev)?;
         }
-        self.tree
+        Ok(self.tree)
     }
 }
 
@@ -652,13 +732,15 @@ mod tests {
             ..PprParams::default()
         };
         let mut idx = OnlineIndexer::new(OnlineSplitConfig::default(), params);
-        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 0);
+        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 0)
+            .unwrap();
         assert!(matches!(
             idx.finish(2, 5),
-            Err(FinishError::NotOpen { id: 2 })
+            Err(OnlineError::Split(FinishError::NotOpen { id: 2 }))
         ));
         // The failed finish must not have advanced the clock past 0.
-        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 1);
+        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 1)
+            .unwrap();
         idx.finish(1, 2).unwrap();
     }
 
@@ -739,36 +821,38 @@ mod tests {
         let b = mover(40);
         for t in 0..60u32 {
             if t < 40 {
-                idx.update(1, a[t as usize], t);
+                idx.update(1, a[t as usize], t).unwrap();
             }
             if t == 40 {
                 idx.finish(1, 40).unwrap();
             }
             if (10..50).contains(&t) {
-                idx.update(2, b[(t - 10) as usize], t);
+                idx.update(2, b[(t - 10) as usize], t).unwrap();
             }
             if t == 50 {
                 idx.finish(2, 50).unwrap();
             }
-            idx.update(3, Rect2::from_bounds(0.9, 0.9, 0.95, 0.95), t);
+            idx.update(3, Rect2::from_bounds(0.9, 0.9, 0.95, 0.95), t)
+                .unwrap();
         }
         // Anchor still open from t=0: watermark is its piece start, so
         // only a prefix is queryable mid-stream; sealing finishes all.
         let splits = idx.splits_issued();
         assert!(splits >= 2, "movers should have split, got {splits}");
-        let mut tree = idx.seal(60);
+        let mut tree = idx.seal(60).unwrap();
         tree.validate();
         let mut out = Vec::new();
-        tree.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        tree.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![1, 3]);
         out.clear();
-        tree.query_snapshot(&Rect2::UNIT, 45, &mut out);
+        tree.query_snapshot(&Rect2::UNIT, 45, &mut out).unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![2, 3]);
         out.clear();
         // Object 1's pieces: found once over its whole life.
-        tree.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 60), &mut out);
+        tree.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 60), &mut out)
+            .unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![1, 2, 3]);
     }
@@ -789,12 +873,12 @@ mod tests {
             params,
         );
         for (i, r) in mover(30).iter().enumerate() {
-            idx.update(1, *r, i as Time);
+            idx.update(1, *r, i as Time).unwrap();
         }
         let w = idx.watermark();
         assert!(w > 0, "length-capped pieces must advance the watermark");
         let mut out = Vec::new();
-        idx.query_snapshot(&Rect2::UNIT, w - 1, &mut out);
+        idx.query_snapshot(&Rect2::UNIT, w - 1, &mut out).unwrap();
         assert_eq!(out, vec![1]);
     }
 
@@ -807,9 +891,10 @@ mod tests {
             ..PprParams::default()
         };
         let mut idx = OnlineIndexer::new(OnlineSplitConfig::default(), params);
-        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 0);
+        idx.update(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 0)
+            .unwrap();
         let mut out = Vec::new();
-        idx.query_snapshot(&Rect2::UNIT, 0, &mut out);
+        let _ = idx.query_snapshot(&Rect2::UNIT, 0, &mut out);
     }
 
     /// Failed finishes are typed errors and leave the splitter's open
@@ -857,19 +942,22 @@ mod tests {
         let mut idx = OnlineIndexer::new(OnlineSplitConfig::default(), params);
         let r = Rect2::from_bounds(0.3, 0.3, 0.35, 0.35);
         for t in 0..10 {
-            idx.update(5, r, t);
+            idx.update(5, r, t).unwrap();
         }
         let w = idx.watermark();
 
         assert_eq!(
             idx.finish(5, 25),
-            Err(FinishError::WrongEnd {
+            Err(OnlineError::Split(FinishError::WrongEnd {
                 id: 5,
                 end: 25,
                 expected: 10
-            })
+            }))
         );
-        assert_eq!(idx.finish(6, 10), Err(FinishError::NotOpen { id: 6 }));
+        assert_eq!(
+            idx.finish(6, 10),
+            Err(OnlineError::Split(FinishError::NotOpen { id: 6 }))
+        );
         assert_eq!(
             idx.watermark(),
             w,
@@ -877,7 +965,7 @@ mod tests {
         );
 
         idx.finish(5, 10).unwrap();
-        let tree = idx.seal(10);
+        let tree = idx.seal(10).unwrap();
         assert_eq!(tree.alive_records(), 0);
         assert!(sti_pprtree::check::validate(&tree).is_ok());
     }

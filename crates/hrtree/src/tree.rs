@@ -5,10 +5,13 @@ use crate::node::{HrEntry, HrNode, HrParams};
 use std::collections::HashSet;
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_obs::QueryStats;
-use sti_storage::{IoStats, Page, PageId, PageStore};
+use sti_storage::{
+    CorruptReason, FaultStats, IoStats, Page, PageBackend, PageId, PageStore, RetryPolicy,
+    StorageError,
+};
 
 /// Error from [`HrTree::delete`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeleteError {
     /// No record `(id, rect)` exists in the current version.
     NotFound {
@@ -17,6 +20,16 @@ pub enum DeleteError {
         /// The delete timestamp.
         t: Time,
     },
+    /// The underlying page store failed. The partial update was rolled
+    /// back: pages, version log, clock and the alive counter all hold
+    /// their pre-call values.
+    Storage(StorageError),
+}
+
+impl From<StorageError> for DeleteError {
+    fn from(e: StorageError) -> Self {
+        DeleteError::Storage(e)
+    }
 }
 
 impl std::fmt::Display for DeleteError {
@@ -25,11 +38,19 @@ impl std::fmt::Display for DeleteError {
             DeleteError::NotFound { id, t } => {
                 write!(f, "no record {id} alive in the current version at t={t}")
             }
+            DeleteError::Storage(e) => write!(f, "delete aborted by storage error: {e}"),
         }
     }
 }
 
-impl std::error::Error for DeleteError {}
+impl std::error::Error for DeleteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeleteError::NotFound { .. } => None,
+            DeleteError::Storage(e) => Some(e),
+        }
+    }
+}
 
 /// One version of the overlapping structure: the R-Tree rooted at `page`
 /// is current from `time` until the next version's timestamp.
@@ -50,6 +71,11 @@ pub struct HrVersion {
 /// split), so all versions share their unchanged branches. Storage
 /// therefore grows by O(height) pages per change — the overhead the paper
 /// cites when preferring the multi-version PPR-Tree.
+///
+/// Every operation that touches the page store is fallible: updates run
+/// inside a page-level undo transaction and roll back completely on
+/// error (see DESIGN.md §6), so a failed `insert`/`delete` leaves the
+/// tree exactly as it was.
 pub struct HrTree {
     store: PageStore,
     params: HrParams,
@@ -61,7 +87,8 @@ pub struct HrTree {
 
 /// Reusable query-time allocations, cleared at every query entry (they
 /// carry capacity, never data, between calls) — same pattern as the
-/// PPR-Tree's scratch block.
+/// PPR-Tree's scratch block. The scratch is restored even when a query
+/// aborts on a storage error.
 #[derive(Debug, Default)]
 struct QueryScratch {
     /// Dedup set for interval-query results.
@@ -79,6 +106,20 @@ impl HrTree {
         params.validate();
         Self {
             store: PageStore::new(params.buffer_pages),
+            params,
+            versions: Vec::new(),
+            now: 0,
+            alive: 0,
+            scratch: QueryScratch::default(),
+        }
+    }
+
+    /// Create an empty tree over a caller-supplied page backend (e.g. a
+    /// [`sti_storage::FaultyBackend`] for fault-injection suites).
+    pub fn with_backend(params: HrParams, backend: Box<dyn PageBackend>) -> Self {
+        params.validate();
+        Self {
+            store: PageStore::with_backend(backend, params.buffer_pages),
             params,
             versions: Vec::new(),
             now: 0,
@@ -107,6 +148,16 @@ impl HrTree {
         self.store.stats()
     }
 
+    /// Accumulated fault/retry counters from the backing store.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.store.fault_stats()
+    }
+
+    /// Replace the retry budget for transient storage faults.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.store.set_retry_policy(policy);
+    }
+
     /// Timestamp of the newest update (0 on an empty tree).
     pub fn now(&self) -> Time {
         self.now
@@ -129,8 +180,41 @@ impl HrTree {
     // ------------------------------------------------------------------
 
     /// Insert a record alive from `t` onward.
-    pub fn insert(&mut self, id: u64, rect: Rect2, t: Time) {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if the page store fails; the update is rolled
+    /// back and the tree (pages, version log, clock, counter) is
+    /// unchanged.
+    ///
+    /// # Panics
+    /// If `t` precedes an earlier update (versions are time-ordered) or
+    /// the rectangle is the empty sentinel — caller bugs, rejected before
+    /// any page is touched.
+    pub fn insert(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), StorageError> {
         assert!(!rect.is_empty(), "cannot index an empty rectangle");
+        assert!(
+            t >= self.now,
+            "updates must be time-ordered: {t} < {}",
+            self.now
+        );
+        let versions_before = self.versions.clone();
+        let state_before = (self.now, self.alive);
+        self.store.begin_txn();
+        match self.insert_inner(id, rect, t) {
+            Ok(()) => {
+                self.store.commit_txn();
+                Ok(())
+            }
+            Err(e) => {
+                self.store.rollback_txn();
+                self.versions = versions_before;
+                (self.now, self.alive) = state_before;
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_inner(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), StorageError> {
         self.advance(t);
         let entry = HrEntry { rect, ptr: id };
         match self.current() {
@@ -139,32 +223,53 @@ impl HrTree {
                     level: 0,
                     entries: vec![entry],
                 };
-                let page = self.write_new(&node);
+                let page = self.write_new(&node)?;
                 self.set_root(page, 0, t);
             }
             Some(v) => {
-                let (page, level) = self.functional_insert(v, entry, 0);
+                let (page, level) = self.functional_insert(v, entry, 0)?;
                 self.set_root(page, level, t);
             }
         }
         self.alive += 1;
+        Ok(())
     }
 
     /// Delete the alive record `(id, rect)` at time `t`.
     ///
     /// # Errors
     /// [`DeleteError::NotFound`] if no record `(id, rect)` exists in the
-    /// current version; the evolution is unchanged (the failed update
-    /// does not advance time or register a version).
+    /// current version, or [`DeleteError::Storage`] if the page store
+    /// failed mid-update; either way the evolution is unchanged (a failed
+    /// update neither advances time nor registers a version — storage
+    /// failures roll back).
     ///
     /// # Panics
     /// If `t` precedes an earlier update (versions are time-ordered).
     pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), DeleteError> {
+        let versions_before = self.versions.clone();
+        let state_before = (self.now, self.alive);
+        self.store.begin_txn();
+        match self.delete_inner(id, rect, t) {
+            Ok(()) => {
+                self.store.commit_txn();
+                Ok(())
+            }
+            Err(e) => {
+                self.store.rollback_txn();
+                self.versions = versions_before;
+                (self.now, self.alive) = state_before;
+                Err(e)
+            }
+        }
+    }
+
+    fn delete_inner(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), DeleteError> {
         let Some(v) = self.current() else {
             return Err(DeleteError::NotFound { id, t });
         };
         let mut orphans: Vec<(HrEntry, u32)> = Vec::new();
-        let outcome = self.delete_rec(v.page, id, &rect, &mut orphans, true);
+        let outcome = self.delete_rec(v.page, id, &rect, &mut orphans, true)?;
         let replacement = match outcome {
             // delete_rec copies no pages until it has found the record,
             // so NotHere leaves the store untouched.
@@ -183,7 +288,7 @@ impl HrTree {
             if lvl == 0 {
                 leaf_orphans.push(e);
             } else {
-                self.collect_leaf_entries(e.child_page(), &mut leaf_orphans);
+                self.collect_leaf_entries(e.child_page(), &mut leaf_orphans)?;
             }
         }
         let mut root = replacement;
@@ -194,7 +299,7 @@ impl HrTree {
                         level: 0,
                         entries: vec![e],
                     };
-                    (self.write_new(&node), 0)
+                    (self.write_new(&node)?, 0)
                 }
                 Some((page, level)) => {
                     let v = HrVersion {
@@ -202,7 +307,7 @@ impl HrTree {
                         page,
                         level,
                     };
-                    self.functional_insert(v, e, 0)
+                    self.functional_insert(v, e, 0)?
                 }
             });
         }
@@ -211,7 +316,7 @@ impl HrTree {
             if level == 0 {
                 break;
             }
-            let node = self.read_node(page);
+            let node = self.read_node(page)?;
             if node.entries.len() == 1 {
                 root = Some((node.entries[0].child_page(), level - 1));
             } else {
@@ -222,7 +327,7 @@ impl HrTree {
             Some((page, level)) => self.set_root(page, level, t),
             None => {
                 // The version at t is an empty tree.
-                let page = self.write_new(&HrNode::new(0));
+                let page = self.write_new(&HrNode::new(0))?;
                 self.set_root(page, 0, t);
             }
         }
@@ -272,16 +377,34 @@ impl HrTree {
     ///
     /// Returns the [`QueryStats`] delta for this call, reconciling
     /// exactly with the global [`IoStats`] counters.
-    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) -> QueryStats {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries. The tree is
+    /// unchanged (queries are read-only), but `out` may already hold the
+    /// matches found before the failing read.
+    pub fn query_snapshot(
+        &mut self,
+        area: &Rect2,
+        t: Time,
+        out: &mut Vec<u64>,
+    ) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
         let before = self.store.stats();
+        let faults_before = self.store.fault_stats();
+        let mut failed = None;
         if let Some(idx) = self.version_at(t) {
             let root = self.versions[idx];
             let mut stack = std::mem::take(&mut self.scratch.stack);
             stack.clear();
             stack.push(root.page);
             while let Some(page) = stack.pop() {
-                let node = self.read_node(page);
+                let node = match self.read_node(page) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                };
                 stats.nodes_visited += 1;
                 for e in &node.entries {
                     stats.entries_scanned += 1;
@@ -297,11 +420,19 @@ impl HrTree {
             }
             self.scratch.stack = stack;
         }
+        if let Some(e) = failed {
+            return Err(e);
+        }
         let after = self.store.stats();
         stats.disk_reads = after.reads - before.reads;
         stats.buffer_hits = after.buffer_hits - before.buffer_hits;
         stats.disk_writes = after.writes - before.writes;
-        stats
+        let faults_after = self.store.fault_stats();
+        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
+        stats.io_faults_injected =
+            faults_after.io_faults_injected - faults_before.io_faults_injected;
+        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        Ok(stats)
     }
 
     /// Interval query: ids of records present in any version alive during
@@ -315,17 +446,23 @@ impl HrTree {
     ///
     /// Returns the [`QueryStats`] delta for this call (see
     /// [`HrTree::query_snapshot`]).
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries. The tree is
+    /// unchanged, and nothing is appended to `out` for this call (dedup
+    /// happens before results are released).
     pub fn query_interval(
         &mut self,
         area: &Rect2,
         range: &TimeInterval,
         out: &mut Vec<u64>,
-    ) -> QueryStats {
+    ) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
         if range.is_empty() {
-            return stats;
+            return Ok(stats);
         }
         let before = self.store.stats();
+        let faults_before = self.store.fault_stats();
         let mut seen = std::mem::take(&mut self.scratch.seen);
         let mut visited = std::mem::take(&mut self.scratch.visited);
         let mut stack = std::mem::take(&mut self.scratch.stack);
@@ -333,7 +470,8 @@ impl HrTree {
         visited.clear();
         stack.clear();
         let first = self.version_at(range.start);
-        for i in 0..self.versions.len() {
+        let mut failed = None;
+        'versions: for i in 0..self.versions.len() {
             let v = self.versions[i];
             let in_range = v.time >= range.start && v.time < range.end;
             if !(in_range || Some(i) == first) {
@@ -344,7 +482,13 @@ impl HrTree {
                 if !visited.insert(page) {
                     continue;
                 }
-                let node = self.read_node(page);
+                let node = match self.read_node(page) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        failed = Some(e);
+                        break 'versions;
+                    }
+                };
                 stats.nodes_visited += 1;
                 for e in &node.entries {
                     stats.entries_scanned += 1;
@@ -358,17 +502,27 @@ impl HrTree {
                 }
             }
         }
-        stats.dedup_candidates = seen.len() as u64;
-        stats.results = stats.dedup_candidates;
-        out.extend(seen.drain());
+        if failed.is_none() {
+            stats.dedup_candidates = seen.len() as u64;
+            stats.results = stats.dedup_candidates;
+            out.extend(seen.drain());
+        }
         self.scratch.seen = seen;
         self.scratch.visited = visited;
         self.scratch.stack = stack;
+        if let Some(e) = failed {
+            return Err(e);
+        }
         let after = self.store.stats();
         stats.disk_reads = after.reads - before.reads;
         stats.buffer_hits = after.buffer_hits - before.buffer_hits;
         stats.disk_writes = after.writes - before.writes;
-        stats
+        let faults_after = self.store.fault_stats();
+        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
+        stats.io_faults_injected =
+            faults_after.io_faults_injected - faults_before.io_faults_injected;
+        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        Ok(stats)
     }
 
     /// Index of the version current at `t` (largest `time ≤ t`).
@@ -381,17 +535,20 @@ impl HrTree {
     // Functional (path-copying) structure changes
     // ------------------------------------------------------------------
 
-    fn read_node(&mut self, page: PageId) -> HrNode {
-        // stilint::allow(no_panic, "pages are written only by write_new, so a decode failure is memory corruption, not a runtime condition")
-        HrNode::decode(self.store.read(page)).expect("valid node page")
+    fn read_node(&mut self, page: PageId) -> Result<HrNode, StorageError> {
+        let raw = self.store.read(page)?;
+        HrNode::decode(raw).map_err(|_| StorageError::Corrupt {
+            page,
+            reason: CorruptReason::Decode,
+        })
     }
 
-    fn write_new(&mut self, node: &HrNode) -> PageId {
-        let page = self.store.allocate();
+    fn write_new(&mut self, node: &HrNode) -> Result<PageId, StorageError> {
+        let page = self.store.allocate()?;
         let mut buf = Page::zeroed();
         node.encode(&mut buf);
-        self.store.write(page, &buf.bytes()[..]);
-        page
+        self.store.write(page, &buf.bytes()[..])?;
+        Ok(page)
     }
 
     /// Insert `entry` at `target_level` under version `v`, path-copying.
@@ -401,13 +558,13 @@ impl HrTree {
         v: HrVersion,
         entry: HrEntry,
         target_level: u32,
-    ) -> (PageId, u32) {
+    ) -> Result<(PageId, u32), StorageError> {
         debug_assert!(target_level <= v.level, "orphan taller than the tree");
-        let (page, _mbr, split) = self.insert_rec(v.page, entry, target_level);
+        let (page, _mbr, split) = self.insert_rec(v.page, entry, target_level)?;
         match split {
-            None => (page, v.level),
+            None => Ok((page, v.level)),
             Some((sib_page, sib_mbr)) => {
-                let left = self.read_node(page);
+                let left = self.read_node(page)?;
                 let new_root = HrNode {
                     level: v.level + 1,
                     entries: vec![
@@ -421,26 +578,27 @@ impl HrTree {
                         },
                     ],
                 };
-                let root_page = self.write_new(&new_root);
-                (root_page, v.level + 1)
+                let root_page = self.write_new(&new_root)?;
+                Ok((root_page, v.level + 1))
             }
         }
     }
 
     /// Returns (copied page, its MBR, optional split sibling).
+    #[allow(clippy::type_complexity)]
     fn insert_rec(
         &mut self,
         page: PageId,
         entry: HrEntry,
         target_level: u32,
-    ) -> (PageId, Rect2, Option<(PageId, Rect2)>) {
-        let mut node = self.read_node(page);
+    ) -> Result<(PageId, Rect2, Option<(PageId, Rect2)>), StorageError> {
+        let mut node = self.read_node(page)?;
         if node.level == target_level {
             node.entries.push(entry);
         } else {
             let idx = choose_subtree(&node, &entry.rect);
             let child = node.entries[idx].child_page();
-            let (new_child, child_mbr, split) = self.insert_rec(child, entry, target_level);
+            let (new_child, child_mbr, split) = self.insert_rec(child, entry, target_level)?;
             node.entries[idx] = HrEntry {
                 rect: child_mbr,
                 ptr: u64::from(new_child),
@@ -462,25 +620,30 @@ impl HrTree {
                 level: node.level,
                 entries: g2,
             };
-            let left_page = self.write_new(&left);
-            let right_page = self.write_new(&right);
-            return (left_page, left.mbr(), Some((right_page, right.mbr())));
+            let left_page = self.write_new(&left)?;
+            let right_page = self.write_new(&right)?;
+            return Ok((left_page, left.mbr(), Some((right_page, right.mbr()))));
         }
         let mbr = node.mbr();
-        let new_page = self.write_new(&node);
-        (new_page, mbr, None)
+        let new_page = self.write_new(&node)?;
+        Ok((new_page, mbr, None))
     }
 
     /// Gather every leaf entry beneath `page` (orphan flattening).
-    fn collect_leaf_entries(&mut self, page: PageId, out: &mut Vec<HrEntry>) {
-        let node = self.read_node(page);
+    fn collect_leaf_entries(
+        &mut self,
+        page: PageId,
+        out: &mut Vec<HrEntry>,
+    ) -> Result<(), StorageError> {
+        let node = self.read_node(page)?;
         if node.is_leaf() {
             out.extend(node.entries);
         } else {
             for e in &node.entries {
-                self.collect_leaf_entries(e.child_page(), out);
+                self.collect_leaf_entries(e.child_page(), out)?;
             }
         }
+        Ok(())
     }
 
     fn delete_rec(
@@ -490,15 +653,15 @@ impl HrTree {
         rect: &Rect2,
         orphans: &mut Vec<(HrEntry, u32)>,
         is_root: bool,
-    ) -> DelOutcome {
-        let mut node = self.read_node(page);
+    ) -> Result<DelOutcome, StorageError> {
+        let mut node = self.read_node(page)?;
         if node.is_leaf() {
             let Some(pos) = node
                 .entries
                 .iter()
                 .position(|e| e.ptr == id && e.rect == *rect)
             else {
-                return DelOutcome::NotHere;
+                return Ok(DelOutcome::NotHere);
             };
             node.entries.remove(pos);
             // The root is exempt from min fill (like any R-Tree root);
@@ -507,16 +670,16 @@ impl HrTree {
                 for e in node.entries {
                     orphans.push((e, 0));
                 }
-                return DelOutcome::Dissolved;
+                return Ok(DelOutcome::Dissolved);
             }
             let mbr = node.mbr();
-            return DelOutcome::Replaced(self.write_new(&node), mbr);
+            return Ok(DelOutcome::Replaced(self.write_new(&node)?, mbr));
         }
         for i in 0..node.entries.len() {
             if !node.entries[i].rect.contains_rect(rect) {
                 continue;
             }
-            match self.delete_rec(node.entries[i].child_page(), id, rect, orphans, false) {
+            match self.delete_rec(node.entries[i].child_page(), id, rect, orphans, false)? {
                 DelOutcome::NotHere => continue,
                 DelOutcome::Replaced(new_child, child_mbr) => {
                     node.entries[i] = HrEntry {
@@ -524,7 +687,7 @@ impl HrTree {
                         ptr: u64::from(new_child),
                     };
                     let mbr = node.mbr();
-                    return DelOutcome::Replaced(self.write_new(&node), mbr);
+                    return Ok(DelOutcome::Replaced(self.write_new(&node)?, mbr));
                 }
                 DelOutcome::Dissolved => {
                     let level = node.level;
@@ -533,14 +696,14 @@ impl HrTree {
                         for e in node.entries {
                             orphans.push((e, level));
                         }
-                        return DelOutcome::Dissolved;
+                        return Ok(DelOutcome::Dissolved);
                     }
                     let mbr = node.mbr();
-                    return DelOutcome::Replaced(self.write_new(&node), mbr);
+                    return Ok(DelOutcome::Replaced(self.write_new(&node)?, mbr));
                 }
             }
         }
-        DelOutcome::NotHere
+        Ok(DelOutcome::NotHere)
     }
 
     /// Walk the newest version and assert R-Tree invariants.
@@ -552,7 +715,8 @@ impl HrTree {
         let mut count = 0u64;
         let mut stack = vec![(v.page, v.level, None::<Rect2>)];
         while let Some((page, level, parent_rect)) = stack.pop() {
-            let node = self.read_node(page);
+            // stilint::allow(no_io_unwrap, "test-only invariant walker whose contract is to panic on any defect, unreadable pages included")
+            let node = self.read_node(page).expect("validate: unreadable node");
             assert_eq!(node.level, level, "level mismatch at {page}");
             assert!(node.entries.len() <= max, "overfull node {page}");
             if page != v.page {
@@ -685,6 +849,7 @@ fn quadratic_split(entries: Vec<HrEntry>, min_entries: usize) -> (Vec<HrEntry>, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sti_storage::{FaultKind, FaultPlan, FaultyBackend, MemBackend, ScheduledFault};
 
     fn small() -> HrParams {
         HrParams {
@@ -702,7 +867,7 @@ mod tests {
     fn empty_tree() {
         let mut t = HrTree::new(small());
         let mut out = Vec::new();
-        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         assert!(out.is_empty());
     }
 
@@ -710,13 +875,13 @@ mod tests {
     fn history_is_immutable() {
         let mut t = HrTree::new(small());
         for i in 0..20u64 {
-            t.insert(i, rect(0.04 * i as f64, 0.1), i as Time);
+            t.insert(i, rect(0.04 * i as f64, 0.1), i as Time).unwrap();
         }
         t.validate();
         // Every prefix version still answers exactly its own content.
         for probe in [0u32, 5, 13, 19, 100] {
             let mut out = Vec::new();
-            t.query_snapshot(&Rect2::UNIT, probe, &mut out);
+            t.query_snapshot(&Rect2::UNIT, probe, &mut out).unwrap();
             out.sort_unstable();
             let expect: Vec<u64> = (0..=u64::from(probe.min(19))).collect();
             assert_eq!(out, expect, "probe {probe}");
@@ -727,17 +892,17 @@ mod tests {
     fn delete_creates_a_new_version_keeps_old() {
         let mut t = HrTree::new(small());
         for i in 0..10u64 {
-            t.insert(i, rect(0.05 * i as f64, 0.2), 0);
+            t.insert(i, rect(0.05 * i as f64, 0.2), 0).unwrap();
         }
         for i in 0..5u64 {
             t.delete(i, rect(0.05 * i as f64, 0.2), 10).unwrap();
         }
         t.validate();
         let mut out = Vec::new();
-        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         assert_eq!(out.len(), 10, "old version intact");
         out.clear();
-        t.query_snapshot(&Rect2::UNIT, 10, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 10, &mut out).unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![5, 6, 7, 8, 9]);
     }
@@ -745,14 +910,15 @@ mod tests {
     #[test]
     fn interval_queries_dedup_across_versions() {
         let mut t = HrTree::new(small());
-        t.insert(1, rect(0.5, 0.5), 0);
+        t.insert(1, rect(0.5, 0.5), 0).unwrap();
         // Churn around it, creating many versions that all share record 1.
         for round in 0..20u64 {
             let tt = 1 + round as Time;
-            t.insert(100 + round, rect(0.01, 0.9), tt);
+            t.insert(100 + round, rect(0.01, 0.9), tt).unwrap();
         }
         let mut out = Vec::new();
-        t.query_interval(&rect(0.5, 0.5), &TimeInterval::new(0, 50), &mut out);
+        t.query_interval(&rect(0.5, 0.5), &TimeInterval::new(0, 50), &mut out)
+            .unwrap();
         assert_eq!(out, vec![1]);
     }
 
@@ -766,7 +932,8 @@ mod tests {
                 i,
                 rect((i % 20) as f64 * 0.04, (i / 20) as f64 * 0.08),
                 i as Time,
-            );
+            )
+            .unwrap();
         }
         assert!(
             t.num_pages() >= 200,
@@ -779,23 +946,23 @@ mod tests {
     fn deletion_to_empty_and_rebirth() {
         let mut t = HrTree::new(small());
         for i in 0..6u64 {
-            t.insert(i, rect(0.1 * i as f64, 0.4), 0);
+            t.insert(i, rect(0.1 * i as f64, 0.4), 0).unwrap();
         }
         for i in 0..6u64 {
             t.delete(i, rect(0.1 * i as f64, 0.4), 5).unwrap();
         }
         assert_eq!(t.alive_records(), 0);
         let mut out = Vec::new();
-        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         assert!(out.is_empty());
-        t.insert(99, rect(0.5, 0.5), 8);
+        t.insert(99, rect(0.5, 0.5), 8).unwrap();
         t.validate();
         out.clear();
-        t.query_snapshot(&Rect2::UNIT, 8, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 8, &mut out).unwrap();
         assert_eq!(out, vec![99]);
         // the pre-delete world still answers
         out.clear();
-        t.query_snapshot(&Rect2::UNIT, 3, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 3, &mut out).unwrap();
         assert_eq!(out.len(), 6);
     }
 
@@ -803,8 +970,8 @@ mod tests {
     #[should_panic(expected = "time-ordered")]
     fn rejects_time_travel() {
         let mut t = HrTree::new(small());
-        t.insert(1, rect(0.1, 0.1), 10);
-        t.insert(2, rect(0.2, 0.2), 5);
+        t.insert(1, rect(0.1, 0.1), 10).unwrap();
+        let _ = t.insert(2, rect(0.2, 0.2), 5);
     }
 
     #[test]
@@ -818,5 +985,69 @@ mod tests {
         let (g1, g2) = quadratic_split(entries, 3);
         assert_eq!(g1.len() + g2.len(), 9);
         assert!(g1.len() >= 3 && g2.len() >= 3);
+    }
+
+    /// A permanent fault mid-insert rolls the whole path copy back: the
+    /// version log, clock, counter and page count keep their prior
+    /// values, and the invariant walk still passes.
+    #[test]
+    fn failed_insert_rolls_back_completely() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 35,
+            kind: FaultKind::Fail { transient: false },
+        }]);
+        let backend = FaultyBackend::new(Box::new(MemBackend::new()), plan);
+        let mut t = HrTree::with_backend(small(), Box::new(backend));
+        t.set_retry_policy(RetryPolicy::no_retry());
+
+        let mut i = 0u64;
+        let err = loop {
+            let versions_before = t.versions().len();
+            let pages_before = t.num_pages();
+            match t.insert(i, rect(0.03 * (i % 25) as f64, 0.2), i as Time) {
+                Ok(()) => {
+                    i += 1;
+                    assert!(i < 10_000, "fault never fired");
+                }
+                Err(e) => {
+                    assert_eq!(t.versions().len(), versions_before, "version log restored");
+                    assert_eq!(t.num_pages(), pages_before, "allocations rolled back");
+                    break e;
+                }
+            }
+        };
+        assert!(matches!(err, StorageError::Injected { .. }), "{err:?}");
+        assert_eq!(t.alive_records(), i, "failed insert must not count");
+        t.validate();
+
+        // The tree keeps working once the fault has passed.
+        t.insert(i, rect(0.03 * (i % 25) as f64, 0.2), i as Time)
+            .unwrap();
+        assert_eq!(t.alive_records(), i + 1);
+        t.validate();
+    }
+
+    /// Transient faults are absorbed by the store's retry loop and
+    /// surface only in the fault counters.
+    #[test]
+    fn transient_faults_are_invisible_to_updates() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 5,
+            kind: FaultKind::Fail { transient: true },
+        }]);
+        let backend = FaultyBackend::new(Box::new(MemBackend::new()), plan);
+        let mut t = HrTree::with_backend(small(), Box::new(backend));
+        for i in 0..15u64 {
+            t.insert(i, rect(0.05 * (i % 12) as f64, 0.4), i as Time)
+                .unwrap();
+        }
+        t.validate();
+        let fs = t.fault_stats();
+        assert_eq!(fs.io_faults_injected, 1);
+        assert_eq!(fs.io_retries, 1);
+        let mut out = Vec::new();
+        let stats = t.query_snapshot(&Rect2::UNIT, 14, &mut out).unwrap();
+        assert_eq!(out.len(), 15);
+        assert_eq!(stats.io_faults_injected, 0, "fault spent before queries");
     }
 }

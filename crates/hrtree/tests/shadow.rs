@@ -24,7 +24,7 @@ fn run_workload(seed: u64, cap: usize) -> (HrTree, Vec<(u64, Rect2, u32, u32)>) 
             let x = rng.random::<f64>() * 0.9;
             let y = rng.random::<f64>() * 0.9;
             let r = Rect2::from_bounds(x, y, x + 0.05, y + 0.05);
-            tree.insert(next, r, t);
+            tree.insert(next, r, t).unwrap();
             records.push((next, r, t, u32::MAX));
             alive.push((next, r));
             next += 1;
@@ -66,7 +66,7 @@ proptest! {
         for t in (0..150).step_by(11) {
             let area = Rect2::from_bounds(0.1, 0.1, 0.8, 0.85);
             let mut got = Vec::new();
-            tree.query_snapshot(&area, t, &mut got);
+            tree.query_snapshot(&area, t, &mut got).unwrap();
             got.sort_unstable();
             prop_assert_eq!(got, shadow_snapshot(&records, &area, t), "t={}", t);
         }
@@ -79,7 +79,7 @@ proptest! {
             let range = TimeInterval::new(start, start + 1 + (start % 13));
             let area = Rect2::from_bounds(0.0, 0.0, 0.7, 0.7);
             let mut got = Vec::new();
-            tree.query_interval(&area, &range, &mut got);
+            tree.query_interval(&area, &range, &mut got).unwrap();
             got.sort_unstable();
             let mut want: Vec<u64> = records
                 .iter()
@@ -124,7 +124,8 @@ fn root_is_exempt_from_min_fill() {
             i,
             Rect2::from_bounds(0.05 * i as f64, 0.1, 0.05 * i as f64 + 0.02, 0.12),
             i as u32,
-        );
+        )
+        .unwrap();
     }
     let pages_before = tree.num_pages();
     let r3 = Rect2::from_bounds(0.05 * 3.0, 0.1, 0.05 * 3.0 + 0.02, 0.12);
@@ -137,10 +138,10 @@ fn root_is_exempt_from_min_fill() {
         "root deletion should path-copy one node"
     );
     let mut out = Vec::new();
-    tree.query_snapshot(&Rect2::UNIT, 20, &mut out);
+    tree.query_snapshot(&Rect2::UNIT, 20, &mut out).unwrap();
     assert_eq!(out.len(), 9);
     // History intact.
     out.clear();
-    tree.query_snapshot(&Rect2::UNIT, 15, &mut out);
+    tree.query_snapshot(&Rect2::UNIT, 15, &mut out).unwrap();
     assert_eq!(out.len(), 10);
 }

@@ -33,6 +33,14 @@ pub struct QueryStats {
     pub dedup_candidates: u64,
     /// Result ids appended to the caller's output vector.
     pub results: u64,
+    /// Storage operations re-attempted after a transient fault (delta of
+    /// the store's `FaultStats` over this operation).
+    pub io_retries: u64,
+    /// Faults the storage backend injected during this operation (zero
+    /// outside fault-injection runs).
+    pub io_faults_injected: u64,
+    /// Page verifications that failed a checksum during this operation.
+    pub checksum_failures: u64,
 }
 
 impl QueryStats {
@@ -46,6 +54,9 @@ impl QueryStats {
             entries_scanned: 0,
             dedup_candidates: 0,
             results: 0,
+            io_retries: 0,
+            io_faults_injected: 0,
+            checksum_failures: 0,
         }
     }
 
@@ -69,6 +80,9 @@ impl QueryStats {
         self.entries_scanned += other.entries_scanned;
         self.dedup_candidates += other.dedup_candidates;
         self.results += other.results;
+        self.io_retries += other.io_retries;
+        self.io_faults_injected += other.io_faults_injected;
+        self.checksum_failures += other.checksum_failures;
     }
 
     /// Structured form, field order fixed for stable serialized output.
@@ -81,13 +95,19 @@ impl QueryStats {
             ("entries_scanned", JsonValue::UInt(self.entries_scanned)),
             ("dedup_candidates", JsonValue::UInt(self.dedup_candidates)),
             ("results", JsonValue::UInt(self.results)),
+            ("io_retries", JsonValue::UInt(self.io_retries)),
+            (
+                "io_faults_injected",
+                JsonValue::UInt(self.io_faults_injected),
+            ),
+            ("checksum_failures", JsonValue::UInt(self.checksum_failures)),
         ])
     }
 
     /// Contribute these counters to a metric set under `prefix`, e.g.
     /// `prefix = "stidx_query"` yields `stidx_query_disk_reads` etc.
     pub fn record_metrics(&self, set: &mut crate::MetricSet, prefix: &str) {
-        let pairs: [(&str, u64); 7] = [
+        let pairs: [(&str, u64); 10] = [
             ("disk_reads", self.disk_reads),
             ("buffer_hits", self.buffer_hits),
             ("disk_writes", self.disk_writes),
@@ -95,6 +115,9 @@ impl QueryStats {
             ("entries_scanned", self.entries_scanned),
             ("dedup_candidates", self.dedup_candidates),
             ("results", self.results),
+            ("io_retries", self.io_retries),
+            ("io_faults_injected", self.io_faults_injected),
+            ("checksum_failures", self.checksum_failures),
         ];
         for (field, value) in pairs {
             set.counter(
@@ -135,14 +158,18 @@ impl fmt::Display for QueryStats {
         write!(
             f,
             "reads {} (hits {}), writes {}, nodes {}, entries {}, \
-             candidates {}, results {}",
+             candidates {}, results {}, retries {}, faults {}, \
+             checksum failures {}",
             self.disk_reads,
             self.buffer_hits,
             self.disk_writes,
             self.nodes_visited,
             self.entries_scanned,
             self.dedup_candidates,
-            self.results
+            self.results,
+            self.io_retries,
+            self.io_faults_injected,
+            self.checksum_failures
         )
     }
 }
@@ -161,6 +188,9 @@ mod tests {
             entries_scanned: 40,
             dedup_candidates: 7,
             results: 6,
+            io_retries: 1,
+            io_faults_injected: 2,
+            checksum_failures: 1,
         };
         let b = QueryStats {
             disk_reads: 10,
@@ -179,6 +209,27 @@ mod tests {
         let reads = s.find("disk_reads").unwrap();
         let hits = s.find("buffer_hits").unwrap();
         let results = s.find("results").unwrap();
+        let retries = s.find("io_retries").unwrap();
+        let failures = s.find("checksum_failures").unwrap();
         assert!(reads < hits && hits < results, "{s}");
+        assert!(results < retries && retries < failures, "{s}");
+    }
+
+    #[test]
+    fn fault_counters_merge_and_serialize() {
+        let mut a = QueryStats::new();
+        a.io_retries = 2;
+        a.io_faults_injected = 3;
+        a.checksum_failures = 1;
+        let mut b = QueryStats::new();
+        b.io_retries = 1;
+        b.merge(&a);
+        assert_eq!(b.io_retries, 3);
+        assert_eq!(b.io_faults_injected, 3);
+        assert_eq!(b.checksum_failures, 1);
+        let rendered = a.to_json().render();
+        assert!(rendered.contains("\"io_retries\":2"), "{rendered}");
+        assert!(rendered.contains("\"io_faults_injected\":3"), "{rendered}");
+        assert!(rendered.contains("\"checksum_failures\":1"), "{rendered}");
     }
 }

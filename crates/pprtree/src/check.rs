@@ -803,7 +803,7 @@ mod tests {
     fn grown_tree_full_history_is_clean() {
         let mut tree = PprTree::new(small_params());
         for i in 0..200u64 {
-            tree.insert(i, rect(i), i as u32 + 1);
+            tree.insert(i, rect(i), i as u32 + 1).unwrap();
         }
         for i in (0..200u64).step_by(3) {
             tree.delete(i, rect(i), 300 + i as u32)
@@ -822,13 +822,13 @@ mod tests {
     fn emptied_tree_with_gap_is_clean() {
         let mut tree = PprTree::new(small_params());
         for i in 0..20u64 {
-            tree.insert(i, rect(i), 10);
+            tree.insert(i, rect(i), 10).unwrap();
         }
         for i in 0..20u64 {
             tree.delete(i, rect(i), 20).expect("alive record");
         }
         // Gap in the root log, then a fresh evolution.
-        tree.insert(99, rect(3), 50);
+        tree.insert(99, rect(3), 50).unwrap();
         let report = validate(&tree).expect("gapped root log is legal");
         assert_eq!(report.alive_records, 1);
     }
@@ -837,7 +837,7 @@ mod tests {
     fn corrupted_counter_is_reported() {
         let mut tree = PprTree::new(small_params());
         for i in 0..50u64 {
-            tree.insert(i, rect(i), i as u32 + 1);
+            tree.insert(i, rect(i), i as u32 + 1).unwrap();
         }
         tree.corrupt_alive_records_for_test(7);
         let violations = validate(&tree).expect_err("corruption must be caught");
@@ -851,7 +851,7 @@ mod tests {
     fn corrupted_page_is_reported() {
         let mut tree = PprTree::new(small_params());
         for i in 0..120u64 {
-            tree.insert(i, rect(i), i as u32 + 1);
+            tree.insert(i, rect(i), i as u32 + 1).unwrap();
         }
         tree.corrupt_page_for_test(tree.roots()[tree.roots().len() - 1].page);
         let violations = validate(&tree).expect_err("clobbered root must be caught");
@@ -873,7 +873,7 @@ mod tests {
         };
         assert!(v2.to_string().starts_with("[alive_count_mismatch]"));
         let mut tree = PprTree::new(small_params());
-        tree.insert(1, rect(1), 5);
+        tree.insert(1, rect(1), 5).unwrap();
         let report = validate(&tree).expect("clean");
         let text = report.to_string();
         assert!(text.contains("root span"));

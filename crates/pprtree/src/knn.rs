@@ -7,6 +7,7 @@ use crate::tree::PprTree;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use sti_geom::{Point2, Time};
+use sti_storage::StorageError;
 
 #[derive(Debug, PartialEq)]
 struct Pending {
@@ -40,13 +41,22 @@ impl PprTree {
     /// search runs over exactly the ephemeral R-Tree of that instant:
     /// cost is proportional to the alive population near `point`, not to
     /// the history length.
-    pub fn nearest_at(&mut self, point: Point2, t: Time, k: usize) -> Vec<(u64, f64)> {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries; the search
+    /// is abandoned and the tree is unchanged.
+    pub fn nearest_at(
+        &mut self,
+        point: Point2,
+        t: Time,
+        k: usize,
+    ) -> Result<Vec<(u64, f64)>, StorageError> {
         let mut out = Vec::with_capacity(k);
         if k == 0 {
-            return out;
+            return Ok(out);
         }
         let Some(span) = self.root_span_at(t) else {
-            return out;
+            return Ok(out);
         };
         let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
         heap.push(Reverse(Pending {
@@ -65,7 +75,7 @@ impl PprTree {
             }
             // stilint::allow(no_panic, "directory items carry allocate()-returned u32 page ids widened into the shared ptr field")
             let page = u32::try_from(item.ptr).expect("page id");
-            let node = self.read_node_pub(page);
+            let node = self.read_node_pub(page)?;
             for e in &node.entries {
                 if !e.alive_at(t) {
                     continue;
@@ -77,7 +87,7 @@ impl PprTree {
                 }));
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -114,7 +124,7 @@ mod tests {
         for (t, kind, i) in events {
             let (id, r, ..) = records[i];
             if kind == 1 {
-                tree.insert(id, r, t);
+                tree.insert(id, r, t).unwrap();
             } else {
                 tree.delete(id, r, t).unwrap();
             }
@@ -141,7 +151,7 @@ mod tests {
             let p = Point2::new(rng.random::<f64>(), rng.random::<f64>());
             let t = rng.random_range(0..950u32);
             for k in [1usize, 4, 12] {
-                let got = tree.nearest_at(p, t, k);
+                let got = tree.nearest_at(p, t, k).unwrap();
                 let want = brute(&records, p, t, k);
                 assert_eq!(got.len(), want.len(), "t={t} k={k}");
                 for (g, w) in got.iter().zip(&want) {
@@ -161,7 +171,7 @@ mod tests {
         let (mut tree, records) = build(7);
         let p = Point2::new(0.5, 0.5);
         for t in [5u32, 250, 500, 900] {
-            let got = tree.nearest_at(p, t, 3);
+            let got = tree.nearest_at(p, t, 3).unwrap();
             let want = brute(&records, p, t, 3);
             assert_eq!(got.len(), want.len(), "t={t}");
         }
@@ -173,8 +183,17 @@ mod tests {
             max_entries: 10,
             ..PprParams::default()
         });
-        tree.insert(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 100);
-        assert!(tree.nearest_at(Point2::new(0.5, 0.5), 50, 3).is_empty());
-        assert_eq!(tree.nearest_at(Point2::new(0.5, 0.5), 100, 3).len(), 1);
+        tree.insert(1, Rect2::from_bounds(0.1, 0.1, 0.2, 0.2), 100)
+            .unwrap();
+        assert!(tree
+            .nearest_at(Point2::new(0.5, 0.5), 50, 3)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            tree.nearest_at(Point2::new(0.5, 0.5), 100, 3)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 }

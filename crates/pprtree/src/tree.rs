@@ -6,10 +6,13 @@ use crate::split::key_split;
 use std::collections::HashSet;
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_obs::QueryStats;
-use sti_storage::{IoStats, Page, PageId, PageStore};
+use sti_storage::{
+    CorruptReason, FaultStats, IoStats, Page, PageBackend, PageId, PageStore, RetryPolicy,
+    StorageError,
+};
 
 /// Failure of a [`PprTree::delete`] call. The tree is left unchanged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeleteError {
     /// No record with this id (and the given rectangle) is alive at the
     /// deletion time — it was never inserted, already deleted, or the
@@ -20,6 +23,16 @@ pub enum DeleteError {
         /// The requested deletion time.
         t: Time,
     },
+    /// The underlying page store failed. The partial update was rolled
+    /// back: pages, root log, clock and record counters all hold their
+    /// pre-call values.
+    Storage(StorageError),
+}
+
+impl From<StorageError> for DeleteError {
+    fn from(e: StorageError) -> Self {
+        DeleteError::Storage(e)
+    }
 }
 
 impl std::fmt::Display for DeleteError {
@@ -28,11 +41,19 @@ impl std::fmt::Display for DeleteError {
             DeleteError::NotFound { id, t } => {
                 write!(f, "no alive record {id} to delete at {t}")
             }
+            DeleteError::Storage(e) => write!(f, "delete aborted by storage error: {e}"),
         }
     }
 }
 
-impl std::error::Error for DeleteError {}
+impl std::error::Error for DeleteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeleteError::NotFound { .. } => None,
+            DeleteError::Storage(e) => Some(e),
+        }
+    }
+}
 
 /// One span of the root log: during `interval`, the ephemeral R-Tree was
 /// rooted at `page` (a node of height `level`).
@@ -52,7 +73,8 @@ pub struct RootSpan {
 /// thousands of queries back to back); the tree now keeps one scratch
 /// block and hands it to each query via `std::mem::take`, so steady-state
 /// queries allocate nothing. Contents are cleared at every query entry —
-/// they carry capacity, never data, between calls.
+/// they carry capacity, never data, between calls. The scratch is
+/// restored even when a query aborts on a storage error.
 #[derive(Debug, Default)]
 struct QueryScratch {
     /// Dedup set for interval queries.
@@ -98,20 +120,25 @@ enum UpOps {
 /// *partially* persistent: only the present is writable). Queries may ask
 /// about any past instant or interval.
 ///
+/// Every operation that touches the page store is fallible: updates run
+/// inside a page-level undo transaction and roll back completely on
+/// error (see DESIGN.md §6), so a failed `insert`/`delete` leaves the
+/// tree exactly as it was.
+///
 /// ```
 /// use sti_geom::{Rect2, TimeInterval};
 /// use sti_pprtree::{PprParams, PprTree};
 ///
 /// let mut tree = PprTree::new(PprParams::default());
 /// let rect = Rect2::from_bounds(0.4, 0.4, 0.5, 0.5);
-/// tree.insert(7, rect, 10);
+/// tree.insert(7, rect, 10).unwrap();
 /// tree.delete(7, rect, 20).unwrap();
 ///
 /// let mut hits = Vec::new();
-/// tree.query_snapshot(&rect, 15, &mut hits); // alive at 15
+/// tree.query_snapshot(&rect, 15, &mut hits).unwrap(); // alive at 15
 /// assert_eq!(hits, vec![7]);
 /// hits.clear();
-/// tree.query_snapshot(&rect, 20, &mut hits); // half-open lifetime
+/// tree.query_snapshot(&rect, 20, &mut hits).unwrap(); // half-open lifetime
 /// assert!(hits.is_empty());
 /// ```
 pub struct PprTree {
@@ -133,6 +160,24 @@ impl PprTree {
         params.validate();
         Self {
             store: PageStore::new(params.buffer_pages),
+            params,
+            roots: Vec::new(),
+            now: 0,
+            alive_records: 0,
+            total_posted: 0,
+            scratch: QueryScratch::default(),
+            #[cfg(debug_assertions)]
+            debug_mutations: 0,
+        }
+    }
+
+    /// Create an empty tree over a caller-supplied page backend — in
+    /// particular a [`sti_storage::FaultyBackend`], which is how the
+    /// fault-injection suites drive every code path in this file.
+    pub fn with_backend(params: PprParams, backend: Box<dyn PageBackend>) -> Self {
+        params.validate();
+        Self {
+            store: PageStore::with_backend(backend, params.buffer_pages),
             params,
             roots: Vec::new(),
             now: 0,
@@ -174,6 +219,16 @@ impl PprTree {
         self.store.stats()
     }
 
+    /// Accumulated fault/retry counters from the backing store.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.store.fault_stats()
+    }
+
+    /// Replace the retry budget for transient storage faults.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.store.set_retry_policy(policy);
+    }
+
     /// Replace the buffer pool capacity (clears residency). The paper
     /// fixes this at 10 pages; the `ablation_buffer` bench sweeps it.
     pub fn set_buffer_capacity(&mut self, pages: usize) {
@@ -194,31 +249,60 @@ impl PprTree {
     /// Insert a record alive from `t` (until a matching
     /// [`PprTree::delete`]).
     ///
+    /// # Errors
+    /// A [`StorageError`] if the page store fails; the update is rolled
+    /// back and the tree (pages, root log, clock, counters) is unchanged.
+    ///
     /// # Panics
     /// If `t` precedes an earlier update (partial persistence) or the
-    /// rectangle is the empty sentinel.
-    pub fn insert(&mut self, id: u64, rect: Rect2, t: Time) {
+    /// rectangle is the empty sentinel — both are caller bugs, not I/O
+    /// conditions, and are rejected before any page is touched.
+    pub fn insert(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), StorageError> {
         assert!(!rect.is_empty(), "cannot index an empty rectangle");
+        assert!(
+            t >= self.now,
+            "updates must be time-ordered: {t} < {}",
+            self.now
+        );
+        let roots_before = self.roots.clone();
+        let counters_before = (self.now, self.alive_records, self.total_posted);
+        self.store.begin_txn();
+        match self.insert_inner(id, rect, t) {
+            Ok(()) => {
+                self.store.commit_txn();
+                self.debug_check();
+                Ok(())
+            }
+            Err(e) => {
+                self.store.rollback_txn();
+                self.roots = roots_before;
+                (self.now, self.alive_records, self.total_posted) = counters_before;
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_inner(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), StorageError> {
         self.advance(t);
         if self.current_root().is_none() {
-            let page = self.store.allocate();
-            self.write_node(page, &PprNode::new(0));
+            let page = self.store.allocate()?;
+            self.write_node(page, &PprNode::new(0))?;
             self.roots.push(RootSpan {
                 interval: TimeInterval::open(t),
                 page,
                 level: 0,
             });
         }
-        let path = self.descend_for_insert(&rect);
+        let path = self.descend_for_insert(&rect)?;
         let ops = Ops {
             kills: Vec::new(),
             expand: None,
             adds: vec![PprEntry::alive(rect, id, t)],
         };
-        self.propagate(&path, ops, t);
+        self.propagate(&path, ops, t)?;
         self.alive_records += 1;
         self.total_posted += 1;
-        self.debug_check();
+        Ok(())
     }
 
     /// Logically delete the alive record `(id, rect)` at time `t`;
@@ -227,13 +311,34 @@ impl PprTree {
     /// records share an id).
     ///
     /// # Errors
-    /// [`DeleteError::NotFound`] if no alive record `(id, rect)` exists;
-    /// the tree is unchanged (the failed update does not advance time).
+    /// [`DeleteError::NotFound`] if no alive record `(id, rect)` exists,
+    /// or [`DeleteError::Storage`] if the page store failed mid-update;
+    /// either way the tree is unchanged (a failed update neither advances
+    /// time nor leaves partial page writes — storage failures roll back).
     ///
     /// # Panics
     /// If `t` precedes an earlier update (partial persistence).
     pub fn delete(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), DeleteError> {
-        let Some((path, idx)) = self.locate_alive(id, &rect) else {
+        let roots_before = self.roots.clone();
+        let counters_before = (self.now, self.alive_records, self.total_posted);
+        self.store.begin_txn();
+        match self.delete_inner(id, rect, t) {
+            Ok(()) => {
+                self.store.commit_txn();
+                self.debug_check();
+                Ok(())
+            }
+            Err(e) => {
+                self.store.rollback_txn();
+                self.roots = roots_before;
+                (self.now, self.alive_records, self.total_posted) = counters_before;
+                Err(e)
+            }
+        }
+    }
+
+    fn delete_inner(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), DeleteError> {
+        let Some((path, idx)) = self.locate_alive(id, &rect)? else {
             return Err(DeleteError::NotFound { id, t });
         };
         self.advance(t);
@@ -242,9 +347,8 @@ impl PprTree {
             expand: None,
             adds: Vec::new(),
         };
-        self.propagate(&path, ops, t);
+        self.propagate(&path, ops, t)?;
         self.alive_records -= 1;
-        self.debug_check();
         Ok(())
     }
 
@@ -291,7 +395,7 @@ impl PprTree {
     }
 
     /// Node read with I/O accounting, for sibling modules.
-    pub(crate) fn read_node_pub(&mut self, page: PageId) -> PprNode {
+    pub(crate) fn read_node_pub(&mut self, page: PageId) -> Result<PprNode, StorageError> {
         self.read_node(page)
     }
 
@@ -316,7 +420,7 @@ impl PprTree {
     #[cfg(test)]
     pub(crate) fn corrupt_page_for_test(&mut self, page: PageId) {
         let junk = vec![0xFFu8; 64];
-        self.store.write(page, &junk);
+        let _ = self.store.write(page, &junk);
     }
 
     fn current_root(&self) -> Option<RootSpan> {
@@ -335,19 +439,37 @@ impl PprTree {
     /// never cleared here, so a caller can accumulate several queries
     /// into one buffer (all three tree backends share this contract).
     ///
-    /// Returns the [`QueryStats`] delta for this call: I/O counters are
-    /// snapshotted on the backing store at entry and exit, so summing the
-    /// returned deltas over a batch reproduces the global
+    /// Returns the [`QueryStats`] delta for this call: I/O and fault
+    /// counters are snapshotted on the backing store at entry and exit,
+    /// so summing the returned deltas over a batch reproduces the global
     /// [`IoStats`] delta exactly.
-    pub fn query_snapshot(&mut self, area: &Rect2, t: Time, out: &mut Vec<u64>) -> QueryStats {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries. The tree is
+    /// unchanged (queries are read-only), but `out` may already hold the
+    /// matches found before the failing read.
+    pub fn query_snapshot(
+        &mut self,
+        area: &Rect2,
+        t: Time,
+        out: &mut Vec<u64>,
+    ) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
         let before = self.store.stats();
+        let faults_before = self.store.fault_stats();
+        let mut failed = None;
         if let Some(span) = self.root_span_at(t) {
             let mut stack = std::mem::take(&mut self.scratch.snap_stack);
             stack.clear();
             stack.push(span.page);
             while let Some(page) = stack.pop() {
-                let node = self.read_node(page);
+                let node = match self.read_node(page) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                };
                 stats.nodes_visited += 1;
                 for e in &node.entries {
                     stats.entries_scanned += 1;
@@ -361,13 +483,24 @@ impl PprTree {
                     }
                 }
             }
+            // The scratch goes back even on the error path: capacity is
+            // reusable, and an abandoned traversal must not poison the
+            // next query.
             self.scratch.snap_stack = stack;
+        }
+        if let Some(e) = failed {
+            return Err(e);
         }
         let after = self.store.stats();
         stats.disk_reads = after.reads - before.reads;
         stats.buffer_hits = after.buffer_hits - before.buffer_hits;
         stats.disk_writes = after.writes - before.writes;
-        stats
+        let faults_after = self.store.fault_stats();
+        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
+        stats.io_faults_injected =
+            faults_after.io_faults_injected - faults_before.io_faults_injected;
+        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        Ok(stats)
     }
 
     /// Interval query: ids of records alive at any instant of `range`
@@ -389,14 +522,20 @@ impl PprTree {
     ///
     /// Returns the [`QueryStats`] delta for this call (see
     /// [`PprTree::query_snapshot`]).
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries. The tree is
+    /// unchanged, and nothing is appended to `out` for this call (dedup
+    /// happens before results are released).
     pub fn query_interval(
         &mut self,
         area: &Rect2,
         range: &TimeInterval,
         out: &mut Vec<u64>,
-    ) -> QueryStats {
+    ) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
         let before = self.store.stats();
+        let faults_before = self.store.fault_stats();
         let mut seen = std::mem::take(&mut self.scratch.seen);
         let mut spans = std::mem::take(&mut self.scratch.spans);
         let mut stack = std::mem::take(&mut self.scratch.stack);
@@ -409,13 +548,20 @@ impl PprTree {
                 .filter(|s| s.interval.overlaps(range))
                 .copied(),
         );
-        for span in &spans {
+        let mut failed = None;
+        'roots: for span in &spans {
             let Some(root_range) = span.interval.intersect(range) else {
                 continue;
             };
             stack.push((span.page, root_range));
             while let Some((page, clipped)) = stack.pop() {
-                let node = self.read_node(page);
+                let node = match self.read_node(page) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        failed = Some(e);
+                        break 'roots;
+                    }
+                };
                 stats.nodes_visited += 1;
                 for e in &node.entries {
                     stats.entries_scanned += 1;
@@ -433,46 +579,59 @@ impl PprTree {
                 }
             }
         }
-        stats.dedup_candidates = seen.len() as u64;
-        stats.results = stats.dedup_candidates;
-        out.extend(seen.drain());
+        if failed.is_none() {
+            stats.dedup_candidates = seen.len() as u64;
+            stats.results = stats.dedup_candidates;
+            out.extend(seen.drain());
+        }
         self.scratch.seen = seen;
         self.scratch.spans = spans;
         self.scratch.stack = stack;
+        if let Some(e) = failed {
+            return Err(e);
+        }
         let after = self.store.stats();
         stats.disk_reads = after.reads - before.reads;
         stats.buffer_hits = after.buffer_hits - before.buffer_hits;
         stats.disk_writes = after.writes - before.writes;
-        stats
+        let faults_after = self.store.fault_stats();
+        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
+        stats.io_faults_injected =
+            faults_after.io_faults_injected - faults_before.io_faults_injected;
+        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        Ok(stats)
     }
 
     // ------------------------------------------------------------------
     // Structure maintenance
     // ------------------------------------------------------------------
 
-    fn read_node(&mut self, page: PageId) -> PprNode {
-        // stilint::allow(no_panic, "pages are written only by write_node, so a decode failure is memory corruption; offline integrity checking goes through check::validate, which reports instead")
-        PprNode::decode(self.store.read(page)).expect("valid node page")
+    fn read_node(&mut self, page: PageId) -> Result<PprNode, StorageError> {
+        let raw = self.store.read(page)?;
+        PprNode::decode(raw).map_err(|_| StorageError::Corrupt {
+            page,
+            reason: CorruptReason::Decode,
+        })
     }
 
-    fn write_node(&mut self, page: PageId, node: &PprNode) {
+    fn write_node(&mut self, page: PageId, node: &PprNode) -> Result<(), StorageError> {
         let mut buf = Page::zeroed();
         node.encode(&mut buf);
-        self.store.write(page, &buf.bytes()[..]);
+        self.store.write(page, &buf.bytes()[..])
     }
 
     /// Choose-subtree descent for insertion: among *alive* directory
     /// entries pick minimum area enlargement (ties: minimum area).
-    fn descend_for_insert(&mut self, rect: &Rect2) -> Path {
+    fn descend_for_insert(&mut self, rect: &Rect2) -> Result<Path, StorageError> {
         // stilint::allow(no_panic, "insert creates a root before descending, so the root log is nonempty here")
         let root = self.current_root().expect("insert ensured a root");
         let mut page = root.page;
         let mut pages = vec![page];
         let mut entry_idx = Vec::new();
         loop {
-            let node = self.read_node(page);
+            let node = self.read_node(page)?;
             if node.is_leaf() {
-                return Path { pages, entry_idx };
+                return Ok(Path { pages, entry_idx });
             }
             let mut best: Option<(f64, f64, usize)> = None;
             for (i, e) in node.entries.iter().enumerate() {
@@ -495,14 +654,21 @@ impl PprTree {
     /// DFS for the leaf holding the alive record `id` whose rect equals
     /// (is contained in) `rect`; returns the path to that leaf plus the
     /// record's entry index within it.
-    fn locate_alive(&mut self, id: u64, rect: &Rect2) -> Option<(Path, usize)> {
-        let root = self.current_root()?;
+    fn locate_alive(
+        &mut self,
+        id: u64,
+        rect: &Rect2,
+    ) -> Result<Option<(Path, usize)>, StorageError> {
+        let Some(root) = self.current_root() else {
+            return Ok(None);
+        };
         let mut path = Path {
             pages: vec![root.page],
             entry_idx: Vec::new(),
         };
-        let idx = self.locate_rec(root.page, id, rect, &mut path)?;
-        Some((path, idx))
+        Ok(self
+            .locate_rec(root.page, id, rect, &mut path)?
+            .map(|idx| (path, idx)))
     }
 
     fn locate_rec(
@@ -511,31 +677,31 @@ impl PprTree {
         id: u64,
         rect: &Rect2,
         path: &mut Path,
-    ) -> Option<usize> {
-        let node = self.read_node(page);
+    ) -> Result<Option<usize>, StorageError> {
+        let node = self.read_node(page)?;
         if node.is_leaf() {
-            return node
+            return Ok(node
                 .entries
                 .iter()
-                .position(|e| e.is_alive() && e.ptr == id && e.rect == *rect);
+                .position(|e| e.is_alive() && e.ptr == id && e.rect == *rect));
         }
         for (i, e) in node.entries.iter().enumerate() {
             if e.is_alive() && e.rect.contains_rect(rect) {
                 path.entry_idx.push(i);
                 path.pages.push(e.child_page());
-                if let Some(idx) = self.locate_rec(e.child_page(), id, rect, path) {
-                    return Some(idx);
+                if let Some(idx) = self.locate_rec(e.child_page(), id, rect, path)? {
+                    return Ok(Some(idx));
                 }
                 path.entry_idx.pop();
                 path.pages.pop();
             }
         }
-        None
+        Ok(None)
     }
 
     /// Apply `ops` to the node at the end of `path` and walk structural
     /// consequences up to the root.
-    fn propagate(&mut self, path: &Path, mut ops: Ops, t: Time) {
+    fn propagate(&mut self, path: &Path, mut ops: Ops, t: Time) -> Result<(), StorageError> {
         let mut i = path.pages.len() - 1;
         loop {
             let page = path.pages[i];
@@ -547,12 +713,12 @@ impl PprTree {
             } else {
                 None
             };
-            let up = self.apply_ops(page, ops, t, parent.as_ref());
+            let up = self.apply_ops(page, ops, t, parent.as_ref())?;
             match up {
-                UpOps::Done => return,
+                UpOps::Done => return Ok(()),
                 UpOps::Expand(rect) => {
                     if i == 0 {
-                        return;
+                        return Ok(());
                     }
                     ops = Ops {
                         kills: Vec::new(),
@@ -562,8 +728,8 @@ impl PprTree {
                 }
                 UpOps::Replace { kill_sibling, adds } => {
                     if i == 0 {
-                        self.replace_root(adds, t);
-                        return;
+                        self.replace_root(adds, t)?;
+                        return Ok(());
                     }
                     let mut kills = vec![path.entry_idx[i - 1]];
                     if let Some(s) = kill_sibling {
@@ -582,8 +748,14 @@ impl PprTree {
 
     /// Apply kills/expands/adds to one node; version-split when the node
     /// is full or (for non-roots) the weak version condition breaks.
-    fn apply_ops(&mut self, page: PageId, ops: Ops, t: Time, parent: Option<&ParentCtx>) -> UpOps {
-        let mut node = self.read_node(page);
+    fn apply_ops(
+        &mut self,
+        page: PageId,
+        ops: Ops,
+        t: Time,
+        parent: Option<&ParentCtx>,
+    ) -> Result<UpOps, StorageError> {
+        let mut node = self.read_node(page)?;
         for &k in &ops.kills {
             debug_assert!(node.entries[k].is_alive(), "killing a dead entry");
             node.entries[k].deletion = t;
@@ -607,7 +779,7 @@ impl PprTree {
                 // history strictly before `t`, and a never-deleted copy
                 // left behind would resurface in interval queries that
                 // span the split.
-                self.write_node(page, &node);
+                self.write_node(page, &node)?;
                 let mut with_adds = node.clone();
                 with_adds.entries.extend(ops.adds);
                 return self.version_split(&with_adds, t, parent);
@@ -616,21 +788,21 @@ impl PprTree {
             if is_root && !node.is_leaf() && alive == 0 {
                 // Directory root lost its last child: close the current
                 // evolution; a future insert starts a fresh root.
-                self.write_node(page, &node);
+                self.write_node(page, &node)?;
                 self.close_current_root(t);
-                return UpOps::Done;
+                return Ok(UpOps::Done);
             }
-            self.write_node(page, &node);
+            self.write_node(page, &node)?;
             if grow.is_empty() {
-                return UpOps::Done;
+                return Ok(UpOps::Done);
             }
-            return UpOps::Expand(grow);
+            return Ok(UpOps::Expand(grow));
         }
 
         // Node is full: persist the kills/expands historically, then
         // version-split with the pending adds folded into the copies.
         let adds = ops.adds;
-        self.write_node(page, &node);
+        self.write_node(page, &node)?;
         let mut with_adds = node.clone();
         with_adds.entries.extend(adds);
         self.version_split(&with_adds, t, parent)
@@ -639,7 +811,12 @@ impl PprTree {
     /// Copy the alive entries of `node` into fresh node(s) at time `t`,
     /// applying the strong version overflow / underflow rules. Returns
     /// the replacement directive for the parent.
-    fn version_split(&mut self, node: &PprNode, t: Time, parent: Option<&ParentCtx>) -> UpOps {
+    fn version_split(
+        &mut self,
+        node: &PprNode,
+        t: Time,
+        parent: Option<&ParentCtx>,
+    ) -> Result<UpOps, StorageError> {
         let mut copies: Vec<PprEntry> = node
             .entries
             .iter()
@@ -648,10 +825,10 @@ impl PprTree {
             .collect();
 
         if copies.is_empty() {
-            return UpOps::Replace {
+            return Ok(UpOps::Replace {
                 kill_sibling: None,
                 adds: Vec::new(),
-            };
+            });
         }
 
         let svu = self.params.strong_underflow();
@@ -662,8 +839,8 @@ impl PprTree {
             // Strong version underflow: merge with a version-split
             // sibling when one exists.
             if let Some(ctx) = parent {
-                if let Some((sib_idx, sib_page)) = self.pick_sibling(ctx, node) {
-                    let sib = self.read_node(sib_page);
+                if let Some((sib_idx, sib_page)) = self.pick_sibling(ctx, node)? {
+                    let sib = self.read_node(sib_page)?;
                     debug_assert_eq!(sib.level, node.level, "merge across levels");
                     copies.extend(
                         sib.entries
@@ -696,19 +873,23 @@ impl PprTree {
                 level: node.level,
                 entries: g,
             };
-            let new_page = self.store.allocate();
+            let new_page = self.store.allocate()?;
             let rect = new_node.full_mbr();
-            self.write_node(new_page, &new_node);
+            self.write_node(new_page, &new_node)?;
             adds.push(PprEntry::alive(rect, u64::from(new_page), t));
         }
-        UpOps::Replace { kill_sibling, adds }
+        Ok(UpOps::Replace { kill_sibling, adds })
     }
 
     /// Choose an alive sibling of the entry `ctx.entry_idx` in the parent,
     /// preferring the one whose MBR is closest (smallest union area) to
     /// the underflowing node.
-    fn pick_sibling(&mut self, ctx: &ParentCtx, node: &PprNode) -> Option<(usize, PageId)> {
-        let parent = self.read_node(ctx.page);
+    fn pick_sibling(
+        &mut self,
+        ctx: &ParentCtx,
+        node: &PprNode,
+    ) -> Result<Option<(usize, PageId)>, StorageError> {
+        let parent = self.read_node(ctx.page)?;
         let my_rect = node.alive_mbr();
         let mut best: Option<(f64, usize, PageId)> = None;
         for (i, e) in parent.entries.iter().enumerate() {
@@ -728,11 +909,11 @@ impl PprTree {
                 best = Some((key, i, e.child_page()));
             }
         }
-        best.map(|(_, i, p)| (i, p))
+        Ok(best.map(|(_, i, p)| (i, p)))
     }
 
     /// Install replacements for a version-split root.
-    fn replace_root(&mut self, adds: Vec<PprEntry>, t: Time) {
+    fn replace_root(&mut self, adds: Vec<PprEntry>, t: Time) -> Result<(), StorageError> {
         // stilint::allow(no_panic, "only called from propagate while the current root overflows, so a current root exists")
         let old = self.current_root().expect("a root was being split");
         self.close_current_root(t);
@@ -750,8 +931,8 @@ impl PprTree {
                     level: old.level + 1,
                     entries: adds,
                 };
-                let page = self.store.allocate();
-                self.write_node(page, &new_root);
+                let page = self.store.allocate()?;
+                self.write_node(page, &new_root)?;
                 self.roots.push(RootSpan {
                     interval: TimeInterval::open(t),
                     page,
@@ -761,6 +942,7 @@ impl PprTree {
             // stilint::allow(no_panic, "apply_version_split emits at most two replacement nodes (copy + optional key-split sibling)")
             n => unreachable!("version split produced {n} nodes"),
         }
+        Ok(())
     }
 
     fn close_current_root(&mut self, t: Time) {
@@ -780,7 +962,12 @@ impl PprTree {
     // ------------------------------------------------------------------
 
     /// Save the whole index (pages + parameters + root log) to a file.
-    pub fn save_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+    ///
+    /// The save is atomic and epoch-stamped: the image is written to a
+    /// temp sibling, synced, then renamed over `path`, so a crash at any
+    /// point leaves either the previous complete file or the new one
+    /// (see [`sti_storage::persist`]).
+    pub fn save_to_file(&mut self, path: &std::path::Path) -> std::io::Result<()> {
         let meta_u32 = |n: usize, what: &str| {
             u32::try_from(n).map_err(|_| {
                 std::io::Error::new(
@@ -813,6 +1000,9 @@ impl PprTree {
     }
 
     /// Load an index previously written by [`PprTree::save_to_file`].
+    ///
+    /// Fails closed: any checksum, magic, epoch or structural mismatch in
+    /// the file is a typed error before a single page is trusted.
     pub fn open_file(path: &std::path::Path) -> std::io::Result<Self> {
         use std::io::{Error, ErrorKind};
         let bad = |m: &'static str| Error::new(ErrorKind::InvalidData, m);
@@ -909,6 +1099,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
+    use sti_storage::{FaultKind, FaultPlan, FaultyBackend, MemBackend, ScheduledFault};
 
     fn small_params() -> PprParams {
         // B = 10: D = ceil(2.2) = 3, svo = 8, svu = 4; svo+1 ≥ 2·svu ✓
@@ -962,9 +1153,10 @@ mod tests {
     fn empty_tree_answers_nothing() {
         let mut t = PprTree::new(small_params());
         let mut out = Vec::new();
-        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         assert!(out.is_empty());
-        t.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 100), &mut out);
+        t.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 100), &mut out)
+            .unwrap();
         assert!(out.is_empty());
         assert_eq!(t.roots().len(), 0);
     }
@@ -973,22 +1165,23 @@ mod tests {
     fn single_record_lifecycle() {
         let mut t = PprTree::new(small_params());
         let r = rect(0.5, 0.5);
-        t.insert(1, r, 10);
+        t.insert(1, r, 10).unwrap();
         t.delete(1, r, 20).unwrap();
         assert_eq!(t.alive_records(), 0);
         assert_eq!(t.total_records(), 1);
 
         let mut out = Vec::new();
-        t.query_snapshot(&r, 15, &mut out);
+        t.query_snapshot(&r, 15, &mut out).unwrap();
         assert_eq!(out, vec![1]);
         out.clear();
-        t.query_snapshot(&r, 9, &mut out);
+        t.query_snapshot(&r, 9, &mut out).unwrap();
         assert!(out.is_empty());
         out.clear();
-        t.query_snapshot(&r, 20, &mut out); // half-open lifetime
+        t.query_snapshot(&r, 20, &mut out).unwrap(); // half-open lifetime
         assert!(out.is_empty());
         out.clear();
-        t.query_interval(&r, &TimeInterval::new(0, 100), &mut out);
+        t.query_interval(&r, &TimeInterval::new(0, 100), &mut out)
+            .unwrap();
         assert_eq!(out, vec![1]);
     }
 
@@ -1001,7 +1194,8 @@ mod tests {
                 u64::from(i),
                 rect(0.008 * f64::from(i % 100), 0.009 * f64::from(i % 90)),
                 i,
-            );
+            )
+            .unwrap();
         }
         for i in (0..60u32).step_by(3) {
             t.delete(
@@ -1038,7 +1232,7 @@ mod tests {
             for &t in &times {
                 let mut fresh = populated_tree();
                 let mut out = Vec::new();
-                fresh.query_snapshot(area, t, &mut out);
+                fresh.query_snapshot(area, t, &mut out).unwrap();
                 out.sort_unstable();
                 expected_snap.push(out);
             }
@@ -1048,7 +1242,7 @@ mod tests {
             for range in &ranges {
                 let mut fresh = populated_tree();
                 let mut out = Vec::new();
-                fresh.query_interval(area, range, &mut out);
+                fresh.query_interval(area, range, &mut out).unwrap();
                 out.sort_unstable();
                 expected_int.push(out);
             }
@@ -1062,7 +1256,7 @@ mod tests {
             for area in &areas {
                 for &t in &times {
                     let mut out = Vec::new();
-                    tree.query_snapshot(area, t, &mut out);
+                    tree.query_snapshot(area, t, &mut out).unwrap();
                     out.sort_unstable();
                     assert_eq!(out, expected_snap[si], "snapshot {si} round {round}");
                     si += 1;
@@ -1073,15 +1267,18 @@ mod tests {
                             &areas[ii % areas.len()],
                             &ranges[ii % ranges.len()],
                             &mut out,
-                        );
+                        )
+                        .unwrap();
                         out.sort_unstable();
                         let mut fresh = populated_tree();
                         let mut want = Vec::new();
-                        fresh.query_interval(
-                            &areas[ii % areas.len()],
-                            &ranges[ii % ranges.len()],
-                            &mut want,
-                        );
+                        fresh
+                            .query_interval(
+                                &areas[ii % areas.len()],
+                                &ranges[ii % ranges.len()],
+                                &mut want,
+                            )
+                            .unwrap();
                         want.sort_unstable();
                         assert_eq!(out, want, "interleaved interval {ii} round {round}");
                         ii += 1;
@@ -1096,10 +1293,11 @@ mod tests {
     fn queries_append_without_clearing() {
         let mut t = populated_tree();
         let mut out = vec![u64::MAX];
-        t.query_snapshot(&Rect2::UNIT, 50, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 50, &mut out).unwrap();
         assert_eq!(out[0], u64::MAX);
         let before = out.len();
-        t.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 20), &mut out);
+        t.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 20), &mut out)
+            .unwrap();
         assert!(out.len() > before);
         assert_eq!(out[0], u64::MAX);
     }
@@ -1114,8 +1312,10 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..10u32 {
             let area = Rect2::from_bounds(0.0, 0.0, 0.1 * f64::from(i % 9), 1.0);
-            let s1 = t.query_snapshot(&area, 30 + i, &mut out);
-            let s2 = t.query_interval(&area, &TimeInterval::new(i, 90 + i), &mut out);
+            let s1 = t.query_snapshot(&area, 30 + i, &mut out).unwrap();
+            let s2 = t
+                .query_interval(&area, &TimeInterval::new(i, 90 + i), &mut out)
+                .unwrap();
             assert_eq!(
                 s1.results as usize + s2.results as usize + sum.results as usize,
                 out.len()
@@ -1123,6 +1323,7 @@ mod tests {
             assert!(s1.nodes_visited >= 1);
             assert!(s1.entries_scanned >= s1.results);
             assert_eq!(s2.dedup_candidates, s2.results);
+            assert_eq!(s1.io_faults_injected, 0, "no fault injector attached");
             sum += s1;
             sum += s2;
         }
@@ -1131,20 +1332,22 @@ mod tests {
         assert_eq!(sum.buffer_hits, now.buffer_hits - base.buffer_hits);
         assert_eq!(sum.disk_writes, now.writes - base.writes);
         assert_eq!(sum.disk_writes, 0, "queries are read-only");
+        assert_eq!(sum.io_retries, 0, "no faults, no retries");
+        assert_eq!(sum.checksum_failures, 0);
     }
 
     #[test]
     #[should_panic(expected = "time-ordered")]
     fn rejects_time_travel() {
         let mut t = PprTree::new(small_params());
-        t.insert(1, rect(0.1, 0.1), 10);
-        t.insert(2, rect(0.2, 0.2), 5);
+        t.insert(1, rect(0.1, 0.1), 10).unwrap();
+        let _ = t.insert(2, rect(0.2, 0.2), 5);
     }
 
     #[test]
     fn deleting_missing_record_is_an_error_and_leaves_tree_intact() {
         let mut t = PprTree::new(small_params());
-        t.insert(1, rect(0.1, 0.1), 10);
+        t.insert(1, rect(0.1, 0.1), 10).unwrap();
         assert_eq!(
             t.delete(99, rect(0.1, 0.1), 11),
             Err(DeleteError::NotFound { id: 99, t: 11 })
@@ -1162,17 +1365,17 @@ mod tests {
         // queryable at old timestamps.
         let mut t = PprTree::new(small_params());
         for i in 0..30u64 {
-            t.insert(i, rect(0.01 * i as f64, 0.0), i as Time);
+            t.insert(i, rect(0.01 * i as f64, 0.0), i as Time).unwrap();
         }
         t.validate();
         let mut out = Vec::new();
         // At time 5, exactly records 0..=5 are alive.
-        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         out.sort_unstable();
         assert_eq!(out, (0..=5).collect::<Vec<u64>>());
         // At time 29 all 30 are alive.
         out.clear();
-        t.query_snapshot(&Rect2::UNIT, 29, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 29, &mut out).unwrap();
         assert_eq!(out.len(), 30);
     }
 
@@ -1180,7 +1383,8 @@ mod tests {
     fn mass_deletion_triggers_weak_underflow_handling() {
         let mut t = PprTree::new(small_params());
         for i in 0..40u64 {
-            t.insert(i, rect(0.02 * (i % 20) as f64, 0.1 * (i / 20) as f64), 0);
+            t.insert(i, rect(0.02 * (i % 20) as f64, 0.1 * (i / 20) as f64), 0)
+                .unwrap();
         }
         // Delete most of them, forcing weak underflows and merges.
         for i in 0..36u64 {
@@ -1193,12 +1397,12 @@ mod tests {
         }
         t.validate();
         let mut out = Vec::new();
-        t.query_snapshot(&Rect2::UNIT, 60, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 60, &mut out).unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![36, 37, 38, 39]);
         // History intact: at t=5 all 40 alive.
         out.clear();
-        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         assert_eq!(out.len(), 40);
     }
 
@@ -1206,23 +1410,23 @@ mod tests {
     fn delete_everything_then_reinsert() {
         let mut t = PprTree::new(small_params());
         for i in 0..8u64 {
-            t.insert(i, rect(0.1 * i as f64, 0.0), 0);
+            t.insert(i, rect(0.1 * i as f64, 0.0), 0).unwrap();
         }
         for i in 0..8u64 {
             t.delete(i, rect(0.1 * i as f64, 0.0), 10).unwrap();
         }
         assert_eq!(t.alive_records(), 0);
         // New evolution after a gap.
-        t.insert(100, rect(0.5, 0.5), 50);
+        t.insert(100, rect(0.5, 0.5), 50).unwrap();
         t.validate();
         let mut out = Vec::new();
-        t.query_snapshot(&Rect2::UNIT, 30, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 30, &mut out).unwrap();
         assert!(out.is_empty(), "gap between evolutions must be empty");
         out.clear();
-        t.query_snapshot(&Rect2::UNIT, 50, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 50, &mut out).unwrap();
         assert_eq!(out, vec![100]);
         out.clear();
-        t.query_snapshot(&Rect2::UNIT, 5, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         assert_eq!(out.len(), 8);
     }
 
@@ -1232,11 +1436,12 @@ mod tests {
         // One long-lived record that will be copied by version splits
         // caused by churning neighbors.
         let target = rect(0.5, 0.5);
-        t.insert(999, target, 0);
+        t.insert(999, target, 0).unwrap();
         for round in 0u64..20 {
             let tt = 1 + round as Time * 2;
             for j in 0..5u64 {
-                t.insert(round * 10 + j, rect(0.01 * j as f64, 0.9), tt);
+                t.insert(round * 10 + j, rect(0.01 * j as f64, 0.9), tt)
+                    .unwrap();
             }
             for j in 0..5u64 {
                 t.delete(round * 10 + j, rect(0.01 * j as f64, 0.9), tt + 1)
@@ -1245,7 +1450,8 @@ mod tests {
         }
         t.validate();
         let mut out = Vec::new();
-        t.query_interval(&target, &TimeInterval::new(0, 100), &mut out);
+        t.query_interval(&target, &TimeInterval::new(0, 100), &mut out)
+            .unwrap();
         assert_eq!(
             out,
             vec![999],
@@ -1267,7 +1473,7 @@ mod tests {
             // A few births.
             for _ in 0..rng.random_range(0..4) {
                 let r = rect(rng.random::<f64>() * 0.9, rng.random::<f64>() * 0.9);
-                tree.insert(next_id, r, t);
+                tree.insert(next_id, r, t).unwrap();
                 shadow.records.push((next_id, r, t, TimeInterval::OPEN_END));
                 alive.push((next_id, r));
                 next_id += 1;
@@ -1294,7 +1500,7 @@ mod tests {
         for t in (0..300).step_by(13) {
             let area = Rect2::from_bounds(0.2, 0.2, 0.7, 0.7);
             let mut got = Vec::new();
-            tree.query_snapshot(&area, t, &mut got);
+            tree.query_snapshot(&area, t, &mut got).unwrap();
             got.sort_unstable();
             assert_eq!(got, shadow.snapshot(&area, t), "snapshot at {t}");
         }
@@ -1303,7 +1509,7 @@ mod tests {
             let range = TimeInterval::new(start, start + 17);
             let area = Rect2::from_bounds(0.1, 0.1, 0.6, 0.8);
             let mut got = Vec::new();
-            tree.query_interval(&area, &range, &mut got);
+            tree.query_interval(&area, &range, &mut got).unwrap();
             got.sort_unstable();
             assert_eq!(got, shadow.interval(&area, &range), "interval at {range}");
         }
@@ -1316,7 +1522,8 @@ mod tests {
         let mut clock: Time = 0;
         for gen in 0..60u64 {
             for j in 0..10u64 {
-                t.insert(gen * 100 + j, rect(0.05 * j as f64, 0.3), clock);
+                t.insert(gen * 100 + j, rect(0.05 * j as f64, 0.3), clock)
+                    .unwrap();
             }
             clock += 5;
             for j in 0..10u64 {
@@ -1328,7 +1535,7 @@ mod tests {
         assert!(pages > 30, "history should occupy many pages, got {pages}");
         t.reset_for_query();
         let mut out = Vec::new();
-        t.query_snapshot(&Rect2::UNIT, 7, &mut out);
+        t.query_snapshot(&Rect2::UNIT, 7, &mut out).unwrap();
         let io = t.io_stats().reads;
         assert_eq!(out.len(), 10);
         assert!(
@@ -1341,7 +1548,8 @@ mod tests {
     fn roots_partition_time() {
         let mut t = PprTree::new(small_params());
         for i in 0..200u64 {
-            t.insert(i, rect(0.004 * i as f64, 0.004 * i as f64), i as Time);
+            t.insert(i, rect(0.004 * i as f64, 0.004 * i as f64), i as Time)
+                .unwrap();
         }
         let roots = t.roots();
         assert!(!roots.is_empty());
@@ -1352,5 +1560,95 @@ mod tests {
             );
         }
         assert!(roots.last().expect("nonempty").interval.is_open());
+    }
+
+    /// A permanent write fault mid-insert rolls the whole update back:
+    /// pages, root log, clock and counters all keep their prior values,
+    /// and the structure still validates.
+    #[test]
+    fn failed_insert_rolls_back_completely() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 40,
+            kind: FaultKind::Fail { transient: false },
+        }]);
+        let backend = FaultyBackend::new(Box::new(MemBackend::new()), plan);
+        let mut t = PprTree::with_backend(small_params(), Box::new(backend));
+        t.set_retry_policy(RetryPolicy::no_retry());
+
+        let mut i = 0u64;
+        let err = loop {
+            match t.insert(i, rect(0.03 * (i % 25) as f64, 0.2), i as Time) {
+                Ok(()) => {
+                    i += 1;
+                    assert!(i < 10_000, "fault never fired");
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, StorageError::Injected { .. }), "{err:?}");
+        assert_eq!(t.alive_records(), i, "failed insert must not count");
+        assert_eq!(t.now(), i.saturating_sub(1) as Time, "clock rolled back");
+        t.validate();
+
+        // The tree keeps working once the fault has passed.
+        t.insert(i, rect(0.03 * (i % 25) as f64, 0.2), i as Time)
+            .unwrap();
+        assert_eq!(t.alive_records(), i + 1);
+        t.validate();
+    }
+
+    /// Transient faults are absorbed by the store's retry loop: the
+    /// update succeeds and the retries surface in the fault counters.
+    #[test]
+    fn transient_faults_are_invisible_to_updates() {
+        let plan = FaultPlan::new(vec![
+            ScheduledFault {
+                at_op: 3,
+                kind: FaultKind::Fail { transient: true },
+            },
+            ScheduledFault {
+                at_op: 9,
+                kind: FaultKind::Fail { transient: true },
+            },
+        ]);
+        let backend = FaultyBackend::new(Box::new(MemBackend::new()), plan);
+        let mut t = PprTree::with_backend(small_params(), Box::new(backend));
+        for i in 0..20u64 {
+            t.insert(i, rect(0.04 * (i % 20) as f64, 0.4), i as Time)
+                .unwrap();
+        }
+        t.validate();
+        let fs = t.fault_stats();
+        assert_eq!(fs.io_faults_injected, 2);
+        assert_eq!(fs.io_retries, 2);
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 19, &mut out).unwrap();
+        assert_eq!(out.len(), 20);
+    }
+
+    /// A failing read mid-query surfaces a typed error, and the very next
+    /// query (fault exhausted) works on untouched state.
+    #[test]
+    fn failed_query_is_typed_and_recoverable() {
+        let t = populated_tree();
+        let pages = t.num_pages();
+        // Rebuild over a faulty backend that dies on an early read.
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 1,
+            kind: FaultKind::Fail { transient: false },
+        }]);
+        let backend = FaultyBackend::new(Box::new(MemBackend::new()), plan);
+        let mut ft = PprTree::with_backend(small_params(), Box::new(backend));
+        ft.set_retry_policy(RetryPolicy::no_retry());
+        let err = ft
+            .insert(1, rect(0.1, 0.1), 0)
+            .expect_err("fault on op 1 must surface");
+        assert!(matches!(err, StorageError::Injected { .. }));
+        // After the plan is exhausted everything works again.
+        ft.insert(1, rect(0.1, 0.1), 0).unwrap();
+        let mut out = Vec::new();
+        ft.query_snapshot(&Rect2::UNIT, 0, &mut out).unwrap();
+        assert_eq!(out, vec![1]);
+        assert!(pages > 0);
     }
 }

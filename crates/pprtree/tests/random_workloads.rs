@@ -55,7 +55,7 @@ fn run_workload(seed: u64, max_entries: usize, churn: u32) -> (PprTree, Shadow) 
             let x = rng.random::<f64>() * 0.9;
             let y = rng.random::<f64>() * 0.9;
             let r = Rect2::from_bounds(x, y, x + 0.05, y + 0.05);
-            tree.insert(next, r, t);
+            tree.insert(next, r, t).unwrap();
             shadow.records.push((next, r, t, u32::MAX));
             alive.push((next, r));
             next += 1;
@@ -88,7 +88,7 @@ proptest! {
         for t in (0..200).step_by(17) {
             let area = Rect2::from_bounds(0.2, 0.1, 0.8, 0.9);
             let mut got = Vec::new();
-            tree.query_snapshot(&area, t, &mut got);
+            tree.query_snapshot(&area, t, &mut got).unwrap();
             got.sort_unstable();
             prop_assert_eq!(got, shadow.snapshot(&area, t), "t={}", t);
         }
@@ -101,7 +101,7 @@ proptest! {
             let range = TimeInterval::new(start, start + 1 + (start % 29));
             let area = Rect2::from_bounds(0.0, 0.0, 0.6, 0.6);
             let mut got = Vec::new();
-            tree.query_interval(&area, &range, &mut got);
+            tree.query_interval(&area, &range, &mut got).unwrap();
             got.sort_unstable();
             prop_assert_eq!(got, shadow.interval(&area, &range), "range={}", range);
         }
@@ -150,19 +150,19 @@ fn same_id_different_rects_delete_the_right_one() {
     let mut tree = PprTree::new(params);
     let a = Rect2::from_bounds(0.1, 0.1, 0.15, 0.15);
     let b = Rect2::from_bounds(0.8, 0.8, 0.85, 0.85);
-    tree.insert(7, a, 0);
-    tree.insert(7, b, 0);
+    tree.insert(7, a, 0).unwrap();
+    tree.insert(7, b, 0).unwrap();
     // Kill the FAR one; the near one must survive.
     tree.delete(7, b, 10).unwrap();
     let mut out = Vec::new();
-    tree.query_snapshot(&a, 10, &mut out);
+    tree.query_snapshot(&a, 10, &mut out).unwrap();
     assert_eq!(out, vec![7], "record (7, a) must still be alive");
     out.clear();
-    tree.query_snapshot(&b, 10, &mut out);
+    tree.query_snapshot(&b, 10, &mut out).unwrap();
     assert!(out.is_empty(), "record (7, b) must be gone");
     tree.delete(7, a, 20).unwrap();
     out.clear();
-    tree.query_snapshot(&Rect2::UNIT, 20, &mut out);
+    tree.query_snapshot(&Rect2::UNIT, 20, &mut out).unwrap();
     assert!(out.is_empty());
 }
 
@@ -184,7 +184,7 @@ fn delete_not_found_is_typed_and_leaves_tree_unchanged() {
     );
 
     let r = Rect2::from_bounds(0.1, 0.1, 0.2, 0.2);
-    tree.insert(1, r, 3);
+    tree.insert(1, r, 3).unwrap();
     let roots_before = tree.roots().to_vec();
     let pages_before = tree.num_pages();
     let now_before = tree.now();

@@ -21,7 +21,7 @@
 use crate::node::{Entry, Node, RStarParams};
 use crate::tree::RStarTree;
 use sti_geom::{hilbert3, Rect3};
-use sti_storage::{Page, PageStore};
+use sti_storage::{Page, PageStore, StorageError};
 
 /// Which packing order to use for bulk loading.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,13 +45,17 @@ impl RStarTree {
     /// Bulk load a tree from `(id, box)` records with the given packing
     /// order. Nodes are filled to capacity, as the classic packers do.
     ///
+    /// # Errors
+    /// A [`StorageError`] if writing a packed page fails (only possible
+    /// with a fallible backend; the default in-memory store cannot fail).
+    ///
     /// # Panics
     /// On an empty input or an empty rectangle.
     pub fn bulk_load(
         records: &[(u64, Rect3)],
         params: RStarParams,
         algo: PackingAlgorithm,
-    ) -> Self {
+    ) -> Result<Self, StorageError> {
         params.validate();
         assert!(!records.is_empty(), "cannot bulk load an empty record set");
         let mut store = PageStore::new(params.buffer_pages);
@@ -70,19 +74,19 @@ impl RStarTree {
         loop {
             if entries.len() <= params.max_entries {
                 let root_node = Node { level, entries };
-                let root = store.allocate();
+                let root = store.allocate()?;
                 let mut page = Page::zeroed();
                 root_node.encode(&mut page);
-                store.write(root, &page.bytes()[..]);
+                store.write(root, &page.bytes()[..])?;
                 let len = records.len() as u64;
-                return Self {
+                return Ok(Self {
                     store,
                     params,
                     root,
                     root_level: level,
                     len,
                     query_stack: Vec::new(),
-                };
+                });
             }
             let mut parents: Vec<Entry> =
                 Vec::with_capacity(entries.len() / params.max_entries + 1);
@@ -91,10 +95,10 @@ impl RStarTree {
                     level,
                     entries: chunk.to_vec(),
                 };
-                let page = store.allocate();
+                let page = store.allocate()?;
                 let mut buf = Page::zeroed();
                 node.encode(&mut buf);
-                store.write(page, &buf.bytes()[..]);
+                store.write(page, &buf.bytes()[..])?;
                 parents.push(Entry::child(node.mbr(), page));
             }
             // Upper levels keep the lower level's ordering for STR (the
@@ -175,12 +179,12 @@ mod tests {
     fn single_node_load() {
         let recs = random_records(5, 1);
         for algo in [PackingAlgorithm::Str, PackingAlgorithm::Hilbert] {
-            let mut t = RStarTree::bulk_load(&recs, params(), algo);
+            let mut t = RStarTree::bulk_load(&recs, params(), algo).unwrap();
             assert_eq!(t.height(), 0);
             assert_eq!(t.len(), 5);
             t.validate_packed();
             let mut out = Vec::new();
-            t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out);
+            t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out).unwrap();
             assert_eq!(out.len(), 5);
         }
     }
@@ -190,7 +194,7 @@ mod tests {
         let recs = random_records(700, 7);
         let mut rng = StdRng::seed_from_u64(8);
         for algo in [PackingAlgorithm::Str, PackingAlgorithm::Hilbert] {
-            let mut t = RStarTree::bulk_load(&recs, params(), algo);
+            let mut t = RStarTree::bulk_load(&recs, params(), algo).unwrap();
             assert!(t.height() >= 2, "{algo}: tree should be tall");
             t.validate_packed();
             for _ in 0..40 {
@@ -201,7 +205,7 @@ mod tests {
                 ];
                 let q = Rect3::new(lo, [lo[0] + 0.1, lo[1] + 0.1, lo[2] + 0.1]);
                 let mut got = Vec::new();
-                t.query(&q, &mut got);
+                t.query(&q, &mut got).unwrap();
                 got.sort_unstable();
                 let mut want: Vec<u64> = recs
                     .iter()
@@ -217,10 +221,10 @@ mod tests {
     #[test]
     fn packed_tree_is_smaller_than_inserted_tree() {
         let recs = random_records(700, 3);
-        let packed = RStarTree::bulk_load(&recs, params(), PackingAlgorithm::Str);
+        let packed = RStarTree::bulk_load(&recs, params(), PackingAlgorithm::Str).unwrap();
         let mut inserted = RStarTree::new(params());
         for &(id, r) in &recs {
-            inserted.insert(id, r);
+            inserted.insert(id, r).unwrap();
         }
         assert!(
             packed.num_pages() < inserted.num_pages(),
@@ -233,17 +237,18 @@ mod tests {
     #[test]
     fn bulk_loaded_tree_accepts_further_inserts() {
         let recs = random_records(200, 11);
-        let mut t = RStarTree::bulk_load(&recs, params(), PackingAlgorithm::Hilbert);
+        let mut t = RStarTree::bulk_load(&recs, params(), PackingAlgorithm::Hilbert).unwrap();
         for i in 0..100u64 {
             let v = i as f64 / 100.0;
             t.insert(
                 1000 + i,
                 Rect3::new([v, v, v], [v + 0.01, v + 0.01, v + 0.01]),
-            );
+            )
+            .unwrap();
         }
         assert_eq!(t.len(), 300);
         let mut out = Vec::new();
-        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out);
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out).unwrap();
         assert_eq!(out.len(), 300);
     }
 

@@ -6,6 +6,7 @@ use crate::node::Entry;
 use crate::tree::RStarTree;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use sti_storage::StorageError;
 
 /// Heap element for the best-first queue: distance-ordered, nodes and
 /// records mixed.
@@ -41,10 +42,14 @@ impl RStarTree {
     /// directory nodes and data records; when a record surfaces, no
     /// unexplored subtree can contain anything closer, so it is emitted.
     /// I/O is counted through the buffer pool like any query.
-    pub fn nearest(&mut self, point: [f64; 3], k: usize) -> Vec<(u64, f64)> {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries; the search
+    /// is abandoned (the tree itself is untouched — reads only).
+    pub fn nearest(&mut self, point: [f64; 3], k: usize) -> Result<Vec<(u64, f64)>, StorageError> {
         let mut out = Vec::with_capacity(k);
         if k == 0 || self.is_empty() {
-            return out;
+            return Ok(out);
         }
         let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
         let root = self.root_page();
@@ -66,7 +71,7 @@ impl RStarTree {
                 Some(_) => {
                     // stilint::allow(no_panic, "directory items carry allocate()-returned u32 page ids widened into the shared ptr field")
                     let page = u32::try_from(item.ptr).expect("page id");
-                    let node = self.read_node(page);
+                    let node = self.read_node(page)?;
                     for e in &node.entries {
                         let dist2 = e.rect.min_dist2(&point);
                         heap.push(Reverse(Pending {
@@ -82,7 +87,7 @@ impl RStarTree {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -118,7 +123,7 @@ mod tests {
             ];
             let e = rng.random::<f64>() * 0.03;
             let r = Rect3::new(lo, [lo[0] + e, lo[1] + e, lo[2] + e]);
-            tree.insert(id, r);
+            tree.insert(id, r).unwrap();
             data.push((id, r));
         }
         (tree, data)
@@ -142,7 +147,7 @@ mod tests {
                 rng.random::<f64>(),
             ];
             for k in [1usize, 5, 20] {
-                let got = tree.nearest(p, k);
+                let got = tree.nearest(p, k).unwrap();
                 let want = brute(&data, p, k);
                 assert_eq!(got.len(), k);
                 // Distances must match exactly (ids may differ on ties).
@@ -163,18 +168,18 @@ mod tests {
     #[test]
     fn k_zero_and_empty_tree() {
         let (mut tree, _) = build(50, 9);
-        assert!(tree.nearest([0.5; 3], 0).is_empty());
+        assert!(tree.nearest([0.5; 3], 0).unwrap().is_empty());
         let mut empty = RStarTree::new(RStarParams {
             max_entries: 8,
             ..RStarParams::default()
         });
-        assert!(empty.nearest([0.5; 3], 3).is_empty());
+        assert!(empty.nearest([0.5; 3], 3).unwrap().is_empty());
     }
 
     #[test]
     fn k_larger_than_dataset_returns_all() {
         let (mut tree, data) = build(30, 11);
-        let got = tree.nearest([0.2, 0.2, 0.2], 100);
+        let got = tree.nearest([0.2, 0.2, 0.2], 100).unwrap();
         assert_eq!(got.len(), data.len());
     }
 
@@ -184,9 +189,9 @@ mod tests {
             max_entries: 8,
             ..RStarParams::default()
         });
-        tree.insert(42, Rect3::new([0.4; 3], [0.6; 3]));
-        tree.insert(1, Rect3::new([0.0; 3], [0.1; 3]));
-        let got = tree.nearest([0.5; 3], 1);
+        tree.insert(42, Rect3::new([0.4; 3], [0.6; 3])).unwrap();
+        tree.insert(1, Rect3::new([0.0; 3], [0.1; 3])).unwrap();
+        let got = tree.nearest([0.5; 3], 1).unwrap();
         assert_eq!(got, vec![(42, 0.0)]);
     }
 
@@ -194,7 +199,7 @@ mod tests {
     fn knn_reads_fewer_pages_than_a_scan() {
         let (mut tree, _) = build(2000, 21);
         tree.reset_for_query();
-        let _ = tree.nearest([0.5, 0.5, 0.5], 3);
+        let _ = tree.nearest([0.5, 0.5, 0.5], 3).unwrap();
         let knn_reads = tree.io_stats().reads;
         assert!(
             (knn_reads as usize) < tree.num_pages() / 4,

@@ -6,7 +6,10 @@ use crate::node::{Entry, Node, RStarParams};
 use crate::split::{quadratic_split, rstar_split};
 use sti_geom::Rect3;
 use sti_obs::QueryStats;
-use sti_storage::{IoStats, Page, PageId, PageStore};
+use sti_storage::{
+    CorruptReason, FaultStats, IoStats, MemBackend, Page, PageBackend, PageId, PageStore,
+    RetryPolicy, StorageError,
+};
 
 /// A disk-based 3D R\*-Tree.
 ///
@@ -20,6 +23,11 @@ use sti_storage::{IoStats, Page, PageId, PageStore};
 /// split), Guttman-style deletion with CondenseTree, bulk loading (see
 /// [`crate::bulk`]), and window queries. The paper's experiments only
 /// build offline and query, but a production index needs the full set.
+///
+/// Every operation that touches the page store is fallible: updates run
+/// inside a page-level undo transaction and roll back completely on
+/// error (see DESIGN.md §6), so a failed `insert`/`delete` leaves the
+/// tree exactly as it was.
 pub struct RStarTree {
     pub(crate) store: PageStore,
     pub(crate) params: RStarParams,
@@ -35,20 +43,37 @@ pub struct RStarTree {
 impl RStarTree {
     /// Create an empty tree.
     pub fn new(params: RStarParams) -> Self {
+        match Self::with_backend(params, Box::new(MemBackend::new())) {
+            Ok(t) => t,
+            // stilint::allow(no_panic, "a fresh MemBackend cannot fail the two bootstrap page operations")
+            Err(e) => unreachable!("in-memory bootstrap failed: {e}"),
+        }
+    }
+
+    /// Create an empty tree over a caller-supplied page backend (e.g. a
+    /// [`sti_storage::FaultyBackend`] for fault-injection suites).
+    ///
+    /// # Errors
+    /// A [`StorageError`] if allocating or writing the initial root page
+    /// fails.
+    pub fn with_backend(
+        params: RStarParams,
+        backend: Box<dyn PageBackend>,
+    ) -> Result<Self, StorageError> {
         params.validate();
-        let mut store = PageStore::new(params.buffer_pages);
-        let root = store.allocate();
+        let mut store = PageStore::with_backend(backend, params.buffer_pages);
+        let root = store.allocate()?;
         let mut page = Page::zeroed();
         Node::new(0).encode(&mut page);
-        store.write(root, &page.bytes()[..]);
-        Self {
+        store.write(root, &page.bytes()[..])?;
+        Ok(Self {
             store,
             params,
             root,
             root_level: 0,
             len: 0,
             query_stack: Vec::new(),
-        }
+        })
     }
 
     /// Number of data records.
@@ -82,6 +107,16 @@ impl RStarTree {
         self.store.stats()
     }
 
+    /// Accumulated fault/retry counters from the backing store.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.store.fault_stats()
+    }
+
+    /// Replace the retry budget for transient storage faults.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.store.set_retry_policy(policy);
+    }
+
     /// Replace the buffer pool capacity (clears residency). The paper
     /// fixes this at 10 pages; the `ablation_buffer` bench sweeps it.
     pub fn set_buffer_capacity(&mut self, pages: usize) {
@@ -96,10 +131,30 @@ impl RStarTree {
     }
 
     /// Insert a data record.
-    pub fn insert(&mut self, id: u64, rect: Rect3) {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if the page store fails; the update is rolled
+    /// back and the tree (pages, root pointer, count) is unchanged.
+    ///
+    /// # Panics
+    /// If the rectangle is the empty sentinel (a caller bug, rejected
+    /// before any page is touched).
+    pub fn insert(&mut self, id: u64, rect: Rect3) -> Result<(), StorageError> {
         assert!(!rect.is_empty(), "cannot index an empty rectangle");
-        self.insert_entry(Entry { rect, ptr: id }, 0);
-        self.len += 1;
+        let state_before = (self.root, self.root_level, self.len);
+        self.store.begin_txn();
+        match self.insert_entry(Entry { rect, ptr: id }, 0) {
+            Ok(()) => {
+                self.len += 1;
+                self.store.commit_txn();
+                Ok(())
+            }
+            Err(e) => {
+                self.store.rollback_txn();
+                (self.root, self.root_level, self.len) = state_before;
+                Err(e)
+            }
+        }
     }
 
     /// Collect the ids of all records whose box intersects `query`.
@@ -108,18 +163,31 @@ impl RStarTree {
     /// never cleared here, so a caller can accumulate several queries
     /// into one buffer (all three tree backends share this contract).
     ///
-    /// Returns the [`QueryStats`] delta for this call: I/O counters are
-    /// snapshotted on the backing store at entry and exit, so summing the
-    /// returned deltas over a batch reproduces the global [`IoStats`]
-    /// delta exactly.
-    pub fn query(&mut self, query: &Rect3, out: &mut Vec<u64>) -> QueryStats {
+    /// Returns the [`QueryStats`] delta for this call: I/O and fault
+    /// counters are snapshotted on the backing store at entry and exit,
+    /// so summing the returned deltas over a batch reproduces the global
+    /// [`IoStats`] delta exactly.
+    ///
+    /// # Errors
+    /// A [`StorageError`] if a page read fails after retries. The tree is
+    /// unchanged (queries are read-only), but `out` may already hold the
+    /// matches found before the failing read.
+    pub fn query(&mut self, query: &Rect3, out: &mut Vec<u64>) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
         let before = self.store.stats();
+        let faults_before = self.store.fault_stats();
         let mut stack = std::mem::take(&mut self.query_stack);
         stack.clear();
         stack.push(self.root);
+        let mut failed = None;
         while let Some(page) = stack.pop() {
-            let node = self.read_node(page);
+            let node = match self.read_node(page) {
+                Ok(n) => n,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            };
             stats.nodes_visited += 1;
             if node.is_leaf() {
                 for e in &node.entries {
@@ -139,47 +207,59 @@ impl RStarTree {
             }
         }
         self.query_stack = stack;
+        if let Some(e) = failed {
+            return Err(e);
+        }
         let after = self.store.stats();
         stats.disk_reads = after.reads - before.reads;
         stats.buffer_hits = after.buffer_hits - before.buffer_hits;
         stats.disk_writes = after.writes - before.writes;
-        stats
+        let faults_after = self.store.fault_stats();
+        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
+        stats.io_faults_injected =
+            faults_after.io_faults_injected - faults_before.io_faults_injected;
+        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        Ok(stats)
     }
 
-    pub(crate) fn read_node(&mut self, page: PageId) -> Node {
-        // stilint::allow(no_panic, "pages are written only by write_node, so a decode failure is memory corruption, not a runtime condition")
-        Node::decode(self.store.read(page)).expect("valid node page")
+    pub(crate) fn read_node(&mut self, page: PageId) -> Result<Node, StorageError> {
+        let raw = self.store.read(page)?;
+        Node::decode(raw).map_err(|_| StorageError::Corrupt {
+            page,
+            reason: CorruptReason::Decode,
+        })
     }
 
-    pub(crate) fn write_node(&mut self, page: PageId, node: &Node) {
+    pub(crate) fn write_node(&mut self, page: PageId, node: &Node) -> Result<(), StorageError> {
         let mut buf = Page::zeroed();
         node.encode(&mut buf);
-        self.store.write(page, &buf.bytes()[..]);
+        self.store.write(page, &buf.bytes()[..])
     }
 
     /// Insert `entry` into a node of `target_level`, processing any forced
     /// reinsertions the insertion triggers.
-    fn insert_entry(&mut self, entry: Entry, target_level: u32) {
+    fn insert_entry(&mut self, entry: Entry, target_level: u32) -> Result<(), StorageError> {
         // One flag per level: forced reinsertion fires at most once per
         // level per data insertion (R* OverflowTreatment).
         let mut reinsert_done = vec![false; self.root_level as usize + 2];
         let mut pending: Vec<(Entry, u32)> = vec![(entry, target_level)];
         while let Some((e, lvl)) = pending.pop() {
             let root = self.root;
-            let (mbr, split) = self.insert_rec(root, e, lvl, &mut reinsert_done, &mut pending);
+            let (mbr, split) = self.insert_rec(root, e, lvl, &mut reinsert_done, &mut pending)?;
             if let Some(sibling) = split {
                 // Root split: grow the tree by one level.
                 let new_root_level = self.root_level + 1;
                 let mut new_root = Node::new(new_root_level);
                 new_root.entries.push(Entry::child(mbr, self.root));
                 new_root.entries.push(sibling);
-                let pid = self.store.allocate();
-                self.write_node(pid, &new_root);
+                let pid = self.store.allocate()?;
+                self.write_node(pid, &new_root)?;
                 self.root = pid;
                 self.root_level = new_root_level;
                 reinsert_done.resize(new_root_level as usize + 2, false);
             }
         }
+        Ok(())
     }
 
     /// Recursive insertion. Returns the node's MBR after the insertion
@@ -189,10 +269,10 @@ impl RStarTree {
         page: PageId,
         entry: Entry,
         target_level: u32,
-        reinsert_done: &mut [bool],
+        reinsert_done: &mut Vec<bool>,
         pending: &mut Vec<(Entry, u32)>,
-    ) -> (Rect3, Option<Entry>) {
-        let mut node = self.read_node(page);
+    ) -> Result<(Rect3, Option<Entry>), StorageError> {
+        let mut node = self.read_node(page)?;
         debug_assert!(node.level >= target_level, "descended past target level");
 
         if node.level == target_level {
@@ -201,7 +281,7 @@ impl RStarTree {
             let idx = choose_subtree(&node, &entry.rect);
             let child = node.entries[idx].child_page();
             let (child_mbr, split) =
-                self.insert_rec(child, entry, target_level, reinsert_done, pending);
+                self.insert_rec(child, entry, target_level, reinsert_done, pending)?;
             node.entries[idx].rect = child_mbr;
             if let Some(sibling) = split {
                 node.entries.push(sibling);
@@ -221,8 +301,8 @@ impl RStarTree {
                 for e in removed {
                     pending.push((e, node.level));
                 }
-                self.write_node(page, &node);
-                return (node.mbr(), None);
+                self.write_node(page, &node)?;
+                return Ok((node.mbr(), None));
             }
             // Split.
             let level = node.level;
@@ -235,18 +315,18 @@ impl RStarTree {
             };
             let node1 = Node { level, entries: g1 };
             let node2 = Node { level, entries: g2 };
-            let new_page = self.store.allocate();
-            self.write_node(page, &node1);
-            self.write_node(new_page, &node2);
-            return (node1.mbr(), Some(Entry::child(node2.mbr(), new_page)));
+            let new_page = self.store.allocate()?;
+            self.write_node(page, &node1)?;
+            self.write_node(new_page, &node2)?;
+            return Ok((node1.mbr(), Some(Entry::child(node2.mbr(), new_page))));
         }
 
-        self.write_node(page, &node);
-        (node.mbr(), None)
+        self.write_node(page, &node)?;
+        Ok((node.mbr(), None))
     }
 
     /// Delete the record previously inserted as `(id, rect)`. Returns
-    /// `true` when found and removed.
+    /// `Ok(true)` when found and removed, `Ok(false)` when absent.
     ///
     /// Follows Guttman's CondenseTree: underfull nodes along the deletion
     /// path are dissolved, their surviving entries re-inserted at their
@@ -255,34 +335,55 @@ impl RStarTree {
     ///
     /// (The paper's experiments never delete from the R\*-Tree — records
     /// are historical — but a production index supports it.)
-    pub fn delete(&mut self, id: u64, rect: &Rect3) -> bool {
+    ///
+    /// # Errors
+    /// A [`StorageError`] if the page store fails; the update is rolled
+    /// back and the tree (pages, free list, root pointer, count) is
+    /// unchanged.
+    pub fn delete(&mut self, id: u64, rect: &Rect3) -> Result<bool, StorageError> {
+        let state_before = (self.root, self.root_level, self.len);
+        self.store.begin_txn();
+        match self.delete_inner(id, rect) {
+            Ok(found) => {
+                self.store.commit_txn();
+                Ok(found)
+            }
+            Err(e) => {
+                self.store.rollback_txn();
+                (self.root, self.root_level, self.len) = state_before;
+                Err(e)
+            }
+        }
+    }
+
+    fn delete_inner(&mut self, id: u64, rect: &Rect3) -> Result<bool, StorageError> {
         let root = self.root;
         let mut orphans: Vec<(Entry, u32)> = Vec::new();
-        let outcome = self.delete_rec(root, id, rect, &mut orphans);
+        let outcome = self.delete_rec(root, id, rect, &mut orphans)?;
         if matches!(outcome, DelOutcome::NotHere) {
             debug_assert!(orphans.is_empty());
-            return false;
+            return Ok(false);
         }
         self.len -= 1;
         // Re-insert orphans *before* shrinking the root: a level-L orphan
         // needs the tree to still be at least L+1 tall.
         orphans.sort_by_key(|&(_, lvl)| std::cmp::Reverse(lvl));
         for (e, lvl) in orphans {
-            self.insert_entry(e, lvl);
+            self.insert_entry(e, lvl)?;
         }
         // Collapse trivial roots.
         loop {
-            let node = self.read_node(self.root);
+            let node = self.read_node(self.root)?;
             if !node.is_leaf() && node.entries.len() == 1 {
                 let child = node.entries[0].child_page();
-                self.store.free(self.root);
+                self.store.free(self.root)?;
                 self.root = child;
                 self.root_level -= 1;
             } else {
                 break;
             }
         }
-        true
+        Ok(true)
     }
 
     fn delete_rec(
@@ -291,37 +392,37 @@ impl RStarTree {
         id: u64,
         rect: &Rect3,
         orphans: &mut Vec<(Entry, u32)>,
-    ) -> DelOutcome {
-        let mut node = self.read_node(page);
+    ) -> Result<DelOutcome, StorageError> {
+        let mut node = self.read_node(page)?;
         if node.is_leaf() {
             let Some(pos) = node
                 .entries
                 .iter()
                 .position(|e| e.ptr == id && e.rect == *rect)
             else {
-                return DelOutcome::NotHere;
+                return Ok(DelOutcome::NotHere);
             };
             node.entries.remove(pos);
             if page != self.root && node.entries.len() < self.params.min_entries() {
                 for e in node.entries {
                     orphans.push((e, 0));
                 }
-                self.store.free(page);
-                return DelOutcome::Underflow;
+                self.store.free(page)?;
+                return Ok(DelOutcome::Underflow);
             }
-            self.write_node(page, &node);
-            return DelOutcome::Removed(node.mbr());
+            self.write_node(page, &node)?;
+            return Ok(DelOutcome::Removed(node.mbr()));
         }
         for i in 0..node.entries.len() {
             if !node.entries[i].rect.contains(rect) {
                 continue;
             }
-            match self.delete_rec(node.entries[i].child_page(), id, rect, orphans) {
+            match self.delete_rec(node.entries[i].child_page(), id, rect, orphans)? {
                 DelOutcome::NotHere => continue,
                 DelOutcome::Removed(child_mbr) => {
                     node.entries[i].rect = child_mbr;
-                    self.write_node(page, &node);
-                    return DelOutcome::Removed(node.mbr());
+                    self.write_node(page, &node)?;
+                    return Ok(DelOutcome::Removed(node.mbr()));
                 }
                 DelOutcome::Underflow => {
                     let level = node.level;
@@ -330,20 +431,24 @@ impl RStarTree {
                         for e in node.entries {
                             orphans.push((e, level));
                         }
-                        self.store.free(page);
-                        return DelOutcome::Underflow;
+                        self.store.free(page)?;
+                        return Ok(DelOutcome::Underflow);
                     }
-                    self.write_node(page, &node);
-                    return DelOutcome::Removed(node.mbr());
+                    self.write_node(page, &node)?;
+                    return Ok(DelOutcome::Removed(node.mbr()));
                 }
             }
         }
-        DelOutcome::NotHere
+        Ok(DelOutcome::NotHere)
     }
 
     /// Save the whole index (pages + parameters + root pointer) to a
     /// file.
-    pub fn save_to_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+    ///
+    /// The save is atomic and epoch-stamped: the image is written to a
+    /// temp sibling, synced, then renamed over `path` (see
+    /// [`sti_storage::persist`]).
+    pub fn save_to_file(&mut self, path: &std::path::Path) -> std::io::Result<()> {
         let mut meta = vec![0u8; 1 + 4 + 8 + 8 + 4 + 4 + 4 + 8];
         {
             let mut w = sti_storage::ByteWriter::new(&mut meta);
@@ -360,6 +465,9 @@ impl RStarTree {
     }
 
     /// Load an index previously written by [`RStarTree::save_to_file`].
+    ///
+    /// Fails closed: any checksum, magic, epoch or structural mismatch in
+    /// the file is a typed error before a single page is trusted.
     pub fn open_file(path: &std::path::Path) -> std::io::Result<Self> {
         use std::io::{Error, ErrorKind};
         let bad = |m: &'static str| Error::new(ErrorKind::InvalidData, m);
@@ -423,7 +531,8 @@ impl RStarTree {
         let mut stack = vec![(self.root, root_level, None::<Rect3>)];
         let mut data_count = 0u64;
         while let Some((page, expect_level, parent_rect)) = stack.pop() {
-            let node = self.read_node(page);
+            // stilint::allow(no_io_unwrap, "test-only invariant walker whose contract is to panic on any defect, unreadable pages included")
+            let node = self.read_node(page).expect("validate: unreadable node");
             assert_eq!(node.level, expect_level, "level mismatch at page {page}");
             assert!(node.entries.len() <= max, "overfull node {page}");
             if page != self.root {
@@ -527,6 +636,7 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
+    use sti_storage::{FaultKind, FaultPlan, FaultyBackend, ScheduledFault};
 
     fn small_params() -> RStarParams {
         RStarParams {
@@ -554,7 +664,7 @@ mod tests {
     fn empty_tree_answers_nothing() {
         let mut t = RStarTree::new(small_params());
         let mut out = Vec::new();
-        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out);
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out).unwrap();
         assert!(out.is_empty());
         assert!(t.is_empty());
         assert_eq!(t.height(), 0);
@@ -564,12 +674,13 @@ mod tests {
     fn single_insert_and_query() {
         let mut t = RStarTree::new(small_params());
         let r = Rect3::new([0.1; 3], [0.2; 3]);
-        t.insert(42, r);
+        t.insert(42, r).unwrap();
         let mut out = Vec::new();
-        t.query(&Rect3::new([0.15; 3], [0.16; 3]), &mut out);
+        t.query(&Rect3::new([0.15; 3], [0.16; 3]), &mut out)
+            .unwrap();
         assert_eq!(out, vec![42]);
         out.clear();
-        t.query(&Rect3::new([0.5; 3], [0.6; 3]), &mut out);
+        t.query(&Rect3::new([0.5; 3], [0.6; 3]), &mut out).unwrap();
         assert!(out.is_empty());
         assert_eq!(t.len(), 1);
     }
@@ -581,7 +692,7 @@ mod tests {
         let mut data = Vec::new();
         for id in 0..1000u64 {
             let r = random_box(&mut rng);
-            t.insert(id, r);
+            t.insert(id, r).unwrap();
             data.push((id, r));
         }
         t.validate();
@@ -590,7 +701,7 @@ mod tests {
         for _ in 0..50 {
             let q = random_box(&mut rng);
             let mut got = Vec::new();
-            t.query(&q, &mut got);
+            t.query(&q, &mut got).unwrap();
             got.sort_unstable();
             let mut want: Vec<u64> = data
                 .iter()
@@ -607,11 +718,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut t = RStarTree::new(small_params());
         for id in 0..500u64 {
-            t.insert(id, random_box(&mut rng));
+            t.insert(id, random_box(&mut rng)).unwrap();
         }
         t.reset_for_query();
         let mut out = Vec::new();
-        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out);
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out).unwrap();
         let full_scan = t.io_stats().reads;
         assert!(
             full_scan as usize >= t.num_pages() / 2,
@@ -620,7 +731,8 @@ mod tests {
 
         t.reset_for_query();
         out.clear();
-        t.query(&Rect3::new([0.5; 3], [0.5001; 3]), &mut out);
+        t.query(&Rect3::new([0.5; 3], [0.5001; 3]), &mut out)
+            .unwrap();
         let point = t.io_stats().reads;
         assert!(
             point < full_scan,
@@ -637,11 +749,11 @@ mod tests {
         let mut t = RStarTree::new(small_params());
         let r = Rect3::new([0.3; 3], [0.4; 3]);
         for id in 0..20 {
-            t.insert(id, r);
+            t.insert(id, r).unwrap();
         }
         t.validate();
         let mut out = Vec::new();
-        t.query(&r, &mut out);
+        t.query(&r, &mut out).unwrap();
         assert_eq!(out.len(), 20);
     }
 
@@ -649,7 +761,7 @@ mod tests {
     #[should_panic(expected = "empty rectangle")]
     fn rejects_empty_rect() {
         let mut t = RStarTree::new(small_params());
-        t.insert(1, Rect3::EMPTY);
+        let _ = t.insert(1, Rect3::EMPTY);
     }
 
     #[test]
@@ -661,7 +773,8 @@ mod tests {
             let cluster = (id % 5) as f64 * 0.2;
             let jitter = rng.random::<f64>() * 0.01;
             let lo = [cluster + jitter, cluster, 0.0];
-            t.insert(id, Rect3::new(lo, [lo[0] + 0.01, lo[1] + 0.01, 0.9]));
+            t.insert(id, Rect3::new(lo, [lo[0] + 0.01, lo[1] + 0.01, 0.9]))
+                .unwrap();
         }
         t.validate();
         assert_eq!(t.len(), 800);
@@ -671,12 +784,12 @@ mod tests {
     fn delete_roundtrip_small() {
         let mut t = RStarTree::new(small_params());
         let r = Rect3::new([0.2; 3], [0.3; 3]);
-        t.insert(1, r);
-        assert!(t.delete(1, &r));
-        assert!(!t.delete(1, &r), "double delete returns false");
+        t.insert(1, r).unwrap();
+        assert!(t.delete(1, &r).unwrap());
+        assert!(!t.delete(1, &r).unwrap(), "double delete returns false");
         assert_eq!(t.len(), 0);
         let mut out = Vec::new();
-        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out);
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out).unwrap();
         assert!(out.is_empty());
     }
 
@@ -685,9 +798,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut t = RStarTree::new(small_params());
         for id in 0..100u64 {
-            t.insert(id, random_box(&mut rng));
+            t.insert(id, random_box(&mut rng)).unwrap();
         }
-        assert!(!t.delete(999, &random_box(&mut rng)));
+        assert!(!t.delete(999, &random_box(&mut rng)).unwrap());
         assert_eq!(t.len(), 100);
     }
 
@@ -700,7 +813,7 @@ mod tests {
         for round in 0..60 {
             for _ in 0..20 {
                 let r = random_box(&mut rng);
-                t.insert(next, r);
+                t.insert(next, r).unwrap();
                 live.push((next, r));
                 next += 1;
             }
@@ -710,7 +823,7 @@ mod tests {
                 }
                 let k = rng.random_range(0..live.len());
                 let (id, r) = live.swap_remove(k);
-                assert!(t.delete(id, &r), "record {id} must be deletable");
+                assert!(t.delete(id, &r).unwrap(), "record {id} must be deletable");
             }
             t.validate();
         }
@@ -718,7 +831,7 @@ mod tests {
         for _ in 0..30 {
             let q = random_box(&mut rng);
             let mut got = Vec::new();
-            t.query(&q, &mut got);
+            t.query(&q, &mut got).unwrap();
             got.sort_unstable();
             let mut want: Vec<u64> = live
                 .iter()
@@ -737,19 +850,19 @@ mod tests {
         let mut recs = Vec::new();
         for id in 0..300u64 {
             let r = random_box(&mut rng);
-            t.insert(id, r);
+            t.insert(id, r).unwrap();
             recs.push((id, r));
         }
         assert!(t.height() >= 2);
         let pages_full = t.num_pages();
         for (id, r) in recs {
-            assert!(t.delete(id, &r));
+            assert!(t.delete(id, &r).unwrap());
         }
         assert!(t.is_empty());
         assert_eq!(t.height(), 0, "root must collapse back to a leaf");
         // Freed pages are recycled on the next insert wave.
         for id in 0..300u64 {
-            t.insert(1000 + id, random_box(&mut rng));
+            t.insert(1000 + id, random_box(&mut rng)).unwrap();
         }
         assert!(
             t.num_pages() <= pages_full + pages_full / 2,
@@ -758,6 +871,108 @@ mod tests {
             pages_full
         );
         t.validate();
+    }
+
+    /// A permanent fault mid-insert rolls everything back — including
+    /// root splits and forced reinsertions in flight — and the tree
+    /// still validates and answers correctly.
+    #[test]
+    fn failed_insert_rolls_back_completely() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 60,
+            kind: FaultKind::Fail { transient: false },
+        }]);
+        let backend = FaultyBackend::new(Box::new(sti_storage::MemBackend::new()), plan);
+        let mut t = RStarTree::with_backend(small_params(), Box::new(backend)).unwrap();
+        t.set_retry_policy(RetryPolicy::no_retry());
+        let mut rng = StdRng::seed_from_u64(23);
+
+        let mut inserted = Vec::new();
+        let err = loop {
+            let r = random_box(&mut rng);
+            let id = inserted.len() as u64;
+            let pages_before = t.num_pages();
+            match t.insert(id, r) {
+                Ok(()) => {
+                    inserted.push((id, r));
+                    assert!(inserted.len() < 10_000, "fault never fired");
+                }
+                Err(e) => {
+                    assert_eq!(t.num_pages(), pages_before, "allocations rolled back");
+                    break e;
+                }
+            }
+        };
+        assert!(matches!(err, StorageError::Injected { .. }), "{err:?}");
+        assert_eq!(t.len(), inserted.len() as u64);
+        t.validate();
+        let mut got = Vec::new();
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut got).unwrap();
+        assert_eq!(got.len(), inserted.len(), "failed insert left no record");
+    }
+
+    /// A permanent fault mid-delete rolls back the CondenseTree pass:
+    /// no record disappears, no page leaks from the free list.
+    #[test]
+    fn failed_delete_rolls_back_completely() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut seed_tree = RStarTree::new(small_params());
+        let mut recs = Vec::new();
+        for id in 0..120u64 {
+            let r = random_box(&mut rng);
+            seed_tree.insert(id, r).unwrap();
+            recs.push((id, r));
+        }
+
+        // Calibration run: measure how many backend ops the insert phase
+        // uses, so the fault can be scheduled inside the delete phase.
+        let calib = FaultyBackend::new_mem(FaultPlan::none());
+        let mut t = RStarTree::with_backend(small_params(), Box::new(calib)).unwrap();
+        for &(id, r) in &recs {
+            t.insert(id, r).unwrap();
+        }
+        let insert_ops = t
+            .store
+            .backend()
+            .as_any()
+            .downcast_ref::<FaultyBackend>()
+            .unwrap()
+            .ops_executed();
+
+        // Replay the same workload over a faulty backend, then delete
+        // until the fault fires mid-CondenseTree.
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: insert_ops + 50,
+            kind: FaultKind::Fail { transient: false },
+        }]);
+        let backend = FaultyBackend::new(Box::new(sti_storage::MemBackend::new()), plan);
+        let mut t = RStarTree::with_backend(small_params(), Box::new(backend)).unwrap();
+        t.set_retry_policy(RetryPolicy::no_retry());
+        for &(id, r) in &recs {
+            t.insert(id, r).unwrap();
+        }
+        let mut deleted = 0usize;
+        let mut hit_fault = false;
+        for &(id, r) in &recs {
+            let len_before = t.len();
+            match t.delete(id, &r) {
+                Ok(found) => {
+                    assert!(found);
+                    deleted += 1;
+                }
+                Err(e) => {
+                    assert!(matches!(e, StorageError::Injected { .. }), "{e:?}");
+                    assert_eq!(t.len(), len_before, "failed delete must not count");
+                    hit_fault = true;
+                    break;
+                }
+            }
+        }
+        assert!(hit_fault, "fault plan never fired — tune at_op");
+        t.validate();
+        let mut got = Vec::new();
+        t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut got).unwrap();
+        assert_eq!(got.len(), recs.len() - deleted);
     }
 
     proptest! {
@@ -770,14 +985,14 @@ mod tests {
             let mut data = Vec::new();
             for id in 0..200u64 {
                 let r = random_box(&mut rng);
-                t.insert(id, r);
+                t.insert(id, r).unwrap();
                 data.push((id, r));
             }
             t.validate();
             for _ in 0..10 {
                 let q = random_box(&mut rng);
                 let mut got = Vec::new();
-                t.query(&q, &mut got);
+                t.query(&q, &mut got).unwrap();
                 got.sort_unstable();
                 let mut want: Vec<u64> = data
                     .iter()

@@ -60,6 +60,7 @@ pub struct FileClass {
     pub float_eq: bool,
     pub narrowing_cast: bool,
     pub no_process_io: bool,
+    pub no_io_unwrap: bool,
 }
 
 impl FileClass {
@@ -69,10 +70,15 @@ impl FileClass {
         float_eq: false,
         narrowing_cast: false,
         no_process_io: false,
+        no_io_unwrap: false,
     };
 
     fn is_skip(&self) -> bool {
-        !(self.no_panic || self.float_eq || self.narrowing_cast || self.no_process_io)
+        !(self.no_panic
+            || self.float_eq
+            || self.narrowing_cast
+            || self.no_process_io
+            || self.no_io_unwrap)
     }
 
     fn applies(&self, rule: RuleId) -> bool {
@@ -81,6 +87,7 @@ impl FileClass {
             RuleId::FloatEq => self.float_eq,
             RuleId::NarrowingCast => self.narrowing_cast,
             RuleId::NoProcessIo => self.no_process_io,
+            RuleId::NoIoUnwrap => self.no_io_unwrap,
         }
     }
 }
@@ -122,6 +129,7 @@ pub fn classify(rel: &str) -> FileClass {
             float_eq: false,
             narrowing_cast: false,
             no_process_io: false,
+            no_io_unwrap: false,
         };
     }
     let library = rel.starts_with("src/") || rel.starts_with("crates/");
@@ -133,6 +141,10 @@ pub fn classify(rel: &str) -> FileClass {
         float_eq: rel.starts_with("crates/geom/") || rel.starts_with("crates/costmodel/"),
         narrowing_cast: rel.starts_with("crates/storage/") || rel.starts_with("crates/pprtree/"),
         no_process_io: true,
+        no_io_unwrap: rel.starts_with("crates/storage/")
+            || rel.starts_with("crates/pprtree/")
+            || rel.starts_with("crates/hrtree/")
+            || rel.starts_with("crates/rstar/"),
     }
 }
 
@@ -349,6 +361,21 @@ pub fn scan_source(rel_path: &str, src: &str, class: FileClass) -> Vec<Diagnosti
         if class.applies(RuleId::NoPanic) {
             findings.extend(rules::check_no_panic(line));
         }
+        if class.applies(RuleId::NoIoUnwrap) {
+            let io = rules::check_no_io_unwrap(line);
+            if !io.is_empty() {
+                // The specific rule owns the line: a storage-I/O unwrap
+                // is one defect, not two, so the generic no_panic hits
+                // for the same `.unwrap()`/`.expect(` tokens step aside
+                // (panic!/unreachable! and friends still report).
+                findings.retain(|f| {
+                    f.rule != RuleId::NoPanic
+                        || !(f.message.starts_with("`.unwrap()`")
+                            || f.message.starts_with("`.expect`"))
+                });
+            }
+            findings.extend(io);
+        }
         if class.applies(RuleId::FloatEq) {
             findings.extend(rules::check_float_eq(line));
         }
@@ -453,6 +480,7 @@ mod tests {
         float_eq: true,
         narrowing_cast: true,
         no_process_io: true,
+        no_io_unwrap: true,
     };
 
     #[test]
@@ -461,6 +489,12 @@ mod tests {
         assert!(geom.no_panic && geom.float_eq && !geom.narrowing_cast);
         let storage = classify("crates/storage/src/codec.rs");
         assert!(storage.no_panic && storage.narrowing_cast && !storage.float_eq);
+        assert!(storage.no_io_unwrap);
+        assert!(classify("crates/pprtree/src/tree.rs").no_io_unwrap);
+        assert!(classify("crates/hrtree/src/tree.rs").no_io_unwrap);
+        assert!(classify("crates/rstar/src/knn.rs").no_io_unwrap);
+        assert!(!classify("crates/core/src/tuning.rs").no_io_unwrap);
+        assert!(!classify("crates/geom/src/rect2.rs").no_io_unwrap);
         assert_eq!(classify("crates/rand/src/lib.rs"), FileClass::SKIP);
         assert_eq!(classify("crates/bench/src/bin/fig11.rs"), FileClass::SKIP);
         assert_eq!(classify("src/bin/stidx.rs"), FileClass::SKIP);
@@ -554,6 +588,32 @@ mod tests {
             classify("crates/core/src/a.rs"),
         );
         assert!(in_core.iter().all(|d| d.rule != "float_eq"));
+    }
+
+    #[test]
+    fn io_unwrap_owns_storage_lines_and_no_panic_keeps_the_rest() {
+        // A storage-I/O unwrap reports once, under the specific rule.
+        let src = "fn f() { let r = self.store.read(p).unwrap(); }\n";
+        let d = scan_source("crates/storage/src/a.rs", src, LIB);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "no_io_unwrap");
+
+        // A non-I/O unwrap in the same class still reports as no_panic.
+        let src2 = "fn f() { map.get(&k).unwrap(); }\n";
+        let d2 = scan_source("crates/storage/src/a.rs", src2, LIB);
+        assert_eq!(d2.len(), 1, "{d2:?}");
+        assert_eq!(d2[0].rule, "no_panic");
+
+        // panic! on an I/O line is still no_panic's business.
+        let src3 = "fn f() { self.store.read(p).unwrap_or_else(|_| panic!()); }\n";
+        let d3 = scan_source("crates/storage/src/a.rs", src3, LIB);
+        assert_eq!(d3.len(), 1, "{d3:?}");
+        assert_eq!(d3[0].rule, "no_panic");
+
+        // An allow for the specific rule silences the line completely.
+        let src4 = "// stilint::allow(no_io_unwrap, \"bootstrap pages always exist\")\n\
+                    fn f() { let r = self.store.read(p).unwrap(); }\n";
+        assert!(scan_source("crates/storage/src/a.rs", src4, LIB).is_empty());
     }
 
     #[test]

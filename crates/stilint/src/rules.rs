@@ -14,6 +14,10 @@ pub enum RuleId {
     /// R4: no `std::process::exit` or direct stdout writes in library
     /// crates.
     NoProcessIo,
+    /// R5: no `.unwrap()`/`.expect(` on storage-I/O results (expressions
+    /// that read, write, allocate, or decode pages) in the tree and
+    /// storage crates — fallible I/O must surface as `StorageError`.
+    NoIoUnwrap,
 }
 
 impl RuleId {
@@ -24,6 +28,7 @@ impl RuleId {
             RuleId::FloatEq => "float_eq",
             RuleId::NarrowingCast => "narrowing_cast",
             RuleId::NoProcessIo => "no_process_io",
+            RuleId::NoIoUnwrap => "no_io_unwrap",
         }
     }
 
@@ -34,16 +39,18 @@ impl RuleId {
             "float_eq" => Some(RuleId::FloatEq),
             "narrowing_cast" => Some(RuleId::NarrowingCast),
             "no_process_io" => Some(RuleId::NoProcessIo),
+            "no_io_unwrap" => Some(RuleId::NoIoUnwrap),
             _ => None,
         }
     }
 
     /// All rules, for directive validation messages.
-    pub const ALL: [RuleId; 4] = [
+    pub const ALL: [RuleId; 5] = [
         RuleId::NoPanic,
         RuleId::FloatEq,
         RuleId::NarrowingCast,
         RuleId::NoProcessIo,
+        RuleId::NoIoUnwrap,
     ];
 }
 
@@ -248,6 +255,47 @@ pub fn check_narrowing_cast(line: &str) -> Vec<Finding> {
     out
 }
 
+/// Tokens that mark a line as touching the fallible storage layer. A
+/// line scanner cannot type-check, so R5 approximates "expression of
+/// type `Result<_, StorageError>`" by the vocabulary every such
+/// expression in this workspace goes through: the page store handle,
+/// the node codecs, the backend trait object, and the persistence
+/// entry points.
+const IO_MARKERS: [&str; 10] = [
+    "store.",
+    "self.store",
+    "read_node",
+    "write_node",
+    "backend.",
+    "backend()",
+    "open_file",
+    "load_from",
+    "save_to",
+    ".allocate(",
+];
+
+/// R5: `.unwrap()` / `.expect(` on a line that touches storage I/O.
+pub fn check_no_io_unwrap(line: &str) -> Vec<Finding> {
+    if !IO_MARKERS.iter().any(|m| line.contains(m)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for needle in [".unwrap()", ".expect("] {
+        for _ in find_token(line, needle) {
+            out.push(Finding {
+                rule: RuleId::NoIoUnwrap,
+                message: format!(
+                    "`{}` on a storage-I/O result: propagate the \
+                     `StorageError` with `?` or add \
+                     `// stilint::allow(no_io_unwrap, \"<invariant>\")`",
+                    needle.trim_end_matches('(')
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// R4: process exit and direct stdout writes.
 pub fn check_no_process_io(line: &str) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -318,6 +366,31 @@ mod tests {
         assert!(check_narrowing_cast("n as f64").is_empty());
         assert!(check_narrowing_cast("alias u32").is_empty());
         assert!(check_narrowing_cast("x as u32_custom").is_empty());
+    }
+
+    #[test]
+    fn no_io_unwrap_needs_both_a_marker_and_a_panic_method() {
+        assert_eq!(
+            check_no_io_unwrap("let raw = self.store.read(page).unwrap();").len(),
+            1
+        );
+        assert_eq!(
+            check_no_io_unwrap("let node = read_node(page).expect(\"decodes\");").len(),
+            1
+        );
+        assert_eq!(
+            check_no_io_unwrap("let t = PprTree::open_file(path).unwrap();").len(),
+            1
+        );
+        assert_eq!(
+            check_no_io_unwrap("store.allocate().unwrap(); store.sync().unwrap()").len(),
+            2
+        );
+        // No storage marker: not this rule's business (no_panic covers it).
+        assert!(check_no_io_unwrap("map.get(&k).unwrap()").is_empty());
+        // Marker without unwrap/expect: fine.
+        assert!(check_no_io_unwrap("let raw = self.store.read(page)?;").is_empty());
+        assert!(check_no_io_unwrap("x.unwrap_or_default(); store.peek(p)").is_empty());
     }
 
     #[test]

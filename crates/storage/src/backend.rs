@@ -1,0 +1,404 @@
+//! Pluggable page backends beneath [`crate::PageStore`].
+//!
+//! The store owns accounting (buffer pool, [`crate::IoStats`], retry,
+//! checksums, the undo log); a [`PageBackend`] owns the bytes. Three
+//! implementations ship with the crate:
+//!
+//! * [`MemBackend`] — the classic simulated disk: a `Vec` of pages that
+//!   never fails.
+//! * [`FileBackend`] — pages mirrored to a real file with write-through,
+//!   so OS-level I/O errors surface as typed [`StorageError`]s.
+//! * [`crate::fault::FaultyBackend`] — a deterministic fault-injection
+//!   wrapper over either of the above.
+
+use crate::error::{IoOp, StorageError};
+use crate::{Page, PageId, PAGE_SIZE};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The raw page device beneath a [`crate::PageStore`].
+///
+/// `read` is the fault point for fetches: it performs (or simulates) the
+/// transfer and may fail; the store then serves the bytes via
+/// [`PageBackend::page`], which is raw access and never fails or injects.
+/// All mutating operations go through `write`/`allocate`/`truncate`;
+/// `page_mut` is reserved for the store's rollback and load paths, which
+/// bypass fault injection by design (recovery must not re-enter the
+/// failure it is recovering from).
+pub trait PageBackend: std::fmt::Debug {
+    /// Number of pages the backend holds.
+    fn num_pages(&self) -> usize;
+
+    /// Perform the transfer of page `id` from the device. The store
+    /// verifies the checksum of [`PageBackend::page`] afterwards.
+    fn read(&mut self, id: PageId) -> Result<(), StorageError>;
+
+    /// Overwrite page `id` with `payload` (shorter payloads are
+    /// zero-padded to [`PAGE_SIZE`]).
+    fn write(&mut self, id: PageId, payload: &[u8]) -> Result<(), StorageError>;
+
+    /// Append one zeroed page, returning its id.
+    fn allocate(&mut self) -> Result<PageId, StorageError>;
+
+    /// Drop pages from the tail until `len` remain (undo of `allocate`;
+    /// infallible because rollback cannot itself fail).
+    fn truncate(&mut self, len: usize);
+
+    /// Flush to durable storage.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// Raw access to a page's current bytes. No accounting, no faults.
+    fn page(&self, id: PageId) -> Option<&Page>;
+
+    /// Raw mutable access, for rollback/load paths only.
+    fn page_mut(&mut self, id: PageId) -> Option<&mut Page>;
+
+    /// Total faults this backend has injected (zero for real backends).
+    fn faults_injected(&self) -> u64 {
+        0
+    }
+
+    /// Heal any in-flight (transfer-level) corruption after a failed
+    /// operation. Called by the store when it gives up on an operation,
+    /// so injected read-side bit flips do not outlive the error they
+    /// caused. Real backends have nothing to heal.
+    fn quiesce(&mut self) {}
+
+    /// Clone into a boxed backend (see the caveat on [`FileBackend`]).
+    fn clone_box(&self) -> Box<dyn PageBackend>;
+
+    /// Downcast support for tests and tooling.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support for tests and tooling.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl Clone for Box<dyn PageBackend> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The default in-memory backend: a growable array of pages. Operations
+/// never fail (the error type exists so wrappers can inject).
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    pages: Vec<Page>,
+}
+
+impl MemBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageBackend for MemBackend {
+    fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn read(&mut self, id: PageId) -> Result<(), StorageError> {
+        if (id as usize) < self.pages.len() {
+            Ok(())
+        } else {
+            Err(StorageError::Unallocated {
+                op: IoOp::Read,
+                page: id,
+                pages: self.pages.len(),
+            })
+        }
+    }
+
+    fn write(&mut self, id: PageId, payload: &[u8]) -> Result<(), StorageError> {
+        let pages = self.pages.len();
+        match self.pages.get_mut(id as usize) {
+            Some(p) => {
+                p.fill_from(payload);
+                Ok(())
+            }
+            None => Err(StorageError::Unallocated {
+                op: IoOp::Write,
+                page: id,
+                pages,
+            }),
+        }
+    }
+
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
+        let id = PageId::try_from(self.pages.len()).map_err(|_| StorageError::OutOfPageIds)?;
+        self.pages.push(Page::zeroed());
+        Ok(id)
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.pages.truncate(len);
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn page(&self, id: PageId) -> Option<&Page> {
+        self.pages.get(id as usize)
+    }
+
+    fn page_mut(&mut self, id: PageId) -> Option<&mut Page> {
+        self.pages.get_mut(id as usize)
+    }
+
+    fn clone_box(&self) -> Box<dyn PageBackend> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Classify an OS error: interruptions and timeouts are worth retrying,
+/// everything else (permissions, missing file, full disk) is not.
+fn io_transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+fn io_err(op: IoOp, page: Option<PageId>, e: &std::io::Error) -> StorageError {
+    StorageError::Io {
+        op,
+        page,
+        transient: io_transient(e.kind()),
+        message: e.to_string(),
+    }
+}
+
+/// A backend keeping pages in a real file (one [`PAGE_SIZE`] slot per
+/// page) with an in-memory mirror for zero-copy reads.
+///
+/// Writes go through to the file immediately; `read` re-fetches the slot
+/// from the file into the mirror, so OS-level failures surface where the
+/// fault actually is. Cloning detaches from the file: the clone becomes
+/// an in-memory snapshot (a second handle appending to the same file
+/// would corrupt both owners).
+#[derive(Debug)]
+pub struct FileBackend {
+    path: PathBuf,
+    file: std::fs::File,
+    mirror: Vec<Page>,
+}
+
+impl FileBackend {
+    /// Create (or truncate) the backing file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            mirror: Vec::new(),
+        })
+    }
+
+    /// Open an existing backing file, loading every full page slot.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let pages = len / PAGE_SIZE;
+        let mut mirror = Vec::with_capacity(pages);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        file.seek(SeekFrom::Start(0))?;
+        for _ in 0..pages {
+            file.read_exact(&mut buf)?;
+            let mut page = Page::zeroed();
+            page.fill_from(&buf);
+            mirror.push(page);
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+            mirror,
+        })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl PageBackend for FileBackend {
+    fn num_pages(&self) -> usize {
+        self.mirror.len()
+    }
+
+    fn read(&mut self, id: PageId) -> Result<(), StorageError> {
+        if (id as usize) >= self.mirror.len() {
+            return Err(StorageError::Unallocated {
+                op: IoOp::Read,
+                page: id,
+                pages: self.mirror.len(),
+            });
+        }
+        let offset = (id as u64) * (PAGE_SIZE as u64);
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err(IoOp::Read, Some(id), &e))?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file
+            .read_exact(&mut buf)
+            .map_err(|e| io_err(IoOp::Read, Some(id), &e))?;
+        self.mirror[id as usize].fill_from(&buf);
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, payload: &[u8]) -> Result<(), StorageError> {
+        if (id as usize) >= self.mirror.len() {
+            return Err(StorageError::Unallocated {
+                op: IoOp::Write,
+                page: id,
+                pages: self.mirror.len(),
+            });
+        }
+        self.mirror[id as usize].fill_from(payload);
+        let offset = (id as u64) * (PAGE_SIZE as u64);
+        self.file
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err(IoOp::Write, Some(id), &e))?;
+        self.file
+            .write_all(self.mirror[id as usize].bytes())
+            .map_err(|e| io_err(IoOp::Write, Some(id), &e))?;
+        Ok(())
+    }
+
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
+        let id = PageId::try_from(self.mirror.len()).map_err(|_| StorageError::OutOfPageIds)?;
+        let new_len = (self.mirror.len() as u64 + 1) * (PAGE_SIZE as u64);
+        self.file
+            .set_len(new_len)
+            .map_err(|e| io_err(IoOp::Allocate, Some(id), &e))?;
+        self.mirror.push(Page::zeroed());
+        Ok(id)
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.mirror.truncate(len);
+        // Rollback must not fail; if the OS refuses to shrink the file,
+        // the extra zeroed slots are harmless (the mirror is the source
+        // of truth for allocation length).
+        let _ = self.file.set_len((len as u64) * (PAGE_SIZE as u64));
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err(IoOp::Sync, None, &e))
+    }
+
+    fn page(&self, id: PageId) -> Option<&Page> {
+        self.mirror.get(id as usize)
+    }
+
+    fn page_mut(&mut self, id: PageId) -> Option<&mut Page> {
+        self.mirror.get_mut(id as usize)
+    }
+
+    fn clone_box(&self) -> Box<dyn PageBackend> {
+        Box::new(MemBackend {
+            pages: self.mirror.clone(),
+        })
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_round_trip() {
+        let mut b = MemBackend::new();
+        let a = b.allocate().unwrap();
+        assert_eq!(a, 0);
+        b.write(a, &[1, 2, 3]).unwrap();
+        b.read(a).unwrap();
+        assert_eq!(&b.page(a).unwrap().bytes()[..3], &[1, 2, 3]);
+        assert!(matches!(
+            b.read(9),
+            Err(StorageError::Unallocated { page: 9, .. })
+        ));
+        b.truncate(0);
+        assert_eq!(b.num_pages(), 0);
+    }
+
+    #[test]
+    fn file_backend_round_trip_and_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("sti-filebackend-{}.pages", std::process::id()));
+        {
+            let mut b = FileBackend::create(&path).unwrap();
+            let a = b.allocate().unwrap();
+            let c = b.allocate().unwrap();
+            b.write(a, &[7; 10]).unwrap();
+            b.write(c, &[9; 5]).unwrap();
+            b.sync().unwrap();
+        }
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            assert_eq!(b.num_pages(), 2);
+            b.read(0).unwrap();
+            assert_eq!(&b.page(0).unwrap().bytes()[..10], &[7; 10]);
+            assert_eq!(&b.page(1).unwrap().bytes()[..5], &[9; 5]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_backend_clone_detaches_to_memory() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "sti-filebackend-clone-{}.pages",
+            std::process::id()
+        ));
+        let mut b = FileBackend::create(&path).unwrap();
+        let a = b.allocate().unwrap();
+        b.write(a, &[4; 4]).unwrap();
+        let mut cloned = b.clone_box();
+        cloned.write(a, &[5; 4]).unwrap();
+        // The clone diverges without touching the original file.
+        b.read(a).unwrap();
+        assert_eq!(&b.page(a).unwrap().bytes()[..4], &[4; 4]);
+        assert_eq!(&cloned.page(a).unwrap().bytes()[..4], &[5; 4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transience_classification_of_os_errors() {
+        assert!(io_transient(std::io::ErrorKind::Interrupted));
+        assert!(io_transient(std::io::ErrorKind::TimedOut));
+        assert!(!io_transient(std::io::ErrorKind::NotFound));
+        assert!(!io_transient(std::io::ErrorKind::PermissionDenied));
+    }
+}

@@ -1,0 +1,226 @@
+//! Typed storage errors.
+//!
+//! Every fallible operation on the I/O path — [`crate::PageStore`]
+//! methods, the [`crate::backend::PageBackend`] trait, and the tree
+//! layers above — reports a [`StorageError`] instead of panicking, so a
+//! short read, torn write, or flipped bit surfaces as a recoverable,
+//! matchable value (see DESIGN.md §6, "Failure model & recovery").
+
+use crate::PageId;
+
+/// Which storage operation an error occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Fetching a page from the backend.
+    Read,
+    /// Writing a page payload to the backend.
+    Write,
+    /// Appending a fresh page to the backend.
+    Allocate,
+    /// Flushing backend state to durable storage.
+    Sync,
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoOp::Read => write!(f, "read"),
+            IoOp::Write => write!(f, "write"),
+            IoOp::Allocate => write!(f, "allocate"),
+            IoOp::Sync => write!(f, "sync"),
+        }
+    }
+}
+
+/// Why a page failed its integrity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptReason {
+    /// The page content does not match its recorded checksum.
+    Checksum,
+    /// The page checksummed clean but its node payload failed to decode.
+    Decode,
+}
+
+impl std::fmt::Display for CorruptReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorruptReason::Checksum => write!(f, "checksum mismatch"),
+            CorruptReason::Decode => write!(f, "node payload failed to decode"),
+        }
+    }
+}
+
+/// A typed failure on the storage I/O path.
+///
+/// `transient` faults may succeed when the operation is retried (the
+/// [`crate::PageStore`] retry loop does this automatically, within a
+/// bounded budget); all other variants are permanent for a given call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The page id is outside the allocated range — a dangling pointer.
+    Unallocated {
+        /// The operation that followed the dangling id.
+        op: IoOp,
+        /// The offending page id.
+        page: PageId,
+        /// Number of allocated pages at the time.
+        pages: usize,
+    },
+    /// A fault injected by a [`crate::fault::FaultyBackend`].
+    Injected {
+        /// The operation the fault was scheduled on.
+        op: IoOp,
+        /// The page involved, when the operation targets one.
+        page: Option<PageId>,
+        /// Whether a retry of the same operation may succeed.
+        transient: bool,
+    },
+    /// A real I/O error reported by a file-based backend.
+    Io {
+        /// The operation that failed.
+        op: IoOp,
+        /// The page involved, when the operation targets one.
+        page: Option<PageId>,
+        /// Whether a retry of the same operation may succeed.
+        transient: bool,
+        /// The underlying OS error, formatted.
+        message: String,
+    },
+    /// A page failed verification after it was fetched or written.
+    Corrupt {
+        /// The corrupted page.
+        page: PageId,
+        /// What kind of verification failed.
+        reason: CorruptReason,
+    },
+    /// A write payload larger than [`crate::PAGE_SIZE`].
+    PayloadTooLarge {
+        /// The rejected payload length.
+        len: usize,
+    },
+    /// The store is full: page ids no longer fit in [`PageId`].
+    OutOfPageIds,
+}
+
+impl StorageError {
+    /// Whether the [`crate::PageStore`] retry loop may re-attempt the
+    /// failed operation. Checksum mismatches on *reads* are retried too:
+    /// re-fetching repairs corruption that happened in transfer rather
+    /// than at rest.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Injected { transient, .. } | StorageError::Io { transient, .. } => {
+                *transient
+            }
+            StorageError::Corrupt {
+                reason: CorruptReason::Checksum,
+                ..
+            } => true,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Unallocated { op, page, pages } => {
+                write!(
+                    f,
+                    "{op} of unallocated page {page} ({pages} pages allocated)"
+                )
+            }
+            StorageError::Injected {
+                op,
+                page,
+                transient,
+            } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                match page {
+                    Some(p) => write!(f, "injected {kind} fault during {op} of page {p}"),
+                    None => write!(f, "injected {kind} fault during {op}"),
+                }
+            }
+            StorageError::Io {
+                op,
+                page,
+                transient,
+                message,
+            } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                match page {
+                    Some(p) => write!(f, "{kind} I/O error during {op} of page {p}: {message}"),
+                    None => write!(f, "{kind} I/O error during {op}: {message}"),
+                }
+            }
+            StorageError::Corrupt { page, reason } => {
+                write!(f, "page {page} is corrupt: {reason}")
+            }
+            StorageError::PayloadTooLarge { len } => {
+                write!(f, "payload of {len} bytes exceeds the page size")
+            }
+            StorageError::OutOfPageIds => write!(f, "page id space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(StorageError::Injected {
+            op: IoOp::Read,
+            page: Some(3),
+            transient: true
+        }
+        .is_transient());
+        assert!(!StorageError::Injected {
+            op: IoOp::Write,
+            page: Some(3),
+            transient: false
+        }
+        .is_transient());
+        assert!(StorageError::Corrupt {
+            page: 1,
+            reason: CorruptReason::Checksum
+        }
+        .is_transient());
+        assert!(!StorageError::Corrupt {
+            page: 1,
+            reason: CorruptReason::Decode
+        }
+        .is_transient());
+        assert!(!StorageError::Unallocated {
+            op: IoOp::Read,
+            page: 9,
+            pages: 2
+        }
+        .is_transient());
+        assert!(!StorageError::PayloadTooLarge { len: 5000 }.is_transient());
+        assert!(!StorageError::OutOfPageIds.is_transient());
+    }
+
+    #[test]
+    fn display_mentions_the_operation_and_page() {
+        let e = StorageError::Injected {
+            op: IoOp::Write,
+            page: Some(7),
+            transient: false,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("write") && s.contains('7') && s.contains("permanent"),
+            "{s}"
+        );
+        let c = StorageError::Corrupt {
+            page: 2,
+            reason: CorruptReason::Checksum,
+        }
+        .to_string();
+        assert!(c.contains("checksum"), "{c}");
+    }
+}

@@ -1,0 +1,642 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! A [`FaultyBackend`] wraps any [`PageBackend`] and injects failures
+//! scheduled by a [`FaultPlan`]: error-on-Nth-operation (permanent or
+//! transient), torn (partial) writes, and bit flips. Plans are plain
+//! data — seeded generation, a compact text spec, and a journal of what
+//! actually fired make every failure a reproducible test case:
+//!
+//! ```
+//! use sti_storage::fault::{FaultKind, FaultPlan, FaultyBackend};
+//! use sti_storage::PageStore;
+//!
+//! let plan = FaultPlan::seeded(42, 100, 3);
+//! let mut store = PageStore::with_backend(
+//!     Box::new(FaultyBackend::new_mem(plan.clone())),
+//!     10,
+//! );
+//! // ... run a workload; on failure, print `plan.to_spec()` and replay
+//! // it verbatim with `FaultPlan::parse_spec(..)`.
+//! # let _ = store.allocate();
+//! ```
+//!
+//! Fault semantics (the failure model in DESIGN.md §6):
+//!
+//! * `Fail { transient: true }` — the operation errors once; a retry of
+//!   the same operation succeeds (unless another fault is scheduled).
+//! * `Fail { transient: false }` — the operation errors; retrying is
+//!   useless and the [`crate::PageStore`] retry loop will not.
+//! * `TornWrite` — only a prefix of the payload reaches the page before
+//!   the operation errors (permanently): the on-"disk" bytes are now a
+//!   mix of old zero-padding and new prefix, exactly what a crash mid
+//!   sector-write leaves behind.
+//! * `BitFlip` on a **write** — the operation "succeeds" but a bit of
+//!   the stored page is flipped: silent at-rest corruption, caught by
+//!   the store's write-back verification.
+//! * `BitFlip` on a **read** — the transfer is corrupted but the medium
+//!   is not: the flip heals when the page is read again (retry) or when
+//!   the store abandons the operation ([`PageBackend::quiesce`]), so a
+//!   failed read never leaves damage behind.
+
+use crate::backend::PageBackend;
+use crate::error::{IoOp, StorageError};
+use crate::{Page, PageId, PAGE_SIZE};
+
+/// What a scheduled fault does to its operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Error the operation outright.
+    Fail {
+        /// Whether an immediate retry succeeds.
+        transient: bool,
+    },
+    /// Write only the first `keep_bytes` of the payload, then error.
+    TornWrite {
+        /// Payload prefix length that reaches the page.
+        keep_bytes: u32,
+    },
+    /// Flip one bit of the page involved; the operation "succeeds".
+    BitFlip {
+        /// Byte offset within the page (taken modulo [`PAGE_SIZE`]).
+        byte: u16,
+        /// Bit index 0..8.
+        bit: u8,
+    },
+}
+
+/// One fault scheduled at a backend operation index (0-based; every
+/// `read`/`write`/`allocate`/`sync` the backend executes counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Operation index the fault fires at.
+    pub at_op: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, replayable schedule of faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Build a plan from explicit faults (sorted by operation index;
+    /// at most one fault per index — later duplicates are dropped).
+    pub fn new(mut faults: Vec<ScheduledFault>) -> Self {
+        faults.sort_by_key(|f| f.at_op);
+        faults.dedup_by_key(|f| f.at_op);
+        Self { faults }
+    }
+
+    /// Generate `count` pseudo-random faults over the first
+    /// `horizon_ops` operations from `seed`. Same seed, same plan.
+    pub fn seeded(seed: u64, horizon_ops: u64, count: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let at_op = if horizon_ops == 0 {
+                0
+            } else {
+                rng.next() % horizon_ops
+            };
+            let kind = match rng.next() % 4 {
+                0 => FaultKind::Fail { transient: true },
+                1 => FaultKind::Fail { transient: false },
+                2 => FaultKind::TornWrite {
+                    keep_bytes: u32::try_from(rng.next() % (PAGE_SIZE as u64)).unwrap_or(0),
+                },
+                _ => FaultKind::BitFlip {
+                    byte: u16::try_from(rng.next() % (PAGE_SIZE as u64)).unwrap_or(0),
+                    bit: u8::try_from(rng.next() % 8).unwrap_or(0),
+                },
+            };
+            faults.push(ScheduledFault { at_op, kind });
+        }
+        Self::new(faults)
+    }
+
+    /// The scheduled faults, sorted by operation index.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// Compact text form, e.g. `"3:transient 17:fail 40:torn@512
+    /// 99:flip@33.5"`. Round-trips through [`FaultPlan::parse_spec`].
+    pub fn to_spec(&self) -> String {
+        let mut out = String::new();
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match f.kind {
+                FaultKind::Fail { transient: true } => {
+                    out.push_str(&format!("{}:transient", f.at_op));
+                }
+                FaultKind::Fail { transient: false } => {
+                    out.push_str(&format!("{}:fail", f.at_op));
+                }
+                FaultKind::TornWrite { keep_bytes } => {
+                    out.push_str(&format!("{}:torn@{}", f.at_op, keep_bytes));
+                }
+                FaultKind::BitFlip { byte, bit } => {
+                    out.push_str(&format!("{}:flip@{}.{}", f.at_op, byte, bit));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the [`FaultPlan::to_spec`] form back into a plan.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for item in spec.split_whitespace() {
+            let (op, kind) = item
+                .split_once(':')
+                .ok_or_else(|| format!("fault `{item}`: expected `op:kind`"))?;
+            let at_op: u64 = op
+                .parse()
+                .map_err(|_| format!("fault `{item}`: bad operation index"))?;
+            let kind = if kind == "transient" {
+                FaultKind::Fail { transient: true }
+            } else if kind == "fail" {
+                FaultKind::Fail { transient: false }
+            } else if let Some(n) = kind.strip_prefix("torn@") {
+                FaultKind::TornWrite {
+                    keep_bytes: n
+                        .parse()
+                        .map_err(|_| format!("fault `{item}`: bad torn length"))?,
+                }
+            } else if let Some(pos) = kind.strip_prefix("flip@") {
+                let (byte, bit) = pos
+                    .split_once('.')
+                    .ok_or_else(|| format!("fault `{item}`: expected flip@byte.bit"))?;
+                FaultKind::BitFlip {
+                    byte: byte
+                        .parse()
+                        .map_err(|_| format!("fault `{item}`: bad flip byte"))?,
+                    bit: bit
+                        .parse()
+                        .map_err(|_| format!("fault `{item}`: bad flip bit"))?,
+                }
+            } else {
+                return Err(format!("fault `{item}`: unknown kind `{kind}`"));
+            };
+            faults.push(ScheduledFault { at_op, kind });
+        }
+        Ok(Self::new(faults))
+    }
+}
+
+/// One fault that actually fired, as recorded in the backend's journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Operation index it fired at.
+    pub at_op: u64,
+    /// The operation it hit.
+    pub op: IoOp,
+    /// The page involved, when the operation targets one.
+    pub page: Option<PageId>,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// A [`PageBackend`] wrapper injecting the faults a [`FaultPlan`]
+/// schedules, with a journal of everything that fired.
+#[derive(Debug, Clone)]
+pub struct FaultyBackend {
+    inner: Box<dyn PageBackend>,
+    plan: FaultPlan,
+    /// Cursor into `plan.faults`.
+    next_fault: usize,
+    /// Operations executed so far.
+    op: u64,
+    journal: Vec<FaultEvent>,
+    /// Pristine copy of a page corrupted by a read-side bit flip, healed
+    /// on the next touch of that page or on `quiesce`.
+    healing: Option<(PageId, Page)>,
+}
+
+impl FaultyBackend {
+    /// Wrap `inner` with the given plan.
+    pub fn new(inner: Box<dyn PageBackend>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            next_fault: 0,
+            op: 0,
+            journal: Vec::new(),
+            healing: None,
+        }
+    }
+
+    /// Wrap a fresh [`crate::backend::MemBackend`].
+    pub fn new_mem(plan: FaultPlan) -> Self {
+        Self::new(Box::new(crate::backend::MemBackend::new()), plan)
+    }
+
+    /// Operations executed so far (the fault clock).
+    pub fn ops_executed(&self) -> u64 {
+        self.op
+    }
+
+    /// Everything that fired, in order — replay with
+    /// [`FaultPlan::from_journal`].
+    pub fn journal(&self) -> &[FaultEvent] {
+        &self.journal
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &dyn PageBackend {
+        self.inner.as_ref()
+    }
+
+    /// Take the next scheduled fault if it fires on this operation.
+    fn due(&mut self) -> Option<FaultKind> {
+        let f = self.plan.faults.get(self.next_fault)?;
+        if f.at_op == self.op {
+            self.next_fault += 1;
+            Some(f.kind)
+        } else {
+            // Skip faults scheduled for op indexes that never executed
+            // (e.g. the workload ended early); keep the cursor moving.
+            while self
+                .plan
+                .faults
+                .get(self.next_fault)
+                .is_some_and(|f| f.at_op < self.op)
+            {
+                self.next_fault += 1;
+            }
+            let f = self.plan.faults.get(self.next_fault)?;
+            (f.at_op == self.op).then(|| {
+                self.next_fault += 1;
+                f.kind
+            })
+        }
+    }
+
+    fn record(&mut self, op: IoOp, page: Option<PageId>, kind: FaultKind) {
+        // Callers bump `self.op` before recording, so the operation the
+        // fault fired on is the previous index.
+        self.journal.push(FaultEvent {
+            at_op: self.op - 1,
+            op,
+            page,
+            kind,
+        });
+    }
+
+    /// Restore the pristine bytes of a page corrupted in transfer.
+    fn heal(&mut self) {
+        if let Some((id, pristine)) = self.healing.take() {
+            if let Some(p) = self.inner.page_mut(id) {
+                *p = pristine;
+            }
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Rebuild the exact plan a journal describes (for replays).
+    pub fn from_journal(journal: &[FaultEvent]) -> Self {
+        Self::new(
+            journal
+                .iter()
+                .map(|e| ScheduledFault {
+                    at_op: e.at_op,
+                    kind: e.kind,
+                })
+                .collect(),
+        )
+    }
+}
+
+impl PageBackend for FaultyBackend {
+    fn num_pages(&self) -> usize {
+        self.inner.num_pages()
+    }
+
+    fn read(&mut self, id: PageId) -> Result<(), StorageError> {
+        self.heal();
+        let fault = self.due();
+        self.op += 1;
+        match fault {
+            None => self.inner.read(id),
+            Some(FaultKind::Fail { transient }) => {
+                self.record(IoOp::Read, Some(id), FaultKind::Fail { transient });
+                Err(StorageError::Injected {
+                    op: IoOp::Read,
+                    page: Some(id),
+                    transient,
+                })
+            }
+            Some(FaultKind::BitFlip { byte, bit }) => {
+                self.inner.read(id)?;
+                self.record(IoOp::Read, Some(id), FaultKind::BitFlip { byte, bit });
+                if let Some(p) = self.inner.page_mut(id) {
+                    let pristine = p.clone();
+                    p.bytes_mut()[(byte as usize) % PAGE_SIZE] ^= 1 << (bit % 8);
+                    self.healing = Some((id, pristine));
+                }
+                Ok(())
+            }
+            // A torn fault scheduled onto a read degrades to a plain
+            // permanent failure: reads have no payload to tear.
+            Some(FaultKind::TornWrite { .. }) => {
+                self.record(IoOp::Read, Some(id), FaultKind::Fail { transient: false });
+                Err(StorageError::Injected {
+                    op: IoOp::Read,
+                    page: Some(id),
+                    transient: false,
+                })
+            }
+        }
+    }
+
+    fn write(&mut self, id: PageId, payload: &[u8]) -> Result<(), StorageError> {
+        self.heal();
+        let fault = self.due();
+        self.op += 1;
+        match fault {
+            None => self.inner.write(id, payload),
+            Some(FaultKind::Fail { transient }) => {
+                self.record(IoOp::Write, Some(id), FaultKind::Fail { transient });
+                Err(StorageError::Injected {
+                    op: IoOp::Write,
+                    page: Some(id),
+                    transient,
+                })
+            }
+            Some(FaultKind::TornWrite { keep_bytes }) => {
+                let keep = (keep_bytes as usize).min(payload.len());
+                self.inner.write(id, &payload[..keep])?;
+                self.record(IoOp::Write, Some(id), FaultKind::TornWrite { keep_bytes });
+                Err(StorageError::Injected {
+                    op: IoOp::Write,
+                    page: Some(id),
+                    transient: false,
+                })
+            }
+            Some(FaultKind::BitFlip { byte, bit }) => {
+                self.inner.write(id, payload)?;
+                self.record(IoOp::Write, Some(id), FaultKind::BitFlip { byte, bit });
+                if let Some(p) = self.inner.page_mut(id) {
+                    // At-rest corruption: no healing copy is kept.
+                    p.bytes_mut()[(byte as usize) % PAGE_SIZE] ^= 1 << (bit % 8);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
+        self.heal();
+        let fault = self.due();
+        self.op += 1;
+        match fault {
+            Some(FaultKind::Fail { transient }) => {
+                self.record(IoOp::Allocate, None, FaultKind::Fail { transient });
+                Err(StorageError::Injected {
+                    op: IoOp::Allocate,
+                    page: None,
+                    transient,
+                })
+            }
+            // Torn writes and bit flips have no meaning for an append of
+            // a zeroed page; treat them as permanent failures.
+            Some(_) => {
+                self.record(IoOp::Allocate, None, FaultKind::Fail { transient: false });
+                Err(StorageError::Injected {
+                    op: IoOp::Allocate,
+                    page: None,
+                    transient: false,
+                })
+            }
+            None => self.inner.allocate(),
+        }
+    }
+
+    fn truncate(&mut self, len: usize) {
+        // Rollback path: never counted, never faulted.
+        self.inner.truncate(len);
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.heal();
+        let fault = self.due();
+        self.op += 1;
+        match fault {
+            Some(FaultKind::Fail { transient }) => {
+                self.record(IoOp::Sync, None, FaultKind::Fail { transient });
+                Err(StorageError::Injected {
+                    op: IoOp::Sync,
+                    page: None,
+                    transient,
+                })
+            }
+            Some(_) => {
+                self.record(IoOp::Sync, None, FaultKind::Fail { transient: false });
+                Err(StorageError::Injected {
+                    op: IoOp::Sync,
+                    page: None,
+                    transient: false,
+                })
+            }
+            None => self.inner.sync(),
+        }
+    }
+
+    fn page(&self, id: PageId) -> Option<&Page> {
+        self.inner.page(id)
+    }
+
+    fn page_mut(&mut self, id: PageId) -> Option<&mut Page> {
+        self.inner.page_mut(id)
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.journal.len() as u64
+    }
+
+    fn quiesce(&mut self) {
+        self.heal();
+    }
+
+    fn clone_box(&self) -> Box<dyn PageBackend> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// SplitMix64: the tiny, well-distributed generator behind the seeded
+/// plans (and many standard libraries' seeding paths).
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with(plan: FaultPlan) -> FaultyBackend {
+        let mut b = FaultyBackend::new_mem(plan);
+        // Pre-allocate a page without consuming fault-plan ops: plans in
+        // these tests are written against post-setup operation indexes.
+        b.inner.allocate().unwrap();
+        b
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_spec_round_trips() {
+        let a = FaultPlan::seeded(7, 1000, 8);
+        let b = FaultPlan::seeded(7, 1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::seeded(8, 1000, 8));
+        let spec = a.to_spec();
+        assert_eq!(FaultPlan::parse_spec(&spec).unwrap(), a, "{spec}");
+        assert_eq!(FaultPlan::parse_spec("").unwrap(), FaultPlan::none());
+        assert!(FaultPlan::parse_spec("x").is_err());
+        assert!(FaultPlan::parse_spec("3:explode").is_err());
+    }
+
+    #[test]
+    fn fail_on_nth_op_fires_exactly_once() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 1,
+            kind: FaultKind::Fail { transient: true },
+        }]);
+        let mut b = mem_with(plan);
+        b.read(0).unwrap(); // op 0
+        let err = b.read(0).unwrap_err(); // op 1: injected
+        assert!(err.is_transient());
+        b.read(0).unwrap(); // op 2: retry succeeds
+        assert_eq!(b.faults_injected(), 1);
+        assert_eq!(b.journal().len(), 1);
+        assert_eq!(b.journal()[0].at_op, 1);
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix_and_errors() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 0,
+            kind: FaultKind::TornWrite { keep_bytes: 2 },
+        }]);
+        let mut b = mem_with(plan);
+        let err = b.write(0, &[9, 9, 9, 9]).unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(&b.page(0).unwrap().bytes()[..4], &[9, 9, 0, 0]);
+    }
+
+    #[test]
+    fn write_bit_flip_is_silent_at_rest() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 0,
+            kind: FaultKind::BitFlip { byte: 0, bit: 0 },
+        }]);
+        let mut b = mem_with(plan);
+        b.write(0, &[0b10]).unwrap(); // "succeeds"
+        assert_eq!(b.page(0).unwrap().bytes()[0], 0b11, "bit 0 flipped");
+        // No healing: the corruption is on the medium.
+        b.read(0).unwrap();
+        assert_eq!(b.page(0).unwrap().bytes()[0], 0b11);
+    }
+
+    #[test]
+    fn read_bit_flip_heals_on_reread_and_on_quiesce() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 0,
+            kind: FaultKind::BitFlip { byte: 0, bit: 1 },
+        }]);
+        let mut b = mem_with(plan);
+        b.read(0).unwrap();
+        assert_eq!(b.page(0).unwrap().bytes()[0], 0b10, "transfer corrupted");
+        b.read(0).unwrap(); // re-read heals first
+        assert_eq!(b.page(0).unwrap().bytes()[0], 0, "medium was never damaged");
+
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 0,
+            kind: FaultKind::BitFlip { byte: 0, bit: 1 },
+        }]);
+        let mut b = mem_with(plan);
+        b.read(0).unwrap();
+        b.quiesce();
+        assert_eq!(b.page(0).unwrap().bytes()[0], 0, "quiesce heals");
+    }
+
+    #[test]
+    fn journal_replays_to_an_equivalent_plan() {
+        let plan = FaultPlan::seeded(3, 10, 4);
+        let mut b = mem_with(plan);
+        for _ in 0..12 {
+            let _ = b.read(0);
+        }
+        let replay = FaultPlan::from_journal(b.journal());
+        // Journal indexes are the indexes that actually fired; replaying
+        // them against the same workload fires the same faults.
+        let mut b2 = mem_with(replay);
+        for _ in 0..12 {
+            let _ = b2.read(0);
+        }
+        assert_eq!(b.journal(), b2.journal());
+    }
+
+    #[test]
+    fn faults_on_allocate_and_sync_are_typed() {
+        let plan = FaultPlan::new(vec![
+            ScheduledFault {
+                at_op: 0,
+                kind: FaultKind::Fail { transient: false },
+            },
+            ScheduledFault {
+                at_op: 1,
+                kind: FaultKind::Fail { transient: true },
+            },
+        ]);
+        let mut b = FaultyBackend::new_mem(plan);
+        assert!(matches!(
+            b.allocate(),
+            Err(StorageError::Injected {
+                op: IoOp::Allocate,
+                transient: false,
+                ..
+            })
+        ));
+        assert!(matches!(
+            b.sync(),
+            Err(StorageError::Injected {
+                op: IoOp::Sync,
+                transient: true,
+                ..
+            })
+        ));
+        assert_eq!(b.ops_executed(), 2);
+    }
+}

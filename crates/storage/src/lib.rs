@@ -7,18 +7,42 @@
 //! reset before every query; this crate provides exactly that substrate:
 //!
 //! * [`Page`] / [`PageId`] — fixed-size byte pages,
-//! * [`PageStore`] — an in-memory "disk" of pages with an LRU buffer pool
-//!   in front and [`IoStats`] counting logical reads/writes,
+//! * [`PageStore`] — a "disk" of pages over a pluggable [`backend`] with
+//!   an LRU buffer pool in front, [`IoStats`] counting logical
+//!   reads/writes, per-page checksums, bounded [`retry`] for transient
+//!   faults ([`FaultStats`]), and page-level undo transactions,
+//! * [`backend`] — the [`PageBackend`] device trait with in-memory and
+//!   file-backed implementations,
+//! * [`fault`] — the deterministic [`FaultyBackend`] fault injector,
+//!   driven by replayable [`FaultPlan`]s,
+//! * [`persist`] — crash-safe save/load (checksummed regions, monotonic
+//!   epochs, atomic temp-then-rename) failing closed with a typed
+//!   [`OpenError`],
 //! * [`codec`] — bounds-checked little-endian encode/decode helpers used
 //!   by the tree node serializers.
+//!
+//! Every fallible operation returns a typed [`StorageError`]; the I/O
+//! path through this crate and the trees above it is panic-free (see
+//! DESIGN.md §6, "Failure model & recovery").
 
+pub mod backend;
 pub mod buffer;
+pub mod checksum;
 pub mod codec;
+pub mod error;
+pub mod fault;
 pub mod page;
 pub mod persist;
+pub mod retry;
 pub mod store;
 
+pub use backend::{FileBackend, MemBackend, PageBackend};
 pub use buffer::LruBuffer;
+pub use checksum::xxh64;
 pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use error::{CorruptReason, IoOp, StorageError};
+pub use fault::{FaultKind, FaultPlan, FaultyBackend, ScheduledFault};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use store::{IoStats, PageStore};
+pub use persist::{OpenError, Region, SaveCrash};
+pub use retry::{RetryClock, RetryPolicy, SimClock};
+pub use store::{FaultStats, IoStats, PageStore};

@@ -1,101 +1,413 @@
-//! Saving and loading a [`PageStore`] (plus owner metadata) to a real
-//! file, so a built index survives process restarts.
+//! Crash-safe saving and loading of a [`PageStore`] (plus owner
+//! metadata), so a built index survives process restarts and a torn save
+//! can never be mistaken for a valid index.
 //!
-//! File layout (all little-endian):
+//! File layout, version 2 (all little-endian):
 //!
 //! ```text
-//! magic "STIDX1\0\0" · meta_len: u32 · meta bytes · page_count: u32 ·
-//! free_count: u32 · free page ids · raw pages (page_count × PAGE_SIZE)
+//! magic "STIDX2\0\0" · epoch: u64 · meta_len: u32 · page_count: u32 ·
+//! free_count: u32                                  (header, 28 bytes)
+//! header_xxh: u64                                  (XXH64 of the header)
+//! meta bytes · meta_xxh: u64
+//! free page ids (u32 each) · free_xxh: u64
+//! page_count × (PAGE_SIZE page bytes · page_xxh: u64)
+//! trailer_epoch: u64                               (must equal epoch)
 //! ```
 //!
 //! The `meta` region belongs to the structure owning the store (tree
 //! parameters, root log, counters); the store itself doesn't interpret
 //! it.
+//!
+//! Three mechanisms make the format crash-safe (DESIGN.md §6):
+//!
+//! * **Atomic save** — the file is written to a `.tmp` sibling, synced,
+//!   then renamed over the target, so a crash mid-save leaves the old
+//!   index untouched.
+//! * **Checksums** — every region (header, meta, free list, each page)
+//!   carries an XXH64 digest; [`PageStore::load_from`] fails closed with
+//!   a typed [`OpenError`] on the first mismatch.
+//! * **Epochs** — a monotonically increasing save counter appears in the
+//!   header *and* as the file's final 8 bytes; a truncated tail or a
+//!   spliced file shows up as [`OpenError::EpochMismatch`] (or
+//!   [`OpenError::Truncated`]) before any page is trusted.
 
+use crate::checksum::xxh64;
 use crate::{PageId, PageStore, PAGE_SIZE};
-use std::fs::File;
-use std::io::{self, Read, Write};
-use std::path::Path;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 
-/// Magic prefix identifying index files.
-pub const MAGIC: &[u8; 8] = b"STIDX1\0\0";
+/// Magic prefix identifying index files (format version 2).
+pub const MAGIC: &[u8; 8] = b"STIDX2\0\0";
+
+/// Fixed-size header length: magic + epoch + three length fields.
+const HEADER_LEN: usize = 8 + 8 + 4 + 4 + 4;
+
+/// Which checksummed region of an index file failed verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// The fixed-size header.
+    Header,
+    /// The owner metadata block.
+    Meta,
+    /// The free-list block.
+    FreeList,
+    /// One page slot.
+    Page(PageId),
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Region::Header => write!(f, "header"),
+            Region::Meta => write!(f, "metadata"),
+            Region::FreeList => write!(f, "free list"),
+            Region::Page(id) => write!(f, "page {id}"),
+        }
+    }
+}
+
+/// Why an index file was rejected. Every malformed input — from a
+/// zero-byte file to a single flipped bit in the last page — maps to one
+/// of these variants; `load_from` never panics and never returns a
+/// partially loaded store.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The file ends before a required region: a zero-byte file, a file
+    /// shorter than one header, and a file cut anywhere else all take
+    /// this same path.
+    Truncated {
+        /// Bytes needed to finish the region being read.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The magic prefix is not [`MAGIC`] (wrong or pre-checksum format).
+    BadMagic,
+    /// A region's content does not match its recorded checksum.
+    Corrupt {
+        /// The region that failed.
+        region: Region,
+    },
+    /// Header and trailer epochs disagree (torn tail or spliced file).
+    EpochMismatch {
+        /// Epoch recorded in the header.
+        header: u64,
+        /// Epoch recorded in the trailer.
+        trailer: u64,
+    },
+    /// A length or id field is internally inconsistent.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Io(e) => write!(f, "cannot read index file: {e}"),
+            OpenError::Truncated { needed, have } => {
+                write!(f, "index file truncated: need {needed} bytes, have {have}")
+            }
+            OpenError::BadMagic => write!(f, "not an STIDX2 index file"),
+            OpenError::Corrupt { region } => {
+                write!(f, "index file {region} failed checksum verification")
+            }
+            OpenError::EpochMismatch { header, trailer } => write!(
+                f,
+                "index file epoch mismatch: header {header}, trailer {trailer} (torn save?)"
+            ),
+            OpenError::Malformed(what) => write!(f, "malformed index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpenError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for OpenError {
+    fn from(e: io::Error) -> Self {
+        OpenError::Io(e)
+    }
+}
+
+impl From<OpenError> for io::Error {
+    fn from(e: OpenError) -> Self {
+        match e {
+            OpenError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Where a simulated crash interrupts a save (test/CI hook for the
+/// fault-matrix job; the public [`PageStore::save_to`] never crashes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveCrash {
+    /// Power loss after `keep_bytes` of the temp file reached the disk;
+    /// the rename never happens.
+    MidTemp {
+        /// Prefix of the temp file that survives.
+        keep_bytes: usize,
+    },
+    /// Crash after the temp file is complete and synced, but before the
+    /// rename makes it current.
+    BeforeRename,
+}
+
+/// The `.tmp` sibling a save writes before renaming into place.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
 
 impl PageStore {
-    /// Write the store plus the owner's `meta` bytes to `path`.
-    pub fn save_to(&self, path: &Path, meta: &[u8]) -> io::Result<()> {
-        let mut f = File::create(path)?;
-        f.write_all(MAGIC)?;
-        f.write_all(&len_u32(meta.len(), "metadata")?.to_le_bytes())?;
-        f.write_all(meta)?;
-        f.write_all(&len_u32(self.num_pages(), "page count")?.to_le_bytes())?;
+    /// Serialize the store plus `meta` into the version-2 byte image,
+    /// stamped with `epoch`.
+    fn encode(&self, meta: &[u8], epoch: u64) -> io::Result<Vec<u8>> {
+        let meta_len = len_u32(meta.len(), "metadata")?;
+        let page_count = len_u32(self.num_pages(), "page count")?;
         let free = self.free_list();
-        f.write_all(&len_u32(free.len(), "free list")?.to_le_bytes())?;
+        let free_count = len_u32(free.len(), "free list")?;
+
+        let mut out = Vec::with_capacity(
+            HEADER_LEN
+                + 8
+                + meta.len()
+                + 8
+                + free.len() * 4
+                + 8
+                + self.num_pages() * (PAGE_SIZE + 8)
+                + 8,
+        );
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&epoch.to_le_bytes());
+        out.extend_from_slice(&meta_len.to_le_bytes());
+        out.extend_from_slice(&page_count.to_le_bytes());
+        out.extend_from_slice(&free_count.to_le_bytes());
+        let header_sum = xxh64(&out[..HEADER_LEN]);
+        out.extend_from_slice(&header_sum.to_le_bytes());
+
+        out.extend_from_slice(meta);
+        out.extend_from_slice(&xxh64(meta).to_le_bytes());
+
+        let free_start = out.len();
         for id in free {
-            f.write_all(&id.to_le_bytes())?;
+            out.extend_from_slice(&id.to_le_bytes());
         }
+        let free_sum = xxh64(&out[free_start..]);
+        out.extend_from_slice(&free_sum.to_le_bytes());
+
         for i in 0..self.num_pages() {
-            f.write_all(&self.raw_page(i as PageId).bytes()[..])?;
+            let id = len_u32(i, "page id")?;
+            let page = self.raw_page(id);
+            out.extend_from_slice(page.bytes());
+            out.extend_from_slice(&self.page_sum(id).to_le_bytes());
         }
-        f.sync_all()
+
+        out.extend_from_slice(&epoch.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Write the store plus the owner's `meta` bytes to `path`
+    /// atomically: the image goes to a `.tmp` sibling, is synced, then
+    /// renamed over `path`. On success the store's save epoch is bumped;
+    /// on any error the previous file at `path` is untouched.
+    pub fn save_to(&mut self, path: &Path, meta: &[u8]) -> io::Result<()> {
+        self.save_impl(path, meta, None)
+    }
+
+    /// [`PageStore::save_to`] with a simulated crash at `crash` — the
+    /// test/CI hook behind the mid-save-crash recovery scenario. Returns
+    /// `Ok(())` at the crash point (the "process" died; there is no error
+    /// to observe) without bumping the epoch.
+    pub fn save_to_crashing(
+        &mut self,
+        path: &Path,
+        meta: &[u8],
+        crash: SaveCrash,
+    ) -> io::Result<()> {
+        self.save_impl(path, meta, Some(crash))
+    }
+
+    fn save_impl(&mut self, path: &Path, meta: &[u8], crash: Option<SaveCrash>) -> io::Result<()> {
+        let epoch = self.epoch() + 1;
+        let image = self.encode(meta, epoch)?;
+        let tmp = temp_sibling(path);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            match crash {
+                Some(SaveCrash::MidTemp { keep_bytes }) => {
+                    let keep = keep_bytes.min(image.len());
+                    f.write_all(&image[..keep])?;
+                    f.sync_all()?;
+                    return Ok(());
+                }
+                _ => {
+                    f.write_all(&image)?;
+                    f.sync_all()?;
+                }
+            }
+        }
+        if crash == Some(SaveCrash::BeforeRename) {
+            return Ok(());
+        }
+        std::fs::rename(&tmp, path)?;
+        self.set_epoch(epoch);
+        Ok(())
     }
 
     /// Read a store back from `path`, returning it together with the
     /// owner's meta bytes. The buffer pool starts empty with
-    /// `buffer_pages` capacity; I/O counters start at zero.
-    pub fn load_from(path: &Path, buffer_pages: usize) -> io::Result<(Self, Vec<u8>)> {
-        let mut f = File::open(path)?;
-        let mut magic = [0u8; 8];
-        f.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not an STIDX file",
-            ));
+    /// `buffer_pages` capacity (capacity 0 is valid: recovery then
+    /// replays with every fetch counted as a miss); I/O counters start
+    /// at zero; the store adopts the file's save epoch.
+    ///
+    /// Fails closed: any truncation, checksum mismatch, epoch mismatch,
+    /// or inconsistent length field rejects the whole file.
+    pub fn load_from(path: &Path, buffer_pages: usize) -> Result<(Self, Vec<u8>), OpenError> {
+        let bytes = std::fs::read(path)?;
+        Self::decode(&bytes, buffer_pages)
+    }
+
+    /// Validate and decode a version-2 byte image (see
+    /// [`PageStore::load_from`]).
+    pub fn decode(bytes: &[u8], buffer_pages: usize) -> Result<(Self, Vec<u8>), OpenError> {
+        let mut r = Reader { bytes, at: 0 };
+
+        // Header: a zero-byte file and a half-written header both land
+        // in the same Truncated arm here.
+        let header = r.take(HEADER_LEN)?;
+        let header_sum = r.take_u64()?;
+        if xxh64(header) != header_sum {
+            // Distinguish "different format entirely" from "our format,
+            // damaged": magic is checked on the raw bytes first.
+            if &header[..8] != MAGIC {
+                return Err(OpenError::BadMagic);
+            }
+            return Err(OpenError::Corrupt {
+                region: Region::Header,
+            });
         }
-        let meta_len = read_u32(&mut f)? as usize;
+        if &header[..8] != MAGIC {
+            return Err(OpenError::BadMagic);
+        }
+        let epoch = u64::from_le_bytes(slice8(&header[8..16]));
+        let meta_len = u32::from_le_bytes(slice4(&header[16..20])) as usize;
+        let page_count = u32::from_le_bytes(slice4(&header[20..24])) as usize;
+        let free_count = u32::from_le_bytes(slice4(&header[24..28])) as usize;
         if meta_len > 1 << 24 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "oversized metadata",
-            ));
+            return Err(OpenError::Malformed("oversized metadata"));
         }
-        let mut meta = vec![0u8; meta_len];
-        f.read_exact(&mut meta)?;
-        let page_count = read_u32(&mut f)? as usize;
-        let free_count = read_u32(&mut f)? as usize;
         if free_count > page_count {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "free list exceeds pages",
-            ));
+            return Err(OpenError::Malformed("free list exceeds pages"));
+        }
+
+        let meta = r.take(meta_len)?;
+        let meta_sum = r.take_u64()?;
+        if xxh64(meta) != meta_sum {
+            return Err(OpenError::Corrupt {
+                region: Region::Meta,
+            });
+        }
+        let meta = meta.to_vec();
+
+        let free_bytes = r.take(free_count * 4)?;
+        let free_sum = r.take_u64()?;
+        if xxh64(free_bytes) != free_sum {
+            return Err(OpenError::Corrupt {
+                region: Region::FreeList,
+            });
         }
         let mut free = Vec::with_capacity(free_count);
-        for _ in 0..free_count {
-            let id = read_u32(&mut f)?;
+        let mut seen = std::collections::HashSet::with_capacity(free_count);
+        for chunk in free_bytes.chunks_exact(4) {
+            let id = u32::from_le_bytes(slice4(chunk));
             if id as usize >= page_count {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "free id out of range",
-                ));
+                return Err(OpenError::Malformed("free id out of range"));
+            }
+            if !seen.insert(id) {
+                return Err(OpenError::Malformed("duplicate free id"));
             }
             free.push(id);
         }
+
         let mut store = PageStore::new(buffer_pages);
-        for _ in 0..page_count {
-            let mut buf = vec![0u8; PAGE_SIZE];
-            f.read_exact(&mut buf)?;
+        for i in 0..page_count {
+            let page_bytes = r.take(PAGE_SIZE)?;
+            let page_sum = r.take_u64()?;
+            if xxh64(page_bytes) != page_sum {
+                let id = u32::try_from(i).map_err(|_| OpenError::Malformed("page id overflow"))?;
+                return Err(OpenError::Corrupt {
+                    region: Region::Page(id),
+                });
+            }
             let id = store.allocate_silent();
-            store.raw_page_mut(id).fill_from(&buf);
+            store.raw_page_mut(id).fill_from(page_bytes);
+            store.refresh_sum(id);
         }
+
+        let trailer = r.take_u64()?;
+        if trailer != epoch {
+            return Err(OpenError::EpochMismatch {
+                header: epoch,
+                trailer,
+            });
+        }
+        if r.at != bytes.len() {
+            return Err(OpenError::Malformed("trailing bytes after trailer"));
+        }
+
         store.set_free_list(free);
+        store.set_epoch(epoch);
         Ok((store, meta))
     }
 }
 
-fn read_u32(f: &mut File) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    f.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+/// Cursor over the raw file image; every short read is a typed
+/// [`OpenError::Truncated`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], OpenError> {
+        let end = self.at.checked_add(n).ok_or(OpenError::Malformed(
+            "region length overflows the file offset",
+        ))?;
+        if end > self.bytes.len() {
+            return Err(OpenError::Truncated {
+                needed: n,
+                have: self.bytes.len() - self.at,
+            });
+        }
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    fn take_u64(&mut self) -> Result<u64, OpenError> {
+        Ok(u64::from_le_bytes(slice8(self.take(8)?)))
+    }
+}
+
+fn slice8(b: &[u8]) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&b[..8]);
+    out
+}
+
+fn slice4(b: &[u8]) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    out.copy_from_slice(&b[..4]);
+    out
 }
 
 /// Encode a length field, rejecting sizes the `u32` file format can't
@@ -119,65 +431,210 @@ mod tests {
         p
     }
 
-    #[test]
-    fn round_trip_pages_meta_and_free_list() {
+    fn small_store() -> (PageStore, PageId, PageId, PageId) {
         let mut store = PageStore::new(4);
-        let a = store.allocate();
-        let b = store.allocate();
-        let c = store.allocate();
-        store.write(a, &[1, 2, 3]);
-        store.write(b, &[4; 100]);
-        store.write(c, &[7]);
-        store.free(b);
+        let a = store.allocate().unwrap();
+        let b = store.allocate().unwrap();
+        let c = store.allocate().unwrap();
+        store.write(a, &[1, 2, 3]).unwrap();
+        store.write(b, &[4; 100]).unwrap();
+        store.write(c, &[7]).unwrap();
+        store.free(b).unwrap();
+        (store, a, b, c)
+    }
+
+    #[test]
+    fn round_trip_pages_meta_free_list_and_epoch() {
+        let (mut store, a, b, c) = small_store();
         let meta = b"hello index metadata".to_vec();
 
         let path = temp_path("roundtrip");
         store.save_to(&path, &meta).expect("save");
+        assert_eq!(store.epoch(), 1, "save bumps the epoch");
         let (mut back, meta2) = PageStore::load_from(&path, 4).expect("load");
         std::fs::remove_file(&path).ok();
 
         assert_eq!(meta2, meta);
+        assert_eq!(back.epoch(), 1, "loaded store adopts the file epoch");
         assert_eq!(back.num_pages(), 3);
         assert_eq!(back.free_pages(), 1);
-        assert_eq!(&back.read(a).bytes()[..3], &[1, 2, 3]);
-        assert_eq!(&back.read(c).bytes()[..1], &[7]);
+        assert_eq!(&back.read(a).unwrap().bytes()[..3], &[1, 2, 3]);
+        assert_eq!(&back.read(c).unwrap().bytes()[..1], &[7]);
         // Freed page is handed out again on allocate.
-        assert_eq!(back.allocate(), b);
+        assert_eq!(back.allocate().unwrap(), b);
+    }
+
+    #[test]
+    fn epoch_is_monotonic_across_saves() {
+        let (mut store, ..) = small_store();
+        let path = temp_path("epoch");
+        store.save_to(&path, &[]).expect("save 1");
+        store.save_to(&path, &[]).expect("save 2");
+        store.save_to(&path, &[]).expect("save 3");
+        let (back, _) = PageStore::load_from(&path, 2).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.epoch(), 3);
     }
 
     #[test]
     fn rejects_wrong_magic() {
         let path = temp_path("badmagic");
-        std::fs::write(&path, b"NOTANIDX????????").expect("write");
+        let mut bogus = b"NOTANIDX".to_vec();
+        bogus.extend_from_slice(&[0u8; 40]);
+        std::fs::write(&path, &bogus).expect("write");
         let err = PageStore::load_from(&path, 4).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, OpenError::BadMagic), "{err:?}");
     }
 
     #[test]
-    fn rejects_truncated_file() {
-        let mut store = PageStore::new(2);
-        let a = store.allocate();
-        store.write(a, &[9]);
+    fn zero_byte_and_sub_header_files_take_the_same_error_path() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").expect("write");
+        let err = PageStore::load_from(&path, 4).unwrap_err();
+        assert!(
+            matches!(err, OpenError::Truncated { have: 0, .. }),
+            "{err:?}"
+        );
+
+        std::fs::write(&path, b"STIDX2\0\0short").expect("write");
+        let err = PageStore::load_from(&path, 4).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, OpenError::Truncated { have: 13, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_file_at_any_cut() {
+        let (mut store, ..) = small_store();
         let path = temp_path("trunc");
         store.save_to(&path, b"meta").expect("save");
         let full = std::fs::read(&path).expect("read");
-        std::fs::write(&path, &full[..full.len() - 100]).expect("truncate");
-        assert!(PageStore::load_from(&path, 2).is_err());
         std::fs::remove_file(&path).ok();
+        // Every prefix must be rejected, without panicking.
+        for cut in [0, 1, 35, 36, 40, full.len() / 2, full.len() - 1] {
+            let err = PageStore::decode(&full[..cut], 2).unwrap_err();
+            assert!(
+                matches!(err, OpenError::Truncated { .. } | OpenError::Corrupt { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected_in_every_region() {
+        let (mut store, ..) = small_store();
+        let path = temp_path("flip");
+        store.save_to(&path, b"some meta").expect("save");
+        let full = std::fs::read(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+
+        // One flip inside the header, the meta, the free list, a page,
+        // and the trailer — each must be caught.
+        let header_at = 10;
+        let meta_at = HEADER_LEN + 8 + 2;
+        let free_at = HEADER_LEN + 8 + 9 + 8 + 1;
+        let page_at = full.len() - 8 - (PAGE_SIZE + 8) - 100;
+        let trailer_at = full.len() - 2;
+        for at in [header_at, meta_at, free_at, page_at, trailer_at] {
+            let mut corrupted = full.clone();
+            corrupted[at] ^= 0x40;
+            let err = PageStore::decode(&corrupted, 2).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    OpenError::Corrupt { .. } | OpenError::EpochMismatch { .. }
+                ),
+                "flip at {at}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_temp_crash_leaves_the_previous_file_intact() {
+        let (mut store, a, ..) = small_store();
+        let path = temp_path("midtemp");
+        store.save_to(&path, b"v1").expect("save");
+
+        store.write(a, &[99]).unwrap();
+        store
+            .save_to_crashing(&path, b"v2", SaveCrash::MidTemp { keep_bytes: 50 })
+            .expect("simulated crash");
+        assert_eq!(store.epoch(), 1, "crashed save must not bump the epoch");
+
+        // The target still opens as v1; the torn temp fails closed.
+        let (back, meta) = PageStore::load_from(&path, 2).expect("old file intact");
+        assert_eq!(meta, b"v1");
+        assert_eq!(back.epoch(), 1);
+        let tmp = temp_sibling(&path);
+        let err = PageStore::load_from(&tmp, 2).unwrap_err();
+        assert!(matches!(err, OpenError::Truncated { .. }), "{err:?}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn before_rename_crash_leaves_the_previous_file_current() {
+        let (mut store, a, ..) = small_store();
+        let path = temp_path("prerename");
+        store.save_to(&path, b"v1").expect("save");
+        store.write(a, &[42]).unwrap();
+        store
+            .save_to_crashing(&path, b"v2", SaveCrash::BeforeRename)
+            .expect("simulated crash");
+
+        let (_, meta) = PageStore::load_from(&path, 2).expect("load");
+        assert_eq!(meta, b"v1", "rename never happened");
+        // The complete temp is valid on its own (recovery could adopt
+        // it), at the *next* epoch.
+        let tmp = temp_sibling(&path);
+        let (adopted, meta2) = PageStore::load_from(&tmp, 2).expect("temp is complete");
+        assert_eq!(meta2, b"v2");
+        assert_eq!(adopted.epoch(), 2);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn capacity_zero_buffer_replays_recovery_reads() {
+        let (mut store, a, _, c) = small_store();
+        let path = temp_path("cap0");
+        store.save_to(&path, &[]).expect("save");
+        let (mut back, _) = PageStore::load_from(&path, 0).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(&back.read(a).unwrap().bytes()[..3], &[1, 2, 3]);
+        assert_eq!(&back.read(c).unwrap().bytes()[..1], &[7]);
+        back.read(a).unwrap();
+        let st = back.stats();
+        assert_eq!(st.reads, 3, "capacity 0: every fetch is a miss");
+        assert_eq!(st.buffer_hits, 0);
     }
 
     #[test]
     fn loaded_store_counts_fresh_io() {
         let mut store = PageStore::new(2);
-        let a = store.allocate();
-        store.write(a, &[1]);
+        let a = store.allocate().unwrap();
+        store.write(a, &[1]).unwrap();
         let path = temp_path("io");
         store.save_to(&path, &[]).expect("save");
         let (mut back, _) = PageStore::load_from(&path, 2).expect("load");
         std::fs::remove_file(&path).ok();
         assert_eq!(back.stats().reads, 0);
-        back.read(a);
+        back.read(a).unwrap();
         assert_eq!(back.stats().reads, 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_free_ids_and_trailing_garbage() {
+        let (mut store, ..) = small_store();
+        let path = temp_path("malformed");
+        store.save_to(&path, &[]).expect("save");
+        let mut full = std::fs::read(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        full.push(0);
+        let err = PageStore::decode(&full, 2).unwrap_err();
+        assert!(matches!(err, OpenError::Malformed(_)), "{err:?}");
     }
 }

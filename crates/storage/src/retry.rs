@@ -1,0 +1,142 @@
+//! Bounded, deterministic retry for transient storage faults.
+//!
+//! The [`crate::PageStore`] re-attempts operations whose error is
+//! [`crate::StorageError::is_transient`], waiting between attempts via an
+//! injected [`RetryClock`] so tests control time completely: the default
+//! [`SimClock`] only *records* the backoff it was asked to perform,
+//! keeping every test instantaneous and every retry schedule a pure
+//! function of the [`RetryPolicy`].
+
+/// Retry budget and backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (so `3` means
+    /// one try plus up to two retries). `1` disables retry entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_delay_micros: u64,
+    /// Cap on the exponentially growing backoff.
+    pub max_delay_micros: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay_micros: 100,
+            max_delay_micros: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every error is final on the first attempt.
+    pub fn no_retry() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff after failed attempt number `attempt` (1-based): the
+    /// base delay doubled per attempt, capped at the maximum.
+    pub fn delay_for(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        // checked_mul (not shl) so a doubling that overflows saturates
+        // at the cap instead of wrapping bits away.
+        self.base_delay_micros
+            .checked_mul(1u64 << shift)
+            .unwrap_or(self.max_delay_micros)
+            .min(self.max_delay_micros)
+    }
+}
+
+/// Where retry backoff "time" goes. Injected so the store never sleeps
+/// for real in tests, yet the schedule stays observable.
+pub trait RetryClock: std::fmt::Debug {
+    /// Spend `micros` of backoff.
+    fn pause(&mut self, micros: u64);
+
+    /// Total backoff spent, in microseconds.
+    fn total_paused_micros(&self) -> u64;
+
+    /// Number of pauses taken.
+    fn pauses(&self) -> u64;
+
+    /// Clone into a boxed clock.
+    fn clone_box(&self) -> Box<dyn RetryClock>;
+}
+
+impl Clone for Box<dyn RetryClock> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The default clock: records backoff without sleeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    paused_micros: u64,
+    pauses: u64,
+}
+
+impl SimClock {
+    /// A clock that has paused zero times.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RetryClock for SimClock {
+    fn pause(&mut self, micros: u64) {
+        self.paused_micros += micros;
+        self.pauses += 1;
+    }
+
+    fn total_paused_micros(&self) -> u64 {
+        self.paused_micros
+    }
+
+    fn pauses(&self) -> u64 {
+        self.pauses
+    }
+
+    fn clone_box(&self) -> Box<dyn RetryClock> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay_micros: 100,
+            max_delay_micros: 450,
+        };
+        assert_eq!(p.delay_for(1), 100);
+        assert_eq!(p.delay_for(2), 200);
+        assert_eq!(p.delay_for(3), 400);
+        assert_eq!(p.delay_for(4), 450, "capped");
+        assert_eq!(p.delay_for(63), 450, "shift overflow capped");
+    }
+
+    #[test]
+    fn sim_clock_records_without_sleeping() {
+        let mut c = SimClock::new();
+        c.pause(100);
+        c.pause(200);
+        assert_eq!(c.total_paused_micros(), 300);
+        assert_eq!(c.pauses(), 2);
+        let boxed = c.clone_box();
+        assert_eq!(boxed.total_paused_micros(), 300);
+    }
+
+    #[test]
+    fn no_retry_policy_has_one_attempt() {
+        assert_eq!(RetryPolicy::no_retry().max_attempts, 1);
+    }
+}

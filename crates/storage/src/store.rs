@@ -1,12 +1,22 @@
-//! The simulated disk: a growable array of pages behind an LRU buffer.
+//! The simulated disk: a pluggable page backend behind an LRU buffer,
+//! with checksums, bounded retry, and an undo log for atomic multi-page
+//! operations.
 
+use crate::backend::{MemBackend, PageBackend};
+use crate::checksum::{xxh64, zero_page_sum};
+use crate::error::{CorruptReason, IoOp, StorageError};
+use crate::retry::{RetryClock, RetryPolicy, SimClock};
 use crate::{LruBuffer, Page, PageId, PAGE_SIZE};
+use std::collections::HashSet;
 
 /// Counters for logical disk traffic.
 ///
 /// A *read* is counted whenever a page is fetched and misses the buffer
 /// pool; buffer hits are free, matching how the paper reports "average
-/// number of disk accesses" with a 10-page LRU buffer.
+/// number of disk accesses" with a 10-page LRU buffer. These are the
+/// paper's cost-model counters: a write that needed retries still counts
+/// as one logical write (the physical re-attempts live in
+/// [`FaultStats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Page fetches that missed the buffer.
@@ -24,74 +34,220 @@ impl IoStats {
     }
 }
 
-/// An in-memory simulated disk of fixed-size pages with an LRU buffer pool
-/// and I/O accounting.
+/// Counters for the failure path, separate from the paper's cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Operations re-attempted after a transient error.
+    pub io_retries: u64,
+    /// Faults the backend injected (zero for real backends).
+    pub io_faults_injected: u64,
+    /// Page verifications that failed (reads that did not match the
+    /// recorded checksum, or writes whose stored bytes did not match the
+    /// intended payload).
+    pub checksum_failures: u64,
+}
+
+/// One recorded undo step; rollback applies them in reverse.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    /// First write to a page inside the transaction: its prior content.
+    Image { id: PageId, bytes: Page, sum: u64 },
+    /// `allocate` grew the backend by one page (always the current tail
+    /// when undone in reverse order).
+    Appended,
+    /// `allocate` reused this page from the free list.
+    ReusedFree { id: PageId },
+    /// `free` pushed this page onto the free list.
+    Freed { id: PageId },
+}
+
+#[derive(Debug, Clone, Default)]
+struct Txn {
+    ops: Vec<UndoOp>,
+    /// Pages whose pre-image is already captured this transaction.
+    imaged: HashSet<PageId>,
+}
+
+/// A simulated disk of fixed-size pages with an LRU buffer pool, I/O
+/// accounting, per-page checksums, bounded retry for transient faults,
+/// and page-level undo.
 ///
 /// Both tree implementations own one `PageStore` and route *all* node
 /// traffic through it, so query-time I/O counts are faithful to a
 /// disk-resident index: the paper's page capacity is enforced by the node
 /// serializers (entries per node), and the buffer is reset before every
 /// measured query via [`PageStore::reset_buffer`].
+///
+/// Failure discipline (DESIGN.md §6): every fallible method returns a
+/// typed [`StorageError`]. A failed `write` restores the page's prior
+/// bytes before returning, so a single write is atomic; multi-page
+/// mutations bracket themselves with [`PageStore::begin_txn`] /
+/// [`PageStore::rollback_txn`] so a failure midway leaves the store
+/// exactly as it was.
 #[derive(Debug, Clone)]
 pub struct PageStore {
-    pages: Vec<Page>,
+    backend: Box<dyn PageBackend>,
+    /// Checksum of each page's current intended content.
+    sums: Vec<u64>,
     free: Vec<PageId>,
     buffer: LruBuffer,
     stats: IoStats,
+    io_retries: u64,
+    checksum_failures: u64,
+    /// Backend fault count when fault stats were last reset, so
+    /// [`PageStore::fault_stats`] reports a delta.
+    injected_at_reset: u64,
+    policy: RetryPolicy,
+    clock: Box<dyn RetryClock>,
+    txn: Option<Txn>,
+    /// Monotonic save epoch (bumped by `persist::save`).
+    epoch: u64,
 }
 
 impl PageStore {
-    /// Create an empty store with a buffer pool of `buffer_capacity` pages.
+    /// Create an empty in-memory store with a buffer pool of
+    /// `buffer_capacity` pages.
     pub fn new(buffer_capacity: usize) -> Self {
+        Self::with_backend(Box::new(MemBackend::new()), buffer_capacity)
+    }
+
+    /// Create a store over an explicit backend (in-memory, file-backed,
+    /// or fault-injecting).
+    pub fn with_backend(backend: Box<dyn PageBackend>, buffer_capacity: usize) -> Self {
+        let sums = (0..backend.num_pages())
+            .map(|i| {
+                backend
+                    .page(PageId::try_from(i).unwrap_or(PageId::MAX))
+                    .map_or_else(zero_page_sum, |p| xxh64(p.bytes()))
+            })
+            .collect();
+        let injected = backend.faults_injected();
         Self {
-            pages: Vec::new(),
+            backend,
+            sums,
             free: Vec::new(),
             buffer: LruBuffer::new(buffer_capacity),
             stats: IoStats::default(),
+            io_retries: 0,
+            checksum_failures: 0,
+            injected_at_reset: injected,
+            policy: RetryPolicy::default(),
+            clock: Box::new(SimClock::new()),
+            txn: None,
+            epoch: 0,
         }
     }
 
     /// Number of allocated pages (the index's disk footprint, fig. 16).
     pub fn num_pages(&self) -> usize {
-        self.pages.len()
+        self.backend.num_pages()
     }
 
     /// Disk footprint in bytes.
     pub fn bytes(&self) -> usize {
-        self.pages.len() * PAGE_SIZE
+        self.backend.num_pages() * PAGE_SIZE
+    }
+
+    /// The backend, for journal inspection and downcasts in tests.
+    pub fn backend(&self) -> &dyn PageBackend {
+        self.backend.as_ref()
+    }
+
+    /// Mutable backend access, for tests and tooling.
+    pub fn backend_mut(&mut self) -> &mut dyn PageBackend {
+        self.backend.as_mut()
+    }
+
+    /// Replace the retry budget/backoff schedule.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Replace the backoff clock (tests inject their own).
+    pub fn set_clock(&mut self, clock: Box<dyn RetryClock>) {
+        self.clock = clock;
+    }
+
+    /// The backoff clock, for asserting on the schedule taken.
+    pub fn clock(&self) -> &dyn RetryClock {
+        self.clock.as_ref()
     }
 
     /// Allocate a page and return its id, reusing freed pages first.
-    ///
-    /// # Panics
-    /// If more than `u32::MAX` pages are allocated.
-    pub fn allocate(&mut self) -> PageId {
+    pub fn allocate(&mut self) -> Result<PageId, StorageError> {
         if let Some(id) = self.free.pop() {
-            self.pages[id as usize] = Page::zeroed();
-            return id;
+            // Free-list reuse is a metadata operation: the page is
+            // already on the device; only its content is reset. The
+            // pre-image is captured first — rollback must restore what
+            // the page held before this transaction zeroed it.
+            if self.txn.is_some() {
+                let prior = self.backend.page(id).cloned();
+                let prior_sum = self.sums[id as usize];
+                if let (Some(txn), Some(bytes)) = (self.txn.as_mut(), prior) {
+                    if txn.imaged.insert(id) {
+                        txn.ops.push(UndoOp::Image {
+                            id,
+                            bytes,
+                            sum: prior_sum,
+                        });
+                    }
+                    txn.ops.push(UndoOp::ReusedFree { id });
+                }
+            }
+            if let Some(p) = self.backend.page_mut(id) {
+                *p = Page::zeroed();
+            }
+            self.sums[id as usize] = zero_page_sum();
+            return Ok(id);
         }
-        // stilint::allow(no_panic, "u32::MAX pages is a 16 TiB simulated disk; exceeding it is unreachable in experiments and unrecoverable if hit")
-        let id = PageId::try_from(self.pages.len()).expect("page id overflow");
-        self.pages.push(Page::zeroed());
-        id
+        let mut attempt = 0u32;
+        let id = loop {
+            attempt += 1;
+            match self.backend.allocate() {
+                Ok(id) => break id,
+                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
+                    self.io_retries += 1;
+                    let delay = self.policy.delay_for(attempt);
+                    self.clock.pause(delay);
+                }
+                Err(e) => {
+                    self.backend.quiesce();
+                    return Err(e);
+                }
+            }
+        };
+        self.sums.push(zero_page_sum());
+        if let Some(txn) = self.txn.as_mut() {
+            txn.ops.push(UndoOp::Appended);
+        }
+        Ok(id)
     }
 
     /// Return a page to the free list for reuse by a later
     /// [`PageStore::allocate`]. The page's content becomes invalid and it
     /// is dropped from the buffer pool.
-    ///
-    /// # Panics
-    /// On an unallocated id or a double free.
-    pub fn free(&mut self, id: PageId) {
-        assert!(
-            (id as usize) < self.pages.len(),
-            "free of unallocated page {id}"
-        );
+    pub fn free(&mut self, id: PageId) -> Result<(), StorageError> {
+        if (id as usize) >= self.backend.num_pages() {
+            return Err(StorageError::Unallocated {
+                op: IoOp::Write,
+                page: id,
+                pages: self.backend.num_pages(),
+            });
+        }
         // The linear double-free scan would make mass deallocation
         // quadratic in the free-list length; keep it as a debug check.
         debug_assert!(!self.free.contains(&id), "double free of page {id}");
         self.buffer.invalidate(id);
         self.free.push(id);
+        if let Some(txn) = self.txn.as_mut() {
+            txn.ops.push(UndoOp::Freed { id });
+        }
+        Ok(())
     }
 
     /// Number of pages currently on the free list.
@@ -100,47 +256,266 @@ impl PageStore {
     }
 
     /// Fetch a page for reading, going through the buffer pool. A miss
-    /// costs one disk read.
-    ///
-    /// # Panics
-    /// On an unallocated id — tree code never follows dangling pointers.
-    pub fn read(&mut self, id: PageId) -> &Page {
-        assert!(
-            (id as usize) < self.pages.len(),
-            "read of unallocated page {id}"
-        );
-        if self.buffer.access(id) {
+    /// costs one disk read and verifies the page against its recorded
+    /// checksum; verification failures are retried (a re-fetch repairs
+    /// corruption that happened in transfer) within the retry budget,
+    /// then surface as [`StorageError::Corrupt`].
+    pub fn read(&mut self, id: PageId) -> Result<&Page, StorageError> {
+        if (id as usize) >= self.backend.num_pages() {
+            return Err(StorageError::Unallocated {
+                op: IoOp::Read,
+                page: id,
+                pages: self.backend.num_pages(),
+            });
+        }
+        if self.buffer.contains(id) {
+            self.buffer.access(id);
             self.stats.buffer_hits += 1;
         } else {
+            self.fetch_verified(id)?;
             self.stats.reads += 1;
+            self.buffer.access(id);
         }
-        &self.pages[id as usize]
+        self.backend.page(id).ok_or(StorageError::Unallocated {
+            op: IoOp::Read,
+            page: id,
+            pages: 0,
+        })
+    }
+
+    /// Transfer page `id` from the backend and verify its checksum,
+    /// retrying transient failures within the policy budget. On final
+    /// failure the backend is quiesced (in-flight transfer corruption
+    /// must not outlive the error) and the original error is returned
+    /// unchanged.
+    fn fetch_verified(&mut self, id: PageId) -> Result<(), StorageError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = match self.backend.read(id) {
+                Ok(()) => self.verify_against_sum(id),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
+                    self.io_retries += 1;
+                    let delay = self.policy.delay_for(attempt);
+                    self.clock.pause(delay);
+                }
+                Err(e) => {
+                    self.backend.quiesce();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Compare a page's current bytes against its recorded checksum.
+    fn verify_against_sum(&mut self, id: PageId) -> Result<(), StorageError> {
+        let actual = match self.backend.page(id) {
+            Some(p) => xxh64(p.bytes()),
+            None => {
+                return Err(StorageError::Unallocated {
+                    op: IoOp::Read,
+                    page: id,
+                    pages: self.backend.num_pages(),
+                })
+            }
+        };
+        if actual == self.sums[id as usize] {
+            Ok(())
+        } else {
+            self.checksum_failures += 1;
+            Err(StorageError::Corrupt {
+                page: id,
+                reason: CorruptReason::Checksum,
+            })
+        }
     }
 
     /// Overwrite a page's payload. Costs one disk write; the new content
     /// becomes buffer-resident (write-through).
     ///
-    /// Accounting policy (see DESIGN.md §6): a write *always* costs
-    /// exactly one disk write, independent of buffer residency — the
-    /// paper's cost model has no notion of absorbed writes, and its query
-    /// metric counts read misses only. Write-through *does* warm the
-    /// buffer (and refreshes LRU recency), so a read immediately after a
-    /// write hits; but that residency update is a caching side effect,
-    /// not a read, so it must not increment `buffer_hits`. The buffer is
-    /// therefore touched via [`LruBuffer::install`], which reports no
-    /// hit/miss outcome at all.
+    /// Accounting policy (see DESIGN.md §6): a successful write *always*
+    /// costs exactly one disk write, independent of buffer residency —
+    /// the paper's cost model has no notion of absorbed writes, and its
+    /// query metric counts read misses only. Write-through *does* warm
+    /// the buffer (and refreshes LRU recency), so a read immediately
+    /// after a write hits; but that residency update is a caching side
+    /// effect, not a read, so it must not increment `buffer_hits`. The
+    /// buffer is therefore touched via [`LruBuffer::install`], which
+    /// reports no hit/miss outcome at all.
     ///
-    /// # Panics
-    /// On an unallocated id or oversized payload.
-    pub fn write(&mut self, id: PageId, payload: &[u8]) {
-        assert!(
-            (id as usize) < self.pages.len(),
-            "write of unallocated page {id}"
-        );
-        self.pages[id as usize].fill_from(payload);
-        self.stats.writes += 1;
-        self.buffer.install(id);
+    /// Failure discipline: the stored bytes are verified after the
+    /// write (catching silent at-rest bit flips); a verification failure
+    /// is retried — rewriting heals medium corruption — and on final
+    /// failure the page's prior content is restored, so a failed write
+    /// never leaves a torn page behind.
+    pub fn write(&mut self, id: PageId, payload: &[u8]) -> Result<(), StorageError> {
+        if (id as usize) >= self.backend.num_pages() {
+            return Err(StorageError::Unallocated {
+                op: IoOp::Write,
+                page: id,
+                pages: self.backend.num_pages(),
+            });
+        }
+        if payload.len() > PAGE_SIZE {
+            return Err(StorageError::PayloadTooLarge { len: payload.len() });
+        }
+        let mut padded = [0u8; PAGE_SIZE];
+        padded[..payload.len()].copy_from_slice(payload);
+        let new_sum = xxh64(&padded);
+
+        // Pre-image for this write's own rollback, and for the enclosing
+        // transaction's (captured once per page per transaction).
+        let prior = self.backend.page(id).cloned();
+        let prior_sum = self.sums[id as usize];
+        if let (Some(txn), Some(bytes)) = (self.txn.as_mut(), prior.as_ref()) {
+            if txn.imaged.insert(id) {
+                txn.ops.push(UndoOp::Image {
+                    id,
+                    bytes: bytes.clone(),
+                    sum: prior_sum,
+                });
+            }
+        }
+
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = match self.backend.write(id, payload) {
+                Ok(()) => self.verify_written(id, new_sum),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(()) => {
+                    self.sums[id as usize] = new_sum;
+                    self.stats.writes += 1;
+                    self.buffer.install(id);
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
+                    self.io_retries += 1;
+                    let delay = self.policy.delay_for(attempt);
+                    self.clock.pause(delay);
+                }
+                Err(e) => {
+                    // Restore the pre-image: a failed write (torn or
+                    // otherwise) must not change observable state.
+                    if let (Some(bytes), Some(slot)) = (prior, self.backend.page_mut(id)) {
+                        *slot = bytes;
+                    }
+                    self.buffer.invalidate(id);
+                    self.backend.quiesce();
+                    return Err(e);
+                }
+            }
+        }
     }
+
+    /// Compare the stored bytes after a write against the intended
+    /// payload's checksum (detects silent write-side corruption).
+    fn verify_written(&mut self, id: PageId, expected: u64) -> Result<(), StorageError> {
+        let actual = match self.backend.page(id) {
+            Some(p) => xxh64(p.bytes()),
+            None => {
+                return Err(StorageError::Unallocated {
+                    op: IoOp::Write,
+                    page: id,
+                    pages: self.backend.num_pages(),
+                })
+            }
+        };
+        if actual == expected {
+            Ok(())
+        } else {
+            self.checksum_failures += 1;
+            Err(StorageError::Corrupt {
+                page: id,
+                reason: CorruptReason::Checksum,
+            })
+        }
+    }
+
+    /// Flush the backend to durable storage, retrying transient faults.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.backend.sync() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
+                    self.io_retries += 1;
+                    let delay = self.policy.delay_for(attempt);
+                    self.clock.pause(delay);
+                }
+                Err(e) => {
+                    self.backend.quiesce();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    // --- transactions -------------------------------------------------
+
+    /// Start recording undo information. One transaction at a time;
+    /// nesting folds into the outer transaction (the outer rollback
+    /// undoes everything).
+    pub fn begin_txn(&mut self) {
+        if self.txn.is_none() {
+            self.txn = Some(Txn::default());
+        }
+    }
+
+    /// Whether a transaction is currently recording.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Discard the undo log, keeping all changes.
+    pub fn commit_txn(&mut self) {
+        self.txn = None;
+    }
+
+    /// Undo every `write`/`allocate`/`free` since [`PageStore::begin_txn`],
+    /// in reverse order, then clear the buffer pool (residency acquired
+    /// during the transaction is no longer meaningful). Rollback uses raw
+    /// page access, bypassing fault injection: recovery must not re-enter
+    /// the failure it is recovering from.
+    pub fn rollback_txn(&mut self) {
+        let Some(txn) = self.txn.take() else {
+            return;
+        };
+        for op in txn.ops.into_iter().rev() {
+            match op {
+                UndoOp::Image { id, bytes, sum } => {
+                    if let Some(slot) = self.backend.page_mut(id) {
+                        *slot = bytes;
+                    }
+                    self.sums[id as usize] = sum;
+                }
+                UndoOp::Appended => {
+                    let len = self.backend.num_pages().saturating_sub(1);
+                    self.backend.truncate(len);
+                    self.sums.pop();
+                }
+                UndoOp::ReusedFree { id } => {
+                    self.free.push(id);
+                }
+                UndoOp::Freed { id } => {
+                    // Reverse order guarantees this id is the tail push.
+                    debug_assert_eq!(self.free.last(), Some(&id));
+                    self.free.pop();
+                }
+            }
+        }
+        self.backend.quiesce();
+        self.buffer.clear();
+    }
+
+    // --- inspection ---------------------------------------------------
 
     /// Inspect a page without touching the buffer pool or I/O counters,
     /// or `None` for an unallocated id.
@@ -150,7 +525,7 @@ impl PageStore {
     /// accounting, so walking a whole index for validation does not
     /// perturb a measured query that follows.
     pub fn peek(&self, id: PageId) -> Option<&Page> {
-        self.pages.get(id as usize)
+        self.backend.page(id)
     }
 
     /// Whether `id` currently sits on the free list (integrity checkers:
@@ -164,9 +539,24 @@ impl PageStore {
         self.stats
     }
 
-    /// Zero the I/O counters (start of a measured query batch).
+    /// Accumulated failure-path counters since the last reset.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            io_retries: self.io_retries,
+            io_faults_injected: self
+                .backend
+                .faults_injected()
+                .saturating_sub(self.injected_at_reset),
+            checksum_failures: self.checksum_failures,
+        }
+    }
+
+    /// Zero the I/O and fault counters (start of a measured query batch).
     pub fn reset_stats(&mut self) {
         self.stats = IoStats::default();
+        self.io_retries = 0;
+        self.checksum_failures = 0;
+        self.injected_at_reset = self.backend.faults_injected();
     }
 
     /// Empty the buffer pool (the paper resets it before every query).
@@ -177,6 +567,12 @@ impl PageStore {
     /// Replace the buffer pool capacity (clears residency).
     pub fn set_buffer_capacity(&mut self, capacity: usize) {
         self.buffer = LruBuffer::new(capacity);
+    }
+
+    /// The save epoch this store was loaded at (0 for a fresh store);
+    /// `persist::save` bumps it monotonically.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     // --- persistence plumbing (see `crate::persist`) ------------------
@@ -191,51 +587,74 @@ impl PageStore {
         self.free = free;
     }
 
+    /// Restore the save epoch after loading / bump it when saving.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Allocate without consulting the free list (used while loading a
     /// serialized store, where page ids must stay dense and ordered).
+    /// Infallible: the loader builds over a fresh [`MemBackend`].
     pub(crate) fn allocate_silent(&mut self) -> PageId {
-        // stilint::allow(no_panic, "loader caps page_count at u32 (file format length fields), so the conversion cannot fail")
-        let id = PageId::try_from(self.pages.len()).expect("page id overflow");
-        self.pages.push(Page::zeroed());
+        // stilint::allow(no_io_unwrap, "loader caps page_count at u32 (file format length fields) over a MemBackend that only fails on id overflow, so allocate cannot fail")
+        let id = self.backend.allocate().expect("loader allocate");
+        self.sums.push(zero_page_sum());
         id
     }
 
     /// Raw page access without buffer accounting (serialization only).
     pub(crate) fn raw_page(&self, id: PageId) -> &Page {
-        &self.pages[id as usize]
+        // stilint::allow(no_io_unwrap, "persist iterates ids below num_pages only")
+        self.backend.page(id).expect("raw_page in bounds")
     }
 
     /// Raw mutable page access without accounting (deserialization only).
     pub(crate) fn raw_page_mut(&mut self, id: PageId) -> &mut Page {
-        &mut self.pages[id as usize]
+        // stilint::allow(no_io_unwrap, "persist iterates ids below num_pages only")
+        self.backend.page_mut(id).expect("raw_page_mut in bounds")
+    }
+
+    /// Recompute a page's recorded checksum from its current raw bytes
+    /// (loader only: pages are filled via [`PageStore::raw_page_mut`]).
+    pub(crate) fn refresh_sum(&mut self, id: PageId) {
+        if let Some(p) = self.backend.page(id) {
+            self.sums[id as usize] = xxh64(p.bytes());
+        }
+    }
+
+    /// A page's recorded checksum (serialization reuses it instead of
+    /// re-hashing).
+    pub(crate) fn page_sum(&self, id: PageId) -> u64 {
+        self.sums[id as usize]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultPlan, FaultyBackend, ScheduledFault};
 
     #[test]
     fn allocate_read_write_round_trip() {
         let mut s = PageStore::new(4);
-        let a = s.allocate();
-        let b = s.allocate();
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
         assert_eq!((a, b), (0, 1));
         assert_eq!(s.num_pages(), 2);
         assert_eq!(s.bytes(), 2 * PAGE_SIZE);
 
-        s.write(a, &[1, 2, 3]);
-        assert_eq!(&s.read(a).bytes()[..3], &[1, 2, 3]);
+        s.write(a, &[1, 2, 3]).unwrap();
+        assert_eq!(&s.read(a).unwrap().bytes()[..3], &[1, 2, 3]);
     }
 
     #[test]
     fn read_miss_then_hit_accounting() {
         let mut s = PageStore::new(2);
-        let a = s.allocate();
+        let a = s.allocate().unwrap();
         s.reset_stats();
         s.reset_buffer();
-        s.read(a); // miss
-        s.read(a); // hit
+        s.read(a).unwrap(); // miss
+        s.read(a).unwrap(); // hit
         let st = s.stats();
         assert_eq!(st.reads, 1);
         assert_eq!(st.buffer_hits, 1);
@@ -244,21 +663,21 @@ mod tests {
     #[test]
     fn buffer_reset_makes_reads_cost_again() {
         let mut s = PageStore::new(2);
-        let a = s.allocate();
-        s.read(a);
+        let a = s.allocate().unwrap();
+        s.read(a).unwrap();
         s.reset_stats();
         s.reset_buffer();
-        s.read(a);
+        s.read(a).unwrap();
         assert_eq!(s.stats().reads, 1);
     }
 
     #[test]
     fn write_is_write_through() {
         let mut s = PageStore::new(2);
-        let a = s.allocate();
+        let a = s.allocate().unwrap();
         s.reset_stats();
-        s.write(a, &[7]);
-        s.read(a); // should hit: write populated the buffer
+        s.write(a, &[7]).unwrap();
+        s.read(a).unwrap(); // should hit: write populated the buffer
         let st = s.stats();
         assert_eq!(st.writes, 1);
         assert_eq!(st.reads, 0);
@@ -273,21 +692,21 @@ mod tests {
     #[test]
     fn scripted_sequence_counts_are_pinned() {
         let mut s = PageStore::new(2);
-        let a = s.allocate();
-        let b = s.allocate();
-        let c = s.allocate();
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        let c = s.allocate().unwrap();
         s.reset_stats();
         s.reset_buffer();
 
-        s.write(a, &[1]); //               writes=1, buffer: [a]
-        s.write(a, &[2]); // resident:     writes=2, still one write each
-        s.read(a); //        hit:          hits=1
-        s.read(b); //        miss:         reads=1, buffer: [b, a]
-        s.write(c, &[3]); // miss-install: writes=3, evicts a → [c, b]
-        s.read(a); //        miss:         reads=2, evicts b → [a, c]
-        s.read(c); //        hit:          hits=2
-        s.write(b, &[4]); // writes=4, evicts a → [b, c]
-        s.read(b); //        hit:          hits=3
+        s.write(a, &[1]).unwrap(); // writes=1, buffer: [a]
+        s.write(a, &[2]).unwrap(); // resident: writes=2, still one write each
+        s.read(a).unwrap(); //        hit:          hits=1
+        s.read(b).unwrap(); //        miss:         reads=1, buffer: [b, a]
+        s.write(c, &[3]).unwrap(); // miss-install: writes=3, evicts a → [c, b]
+        s.read(a).unwrap(); //        miss:         reads=2, evicts b → [a, c]
+        s.read(c).unwrap(); //        hit:          hits=2
+        s.write(b, &[4]).unwrap(); // writes=4, evicts a → [b, c]
+        s.read(b).unwrap(); //        hit:          hits=3
 
         assert_eq!(
             s.stats(),
@@ -297,26 +716,52 @@ mod tests {
                 buffer_hits: 3,
             }
         );
+        assert_eq!(s.fault_stats(), FaultStats::default());
     }
 
     #[test]
     fn eviction_under_pressure() {
         let mut s = PageStore::new(1);
-        let a = s.allocate();
-        let b = s.allocate();
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
         s.reset_stats();
-        s.read(a);
-        s.read(b); // evicts a
-        s.read(a); // miss again
+        s.read(a).unwrap();
+        s.read(b).unwrap(); // evicts a
+        s.read(a).unwrap(); // miss again
         assert_eq!(s.stats().reads, 3);
         assert_eq!(s.stats().buffer_hits, 0);
     }
 
     #[test]
-    #[should_panic(expected = "unallocated page")]
-    fn read_unallocated_panics() {
+    fn unallocated_access_is_a_typed_error() {
         let mut s = PageStore::new(2);
-        s.read(0);
+        assert!(matches!(
+            s.read(0),
+            Err(StorageError::Unallocated { page: 0, .. })
+        ));
+        assert!(matches!(
+            s.write(5, &[1]),
+            Err(StorageError::Unallocated { page: 5, .. })
+        ));
+        assert!(matches!(
+            s.free(9),
+            Err(StorageError::Unallocated { page: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_without_touching_state() {
+        let mut s = PageStore::new(2);
+        let a = s.allocate().unwrap();
+        s.write(a, &[3; 10]).unwrap();
+        s.reset_stats();
+        let big = vec![1u8; PAGE_SIZE + 1];
+        assert_eq!(
+            s.write(a, &big),
+            Err(StorageError::PayloadTooLarge { len: PAGE_SIZE + 1 })
+        );
+        assert_eq!(s.stats().writes, 0);
+        assert_eq!(&s.read(a).unwrap().bytes()[..10], &[3; 10]);
     }
 
     #[test]
@@ -332,29 +777,29 @@ mod tests {
     #[test]
     fn freed_pages_are_reused() {
         let mut s = PageStore::new(2);
-        let a = s.allocate();
-        let _b = s.allocate();
-        s.write(a, &[9]);
-        s.free(a);
+        let a = s.allocate().unwrap();
+        let _b = s.allocate().unwrap();
+        s.write(a, &[9]).unwrap();
+        s.free(a).unwrap();
         assert_eq!(s.free_pages(), 1);
-        let c = s.allocate();
+        let c = s.allocate().unwrap();
         assert_eq!(c, a, "free list should hand back the freed page");
         assert_eq!(s.free_pages(), 0);
         // Reused page comes back zeroed.
-        assert!(s.read(c).bytes().iter().all(|&x| x == 0));
+        assert!(s.read(c).unwrap().bytes().iter().all(|&x| x == 0));
         assert_eq!(s.num_pages(), 2, "no growth when reusing");
     }
 
     #[test]
     fn free_invalidates_buffer_residency() {
         let mut s = PageStore::new(2);
-        let a = s.allocate();
-        s.read(a); // resident
-        s.free(a);
-        let b = s.allocate();
+        let a = s.allocate().unwrap();
+        s.read(a).unwrap(); // resident
+        s.free(a).unwrap();
+        let b = s.allocate().unwrap();
         assert_eq!(a, b);
         s.reset_stats();
-        s.read(b);
+        s.read(b).unwrap();
         assert_eq!(s.stats().reads, 1, "stale residency must not mask the read");
     }
 
@@ -363,8 +808,201 @@ mod tests {
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
         let mut s = PageStore::new(2);
-        let a = s.allocate();
-        s.free(a);
-        s.free(a);
+        let a = s.allocate().unwrap();
+        s.free(a).unwrap();
+        s.free(a).unwrap();
+    }
+
+    // --- retry and fault behaviour ------------------------------------
+
+    fn faulty_store(plan: FaultPlan) -> PageStore {
+        PageStore::with_backend(Box::new(FaultyBackend::new_mem(plan)), 4)
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_counted() {
+        // Op 0 is the allocate; op 1 the write (faulted, transient,
+        // retried as op 2 and succeeds).
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 1,
+            kind: FaultKind::Fail { transient: true },
+        }]);
+        let mut s = faulty_store(plan);
+        let a = s.allocate().unwrap();
+        s.write(a, &[5]).unwrap();
+        assert_eq!(&s.read(a).unwrap().bytes()[..1], &[5]);
+        let fs = s.fault_stats();
+        assert_eq!(fs.io_retries, 1, "one transient fault, one retry");
+        assert_eq!(fs.io_faults_injected, 1);
+        assert!(s.clock().pauses() >= 1, "backoff was recorded");
+    }
+
+    #[test]
+    fn permanent_fault_returns_original_error_unchanged() {
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 1,
+            kind: FaultKind::Fail { transient: false },
+        }]);
+        let mut s = faulty_store(plan);
+        let a = s.allocate().unwrap();
+        let err = s.write(a, &[1]).unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::Injected {
+                op: IoOp::Write,
+                page: Some(a),
+                transient: false,
+            }
+        );
+        assert_eq!(s.fault_stats().io_retries, 0, "permanent: no retry");
+        // State unchanged: the page still reads back zeroed.
+        assert!(s.read(a).unwrap().bytes().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_the_transient_error() {
+        // Three consecutive transient faults exceed max_attempts=3's two
+        // retries: ops 1, 2, 3 all fail.
+        let plan = FaultPlan::new(
+            (1..=3)
+                .map(|at_op| ScheduledFault {
+                    at_op,
+                    kind: FaultKind::Fail { transient: true },
+                })
+                .collect(),
+        );
+        let mut s = faulty_store(plan);
+        let a = s.allocate().unwrap();
+        let err = s.write(a, &[1]).unwrap_err();
+        assert!(err.is_transient(), "the original transient error surfaces");
+        assert_eq!(s.fault_stats().io_retries, 2, "budget of 3 attempts");
+    }
+
+    #[test]
+    fn torn_write_is_rolled_back_to_the_prior_content() {
+        // Op 0 allocate, op 1 the good write, op 2 the torn write.
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 2,
+            kind: FaultKind::TornWrite { keep_bytes: 3 },
+        }]);
+        let mut s = faulty_store(plan);
+        let a = s.allocate().unwrap();
+        s.write(a, &[7; 8]).unwrap();
+        let err = s.write(a, &[9; 8]).unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(
+            &s.read(a).unwrap().bytes()[..8],
+            &[7; 8],
+            "torn write rolled back"
+        );
+        assert_eq!(s.fault_stats().io_faults_injected, 1);
+    }
+
+    #[test]
+    fn read_bit_flip_heals_via_retry_and_counts_checksum_failure() {
+        // Op 0 allocate, op 1 write, op 2 the read transfer (flipped).
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 2,
+            kind: FaultKind::BitFlip { byte: 0, bit: 0 },
+        }]);
+        let mut s = faulty_store(plan);
+        let a = s.allocate().unwrap();
+        s.write(a, &[0b10]).unwrap();
+        s.reset_buffer();
+        s.reset_stats();
+        let got = s.read(a).unwrap().bytes()[0];
+        assert_eq!(got, 0b10, "retry re-fetched the clean page");
+        let fs = s.fault_stats();
+        assert_eq!(fs.checksum_failures, 1);
+        assert_eq!(fs.io_retries, 1);
+        assert_eq!(s.stats().reads, 1, "one logical read despite the retry");
+    }
+
+    #[test]
+    fn write_bit_flip_is_caught_and_healed_by_rewrite() {
+        // Op 0 allocate, op 1 the flipped write; the verify catches it
+        // and the retry rewrites cleanly.
+        let plan = FaultPlan::new(vec![ScheduledFault {
+            at_op: 1,
+            kind: FaultKind::BitFlip { byte: 0, bit: 3 },
+        }]);
+        let mut s = faulty_store(plan);
+        let a = s.allocate().unwrap();
+        s.write(a, &[1]).unwrap();
+        assert_eq!(s.read(a).unwrap().bytes()[0], 1, "flip did not stick");
+        let fs = s.fault_stats();
+        assert_eq!(fs.checksum_failures, 1);
+        assert_eq!(fs.io_retries, 1);
+    }
+
+    // --- transactions -------------------------------------------------
+
+    #[test]
+    fn rollback_restores_writes_allocations_and_frees() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        s.write(a, &[1; 4]).unwrap();
+        s.write(b, &[2; 4]).unwrap();
+
+        s.begin_txn();
+        s.write(a, &[9; 4]).unwrap();
+        let c = s.allocate().unwrap();
+        s.write(c, &[8; 4]).unwrap();
+        s.free(b).unwrap();
+        let d = s.allocate().unwrap(); // reuses b from the free list
+        assert_eq!(d, b);
+        s.rollback_txn();
+
+        assert_eq!(s.num_pages(), 2, "appended page gone");
+        assert_eq!(&s.read(a).unwrap().bytes()[..4], &[1; 4], "write undone");
+        assert_eq!(
+            &s.read(b).unwrap().bytes()[..4],
+            &[2; 4],
+            "free+reuse undone"
+        );
+        assert_eq!(s.free_pages(), 0);
+        assert!(!s.in_txn());
+    }
+
+    #[test]
+    fn commit_keeps_changes_and_drops_the_log() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate().unwrap();
+        s.begin_txn();
+        s.write(a, &[5]).unwrap();
+        s.commit_txn();
+        assert!(!s.in_txn());
+        assert_eq!(s.read(a).unwrap().bytes()[0], 5);
+        s.rollback_txn(); // no-op outside a txn
+        assert_eq!(s.read(a).unwrap().bytes()[0], 5);
+    }
+
+    #[test]
+    fn nested_begin_folds_into_the_outer_txn() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate().unwrap();
+        s.write(a, &[1]).unwrap();
+        s.begin_txn();
+        s.write(a, &[2]).unwrap();
+        s.begin_txn(); // folds
+        s.write(a, &[3]).unwrap();
+        s.rollback_txn();
+        assert_eq!(
+            s.read(a).unwrap().bytes()[0],
+            1,
+            "outer rollback undoes all"
+        );
+    }
+
+    #[test]
+    fn with_backend_adopts_existing_pages_and_checksums() {
+        let mut m = MemBackend::new();
+        let id = m.allocate().unwrap();
+        m.write(id, &[4; 4]).unwrap();
+        let mut s = PageStore::with_backend(Box::new(m), 4);
+        assert_eq!(s.num_pages(), 1);
+        assert_eq!(&s.read(id).unwrap().bytes()[..4], &[4; 4]);
+        assert_eq!(s.fault_stats().checksum_failures, 0);
     }
 }

@@ -36,14 +36,18 @@ fn main() {
     );
 
     let mut ppr =
-        SpatioTemporalIndex::build(&split_recs, &IndexConfig::paper(IndexBackend::PprTree));
+        SpatioTemporalIndex::build(&split_recs, &IndexConfig::paper(IndexBackend::PprTree))
+            .expect("in-memory build cannot fail");
     let mut rstar =
-        SpatioTemporalIndex::build(&whole_recs, &IndexConfig::paper(IndexBackend::RStar));
+        SpatioTemporalIndex::build(&whole_recs, &IndexConfig::paper(IndexBackend::RStar))
+            .expect("in-memory build cannot fail");
 
     // One concrete audit question.
     let district = Rect2::from_bounds(0.40, 0.40, 0.45, 0.45);
     let when = TimeInterval::instant(500);
-    let vehicles = ppr.query(&district, &when);
+    let vehicles = ppr
+        .query(&district, &when)
+        .expect("in-memory query cannot fail");
     println!(
         "\nvehicles in the district at t=500: {} found {vehicles:?}",
         vehicles.len()

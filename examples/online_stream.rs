@@ -38,14 +38,18 @@ fn main() {
         if done {
             indexer.finish(id, t).expect("replayed stream is gap-free");
         } else {
-            indexer.update(id, objects[id as usize].rect(i), t);
+            indexer
+                .update(id, objects[id as usize].rect(i), t)
+                .expect("in-memory ingest cannot fail");
         }
         // Every ~200 ticks, ask a question about finalized history.
         if t % 200 == 0 && indexer.watermark() > 50 && asked < t / 200 {
             asked = t / 200;
             let probe = indexer.watermark() - 1;
             let mut out = Vec::new();
-            indexer.query_snapshot(&Rect2::from_bounds(0.25, 0.25, 0.75, 0.75), probe, &mut out);
+            indexer
+                .query_snapshot(&Rect2::from_bounds(0.25, 0.25, 0.75, 0.75), probe, &mut out)
+                .expect("in-memory query cannot fail");
             println!(
                 "t={t:4}  watermark={:4}  objects in the center at t={probe}: {}",
                 indexer.watermark(),
@@ -58,13 +62,14 @@ fn main() {
         "\nstream done: {} artificial splits issued online",
         indexer.splits_issued()
     );
-    let mut tree = indexer.seal(1000);
+    let mut tree = indexer.seal(1000).expect("in-memory seal cannot fail");
     let mut out = Vec::new();
     tree.query_interval(
         &Rect2::from_bounds(0.45, 0.45, 0.55, 0.55),
         &TimeInterval::new(0, 1000),
         &mut out,
-    );
+    )
+    .expect("in-memory query cannot fail");
     println!(
         "objects that ever crossed the center 10% window: {}",
         out.len()

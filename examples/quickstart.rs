@@ -67,22 +67,29 @@ fn main() {
     let mut index = SpatioTemporalIndex::build(
         &records,
         &IndexConfig::paper(spatiotemporal_index::core::IndexBackend::PprTree),
-    );
+    )
+    .expect("in-memory build cannot fail");
 
     // 4. Ask historical questions.
     let near_start = Rect2::from_bounds(0.0, 0.0, 0.3, 0.3);
     println!(
         "objects in the lower-left corner at t=5:  {:?}",
-        index.query(&near_start, &TimeInterval::instant(5))
+        index
+            .query(&near_start, &TimeInterval::instant(5))
+            .expect("in-memory query cannot fail")
     );
     println!(
         "objects in the lower-left corner at t=45: {:?}",
-        index.query(&near_start, &TimeInterval::instant(45))
+        index
+            .query(&near_start, &TimeInterval::instant(45))
+            .expect("in-memory query cannot fail")
     );
     let upper = Rect2::from_bounds(0.7, 0.7, 1.0, 1.0);
     println!(
         "objects in the upper-right during [0, 100): {:?}",
-        index.query(&upper, &TimeInterval::new(0, 100))
+        index
+            .query(&upper, &TimeInterval::new(0, 100))
+            .expect("in-memory query cannot fail")
     );
     index.reset_for_query();
     let _ = index.query(&upper, &TimeInterval::instant(20));

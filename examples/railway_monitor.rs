@@ -36,7 +36,8 @@ fn main() {
     let mut index = SpatioTemporalIndex::build(
         &plan.records(&trains),
         &IndexConfig::paper(IndexBackend::PprTree),
-    );
+    )
+    .expect("in-memory build cannot fail");
 
     // "Which trains were within ~100 miles of Chicago at hour 500?"
     let chicago = map
@@ -46,12 +47,16 @@ fn main() {
         .expect("Chicago is on the map")
         .pos;
     let window = Rect2::centered(chicago, 0.08, 0.14);
-    let at_500 = index.query(&window, &TimeInterval::instant(500));
+    let at_500 = index
+        .query(&window, &TimeInterval::instant(500))
+        .expect("in-memory query cannot fail");
     println!("\ntrains near Chicago at hour 500: {}", at_500.len());
 
     // "Any trains there during the whole day around it?"
     let day = TimeInterval::new(488, 512);
-    let during_day = index.query(&window, &day);
+    let during_day = index
+        .query(&window, &day)
+        .expect("in-memory query cannot fail");
     println!(
         "trains near Chicago during hours [488, 512): {}",
         during_day.len()
@@ -69,7 +74,9 @@ fn main() {
         .expect("exists")
         .pos;
     let ca_window = Rect2::centered(la, 0.08, 0.14);
-    let ca_traffic = index.query(&ca_window, &day);
+    let ca_traffic = index
+        .query(&ca_window, &day)
+        .expect("in-memory query cannot fail");
     println!(
         "trains near Los Angeles during the same day: {}",
         ca_traffic.len()

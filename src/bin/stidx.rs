@@ -374,7 +374,7 @@ fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
         "planning splits for {} objects ({single} + {dist}, threads={threads})...",
         objects.len()
     );
-    let (index, stats) = SpatioTemporalIndex::build_from_objects(
+    let (mut index, stats) = SpatioTemporalIndex::build_from_objects(
         &objects,
         single,
         dist,
@@ -382,7 +382,8 @@ fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
         None,
         &IndexConfig::paper(backend),
         threads,
-    );
+    )
+    .map_err(|e| format!("building the index: {e}"))?;
     println!("build stats: {stats}");
     metrics.record_spans("stidx_build", &stats.spans());
     metrics.gauge(
@@ -396,8 +397,11 @@ fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
         index.num_pages() as f64,
     );
     let saved = match backend {
-        IndexBackend::PprTree => index.as_ppr().expect("ppr backend").save_to_file(&out),
-        IndexBackend::RStar => index.as_rstar().expect("rstar backend").save_to_file(&out),
+        IndexBackend::PprTree => index.as_ppr_mut().expect("ppr backend").save_to_file(&out),
+        IndexBackend::RStar => index
+            .as_rstar_mut()
+            .expect("rstar backend")
+            .save_to_file(&out),
     };
     saved.map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!("wrote {} pages to {}", index.num_pages(), out.display());
@@ -430,7 +434,8 @@ fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
                 tree.query_snapshot(&area, t, &mut out)
             } else {
                 tree.query_interval(&area, &range, &mut out)
-            };
+            }
+            .map_err(|e| format!("querying {}: {e}", path.display()))?;
             (out, qs)
         }
         IndexBackend::RStar => {
@@ -443,7 +448,9 @@ fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
                 f64::from(TIME_EXTENT),
             );
             let mut out = Vec::new();
-            let qs = tree.query(&q, &mut out);
+            let qs = tree
+                .query(&q, &mut out)
+                .map_err(|e| format!("querying {}: {e}", path.display()))?;
             (out, qs)
         }
     };
@@ -486,6 +493,7 @@ fn nearest(opts: &HashMap<String, String>) -> Result<(), String> {
             let mut tree = PprTree::open_file(&path)
                 .map_err(|e| format!("opening {}: {e}", path.display()))?;
             tree.nearest_at(point, t, k)
+                .map_err(|e| format!("querying {}: {e}", path.display()))?
         }
         IndexBackend::RStar => {
             // The R*-Tree has no aliveness notion: its kNN ranks by 3D

@@ -217,6 +217,19 @@ fn stats_describes_index_files_and_metrics_flag_writes_counters() {
         metrics.contains(&format!("stidx_query_disk_reads {reads}")),
         "metrics disagree with the printed read count {reads}:\n{metrics}"
     );
+    // The fault/retry counters from the storage layer ride along on
+    // every query; a healthy file-backed run pins them all at zero.
+    for counter in [
+        "stidx_query_io_retries",
+        "stidx_query_io_faults_injected",
+        "stidx_query_checksum_failures",
+    ] {
+        assert!(
+            metrics.contains(&format!("# TYPE {counter} counter"))
+                && metrics.contains(&format!("{counter} 0")),
+            "missing fault counter {counter}:\n{metrics}"
+        );
+    }
 
     // `.json` extension switches the serializer.
     let json = temp("stats.json");

@@ -28,8 +28,8 @@ fn build_all(records: &[spatiotemporal_index::core::ObjectRecord]) -> (PprTree, 
     for &(t, kind, i) in &events {
         let r = &records[i];
         if kind == 1 {
-            ppr.insert(r.id, r.stbox.rect, t);
-            hr.insert(r.id, r.stbox.rect, t);
+            ppr.insert(r.id, r.stbox.rect, t).unwrap();
+            hr.insert(r.id, r.stbox.rect, t).unwrap();
         } else {
             ppr.delete(r.id, r.stbox.rect, t).unwrap();
             hr.delete(r.id, r.stbox.rect, t).unwrap();
@@ -40,7 +40,7 @@ fn build_all(records: &[spatiotemporal_index::core::ObjectRecord]) -> (PprTree, 
         ..RStarParams::default()
     });
     for r in records {
-        rstar.insert(r.id, r.to_rect3(1000.0));
+        rstar.insert(r.id, r.to_rect3(1000.0)).unwrap();
     }
     (ppr, hr, rstar)
 }
@@ -65,8 +65,8 @@ fn all_three_structures_agree_everywhere() {
         // Snapshot agreement.
         let mut a = Vec::new();
         let mut b = Vec::new();
-        ppr.query_snapshot(&area, t, &mut a);
-        hr.query_snapshot(&area, t, &mut b);
+        ppr.query_snapshot(&area, t, &mut a).unwrap();
+        hr.query_snapshot(&area, t, &mut b).unwrap();
         a.sort_unstable();
         a.dedup();
         b.sort_unstable();
@@ -77,7 +77,7 @@ fn all_three_structures_agree_everywhere() {
             [area.lo.x, area.lo.y, f64::from(t) / 1000.0],
             [area.hi.x, area.hi.y, f64::from(t) / 1000.0],
         );
-        rstar.query(&q, &mut c);
+        rstar.query(&q, &mut c).unwrap();
         c.sort_unstable();
         c.dedup();
         assert_eq!(a, c, "PPR vs R* snapshot at t={t}");
@@ -86,8 +86,8 @@ fn all_three_structures_agree_everywhere() {
         let range = TimeInterval::new(t, t + 1 + (i % 13));
         let mut d = Vec::new();
         let mut e = Vec::new();
-        ppr.query_interval(&area, &range, &mut d);
-        hr.query_interval(&area, &range, &mut e);
+        ppr.query_interval(&area, &range, &mut d).unwrap();
+        hr.query_interval(&area, &range, &mut e).unwrap();
         d.sort_unstable();
         e.sort_unstable();
         assert_eq!(d, e, "PPR vs HR interval at {range}");
@@ -110,8 +110,8 @@ fn railway_stream_agreement() {
         let area = Rect2::from_bounds(0.0, 0.5, 0.3, 1.0); // around California
         let mut a = Vec::new();
         let mut b = Vec::new();
-        ppr.query_snapshot(&area, t, &mut a);
-        hr.query_snapshot(&area, t, &mut b);
+        ppr.query_snapshot(&area, t, &mut a).unwrap();
+        hr.query_snapshot(&area, t, &mut b).unwrap();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "t={t}");

@@ -9,9 +9,11 @@ use spatiotemporal_index::prelude::*;
 #[test]
 fn empty_record_set_builds_and_answers_nothing() {
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&[], &IndexConfig::paper(backend));
+        let mut idx = SpatioTemporalIndex::build(&[], &IndexConfig::paper(backend)).unwrap();
         assert_eq!(idx.record_count(), 0);
-        let hits = idx.query(&Rect2::UNIT, &TimeInterval::new(0, 1000));
+        let hits = idx
+            .query(&Rect2::UNIT, &TimeInterval::new(0, 1000))
+            .unwrap();
         assert!(hits.is_empty(), "{backend}");
     }
 }
@@ -58,11 +60,13 @@ fn single_instant_objects_index_fine() {
     let records = plan.records(&objects);
     assert_eq!(records.len(), 30);
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
-        let hits = idx.query(
-            &Rect2::from_bounds(0.0, 0.0, 0.3, 0.3),
-            &TimeInterval::instant(60),
-        );
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
+        let hits = idx
+            .query(
+                &Rect2::from_bounds(0.0, 0.0, 0.3, 0.3),
+                &TimeInterval::instant(60),
+            )
+            .unwrap();
         assert_eq!(hits, vec![2], "{backend}");
     }
 }
@@ -86,8 +90,10 @@ fn zero_extent_point_objects_work_end_to_end() {
     let records = unsplit_records(&objects);
     assert_eq!(total_volume(&records), 0.0, "points have zero volume");
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
-        let hits = idx.query(&Rect2::UNIT, &TimeInterval::instant(105));
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
+        let hits = idx
+            .query(&Rect2::UNIT, &TimeInterval::instant(105))
+            .unwrap();
         assert_eq!(hits.len(), 20, "{backend}");
     }
 }
@@ -119,8 +125,10 @@ fn whole_space_whole_time_query_returns_everything() {
     let objects = RandomDatasetSpec::paper(200).generate();
     let records = unsplit_records(&objects);
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
-        let hits = idx.query(&Rect2::UNIT, &TimeInterval::new(0, 1000));
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
+        let hits = idx
+            .query(&Rect2::UNIT, &TimeInterval::new(0, 1000))
+            .unwrap();
         assert_eq!(hits.len(), 200, "{backend}");
     }
 }
@@ -132,15 +140,19 @@ fn queries_outside_all_lifetimes_return_nothing() {
         .collect();
     let records = unsplit_records(&objects);
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
         assert!(idx
             .query(&Rect2::UNIT, &TimeInterval::new(0, 100))
+            .unwrap()
             .is_empty());
         assert!(idx
             .query(&Rect2::UNIT, &TimeInterval::new(120, 900))
+            .unwrap()
             .is_empty());
         assert_eq!(
-            idx.query(&Rect2::UNIT, &TimeInterval::new(119, 121)).len(),
+            idx.query(&Rect2::UNIT, &TimeInterval::new(119, 121))
+                .unwrap()
+                .len(),
             10
         );
     }

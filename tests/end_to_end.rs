@@ -80,9 +80,10 @@ fn every_algorithm_combination_yields_a_correct_index() {
             let records = plan.records(&objs);
             assert!((total_volume(&records) - plan.total_volume()).abs() < 1e-6);
             for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-                let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+                let mut idx =
+                    SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
                 for (area, range) in query_grid() {
-                    let got = idx.query(&area, &range);
+                    let got = idx.query(&area, &range).unwrap();
                     let want = brute_records(&records, &area, &range);
                     assert_eq!(got, want, "{single}/{dist}/{backend} at {range}");
                 }
@@ -105,9 +106,9 @@ fn indexes_never_miss_true_geometry_hits() {
     );
     let records = plan.records(&objs);
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend));
+        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
         for (area, range) in query_grid() {
-            let got = idx.query(&area, &range);
+            let got = idx.query(&area, &range).unwrap();
             for id in brute_geometry(&objs, &area, &range) {
                 assert!(got.contains(&id), "{backend} lost object {id} at {range}");
             }
@@ -130,11 +131,11 @@ fn splitting_only_removes_false_positives() {
     );
     let split = plan.records(&objs);
     let cfg = IndexConfig::paper(IndexBackend::PprTree);
-    let mut whole_idx = SpatioTemporalIndex::build(&whole, &cfg);
-    let mut split_idx = SpatioTemporalIndex::build(&split, &cfg);
+    let mut whole_idx = SpatioTemporalIndex::build(&whole, &cfg).unwrap();
+    let mut split_idx = SpatioTemporalIndex::build(&split, &cfg).unwrap();
     for (area, range) in query_grid() {
-        let broad = whole_idx.query(&area, &range);
-        let tight = split_idx.query(&area, &range);
+        let broad = whole_idx.query(&area, &range).unwrap();
+        let tight = split_idx.query(&area, &range).unwrap();
         for id in &tight {
             assert!(
                 broad.contains(id),
@@ -159,11 +160,13 @@ fn railway_pipeline_end_to_end() {
         None,
     );
     let records = plan.records(&trains);
-    let mut ppr = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree));
-    let mut rstar = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar));
+    let mut ppr =
+        SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree)).unwrap();
+    let mut rstar =
+        SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar)).unwrap();
     for (area, range) in query_grid() {
         let want = brute_records(&records, &area, &range);
-        assert_eq!(ppr.query(&area, &range), want, "PPR at {range}");
-        assert_eq!(rstar.query(&area, &range), want, "R* at {range}");
+        assert_eq!(ppr.query(&area, &range).unwrap(), want, "PPR at {range}");
+        assert_eq!(rstar.query(&area, &range).unwrap(), want, "R* at {range}");
     }
 }

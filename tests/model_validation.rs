@@ -9,14 +9,17 @@ use spatiotemporal_index::datagen::QuerySetSpec;
 use spatiotemporal_index::prelude::*;
 
 fn measured_io(records: &[spatiotemporal_index::core::ObjectRecord], queries: usize) -> f64 {
-    let mut idx = SpatioTemporalIndex::build(records, &IndexConfig::paper(IndexBackend::PprTree));
+    let mut idx =
+        SpatioTemporalIndex::build(records, &IndexConfig::paper(IndexBackend::PprTree)).unwrap();
     let mut spec = QuerySetSpec::small_snapshot();
     spec.cardinality = queries;
     let qs = spec.generate();
     let mut total = 0u64;
     for q in &qs {
         idx.reset_for_query();
-        let _ = idx.query(&q.area, &q.range);
+        let _ = idx
+            .query(&q.area, &q.range)
+            .expect("in-memory query cannot fail");
         total += idx.io_stats().reads;
     }
     total as f64 / qs.len() as f64
@@ -134,8 +137,8 @@ fn multiversion_storage_model_tracks_measurements() {
     for &(t, kind, i) in &events {
         let r = &records[i];
         if kind == 1 {
-            ppr.insert(r.id, r.stbox.rect, t);
-            hr.insert(r.id, r.stbox.rect, t);
+            ppr.insert(r.id, r.stbox.rect, t).unwrap();
+            hr.insert(r.id, r.stbox.rect, t).unwrap();
         } else {
             ppr.delete(r.id, r.stbox.rect, t).unwrap();
             hr.delete(r.id, r.stbox.rect, t).unwrap();

@@ -53,7 +53,7 @@ fn build_ppr(rng: &mut StdRng, n: u32) -> PprTree {
     let mut alive = Vec::new();
     for i in 0..n {
         let rect = random_rect2(rng);
-        tree.insert(u64::from(i), rect, i);
+        tree.insert(u64::from(i), rect, i).unwrap();
         alive.push((u64::from(i), rect));
         // Interleave deletions so several tree versions exist.
         if alive.len() > 4 && rng.random_bool(0.3) {
@@ -69,7 +69,7 @@ fn build_hr(rng: &mut StdRng, n: u32) -> HrTree {
     let mut alive = Vec::new();
     for i in 0..n {
         let rect = random_rect2(rng);
-        tree.insert(u64::from(i), rect, i);
+        tree.insert(u64::from(i), rect, i).unwrap();
         alive.push((u64::from(i), rect));
         if alive.len() > 4 && rng.random_bool(0.3) {
             let (id, r) = alive.swap_remove(rng.random_range(0..alive.len() - 1));
@@ -96,11 +96,11 @@ proptest! {
                 let mut out = Vec::new();
                 if rng.random_bool(0.5) {
                     let t = rng.random_range(0..horizon.max(1));
-                    total += tree.query_snapshot(&area, t, &mut out);
+                    total += tree.query_snapshot(&area, t, &mut out).unwrap();
                 } else {
                     let a = rng.random_range(0..horizon.max(1));
                     let b = rng.random_range(a..=horizon);
-                    total += tree.query_interval(&area, &TimeInterval::new(a, b + 1), &mut out);
+                    total += tree.query_interval(&area, &TimeInterval::new(a, b + 1), &mut out).unwrap();
                 }
             }
             assert_conserved("ppr", total, before, tree.io_stats());
@@ -121,11 +121,11 @@ proptest! {
                 let mut out = Vec::new();
                 if rng.random_bool(0.5) {
                     let t = rng.random_range(0..horizon.max(1));
-                    total += tree.query_snapshot(&area, t, &mut out);
+                    total += tree.query_snapshot(&area, t, &mut out).unwrap();
                 } else {
                     let a = rng.random_range(0..horizon.max(1));
                     let b = rng.random_range(a..=horizon);
-                    total += tree.query_interval(&area, &TimeInterval::new(a, b + 1), &mut out);
+                    total += tree.query_interval(&area, &TimeInterval::new(a, b + 1), &mut out).unwrap();
                 }
             }
             assert_conserved("hr", total, before, tree.io_stats());
@@ -143,7 +143,7 @@ proptest! {
                 rng.random::<f64>(),
             ];
             let hi = [lo[0] + 0.1, lo[1] + 0.1, lo[2] + 0.1];
-            tree.insert(id, Rect3::new(lo, hi));
+            tree.insert(id, Rect3::new(lo, hi)).unwrap();
         }
         for capacity in BUFFER_CAPACITIES {
             tree.set_buffer_capacity(capacity);
@@ -157,7 +157,7 @@ proptest! {
                 ];
                 let hi = [lo[0] + 0.3, lo[1] + 0.3, lo[2] + 0.3];
                 let mut out = Vec::new();
-                total += tree.query(&Rect3::new(lo, hi), &mut out);
+                total += tree.query(&Rect3::new(lo, hi), &mut out).unwrap();
             }
             assert_conserved("rstar", total, before, tree.io_stats());
         }

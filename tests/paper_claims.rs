@@ -18,7 +18,9 @@ fn avg_io(idx: &mut SpatioTemporalIndex, queries: &[spatiotemporal_index::datage
     let mut total = 0;
     for q in queries {
         idx.reset_for_query();
-        let _ = idx.query(&q.area, &q.range);
+        let _ = idx
+            .query(&q.area, &q.range)
+            .expect("in-memory query cannot fail");
         total += idx.io_stats().reads;
     }
     total as f64 / queries.len() as f64
@@ -50,8 +52,8 @@ fn splits_help_the_pprtree() {
     let objs = dataset(3000);
     let qs = queries(QuerySetSpec::small_range(), 150);
     let cfg = IndexConfig::paper(IndexBackend::PprTree);
-    let mut unsplit = SpatioTemporalIndex::build(&records_at(&objs, 0.0), &cfg);
-    let mut split = SpatioTemporalIndex::build(&records_at(&objs, 150.0), &cfg);
+    let mut unsplit = SpatioTemporalIndex::build(&records_at(&objs, 0.0), &cfg).unwrap();
+    let mut split = SpatioTemporalIndex::build(&records_at(&objs, 150.0), &cfg).unwrap();
     let io_unsplit = avg_io(&mut unsplit, &qs);
     let io_split = avg_io(&mut split, &qs);
     assert!(
@@ -68,11 +70,13 @@ fn pprtree_beats_rstar() {
     let mut ppr = SpatioTemporalIndex::build(
         &records_at(&objs, 150.0),
         &IndexConfig::paper(IndexBackend::PprTree),
-    );
+    )
+    .unwrap();
     let mut rstar = SpatioTemporalIndex::build(
         &records_at(&objs, 1.0),
         &IndexConfig::paper(IndexBackend::RStar),
-    );
+    )
+    .unwrap();
     for spec in [QuerySetSpec::small_range(), QuerySetSpec::mixed_snapshot()] {
         let name = spec.name;
         let qs = queries(spec, 150);
@@ -100,8 +104,8 @@ fn piecewise_is_worse_than_budgeted_splits() {
         "piecewise split budget should be ≈400%, got {pct:.0}%"
     );
     let cfg = IndexConfig::paper(IndexBackend::RStar);
-    let mut pw = SpatioTemporalIndex::build(&piecewise, &cfg);
-    let mut budgeted = SpatioTemporalIndex::build(&records_at(&objs, 1.0), &cfg);
+    let mut pw = SpatioTemporalIndex::build(&piecewise, &cfg).unwrap();
+    let mut budgeted = SpatioTemporalIndex::build(&records_at(&objs, 1.0), &cfg).unwrap();
     let qs = queries(QuerySetSpec::mixed_snapshot(), 150);
     let pw_io = avg_io(&mut pw, &qs);
     let budgeted_io = avg_io(&mut budgeted, &qs);
@@ -118,8 +122,10 @@ fn piecewise_is_worse_than_budgeted_splits() {
 fn pprtree_costs_more_space() {
     let objs = dataset(2000);
     let records = records_at(&objs, 50.0);
-    let ppr = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree));
-    let rstar = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar));
+    let ppr =
+        SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree)).unwrap();
+    let rstar =
+        SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar)).unwrap();
     let ratio = ppr.num_pages() as f64 / rstar.num_pages() as f64;
     assert!(
         (1.2..=4.0).contains(&ratio),
@@ -196,8 +202,8 @@ fn snapshot_io_independent_of_history_length() {
     let long = dataset(4000);
     let qs = queries(QuerySetSpec::small_snapshot(), 100);
     let cfg = IndexConfig::paper(IndexBackend::PprTree);
-    let mut short_idx = SpatioTemporalIndex::build(&unsplit_records(&short), &cfg);
-    let mut long_idx = SpatioTemporalIndex::build(&unsplit_records(&long), &cfg);
+    let mut short_idx = SpatioTemporalIndex::build(&unsplit_records(&short), &cfg).unwrap();
+    let mut long_idx = SpatioTemporalIndex::build(&unsplit_records(&long), &cfg).unwrap();
     let io_short = avg_io(&mut short_idx, &qs);
     let io_long = avg_io(&mut long_idx, &qs);
     // 4x the objects per instant costs well under 4x the I/O (log-ish

@@ -40,7 +40,7 @@ fn pprtree_survives_a_round_trip() {
     events.sort_unstable();
     for (t, kind, i) in events {
         if kind == 1 {
-            tree.insert(recs[i].id, recs[i].stbox.rect, t);
+            tree.insert(recs[i].id, recs[i].stbox.rect, t).unwrap();
         } else {
             tree.delete(recs[i].id, recs[i].stbox.rect, t).unwrap();
         }
@@ -60,16 +60,16 @@ fn pprtree_survives_a_round_trip() {
         let area = Rect2::from_bounds(0.2, 0.2, 0.7, 0.7);
         let mut a = Vec::new();
         let mut b = Vec::new();
-        tree.query_snapshot(&area, t, &mut a);
-        back.query_snapshot(&area, t, &mut b);
+        tree.query_snapshot(&area, t, &mut a).unwrap();
+        back.query_snapshot(&area, t, &mut b).unwrap();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "snapshot at {t}");
         let mut c = Vec::new();
         let mut d = Vec::new();
         let range = TimeInterval::new(t, t + 40);
-        tree.query_interval(&area, &range, &mut c);
-        back.query_interval(&area, &range, &mut d);
+        tree.query_interval(&area, &range, &mut c).unwrap();
+        back.query_interval(&area, &range, &mut d).unwrap();
         c.sort_unstable();
         d.sort_unstable();
         assert_eq!(c, d, "interval at {t}");
@@ -78,18 +78,19 @@ fn pprtree_survives_a_round_trip() {
     // I/O accounting still behaves after loading.
     back.reset_for_query();
     let mut out = Vec::new();
-    back.query_snapshot(&Rect2::UNIT, 500, &mut out);
+    back.query_snapshot(&Rect2::UNIT, 500, &mut out).unwrap();
     assert!(back.io_stats().reads > 0);
 }
 
 #[test]
 fn rstar_survives_a_round_trip() {
     let recs = records();
-    let mut idx = SpatioTemporalIndex::build(&recs, &IndexConfig::paper(IndexBackend::RStar));
+    let mut idx =
+        SpatioTemporalIndex::build(&recs, &IndexConfig::paper(IndexBackend::RStar)).unwrap();
     // Rebuild a raw tree the same way the facade does, then persist it.
     let mut tree = RStarTree::new(Default::default());
     for r in &recs {
-        tree.insert(r.id, r.to_rect3(1000.0));
+        tree.insert(r.id, r.to_rect3(1000.0)).unwrap();
     }
     let path = temp("rstar");
     tree.save_to_file(&path).expect("save");
@@ -107,13 +108,13 @@ fn rstar_survives_a_round_trip() {
         );
         let mut a = Vec::new();
         let mut b = Vec::new();
-        tree.query(&q, &mut a);
-        back.query(&q, &mut b);
+        tree.query(&q, &mut a).unwrap();
+        back.query(&q, &mut b).unwrap();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "query at {t}");
         // And the loaded tree agrees with the facade-built index.
-        let mut facade = idx.query(&area, &TimeInterval::instant(t));
+        let mut facade = idx.query(&area, &TimeInterval::instant(t)).unwrap();
         facade.sort_unstable();
         b.sort_unstable();
         b.dedup();
@@ -142,7 +143,7 @@ fn backend_mismatch_is_a_clean_error() {
     events.sort_unstable();
     for (t, kind, i) in events {
         if kind == 1 {
-            ppr.insert(recs[i].id, recs[i].stbox.rect, t);
+            ppr.insert(recs[i].id, recs[i].stbox.rect, t).unwrap();
         } else {
             ppr.delete(recs[i].id, recs[i].stbox.rect, t).unwrap();
         }
@@ -181,7 +182,7 @@ fn corrupted_index_files_fail_closed() {
         Rect2::from_bounds(x, y, x + 0.02, y + 0.02)
     };
     for i in 0..120u64 {
-        tree.insert(i, rect_for(i), i as u32 / 4);
+        tree.insert(i, rect_for(i), i as u32 / 4).unwrap();
     }
     for i in (0..120u64).step_by(3) {
         tree.delete(i, rect_for(i), 31 + i as u32 / 4).unwrap();
@@ -213,17 +214,23 @@ fn corrupted_index_files_fail_closed() {
     std::fs::write(&path, &bad).unwrap();
     assert!(PprTree::open_file(&path).is_err(), "garbage meta must fail");
 
-    // Shred the page region (the trailing pages): the loader cannot
-    // detect this, but the sanitizer reports instead of panicking.
+    // Shred the page region (the trailing pages): the per-page
+    // checksums catch this at open time — the loader fails closed
+    // before the sanitizer ever has to look at the tree.
     let mut bad = pristine.clone();
     let tail = bad.len() - 2 * PAGE_SIZE;
     for b in bad.iter_mut().skip(tail) {
         *b = 0xFF;
     }
     std::fs::write(&path, &bad).unwrap();
-    let back = PprTree::open_file(&path).expect("page damage is invisible to the loader");
-    let violations = check::validate(&back).expect_err("sanitizer must catch shredded pages");
-    assert!(!violations.is_empty());
+    let err = match PprTree::open_file(&path) {
+        Err(e) => e,
+        Ok(_) => panic!("shredded pages must fail the checksum"),
+    };
+    assert!(
+        err.to_string().contains("checksum"),
+        "page damage should be a checksum error: {err}"
+    );
 
     // And the pristine bytes still round-trip cleanly.
     std::fs::write(&path, &pristine).unwrap();

@@ -52,7 +52,7 @@ fn extinction_and_rebirth_eras() {
                 0.3 + 0.01 * (i / 6) as f64,
                 0.015,
             );
-            tree.insert(next_id, r, t0 + i as u32 / 10);
+            tree.insert(next_id, r, t0 + i as u32 / 10).unwrap();
             shadow
                 .records
                 .push((next_id, r, t0 + i as u32 / 10, u32::MAX));
@@ -97,7 +97,7 @@ fn extinction_and_rebirth_eras() {
             Rect2::from_bounds(0.8, 0.8, 0.9, 0.9),
         ] {
             let mut got = Vec::new();
-            tree.query_snapshot(&area, t, &mut got);
+            tree.query_snapshot(&area, t, &mut got).unwrap();
             got.sort_unstable();
             assert_eq!(got, shadow.snapshot(&area, t), "t={t}");
         }
@@ -117,7 +117,7 @@ fn long_lived_records_survive_churn() {
     let mut tree = PprTree::new(params);
     // Ten immortal anchors spread over space.
     for i in 0..10u64 {
-        tree.insert(i, rect(0.09 * i as f64, 0.5, 0.02), 0);
+        tree.insert(i, rect(0.09 * i as f64, 0.5, 0.02), 0).unwrap();
     }
     // 500 churners near the anchors.
     let mut id = 100u64;
@@ -125,7 +125,7 @@ fn long_lived_records_survive_churn() {
         let t = 1 + round * 3;
         for j in 0..5u64 {
             let r = rect(0.09 * ((id + j) % 10) as f64, 0.5, 0.02);
-            tree.insert(id + j, r, t);
+            tree.insert(id + j, r, t).unwrap();
         }
         for j in 0..5u64 {
             let r = rect(0.09 * ((id + j) % 10) as f64, 0.5, 0.02);
@@ -138,13 +138,14 @@ fn long_lived_records_survive_churn() {
     // All ten anchors alive at every probed instant.
     for t in (0..300).step_by(23) {
         let mut got = Vec::new();
-        tree.query_snapshot(&Rect2::UNIT, t, &mut got);
+        tree.query_snapshot(&Rect2::UNIT, t, &mut got).unwrap();
         let anchors = got.iter().filter(|&&i| i < 10).count();
         assert_eq!(anchors, 10, "t={t}");
     }
     // Interval query over everything reports each anchor once.
     let mut got = Vec::new();
-    tree.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 400), &mut got);
+    tree.query_interval(&Rect2::UNIT, &TimeInterval::new(0, 400), &mut got)
+        .unwrap();
     let mut anchors: Vec<u64> = got.into_iter().filter(|&i| i < 10).collect();
     anchors.sort_unstable();
     assert_eq!(anchors, (0..10).collect::<Vec<u64>>());
@@ -164,7 +165,8 @@ fn root_log_invariants_under_heavy_load() {
             i,
             rect((i % 40) as f64 * 0.024, (i % 25) as f64 * 0.039, 0.02),
             (i / 2) as u32,
-        );
+        )
+        .unwrap();
     }
     for i in 0..1000u64 {
         tree.delete(
