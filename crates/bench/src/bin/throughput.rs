@@ -1,0 +1,175 @@
+//! Concurrent query throughput over one shared index.
+//!
+//! The paper's figures reset the buffer before every query to reproduce
+//! §V's cold-cache methodology; this bench does the opposite. It keeps
+//! one index (and its sharded buffer pool) shared and warm, fans the
+//! whole query set across worker threads with
+//! [`SpatioTemporalIndex::query_batch_with_stats`], and reports queries
+//! per second as the thread count grows.
+//!
+//! Every parallel pass is self-checked against the sequential baseline:
+//! result sets must be byte-identical (determinism) and the summed
+//! per-query [`sti_obs::QueryStats`] must equal the global I/O counter
+//! delta (conservation). A run that breaks either aborts loudly — a
+//! throughput number from a wrong answer is worse than no number.
+//!
+//! `--threads=N` sets the widest fan-out measured (a 1..=N power-of-two
+//! ladder is swept); `--json` writes `BENCH_throughput.json` for the
+//! CI perf gate. Only the sequential profile is exact-gated — parallel
+//! hit/miss attribution depends on scheduling, so the gate checks
+//! parallel rows by wall-time tolerance alone.
+
+use sti_bench::{
+    build_index, random_dataset, series, split_records, timed, BenchReport, IoProfile, Scale,
+};
+use sti_core::{
+    DistributionAlgorithm, IndexBackend, Parallelism, QueryRequest, SingleSplitAlgorithm,
+    SpatioTemporalIndex, SplitBudget,
+};
+use sti_datagen::QuerySetSpec;
+use sti_obs::QueryStats;
+
+/// Power-of-two thread ladder from 1 up to (and always including) `max`.
+fn ladder(max: usize) -> Vec<usize> {
+    let mut steps = vec![1usize];
+    let mut w = 2;
+    while w < max {
+        steps.push(w);
+        w *= 2;
+    }
+    if max > 1 {
+        steps.push(max);
+    }
+    steps
+}
+
+/// Sorted per-query id sets, for determinism comparison.
+fn id_sets(outcomes: &[sti_core::QueryOutcome]) -> Vec<Vec<u64>> {
+    outcomes
+        .iter()
+        .map(|o| o.as_ref().expect("in-memory query cannot fail").0.clone())
+        .collect()
+}
+
+fn batch_stats(outcomes: &[sti_core::QueryOutcome]) -> Vec<QueryStats> {
+    outcomes
+        .iter()
+        .map(|o| o.as_ref().expect("in-memory query cannot fail").1)
+        .collect()
+}
+
+/// Run one backend's sweep; returns (table rows, sequential profile).
+fn sweep(
+    index: &mut SpatioTemporalIndex,
+    label: &str,
+    requests: &[QueryRequest],
+    threads: &[usize],
+) -> (Vec<Vec<String>>, IoProfile) {
+    // One shard per worker at the widest fan-out, fixed for the whole
+    // sweep so the eviction behavior (and the gated sequential profile)
+    // does not depend on which ladder step is running.
+    let max_workers = *threads.iter().max().unwrap_or(&1);
+    index.set_buffer_shards(max_workers);
+
+    let (baseline, base_secs) =
+        timed(|| index.query_batch_with_stats(requests, Parallelism::Sequential));
+    let expected = id_sets(&baseline);
+    let seq_profile = IoProfile::from_stats(&batch_stats(&baseline), base_secs);
+
+    let mut rows = Vec::new();
+    for &workers in threads {
+        let before = index.io_stats();
+        let (outcomes, secs) =
+            timed(|| index.query_batch_with_stats(requests, Parallelism::fixed(workers)));
+        let after = index.io_stats();
+
+        // Self-check 1: thread count must never change an answer.
+        assert_eq!(
+            id_sets(&outcomes),
+            expected,
+            "{label}: parallel results diverged from sequential at {workers} threads"
+        );
+        // Self-check 2: per-query attribution must sum to the global
+        // counter movement even under concurrency.
+        let total: QueryStats = batch_stats(&outcomes).iter().copied().sum();
+        assert_eq!(
+            total.disk_reads,
+            after.reads - before.reads,
+            "{label}: disk-read conservation broke at {workers} threads"
+        );
+        assert_eq!(
+            total.buffer_hits,
+            after.buffer_hits - before.buffer_hits,
+            "{label}: buffer-hit conservation broke at {workers} threads"
+        );
+
+        let qps = requests.len() as f64 / secs.max(1e-9);
+        rows.push(vec![
+            label.to_string(),
+            workers.to_string(),
+            format!("{secs:.4}"),
+            format!("{qps:.0}"),
+            format!("{:.2}x", base_secs / secs.max(1e-9)),
+        ]);
+    }
+    (rows, seq_profile)
+}
+
+fn main() {
+    let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    let mut report = BenchReport::new("throughput", &scale);
+    let n = scale.sizes[0];
+    let objects = random_dataset(n);
+    let records = split_records(
+        &objects,
+        SingleSplitAlgorithm::MergeSplit,
+        DistributionAlgorithm::LaGreedy,
+        SplitBudget::Percent(10.0),
+    );
+    let mut spec = QuerySetSpec::small_range();
+    spec.cardinality = scale.queries;
+    let requests: Vec<QueryRequest> = spec
+        .generate()
+        .iter()
+        .map(|q| QueryRequest {
+            area: q.area,
+            range: q.range,
+        })
+        .collect();
+
+    let threads = ladder(scale.threads.workers());
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    let mut profiles = Vec::new();
+    for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+        let mut index = build_index(&records, backend);
+        let label = match backend {
+            IndexBackend::PprTree => "ppr",
+            IndexBackend::RStar => "rstar",
+        };
+        let (backend_rows, seq_profile) = sweep(&mut index, label, &requests, &threads);
+        rows.extend(backend_rows);
+        profiles.push(series("seq", label, seq_profile));
+    }
+
+    report.table_with_profiles(
+        &format!(
+            "Query throughput — {} random dataset, {} queries, shared warm buffer \
+             (host has {host} hardware threads)",
+            Scale::label(n),
+            requests.len(),
+        ),
+        &["Backend", "Threads", "Wall (s)", "QPS", "Speedup"],
+        &rows,
+        profiles,
+    );
+    report.note("host_threads", sti_obs::JsonValue::UInt(host as u64));
+    println!(
+        "\nself-checks passed: parallel results byte-identical to sequential, \
+         per-query stats conserved"
+    );
+    report.finish();
+}

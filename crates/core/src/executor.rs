@@ -1,0 +1,199 @@
+//! Parallel query execution over one shared index.
+//!
+//! Queries take `&self` all the way down (tree → page store → sharded
+//! buffer), so a single [`SpatioTemporalIndex`] can serve many reader
+//! threads at once: the only coordination is the buffer pool's lock
+//! shards. [`QueryExecutor`] packages that capability: it fans a batch
+//! of [`QueryRequest`]s across [`map_chunked`] workers and reassembles
+//! the per-query outcomes **in request order**, so for every
+//! [`Parallelism`] setting the output is byte-identical to running the
+//! batch sequentially (the property `tests/concurrent_queries.rs` pins).
+//!
+//! Per-query [`QueryStats`] are attributed through thread-local
+//! [`sti_storage::ReadProbe`]s rather than global counter snapshots, so
+//! summing the outcomes of a concurrent batch still reconciles exactly
+//! with the store's global [`sti_storage::IoStats`] delta.
+
+use crate::index::SpatioTemporalIndex;
+use crate::parallel::{map_chunked, Parallelism};
+use sti_geom::{Rect2, TimeInterval};
+use sti_obs::QueryStats;
+use sti_storage::StorageError;
+
+/// One topological query in a batch: ids of objects intersecting `area`
+/// at any instant of `range`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRequest {
+    /// Spatial window.
+    pub area: Rect2,
+    /// Temporal window (must be non-empty, like
+    /// [`SpatioTemporalIndex::query`]).
+    pub range: TimeInterval,
+}
+
+impl QueryRequest {
+    /// A snapshot request: the single instant `t`.
+    pub fn snapshot(area: Rect2, t: sti_geom::Time) -> Self {
+        Self {
+            area,
+            range: TimeInterval::new(t, t + 1),
+        }
+    }
+}
+
+/// The outcome of one query in a batch: the de-duplicated, sorted result
+/// ids plus the per-query I/O attribution, or the typed storage error
+/// that aborted it. Errors are per-query — one failing read never
+/// poisons its batch siblings.
+pub type QueryOutcome = Result<(Vec<u64>, QueryStats), StorageError>;
+
+/// Fans query batches across worker threads with deterministic output.
+///
+/// Stateless apart from its [`Parallelism`] setting; cheap to copy.
+/// Results always come back in request order, so changing the worker
+/// count can never change what a caller observes (only how fast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryExecutor {
+    parallelism: Parallelism,
+}
+
+impl QueryExecutor {
+    /// An executor with the given worker setting.
+    pub fn new(parallelism: Parallelism) -> Self {
+        Self { parallelism }
+    }
+
+    /// The single-threaded baseline every other setting must match.
+    pub fn sequential() -> Self {
+        Self::new(Parallelism::Sequential)
+    }
+
+    /// The worker count this executor resolves to on this machine.
+    pub fn workers(&self) -> usize {
+        self.parallelism.workers()
+    }
+
+    /// Run every request against one shared index, returning one
+    /// [`QueryOutcome`] per request, in request order.
+    ///
+    /// # Panics
+    /// If a request's `range` is empty (the same caller contract as
+    /// [`SpatioTemporalIndex::query`]); worker panics propagate to the
+    /// caller after all workers have been joined.
+    pub fn run(&self, index: &SpatioTemporalIndex, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+        self.run_with(requests, |req| {
+            index.query_with_stats(&req.area, &req.range)
+        })
+    }
+
+    /// Fan any per-item query closure across the executor's workers,
+    /// collecting results in input order. The generalization behind
+    /// [`QueryExecutor::run`]: benches use it to drive raw trees or the
+    /// hybrid index with the same scheduling.
+    pub fn run_with<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        map_chunked(items, self.parallelism, |_, item| f(item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexBackend, IndexConfig};
+    use crate::plan::unsplit_records;
+    use sti_geom::Point2;
+    use sti_trajectory::RasterizedObject;
+
+    fn build(backend: IndexBackend) -> SpatioTemporalIndex {
+        let objects: Vec<RasterizedObject> = (0..40u64)
+            .map(|id| {
+                let start = ((id * 17) % 600) as u32;
+                let rects = (0..30)
+                    .map(|i| {
+                        let x = 0.05 + 0.85 * ((id as f64 / 40.0) + 0.01 * f64::from(i)).fract();
+                        Rect2::centered(Point2::new(x, 0.5), 0.03, 0.03)
+                    })
+                    .collect();
+                RasterizedObject::new(id, start, rects)
+            })
+            .collect();
+        let records = unsplit_records(&objects);
+        SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap()
+    }
+
+    fn requests() -> Vec<QueryRequest> {
+        (0..25u32)
+            .map(|i| {
+                let x = 0.1 + 0.03 * f64::from(i);
+                let t = 20 * i;
+                QueryRequest {
+                    area: Rect2::from_bounds(x.min(0.8), 0.3, (x + 0.15).min(0.99), 0.7),
+                    range: TimeInterval::new(t, t + 1 + 10 * (i % 4)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_outcomes_match_sequential_exactly() {
+        for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+            let index = build(backend);
+            let reqs = requests();
+            let baseline = QueryExecutor::sequential().run(&index, &reqs);
+            for workers in [2usize, 3, 8] {
+                let got = QueryExecutor::new(Parallelism::fixed(workers)).run(&index, &reqs);
+                assert_eq!(got.len(), baseline.len());
+                for (g, b) in got.iter().zip(&baseline) {
+                    let (g_ids, _) = g.as_ref().unwrap();
+                    let (b_ids, _) = b.as_ref().unwrap();
+                    assert_eq!(
+                        g_ids, b_ids,
+                        "{backend}: results must not depend on workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_stats_sum_to_the_global_io_delta() {
+        for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
+            let index = build(backend);
+            let reqs = requests();
+            let before = index.io_stats();
+            let outcomes = QueryExecutor::new(Parallelism::fixed(4)).run(&index, &reqs);
+            let after = index.io_stats();
+            let (mut reads, mut hits) = (0u64, 0u64);
+            for o in &outcomes {
+                let (_, stats) = o.as_ref().unwrap();
+                reads += stats.disk_reads;
+                hits += stats.buffer_hits;
+            }
+            assert_eq!(reads, after.reads - before.reads, "{backend}: disk reads");
+            assert_eq!(
+                hits,
+                after.buffer_hits - before.buffer_hits,
+                "{backend}: buffer hits"
+            );
+        }
+    }
+
+    #[test]
+    fn run_with_preserves_input_order() {
+        let exec = QueryExecutor::new(Parallelism::fixed(5));
+        let items: Vec<u32> = (0..57).collect();
+        let got = exec.run_with(&items, |&x| x * 2);
+        assert_eq!(got, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn snapshot_constructor_is_a_single_instant() {
+        let r = QueryRequest::snapshot(Rect2::from_bounds(0.0, 0.0, 1.0, 1.0), 42);
+        assert_eq!(r.range, TimeInterval::new(42, 43));
+        assert_eq!(r.range.len(), 1);
+    }
+}

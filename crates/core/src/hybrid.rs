@@ -12,6 +12,7 @@
 
 use crate::index::{IndexBackend, IndexConfig, SpatioTemporalIndex};
 use crate::plan::ObjectRecord;
+use std::sync::atomic::{AtomicU64, Ordering};
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_pprtree::PprParams;
 use sti_rstar::RStarParams;
@@ -48,8 +49,10 @@ pub struct HybridIndex {
     ppr: SpatioTemporalIndex,
     rstar: SpatioTemporalIndex,
     threshold: u32,
-    short_queries: u64,
-    long_queries: u64,
+    // Atomic so routing stays observable from `&self` queries running
+    // concurrently (relaxed: counters only, no ordering dependencies).
+    short_queries: AtomicU64,
+    long_queries: AtomicU64,
 }
 
 impl HybridIndex {
@@ -81,8 +84,8 @@ impl HybridIndex {
             ppr,
             rstar,
             threshold: config.duration_threshold,
-            short_queries: 0,
-            long_queries: 0,
+            short_queries: AtomicU64::new(0),
+            long_queries: AtomicU64::new(0),
         })
     }
 
@@ -91,7 +94,7 @@ impl HybridIndex {
     ///
     /// # Errors
     /// A [`StorageError`] if the routed component's page reads fail.
-    pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Result<Vec<u64>, StorageError> {
+    pub fn query(&self, area: &Rect2, range: &TimeInterval) -> Result<Vec<u64>, StorageError> {
         Ok(self.query_with_stats(area, range)?.0)
     }
 
@@ -102,27 +105,27 @@ impl HybridIndex {
     /// A [`StorageError`] if the routed component's page reads fail.
     /// The routing counters still record the attempt.
     pub fn query_with_stats(
-        &mut self,
+        &self,
         area: &Rect2,
         range: &TimeInterval,
     ) -> Result<(Vec<u64>, sti_obs::QueryStats), StorageError> {
         if range.len() < u64::from(self.threshold) {
-            self.short_queries += 1;
+            self.short_queries.fetch_add(1, Ordering::Relaxed);
             self.ppr.query_with_stats(area, range)
         } else {
-            self.long_queries += 1;
+            self.long_queries.fetch_add(1, Ordering::Relaxed);
             self.rstar.query_with_stats(area, range)
         }
     }
 
     /// Queries routed to the PPR-Tree so far.
     pub fn short_queries(&self) -> u64 {
-        self.short_queries
+        self.short_queries.load(Ordering::Relaxed)
     }
 
     /// Queries routed to the R\*-Tree so far.
     pub fn long_queries(&self) -> u64 {
-        self.long_queries
+        self.long_queries.load(Ordering::Relaxed)
     }
 
     /// Combined disk footprint (the price of hybridization).
@@ -173,10 +176,9 @@ mod tests {
     #[test]
     fn routes_by_duration_and_agrees_with_components() {
         let records = unsplit_records(&dataset());
-        let mut hybrid = HybridIndex::build(&records, &HybridConfig::default()).unwrap();
-        let mut ppr =
-            SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree))
-                .unwrap();
+        let hybrid = HybridIndex::build(&records, &HybridConfig::default()).unwrap();
+        let ppr = SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree))
+            .unwrap();
         let area = Rect2::from_bounds(0.2, 0.4, 0.7, 0.6);
 
         let short = TimeInterval::new(100, 105);
@@ -208,7 +210,7 @@ mod tests {
     #[test]
     fn threshold_one_always_uses_rstar() {
         let records = unsplit_records(&dataset());
-        let mut hybrid = HybridIndex::build(
+        let hybrid = HybridIndex::build(
             &records,
             &HybridConfig {
                 duration_threshold: 1,

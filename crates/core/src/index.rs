@@ -276,13 +276,24 @@ impl SpatioTemporalIndex {
         }
     }
 
+    /// Re-stripe the backend's buffer pool across `shards` lock shards
+    /// (clears residency, preserves counters). One shard — the default —
+    /// reproduces the paper's single LRU exactly; more shards reduce
+    /// lock contention between concurrent `&self` queries.
+    pub fn set_buffer_shards(&mut self, shards: usize) {
+        match &mut self.backend {
+            Backend::Ppr(t) => t.set_buffer_shards(shards),
+            Backend::RStar { tree, .. } => tree.set_buffer_shards(shards),
+        }
+    }
+
     /// Answer a topological query: ids of objects intersecting `area`
     /// at any instant of `range`, de-duplicated and sorted.
     ///
     /// # Errors
     /// A [`StorageError`] if a page read fails after retries; the index
     /// is unchanged (queries are read-only).
-    pub fn query(&mut self, area: &Rect2, range: &TimeInterval) -> Result<Vec<u64>, StorageError> {
+    pub fn query(&self, area: &Rect2, range: &TimeInterval) -> Result<Vec<u64>, StorageError> {
         Ok(self.query_with_stats(area, range)?.0)
     }
 
@@ -294,13 +305,13 @@ impl SpatioTemporalIndex {
     /// # Errors
     /// A [`StorageError`] if a page read fails after retries.
     pub fn query_with_stats(
-        &mut self,
+        &self,
         area: &Rect2,
         range: &TimeInterval,
     ) -> Result<(Vec<u64>, QueryStats), StorageError> {
         assert!(!range.is_empty(), "empty query range");
         let mut out = Vec::new();
-        let mut stats = match &mut self.backend {
+        let mut stats = match &self.backend {
             Backend::Ppr(t) => {
                 if range.len() == 1 {
                     t.query_snapshot(area, range.start, &mut out)?
@@ -316,6 +327,24 @@ impl SpatioTemporalIndex {
         out.dedup();
         stats.results = out.len() as u64;
         Ok((out, stats))
+    }
+
+    /// Answer a batch of queries, fanned across `parallelism` worker
+    /// threads over this one shared index (queries are `&self` end to
+    /// end). Outcomes come back in request order and are byte-identical
+    /// for every `parallelism` setting; each query's [`QueryStats`] is
+    /// attributed to that query alone, so the batch sum reconciles with
+    /// the global [`IoStats`] delta even under concurrency.
+    ///
+    /// # Panics
+    /// If any request's `range` is empty (the
+    /// [`SpatioTemporalIndex::query`] caller contract).
+    pub fn query_batch_with_stats(
+        &self,
+        requests: &[crate::executor::QueryRequest],
+        parallelism: crate::parallel::Parallelism,
+    ) -> Vec<crate::executor::QueryOutcome> {
+        crate::executor::QueryExecutor::new(parallelism).run(self, requests)
     }
 }
 
@@ -427,7 +456,7 @@ mod tests {
         let objs = dataset();
         let records = unsplit_records(&objs);
         for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-            let mut idx = SpatioTemporalIndex::build(&records, &small_config(backend)).unwrap();
+            let idx = SpatioTemporalIndex::build(&records, &small_config(backend)).unwrap();
             for (cx, cy, t) in [(0.3, 0.3, 100u32), (0.7, 0.2, 400), (0.1, 0.9, 750)] {
                 let area = Rect2::from_bounds(cx, cy, cx + 0.2, cy + 0.08);
                 let range = TimeInterval::new(t, t + 1);
@@ -452,9 +481,9 @@ mod tests {
             None,
         );
         let records = plan.records(&objs);
-        let mut ppr =
+        let ppr =
             SpatioTemporalIndex::build(&records, &small_config(IndexBackend::PprTree)).unwrap();
-        let mut rstar =
+        let rstar =
             SpatioTemporalIndex::build(&records, &small_config(IndexBackend::RStar)).unwrap();
 
         let brute = |area: &Rect2, range: &TimeInterval| -> Vec<u64> {
@@ -491,7 +520,7 @@ mod tests {
             Some(8),
         );
         let records = plan.records(&objs);
-        let mut idx =
+        let idx =
             SpatioTemporalIndex::build(&records, &small_config(IndexBackend::PprTree)).unwrap();
         for t in (0..900).step_by(97) {
             let area = Rect2::from_bounds(0.2, 0.2, 0.6, 0.6);
@@ -524,8 +553,7 @@ mod tests {
     fn rejects_empty_range() {
         let objs = dataset();
         let records = unsplit_records(&objs);
-        let mut idx =
-            SpatioTemporalIndex::build(&records, &small_config(IndexBackend::RStar)).unwrap();
+        let idx = SpatioTemporalIndex::build(&records, &small_config(IndexBackend::RStar)).unwrap();
         let _ = idx.query(&Rect2::UNIT, &TimeInterval::new(5, 5));
     }
 }

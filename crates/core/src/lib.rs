@@ -15,6 +15,7 @@
 //!    persistent R-Tree or the 3D R\*-Tree baseline.
 
 pub mod curve;
+pub mod executor;
 pub mod hybrid;
 pub mod index;
 pub mod multi;
@@ -26,6 +27,7 @@ pub mod tuning;
 mod util;
 
 pub use curve::VolumeCurve;
+pub use executor::{QueryExecutor, QueryOutcome, QueryRequest};
 pub use hybrid::{HybridConfig, HybridIndex};
 pub use index::{BuildStats, IndexBackend, IndexConfig, SpatioTemporalIndex};
 pub use multi::{DistributionAlgorithm, SplitAllocation};

@@ -839,7 +839,7 @@ mod tests {
         // only a prefix is queryable mid-stream; sealing finishes all.
         let splits = idx.splits_issued();
         assert!(splits >= 2, "movers should have split, got {splits}");
-        let mut tree = idx.seal(60).unwrap();
+        let tree = idx.seal(60).unwrap();
         tree.validate();
         let mut out = Vec::new();
         tree.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();

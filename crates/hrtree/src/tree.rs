@@ -6,8 +6,8 @@ use std::collections::HashSet;
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_obs::QueryStats;
 use sti_storage::{
-    CorruptReason, FaultStats, IoStats, Page, PageBackend, PageId, PageStore, RetryPolicy,
-    StorageError,
+    CorruptReason, FaultStats, IoStats, Page, PageBackend, PageId, PageStore, ReadProbe,
+    RetryPolicy, ScratchPool, StorageError,
 };
 
 /// Error from [`HrTree::delete`].
@@ -82,13 +82,24 @@ pub struct HrTree {
     versions: Vec<HrVersion>,
     now: Time,
     alive: u64,
-    scratch: QueryScratch,
+    scratch: ScratchPool<QueryScratch>,
+}
+
+/// Copy a [`ReadProbe`]'s per-call I/O attribution into the I/O fields
+/// of a [`QueryStats`] (queries are read-only, so `disk_writes` stays 0).
+fn apply_probe(stats: &mut QueryStats, probe: &ReadProbe) {
+    stats.disk_reads = probe.disk_reads;
+    stats.buffer_hits = probe.buffer_hits;
+    stats.io_retries = probe.io_retries;
+    stats.io_faults_injected = probe.io_faults_injected;
+    stats.checksum_failures = probe.checksum_failures;
 }
 
 /// Reusable query-time allocations, cleared at every query entry (they
-/// carry capacity, never data, between calls) — same pattern as the
-/// PPR-Tree's scratch block. The scratch is restored even when a query
-/// aborts on a storage error.
+/// carry capacity, never data, between calls) — same pooled pattern as
+/// the PPR-Tree's scratch blocks: sequential queries recycle one block,
+/// concurrent `&self` queries each take their own. The scratch is
+/// returned to the pool even when a query aborts on a storage error.
 #[derive(Debug, Default)]
 struct QueryScratch {
     /// Dedup set for interval-query results.
@@ -110,7 +121,7 @@ impl HrTree {
             versions: Vec::new(),
             now: 0,
             alive: 0,
-            scratch: QueryScratch::default(),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -124,7 +135,7 @@ impl HrTree {
             versions: Vec::new(),
             now: 0,
             alive: 0,
-            scratch: QueryScratch::default(),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -167,6 +178,13 @@ impl HrTree {
     /// the PPR-Tree's knob so buffer sweeps can compare structures.
     pub fn set_buffer_capacity(&mut self, pages: usize) {
         self.store.set_buffer_capacity(pages);
+    }
+
+    /// Re-stripe the buffer pool across `shards` lock shards (clears
+    /// residency, preserves counters). More shards reduce lock contention
+    /// between concurrent `&self` queries.
+    pub fn set_buffer_shards(&mut self, shards: usize) {
+        self.store.set_buffer_shards(shards);
     }
 
     /// Reset I/O counters and buffer pool before a measured query.
@@ -383,22 +401,22 @@ impl HrTree {
     /// unchanged (queries are read-only), but `out` may already hold the
     /// matches found before the failing read.
     pub fn query_snapshot(
-        &mut self,
+        &self,
         area: &Rect2,
         t: Time,
         out: &mut Vec<u64>,
     ) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
-        let before = self.store.stats();
-        let faults_before = self.store.fault_stats();
+        let mut probe = ReadProbe::new();
+        let mut scratch = self.scratch.take();
         let mut failed = None;
         if let Some(idx) = self.version_at(t) {
             let root = self.versions[idx];
-            let mut stack = std::mem::take(&mut self.scratch.stack);
+            let stack = &mut scratch.stack;
             stack.clear();
             stack.push(root.page);
             while let Some(page) = stack.pop() {
-                let node = match self.read_node(page) {
+                let node = match self.read_node_probed(page, &mut probe) {
                     Ok(n) => n,
                     Err(e) => {
                         failed = Some(e);
@@ -418,20 +436,12 @@ impl HrTree {
                     }
                 }
             }
-            self.scratch.stack = stack;
         }
+        self.scratch.put(scratch);
         if let Some(e) = failed {
             return Err(e);
         }
-        let after = self.store.stats();
-        stats.disk_reads = after.reads - before.reads;
-        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
-        stats.disk_writes = after.writes - before.writes;
-        let faults_after = self.store.fault_stats();
-        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
-        stats.io_faults_injected =
-            faults_after.io_faults_injected - faults_before.io_faults_injected;
-        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        apply_probe(&mut stats, &probe);
         Ok(stats)
     }
 
@@ -452,7 +462,7 @@ impl HrTree {
     /// unchanged, and nothing is appended to `out` for this call (dedup
     /// happens before results are released).
     pub fn query_interval(
-        &mut self,
+        &self,
         area: &Rect2,
         range: &TimeInterval,
         out: &mut Vec<u64>,
@@ -461,11 +471,13 @@ impl HrTree {
         if range.is_empty() {
             return Ok(stats);
         }
-        let before = self.store.stats();
-        let faults_before = self.store.fault_stats();
-        let mut seen = std::mem::take(&mut self.scratch.seen);
-        let mut visited = std::mem::take(&mut self.scratch.visited);
-        let mut stack = std::mem::take(&mut self.scratch.stack);
+        let mut probe = ReadProbe::new();
+        let mut scratch = self.scratch.take();
+        let QueryScratch {
+            seen,
+            visited,
+            stack,
+        } = &mut scratch;
         seen.clear();
         visited.clear();
         stack.clear();
@@ -482,7 +494,7 @@ impl HrTree {
                 if !visited.insert(page) {
                     continue;
                 }
-                let node = match self.read_node(page) {
+                let node = match self.read_node_probed(page, &mut probe) {
                     Ok(n) => n,
                     Err(e) => {
                         failed = Some(e);
@@ -507,21 +519,11 @@ impl HrTree {
             stats.results = stats.dedup_candidates;
             out.extend(seen.drain());
         }
-        self.scratch.seen = seen;
-        self.scratch.visited = visited;
-        self.scratch.stack = stack;
+        self.scratch.put(scratch);
         if let Some(e) = failed {
             return Err(e);
         }
-        let after = self.store.stats();
-        stats.disk_reads = after.reads - before.reads;
-        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
-        stats.disk_writes = after.writes - before.writes;
-        let faults_after = self.store.fault_stats();
-        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
-        stats.io_faults_injected =
-            faults_after.io_faults_injected - faults_before.io_faults_injected;
-        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        apply_probe(&mut stats, &probe);
         Ok(stats)
     }
 
@@ -535,9 +537,17 @@ impl HrTree {
     // Functional (path-copying) structure changes
     // ------------------------------------------------------------------
 
-    fn read_node(&mut self, page: PageId) -> Result<HrNode, StorageError> {
-        let raw = self.store.read(page)?;
-        HrNode::decode(raw).map_err(|_| StorageError::Corrupt {
+    fn read_node(&self, page: PageId) -> Result<HrNode, StorageError> {
+        self.read_node_probed(page, &mut ReadProbe::new())
+    }
+
+    fn read_node_probed(
+        &self,
+        page: PageId,
+        probe: &mut ReadProbe,
+    ) -> Result<HrNode, StorageError> {
+        let raw = self.store.read(page, probe)?;
+        HrNode::decode(&raw).map_err(|_| StorageError::Corrupt {
             page,
             reason: CorruptReason::Decode,
         })
@@ -865,7 +875,7 @@ mod tests {
 
     #[test]
     fn empty_tree() {
-        let mut t = HrTree::new(small());
+        let t = HrTree::new(small());
         let mut out = Vec::new();
         t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         assert!(out.is_empty());

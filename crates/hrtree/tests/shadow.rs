@@ -74,7 +74,7 @@ proptest! {
 
     #[test]
     fn intervals_match_shadow(seed in any::<u64>(), cap in prop::sample::select(vec![6usize, 8, 10, 12])) {
-        let (mut tree, records) = run_workload(seed, cap);
+        let (tree, records) = run_workload(seed, cap);
         for start in (0..140).step_by(19) {
             let range = TimeInterval::new(start, start + 1 + (start % 13));
             let area = Rect2::from_bounds(0.0, 0.0, 0.7, 0.7);

@@ -294,7 +294,7 @@ impl Checker<'_> {
                 );
                 None
             }
-            Some(raw) => match PprNode::decode(raw) {
+            Some(raw) => match PprNode::decode(&raw) {
                 Ok(node) => Some(node),
                 Err(e) => {
                     self.report(

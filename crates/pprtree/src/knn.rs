@@ -44,9 +44,10 @@ impl PprTree {
     ///
     /// # Errors
     /// A [`StorageError`] if a page read fails after retries; the search
-    /// is abandoned and the tree is unchanged.
+    /// is abandoned and the tree is unchanged. Shared: `&self`, so
+    /// concurrent kNN searches and range queries may interleave freely.
     pub fn nearest_at(
-        &mut self,
+        &self,
         point: Point2,
         t: Time,
         k: usize,
@@ -145,7 +146,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_across_time() {
-        let (mut tree, records) = build(5);
+        let (tree, records) = build(5);
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..25 {
             let p = Point2::new(rng.random::<f64>(), rng.random::<f64>());
@@ -168,7 +169,7 @@ mod tests {
     fn respects_time_travel() {
         // The nearest neighbor at t=5 can differ from t=500 because the
         // population changed; both must be historically correct.
-        let (mut tree, records) = build(7);
+        let (tree, records) = build(7);
         let p = Point2::new(0.5, 0.5);
         for t in [5u32, 250, 500, 900] {
             let got = tree.nearest_at(p, t, 3).unwrap();

@@ -7,8 +7,8 @@ use std::collections::HashSet;
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_obs::QueryStats;
 use sti_storage::{
-    CorruptReason, FaultStats, IoStats, Page, PageBackend, PageId, PageStore, RetryPolicy,
-    StorageError,
+    CorruptReason, FaultStats, IoStats, Page, PageBackend, PageId, PageStore, ReadProbe,
+    RetryPolicy, ScratchPool, StorageError,
 };
 
 /// Failure of a [`PprTree::delete`] call. The tree is left unchanged.
@@ -70,11 +70,13 @@ pub struct RootSpan {
 /// Reusable query-time allocations. Queries used to build a fresh
 /// `HashSet` / span list / traversal stack per call, which churned the
 /// allocator across a measured batch (the paper's methodology runs
-/// thousands of queries back to back); the tree now keeps one scratch
-/// block and hands it to each query via `std::mem::take`, so steady-state
-/// queries allocate nothing. Contents are cleared at every query entry —
-/// they carry capacity, never data, between calls. The scratch is
-/// restored even when a query aborts on a storage error.
+/// thousands of queries back to back); the tree keeps a pool of scratch
+/// blocks ([`ScratchPool`]) so steady-state sequential queries allocate
+/// nothing, while concurrent `&self` queries each take their own block
+/// (a burst of N threads materializes at most N). Contents are cleared
+/// at every query entry — they carry capacity, never data, between
+/// calls. The scratch is returned to the pool even when a query aborts
+/// on a storage error.
 #[derive(Debug, Default)]
 struct QueryScratch {
     /// Dedup set for interval queries.
@@ -85,6 +87,17 @@ struct QueryScratch {
     stack: Vec<(PageId, TimeInterval)>,
     /// Descent stack for snapshot queries.
     snap_stack: Vec<PageId>,
+}
+
+/// Copy a [`ReadProbe`]'s per-call I/O attribution into the I/O fields
+/// of a [`QueryStats`] (queries are read-only, so `disk_writes` stays 0;
+/// the traversal-side tallies are the query loop's own).
+fn apply_probe(stats: &mut QueryStats, probe: &ReadProbe) {
+    stats.disk_reads = probe.disk_reads;
+    stats.buffer_hits = probe.buffer_hits;
+    stats.io_retries = probe.io_retries;
+    stats.io_faults_injected = probe.io_faults_injected;
+    stats.checksum_failures = probe.checksum_failures;
 }
 
 /// Ops to apply to one node during bottom-up structure maintenance.
@@ -148,7 +161,7 @@ pub struct PprTree {
     now: Time,
     alive_records: u64,
     total_posted: u64,
-    scratch: QueryScratch,
+    scratch: ScratchPool<QueryScratch>,
     /// Updates seen, for the debug-build check sampling schedule.
     #[cfg(debug_assertions)]
     debug_mutations: u64,
@@ -165,7 +178,7 @@ impl PprTree {
             now: 0,
             alive_records: 0,
             total_posted: 0,
-            scratch: QueryScratch::default(),
+            scratch: ScratchPool::new(),
             #[cfg(debug_assertions)]
             debug_mutations: 0,
         }
@@ -183,7 +196,7 @@ impl PprTree {
             now: 0,
             alive_records: 0,
             total_posted: 0,
-            scratch: QueryScratch::default(),
+            scratch: ScratchPool::new(),
             #[cfg(debug_assertions)]
             debug_mutations: 0,
         }
@@ -235,8 +248,17 @@ impl PprTree {
         self.store.set_buffer_capacity(pages);
     }
 
+    /// Re-stripe the buffer pool across `shards` lock shards for
+    /// concurrent readers (1 — the default — reproduces the paper's
+    /// global-LRU figures exactly; see DESIGN.md §6).
+    pub fn set_buffer_shards(&mut self, shards: usize) {
+        self.store.set_buffer_shards(shards);
+    }
+
     /// Reset I/O counters and the buffer pool (before each measured
-    /// query, per the paper's methodology).
+    /// query, per the paper's methodology). Counters and residency both
+    /// live inside the store's sharded buffer, so this cannot drift from
+    /// the per-shard accounting that [`PprTree::io_stats`] sums.
     pub fn reset_for_query(&mut self) {
         self.store.reset_stats();
         self.store.reset_buffer();
@@ -395,7 +417,7 @@ impl PprTree {
     }
 
     /// Node read with I/O accounting, for sibling modules.
-    pub(crate) fn read_node_pub(&mut self, page: PageId) -> Result<PprNode, StorageError> {
+    pub(crate) fn read_node_pub(&self, page: PageId) -> Result<PprNode, StorageError> {
         self.read_node(page)
     }
 
@@ -439,31 +461,37 @@ impl PprTree {
     /// never cleared here, so a caller can accumulate several queries
     /// into one buffer (all three tree backends share this contract).
     ///
-    /// Returns the [`QueryStats`] delta for this call: I/O and fault
-    /// counters are snapshotted on the backing store at entry and exit,
-    /// so summing the returned deltas over a batch reproduces the global
-    /// [`IoStats`] delta exactly.
+    /// Returns the [`QueryStats`] delta for this call: the store writes
+    /// each read's cost into this call's [`ReadProbe`] as it happens
+    /// (mirroring the global counters increment for increment), so
+    /// summing the returned deltas over a batch reproduces the global
+    /// [`IoStats`] delta exactly — even when other threads query the
+    /// same tree concurrently.
+    ///
+    /// Shared: `&self`, so any number of threads may query one tree at
+    /// once (mutation keeps `&mut self`, which the borrow checker
+    /// prevents from overlapping with in-flight queries).
     ///
     /// # Errors
     /// A [`StorageError`] if a page read fails after retries. The tree is
     /// unchanged (queries are read-only), but `out` may already hold the
     /// matches found before the failing read.
     pub fn query_snapshot(
-        &mut self,
+        &self,
         area: &Rect2,
         t: Time,
         out: &mut Vec<u64>,
     ) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
-        let before = self.store.stats();
-        let faults_before = self.store.fault_stats();
+        let mut probe = ReadProbe::new();
         let mut failed = None;
         if let Some(span) = self.root_span_at(t) {
-            let mut stack = std::mem::take(&mut self.scratch.snap_stack);
+            let mut scratch = self.scratch.take();
+            let stack = &mut scratch.snap_stack;
             stack.clear();
             stack.push(span.page);
             while let Some(page) = stack.pop() {
-                let node = match self.read_node(page) {
+                let node = match self.read_node_probed(page, &mut probe) {
                     Ok(n) => n,
                     Err(e) => {
                         failed = Some(e);
@@ -486,20 +514,12 @@ impl PprTree {
             // The scratch goes back even on the error path: capacity is
             // reusable, and an abandoned traversal must not poison the
             // next query.
-            self.scratch.snap_stack = stack;
+            self.scratch.put(scratch);
         }
         if let Some(e) = failed {
             return Err(e);
         }
-        let after = self.store.stats();
-        stats.disk_reads = after.reads - before.reads;
-        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
-        stats.disk_writes = after.writes - before.writes;
-        let faults_after = self.store.fault_stats();
-        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
-        stats.io_faults_injected =
-            faults_after.io_faults_injected - faults_before.io_faults_injected;
-        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        apply_probe(&mut stats, &probe);
         Ok(stats)
     }
 
@@ -523,22 +543,24 @@ impl PprTree {
     /// Returns the [`QueryStats`] delta for this call (see
     /// [`PprTree::query_snapshot`]).
     ///
+    /// Shared: `&self` — see [`PprTree::query_snapshot`].
+    ///
     /// # Errors
     /// A [`StorageError`] if a page read fails after retries. The tree is
     /// unchanged, and nothing is appended to `out` for this call (dedup
     /// happens before results are released).
     pub fn query_interval(
-        &mut self,
+        &self,
         area: &Rect2,
         range: &TimeInterval,
         out: &mut Vec<u64>,
     ) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
-        let before = self.store.stats();
-        let faults_before = self.store.fault_stats();
-        let mut seen = std::mem::take(&mut self.scratch.seen);
-        let mut spans = std::mem::take(&mut self.scratch.spans);
-        let mut stack = std::mem::take(&mut self.scratch.stack);
+        let mut probe = ReadProbe::new();
+        let mut scratch = self.scratch.take();
+        let QueryScratch {
+            seen, spans, stack, ..
+        } = &mut scratch;
         seen.clear();
         spans.clear();
         stack.clear();
@@ -549,13 +571,13 @@ impl PprTree {
                 .copied(),
         );
         let mut failed = None;
-        'roots: for span in &spans {
+        'roots: for span in spans.iter() {
             let Some(root_range) = span.interval.intersect(range) else {
                 continue;
             };
             stack.push((span.page, root_range));
             while let Some((page, clipped)) = stack.pop() {
-                let node = match self.read_node(page) {
+                let node = match self.read_node_probed(page, &mut probe) {
                     Ok(n) => n,
                     Err(e) => {
                         failed = Some(e);
@@ -584,21 +606,11 @@ impl PprTree {
             stats.results = stats.dedup_candidates;
             out.extend(seen.drain());
         }
-        self.scratch.seen = seen;
-        self.scratch.spans = spans;
-        self.scratch.stack = stack;
+        self.scratch.put(scratch);
         if let Some(e) = failed {
             return Err(e);
         }
-        let after = self.store.stats();
-        stats.disk_reads = after.reads - before.reads;
-        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
-        stats.disk_writes = after.writes - before.writes;
-        let faults_after = self.store.fault_stats();
-        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
-        stats.io_faults_injected =
-            faults_after.io_faults_injected - faults_before.io_faults_injected;
-        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        apply_probe(&mut stats, &probe);
         Ok(stats)
     }
 
@@ -606,9 +618,21 @@ impl PprTree {
     // Structure maintenance
     // ------------------------------------------------------------------
 
-    fn read_node(&mut self, page: PageId) -> Result<PprNode, StorageError> {
-        let raw = self.store.read(page)?;
-        PprNode::decode(raw).map_err(|_| StorageError::Corrupt {
+    /// Node read with accounting but no per-call attribution (mutation
+    /// paths report their cost via global-counter deltas, which exclusive
+    /// `&mut self` access keeps race-free).
+    fn read_node(&self, page: PageId) -> Result<PprNode, StorageError> {
+        self.read_node_probed(page, &mut ReadProbe::new())
+    }
+
+    /// Node read attributing its I/O to `probe` (query paths).
+    fn read_node_probed(
+        &self,
+        page: PageId,
+        probe: &mut ReadProbe,
+    ) -> Result<PprNode, StorageError> {
+        let raw = self.store.read(page, probe)?;
+        PprNode::decode(&raw).map_err(|_| StorageError::Corrupt {
             page,
             reason: CorruptReason::Decode,
         })
@@ -1056,7 +1080,7 @@ impl PprTree {
             now,
             alive_records,
             total_posted,
-            scratch: QueryScratch::default(),
+            scratch: ScratchPool::new(),
             #[cfg(debug_assertions)]
             debug_mutations: 0,
         })
@@ -1151,7 +1175,7 @@ mod tests {
 
     #[test]
     fn empty_tree_answers_nothing() {
-        let mut t = PprTree::new(small_params());
+        let t = PprTree::new(small_params());
         let mut out = Vec::new();
         t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
         assert!(out.is_empty());
@@ -1230,7 +1254,7 @@ mod tests {
         let mut expected_snap = Vec::new();
         for area in &areas {
             for &t in &times {
-                let mut fresh = populated_tree();
+                let fresh = populated_tree();
                 let mut out = Vec::new();
                 fresh.query_snapshot(area, t, &mut out).unwrap();
                 out.sort_unstable();
@@ -1240,7 +1264,7 @@ mod tests {
         let mut expected_int = Vec::new();
         for area in &areas {
             for range in &ranges {
-                let mut fresh = populated_tree();
+                let fresh = populated_tree();
                 let mut out = Vec::new();
                 fresh.query_interval(area, range, &mut out).unwrap();
                 out.sort_unstable();
@@ -1249,7 +1273,7 @@ mod tests {
         }
 
         // One tree, queries interleaved and repeated.
-        let mut tree = populated_tree();
+        let tree = populated_tree();
         for round in 0..2 {
             let mut si = 0;
             let mut ii = 0;
@@ -1270,7 +1294,7 @@ mod tests {
                         )
                         .unwrap();
                         out.sort_unstable();
-                        let mut fresh = populated_tree();
+                        let fresh = populated_tree();
                         let mut want = Vec::new();
                         fresh
                             .query_interval(
@@ -1291,7 +1315,7 @@ mod tests {
     /// Queries append to `out` without clearing it.
     #[test]
     fn queries_append_without_clearing() {
-        let mut t = populated_tree();
+        let t = populated_tree();
         let mut out = vec![u64::MAX];
         t.query_snapshot(&Rect2::UNIT, 50, &mut out).unwrap();
         assert_eq!(out[0], u64::MAX);
@@ -1306,7 +1330,7 @@ mod tests {
     /// global store counters, and traversal tallies are populated.
     #[test]
     fn query_stats_reconcile_with_global_counters() {
-        let mut t = populated_tree();
+        let t = populated_tree();
         let base = t.io_stats();
         let mut sum = QueryStats::new();
         let mut out = Vec::new();

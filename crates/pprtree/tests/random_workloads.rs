@@ -83,7 +83,7 @@ proptest! {
 
     #[test]
     fn snapshots_match_shadow(seed in any::<u64>(), cap in prop::sample::select(vec![9usize, 10, 12, 14, 15, 17, 19, 20, 22, 24])) {
-        let (mut tree, shadow) = run_workload(seed, cap, 3);
+        let (tree, shadow) = run_workload(seed, cap, 3);
         tree.validate();
         for t in (0..200).step_by(17) {
             let area = Rect2::from_bounds(0.2, 0.1, 0.8, 0.9);
@@ -96,7 +96,7 @@ proptest! {
 
     #[test]
     fn intervals_match_shadow(seed in any::<u64>(), cap in prop::sample::select(vec![9usize, 10, 12, 14, 15, 17, 19, 20, 22, 24])) {
-        let (mut tree, shadow) = run_workload(seed, cap, 2);
+        let (tree, shadow) = run_workload(seed, cap, 2);
         for start in (0..180).step_by(23) {
             let range = TimeInterval::new(start, start + 1 + (start % 29));
             let area = Rect2::from_bounds(0.0, 0.0, 0.6, 0.6);

@@ -21,7 +21,7 @@
 use crate::node::{Entry, Node, RStarParams};
 use crate::tree::RStarTree;
 use sti_geom::{hilbert3, Rect3};
-use sti_storage::{Page, PageStore, StorageError};
+use sti_storage::{Page, PageStore, ScratchPool, StorageError};
 
 /// Which packing order to use for bulk loading.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,7 +85,7 @@ impl RStarTree {
                     root,
                     root_level: level,
                     len,
-                    query_stack: Vec::new(),
+                    scratch: ScratchPool::new(),
                 });
             }
             let mut parents: Vec<Entry> =

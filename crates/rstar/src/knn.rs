@@ -46,7 +46,7 @@ impl RStarTree {
     /// # Errors
     /// A [`StorageError`] if a page read fails after retries; the search
     /// is abandoned (the tree itself is untouched — reads only).
-    pub fn nearest(&mut self, point: [f64; 3], k: usize) -> Result<Vec<(u64, f64)>, StorageError> {
+    pub fn nearest(&self, point: [f64; 3], k: usize) -> Result<Vec<(u64, f64)>, StorageError> {
         let mut out = Vec::with_capacity(k);
         if k == 0 || self.is_empty() {
             return Ok(out);
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force() {
-        let (mut tree, data) = build(500, 3);
+        let (tree, data) = build(500, 3);
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..25 {
             let p = [
@@ -167,9 +167,9 @@ mod tests {
 
     #[test]
     fn k_zero_and_empty_tree() {
-        let (mut tree, _) = build(50, 9);
+        let (tree, _) = build(50, 9);
         assert!(tree.nearest([0.5; 3], 0).unwrap().is_empty());
-        let mut empty = RStarTree::new(RStarParams {
+        let empty = RStarTree::new(RStarParams {
             max_entries: 8,
             ..RStarParams::default()
         });
@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn k_larger_than_dataset_returns_all() {
-        let (mut tree, data) = build(30, 11);
+        let (tree, data) = build(30, 11);
         let got = tree.nearest([0.2, 0.2, 0.2], 100).unwrap();
         assert_eq!(got.len(), data.len());
     }

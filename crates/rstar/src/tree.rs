@@ -8,7 +8,7 @@ use sti_geom::Rect3;
 use sti_obs::QueryStats;
 use sti_storage::{
     CorruptReason, FaultStats, IoStats, MemBackend, Page, PageBackend, PageId, PageStore,
-    RetryPolicy, StorageError,
+    ReadProbe, RetryPolicy, ScratchPool, StorageError,
 };
 
 /// A disk-based 3D R\*-Tree.
@@ -34,10 +34,21 @@ pub struct RStarTree {
     pub(crate) root: PageId,
     pub(crate) root_level: u32,
     pub(crate) len: u64,
-    /// Reusable descent stack; cleared at every query entry, it carries
-    /// capacity (never data) between calls so steady-state queries do
-    /// not allocate.
-    pub(crate) query_stack: Vec<PageId>,
+    /// Pool of reusable descent stacks; cleared at every query entry,
+    /// they carry capacity (never data) between calls so steady-state
+    /// sequential queries do not allocate, while concurrent `&self`
+    /// queries each take their own stack.
+    pub(crate) scratch: ScratchPool<Vec<PageId>>,
+}
+
+/// Copy a [`ReadProbe`]'s per-call I/O attribution into the I/O fields
+/// of a [`QueryStats`] (queries are read-only, so `disk_writes` stays 0).
+pub(crate) fn apply_probe(stats: &mut QueryStats, probe: &ReadProbe) {
+    stats.disk_reads = probe.disk_reads;
+    stats.buffer_hits = probe.buffer_hits;
+    stats.io_retries = probe.io_retries;
+    stats.io_faults_injected = probe.io_faults_injected;
+    stats.checksum_failures = probe.checksum_failures;
 }
 
 impl RStarTree {
@@ -72,7 +83,7 @@ impl RStarTree {
             root,
             root_level: 0,
             len: 0,
-            query_stack: Vec::new(),
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -123,6 +134,13 @@ impl RStarTree {
         self.store.set_buffer_capacity(pages);
     }
 
+    /// Re-stripe the buffer pool across `shards` lock shards (clears
+    /// residency, preserves counters). More shards reduce lock contention
+    /// between concurrent `&self` queries.
+    pub fn set_buffer_shards(&mut self, shards: usize) {
+        self.store.set_buffer_shards(shards);
+    }
+
     /// Reset I/O counters and empty the buffer pool — call before each
     /// measured query, as the paper does.
     pub fn reset_for_query(&mut self) {
@@ -164,24 +182,23 @@ impl RStarTree {
     /// into one buffer (all three tree backends share this contract).
     ///
     /// Returns the [`QueryStats`] delta for this call: I/O and fault
-    /// counters are snapshotted on the backing store at entry and exit,
-    /// so summing the returned deltas over a batch reproduces the global
-    /// [`IoStats`] delta exactly.
+    /// counters are attributed per read via a [`ReadProbe`], so summing
+    /// the returned deltas over a batch reproduces the global
+    /// [`IoStats`] delta exactly — even when queries run concurrently.
     ///
     /// # Errors
     /// A [`StorageError`] if a page read fails after retries. The tree is
     /// unchanged (queries are read-only), but `out` may already hold the
     /// matches found before the failing read.
-    pub fn query(&mut self, query: &Rect3, out: &mut Vec<u64>) -> Result<QueryStats, StorageError> {
+    pub fn query(&self, query: &Rect3, out: &mut Vec<u64>) -> Result<QueryStats, StorageError> {
         let mut stats = QueryStats::new();
-        let before = self.store.stats();
-        let faults_before = self.store.fault_stats();
-        let mut stack = std::mem::take(&mut self.query_stack);
+        let mut probe = ReadProbe::new();
+        let mut stack = self.scratch.take();
         stack.clear();
         stack.push(self.root);
         let mut failed = None;
         while let Some(page) = stack.pop() {
-            let node = match self.read_node(page) {
+            let node = match self.read_node_probed(page, &mut probe) {
                 Ok(n) => n,
                 Err(e) => {
                     failed = Some(e);
@@ -206,25 +223,25 @@ impl RStarTree {
                 }
             }
         }
-        self.query_stack = stack;
+        self.scratch.put(stack);
         if let Some(e) = failed {
             return Err(e);
         }
-        let after = self.store.stats();
-        stats.disk_reads = after.reads - before.reads;
-        stats.buffer_hits = after.buffer_hits - before.buffer_hits;
-        stats.disk_writes = after.writes - before.writes;
-        let faults_after = self.store.fault_stats();
-        stats.io_retries = faults_after.io_retries - faults_before.io_retries;
-        stats.io_faults_injected =
-            faults_after.io_faults_injected - faults_before.io_faults_injected;
-        stats.checksum_failures = faults_after.checksum_failures - faults_before.checksum_failures;
+        apply_probe(&mut stats, &probe);
         Ok(stats)
     }
 
-    pub(crate) fn read_node(&mut self, page: PageId) -> Result<Node, StorageError> {
-        let raw = self.store.read(page)?;
-        Node::decode(raw).map_err(|_| StorageError::Corrupt {
+    pub(crate) fn read_node(&self, page: PageId) -> Result<Node, StorageError> {
+        self.read_node_probed(page, &mut ReadProbe::new())
+    }
+
+    pub(crate) fn read_node_probed(
+        &self,
+        page: PageId,
+        probe: &mut ReadProbe,
+    ) -> Result<Node, StorageError> {
+        let raw = self.store.read(page, probe)?;
+        Node::decode(&raw).map_err(|_| StorageError::Corrupt {
             page,
             reason: CorruptReason::Decode,
         })
@@ -501,7 +518,7 @@ impl RStarTree {
             root,
             root_level,
             len,
-            query_stack: Vec::new(),
+            scratch: ScratchPool::new(),
         })
     }
 
@@ -662,7 +679,7 @@ mod tests {
 
     #[test]
     fn empty_tree_answers_nothing() {
-        let mut t = RStarTree::new(small_params());
+        let t = RStarTree::new(small_params());
         let mut out = Vec::new();
         t.query(&Rect3::new([0.0; 3], [1.0; 3]), &mut out).unwrap();
         assert!(out.is_empty());

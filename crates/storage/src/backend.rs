@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 /// `page_mut` is reserved for the store's rollback and load paths, which
 /// bypass fault injection by design (recovery must not re-enter the
 /// failure it is recovering from).
-pub trait PageBackend: std::fmt::Debug {
+pub trait PageBackend: std::fmt::Debug + Send + Sync {
     /// Number of pages the backend holds.
     fn num_pages(&self) -> usize;
 

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod page;
 pub mod persist;
 pub mod retry;
+pub mod shard;
 pub mod store;
 
 pub use backend::{FileBackend, MemBackend, PageBackend};
@@ -45,4 +46,5 @@ pub use fault::{FaultKind, FaultPlan, FaultyBackend, ScheduledFault};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use persist::{OpenError, Region, SaveCrash};
 pub use retry::{RetryClock, RetryPolicy, SimClock};
+pub use shard::{BufferCounters, ReadProbe, ScratchPool, ShardedBuffer};
 pub use store::{FaultStats, IoStats, PageStore};

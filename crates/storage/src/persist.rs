@@ -424,6 +424,7 @@ fn len_u32(n: usize, what: &str) -> io::Result<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::ReadProbe;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -458,8 +459,14 @@ mod tests {
         assert_eq!(back.epoch(), 1, "loaded store adopts the file epoch");
         assert_eq!(back.num_pages(), 3);
         assert_eq!(back.free_pages(), 1);
-        assert_eq!(&back.read(a).unwrap().bytes()[..3], &[1, 2, 3]);
-        assert_eq!(&back.read(c).unwrap().bytes()[..1], &[7]);
+        assert_eq!(
+            &back.read(a, &mut ReadProbe::new()).unwrap().bytes()[..3],
+            &[1, 2, 3]
+        );
+        assert_eq!(
+            &back.read(c, &mut ReadProbe::new()).unwrap().bytes()[..1],
+            &[7]
+        );
         // Freed page is handed out again on allocate.
         assert_eq!(back.allocate().unwrap(), b);
     }
@@ -602,11 +609,17 @@ mod tests {
         let (mut store, a, _, c) = small_store();
         let path = temp_path("cap0");
         store.save_to(&path, &[]).expect("save");
-        let (mut back, _) = PageStore::load_from(&path, 0).expect("load");
+        let (back, _) = PageStore::load_from(&path, 0).expect("load");
         std::fs::remove_file(&path).ok();
-        assert_eq!(&back.read(a).unwrap().bytes()[..3], &[1, 2, 3]);
-        assert_eq!(&back.read(c).unwrap().bytes()[..1], &[7]);
-        back.read(a).unwrap();
+        assert_eq!(
+            &back.read(a, &mut ReadProbe::new()).unwrap().bytes()[..3],
+            &[1, 2, 3]
+        );
+        assert_eq!(
+            &back.read(c, &mut ReadProbe::new()).unwrap().bytes()[..1],
+            &[7]
+        );
+        back.read(a, &mut ReadProbe::new()).unwrap();
         let st = back.stats();
         assert_eq!(st.reads, 3, "capacity 0: every fetch is a miss");
         assert_eq!(st.buffer_hits, 0);
@@ -619,10 +632,10 @@ mod tests {
         store.write(a, &[1]).unwrap();
         let path = temp_path("io");
         store.save_to(&path, &[]).expect("save");
-        let (mut back, _) = PageStore::load_from(&path, 2).expect("load");
+        let (back, _) = PageStore::load_from(&path, 2).expect("load");
         std::fs::remove_file(&path).ok();
         assert_eq!(back.stats().reads, 0);
-        back.read(a).unwrap();
+        back.read(a, &mut ReadProbe::new()).unwrap();
         assert_eq!(back.stats().reads, 1);
     }
 

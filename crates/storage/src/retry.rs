@@ -53,7 +53,7 @@ impl RetryPolicy {
 
 /// Where retry backoff "time" goes. Injected so the store never sleeps
 /// for real in tests, yet the schedule stays observable.
-pub trait RetryClock: std::fmt::Debug {
+pub trait RetryClock: std::fmt::Debug + Send + Sync {
     /// Spend `micros` of backoff.
     fn pause(&mut self, micros: u64);
 

@@ -1,13 +1,24 @@
-//! The simulated disk: a pluggable page backend behind an LRU buffer,
-//! with checksums, bounded retry, and an undo log for atomic multi-page
-//! operations.
+//! The simulated disk: a pluggable page backend behind a lock-striped
+//! LRU buffer pool, with checksums, bounded retry, and an undo log for
+//! atomic multi-page operations.
+//!
+//! Concurrency model (DESIGN.md §6): [`PageStore::read`] takes `&self`
+//! so any number of readers can share one store; all mutation stays on
+//! `&mut self`, so Rust's aliasing rules make reader/writer races
+//! unrepresentable. Internally the backend, checksums, and retry clock
+//! live under one `RwLock` (buffer hits take it shared; misses take it
+//! exclusive for the fetch), while hit/miss accounting lives in the
+//! sharded buffer pool itself and failure counters are atomics.
 
 use crate::backend::{MemBackend, PageBackend};
 use crate::checksum::{xxh64, zero_page_sum};
 use crate::error::{CorruptReason, IoOp, StorageError};
 use crate::retry::{RetryClock, RetryPolicy, SimClock};
-use crate::{LruBuffer, Page, PageId, PAGE_SIZE};
+use crate::shard::{ReadProbe, ShardedBuffer};
+use crate::{Page, PageId, PAGE_SIZE};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Counters for logical disk traffic.
 ///
@@ -68,15 +79,94 @@ struct Txn {
     imaged: HashSet<PageId>,
 }
 
-/// A simulated disk of fixed-size pages with an LRU buffer pool, I/O
-/// accounting, per-page checksums, bounded retry for transient faults,
-/// and page-level undo.
+/// The state a buffer miss must mutate to fetch a page: the backend
+/// (transfer, fault injection, quiesce), the recorded checksums, and the
+/// retry clock. Shared-read (`&self`) paths take this under an `RwLock`;
+/// exclusive (`&mut self`) paths go through `get_mut` and never lock.
+#[derive(Debug, Clone)]
+struct StoreCore {
+    backend: Box<dyn PageBackend>,
+    /// Checksum of each page's current intended content.
+    sums: Vec<u64>,
+    clock: Box<dyn RetryClock>,
+}
+
+impl StoreCore {
+    /// Compare a page's current bytes against its recorded checksum.
+    fn verify_against_sum(&self, id: PageId) -> Result<(), StorageError> {
+        let actual = match self.backend.page(id) {
+            Some(p) => xxh64(p.bytes()),
+            None => {
+                return Err(StorageError::Unallocated {
+                    op: IoOp::Read,
+                    page: id,
+                    pages: self.backend.num_pages(),
+                })
+            }
+        };
+        if actual == self.sums[id as usize] {
+            Ok(())
+        } else {
+            Err(StorageError::Corrupt {
+                page: id,
+                reason: CorruptReason::Checksum,
+            })
+        }
+    }
+
+    /// Compare the stored bytes after a write against the intended
+    /// payload's checksum (detects silent write-side corruption).
+    fn verify_written(&self, id: PageId, expected: u64) -> Result<(), StorageError> {
+        let actual = match self.backend.page(id) {
+            Some(p) => xxh64(p.bytes()),
+            None => {
+                return Err(StorageError::Unallocated {
+                    op: IoOp::Write,
+                    page: id,
+                    pages: self.backend.num_pages(),
+                })
+            }
+        };
+        if actual == expected {
+            Ok(())
+        } else {
+            Err(StorageError::Corrupt {
+                page: id,
+                reason: CorruptReason::Checksum,
+            })
+        }
+    }
+}
+
+/// Whether an error is a checksum mismatch (the one failure the
+/// `checksum_failures` counter tracks).
+fn is_checksum_mismatch(e: &StorageError) -> bool {
+    matches!(
+        e,
+        StorageError::Corrupt {
+            reason: CorruptReason::Checksum,
+            ..
+        }
+    )
+}
+
+/// Poison-tolerant `get_mut`: no code path panics while holding the
+/// core lock (stilint's no_panic gate), and the core's invariants are
+/// re-established before every unlock, so a poisoned lock carries no
+/// broken state worth propagating.
+fn core_mut(lock: &mut RwLock<StoreCore>) -> &mut StoreCore {
+    lock.get_mut().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A simulated disk of fixed-size pages with a lock-striped LRU buffer
+/// pool, I/O accounting, per-page checksums, bounded retry for transient
+/// faults, and page-level undo.
 ///
-/// Both tree implementations own one `PageStore` and route *all* node
-/// traffic through it, so query-time I/O counts are faithful to a
-/// disk-resident index: the paper's page capacity is enforced by the node
-/// serializers (entries per node), and the buffer is reset before every
-/// measured query via [`PageStore::reset_buffer`].
+/// The tree implementations own one `PageStore` each and route *all*
+/// node traffic through it, so query-time I/O counts are faithful to a
+/// disk-resident index: the paper's page capacity is enforced by the
+/// node serializers (entries per node), and the buffer is reset before
+/// every measured query via [`PageStore::reset_buffer`].
 ///
 /// Failure discipline (DESIGN.md §6): every fallible method returns a
 /// typed [`StorageError`]. A failed `write` restores the page's prior
@@ -84,24 +174,43 @@ struct Txn {
 /// mutations bracket themselves with [`PageStore::begin_txn`] /
 /// [`PageStore::rollback_txn`] so a failure midway leaves the store
 /// exactly as it was.
-#[derive(Debug, Clone)]
+///
+/// Accounting invariant: `stats().reads` and `stats().buffer_hits` are
+/// *defined* as the sum of the buffer shards' miss/hit counters, so no
+/// code path (including test hooks) can move one without the other.
+#[derive(Debug)]
 pub struct PageStore {
-    backend: Box<dyn PageBackend>,
-    /// Checksum of each page's current intended content.
-    sums: Vec<u64>,
+    core: RwLock<StoreCore>,
+    buffer: ShardedBuffer,
     free: Vec<PageId>,
-    buffer: LruBuffer,
-    stats: IoStats,
-    io_retries: u64,
-    checksum_failures: u64,
+    /// Logical writes (mutation is `&mut self`-only, so a plain field).
+    writes: u64,
+    io_retries: AtomicU64,
+    checksum_failures: AtomicU64,
     /// Backend fault count when fault stats were last reset, so
     /// [`PageStore::fault_stats`] reports a delta.
     injected_at_reset: u64,
     policy: RetryPolicy,
-    clock: Box<dyn RetryClock>,
     txn: Option<Txn>,
     /// Monotonic save epoch (bumped by `persist::save`).
     epoch: u64,
+}
+
+impl Clone for PageStore {
+    fn clone(&self) -> Self {
+        Self {
+            core: RwLock::new(self.core_read().clone()),
+            buffer: self.buffer.clone(),
+            free: self.free.clone(),
+            writes: self.writes,
+            io_retries: AtomicU64::new(self.io_retries.load(Ordering::Relaxed)),
+            checksum_failures: AtomicU64::new(self.checksum_failures.load(Ordering::Relaxed)),
+            injected_at_reset: self.injected_at_reset,
+            policy: self.policy,
+            txn: self.txn.clone(),
+            epoch: self.epoch,
+        }
+    }
 }
 
 impl PageStore {
@@ -123,39 +232,52 @@ impl PageStore {
             .collect();
         let injected = backend.faults_injected();
         Self {
-            backend,
-            sums,
+            core: RwLock::new(StoreCore {
+                backend,
+                sums,
+                clock: Box::new(SimClock::new()),
+            }),
+            buffer: ShardedBuffer::new(buffer_capacity),
             free: Vec::new(),
-            buffer: LruBuffer::new(buffer_capacity),
-            stats: IoStats::default(),
-            io_retries: 0,
-            checksum_failures: 0,
+            writes: 0,
+            io_retries: AtomicU64::new(0),
+            checksum_failures: AtomicU64::new(0),
             injected_at_reset: injected,
             policy: RetryPolicy::default(),
-            clock: Box::new(SimClock::new()),
             txn: None,
             epoch: 0,
         }
     }
 
+    fn core_read(&self) -> RwLockReadGuard<'_, StoreCore> {
+        // See `core_mut` for why poison recovery is sound here.
+        self.core.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn core_write(&self) -> RwLockWriteGuard<'_, StoreCore> {
+        self.core.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Number of allocated pages (the index's disk footprint, fig. 16).
     pub fn num_pages(&self) -> usize {
-        self.backend.num_pages()
+        self.core_read().backend.num_pages()
     }
 
     /// Disk footprint in bytes.
     pub fn bytes(&self) -> usize {
-        self.backend.num_pages() * PAGE_SIZE
+        self.num_pages() * PAGE_SIZE
     }
 
     /// The backend, for journal inspection and downcasts in tests.
-    pub fn backend(&self) -> &dyn PageBackend {
-        self.backend.as_ref()
+    /// `&mut self` because the backend lives under the read-path lock;
+    /// exclusive access borrows it without locking.
+    pub fn backend(&mut self) -> &dyn PageBackend {
+        core_mut(&mut self.core).backend.as_ref()
     }
 
     /// Mutable backend access, for tests and tooling.
     pub fn backend_mut(&mut self) -> &mut dyn PageBackend {
-        self.backend.as_mut()
+        core_mut(&mut self.core).backend.as_mut()
     }
 
     /// Replace the retry budget/backoff schedule.
@@ -170,25 +292,35 @@ impl PageStore {
 
     /// Replace the backoff clock (tests inject their own).
     pub fn set_clock(&mut self, clock: Box<dyn RetryClock>) {
-        self.clock = clock;
+        core_mut(&mut self.core).clock = clock;
     }
 
-    /// The backoff clock, for asserting on the schedule taken.
-    pub fn clock(&self) -> &dyn RetryClock {
-        self.clock.as_ref()
+    /// A snapshot of the backoff clock, for asserting on the schedule
+    /// taken (boxed clone: the live clock sits under the read-path lock).
+    pub fn clock(&self) -> Box<dyn RetryClock> {
+        self.core_read().clock.clone_box()
     }
 
     /// Allocate a page and return its id, reusing freed pages first.
     pub fn allocate(&mut self) -> Result<PageId, StorageError> {
-        if let Some(id) = self.free.pop() {
+        let Self {
+            core,
+            free,
+            io_retries,
+            policy,
+            txn,
+            ..
+        } = self;
+        let core = core_mut(core);
+        if let Some(id) = free.pop() {
             // Free-list reuse is a metadata operation: the page is
             // already on the device; only its content is reset. The
             // pre-image is captured first — rollback must restore what
             // the page held before this transaction zeroed it.
-            if self.txn.is_some() {
-                let prior = self.backend.page(id).cloned();
-                let prior_sum = self.sums[id as usize];
-                if let (Some(txn), Some(bytes)) = (self.txn.as_mut(), prior) {
+            if txn.is_some() {
+                let prior = core.backend.page(id).cloned();
+                let prior_sum = core.sums[id as usize];
+                if let (Some(txn), Some(bytes)) = (txn.as_mut(), prior) {
                     if txn.imaged.insert(id) {
                         txn.ops.push(UndoOp::Image {
                             id,
@@ -199,30 +331,29 @@ impl PageStore {
                     txn.ops.push(UndoOp::ReusedFree { id });
                 }
             }
-            if let Some(p) = self.backend.page_mut(id) {
+            if let Some(p) = core.backend.page_mut(id) {
                 *p = Page::zeroed();
             }
-            self.sums[id as usize] = zero_page_sum();
+            core.sums[id as usize] = zero_page_sum();
             return Ok(id);
         }
         let mut attempt = 0u32;
         let id = loop {
             attempt += 1;
-            match self.backend.allocate() {
+            match core.backend.allocate() {
                 Ok(id) => break id,
-                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
-                    self.io_retries += 1;
-                    let delay = self.policy.delay_for(attempt);
-                    self.clock.pause(delay);
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    io_retries.fetch_add(1, Ordering::Relaxed);
+                    core.clock.pause(policy.delay_for(attempt));
                 }
                 Err(e) => {
-                    self.backend.quiesce();
+                    core.backend.quiesce();
                     return Err(e);
                 }
             }
         };
-        self.sums.push(zero_page_sum());
-        if let Some(txn) = self.txn.as_mut() {
+        core.sums.push(zero_page_sum());
+        if let Some(txn) = txn.as_mut() {
             txn.ops.push(UndoOp::Appended);
         }
         Ok(id)
@@ -232,11 +363,12 @@ impl PageStore {
     /// [`PageStore::allocate`]. The page's content becomes invalid and it
     /// is dropped from the buffer pool.
     pub fn free(&mut self, id: PageId) -> Result<(), StorageError> {
-        if (id as usize) >= self.backend.num_pages() {
+        let pages = self.num_pages();
+        if (id as usize) >= pages {
             return Err(StorageError::Unallocated {
                 op: IoOp::Write,
                 page: id,
-                pages: self.backend.num_pages(),
+                pages,
             });
         }
         // The linear double-free scan would make mass deallocation
@@ -260,77 +392,112 @@ impl PageStore {
     /// checksum; verification failures are retried (a re-fetch repairs
     /// corruption that happened in transfer) within the retry budget,
     /// then surface as [`StorageError::Corrupt`].
-    pub fn read(&mut self, id: PageId) -> Result<&Page, StorageError> {
-        if (id as usize) >= self.backend.num_pages() {
+    ///
+    /// Shared: concurrent readers are safe. Buffer hits run under the
+    /// shared core lock; a miss upgrades to the exclusive lock for the
+    /// backend transfer, then re-checks residency (another reader may
+    /// have fetched the page while this one waited).
+    ///
+    /// The caller's [`ReadProbe`] receives exactly this call's counter
+    /// movement, mirroring the global accounting increment for
+    /// increment — that one-to-one mirroring is what makes per-query
+    /// stats sum to the global [`IoStats`] delta under concurrency.
+    pub fn read(&self, id: PageId, probe: &mut ReadProbe) -> Result<Page, StorageError> {
+        if self.buffer.touch_if_resident(id) {
+            probe.buffer_hits += 1;
+            return self
+                .core_read()
+                .backend
+                .page(id)
+                .cloned()
+                .ok_or(StorageError::Unallocated {
+                    op: IoOp::Read,
+                    page: id,
+                    pages: 0,
+                });
+        }
+        let mut core = self.core_write();
+        if (id as usize) >= core.backend.num_pages() {
             return Err(StorageError::Unallocated {
                 op: IoOp::Read,
                 page: id,
-                pages: self.backend.num_pages(),
+                pages: core.backend.num_pages(),
             });
         }
-        if self.buffer.contains(id) {
-            self.buffer.access(id);
-            self.stats.buffer_hits += 1;
-        } else {
-            self.fetch_verified(id)?;
-            self.stats.reads += 1;
-            self.buffer.access(id);
+        if self.buffer.touch_if_resident(id) {
+            // Lost the race to another reader's fetch: the page became
+            // resident while this thread waited for the exclusive lock.
+            probe.buffer_hits += 1;
+            return core
+                .backend
+                .page(id)
+                .cloned()
+                .ok_or(StorageError::Unallocated {
+                    op: IoOp::Read,
+                    page: id,
+                    pages: 0,
+                });
         }
-        self.backend.page(id).ok_or(StorageError::Unallocated {
-            op: IoOp::Read,
-            page: id,
-            pages: 0,
-        })
+        let injected_before = core.backend.faults_injected();
+        let fetched = self.fetch_verified(&mut core, id, probe);
+        probe.io_faults_injected += core
+            .backend
+            .faults_injected()
+            .saturating_sub(injected_before);
+        fetched?;
+        // The shard counts the miss; mirror whatever it counted so the
+        // probe can never disagree with the global sum.
+        if self.buffer.access(id) {
+            probe.buffer_hits += 1;
+        } else {
+            probe.disk_reads += 1;
+        }
+        core.backend
+            .page(id)
+            .cloned()
+            .ok_or(StorageError::Unallocated {
+                op: IoOp::Read,
+                page: id,
+                pages: 0,
+            })
     }
 
     /// Transfer page `id` from the backend and verify its checksum,
     /// retrying transient failures within the policy budget. On final
     /// failure the backend is quiesced (in-flight transfer corruption
     /// must not outlive the error) and the original error is returned
-    /// unchanged.
-    fn fetch_verified(&mut self, id: PageId) -> Result<(), StorageError> {
+    /// unchanged. Runs entirely under the exclusive core lock, so a
+    /// mid-retry corrupt page is never visible to other readers.
+    fn fetch_verified(
+        &self,
+        core: &mut StoreCore,
+        id: PageId,
+        probe: &mut ReadProbe,
+    ) -> Result<(), StorageError> {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let outcome = match self.backend.read(id) {
-                Ok(()) => self.verify_against_sum(id),
+            let outcome = match core.backend.read(id) {
+                Ok(()) => core.verify_against_sum(id),
                 Err(e) => Err(e),
             };
             match outcome {
                 Ok(()) => return Ok(()),
-                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
-                    self.io_retries += 1;
-                    let delay = self.policy.delay_for(attempt);
-                    self.clock.pause(delay);
-                }
                 Err(e) => {
-                    self.backend.quiesce();
-                    return Err(e);
+                    if is_checksum_mismatch(&e) {
+                        probe.checksum_failures += 1;
+                        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if e.is_transient() && attempt < self.policy.max_attempts {
+                        probe.io_retries += 1;
+                        self.io_retries.fetch_add(1, Ordering::Relaxed);
+                        core.clock.pause(self.policy.delay_for(attempt));
+                    } else {
+                        core.backend.quiesce();
+                        return Err(e);
+                    }
                 }
             }
-        }
-    }
-
-    /// Compare a page's current bytes against its recorded checksum.
-    fn verify_against_sum(&mut self, id: PageId) -> Result<(), StorageError> {
-        let actual = match self.backend.page(id) {
-            Some(p) => xxh64(p.bytes()),
-            None => {
-                return Err(StorageError::Unallocated {
-                    op: IoOp::Read,
-                    page: id,
-                    pages: self.backend.num_pages(),
-                })
-            }
-        };
-        if actual == self.sums[id as usize] {
-            Ok(())
-        } else {
-            self.checksum_failures += 1;
-            Err(StorageError::Corrupt {
-                page: id,
-                reason: CorruptReason::Checksum,
-            })
         }
     }
 
@@ -344,7 +511,7 @@ impl PageStore {
     /// the buffer (and refreshes LRU recency), so a read immediately
     /// after a write hits; but that residency update is a caching side
     /// effect, not a read, so it must not increment `buffer_hits`. The
-    /// buffer is therefore touched via [`LruBuffer::install`], which
+    /// buffer is therefore touched via [`ShardedBuffer::install`], which
     /// reports no hit/miss outcome at all.
     ///
     /// Failure discipline: the stored bytes are verified after the
@@ -353,11 +520,22 @@ impl PageStore {
     /// failure the page's prior content is restored, so a failed write
     /// never leaves a torn page behind.
     pub fn write(&mut self, id: PageId, payload: &[u8]) -> Result<(), StorageError> {
-        if (id as usize) >= self.backend.num_pages() {
+        let Self {
+            core,
+            buffer,
+            writes,
+            io_retries,
+            checksum_failures,
+            policy,
+            txn,
+            ..
+        } = self;
+        let core = core_mut(core);
+        if (id as usize) >= core.backend.num_pages() {
             return Err(StorageError::Unallocated {
                 op: IoOp::Write,
                 page: id,
-                pages: self.backend.num_pages(),
+                pages: core.backend.num_pages(),
             });
         }
         if payload.len() > PAGE_SIZE {
@@ -369,9 +547,9 @@ impl PageStore {
 
         // Pre-image for this write's own rollback, and for the enclosing
         // transaction's (captured once per page per transaction).
-        let prior = self.backend.page(id).cloned();
-        let prior_sum = self.sums[id as usize];
-        if let (Some(txn), Some(bytes)) = (self.txn.as_mut(), prior.as_ref()) {
+        let prior = core.backend.page(id).cloned();
+        let prior_sum = core.sums[id as usize];
+        if let (Some(txn), Some(bytes)) = (txn.as_mut(), prior.as_ref()) {
             if txn.imaged.insert(id) {
                 txn.ops.push(UndoOp::Image {
                     id,
@@ -384,74 +562,59 @@ impl PageStore {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let outcome = match self.backend.write(id, payload) {
-                Ok(()) => self.verify_written(id, new_sum),
+            let outcome = match core.backend.write(id, payload) {
+                Ok(()) => core.verify_written(id, new_sum),
                 Err(e) => Err(e),
             };
             match outcome {
                 Ok(()) => {
-                    self.sums[id as usize] = new_sum;
-                    self.stats.writes += 1;
-                    self.buffer.install(id);
+                    core.sums[id as usize] = new_sum;
+                    *writes += 1;
+                    buffer.install(id);
                     return Ok(());
                 }
-                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
-                    self.io_retries += 1;
-                    let delay = self.policy.delay_for(attempt);
-                    self.clock.pause(delay);
-                }
                 Err(e) => {
-                    // Restore the pre-image: a failed write (torn or
-                    // otherwise) must not change observable state.
-                    if let (Some(bytes), Some(slot)) = (prior, self.backend.page_mut(id)) {
-                        *slot = bytes;
+                    if is_checksum_mismatch(&e) {
+                        checksum_failures.fetch_add(1, Ordering::Relaxed);
                     }
-                    self.buffer.invalidate(id);
-                    self.backend.quiesce();
-                    return Err(e);
+                    if e.is_transient() && attempt < policy.max_attempts {
+                        io_retries.fetch_add(1, Ordering::Relaxed);
+                        core.clock.pause(policy.delay_for(attempt));
+                    } else {
+                        // Restore the pre-image: a failed write (torn or
+                        // otherwise) must not change observable state.
+                        if let (Some(bytes), Some(slot)) = (prior, core.backend.page_mut(id)) {
+                            *slot = bytes;
+                        }
+                        buffer.invalidate(id);
+                        core.backend.quiesce();
+                        return Err(e);
+                    }
                 }
             }
-        }
-    }
-
-    /// Compare the stored bytes after a write against the intended
-    /// payload's checksum (detects silent write-side corruption).
-    fn verify_written(&mut self, id: PageId, expected: u64) -> Result<(), StorageError> {
-        let actual = match self.backend.page(id) {
-            Some(p) => xxh64(p.bytes()),
-            None => {
-                return Err(StorageError::Unallocated {
-                    op: IoOp::Write,
-                    page: id,
-                    pages: self.backend.num_pages(),
-                })
-            }
-        };
-        if actual == expected {
-            Ok(())
-        } else {
-            self.checksum_failures += 1;
-            Err(StorageError::Corrupt {
-                page: id,
-                reason: CorruptReason::Checksum,
-            })
         }
     }
 
     /// Flush the backend to durable storage, retrying transient faults.
     pub fn sync(&mut self) -> Result<(), StorageError> {
+        let Self {
+            core,
+            io_retries,
+            policy,
+            ..
+        } = self;
+        let core = core_mut(core);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            match self.backend.sync() {
+            match core.backend.sync() {
                 Ok(()) => return Ok(()),
-                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
-                    self.io_retries += 1;
-                    let delay = self.policy.delay_for(attempt);
-                    self.clock.pause(delay);
+                Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    io_retries.fetch_add(1, Ordering::Relaxed);
+                    core.clock.pause(policy.delay_for(attempt));
                 }
                 Err(e) => {
-                    self.backend.quiesce();
+                    core.backend.quiesce();
                     return Err(e);
                 }
             }
@@ -488,18 +651,19 @@ impl PageStore {
         let Some(txn) = self.txn.take() else {
             return;
         };
+        let core = core_mut(&mut self.core);
         for op in txn.ops.into_iter().rev() {
             match op {
                 UndoOp::Image { id, bytes, sum } => {
-                    if let Some(slot) = self.backend.page_mut(id) {
+                    if let Some(slot) = core.backend.page_mut(id) {
                         *slot = bytes;
                     }
-                    self.sums[id as usize] = sum;
+                    core.sums[id as usize] = sum;
                 }
                 UndoOp::Appended => {
-                    let len = self.backend.num_pages().saturating_sub(1);
-                    self.backend.truncate(len);
-                    self.sums.pop();
+                    let len = core.backend.num_pages().saturating_sub(1);
+                    core.backend.truncate(len);
+                    core.sums.pop();
                 }
                 UndoOp::ReusedFree { id } => {
                     self.free.push(id);
@@ -511,7 +675,7 @@ impl PageStore {
                 }
             }
         }
-        self.backend.quiesce();
+        core.backend.quiesce();
         self.buffer.clear();
     }
 
@@ -523,9 +687,10 @@ impl PageStore {
     /// For integrity checkers and tooling only: unlike
     /// [`PageStore::read`], a `peek` is invisible to the paper's I/O
     /// accounting, so walking a whole index for validation does not
-    /// perturb a measured query that follows.
-    pub fn peek(&self, id: PageId) -> Option<&Page> {
-        self.backend.page(id)
+    /// perturb a measured query that follows. Returns an owned copy:
+    /// the page itself lives under the read-path lock.
+    pub fn peek(&self, id: PageId) -> Option<Page> {
+        self.core_read().backend.page(id).cloned()
     }
 
     /// Whether `id` currently sits on the free list (integrity checkers:
@@ -534,39 +699,64 @@ impl PageStore {
         self.free.contains(&id)
     }
 
-    /// Accumulated I/O counters.
+    /// Accumulated I/O counters. Reads and hits are the sum of the
+    /// buffer shards' counters — the single source of truth shared with
+    /// per-call [`ReadProbe`]s.
     pub fn stats(&self) -> IoStats {
-        self.stats
+        let counters = self.buffer.counters();
+        IoStats {
+            reads: counters.misses,
+            writes: self.writes,
+            buffer_hits: counters.hits,
+        }
     }
 
     /// Accumulated failure-path counters since the last reset.
     pub fn fault_stats(&self) -> FaultStats {
         FaultStats {
-            io_retries: self.io_retries,
+            io_retries: self.io_retries.load(Ordering::Relaxed),
             io_faults_injected: self
+                .core_read()
                 .backend
                 .faults_injected()
                 .saturating_sub(self.injected_at_reset),
-            checksum_failures: self.checksum_failures,
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
     }
 
     /// Zero the I/O and fault counters (start of a measured query batch).
     pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
-        self.io_retries = 0;
-        self.checksum_failures = 0;
-        self.injected_at_reset = self.backend.faults_injected();
+        self.buffer.reset_counters();
+        self.writes = 0;
+        self.io_retries.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
+        self.injected_at_reset = core_mut(&mut self.core).backend.faults_injected();
     }
 
     /// Empty the buffer pool (the paper resets it before every query).
+    /// Residency only: the accumulated counters are untouched.
     pub fn reset_buffer(&mut self) {
         self.buffer.clear();
     }
 
-    /// Replace the buffer pool capacity (clears residency).
+    /// Replace the buffer pool capacity (clears residency, keeps the
+    /// shard count and accumulated counters).
     pub fn set_buffer_capacity(&mut self, capacity: usize) {
-        self.buffer = LruBuffer::new(capacity);
+        self.buffer.set_capacity(capacity);
+    }
+
+    /// Re-stripe the buffer pool across `shards` lock shards (clears
+    /// residency, preserves total capacity and merged counters). One
+    /// shard — the default — reproduces the paper's global-LRU numbers
+    /// exactly; more shards trade strict global LRU for less reader
+    /// contention (DESIGN.md §6).
+    pub fn set_buffer_shards(&mut self, shards: usize) {
+        self.buffer.set_shards(shards);
+    }
+
+    /// Number of buffer pool lock shards.
+    pub fn buffer_shards(&self) -> usize {
+        self.buffer.shard_count()
     }
 
     /// The save epoch this store was loaded at (0 for a fresh store);
@@ -596,36 +786,41 @@ impl PageStore {
     /// serialized store, where page ids must stay dense and ordered).
     /// Infallible: the loader builds over a fresh [`MemBackend`].
     pub(crate) fn allocate_silent(&mut self) -> PageId {
+        let core = core_mut(&mut self.core);
         // stilint::allow(no_io_unwrap, "loader caps page_count at u32 (file format length fields) over a MemBackend that only fails on id overflow, so allocate cannot fail")
-        let id = self.backend.allocate().expect("loader allocate");
-        self.sums.push(zero_page_sum());
+        let id = core.backend.allocate().expect("loader allocate");
+        core.sums.push(zero_page_sum());
         id
     }
 
     /// Raw page access without buffer accounting (serialization only).
-    pub(crate) fn raw_page(&self, id: PageId) -> &Page {
-        // stilint::allow(no_io_unwrap, "persist iterates ids below num_pages only")
-        self.backend.page(id).expect("raw_page in bounds")
+    /// Owned copy: the page lives under the read-path lock.
+    pub(crate) fn raw_page(&self, id: PageId) -> Page {
+        let page = self.core_read().backend.page(id).cloned();
+        // stilint::allow(no_panic, "persist iterates ids below num_pages only")
+        page.expect("raw_page in bounds")
     }
 
     /// Raw mutable page access without accounting (deserialization only).
     pub(crate) fn raw_page_mut(&mut self, id: PageId) -> &mut Page {
-        // stilint::allow(no_io_unwrap, "persist iterates ids below num_pages only")
-        self.backend.page_mut(id).expect("raw_page_mut in bounds")
+        let page = core_mut(&mut self.core).backend.page_mut(id);
+        // stilint::allow(no_panic, "persist iterates ids below num_pages only")
+        page.expect("raw_page_mut in bounds")
     }
 
     /// Recompute a page's recorded checksum from its current raw bytes
     /// (loader only: pages are filled via [`PageStore::raw_page_mut`]).
     pub(crate) fn refresh_sum(&mut self, id: PageId) {
-        if let Some(p) = self.backend.page(id) {
-            self.sums[id as usize] = xxh64(p.bytes());
+        let core = core_mut(&mut self.core);
+        if let Some(p) = core.backend.page(id) {
+            core.sums[id as usize] = xxh64(p.bytes());
         }
     }
 
     /// A page's recorded checksum (serialization reuses it instead of
     /// re-hashing).
     pub(crate) fn page_sum(&self, id: PageId) -> u64 {
-        self.sums[id as usize]
+        self.core_read().sums[id as usize]
     }
 }
 
@@ -633,6 +828,12 @@ impl PageStore {
 mod tests {
     use super::*;
     use crate::fault::{FaultKind, FaultPlan, FaultyBackend, ScheduledFault};
+
+    /// Read discarding the per-call probe (the tests below assert on
+    /// the global counters unless they are probing attribution itself).
+    fn read(s: &PageStore, id: PageId) -> Result<Page, StorageError> {
+        s.read(id, &mut ReadProbe::new())
+    }
 
     #[test]
     fn allocate_read_write_round_trip() {
@@ -644,7 +845,7 @@ mod tests {
         assert_eq!(s.bytes(), 2 * PAGE_SIZE);
 
         s.write(a, &[1, 2, 3]).unwrap();
-        assert_eq!(&s.read(a).unwrap().bytes()[..3], &[1, 2, 3]);
+        assert_eq!(&read(&s, a).unwrap().bytes()[..3], &[1, 2, 3]);
     }
 
     #[test]
@@ -653,21 +854,80 @@ mod tests {
         let a = s.allocate().unwrap();
         s.reset_stats();
         s.reset_buffer();
-        s.read(a).unwrap(); // miss
-        s.read(a).unwrap(); // hit
+        read(&s, a).unwrap(); // miss
+        read(&s, a).unwrap(); // hit
         let st = s.stats();
         assert_eq!(st.reads, 1);
         assert_eq!(st.buffer_hits, 1);
     }
 
     #[test]
+    fn probe_mirrors_global_counters_exactly() {
+        let mut s = PageStore::new(1);
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        s.reset_stats();
+        s.reset_buffer();
+        let mut probe = ReadProbe::new();
+        s.read(a, &mut probe).unwrap(); // miss
+        s.read(a, &mut probe).unwrap(); // hit
+        s.read(b, &mut probe).unwrap(); // miss, evicts a
+        s.read(a, &mut probe).unwrap(); // miss
+        assert_eq!(probe.disk_reads, 3);
+        assert_eq!(probe.buffer_hits, 1);
+        let st = s.stats();
+        assert_eq!(st.reads, probe.disk_reads);
+        assert_eq!(st.buffer_hits, probe.buffer_hits);
+        assert_eq!(probe.io_retries, 0);
+        assert_eq!(probe.checksum_failures, 0);
+    }
+
+    #[test]
+    fn concurrent_probes_sum_to_the_global_delta() {
+        let mut s = PageStore::new(4);
+        let pages: Vec<PageId> = (0..8).map(|_| s.allocate().unwrap()).collect();
+        for &p in &pages {
+            s.write(p, &[p as u8]).unwrap();
+        }
+        s.reset_stats();
+        s.reset_buffer();
+        s.set_buffer_shards(4);
+        let store = &s;
+        let pages = &pages;
+        let probes: Vec<ReadProbe> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut probe = ReadProbe::new();
+                        for round in 0..50u32 {
+                            let p = pages[((t + round) % 8) as usize];
+                            let page = store.read(p, &mut probe).unwrap();
+                            assert_eq!(page.bytes()[0], p as u8, "torn read");
+                        }
+                        probe
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut total = ReadProbe::new();
+        for p in &probes {
+            total.merge(p);
+        }
+        let st = s.stats();
+        assert_eq!(st.reads, total.disk_reads, "Σ probe reads == global");
+        assert_eq!(st.buffer_hits, total.buffer_hits, "Σ probe hits == global");
+        assert_eq!(st.reads + st.buffer_hits, 4 * 50, "every access accounted");
+    }
+
+    #[test]
     fn buffer_reset_makes_reads_cost_again() {
         let mut s = PageStore::new(2);
         let a = s.allocate().unwrap();
-        s.read(a).unwrap();
+        read(&s, a).unwrap();
         s.reset_stats();
         s.reset_buffer();
-        s.read(a).unwrap();
+        read(&s, a).unwrap();
         assert_eq!(s.stats().reads, 1);
     }
 
@@ -677,7 +937,7 @@ mod tests {
         let a = s.allocate().unwrap();
         s.reset_stats();
         s.write(a, &[7]).unwrap();
-        s.read(a).unwrap(); // should hit: write populated the buffer
+        read(&s, a).unwrap(); // should hit: write populated the buffer
         let st = s.stats();
         assert_eq!(st.writes, 1);
         assert_eq!(st.reads, 0);
@@ -700,13 +960,13 @@ mod tests {
 
         s.write(a, &[1]).unwrap(); // writes=1, buffer: [a]
         s.write(a, &[2]).unwrap(); // resident: writes=2, still one write each
-        s.read(a).unwrap(); //        hit:          hits=1
-        s.read(b).unwrap(); //        miss:         reads=1, buffer: [b, a]
+        read(&s, a).unwrap(); //       hit:          hits=1
+        read(&s, b).unwrap(); //       miss:         reads=1, buffer: [b, a]
         s.write(c, &[3]).unwrap(); // miss-install: writes=3, evicts a → [c, b]
-        s.read(a).unwrap(); //        miss:         reads=2, evicts b → [a, c]
-        s.read(c).unwrap(); //        hit:          hits=2
+        read(&s, a).unwrap(); //       miss:         reads=2, evicts b → [a, c]
+        read(&s, c).unwrap(); //       hit:          hits=2
         s.write(b, &[4]).unwrap(); // writes=4, evicts a → [b, c]
-        s.read(b).unwrap(); //        hit:          hits=3
+        read(&s, b).unwrap(); //       hit:          hits=3
 
         assert_eq!(
             s.stats(),
@@ -725,9 +985,9 @@ mod tests {
         let a = s.allocate().unwrap();
         let b = s.allocate().unwrap();
         s.reset_stats();
-        s.read(a).unwrap();
-        s.read(b).unwrap(); // evicts a
-        s.read(a).unwrap(); // miss again
+        read(&s, a).unwrap();
+        read(&s, b).unwrap(); // evicts a
+        read(&s, a).unwrap(); // miss again
         assert_eq!(s.stats().reads, 3);
         assert_eq!(s.stats().buffer_hits, 0);
     }
@@ -736,7 +996,7 @@ mod tests {
     fn unallocated_access_is_a_typed_error() {
         let mut s = PageStore::new(2);
         assert!(matches!(
-            s.read(0),
+            read(&s, 0),
             Err(StorageError::Unallocated { page: 0, .. })
         ));
         assert!(matches!(
@@ -761,7 +1021,7 @@ mod tests {
             Err(StorageError::PayloadTooLarge { len: PAGE_SIZE + 1 })
         );
         assert_eq!(s.stats().writes, 0);
-        assert_eq!(&s.read(a).unwrap().bytes()[..10], &[3; 10]);
+        assert_eq!(&read(&s, a).unwrap().bytes()[..10], &[3; 10]);
     }
 
     #[test]
@@ -786,7 +1046,7 @@ mod tests {
         assert_eq!(c, a, "free list should hand back the freed page");
         assert_eq!(s.free_pages(), 0);
         // Reused page comes back zeroed.
-        assert!(s.read(c).unwrap().bytes().iter().all(|&x| x == 0));
+        assert!(read(&s, c).unwrap().bytes().iter().all(|&x| x == 0));
         assert_eq!(s.num_pages(), 2, "no growth when reusing");
     }
 
@@ -794,12 +1054,12 @@ mod tests {
     fn free_invalidates_buffer_residency() {
         let mut s = PageStore::new(2);
         let a = s.allocate().unwrap();
-        s.read(a).unwrap(); // resident
+        read(&s, a).unwrap(); // resident
         s.free(a).unwrap();
         let b = s.allocate().unwrap();
         assert_eq!(a, b);
         s.reset_stats();
-        s.read(b).unwrap();
+        read(&s, b).unwrap();
         assert_eq!(s.stats().reads, 1, "stale residency must not mask the read");
     }
 
@@ -830,7 +1090,7 @@ mod tests {
         let mut s = faulty_store(plan);
         let a = s.allocate().unwrap();
         s.write(a, &[5]).unwrap();
-        assert_eq!(&s.read(a).unwrap().bytes()[..1], &[5]);
+        assert_eq!(&read(&s, a).unwrap().bytes()[..1], &[5]);
         let fs = s.fault_stats();
         assert_eq!(fs.io_retries, 1, "one transient fault, one retry");
         assert_eq!(fs.io_faults_injected, 1);
@@ -856,7 +1116,7 @@ mod tests {
         );
         assert_eq!(s.fault_stats().io_retries, 0, "permanent: no retry");
         // State unchanged: the page still reads back zeroed.
-        assert!(s.read(a).unwrap().bytes().iter().all(|&x| x == 0));
+        assert!(read(&s, a).unwrap().bytes().iter().all(|&x| x == 0));
     }
 
     #[test]
@@ -891,7 +1151,7 @@ mod tests {
         let err = s.write(a, &[9; 8]).unwrap_err();
         assert!(!err.is_transient());
         assert_eq!(
-            &s.read(a).unwrap().bytes()[..8],
+            &read(&s, a).unwrap().bytes()[..8],
             &[7; 8],
             "torn write rolled back"
         );
@@ -910,12 +1170,18 @@ mod tests {
         s.write(a, &[0b10]).unwrap();
         s.reset_buffer();
         s.reset_stats();
-        let got = s.read(a).unwrap().bytes()[0];
+        let mut probe = ReadProbe::new();
+        let got = s.read(a, &mut probe).unwrap().bytes()[0];
         assert_eq!(got, 0b10, "retry re-fetched the clean page");
         let fs = s.fault_stats();
         assert_eq!(fs.checksum_failures, 1);
         assert_eq!(fs.io_retries, 1);
         assert_eq!(s.stats().reads, 1, "one logical read despite the retry");
+        // The probe attributes the whole failure path to this call.
+        assert_eq!(probe.disk_reads, 1);
+        assert_eq!(probe.io_retries, 1);
+        assert_eq!(probe.checksum_failures, 1);
+        assert_eq!(probe.io_faults_injected, 1);
     }
 
     #[test]
@@ -929,7 +1195,7 @@ mod tests {
         let mut s = faulty_store(plan);
         let a = s.allocate().unwrap();
         s.write(a, &[1]).unwrap();
-        assert_eq!(s.read(a).unwrap().bytes()[0], 1, "flip did not stick");
+        assert_eq!(read(&s, a).unwrap().bytes()[0], 1, "flip did not stick");
         let fs = s.fault_stats();
         assert_eq!(fs.checksum_failures, 1);
         assert_eq!(fs.io_retries, 1);
@@ -955,9 +1221,9 @@ mod tests {
         s.rollback_txn();
 
         assert_eq!(s.num_pages(), 2, "appended page gone");
-        assert_eq!(&s.read(a).unwrap().bytes()[..4], &[1; 4], "write undone");
+        assert_eq!(&read(&s, a).unwrap().bytes()[..4], &[1; 4], "write undone");
         assert_eq!(
-            &s.read(b).unwrap().bytes()[..4],
+            &read(&s, b).unwrap().bytes()[..4],
             &[2; 4],
             "free+reuse undone"
         );
@@ -973,9 +1239,9 @@ mod tests {
         s.write(a, &[5]).unwrap();
         s.commit_txn();
         assert!(!s.in_txn());
-        assert_eq!(s.read(a).unwrap().bytes()[0], 5);
+        assert_eq!(read(&s, a).unwrap().bytes()[0], 5);
         s.rollback_txn(); // no-op outside a txn
-        assert_eq!(s.read(a).unwrap().bytes()[0], 5);
+        assert_eq!(read(&s, a).unwrap().bytes()[0], 5);
     }
 
     #[test]
@@ -989,7 +1255,7 @@ mod tests {
         s.write(a, &[3]).unwrap();
         s.rollback_txn();
         assert_eq!(
-            s.read(a).unwrap().bytes()[0],
+            read(&s, a).unwrap().bytes()[0],
             1,
             "outer rollback undoes all"
         );
@@ -1000,9 +1266,34 @@ mod tests {
         let mut m = MemBackend::new();
         let id = m.allocate().unwrap();
         m.write(id, &[4; 4]).unwrap();
-        let mut s = PageStore::with_backend(Box::new(m), 4);
+        let s = PageStore::with_backend(Box::new(m), 4);
         assert_eq!(s.num_pages(), 1);
-        assert_eq!(&s.read(id).unwrap().bytes()[..4], &[4; 4]);
+        assert_eq!(&read(&s, id).unwrap().bytes()[..4], &[4; 4]);
         assert_eq!(s.fault_stats().checksum_failures, 0);
+    }
+
+    #[test]
+    fn resharding_preserves_counters_and_sequential_totals() {
+        let mut s = PageStore::new(4);
+        let pages: Vec<PageId> = (0..6).map(|_| s.allocate().unwrap()).collect();
+        s.reset_stats();
+        s.reset_buffer();
+        for &p in &pages {
+            read(&s, p).unwrap();
+        }
+        let before = s.stats();
+        assert_eq!(before.reads, 6);
+        s.set_buffer_shards(4);
+        assert_eq!(s.buffer_shards(), 4);
+        assert_eq!(s.stats(), before, "re-striping moves no counters");
+        for &p in &pages {
+            read(&s, p).unwrap();
+        }
+        let after = s.stats();
+        assert_eq!(
+            after.reads + after.buffer_hits,
+            12,
+            "every access still accounted after re-striping"
+        );
     }
 }

@@ -62,7 +62,7 @@ fn main() {
         "\nstream done: {} artificial splits issued online",
         indexer.splits_issued()
     );
-    let mut tree = indexer.seal(1000).expect("in-memory seal cannot fail");
+    let tree = indexer.seal(1000).expect("in-memory seal cannot fail");
     let mut out = Vec::new();
     tree.query_interval(
         &Rect2::from_bounds(0.45, 0.45, 0.55, 0.55),

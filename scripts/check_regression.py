@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Usage:
+    check_regression.py BASELINE.json CURRENT.json [--wall-tolerance 1.5]
+
+The workspace's benchmarks are deterministic end to end: datasets are
+seeded, split planning is deterministic, and tree construction is
+single-threaded, so every I/O-derived metric in a profile (average disk
+reads per query, percentiles, nodes visited, buffer hits) must match the
+baseline *exactly*. Any difference — better or worse — fails the gate,
+because a silent improvement is just as much an unreviewed behavior
+change as a regression. Wall-clock time is the one machine-dependent
+number; it only fails when the current run is more than --wall-tolerance
+times slower than the baseline (default 1.5x).
+
+Re-baselining: see CONTRIBUTING.md ("Performance baselines").
+
+Exit status: 0 when everything matches, 1 on any mismatch, 2 on usage or
+schema errors. Pure stdlib; no third-party imports.
+"""
+
+import json
+import sys
+
+# Exact-compared profile keys. `avg_formatted` stands in for `avg` so
+# the comparison is on the printed representation, not float identity.
+EXACT_PROFILE_KEYS = ["avg_formatted", "p50", "p95", "max", "queries"]
+# Exact-compared keys inside the summed per-query totals (`io`).
+EXACT_IO_KEYS = [
+    "disk_reads",
+    "buffer_hits",
+    "nodes_visited",
+    "entries_scanned",
+    "results",
+]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "sti-bench/1":
+        print(f"error: {path}: unexpected schema {doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def profile_map(doc):
+    """(table index, row, series) -> profile dict."""
+    out = {}
+    for ti, table in enumerate(doc.get("tables", [])):
+        for prof in table.get("profiles", []):
+            out[(ti, prof["row"], prof["series"])] = prof
+    return out
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tol = 1.5
+    for a in argv[1:]:
+        if a.startswith("--wall-tolerance"):
+            try:
+                tol = float(a.split("=", 1)[1]) if "=" in a else float(
+                    argv[argv.index(a) + 1]
+                )
+            except (IndexError, ValueError):
+                print("error: --wall-tolerance needs a number", file=sys.stderr)
+                return 2
+    if len(args) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base_doc, cur_doc = load(args[0]), load(args[1])
+    if base_doc.get("bench") != cur_doc.get("bench"):
+        print(
+            f"error: bench mismatch: baseline is {base_doc.get('bench')!r}, "
+            f"current is {cur_doc.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    base, cur = profile_map(base_doc), profile_map(cur_doc)
+    failures = []
+    checked = 0
+
+    missing = sorted(set(base) - set(cur))
+    for key in missing:
+        failures.append(f"{key}: profile present in baseline but missing from current run")
+    extra = sorted(set(cur) - set(base))
+    for key in extra:
+        failures.append(f"{key}: new profile not present in baseline (re-baseline to accept)")
+
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        for field in EXACT_PROFILE_KEYS:
+            checked += 1
+            if b.get(field) != c.get(field):
+                failures.append(
+                    f"{key}: {field} changed: baseline {b.get(field)!r} -> {c.get(field)!r}"
+                )
+        bio, cio = b.get("io", {}), c.get("io", {})
+        for field in EXACT_IO_KEYS:
+            if field not in bio and field not in cio:
+                continue
+            checked += 1
+            if bio.get(field) != cio.get(field):
+                failures.append(
+                    f"{key}: io.{field} changed: baseline {bio.get(field)!r} -> {cio.get(field)!r}"
+                )
+        checked += 1
+        bw, cw = float(b["wall_secs"]), float(c["wall_secs"])
+        if cw > bw * tol:
+            failures.append(
+                f"{key}: wall_secs {cw:.4f} exceeds baseline {bw:.4f} x {tol} tolerance"
+            )
+
+    bench = cur_doc.get("bench")
+    if failures:
+        print(f"perf gate FAILED for {bench!r} ({len(failures)} problem(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(
+        f"perf gate ok for {bench!r}: {len(base)} profiles, {checked} checks "
+        f"(I/O exact, wall x{tol} tolerance)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

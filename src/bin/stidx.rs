@@ -9,6 +9,7 @@
 //!                [--threads auto|seq|N]
 //! stidx query    --index index.stidx --backend ppr|rstar
 //!                --area x0,y0,x1,y1 --time T [--until T2]
+//!                [--threads auto|seq|N]
 //! stidx nearest  --index index.stidx --backend ppr
 //!                --point x,y --time T [--k 5]
 //! ```
@@ -50,6 +51,7 @@ const USAGE: &str = "usage:
                  [--dist lagreedy|greedy|optimal] [--threads auto|seq|N]
   stidx query    --index FILE --backend ppr|rstar
                  --area x0,y0,x1,y1 --time T [--until T2]
+                 [--threads auto|seq|N]
   stidx nearest  --index FILE --backend ppr
                  --point x,y --time T [--k 5]
   stidx check    FILE | --index FILE
@@ -256,7 +258,10 @@ fn stats(path: &Path, metrics: &mut MetricSet) -> Result<(), String> {
     }
     if &magic == spatiotemporal_index::datagen::io::DATASET_MAGIC {
         let objects = load_dataset(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        println!("{}", DatasetStats::compute(&objects, TIME_EXTENT));
+        print_or_pipe(&format!(
+            "{}\n",
+            DatasetStats::compute(&objects, TIME_EXTENT)
+        ))?;
         metrics.gauge(
             "stidx_dataset_objects",
             "objects in the dataset file",
@@ -283,14 +288,19 @@ fn index_stats(path: &Path, metrics: &mut MetricSet) -> Result<(), String> {
     match PprTree::open_file(path) {
         Ok(tree) => {
             let height = tree.roots().iter().map(|r| r.level + 1).max().unwrap_or(0);
-            println!("backend          ppr (partially persistent R-Tree)");
-            println!("file             {} ({bytes} bytes)", path.display());
-            println!("pages            {}", tree.num_pages());
-            println!("records posted   {}", tree.total_records());
-            println!("records alive    {}", tree.alive_records());
-            println!("root log spans   {}", tree.roots().len());
-            println!("height           {height}");
-            println!("clock (now)      {}", tree.now());
+            let mut out = String::new();
+            out.push_str("backend          ppr (partially persistent R-Tree)\n");
+            out.push_str(&format!(
+                "file             {} ({bytes} bytes)\n",
+                path.display()
+            ));
+            out.push_str(&format!("pages            {}\n", tree.num_pages()));
+            out.push_str(&format!("records posted   {}\n", tree.total_records()));
+            out.push_str(&format!("records alive    {}\n", tree.alive_records()));
+            out.push_str(&format!("root log spans   {}\n", tree.roots().len()));
+            out.push_str(&format!("height           {height}\n"));
+            out.push_str(&format!("clock (now)      {}\n", tree.now()));
+            print_or_pipe(&out)?;
             metrics.gauge(
                 "stidx_index_pages",
                 "pages in the index",
@@ -306,11 +316,16 @@ fn index_stats(path: &Path, metrics: &mut MetricSet) -> Result<(), String> {
         }
         Err(first) => match RStarTree::open_file(path) {
             Ok(tree) => {
-                println!("backend          rstar (3D R*-Tree)");
-                println!("file             {} ({bytes} bytes)", path.display());
-                println!("pages            {}", tree.num_pages());
-                println!("records          {}", tree.len());
-                println!("height           {}", tree.height());
+                let mut out = String::new();
+                out.push_str("backend          rstar (3D R*-Tree)\n");
+                out.push_str(&format!(
+                    "file             {} ({bytes} bytes)\n",
+                    path.display()
+                ));
+                out.push_str(&format!("pages            {}\n", tree.num_pages()));
+                out.push_str(&format!("records          {}\n", tree.len()));
+                out.push_str(&format!("height           {}\n", tree.height()));
+                print_or_pipe(&out)?;
                 metrics.gauge(
                     "stidx_index_pages",
                     "pages in the index",
@@ -408,6 +423,30 @@ fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
     Ok(())
 }
 
+/// Replay a query across `workers` concurrent readers on one shared
+/// tree and insist every reader sees the answer `expected` (queries are
+/// `&self` end to end, so the only shared state is the buffer pool).
+fn verify_concurrent_readers<F>(workers: usize, expected: &[u64], run: F) -> Result<(), String>
+where
+    F: Fn() -> Result<Vec<u64>, String> + Sync,
+{
+    std::thread::scope(|scope| {
+        let run = &run;
+        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run)).collect();
+        for handle in handles {
+            let mut ids = handle
+                .join()
+                .map_err(|_| "a reader thread panicked".to_string())??;
+            ids.sort_unstable();
+            ids.dedup();
+            if ids != expected {
+                return Err("concurrent readers disagreed with the sequential answer".into());
+            }
+        }
+        Ok(())
+    })
+}
+
 fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), String> {
     let path = PathBuf::from(need(opts, "index")?);
     let backend = parse_backend(need(opts, "backend")?)?;
@@ -423,12 +462,21 @@ fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
         return Err("--until must be after --time".into());
     }
     let range = TimeInterval::new(t, until);
+    let workers = match opts.get("threads") {
+        Some(v) => Parallelism::parse(v)
+            .map_err(|e| format!("--threads: {e}"))?
+            .workers(),
+        None => 1,
+    };
 
     let (mut ids, qs) = match backend {
         IndexBackend::PprTree => {
             let mut tree = PprTree::open_file(&path)
                 .map_err(|e| format!("opening {}: {e}", path.display()))?;
             tree.reset_for_query();
+            if workers > 1 {
+                tree.set_buffer_shards(workers);
+            }
             let mut out = Vec::new();
             let qs = if range.len() == 1 {
                 tree.query_snapshot(&area, t, &mut out)
@@ -436,12 +484,31 @@ fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
                 tree.query_interval(&area, &range, &mut out)
             }
             .map_err(|e| format!("querying {}: {e}", path.display()))?;
+            if workers > 1 {
+                let mut expected = out.clone();
+                expected.sort_unstable();
+                expected.dedup();
+                let shared = &tree;
+                verify_concurrent_readers(workers, &expected, || {
+                    let mut ids = Vec::new();
+                    if range.len() == 1 {
+                        shared.query_snapshot(&area, t, &mut ids)
+                    } else {
+                        shared.query_interval(&area, &range, &mut ids)
+                    }
+                    .map_err(|e| format!("concurrent query: {e}"))?;
+                    Ok(ids)
+                })?;
+            }
             (out, qs)
         }
         IndexBackend::RStar => {
             let mut tree = RStarTree::open_file(&path)
                 .map_err(|e| format!("opening {}: {e}", path.display()))?;
             tree.reset_for_query();
+            if workers > 1 {
+                tree.set_buffer_shards(workers);
+            }
             let q = spatiotemporal_index::geom::Rect3::from_query(
                 &area,
                 &range,
@@ -451,6 +518,19 @@ fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
             let qs = tree
                 .query(&q, &mut out)
                 .map_err(|e| format!("querying {}: {e}", path.display()))?;
+            if workers > 1 {
+                let mut expected = out.clone();
+                expected.sort_unstable();
+                expected.dedup();
+                let shared = &tree;
+                verify_concurrent_readers(workers, &expected, || {
+                    let mut ids = Vec::new();
+                    shared
+                        .query(&q, &mut ids)
+                        .map_err(|e| format!("concurrent query: {e}"))?;
+                    Ok(ids)
+                })?;
+            }
             (out, qs)
         }
     };
@@ -460,6 +540,11 @@ fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
     ids.dedup();
     let mut out = String::with_capacity(ids.len() * 8 + 64);
     out.push_str(&format!("{} objects, {reads} disk reads\n", ids.len()));
+    if workers > 1 {
+        out.push_str(&format!(
+            "verified: {workers} concurrent readers agree with the sequential answer\n"
+        ));
+    }
     for id in ids {
         out.push_str(&format!("{id}\n"));
     }
@@ -490,7 +575,7 @@ fn nearest(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let results = match backend {
         IndexBackend::PprTree => {
-            let mut tree = PprTree::open_file(&path)
+            let tree = PprTree::open_file(&path)
                 .map_err(|e| format!("opening {}: {e}", path.display()))?;
             tree.nearest_at(point, t, k)
                 .map_err(|e| format!("querying {}: {e}", path.display()))?

@@ -56,7 +56,7 @@ fn all_three_structures_agree_everywhere() {
         None,
     );
     let records = plan.records(&objects);
-    let (mut ppr, mut hr, mut rstar) = build_all(&records);
+    let (ppr, hr, rstar) = build_all(&records);
 
     for i in 0..40u32 {
         let x = 0.09 * f64::from(i % 10);
@@ -105,7 +105,7 @@ fn railway_stream_agreement() {
         None,
     );
     let records = plan.records(&trains);
-    let (mut ppr, mut hr, _) = build_all(&records);
+    let (ppr, hr, _) = build_all(&records);
     for t in (0..1000).step_by(111) {
         let area = Rect2::from_bounds(0.0, 0.5, 0.3, 1.0); // around California
         let mut a = Vec::new();

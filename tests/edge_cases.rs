@@ -9,7 +9,7 @@ use spatiotemporal_index::prelude::*;
 #[test]
 fn empty_record_set_builds_and_answers_nothing() {
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&[], &IndexConfig::paper(backend)).unwrap();
+        let idx = SpatioTemporalIndex::build(&[], &IndexConfig::paper(backend)).unwrap();
         assert_eq!(idx.record_count(), 0);
         let hits = idx
             .query(&Rect2::UNIT, &TimeInterval::new(0, 1000))
@@ -60,7 +60,7 @@ fn single_instant_objects_index_fine() {
     let records = plan.records(&objects);
     assert_eq!(records.len(), 30);
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
+        let idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
         let hits = idx
             .query(
                 &Rect2::from_bounds(0.0, 0.0, 0.3, 0.3),
@@ -90,7 +90,7 @@ fn zero_extent_point_objects_work_end_to_end() {
     let records = unsplit_records(&objects);
     assert_eq!(total_volume(&records), 0.0, "points have zero volume");
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
+        let idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
         let hits = idx
             .query(&Rect2::UNIT, &TimeInterval::instant(105))
             .unwrap();
@@ -125,7 +125,7 @@ fn whole_space_whole_time_query_returns_everything() {
     let objects = RandomDatasetSpec::paper(200).generate();
     let records = unsplit_records(&objects);
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
+        let idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
         let hits = idx
             .query(&Rect2::UNIT, &TimeInterval::new(0, 1000))
             .unwrap();
@@ -140,7 +140,7 @@ fn queries_outside_all_lifetimes_return_nothing() {
         .collect();
     let records = unsplit_records(&objects);
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
+        let idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
         assert!(idx
             .query(&Rect2::UNIT, &TimeInterval::new(0, 100))
             .unwrap()

@@ -80,7 +80,7 @@ fn every_algorithm_combination_yields_a_correct_index() {
             let records = plan.records(&objs);
             assert!((total_volume(&records) - plan.total_volume()).abs() < 1e-6);
             for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-                let mut idx =
+                let idx =
                     SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
                 for (area, range) in query_grid() {
                     let got = idx.query(&area, &range).unwrap();
@@ -106,7 +106,7 @@ fn indexes_never_miss_true_geometry_hits() {
     );
     let records = plan.records(&objs);
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
-        let mut idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
+        let idx = SpatioTemporalIndex::build(&records, &IndexConfig::paper(backend)).unwrap();
         for (area, range) in query_grid() {
             let got = idx.query(&area, &range).unwrap();
             for id in brute_geometry(&objs, &area, &range) {
@@ -131,8 +131,8 @@ fn splitting_only_removes_false_positives() {
     );
     let split = plan.records(&objs);
     let cfg = IndexConfig::paper(IndexBackend::PprTree);
-    let mut whole_idx = SpatioTemporalIndex::build(&whole, &cfg).unwrap();
-    let mut split_idx = SpatioTemporalIndex::build(&split, &cfg).unwrap();
+    let whole_idx = SpatioTemporalIndex::build(&whole, &cfg).unwrap();
+    let split_idx = SpatioTemporalIndex::build(&split, &cfg).unwrap();
     for (area, range) in query_grid() {
         let broad = whole_idx.query(&area, &range).unwrap();
         let tight = split_idx.query(&area, &range).unwrap();
@@ -160,9 +160,9 @@ fn railway_pipeline_end_to_end() {
         None,
     );
     let records = plan.records(&trains);
-    let mut ppr =
+    let ppr =
         SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::PprTree)).unwrap();
-    let mut rstar =
+    let rstar =
         SpatioTemporalIndex::build(&records, &IndexConfig::paper(IndexBackend::RStar)).unwrap();
     for (area, range) in query_grid() {
         let want = brute_records(&records, &area, &range);

@@ -327,7 +327,7 @@ proptest! {
 /// and the torn temp file fails closed if anything tries to open it.
 #[test]
 fn mid_save_crash_recovers_to_the_previous_image() {
-    use spatiotemporal_index::storage::{OpenError, PageStore, SaveCrash};
+    use spatiotemporal_index::storage::{OpenError, PageStore, ReadProbe, SaveCrash};
 
     let dir = std::env::temp_dir();
     let path = dir.join(format!("sti-crash-{}.idx", std::process::id()));
@@ -344,9 +344,12 @@ fn mid_save_crash_recovers_to_the_previous_image() {
     store
         .save_to_crashing(&path, b"meta-v2", SaveCrash::MidTemp { keep_bytes: 100 })
         .expect("simulated crash is not an error");
-    let (mut back, meta) = PageStore::load_from(&path, 4).expect("previous image loads");
+    let (back, meta) = PageStore::load_from(&path, 4).expect("previous image loads");
     assert_eq!(meta, b"meta-v1");
-    assert_eq!(&back.read(a).unwrap().bytes()[..11], b"version one");
+    assert_eq!(
+        &back.read(a, &mut ReadProbe::new()).unwrap().bytes()[..11],
+        b"version one"
+    );
     let torn = PageStore::load_from(&tmp, 4);
     assert!(
         matches!(
@@ -366,9 +369,12 @@ fn mid_save_crash_recovers_to_the_previous_image() {
 
     // An uninterrupted save then supersedes it.
     store.save_to(&path, b"meta-v2").expect("clean save");
-    let (mut back, meta) = PageStore::load_from(&path, 4).expect("new image loads");
+    let (back, meta) = PageStore::load_from(&path, 4).expect("new image loads");
     assert_eq!(meta, b"meta-v2");
-    assert_eq!(&back.read(a).unwrap().bytes()[..11], b"version two");
+    assert_eq!(
+        &back.read(a, &mut ReadProbe::new()).unwrap().bytes()[..11],
+        b"version two"
+    );
 
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(&tmp).ok();

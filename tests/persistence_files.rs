@@ -85,8 +85,7 @@ fn pprtree_survives_a_round_trip() {
 #[test]
 fn rstar_survives_a_round_trip() {
     let recs = records();
-    let mut idx =
-        SpatioTemporalIndex::build(&recs, &IndexConfig::paper(IndexBackend::RStar)).unwrap();
+    let idx = SpatioTemporalIndex::build(&recs, &IndexConfig::paper(IndexBackend::RStar)).unwrap();
     // Rebuild a raw tree the same way the facade does, then persist it.
     let mut tree = RStarTree::new(Default::default());
     for r in &recs {

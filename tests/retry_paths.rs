@@ -5,7 +5,8 @@
 
 use spatiotemporal_index::pprtree::{check, PprParams, PprTree};
 use spatiotemporal_index::storage::{
-    FaultKind, FaultPlan, FaultyBackend, IoOp, PageStore, RetryPolicy, ScheduledFault, StorageError,
+    FaultKind, FaultPlan, FaultyBackend, IoOp, PageStore, ReadProbe, RetryPolicy, ScheduledFault,
+    StorageError,
 };
 use sti_geom::Rect2;
 
@@ -44,7 +45,10 @@ fn transient_faults_within_budget_succeed_and_count_retries() {
         s.write(a, &[42]).unwrap_or_else(|e| {
             panic!("{k} transient faults inside a budget of 6 must succeed: {e}")
         });
-        assert_eq!(&s.read(a).unwrap().bytes()[..1], &[42]);
+        assert_eq!(
+            &s.read(a, &mut ReadProbe::new()).unwrap().bytes()[..1],
+            &[42]
+        );
         let fs = s.fault_stats();
         assert_eq!(fs.io_retries, k, "one retry per transient fault");
         assert_eq!(fs.io_faults_injected, k);
@@ -74,7 +78,11 @@ fn permanent_fault_is_not_retried_and_surfaces_unchanged() {
         "the original error, not a retry-exhaustion wrapper"
     );
     assert_eq!(s.fault_stats().io_retries, 0, "permanent faults skip retry");
-    assert_eq!(&s.read(a).unwrap().bytes()[..1], &[7], "state unchanged");
+    assert_eq!(
+        &s.read(a, &mut ReadProbe::new()).unwrap().bytes()[..1],
+        &[7],
+        "state unchanged"
+    );
 }
 
 /// Exhausting the budget surfaces the *original* transient error (typed,
@@ -100,7 +108,11 @@ fn budget_exhaustion_returns_the_original_transient_error() {
     );
     assert_eq!(s.fault_stats().io_retries, 2, "budget of 3 = 2 retries");
     assert!(
-        s.read(a).unwrap().bytes().iter().all(|&b| b == 0),
+        s.read(a, &mut ReadProbe::new())
+            .unwrap()
+            .bytes()
+            .iter()
+            .all(|&b| b == 0),
         "failed write left the page untouched"
     );
 }
