@@ -70,7 +70,7 @@ fn bench_online_splitter(c: &mut Criterion) {
             for t in 0..100_000u32 {
                 let x = (f64::from(t) * 0.0001).fract() * 0.9;
                 let r = Rect2::from_bounds(x, 0.5, x + 0.01, 0.51);
-                if s.observe(1, r, t).is_some() {
+                if s.observe(1, r, t).expect("contiguous stream").is_some() {
                     emitted += 1;
                 }
             }

@@ -28,7 +28,10 @@ fn run_online(objects: &[RasterizedObject], config: OnlineSplitConfig) -> Vec<Ob
     let mut records = Vec::new();
     for (t, id, i) in events {
         let o = &objects[id as usize];
-        if let Some(p) = splitter.observe(id, o.rect(i), t) {
+        let observed = splitter
+            .observe(id, o.rect(i), t)
+            .expect("replayed stream is gap-free");
+        if let Some(p) = observed {
             records.push(p);
         }
     }

@@ -59,18 +59,19 @@ fn batch_stats(outcomes: &[sti_core::QueryOutcome]) -> Vec<QueryStats> {
 }
 
 /// Run one backend's sweep; returns (table rows, sequential profile).
+///
+/// Takes the index by shared reference: a warm-throughput sweep never
+/// needs `&mut`. Between ladder steps it opens a fresh accounting
+/// window with [`SpatioTemporalIndex::reset_counters`] — the interior-
+/// mutable half of the old `reset_for_query` — so the conservation
+/// check reads absolute counters instead of deltas, without claiming
+/// exclusive access to an index that worker threads are about to share.
 fn sweep(
-    index: &mut SpatioTemporalIndex,
+    index: &SpatioTemporalIndex,
     label: &str,
     requests: &[QueryRequest],
     threads: &[usize],
 ) -> (Vec<Vec<String>>, IoProfile) {
-    // One shard per worker at the widest fan-out, fixed for the whole
-    // sweep so the eviction behavior (and the gated sequential profile)
-    // does not depend on which ladder step is running.
-    let max_workers = *threads.iter().max().unwrap_or(&1);
-    index.set_buffer_shards(max_workers);
-
     let (baseline, base_secs) =
         timed(|| index.query_batch_with_stats(requests, Parallelism::Sequential));
     let expected = id_sets(&baseline);
@@ -78,7 +79,7 @@ fn sweep(
 
     let mut rows = Vec::new();
     for &workers in threads {
-        let before = index.io_stats();
+        index.reset_counters();
         let (outcomes, secs) =
             timed(|| index.query_batch_with_stats(requests, Parallelism::fixed(workers)));
         let after = index.io_stats();
@@ -93,13 +94,11 @@ fn sweep(
         // counter movement even under concurrency.
         let total: QueryStats = batch_stats(&outcomes).iter().copied().sum();
         assert_eq!(
-            total.disk_reads,
-            after.reads - before.reads,
+            total.disk_reads, after.reads,
             "{label}: disk-read conservation broke at {workers} threads"
         );
         assert_eq!(
-            total.buffer_hits,
-            after.buffer_hits - before.buffer_hits,
+            total.buffer_hits, after.buffer_hits,
             "{label}: buffer-hit conservation broke at {workers} threads"
         );
 
@@ -146,11 +145,17 @@ fn main() {
     let mut profiles = Vec::new();
     for backend in [IndexBackend::PprTree, IndexBackend::RStar] {
         let mut index = build_index(&records, backend);
+        // One shard per worker at the widest fan-out, fixed for the
+        // whole sweep so the eviction behavior (and the gated
+        // sequential profile) does not depend on which ladder step is
+        // running. This is the only genuinely exclusive step; the sweep
+        // itself borrows the index shared.
+        index.set_buffer_shards(*threads.iter().max().unwrap_or(&1));
         let label = match backend {
             IndexBackend::PprTree => "ppr",
             IndexBackend::RStar => "rstar",
         };
-        let (backend_rows, seq_profile) = sweep(&mut index, label, &requests, &threads);
+        let (backend_rows, seq_profile) = sweep(&index, label, &requests, &threads);
         rows.extend(backend_rows);
         profiles.push(series("seq", label, seq_profile));
     }

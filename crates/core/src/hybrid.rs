@@ -144,10 +144,23 @@ impl HybridIndex {
         }
     }
 
+    /// Zero both components' I/O counters without touching residency
+    /// (shared — safe under concurrent `&self` queries).
+    pub fn reset_counters(&self) {
+        self.ppr.reset_counters();
+        self.rstar.reset_counters();
+    }
+
+    /// Empty both components' buffer pools (exclusive).
+    pub fn clear_buffer(&mut self) {
+        self.ppr.clear_buffer();
+        self.rstar.clear_buffer();
+    }
+
     /// Reset both components before a measured query.
     pub fn reset_for_query(&mut self) {
-        self.ppr.reset_for_query();
-        self.rstar.reset_for_query();
+        self.reset_counters();
+        self.clear_buffer();
     }
 }
 

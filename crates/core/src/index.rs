@@ -268,12 +268,32 @@ impl SpatioTemporalIndex {
         }
     }
 
-    /// Reset I/O counters and buffer pool before a measured query.
-    pub fn reset_for_query(&mut self) {
-        match &mut self.backend {
-            Backend::Ppr(t) => t.reset_for_query(),
-            Backend::RStar { tree, .. } => tree.reset_for_query(),
+    /// Zero the I/O and fault counters without touching buffer
+    /// residency. Shared: counters are interior-mutable, so a bench can
+    /// open a fresh accounting window while other threads still hold
+    /// `&self` for querying.
+    pub fn reset_counters(&self) {
+        match &self.backend {
+            Backend::Ppr(t) => t.reset_counters(),
+            Backend::RStar { tree, .. } => tree.reset_counters(),
         }
+    }
+
+    /// Empty the buffer pool (cold-buffer methodology). Exclusive so
+    /// residency cannot be yanked out from under concurrent readers.
+    pub fn clear_buffer(&mut self) {
+        match &mut self.backend {
+            Backend::Ppr(t) => t.clear_buffer(),
+            Backend::RStar { tree, .. } => tree.clear_buffer(),
+        }
+    }
+
+    /// Reset I/O counters and buffer pool before a measured query — the
+    /// union of [`SpatioTemporalIndex::reset_counters`] and
+    /// [`SpatioTemporalIndex::clear_buffer`].
+    pub fn reset_for_query(&mut self) {
+        self.reset_counters();
+        self.clear_buffer();
     }
 
     /// Re-stripe the backend's buffer pool across `shards` lock shards

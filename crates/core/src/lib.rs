@@ -21,21 +21,29 @@ pub mod index;
 pub mod multi;
 pub mod online;
 pub mod parallel;
+pub mod pipeline;
 pub mod plan;
 pub mod single;
 pub mod tuning;
 mod util;
+pub mod version;
 
 pub use curve::VolumeCurve;
 pub use executor::{QueryExecutor, QueryOutcome, QueryRequest};
 pub use hybrid::{HybridConfig, HybridIndex};
 pub use index::{BuildStats, IndexBackend, IndexConfig, SpatioTemporalIndex};
 pub use multi::{DistributionAlgorithm, SplitAllocation};
-pub use online::{FinishError, OnlineError, OnlineIndexer, OnlineSplitConfig, OnlineSplitter};
+pub use online::{
+    FinishError, ObserveError, OnlineError, OnlineIndexer, OnlineSplitConfig, OnlineSplitter,
+};
 pub use parallel::{map_chunked, Parallelism};
+pub use pipeline::{CommitReport, IngestOp, IngestPipeline, IngestQueue, IngestReader, RejectedOp};
 pub use plan::{
     piecewise_records, record_events, total_volume, unsplit_records, ObjectRecord, PlanStats,
     RecordEvent, SplitBudget, SplitPlan,
 };
 pub use single::{SingleObjectSplitter, SingleSplitAlgorithm};
 pub use tuning::{QueryProfile, TuningResult};
+pub use version::{
+    transition, BatchEvent, BatchState, InvalidTransition, PublishedIndex, VersionStamp,
+};

@@ -26,6 +26,69 @@ use sti_obs::QueryStats;
 use sti_pprtree::{DeleteError, PprParams, PprTree};
 use sti_storage::StorageError;
 
+/// Failure of an [`OnlineSplitter::observe`] (or
+/// [`OnlineIndexer::update`]) call: the observation stream violated
+/// per-instant contiguity for the object. The splitter (and indexer) are
+/// left exactly as they were — the offending observation is absorbed
+/// nowhere, so a corrected retry at the expected instant succeeds.
+///
+/// Observation streams come from outside the library (network feeds,
+/// replayed logs), so a malformed stream must surface as a value, not a
+/// panic (DESIGN.md §6, "Failure model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserveError {
+    /// `t` skips past the object's next expected instant: observations
+    /// must be per-instant contiguous.
+    Gap {
+        /// The object whose stream gapped.
+        id: u64,
+        /// The instant the caller supplied.
+        t: Time,
+        /// The only instant the stream can continue at (`last + 1`).
+        expected: Time,
+    },
+    /// `t` repeats the instant already observed for this object.
+    Duplicate {
+        /// The object observed twice at one instant.
+        id: u64,
+        /// The repeated instant.
+        t: Time,
+    },
+    /// `t` precedes an instant this stream has already absorbed —
+    /// either the object's own last observation or, at the indexer
+    /// level, the global stream clock.
+    OutOfOrder {
+        /// The object whose observation ran backwards.
+        id: u64,
+        /// The instant the caller supplied.
+        t: Time,
+        /// The latest instant already absorbed.
+        last: Time,
+    },
+}
+
+impl std::fmt::Display for ObserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObserveError::Gap { id, t, expected } => {
+                write!(
+                    f,
+                    "object {id}: observation gap at {t}, expected {expected}"
+                )
+            }
+            ObserveError::Duplicate { id, t } => {
+                write!(f, "object {id}: duplicate observation at instant {t}")
+            }
+            ObserveError::OutOfOrder { id, t, last } => write!(
+                f,
+                "object {id}: out-of-order observation at {t}, stream already at {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObserveError {}
+
 /// Failure of an [`OnlineSplitter::finish`] (or [`OnlineIndexer::finish`])
 /// call. The splitter is left unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,11 +131,19 @@ impl std::error::Error for FinishError {}
 /// (an I/O error, possibly after retries).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OnlineError {
+    /// The observation stream was malformed; see [`ObserveError`].
+    Observe(ObserveError),
     /// The splitter rejected the call; see [`FinishError`].
     Split(FinishError),
     /// The tree's page store failed; the affected events stay buffered
     /// and are retried on the next flush.
     Storage(StorageError),
+}
+
+impl From<ObserveError> for OnlineError {
+    fn from(e: ObserveError) -> Self {
+        OnlineError::Observe(e)
+    }
 }
 
 impl From<FinishError> for OnlineError {
@@ -90,6 +161,7 @@ impl From<StorageError> for OnlineError {
 impl std::fmt::Display for OnlineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            OnlineError::Observe(e) => write!(f, "{e}"),
             OnlineError::Split(e) => write!(f, "{e}"),
             OnlineError::Storage(e) => write!(f, "indexing halted by storage error: {e}"),
         }
@@ -99,6 +171,7 @@ impl std::fmt::Display for OnlineError {
 impl std::error::Error for OnlineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            OnlineError::Observe(e) => Some(e),
             OnlineError::Split(e) => Some(e),
             OnlineError::Storage(e) => Some(e),
         }
@@ -146,7 +219,7 @@ impl Default for OnlineSplitConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct OpenPiece {
     start: Time,
     /// Last instant observed (inclusive).
@@ -180,7 +253,10 @@ impl OpenPiece {
 /// let mut pieces = Vec::new();
 /// for t in 0..60 {
 ///     let center = Point2::new(0.1 + 0.01 * f64::from(t), 0.5);
-///     if let Some(piece) = splitter.observe(1, Rect2::centered(center, 0.02, 0.02), t) {
+///     if let Some(piece) = splitter
+///         .observe(1, Rect2::centered(center, 0.02, 0.02), t)
+///         .unwrap()
+///     {
 ///         pieces.push(piece);
 ///     }
 /// }
@@ -224,9 +300,18 @@ impl OnlineSplitter {
     /// Observations for one object must be per-instant contiguous
     /// (`t` follows the previous observation by exactly 1).
     ///
-    /// # Panics
-    /// On a gap in an object's observation stream.
-    pub fn observe(&mut self, id: u64, rect: Rect2, t: Time) -> Option<ObjectRecord> {
+    /// # Errors
+    /// A typed [`ObserveError`] when `t` breaks contiguity — a gap, a
+    /// duplicate instant, or a backwards step. The splitter is unchanged
+    /// on error: the open piece, the watermark, and the split counter
+    /// all stay as they were, so the stream can resume at the expected
+    /// instant.
+    pub fn observe(
+        &mut self,
+        id: u64,
+        rect: Rect2,
+        t: Time,
+    ) -> Result<Option<ObjectRecord>, ObserveError> {
         let Some(piece) = self.open.get_mut(&id) else {
             self.open.insert(
                 id,
@@ -238,9 +323,25 @@ impl OnlineSplitter {
                 },
             );
             *self.open_starts.entry(t).or_insert(0) += 1;
-            return None;
+            return Ok(None);
         };
-        assert_eq!(t, piece.last + 1, "object {id}: observation gap at {t}");
+        if t != piece.last + 1 {
+            return Err(if t == piece.last {
+                ObserveError::Duplicate { id, t }
+            } else if t < piece.last {
+                ObserveError::OutOfOrder {
+                    id,
+                    t,
+                    last: piece.last,
+                }
+            } else {
+                ObserveError::Gap {
+                    id,
+                    t,
+                    expected: piece.last + 1,
+                }
+            });
+        }
 
         let grown = piece.mbr.union(&rect);
         let instants = f64::from(piece.instants() + 1);
@@ -275,12 +376,12 @@ impl OnlineSplitter {
             remove_start(&mut self.open_starts, old_start);
             *self.open_starts.entry(t).or_insert(0) += 1;
             self.splits_issued += 1;
-            Some(closed)
+            Ok(Some(closed))
         } else {
             piece.mbr = grown;
             piece.last = t;
             piece.area_sum = area_sum;
-            None
+            Ok(None)
         }
     }
 
@@ -322,6 +423,12 @@ impl OnlineSplitter {
     pub fn watermark(&self) -> Option<Time> {
         self.open_starts.keys().next().copied()
     }
+
+    /// `(id, last observed instant)` for every open piece — what a
+    /// seal/flush pass must finish (each at `last + 1`).
+    pub(crate) fn open_last_instants(&self) -> Vec<(u64, Time)> {
+        self.open.iter().map(|(&id, p)| (id, p.last)).collect()
+    }
 }
 
 /// Remove one occurrence of `start` from the open-piece multiset.
@@ -338,13 +445,14 @@ fn remove_start(starts: &mut BTreeMap<Time, usize>, start: Time) {
 
 /// A buffered event awaiting its watermark. `RecordEvent`'s ordering
 /// (deletes before inserts at equal times) keeps an object's consecutive
-/// pieces from coexisting.
+/// pieces from coexisting. Shared with [`crate::pipeline`], whose
+/// reordering buffer needs the identical ordering law.
 #[derive(Debug, Clone, PartialEq)]
-struct Ev {
-    time: Time,
-    kind: RecordEvent,
-    seq: u64,
-    record: ObjectRecord,
+pub(crate) struct Ev {
+    pub(crate) time: Time,
+    pub(crate) kind: RecordEvent,
+    pub(crate) seq: u64,
+    pub(crate) record: ObjectRecord,
 }
 
 impl Eq for Ev {}
@@ -395,33 +503,50 @@ impl OnlineIndexer {
     /// Observe object `id` at `rect` during instant `t`.
     ///
     /// # Errors
-    /// A [`StorageError`] if flushing finalized events into the tree
-    /// fails. The observation itself is absorbed either way; the events
-    /// that could not be applied stay buffered and are retried on the
-    /// next flush (each failed tree update rolls back atomically).
-    pub fn update(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), StorageError> {
-        assert!(t >= self.now, "updates must be time-ordered");
-        self.now = t;
-        if let Some(record) = self.splitter.observe(id, rect, t) {
+    /// [`OnlineError::Observe`] if the observation breaks stream order —
+    /// `t` behind the indexer's clock, or gapped/duplicated/backwards
+    /// for this object. The indexer is unchanged: the clock, watermark,
+    /// open pieces, and buffered events all stay as they were.
+    /// [`OnlineError::Storage`] if flushing finalized events into the
+    /// tree fails. The observation itself is absorbed either way; the
+    /// events that could not be applied stay buffered and are retried on
+    /// the next flush (each failed tree update rolls back atomically).
+    pub fn update(&mut self, id: u64, rect: Rect2, t: Time) -> Result<(), OnlineError> {
+        if t < self.now {
+            return Err(ObserveError::OutOfOrder {
+                id,
+                t,
+                last: self.now,
+            }
+            .into());
+        }
+        if let Some(record) = self.splitter.observe(id, rect, t)? {
             self.push_record(record);
         }
-        self.flush()
+        self.now = t;
+        self.flush()?;
+        Ok(())
     }
 
     /// Object `id` disappears; `end` is one past its last observed
     /// instant.
     ///
     /// # Errors
-    /// [`OnlineError::Split`] if the splitter rejects the call; the
-    /// indexer is unchanged (in particular, time does not advance).
-    /// [`OnlineError::Storage`] if flushing into the tree fails; the
-    /// finish itself is recorded and its events stay buffered for the
-    /// next flush.
-    ///
-    /// # Panics
-    /// If `end` precedes an earlier update (streams are time-ordered).
+    /// [`OnlineError::Observe`] if `end` precedes an earlier update
+    /// (streams are time-ordered); [`OnlineError::Split`] if the
+    /// splitter rejects the call. In both cases the indexer is unchanged
+    /// (in particular, time does not advance). [`OnlineError::Storage`]
+    /// if flushing into the tree fails; the finish itself is recorded
+    /// and its events stay buffered for the next flush.
     pub fn finish(&mut self, id: u64, end: Time) -> Result<(), OnlineError> {
-        assert!(end >= self.now, "updates must be time-ordered");
+        if end < self.now {
+            return Err(ObserveError::OutOfOrder {
+                id,
+                t: end,
+                last: self.now,
+            }
+            .into());
+        }
         let record = self.splitter.finish(id, end)?;
         self.now = end;
         self.push_record(record);
@@ -576,7 +701,7 @@ mod tests {
         let r = Rect2::from_bounds(0.4, 0.4, 0.45, 0.45);
         for t in 0..100 {
             assert!(
-                s.observe(7, r, t).is_none(),
+                s.observe(7, r, t).unwrap().is_none(),
                 "stationary object split at {t}"
             );
         }
@@ -589,7 +714,7 @@ mod tests {
         let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
         let mut splits = 0;
         for t in 0..200 {
-            if s.observe(7, r, t).is_some() {
+            if s.observe(7, r, t).unwrap().is_some() {
                 splits += 1;
             }
         }
@@ -602,7 +727,7 @@ mod tests {
         let rects = mover(80);
         let mut pieces = Vec::new();
         for (i, r) in rects.iter().enumerate() {
-            if let Some(p) = s.observe(1, *r, 10 + i as Time) {
+            if let Some(p) = s.observe(1, *r, 10 + i as Time).unwrap() {
                 pieces.push(p);
             }
         }
@@ -638,7 +763,7 @@ mod tests {
         let mut s = OnlineSplitter::new(cfg);
         let mut pieces = Vec::new();
         for (i, r) in mover(60).iter().enumerate() {
-            if let Some(p) = s.observe(1, *r, i as Time) {
+            if let Some(p) = s.observe(1, *r, i as Time).unwrap() {
                 pieces.push(p);
             }
         }
@@ -664,7 +789,7 @@ mod tests {
         let r = Rect2::from_bounds(0.1, 0.1, 0.12, 0.12);
         let mut count = 0;
         for t in 0..20 {
-            if s.observe(3, r, t).is_some() {
+            if s.observe(3, r, t).unwrap().is_some() {
                 count += 1;
             }
         }
@@ -687,7 +812,7 @@ mod tests {
         for t in 0..50u32 {
             // Diagonal motion: the piece MBR's area genuinely grows.
             let p = Point2::new(0.01 * f64::from(t), 0.01 * f64::from(t));
-            if s.observe(9, Rect2::point(p), t).is_some() {
+            if s.observe(9, Rect2::point(p), t).unwrap().is_some() {
                 splits += 1;
             }
         }
@@ -704,7 +829,7 @@ mod tests {
 
         let r = Rect2::from_bounds(0.1, 0.1, 0.2, 0.2);
         for t in 0..4 {
-            s.observe(5, r, t);
+            s.observe(5, r, t).unwrap();
         }
         // Wrong end: the piece stays open and keeps accepting updates.
         assert_eq!(
@@ -716,7 +841,7 @@ mod tests {
             })
         );
         assert_eq!(s.open_objects(), 1);
-        s.observe(5, r, 4);
+        s.observe(5, r, 4).unwrap();
         let rec = s.finish(5, 5).unwrap();
         assert_eq!(rec.stbox.lifetime, TimeInterval::new(0, 5));
         assert_eq!(s.open_objects(), 0);
@@ -744,13 +869,96 @@ mod tests {
         idx.finish(1, 2).unwrap();
     }
 
+    /// Each contiguity violation maps to its own [`ObserveError`]
+    /// variant, and a rejected observation changes nothing: the stream
+    /// resumes at the expected instant as if the bad call never happened.
     #[test]
-    #[should_panic(expected = "observation gap")]
-    fn rejects_gaps() {
+    fn rejects_gaps_duplicates_and_backwards_steps_with_typed_errors() {
         let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
         let r = Rect2::from_bounds(0.1, 0.1, 0.2, 0.2);
-        s.observe(1, r, 0);
-        s.observe(1, r, 2);
+        s.observe(1, r, 0).unwrap();
+        s.observe(1, r, 1).unwrap();
+
+        assert_eq!(
+            s.observe(1, r, 3),
+            Err(ObserveError::Gap {
+                id: 1,
+                t: 3,
+                expected: 2
+            })
+        );
+        assert_eq!(
+            s.observe(1, r, 1),
+            Err(ObserveError::Duplicate { id: 1, t: 1 })
+        );
+        assert_eq!(
+            s.observe(1, r, 0),
+            Err(ObserveError::OutOfOrder {
+                id: 1,
+                t: 0,
+                last: 1
+            })
+        );
+
+        // State is untouched by the three rejections: the watermark, the
+        // open set, and the split counter still describe [0, 1], and the
+        // stream continues at instant 2.
+        assert_eq!(s.open_objects(), 1);
+        assert_eq!(s.watermark(), Some(0));
+        assert_eq!(s.splits_issued(), 0);
+        s.observe(1, r, 2).unwrap();
+        let rec = s.finish(1, 3).unwrap();
+        assert_eq!(rec.stbox.lifetime, TimeInterval::new(0, 3));
+    }
+
+    /// A gap on one object must not disturb *another* object's open
+    /// piece (the error path borrows only the offender's entry).
+    #[test]
+    fn observe_error_is_scoped_to_the_offending_object() {
+        let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
+        let r = Rect2::from_bounds(0.1, 0.1, 0.2, 0.2);
+        s.observe(1, r, 0).unwrap();
+        s.observe(2, r, 0).unwrap();
+        assert!(s.observe(1, r, 5).is_err());
+        s.observe(2, r, 1).unwrap();
+        assert_eq!(s.open_objects(), 2);
+        assert_eq!(s.finish(2, 2).unwrap().stbox.lifetime.end, 2);
+    }
+
+    /// The indexer rejects a stream-clock regression with a typed error
+    /// and does not advance time, absorb the observation, or buffer
+    /// events.
+    #[test]
+    fn indexer_rejects_backwards_stream_with_typed_error() {
+        let params = PprParams {
+            max_entries: 10,
+            buffer_pages: 4,
+            ..PprParams::default()
+        };
+        let mut idx = OnlineIndexer::new(OnlineSplitConfig::default(), params);
+        let r = Rect2::from_bounds(0.1, 0.1, 0.2, 0.2);
+        idx.update(1, r, 7).unwrap();
+        assert_eq!(
+            idx.update(2, r, 3),
+            Err(OnlineError::Observe(ObserveError::OutOfOrder {
+                id: 2,
+                t: 3,
+                last: 7
+            }))
+        );
+        assert_eq!(
+            idx.finish(1, 5),
+            Err(OnlineError::Observe(ObserveError::OutOfOrder {
+                id: 1,
+                t: 5,
+                last: 7
+            }))
+        );
+        // Object 2 was never absorbed; object 1 still finishes cleanly.
+        idx.update(1, r, 8).unwrap();
+        idx.finish(1, 9).unwrap();
+        let tree = idx.seal(9).unwrap();
+        assert!(sti_pprtree::check::validate(&tree).is_ok());
     }
 
     #[test]
@@ -779,7 +987,7 @@ mod tests {
         events.sort_unstable();
         for (t, id, i) in events {
             let o = &objects[id as usize];
-            if let Some(p) = s.observe(id, o.rect(i), t) {
+            if let Some(p) = s.observe(id, o.rect(i), t).unwrap() {
                 online_records.push(p);
             }
         }
@@ -904,7 +1112,7 @@ mod tests {
         let mut s = OnlineSplitter::new(OnlineSplitConfig::default());
         let r = Rect2::from_bounds(0.4, 0.4, 0.45, 0.45);
         for t in 0..10 {
-            assert!(s.observe(7, r, t).is_none());
+            assert!(s.observe(7, r, t).unwrap().is_none());
         }
 
         assert_eq!(s.finish(99, 10), Err(FinishError::NotOpen { id: 99 }));
@@ -968,5 +1176,122 @@ mod tests {
         let tree = idx.seal(10).unwrap();
         assert_eq!(tree.alive_records(), 0);
         assert!(sti_pprtree::check::validate(&tree).is_ok());
+    }
+
+    /// Everything externally observable about an [`OnlineIndexer`],
+    /// captured with same-module access to the private fields so the
+    /// equality below really is "nothing moved", not "the accessors
+    /// still agree".
+    #[derive(Debug, PartialEq)]
+    struct IndexerSnapshot {
+        now: Time,
+        seq: u64,
+        watermark: Time,
+        splits_issued: u64,
+        open: Vec<(u64, OpenPiece)>,
+        open_starts: Vec<(Time, usize)>,
+        buffered: Vec<Ev>,
+        tree_alive: u64,
+        tree_pages: usize,
+    }
+
+    impl IndexerSnapshot {
+        fn of(idx: &OnlineIndexer) -> Self {
+            let mut open: Vec<(u64, OpenPiece)> =
+                idx.splitter.open.iter().map(|(&id, &p)| (id, p)).collect();
+            open.sort_by_key(|&(id, _)| id);
+            let mut buffered: Vec<Ev> = idx.buffer.iter().map(|r| r.0.clone()).collect();
+            buffered.sort();
+            Self {
+                now: idx.now,
+                seq: idx.seq,
+                watermark: idx.watermark(),
+                splits_issued: idx.splitter.splits_issued,
+                open,
+                open_starts: idx
+                    .splitter
+                    .open_starts
+                    .iter()
+                    .map(|(&t, &n)| (t, n))
+                    .collect(),
+                buffered,
+                tree_alive: idx.tree.alive_records(),
+                tree_pages: idx.tree.num_pages(),
+            }
+        }
+    }
+
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite 3: drive a live stream and, interleaved with the
+        /// valid traffic, throw every class of malformed call at the
+        /// indexer. Each must return the right typed error and leave the
+        /// watermark, the open-piece set, and the buffered/emitted
+        /// records bit-identical; the stream then carries on and the
+        /// sealed tree passes the full-history sanitizer.
+        #[test]
+        fn malformed_calls_leave_the_indexer_unchanged(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let params = PprParams { max_entries: 10, buffer_pages: 4, ..PprParams::default() };
+            let cfg = OnlineSplitConfig {
+                min_piece_instants: 2,
+                max_piece_instants: Some(6),
+                ..OnlineSplitConfig::default()
+            };
+            let mut idx = OnlineIndexer::new(cfg, params);
+            let mut alive: Vec<u64> = Vec::new();
+            let mut next_id = 0u64;
+            let horizon = 30 + (seed % 20) as Time;
+
+            for t in 0..horizon {
+                // Sprinkle malformed calls before the valid traffic. At
+                // this point every id in `alive` has been observed at
+                // least once (spawning happens below), so each call
+                // really is a stream violation, not a first observation.
+                if t > 2 {
+                    let before = IndexerSnapshot::of(&idx);
+                    let pick = rng.random_range(0..5u32);
+                    let outcome = match (pick, alive.first()) {
+                        (0, Some(&id)) => idx.update(id, Rect2::UNIT, t + 4), // gap
+                        (1, Some(&id)) => idx.update(id, Rect2::UNIT, t - 1), // behind the clock
+                        (2, Some(&id)) => idx.finish(id, t + 7),              // wrong end
+                        (3, _) => idx.finish(9_999, t),                       // never observed
+                        _ => idx.finish(alive.first().copied().unwrap_or(0), t.saturating_sub(3)), // backwards
+                    };
+                    prop_assert!(outcome.is_err(), "malformed call accepted at t={t}");
+                    prop_assert!(
+                        !matches!(outcome, Err(OnlineError::Storage(_))),
+                        "malformed input misreported as an I/O failure"
+                    );
+                    prop_assert_eq!(&IndexerSnapshot::of(&idx), &before,
+                        "rejected call at t={} moved indexer state", t);
+                }
+                // Maybe bring a new object into the world at this instant.
+                if alive.len() < 4 && rng.random::<f64>() < 0.5 {
+                    alive.push(next_id);
+                    next_id += 1;
+                }
+                // The valid stream: every alive object observes this instant.
+                for &id in &alive {
+                    let x = ((id as f64) * 0.17 + f64::from(t) * 0.013).fract() * 0.9;
+                    idx.update(id, Rect2::from_bounds(x, 0.4, x + 0.02, 0.45), t).unwrap();
+                }
+                // Maybe retire one object (end = t + 1 follows its last
+                // observation; later updates resume at t + 1).
+                if alive.len() > 1 && rng.random::<f64>() < 0.2 {
+                    let victim = alive.swap_remove(rng.random_range(0..alive.len()));
+                    idx.finish(victim, t + 1).unwrap();
+                }
+            }
+            for &id in &alive {
+                idx.finish(id, horizon).unwrap();
+            }
+            let tree = idx.seal(horizon).unwrap();
+            prop_assert!(sti_pprtree::check::validate(&tree).is_ok());
+        }
     }
 }

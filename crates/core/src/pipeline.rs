@@ -1,0 +1,818 @@
+//! The single-writer/multi-reader live-ingestion pipeline.
+//!
+//! [`crate::online::OnlineIndexer`] streams updates into *one* tree, so
+//! every reader must go through the same `&mut` choke point as the
+//! writer. This module removes that coupling with a left-right
+//! publication scheme built from three parts:
+//!
+//! * an [`IngestQueue`] of [`IngestOp`]s — producers enqueue position
+//!   updates and disappearances without touching any tree,
+//! * a committer ([`IngestPipeline::commit`]) that drains the queue,
+//!   validates operations through the [`OnlineSplitter`] (malformed
+//!   streams surface as typed rejects, never panics), reorders closed
+//!   pieces under the watermark, and applies the finalized batch to a
+//!   **private** tree inside a page-level batch transaction,
+//! * an atomically published [`PublishedIndex`] — on success the
+//!   private tree is frozen behind an `Arc` and swapped into the shared
+//!   slot with a bumped [`VersionStamp`]; readers that grabbed the old
+//!   `Arc` keep reading the old version undisturbed, new readers see
+//!   the new one. Readers never lock anything the writer holds during
+//!   page work.
+//!
+//! The scheme keeps **two** trees, both over one shared buffer pool
+//! (tagged residency keys, see [`sti_storage::PageStore::with_backend_shared`]):
+//! while version `N` is published from tree A, the committer owns tree
+//! B, replays the batch A already has but B missed (the *lag*), applies
+//! the new batch, and publishes B as `N+1`. Tree A becomes the next
+//! private tree once the last reader of version `N` drops its handle.
+//! Each batch is therefore applied exactly twice — once per tree —
+//! instead of deep-copying pages on every publish.
+//!
+//! A storage fault mid-commit rolls the whole batch (including the lag
+//! replay) back via [`sti_pprtree::PprTree::rollback_batch`]: the
+//! published version is untouched, the finalized events stay pending,
+//! and the next [`IngestPipeline::commit`] retries them. Every batch
+//! walks the explicit [`BatchState`] machine in [`crate::version`] and
+//! reports the traversal in its [`CommitReport::trace`], which the
+//! property suite replays against the pure [`transition`] function.
+
+use crate::online::{Ev, ObserveError, OnlineError, OnlineSplitConfig, OnlineSplitter};
+use crate::plan::RecordEvent;
+use crate::version::{transition, BatchEvent, BatchState, PublishedIndex, VersionStamp};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Mutex, PoisonError};
+use sti_geom::{Rect2, Time};
+use sti_obs::MetricSet;
+use sti_pprtree::{DeleteError, PprParams, PprTree};
+use sti_storage::{MemBackend, PageBackend, StorageError};
+
+/// One queued ingest operation, mirroring the [`crate::online`] calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestOp {
+    /// Object `id` occupies `rect` during instant `t`.
+    Update {
+        /// Object id.
+        id: u64,
+        /// Position during the instant.
+        rect: Rect2,
+        /// The observed instant.
+        t: Time,
+    },
+    /// Object `id` disappears; `end` is one past its last observation.
+    Finish {
+        /// Object id.
+        id: u64,
+        /// Half-open lifetime end.
+        end: Time,
+    },
+}
+
+/// FIFO of operations awaiting the next commit. Producers only touch
+/// this; all tree work happens in the committer.
+#[derive(Debug, Default)]
+pub struct IngestQueue {
+    ops: VecDeque<IngestOp>,
+}
+
+impl IngestQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue one operation.
+    pub fn push(&mut self, op: IngestOp) {
+        self.ops.push_back(op);
+    }
+
+    /// Operations waiting to be drained.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn drain_all(&mut self) -> Vec<IngestOp> {
+        self.ops.drain(..).collect()
+    }
+}
+
+/// An operation the committer refused, with the typed reason. The
+/// splitter state is untouched by a rejected operation (the satellite
+/// guarantee of [`OnlineSplitter::observe`]), so one malformed producer
+/// cannot poison the batch of a well-behaved one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectedOp {
+    /// The operation as it was queued.
+    pub op: IngestOp,
+    /// Why it was refused.
+    pub error: OnlineError,
+}
+
+/// What one [`IngestPipeline::commit`] call did.
+#[derive(Debug)]
+pub struct CommitReport {
+    /// Where the batch ended: [`BatchState::Published`] on success,
+    /// [`BatchState::RolledBack`] on a storage fault, or
+    /// [`BatchState::Queued`] when there was nothing to do.
+    pub state: BatchState,
+    /// The published stamp after this call (unchanged unless `state`
+    /// is `Published`).
+    pub stamp: VersionStamp,
+    /// Operations drained from the queue by this call.
+    pub drained: usize,
+    /// Operations refused with typed errors.
+    pub rejected: Vec<RejectedOp>,
+    /// Finalized events this batch tried to apply (0 for a pure
+    /// watermark/catch-up publish).
+    pub batch_events: usize,
+    /// Catch-up events replayed onto the reclaimed tree first.
+    pub lag_events: usize,
+    /// The storage fault that rolled the batch back, if any.
+    pub error: Option<StorageError>,
+    /// Every [`BatchState`] the batch passed through, `Queued` first —
+    /// the trace the property tests replay through [`transition`].
+    pub trace: Vec<BatchState>,
+}
+
+/// A cloneable, `Send + Sync` handle readers use to acquire the current
+/// published version without touching the pipeline (or each other).
+///
+/// [`IngestReader::current`] is one mutex-protected pointer clone; the
+/// mutex is held for nanoseconds and never while any page I/O runs, so
+/// readers effectively coordinate with nothing. The returned
+/// [`PublishedIndex`] is immutable — a reader can keep it across
+/// commits and will simply (and consistently) see the old version.
+#[derive(Debug, Clone)]
+pub struct IngestReader {
+    slot: Arc<Mutex<Arc<PublishedIndex>>>,
+}
+
+impl IngestReader {
+    /// The currently published version.
+    pub fn current(&self) -> Arc<PublishedIndex> {
+        Arc::clone(&self.slot.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// Which tree the committer will apply the next batch to.
+enum Standby {
+    /// The committer already owns it (initially, or after a rollback).
+    Owned(Box<PprTree>),
+    /// It is the version published before the current one; reclaimable
+    /// once every reader handle to it is dropped.
+    Retired(Arc<PublishedIndex>),
+}
+
+/// The single-writer side of the pipeline: owns the queue, the
+/// splitter, the reordering buffer, and both trees. See the module docs
+/// for the full data flow; the external surface is
+/// [`IngestPipeline::enqueue`] / [`IngestPipeline::commit`] /
+/// [`IngestPipeline::reader`].
+pub struct IngestPipeline {
+    queue: IngestQueue,
+    splitter: OnlineSplitter,
+    /// Closed pieces whose events are not yet below the watermark.
+    reorder: BinaryHeap<Reverse<Ev>>,
+    /// Finalized events (popped in order) awaiting a successful commit.
+    pending: Vec<Ev>,
+    /// Events the published tree has that the standby has not seen.
+    lag: Vec<Ev>,
+    /// Event sequence counter (orders equal-time events).
+    seq: u64,
+    /// The pipeline clock: largest accepted operation time.
+    now: Time,
+    standby: Standby,
+    slot: Arc<Mutex<Arc<PublishedIndex>>>,
+    /// Successful commits (also the published version number).
+    commits: u64,
+    /// Batches undone by storage faults.
+    rollbacks: u64,
+    /// Operations refused with typed errors, ever.
+    rejected_total: u64,
+}
+
+impl IngestPipeline {
+    /// A pipeline over in-memory backends.
+    pub fn new(config: OnlineSplitConfig, params: PprParams) -> Self {
+        Self::with_backends(
+            config,
+            params,
+            Box::new(MemBackend::new()),
+            Box::new(MemBackend::new()),
+        )
+    }
+
+    /// A pipeline whose two tree versions sit on the given backends —
+    /// the fault suites pass [`sti_storage::FaultyBackend`]s here to
+    /// storm the commit path. Both trees share one buffer pool sized by
+    /// `params.buffer_pages` (tags 0 and 1), so publication does not
+    /// silently double the paper's buffer budget.
+    pub fn with_backends(
+        config: OnlineSplitConfig,
+        params: PprParams,
+        published_backend: Box<dyn PageBackend>,
+        standby_backend: Box<dyn PageBackend>,
+    ) -> Self {
+        let published = PprTree::with_backend(params, published_backend);
+        let standby =
+            PprTree::with_backend_shared(params, standby_backend, published.share_buffer(), 1);
+        Self {
+            queue: IngestQueue::new(),
+            splitter: OnlineSplitter::new(config),
+            reorder: BinaryHeap::new(),
+            pending: Vec::new(),
+            lag: Vec::new(),
+            seq: 0,
+            now: 0,
+            standby: Standby::Owned(Box::new(standby)),
+            slot: Arc::new(Mutex::new(Arc::new(PublishedIndex::new(
+                published,
+                VersionStamp::INITIAL,
+            )))),
+            commits: 0,
+            rollbacks: 0,
+            rejected_total: 0,
+        }
+    }
+
+    /// Enqueue one operation (no validation happens here — the
+    /// committer validates at drain time and reports typed rejects).
+    pub fn enqueue(&mut self, op: IngestOp) {
+        self.queue.push(op);
+    }
+
+    /// Convenience: enqueue an [`IngestOp::Update`].
+    pub fn enqueue_update(&mut self, id: u64, rect: Rect2, t: Time) {
+        self.enqueue(IngestOp::Update { id, rect, t });
+    }
+
+    /// Convenience: enqueue an [`IngestOp::Finish`].
+    pub fn enqueue_finish(&mut self, id: u64, end: Time) {
+        self.enqueue(IngestOp::Finish { id, end });
+    }
+
+    /// Operations waiting for the next commit.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Finalized-but-uncommitted events (nonzero after a rollback, or
+    /// when a commit left events above the watermark).
+    pub fn pending_events(&self) -> usize {
+        self.pending.len() + self.reorder.len()
+    }
+
+    /// The pipeline clock (largest accepted operation time).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// A reader handle; clone it freely across threads.
+    pub fn reader(&self) -> IngestReader {
+        IngestReader {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+
+    /// The currently published version (writer-side convenience).
+    pub fn published(&self) -> Arc<PublishedIndex> {
+        Arc::clone(&self.slot.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Successful commits so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Rolled-back batches so far.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Export pipeline health as metrics: commit/rollback/reject
+    /// counters, queue and reorder depths, the published version and
+    /// watermark, and the commit lag (instants between the clock and
+    /// the published watermark — how far behind live time a reader is).
+    pub fn record_metrics(&self, set: &mut MetricSet) {
+        let stamp = self.published().stamp();
+        set.counter(
+            "ingest_commits_total",
+            "successful commits",
+            self.commits as f64,
+        );
+        set.counter(
+            "ingest_rollbacks_total",
+            "batches undone by storage faults",
+            self.rollbacks as f64,
+        );
+        set.counter(
+            "ingest_rejected_ops_total",
+            "operations refused with typed errors",
+            self.rejected_total as f64,
+        );
+        set.gauge(
+            "ingest_queue_depth",
+            "operations awaiting drain",
+            self.queue.len() as f64,
+        );
+        set.gauge(
+            "ingest_pending_events",
+            "finalized or reordering events awaiting commit",
+            self.pending_events() as f64,
+        );
+        set.gauge(
+            "ingest_published_version",
+            "version number of the published snapshot",
+            stamp.version as f64,
+        );
+        set.gauge(
+            "ingest_published_watermark",
+            "first non-final instant of the published snapshot",
+            f64::from(stamp.watermark),
+        );
+        set.gauge(
+            "ingest_commit_lag_instants",
+            "clock minus published watermark",
+            f64::from(self.now.saturating_sub(stamp.watermark)),
+        );
+    }
+
+    /// Drain the queue, validate, and commit one batch; on success the
+    /// new version is atomically published. See the module docs for the
+    /// full lifecycle and [`CommitReport`] for what comes back — this
+    /// method returns `Ok` even when the batch rolls back (the report
+    /// carries the fault), because a rolled-back batch is a *retryable*
+    /// outcome, not a broken pipeline.
+    ///
+    /// Blocks only if the version published *before* the current one
+    /// still has a live reader handle (two-version concurrency: readers
+    /// of the current version never block anyone).
+    pub fn commit(&mut self) -> CommitReport {
+        let mut trace = vec![BatchState::Queued];
+        let mut state = BatchState::Queued;
+
+        // Drain + validate through the splitter (typed rejects).
+        let ops = self.queue.drain_all();
+        let drained = ops.len();
+        let mut rejected = Vec::new();
+        for op in ops {
+            if let Err(error) = self.absorb(op) {
+                rejected.push(RejectedOp { op, error });
+            }
+        }
+        self.rejected_total += rejected.len() as u64;
+
+        // Finalize: everything strictly below the watermark is final.
+        // With no open piece left there is no bound at all — every
+        // buffered event is final (this is what lets `seal` flush the
+        // deletes sitting exactly at the stream end).
+        let flush_bound = self.splitter.watermark();
+        while let Some(top) = self.reorder.peek() {
+            if flush_bound.is_some_and(|w| top.0.time >= w) {
+                break;
+            }
+            if let Some(Reverse(ev)) = self.reorder.pop() {
+                self.pending.push(ev);
+            }
+        }
+        let watermark = flush_bound.unwrap_or(self.now);
+
+        let stamp = self.published().stamp();
+        if self.pending.is_empty() && self.lag.is_empty() && watermark == stamp.watermark {
+            // Nothing moved: don't spin version numbers on no-ops.
+            return CommitReport {
+                state,
+                stamp,
+                drained,
+                rejected,
+                batch_events: 0,
+                lag_events: 0,
+                error: None,
+                trace,
+            };
+        }
+        Self::step(&mut state, BatchEvent::Drain, &mut trace);
+
+        // Reclaim the standby tree and catch it up + apply, all inside
+        // one batch transaction.
+        let mut tree = self.reclaim_standby();
+        Self::step(&mut state, BatchEvent::Begin, &mut trace);
+        tree.begin_batch();
+        let lag_events = self.lag.len();
+        let batch_events = self.pending.len();
+        let applied: Result<(), StorageError> = self
+            .lag
+            .iter()
+            .chain(self.pending.iter())
+            .try_for_each(|ev| apply_event(&mut tree, ev));
+
+        match applied {
+            Err(e) => {
+                tree.rollback_batch();
+                self.standby = Standby::Owned(tree);
+                self.rollbacks += 1;
+                Self::step(&mut state, BatchEvent::Fail, &mut trace);
+                CommitReport {
+                    state,
+                    stamp,
+                    drained,
+                    rejected,
+                    batch_events,
+                    lag_events,
+                    error: Some(e),
+                    trace,
+                }
+            }
+            Ok(()) => {
+                tree.commit_batch();
+                Self::step(&mut state, BatchEvent::Applied, &mut trace);
+                self.commits += 1;
+                let new_stamp = VersionStamp {
+                    version: stamp.version + 1,
+                    watermark,
+                };
+                // The standby has now seen everything the old published
+                // tree saw *plus* this batch; next cycle the old tree
+                // must replay exactly this batch.
+                self.lag = std::mem::take(&mut self.pending);
+                let fresh = Arc::new(PublishedIndex::new(*tree, new_stamp));
+                let old = {
+                    let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    std::mem::replace(&mut *slot, fresh)
+                };
+                self.standby = Standby::Retired(old);
+                Self::step(&mut state, BatchEvent::Publish, &mut trace);
+                CommitReport {
+                    state,
+                    stamp: new_stamp,
+                    drained,
+                    rejected,
+                    batch_events,
+                    lag_events,
+                    error: None,
+                    trace,
+                }
+            }
+        }
+    }
+
+    /// Close every still-open piece (each at one past its last
+    /// observation) and commit until nothing is pending, so the final
+    /// published version covers the whole stream. Returns the last
+    /// commit's report, with the rejects of *every* commit this call
+    /// made folded in; stops early (reporting the fault) if a commit
+    /// rolls back twice in a row with no progress.
+    pub fn seal(&mut self) -> CommitReport {
+        // Drain whatever producers queued first — the open-piece
+        // snapshot below must reflect every operation actually sent
+        // (a queued finish not yet absorbed would otherwise earn its
+        // object a stale duplicate finish here).
+        let mut report = self.commit();
+        let mut rejected = std::mem::take(&mut report.rejected);
+        for (id, last) in self.splitter.open_last_instants() {
+            self.enqueue_finish(id, last + 1);
+        }
+        let mut consecutive_failures = 0u32;
+        while (self.pending_events() > 0 || !self.queue.is_empty()) && consecutive_failures < 2 {
+            report = self.commit();
+            rejected.extend(std::mem::take(&mut report.rejected));
+            if report.state == BatchState::RolledBack {
+                consecutive_failures += 1;
+            } else {
+                consecutive_failures = 0;
+            }
+        }
+        report.rejected = rejected;
+        report
+    }
+
+    /// Consume the pipeline and return the published tree, e.g. to save
+    /// it to a file after [`IngestPipeline::seal`]. Uncommitted state
+    /// (queued ops, pending events) is discarded. If a reader handle to
+    /// the published version is still alive somewhere, it keeps its
+    /// version and this returns an independent deep copy.
+    pub fn into_published_tree(self) -> PprTree {
+        drop(self.standby);
+        match Arc::try_unwrap(self.slot) {
+            Ok(mutex) => {
+                let inner = mutex.into_inner().unwrap_or_else(PoisonError::into_inner);
+                match Arc::try_unwrap(inner) {
+                    Ok(published) => published.into_tree(),
+                    Err(arc) => arc.tree().clone(),
+                }
+            }
+            Err(slot) => {
+                let inner = Arc::clone(&slot.lock().unwrap_or_else(PoisonError::into_inner));
+                inner.tree().clone()
+            }
+        }
+    }
+
+    /// Feed one operation into the splitter, buffering any closed
+    /// pieces. The pipeline clock and splitter are untouched on error.
+    fn absorb(&mut self, op: IngestOp) -> Result<(), OnlineError> {
+        match op {
+            IngestOp::Update { id, rect, t } => {
+                if t < self.now {
+                    return Err(ObserveError::OutOfOrder {
+                        id,
+                        t,
+                        last: self.now,
+                    }
+                    .into());
+                }
+                if let Some(record) = self.splitter.observe(id, rect, t)? {
+                    self.push_record_events(record);
+                }
+                self.now = t;
+            }
+            IngestOp::Finish { id, end } => {
+                if end < self.now {
+                    return Err(ObserveError::OutOfOrder {
+                        id,
+                        t: end,
+                        last: self.now,
+                    }
+                    .into());
+                }
+                let record = self.splitter.finish(id, end)?;
+                self.now = end;
+                self.push_record_events(record);
+            }
+        }
+        Ok(())
+    }
+
+    fn push_record_events(&mut self, record: crate::plan::ObjectRecord) {
+        let life = record.stbox.lifetime;
+        self.reorder.push(Reverse(Ev {
+            time: life.start,
+            kind: RecordEvent::Insert,
+            seq: self.seq,
+            record,
+        }));
+        self.reorder.push(Reverse(Ev {
+            time: life.end,
+            kind: RecordEvent::Delete,
+            seq: self.seq + 1,
+            record,
+        }));
+        self.seq += 2;
+    }
+
+    /// Take ownership of the tree the next batch applies to.
+    ///
+    /// Normally the retired version's readers are gone and its tree is
+    /// reclaimed for free (an `Arc` unwrap). If a reader still pins it
+    /// after a bounded yield-spin, the committer refuses to block
+    /// ingest on that reader: it deep-copies the retired tree and
+    /// abandons the pinned `Arc` (the reader frees it whenever it
+    /// drops the handle). The copy costs O(pages) and its buffer pool
+    /// is private from then on — the price of a reader holding a
+    /// version across two later commits, not of normal operation.
+    ///
+    /// The placeholder parked in `self.standby` is never observable:
+    /// every `commit` path overwrites it before returning.
+    fn reclaim_standby(&mut self) -> Box<PprTree> {
+        const RECLAIM_SPINS: u32 = 1024;
+        let placeholder = Standby::Retired(self.published());
+        let mut slot = std::mem::replace(&mut self.standby, placeholder);
+        let mut spins = 0u32;
+        loop {
+            match slot {
+                Standby::Owned(tree) => return tree,
+                Standby::Retired(arc) => match Arc::try_unwrap(arc) {
+                    Ok(published) => return Box::new(published.into_tree()),
+                    Err(arc) => {
+                        if spins >= RECLAIM_SPINS {
+                            return Box::new(arc.tree().clone());
+                        }
+                        spins += 1;
+                        std::thread::yield_now();
+                        slot = Standby::Retired(arc);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Advance the batch state machine through the pure transition
+    /// table, recording the hop.
+    fn step(state: &mut BatchState, event: BatchEvent, trace: &mut Vec<BatchState>) {
+        match transition(*state, event) {
+            Ok(next) => {
+                *state = next;
+                trace.push(next);
+            }
+            Err(e) => {
+                // stilint::allow(no_panic, "the pipeline only drives documented edges; an illegal hop is a logic bug the state-machine tests exist to catch")
+                panic!("{e}");
+            }
+        }
+    }
+}
+
+/// Apply one finalized event to a tree. Mirrors
+/// [`crate::online::OnlineIndexer`]'s apply step: a delete that finds
+/// nothing is a bug (every buffered delete pairs with the insert
+/// buffered before it), not an I/O condition.
+fn apply_event(tree: &mut PprTree, ev: &Ev) -> Result<(), StorageError> {
+    match ev.kind {
+        RecordEvent::Insert => tree.insert(ev.record.id, ev.record.stbox.rect, ev.time),
+        RecordEvent::Delete => match tree.delete(ev.record.id, ev.record.stbox.rect, ev.time) {
+            Ok(()) => Ok(()),
+            Err(DeleteError::Storage(e)) => Err(e),
+            Err(e @ DeleteError::NotFound { .. }) => {
+                // stilint::allow(no_panic, "record events pair each delete with the insert buffered before it, and deletes sort first at equal times")
+                panic!("every buffered delete matches an earlier insert: {e}")
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_geom::{Point2, Rect2, TimeInterval};
+
+    fn params() -> PprParams {
+        PprParams {
+            max_entries: 10,
+            p_version: 0.22,
+            p_svo: 0.8,
+            p_svu: 0.4,
+            buffer_pages: 8,
+        }
+    }
+
+    fn config() -> OnlineSplitConfig {
+        OnlineSplitConfig {
+            min_piece_instants: 2,
+            max_piece_instants: Some(8),
+            ..OnlineSplitConfig::default()
+        }
+    }
+
+    fn rect_at(id: u64, t: Time) -> Rect2 {
+        let x = 0.05 + 0.8 * (0.13 * id as f64 + 0.011 * f64::from(t)).fract();
+        Rect2::centered(Point2::new(x, 0.5), 0.02, 0.02)
+    }
+
+    /// Drive instants `range` of `n` objects, committing every
+    /// `commit_every` instants.
+    fn drive(
+        pipeline: &mut IngestPipeline,
+        n: u64,
+        range: std::ops::Range<Time>,
+        commit_every: Time,
+    ) {
+        for t in range {
+            for id in 0..n {
+                pipeline.enqueue_update(id, rect_at(id, t), t);
+            }
+            if (t + 1) % commit_every == 0 {
+                let report = pipeline.commit();
+                assert!(report.rejected.is_empty());
+                assert_ne!(report.state, BatchState::RolledBack);
+            }
+        }
+    }
+
+    #[test]
+    fn initial_version_is_empty_and_stamped_zero() {
+        let p = IngestPipeline::new(config(), params());
+        let v = p.published();
+        assert_eq!(v.stamp(), VersionStamp::INITIAL);
+        assert_eq!(v.tree().total_records(), 0);
+    }
+
+    #[test]
+    fn committed_history_is_queryable_through_the_published_version() {
+        let mut p = IngestPipeline::new(config(), params());
+        drive(&mut p, 6, 0..40, 10);
+        let report = p.seal();
+        assert_eq!(report.state, BatchState::Published);
+        let v = p.published();
+        assert!(v.stamp().version >= 1);
+        assert_eq!(v.stamp().watermark, 40);
+        let mut out = Vec::new();
+        v.tree()
+            .query_interval(&Rect2::UNIT, &TimeInterval::new(0, 40), &mut out)
+            .unwrap();
+        out.sort_unstable();
+        out.dedup();
+        assert_eq!(out, (0..6).collect::<Vec<u64>>());
+        v.tree().validate();
+    }
+
+    #[test]
+    fn versions_are_immutable_across_later_commits() {
+        let mut p = IngestPipeline::new(config(), params());
+        drive(&mut p, 4, 0..20, 10);
+        let v1 = p.published();
+        let w = v1.stamp().watermark;
+        assert!(w > 0, "twenty instants must finalize something");
+        let probe = TimeInterval::new(0, w);
+        let mut before = Vec::new();
+        v1.tree()
+            .query_interval(&Rect2::UNIT, &probe, &mut before)
+            .unwrap();
+        // Keep reading v1 while later commits publish v2, v3, ...
+        drive(&mut p, 4, 20..40, 5);
+        let mut after = Vec::new();
+        v1.tree()
+            .query_interval(&Rect2::UNIT, &probe, &mut after)
+            .unwrap();
+        // Interval answers are dedup sets (unordered by contract).
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after, "a held version must never change");
+        drop(v1);
+        let _ = p.seal();
+    }
+
+    #[test]
+    fn malformed_ops_are_rejected_without_poisoning_the_batch() {
+        let mut p = IngestPipeline::new(config(), params());
+        for t in 0..6 {
+            p.enqueue_update(1, rect_at(1, t), t);
+            p.enqueue_update(2, rect_at(2, t), t);
+        }
+        p.enqueue_update(1, rect_at(1, 9), 9); // gap for object 1
+        p.enqueue_finish(7, 3); // never observed + behind clock
+        let report = p.commit();
+        assert_eq!(report.rejected.len(), 2);
+        assert!(matches!(
+            report.rejected[0].error,
+            OnlineError::Observe(ObserveError::Gap { id: 1, .. })
+        ));
+        // Both well-formed streams stay open and ingestible.
+        p.enqueue_update(1, rect_at(1, 6), 6);
+        p.enqueue_update(2, rect_at(2, 6), 6);
+        let report = p.commit();
+        assert!(report.rejected.is_empty());
+        let report = p.seal();
+        assert_eq!(report.state, BatchState::Published);
+        let mut out = Vec::new();
+        p.published()
+            .tree()
+            .query_interval(&Rect2::UNIT, &TimeInterval::new(0, 7), &mut out)
+            .unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_commit_is_a_no_op_and_burns_no_version() {
+        let mut p = IngestPipeline::new(config(), params());
+        let r1 = p.commit();
+        assert_eq!(r1.state, BatchState::Queued);
+        assert_eq!(r1.trace, vec![BatchState::Queued]);
+        assert_eq!(p.published().stamp().version, 0);
+    }
+
+    #[test]
+    fn successful_trace_matches_the_state_machine() {
+        let mut p = IngestPipeline::new(config(), params());
+        drive(&mut p, 3, 0..30, 30);
+        let report = p.seal();
+        assert_eq!(
+            report.trace,
+            vec![
+                BatchState::Queued,
+                BatchState::Batched,
+                BatchState::Committing,
+                BatchState::Committed,
+                BatchState::Published,
+            ]
+        );
+        // Replay through the pure transition function.
+        let mut s = report.trace[0];
+        for (next, ev) in report.trace[1..].iter().zip([
+            BatchEvent::Drain,
+            BatchEvent::Begin,
+            BatchEvent::Applied,
+            BatchEvent::Publish,
+        ]) {
+            s = transition(s, ev).unwrap();
+            assert_eq!(s, *next);
+        }
+    }
+
+    #[test]
+    fn metrics_report_version_and_lag() {
+        let mut p = IngestPipeline::new(config(), params());
+        drive(&mut p, 3, 0..20, 10);
+        let mut set = MetricSet::new();
+        p.record_metrics(&mut set);
+        let json = set.to_json();
+        assert!(json.contains("ingest_commits_total"));
+        assert!(json.contains("ingest_published_version"));
+        assert!(json.contains("ingest_commit_lag_instants"));
+    }
+}

@@ -1,0 +1,418 @@
+//! End-to-end properties of the single-writer/multi-reader ingest
+//! pipeline ([`sti_core::IngestPipeline`]):
+//!
+//! * **equivalence** — for any seeded op stream and any commit cadence,
+//!   the final published version answers queries exactly like the
+//!   synchronous [`OnlineIndexer`] fed the same stream (and never drops
+//!   a raw observation: no false negatives vs a brute-force shadow),
+//! * **conformance** — every [`CommitReport::trace`] replays through
+//!   the pure [`transition`] state machine (only documented edges),
+//! * **immutability** — a reader holding a published version across
+//!   concurrent commits sees byte-identical answers forever,
+//! * **fault tolerance** — seeded non-transient fault storms mid-commit
+//!   roll the batch back to the exact published version (same `Arc`,
+//!   same stamp), and retried commits still converge to the fault-free
+//!   answer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sti_core::{
+    transition, BatchEvent, BatchState, CommitReport, IngestOp, IngestPipeline, OnlineIndexer,
+    OnlineSplitConfig, VersionStamp,
+};
+use sti_geom::{Rect2, Time, TimeInterval};
+use sti_pprtree::{PprParams, PprTree};
+use sti_storage::{FaultKind, FaultPlan, FaultyBackend, ScheduledFault};
+
+fn params() -> PprParams {
+    PprParams {
+        max_entries: 10,
+        buffer_pages: 8,
+        ..PprParams::default()
+    }
+}
+
+fn config() -> OnlineSplitConfig {
+    OnlineSplitConfig {
+        min_piece_instants: 2,
+        max_piece_instants: Some(8),
+        ..OnlineSplitConfig::default()
+    }
+}
+
+/// A seeded stream of well-formed operations: objects spawn, observe a
+/// gap-free position every instant they are alive (random walk), and
+/// finish; every object is finished by the end. Also returns the raw
+/// observations for the brute-force shadow.
+fn gen_stream(
+    seed: u64,
+    max_objects: usize,
+    horizon: Time,
+) -> (Vec<IngestOp>, Vec<(u64, Rect2, Time)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    let mut raw = Vec::new();
+    // (id, x, y, last observed instant)
+    let mut alive: Vec<(u64, f64, f64, Time)> = Vec::new();
+    let mut next_id = 0u64;
+    for t in 0..horizon {
+        while alive.len() < max_objects && rng.random::<f64>() < 0.4 {
+            alive.push((
+                next_id,
+                rng.random::<f64>() * 0.9,
+                rng.random::<f64>() * 0.9,
+                t,
+            ));
+            next_id += 1;
+        }
+        for obj in &mut alive {
+            obj.1 = (obj.1 + (rng.random::<f64>() - 0.5) * 0.08).clamp(0.0, 0.9);
+            obj.2 = (obj.2 + (rng.random::<f64>() - 0.5) * 0.08).clamp(0.0, 0.9);
+            let rect = Rect2::from_bounds(obj.1, obj.2, obj.1 + 0.05, obj.2 + 0.05);
+            ops.push(IngestOp::Update { id: obj.0, rect, t });
+            raw.push((obj.0, rect, t));
+            obj.3 = t;
+        }
+        let mut i = 0;
+        while i < alive.len() {
+            if rng.random::<f64>() < 0.05 {
+                let (id, _, _, last) = alive.swap_remove(i);
+                ops.push(IngestOp::Finish { id, end: last + 1 });
+            } else {
+                i += 1;
+            }
+        }
+    }
+    for (id, _, _, last) in alive {
+        ops.push(IngestOp::Finish { id, end: last + 1 });
+    }
+    (ops, raw)
+}
+
+/// The same stream through the synchronous indexer — the trusted shadow
+/// the pipeline must agree with.
+fn shadow_tree(ops: &[IngestOp], horizon: Time) -> PprTree {
+    let mut idx = OnlineIndexer::new(config(), params());
+    for op in ops {
+        match *op {
+            IngestOp::Update { id, rect, t } => idx.update(id, rect, t).expect("clean stream"),
+            IngestOp::Finish { id, end } => idx.finish(id, end).expect("clean stream"),
+        }
+    }
+    idx.seal(horizon).expect("in-memory seal cannot fault")
+}
+
+/// Sorted, deduplicated interval answer; retries because the fault
+/// suites query trees on backends whose scheduled faults may fire
+/// during the read itself (each fault fires once, so retrying always
+/// terminates).
+fn interval_ids(tree: &PprTree, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+    for _ in 0..64 {
+        let mut out = Vec::new();
+        if tree.query_interval(area, range, &mut out).is_ok() {
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+    }
+    panic!("query faulted 64 times in a row; fault plans are finite");
+}
+
+fn snapshot_ids(tree: &PprTree, area: &Rect2, t: Time) -> Vec<u64> {
+    for _ in 0..64 {
+        let mut out = Vec::new();
+        if tree.query_snapshot(area, t, &mut out).is_ok() {
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+    }
+    panic!("query faulted 64 times in a row; fault plans are finite");
+}
+
+const ALL_EVENTS: [BatchEvent; 5] = [
+    BatchEvent::Drain,
+    BatchEvent::Begin,
+    BatchEvent::Applied,
+    BatchEvent::Fail,
+    BatchEvent::Publish,
+];
+
+/// Every hop in the recorded trace must be an edge of the pure state
+/// machine, starting at `Queued` and ending where the report says.
+fn assert_trace_conforms(report: &CommitReport) {
+    assert_eq!(report.trace.first(), Some(&BatchState::Queued));
+    assert_eq!(report.trace.last(), Some(&report.state));
+    for w in report.trace.windows(2) {
+        assert!(
+            ALL_EVENTS.iter().any(|&e| transition(w[0], e) == Ok(w[1])),
+            "trace takes an edge the state machine does not have: {} -> {}",
+            w[0],
+            w[1],
+        );
+    }
+}
+
+/// Probe rectangles that slice the unit square differently.
+fn probe_areas() -> Vec<Rect2> {
+    vec![
+        Rect2::UNIT,
+        Rect2::from_bounds(0.0, 0.0, 0.5, 0.5),
+        Rect2::from_bounds(0.3, 0.2, 0.8, 0.9),
+        Rect2::from_bounds(0.6, 0.6, 0.95, 0.95),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For any stream and any commit cadence, the sealed pipeline's
+    /// published version answers interval and snapshot queries exactly
+    /// like the synchronous indexer — and never misses a raw
+    /// observation (piece MBRs cover their instants, so the brute-force
+    /// shadow is a lower bound on every snapshot answer).
+    #[test]
+    fn sealed_pipeline_matches_synchronous_indexer(
+        seed in any::<u64>(),
+        commit_every in 1usize..25,
+    ) {
+        let horizon: Time = 50;
+        let (ops, raw) = gen_stream(seed, 6, horizon);
+        let shadow = shadow_tree(&ops, horizon);
+
+        let mut p = IngestPipeline::new(config(), params());
+        let mut last_stamp = VersionStamp::INITIAL;
+        for (i, op) in ops.iter().enumerate() {
+            p.enqueue(*op);
+            if i % commit_every == commit_every - 1 {
+                let report = p.commit();
+                prop_assert!(report.rejected.is_empty(), "clean stream: {:?}", report.rejected);
+                prop_assert!(report.error.is_none());
+                assert_trace_conforms(&report);
+                prop_assert!(report.stamp >= last_stamp, "stamps regress");
+                last_stamp = report.stamp;
+            }
+        }
+        let report = p.seal();
+        prop_assert_eq!(report.state, BatchState::Published);
+        prop_assert_eq!(p.pending_events(), 0);
+        assert_trace_conforms(&report);
+        prop_assert_eq!(p.rollbacks(), 0);
+
+        let v = p.published();
+        prop_assert_eq!(v.stamp().watermark, horizon);
+        v.tree().validate();
+
+        for area in probe_areas() {
+            for start in (0..horizon).step_by(7) {
+                let range = TimeInterval::new(start, start + 1 + (start % 11));
+                prop_assert_eq!(
+                    interval_ids(v.tree(), &area, &range),
+                    interval_ids(&shadow, &area, &range),
+                    "interval {} / area {:?} disagrees with the shadow", range, area,
+                );
+            }
+            for t in (0..horizon).step_by(9) {
+                let got = snapshot_ids(v.tree(), &area, t);
+                prop_assert_eq!(
+                    got.clone(),
+                    snapshot_ids(&shadow, &area, t),
+                    "snapshot t={} / area {:?} disagrees with the shadow", t, area,
+                );
+                // No false negatives vs the raw observations.
+                for (id, rect, rt) in raw.iter().filter(|&&(_, r, rt)| rt == t && r.intersects(&area)) {
+                    prop_assert!(
+                        got.binary_search(id).is_ok(),
+                        "object {} observed at t={} in {:?} missing from the snapshot", id, rt, rect,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Seeded non-transient fault storms on both tree backends: every
+    /// rolled-back commit leaves the published slot untouched (the very
+    /// same `Arc`, no stamp movement), and retrying converges to the
+    /// fault-free shadow's answers.
+    #[test]
+    fn fault_storm_mid_commit_rolls_back_to_published_version(seed in any::<u64>()) {
+        let horizon: Time = 40;
+        let (ops, _) = gen_stream(seed, 5, horizon);
+        let shadow = shadow_tree(&ops, horizon);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5717_feed);
+        let mut plan = |salt: u64| {
+            let _ = salt;
+            FaultPlan::new(
+                (0..5)
+                    .map(|_| ScheduledFault {
+                        at_op: rng.random_range(0..800),
+                        kind: FaultKind::Fail { transient: false },
+                    })
+                    .collect(),
+            )
+        };
+        let mut p = IngestPipeline::with_backends(
+            config(),
+            params(),
+            Box::new(FaultyBackend::new_mem(plan(0))),
+            Box::new(FaultyBackend::new_mem(plan(1))),
+        );
+
+        for (i, op) in ops.iter().enumerate() {
+            p.enqueue(*op);
+            if i % 6 == 5 {
+                let before = p.published();
+                let report = p.commit();
+                prop_assert!(report.rejected.is_empty());
+                assert_trace_conforms(&report);
+                match report.state {
+                    BatchState::Published => {
+                        prop_assert!(report.stamp.version == before.stamp().version + 1);
+                    }
+                    BatchState::RolledBack => {
+                        prop_assert!(report.error.is_some(), "rollback must carry the fault");
+                        let after = p.published();
+                        prop_assert!(
+                            std::sync::Arc::ptr_eq(&before, &after),
+                            "rollback must leave the published slot untouched",
+                        );
+                        prop_assert_eq!(after.stamp(), before.stamp());
+                    }
+                    BatchState::Queued => {} // no-op commit
+                    other => prop_assert!(false, "commit cannot end in {}", other),
+                }
+            }
+        }
+
+        // Seal gives up after two consecutive rollbacks; the plans are
+        // finite, so plain retries always finish the job.
+        let mut report = p.seal();
+        let mut retries = 0;
+        while p.pending_events() > 0 {
+            report = p.commit();
+            retries += 1;
+            prop_assert!(retries < 64, "fault plans are finite; commits must converge");
+        }
+        prop_assert_eq!(report.state, BatchState::Published);
+
+        let v = p.published();
+        prop_assert_eq!(v.stamp().watermark, horizon);
+        for area in probe_areas() {
+            for start in (0..horizon).step_by(9) {
+                let range = TimeInterval::new(start, start + 5);
+                prop_assert_eq!(
+                    interval_ids(v.tree(), &area, &range),
+                    interval_ids(&shadow, &area, &range),
+                    "storm-surviving index disagrees with the fault-free shadow at {}", range,
+                );
+            }
+        }
+    }
+}
+
+/// Readers pinning a published version while the writer races commits:
+/// the pinned version's snapshot answers are byte-identical on every
+/// re-query (same frozen tree, same traversal — snapshot output order
+/// is the deterministic stack order), interval answers are set-equal
+/// (their output order is a dedup set's, by contract unordered), and
+/// the stamps each reader observes never move backwards.
+#[test]
+fn pinned_versions_stay_byte_identical_while_commits_race() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (ops, _) = gen_stream(0x9e37_79b9, 8, 60);
+    let mut p = IngestPipeline::new(config(), params());
+    let reader = p.reader();
+    let stop = AtomicBool::new(false);
+    let area = Rect2::from_bounds(0.1, 0.1, 0.9, 0.9);
+    let probe = TimeInterval::new(0, 30);
+
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let r = reader.clone();
+            let stop = &stop;
+            let (area, probe) = (area, probe);
+            s.spawn(move || {
+                let mut last_version = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let v = r.current();
+                    assert!(v.stamp().version >= last_version, "stamps moved backwards");
+                    last_version = v.stamp().version;
+                    let mut pinned_snap = Vec::new();
+                    v.tree().query_snapshot(&area, 5, &mut pinned_snap).unwrap();
+                    let pinned_ival = interval_ids(v.tree(), &area, &probe);
+                    for _ in 0..4 {
+                        let mut again = Vec::new();
+                        v.tree().query_snapshot(&area, 5, &mut again).unwrap();
+                        assert_eq!(pinned_snap, again, "a pinned snapshot answer changed bytes");
+                        assert_eq!(
+                            pinned_ival,
+                            interval_ids(v.tree(), &area, &probe),
+                            "a pinned interval answer changed under a reader",
+                        );
+                    }
+                }
+            });
+        }
+
+        for (i, op) in ops.iter().enumerate() {
+            p.enqueue(*op);
+            if i % 10 == 9 {
+                let report = p.commit();
+                assert!(report.rejected.is_empty());
+                assert!(report.error.is_none());
+            }
+        }
+        let report = p.seal();
+        assert_eq!(report.state, BatchState::Published);
+        stop.store(true, Ordering::Release);
+    });
+
+    // After the race: the final version agrees with the shadow.
+    let shadow = shadow_tree(&ops, 60);
+    let v = p.published();
+    v.tree().validate();
+    assert_eq!(
+        interval_ids(v.tree(), &Rect2::UNIT, &TimeInterval::new(0, 60)),
+        interval_ids(&shadow, &Rect2::UNIT, &TimeInterval::new(0, 60)),
+    );
+}
+
+/// A reader that pins one version across *multiple* later commits never
+/// deadlocks the writer: reclaim falls back to deep-copying the retired
+/// tree, and the pinned version keeps answering identically.
+#[test]
+fn reader_pinning_a_version_across_many_commits_never_blocks_the_writer() {
+    let (ops, _) = gen_stream(42, 6, 80);
+    let mut p = IngestPipeline::new(config(), params());
+
+    let mut pinned: Option<(std::sync::Arc<sti_core::PublishedIndex>, Vec<u64>)> = None;
+    let probe = TimeInterval::new(0, 10);
+    for (i, op) in ops.iter().enumerate() {
+        p.enqueue(*op);
+        if i % 8 == 7 {
+            let report = p.commit();
+            assert!(report.error.is_none());
+            if pinned.is_none() && report.stamp.version >= 2 {
+                let v = p.published();
+                let answer = interval_ids(v.tree(), &Rect2::UNIT, &probe);
+                pinned = Some((v, answer));
+            }
+        }
+    }
+    let report = p.seal();
+    assert_eq!(report.state, BatchState::Published);
+
+    let (v, answer) = pinned.expect("80 instants publish at least two versions");
+    assert!(
+        p.published().stamp().version > v.stamp().version + 1,
+        "the pinned version must have been retired several commits ago",
+    );
+    assert_eq!(
+        interval_ids(v.tree(), &Rect2::UNIT, &probe),
+        answer,
+        "a version pinned across many commits changed its answers",
+    );
+}

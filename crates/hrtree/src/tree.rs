@@ -187,10 +187,22 @@ impl HrTree {
         self.store.set_buffer_shards(shards);
     }
 
+    /// Zero the I/O counters without touching residency; shared so a
+    /// fresh accounting window can start while readers hold `&self`.
+    pub fn reset_counters(&self) {
+        self.store.reset_stats();
+    }
+
+    /// Empty the buffer pool (cold-buffer methodology). Exclusive so
+    /// residency cannot be yanked out from under concurrent readers.
+    pub fn clear_buffer(&mut self) {
+        self.store.reset_buffer();
+    }
+
     /// Reset I/O counters and buffer pool before a measured query.
     pub fn reset_for_query(&mut self) {
-        self.store.reset_stats();
-        self.store.reset_buffer();
+        self.reset_counters();
+        self.clear_buffer();
     }
 
     // ------------------------------------------------------------------

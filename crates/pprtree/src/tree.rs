@@ -4,11 +4,12 @@
 use crate::node::{PprEntry, PprNode, PprParams};
 use crate::split::key_split;
 use std::collections::HashSet;
+use std::sync::Arc;
 use sti_geom::{Rect2, Time, TimeInterval};
 use sti_obs::QueryStats;
 use sti_storage::{
     CorruptReason, FaultStats, IoStats, Page, PageBackend, PageId, PageStore, ReadProbe,
-    RetryPolicy, ScratchPool, StorageError,
+    RetryPolicy, ScratchPool, ShardedBuffer, StorageError,
 };
 
 /// Failure of a [`PprTree::delete`] call. The tree is left unchanged.
@@ -162,26 +163,50 @@ pub struct PprTree {
     alive_records: u64,
     total_posted: u64,
     scratch: ScratchPool<QueryScratch>,
+    /// Tree metadata captured at [`PprTree::begin_batch`], restored by
+    /// [`PprTree::rollback_batch`]. `None` outside a batch.
+    batch: Option<BatchSnapshot>,
     /// Updates seen, for the debug-build check sampling schedule.
     #[cfg(debug_assertions)]
     debug_mutations: u64,
+}
+
+/// Tree metadata at the start of an open batch (the page-level state is
+/// covered by the store's undo transaction; this covers everything the
+/// store cannot see).
+#[derive(Debug, Clone)]
+struct BatchSnapshot {
+    roots: Vec<RootSpan>,
+    now: Time,
+    alive_records: u64,
+    total_posted: u64,
+}
+
+impl Clone for PprTree {
+    /// Deep copy: independent pages, an independent backend, and a
+    /// *private* buffer pool even if the original shared one (see
+    /// [`PageStore::clone`]); the query scratch pool starts empty.
+    fn clone(&self) -> Self {
+        Self {
+            store: self.store.clone(),
+            params: self.params,
+            roots: self.roots.clone(),
+            now: self.now,
+            alive_records: self.alive_records,
+            total_posted: self.total_posted,
+            scratch: ScratchPool::new(),
+            batch: self.batch.clone(),
+            #[cfg(debug_assertions)]
+            debug_mutations: self.debug_mutations,
+        }
+    }
 }
 
 impl PprTree {
     /// Create an empty tree.
     pub fn new(params: PprParams) -> Self {
         params.validate();
-        Self {
-            store: PageStore::new(params.buffer_pages),
-            params,
-            roots: Vec::new(),
-            now: 0,
-            alive_records: 0,
-            total_posted: 0,
-            scratch: ScratchPool::new(),
-            #[cfg(debug_assertions)]
-            debug_mutations: 0,
-        }
+        Self::from_store(PageStore::new(params.buffer_pages), params)
     }
 
     /// Create an empty tree over a caller-supplied page backend — in
@@ -189,17 +214,47 @@ impl PprTree {
     /// fault-injection suites drive every code path in this file.
     pub fn with_backend(params: PprParams, backend: Box<dyn PageBackend>) -> Self {
         params.validate();
+        Self::from_store(
+            PageStore::with_backend(backend, params.buffer_pages),
+            params,
+        )
+    }
+
+    /// Create an empty tree over `backend` whose page store shares
+    /// `buffer` with other store versions, tagged `tag` (see
+    /// [`PageStore::with_backend_shared`]). The ingest pipeline builds
+    /// its two tree versions this way so the published reader and the
+    /// committer's private tree compete for one pool — the paper's
+    /// buffer budget — instead of silently doubling it.
+    pub fn with_backend_shared(
+        params: PprParams,
+        backend: Box<dyn PageBackend>,
+        buffer: Arc<ShardedBuffer>,
+        tag: u32,
+    ) -> Self {
+        params.validate();
+        Self::from_store(PageStore::with_backend_shared(backend, buffer, tag), params)
+    }
+
+    fn from_store(store: PageStore, params: PprParams) -> Self {
         Self {
-            store: PageStore::with_backend(backend, params.buffer_pages),
+            store,
             params,
             roots: Vec::new(),
             now: 0,
             alive_records: 0,
             total_posted: 0,
             scratch: ScratchPool::new(),
+            batch: None,
             #[cfg(debug_assertions)]
             debug_mutations: 0,
         }
+    }
+
+    /// Handle to the underlying buffer pool, for sharing with another
+    /// store version via [`PprTree::with_backend_shared`].
+    pub fn share_buffer(&self) -> Arc<ShardedBuffer> {
+        self.store.share_buffer()
     }
 
     /// The current clock (largest update time seen).
@@ -255,18 +310,110 @@ impl PprTree {
         self.store.set_buffer_shards(shards);
     }
 
-    /// Reset I/O counters and the buffer pool (before each measured
-    /// query, per the paper's methodology). Counters and residency both
-    /// live inside the store's sharded buffer, so this cannot drift from
-    /// the per-shard accounting that [`PprTree::io_stats`] sums.
-    pub fn reset_for_query(&mut self) {
+    /// Zero the I/O and fault counters without touching buffer
+    /// residency. Shared: the counters are interior-mutable, so a bench
+    /// can start a fresh accounting window between passes while other
+    /// threads still hold `&self` for querying.
+    pub fn reset_counters(&self) {
         self.store.reset_stats();
+    }
+
+    /// Empty the buffer pool (the paper's cold-buffer methodology).
+    /// Exclusive on purpose, even though the pool could technically be
+    /// cleared through `&self`: yanking residency out from under
+    /// concurrent readers would silently distort their hit/miss
+    /// attribution, so the borrow checker is made to prove there are
+    /// none.
+    pub fn clear_buffer(&mut self) {
         self.store.reset_buffer();
+    }
+
+    /// Reset I/O counters and the buffer pool (before each measured
+    /// query, per the paper's methodology) — the union of
+    /// [`PprTree::reset_counters`] and [`PprTree::clear_buffer`].
+    /// Counters and residency both live inside the store's sharded
+    /// buffer, so this cannot drift from the per-shard accounting that
+    /// [`PprTree::io_stats`] sums.
+    pub fn reset_for_query(&mut self) {
+        self.reset_counters();
+        self.clear_buffer();
     }
 
     // ------------------------------------------------------------------
     // Updates
     // ------------------------------------------------------------------
+
+    /// Open a multi-update batch: snapshot the tree metadata and start
+    /// an outer store transaction, so every [`PprTree::insert`] /
+    /// [`PprTree::delete`] until [`PprTree::commit_batch`] can be undone
+    /// as a unit by [`PprTree::rollback_batch`]. The per-update
+    /// transactions inside fold into this one (see
+    /// [`PageStore::begin_txn`]), so a batch costs one metadata snapshot
+    /// up front instead of a page-log copy per update.
+    ///
+    /// If an update fails mid-batch, its own rollback already undoes the
+    /// *entire* page log (depth-counted transactions cannot partially
+    /// unwind) but only restores metadata to just before that update —
+    /// the caller **must** then call `rollback_batch` to restore the
+    /// batch-start metadata before using the tree again.
+    ///
+    /// # Panics
+    /// If a batch is already open (caller bug).
+    pub fn begin_batch(&mut self) {
+        assert!(self.batch.is_none(), "batch already open");
+        self.batch = Some(BatchSnapshot {
+            roots: self.roots.clone(),
+            now: self.now,
+            alive_records: self.alive_records,
+            total_posted: self.total_posted,
+        });
+        self.store.begin_txn();
+    }
+
+    /// Make every update since [`PprTree::begin_batch`] permanent and
+    /// discard the undo log.
+    ///
+    /// # Panics
+    /// If no batch is open, or an update inside the batch failed without
+    /// a subsequent [`PprTree::rollback_batch`] — committing a
+    /// half-rolled-back batch would persist the torn metadata.
+    pub fn commit_batch(&mut self) {
+        assert!(self.batch.is_some(), "no batch open");
+        assert!(
+            self.store.txn_depth() == 1,
+            "an update inside this batch failed; only rollback_batch is valid now"
+        );
+        self.store.commit_txn();
+        self.batch = None;
+        self.debug_check();
+    }
+
+    /// Undo every update since [`PprTree::begin_batch`]: pages via the
+    /// store's undo log, metadata (root log, clock, record counters)
+    /// from the batch snapshot. Also the mandatory recovery step after
+    /// an update error inside a batch (the pages are already rolled back
+    /// by then; this re-aligns the metadata).
+    ///
+    /// # Panics
+    /// If no batch is open (caller bug).
+    pub fn rollback_batch(&mut self) {
+        assert!(self.batch.is_some(), "no batch open");
+        let Some(snap) = self.batch.take() else {
+            return;
+        };
+        // No-op if a failed update already tore the txn down.
+        self.store.rollback_txn();
+        self.roots = snap.roots;
+        self.now = snap.now;
+        self.alive_records = snap.alive_records;
+        self.total_posted = snap.total_posted;
+        self.debug_check();
+    }
+
+    /// Whether a batch transaction is currently open.
+    pub fn in_batch(&self) -> bool {
+        self.batch.is_some()
+    }
 
     /// Insert a record alive from `t` (until a matching
     /// [`PprTree::delete`]).
@@ -1081,6 +1228,7 @@ impl PprTree {
             alive_records,
             total_posted,
             scratch: ScratchPool::new(),
+            batch: None,
             #[cfg(debug_assertions)]
             debug_mutations: 0,
         })
@@ -1674,5 +1822,148 @@ mod tests {
         ft.query_snapshot(&Rect2::UNIT, 0, &mut out).unwrap();
         assert_eq!(out, vec![1]);
         assert!(pages > 0);
+    }
+
+    /// Current-view snapshot of everything `rollback_batch` must restore.
+    fn meta(t: &PprTree) -> (Vec<RootSpan>, Time, u64, u64, usize) {
+        (
+            t.roots().to_vec(),
+            t.now(),
+            t.alive_records(),
+            t.total_records(),
+            t.num_pages(),
+        )
+    }
+
+    #[test]
+    fn committed_batch_is_permanent_and_queryable() {
+        let mut t = PprTree::new(small_params());
+        for i in 0..10u64 {
+            t.insert(i, rect(0.05 * i as f64, 0.1), i as Time).unwrap();
+        }
+        t.begin_batch();
+        assert!(t.in_batch());
+        for i in 10..30u64 {
+            t.insert(i, rect(0.03 * (i - 10) as f64, 0.5), 10 + i as Time)
+                .unwrap();
+        }
+        t.delete(3, rect(0.05 * 3.0, 0.1), 45).unwrap();
+        t.commit_batch();
+        assert!(!t.in_batch());
+        assert_eq!(t.alive_records(), 29);
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 45, &mut out).unwrap();
+        assert_eq!(out.len(), 29);
+        t.validate();
+    }
+
+    #[test]
+    fn rolled_back_batch_restores_everything() {
+        let mut t = PprTree::new(small_params());
+        for i in 0..10u64 {
+            t.insert(i, rect(0.05 * i as f64, 0.1), i as Time).unwrap();
+        }
+        let before = meta(&t);
+        t.begin_batch();
+        for i in 10..40u64 {
+            t.insert(i, rect(0.02 * (i - 10) as f64, 0.5), 10 + i as Time)
+                .unwrap();
+        }
+        t.delete(2, rect(0.05 * 2.0, 0.1), 60).unwrap();
+        t.rollback_batch();
+        assert_eq!(meta(&t), before);
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 9, &mut out).unwrap();
+        assert_eq!(out.len(), 10);
+        t.validate();
+    }
+
+    /// A storage fault mid-batch rolls the page log back immediately;
+    /// `rollback_batch` then re-aligns the metadata, and the tree is the
+    /// batch-start tree.
+    #[test]
+    fn faulted_batch_recovers_to_batch_start() {
+        let backend = FaultyBackend::new(
+            Box::new(MemBackend::new()),
+            FaultPlan::new(vec![ScheduledFault {
+                at_op: 60,
+                kind: FaultKind::Fail { transient: false },
+            }]),
+        );
+        let mut t = PprTree::with_backend(small_params(), Box::new(backend));
+        t.set_retry_policy(RetryPolicy::no_retry());
+        for i in 0..6u64 {
+            t.insert(i, rect(0.05 * i as f64, 0.1), i as Time).unwrap();
+        }
+        let before = meta(&t);
+        t.begin_batch();
+        let mut failed = false;
+        for i in 6..40u64 {
+            if t.insert(i, rect(0.02 * (i - 6) as f64, 0.5), 6 + i as Time)
+                .is_err()
+            {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "the scheduled fault must fire inside the batch");
+        t.rollback_batch();
+        assert_eq!(meta(&t), before);
+        let mut out = Vec::new();
+        t.query_snapshot(&Rect2::UNIT, 5, &mut out).unwrap();
+        assert_eq!(out.len(), 6);
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "only rollback_batch is valid")]
+    fn committing_a_faulted_batch_is_rejected() {
+        let backend = FaultyBackend::new(
+            Box::new(MemBackend::new()),
+            FaultPlan::new(vec![ScheduledFault {
+                at_op: 10,
+                kind: FaultKind::Fail { transient: false },
+            }]),
+        );
+        let mut t = PprTree::with_backend(small_params(), Box::new(backend));
+        t.set_retry_policy(RetryPolicy::no_retry());
+        t.begin_batch();
+        let mut hit = false;
+        for i in 0..30u64 {
+            if t.insert(i, rect(0.03 * i as f64, 0.2), i as Time).is_err() {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "fault must fire");
+        t.commit_batch();
+    }
+
+    /// Two trees sharing one pool keep distinct residency (tagged keys)
+    /// and pool-wide counters.
+    #[test]
+    fn shared_buffer_trees_do_not_alias_pages() {
+        let mut a = PprTree::new(small_params());
+        let mut b = PprTree::with_backend_shared(
+            small_params(),
+            Box::new(MemBackend::new()),
+            a.share_buffer(),
+            1,
+        );
+        for i in 0..20u64 {
+            a.insert(i, rect(0.04 * i as f64, 0.1), i as Time).unwrap();
+            b.insert(1000 + i, rect(0.04 * i as f64, 0.8), i as Time)
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        a.query_snapshot(&Rect2::UNIT, 19, &mut out).unwrap();
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|&id| id < 1000));
+        out.clear();
+        b.query_snapshot(&Rect2::UNIT, 19, &mut out).unwrap();
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|&id| id >= 1000));
+        a.validate();
+        b.validate();
     }
 }

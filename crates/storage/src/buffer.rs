@@ -1,7 +1,16 @@
 //! A small LRU buffer pool.
 
-use crate::PageId;
 use std::collections::HashMap;
+
+/// Residency key for the buffer pool.
+///
+/// Wider than [`crate::BufferKey`] on purpose: a pool shared by several
+/// store versions (see `PageStore::share_buffer`) tags each store's
+/// pages into a disjoint key range (`(tag << 32) | page`), so page 7 of
+/// the latest tree and page 7 of the published tree are distinct
+/// residents. A store that owns its pool privately uses the page id
+/// verbatim.
+pub type BufferKey = u64;
 
 /// Largest capacity served by the plain-`Vec` scan implementation.
 ///
@@ -30,7 +39,7 @@ pub struct LruBuffer {
 enum Inner {
     /// Resident pages, most recently used first. O(capacity) per touch,
     /// fastest at the paper's tiny buffer sizes.
-    Scan(Vec<PageId>),
+    Scan(Vec<BufferKey>),
     /// Doubly linked recency list over a slot arena plus a page→slot
     /// map. O(1) per touch, used above [`SCAN_MAX_CAPACITY`].
     Mapped(MappedLru),
@@ -67,7 +76,7 @@ impl LruBuffer {
     }
 
     /// True if `page` is resident (does not touch recency).
-    pub fn contains(&self, page: PageId) -> bool {
+    pub fn contains(&self, page: BufferKey) -> bool {
         match &self.inner {
             Inner::Scan(v) => v.contains(&page),
             Inner::Mapped(m) => m.map.contains_key(&page),
@@ -77,7 +86,7 @@ impl LruBuffer {
     /// Record an access to `page`. Returns `true` on a buffer hit, `false`
     /// on a miss; on a miss the page becomes resident, evicting the least
     /// recently used page if the buffer is full.
-    pub fn access(&mut self, page: PageId) -> bool {
+    pub fn access(&mut self, page: BufferKey) -> bool {
         if self.capacity == 0 {
             return false;
         }
@@ -105,13 +114,13 @@ impl LruBuffer {
     /// hit/miss. This is the write path's entry point: residency after a
     /// write is a caching policy (write-through), not a read outcome, so
     /// there is no hit/miss to account for — see `PageStore::write`.
-    pub fn install(&mut self, page: PageId) {
+    pub fn install(&mut self, page: BufferKey) {
         self.access(page);
     }
 
     /// Drop a page from the buffer (e.g., when its content is rewritten
     /// from scratch and the caller wants the next read to count).
-    pub fn invalidate(&mut self, page: PageId) {
+    pub fn invalidate(&mut self, page: BufferKey) {
         match &mut self.inner {
             Inner::Scan(v) => v.retain(|&p| p != page),
             Inner::Mapped(m) => m.invalidate(page),
@@ -127,7 +136,7 @@ impl LruBuffer {
     }
 
     /// Resident pages, most recently used first (diagnostics and tests).
-    pub fn resident_mru(&self) -> Vec<PageId> {
+    pub fn resident_mru(&self) -> Vec<BufferKey> {
         match &self.inner {
             Inner::Scan(v) => v.clone(),
             Inner::Mapped(m) => m.resident_mru(),
@@ -156,7 +165,7 @@ impl LruBuffer {
 /// One arena slot of the linked recency list.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
-    page: PageId,
+    page: BufferKey,
     prev: Option<usize>,
     next: Option<usize>,
 }
@@ -167,7 +176,7 @@ struct Slot {
 #[derive(Debug, Clone)]
 struct MappedLru {
     slots: Vec<Slot>,
-    map: HashMap<PageId, usize>,
+    map: HashMap<BufferKey, usize>,
     free: Vec<usize>,
     head: Option<usize>,
     tail: Option<usize>,
@@ -184,7 +193,7 @@ impl MappedLru {
         }
     }
 
-    fn access(&mut self, page: PageId, capacity: usize) -> bool {
+    fn access(&mut self, page: BufferKey, capacity: usize) -> bool {
         if let Some(&slot) = self.map.get(&page) {
             if self.head != Some(slot) {
                 self.unlink(slot);
@@ -212,7 +221,7 @@ impl MappedLru {
         }
     }
 
-    fn invalidate(&mut self, page: PageId) {
+    fn invalidate(&mut self, page: BufferKey) {
         if let Some(slot) = self.map.remove(&page) {
             self.unlink(slot);
             self.free.push(slot);
@@ -227,7 +236,7 @@ impl MappedLru {
         self.tail = None;
     }
 
-    fn resident_mru(&self) -> Vec<PageId> {
+    fn resident_mru(&self) -> Vec<BufferKey> {
         let mut out = Vec::with_capacity(self.map.len());
         let mut cursor = self.head;
         while let Some(i) = cursor {
@@ -385,7 +394,7 @@ mod tests {
             let universe = (3 * capacity.max(1)) as u64;
             for step in 0..4_000 {
                 let roll = rng.next() % 100;
-                let page = PageId::try_from(rng.next() % universe).unwrap();
+                let page = BufferKey::try_from(rng.next() % universe).unwrap();
                 if roll < 80 {
                     assert_eq!(
                         scan.access(page),

@@ -38,7 +38,7 @@ pub mod shard;
 pub mod store;
 
 pub use backend::{FileBackend, MemBackend, PageBackend};
-pub use buffer::LruBuffer;
+pub use buffer::{BufferKey, LruBuffer};
 pub use checksum::xxh64;
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use error::{CorruptReason, IoOp, StorageError};

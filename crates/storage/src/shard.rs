@@ -14,8 +14,8 @@
 //! state — there is no second copy that a test hook or reset path could
 //! desync (see DESIGN.md §6, "Concurrency model").
 
+use crate::buffer::BufferKey;
 use crate::buffer::LruBuffer;
-use crate::PageId;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Merged hit/miss counters across every shard.
@@ -86,14 +86,14 @@ impl ShardedBuffer {
     }
 
     /// Which shard a page id routes to (stable for a given shard count).
-    pub fn shard_of(&self, page: PageId) -> usize {
+    pub fn shard_of(&self, page: BufferKey) -> usize {
         // Fibonacci multiplicative hash: consecutive page ids (the common
         // allocation pattern) spread across shards instead of clustering.
-        let h = u64::from(page).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let h = page.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         (h % self.shards.len() as u64) as usize
     }
 
-    fn shard(&self, page: PageId) -> MutexGuard<'_, Shard> {
+    fn shard(&self, page: BufferKey) -> MutexGuard<'_, Shard> {
         // Poison is unreachable in practice (no code path panics while
         // holding a shard lock; stilint's no_panic gate enforces this),
         // and a shard holds only residency + counters, which stay
@@ -107,7 +107,7 @@ impl ShardedBuffer {
     /// Returns `false` *without counting anything* on a miss, so the
     /// caller can fall through to the fetch path (which accounts the
     /// miss via [`ShardedBuffer::access`]).
-    pub fn touch_if_resident(&self, page: PageId) -> bool {
+    pub fn touch_if_resident(&self, page: BufferKey) -> bool {
         let mut shard = self.shard(page);
         if shard.lru.contains(page) {
             shard.lru.access(page);
@@ -121,7 +121,7 @@ impl ShardedBuffer {
     /// Record an access: a hit refreshes recency and counts a hit; a
     /// miss installs the page (evicting within the shard) and counts a
     /// miss. Returns whether the access hit.
-    pub fn access(&self, page: PageId) -> bool {
+    pub fn access(&self, page: BufferKey) -> bool {
         let mut shard = self.shard(page);
         let hit = shard.lru.access(page);
         if hit {
@@ -134,17 +134,17 @@ impl ShardedBuffer {
 
     /// Make `page` resident without recording a hit or a miss
     /// (write-through warming; see `PageStore::write` accounting notes).
-    pub fn install(&self, page: PageId) {
+    pub fn install(&self, page: BufferKey) {
         self.shard(page).lru.install(page);
     }
 
     /// Drop `page` from its shard if resident (no counter movement).
-    pub fn invalidate(&self, page: PageId) {
+    pub fn invalidate(&self, page: BufferKey) {
         self.shard(page).lru.invalidate(page);
     }
 
     /// Whether `page` is currently resident (no counter movement).
-    pub fn resident(&self, page: PageId) -> bool {
+    pub fn resident(&self, page: BufferKey) -> bool {
         self.shard(page).lru.contains(page)
     }
 
@@ -309,7 +309,7 @@ mod tests {
 
     /// Replay `trace` through the pool, returning the hit/miss outcome
     /// of each access.
-    fn replay(buf: &ShardedBuffer, trace: &[PageId]) -> Vec<bool> {
+    fn replay(buf: &ShardedBuffer, trace: &[BufferKey]) -> Vec<bool> {
         trace.iter().map(|&p| buf.access(p)).collect()
     }
 
@@ -343,7 +343,7 @@ mod tests {
             .unwrap();
         // A page routed to the zero-capacity shard can never become
         // resident; everything still gets counted.
-        let page = (0u32..64).find(|&p| buf.shard_of(p) == starved).unwrap();
+        let page = (0u64..64).find(|&p| buf.shard_of(p) == starved).unwrap();
         assert!(!buf.access(page));
         assert!(!buf.access(page), "uncacheable page misses forever");
         assert!(!buf.resident(page));
@@ -357,8 +357,8 @@ mod tests {
         // same total capacity.
         let n = 4;
         let buf = ShardedBuffer::with_shards(n, n);
-        let mut picks: Vec<PageId> = Vec::new();
-        let mut page = 0u32;
+        let mut picks: Vec<BufferKey> = Vec::new();
+        let mut page = 0u64;
         while picks.len() < n {
             if buf.shard_of(page) == picks.len() {
                 picks.push(page);
@@ -378,7 +378,7 @@ mod tests {
         // also keeps all four resident (they fit), but a second page in
         // one shard evicts only within that shard.
         let (a, b) = (picks[0], picks[1]);
-        let c = (picks[n - 1] + 1..u32::MAX)
+        let c = (picks[n - 1] + 1..u64::MAX)
             .find(|&p| buf.shard_of(p) == buf.shard_of(a))
             .unwrap();
         buf.access(c); // evicts `a` (same shard, capacity 1)...
@@ -397,7 +397,7 @@ mod tests {
             xs ^= xs << 13;
             xs ^= xs >> 7;
             xs ^= xs << 17;
-            trace.push((xs % 23) as PageId);
+            trace.push((xs % 23) as BufferKey);
         }
         for capacity in [0usize, 1, 2, 7, 10, 32, 64] {
             let sharded = ShardedBuffer::new(capacity);
@@ -439,19 +439,19 @@ mod tests {
     #[test]
     fn clear_preserves_counters_and_empties_residency() {
         let buf = ShardedBuffer::with_shards(8, 4);
-        for p in 0..8u32 {
+        for p in 0..8u64 {
             buf.access(p);
         }
         let before = buf.counters();
         buf.clear();
         assert_eq!(buf.counters(), before);
-        assert!((0..8u32).all(|p| !buf.resident(p)));
+        assert!((0..8u64).all(|p| !buf.resident(p)));
     }
 
     #[test]
     fn reconfiguration_preserves_counters() {
         let mut buf = ShardedBuffer::new(4);
-        for p in [1u32, 1, 2, 3] {
+        for p in [1u64, 1, 2, 3] {
             buf.access(p);
         }
         let counted = buf.counters();

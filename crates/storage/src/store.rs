@@ -11,6 +11,7 @@
 //! sharded buffer pool itself and failure counters are atomics.
 
 use crate::backend::{MemBackend, PageBackend};
+use crate::buffer::BufferKey;
 use crate::checksum::{xxh64, zero_page_sum};
 use crate::error::{CorruptReason, IoOp, StorageError};
 use crate::retry::{RetryClock, RetryPolicy, SimClock};
@@ -18,7 +19,14 @@ use crate::shard::{ReadProbe, ShardedBuffer};
 use crate::{Page, PageId, PAGE_SIZE};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Residency key for page `id` of the store tagged `tag`: stores sharing
+/// one pool occupy disjoint key ranges, so equal page ids in different
+/// versions never alias.
+fn buffer_key(tag: u32, id: PageId) -> BufferKey {
+    (u64::from(tag) << 32) | u64::from(id)
+}
 
 /// Counters for logical disk traffic.
 ///
@@ -181,17 +189,29 @@ fn core_mut(lock: &mut RwLock<StoreCore>) -> &mut StoreCore {
 #[derive(Debug)]
 pub struct PageStore {
     core: RwLock<StoreCore>,
-    buffer: ShardedBuffer,
+    /// The residency pool. Normally uniquely owned; the versioned write
+    /// pipeline shares one pool across store versions (see
+    /// [`PageStore::share_buffer`]), with [`PageStore::buffer_tag`]
+    /// keeping each version's pages in a disjoint key range.
+    buffer: Arc<ShardedBuffer>,
+    /// High 32 bits of this store's residency keys.
+    tag: u32,
     free: Vec<PageId>,
-    /// Logical writes (mutation is `&mut self`-only, so a plain field).
-    writes: u64,
+    /// Logical writes. Atomic so [`PageStore::reset_stats`] can zero the
+    /// counters from `&self` while readers run.
+    writes: AtomicU64,
     io_retries: AtomicU64,
     checksum_failures: AtomicU64,
     /// Backend fault count when fault stats were last reset, so
     /// [`PageStore::fault_stats`] reports a delta.
-    injected_at_reset: u64,
+    injected_at_reset: AtomicU64,
     policy: RetryPolicy,
     txn: Option<Txn>,
+    /// How many `begin_txn` calls the open transaction has absorbed.
+    /// Only the matching outermost `commit_txn` discards the undo log,
+    /// so a batch can bracket many per-update transactions and still
+    /// roll the whole batch back (see `PprTree::begin_batch`).
+    txn_depth: u32,
     /// Monotonic save epoch (bumped by `persist::save`).
     epoch: u64,
 }
@@ -200,14 +220,18 @@ impl Clone for PageStore {
     fn clone(&self) -> Self {
         Self {
             core: RwLock::new(self.core_read().clone()),
-            buffer: self.buffer.clone(),
+            // A clone is an independent store: it gets a private deep
+            // copy of the pool even if the original was sharing one.
+            buffer: Arc::new((*self.buffer).clone()),
+            tag: self.tag,
             free: self.free.clone(),
-            writes: self.writes,
+            writes: AtomicU64::new(self.writes.load(Ordering::Relaxed)),
             io_retries: AtomicU64::new(self.io_retries.load(Ordering::Relaxed)),
             checksum_failures: AtomicU64::new(self.checksum_failures.load(Ordering::Relaxed)),
-            injected_at_reset: self.injected_at_reset,
+            injected_at_reset: AtomicU64::new(self.injected_at_reset.load(Ordering::Relaxed)),
             policy: self.policy,
             txn: self.txn.clone(),
+            txn_depth: self.txn_depth,
             epoch: self.epoch,
         }
     }
@@ -223,6 +247,20 @@ impl PageStore {
     /// Create a store over an explicit backend (in-memory, file-backed,
     /// or fault-injecting).
     pub fn with_backend(backend: Box<dyn PageBackend>, buffer_capacity: usize) -> Self {
+        Self::with_backend_shared(backend, Arc::new(ShardedBuffer::new(buffer_capacity)), 0)
+    }
+
+    /// Create a store over `backend` that shares `buffer` with other
+    /// store versions. `tag` must be unique among the sharing stores: it
+    /// prefixes this store's residency keys so equal page ids in
+    /// different versions stay distinct residents. Hit/miss counters are
+    /// pool-wide (the versions compete for — and are accounted against —
+    /// the same capacity); per-store `writes` stay per-store.
+    pub fn with_backend_shared(
+        backend: Box<dyn PageBackend>,
+        buffer: Arc<ShardedBuffer>,
+        tag: u32,
+    ) -> Self {
         let sums = (0..backend.num_pages())
             .map(|i| {
                 backend
@@ -237,16 +275,31 @@ impl PageStore {
                 sums,
                 clock: Box::new(SimClock::new()),
             }),
-            buffer: ShardedBuffer::new(buffer_capacity),
+            buffer,
+            tag,
             free: Vec::new(),
-            writes: 0,
+            writes: AtomicU64::new(0),
             io_retries: AtomicU64::new(0),
             checksum_failures: AtomicU64::new(0),
-            injected_at_reset: injected,
+            injected_at_reset: AtomicU64::new(injected),
             policy: RetryPolicy::default(),
             txn: None,
+            txn_depth: 0,
             epoch: 0,
         }
+    }
+
+    /// A handle to this store's buffer pool, for constructing another
+    /// version over the same residency/capacity via
+    /// [`PageStore::with_backend_shared`].
+    pub fn share_buffer(&self) -> Arc<ShardedBuffer> {
+        Arc::clone(&self.buffer)
+    }
+
+    /// The tag prefixing this store's residency keys (0 for a store
+    /// that owns its pool privately).
+    pub fn buffer_tag(&self) -> u32 {
+        self.tag
     }
 
     fn core_read(&self) -> RwLockReadGuard<'_, StoreCore> {
@@ -374,7 +427,7 @@ impl PageStore {
         // The linear double-free scan would make mass deallocation
         // quadratic in the free-list length; keep it as a debug check.
         debug_assert!(!self.free.contains(&id), "double free of page {id}");
-        self.buffer.invalidate(id);
+        self.buffer.invalidate(buffer_key(self.tag, id));
         self.free.push(id);
         if let Some(txn) = self.txn.as_mut() {
             txn.ops.push(UndoOp::Freed { id });
@@ -403,7 +456,7 @@ impl PageStore {
     /// increment — that one-to-one mirroring is what makes per-query
     /// stats sum to the global [`IoStats`] delta under concurrency.
     pub fn read(&self, id: PageId, probe: &mut ReadProbe) -> Result<Page, StorageError> {
-        if self.buffer.touch_if_resident(id) {
+        if self.buffer.touch_if_resident(buffer_key(self.tag, id)) {
             probe.buffer_hits += 1;
             return self
                 .core_read()
@@ -424,7 +477,7 @@ impl PageStore {
                 pages: core.backend.num_pages(),
             });
         }
-        if self.buffer.touch_if_resident(id) {
+        if self.buffer.touch_if_resident(buffer_key(self.tag, id)) {
             // Lost the race to another reader's fetch: the page became
             // resident while this thread waited for the exclusive lock.
             probe.buffer_hits += 1;
@@ -447,7 +500,7 @@ impl PageStore {
         fetched?;
         // The shard counts the miss; mirror whatever it counted so the
         // probe can never disagree with the global sum.
-        if self.buffer.access(id) {
+        if self.buffer.access(buffer_key(self.tag, id)) {
             probe.buffer_hits += 1;
         } else {
             probe.disk_reads += 1;
@@ -523,6 +576,7 @@ impl PageStore {
         let Self {
             core,
             buffer,
+            tag,
             writes,
             io_retries,
             checksum_failures,
@@ -569,8 +623,8 @@ impl PageStore {
             match outcome {
                 Ok(()) => {
                     core.sums[id as usize] = new_sum;
-                    *writes += 1;
-                    buffer.install(id);
+                    writes.fetch_add(1, Ordering::Relaxed);
+                    buffer.install(buffer_key(*tag, id));
                     return Ok(());
                 }
                 Err(e) => {
@@ -586,7 +640,7 @@ impl PageStore {
                         if let (Some(bytes), Some(slot)) = (prior, core.backend.page_mut(id)) {
                             *slot = bytes;
                         }
-                        buffer.invalidate(id);
+                        buffer.invalidate(buffer_key(*tag, id));
                         core.backend.quiesce();
                         return Err(e);
                     }
@@ -623,13 +677,17 @@ impl PageStore {
 
     // --- transactions -------------------------------------------------
 
-    /// Start recording undo information. One transaction at a time;
-    /// nesting folds into the outer transaction (the outer rollback
-    /// undoes everything).
+    /// Start recording undo information. One undo log at a time; nested
+    /// `begin_txn` calls fold into the outer transaction and only bump a
+    /// depth counter, so a batch can bracket many per-update
+    /// begin/commit pairs and a rollback at *any* depth undoes the whole
+    /// batch.
     pub fn begin_txn(&mut self) {
         if self.txn.is_none() {
             self.txn = Some(Txn::default());
+            self.txn_depth = 0;
         }
+        self.txn_depth += 1;
     }
 
     /// Whether a transaction is currently recording.
@@ -637,9 +695,20 @@ impl PageStore {
         self.txn.is_some()
     }
 
-    /// Discard the undo log, keeping all changes.
+    /// Nesting depth of the open transaction (0 when none is recording).
+    pub fn txn_depth(&self) -> u32 {
+        self.txn_depth
+    }
+
+    /// Leave the innermost `begin_txn` scope. Only the outermost commit
+    /// discards the undo log and keeps the changes; an inner commit
+    /// merely pops one nesting level, leaving the enclosing
+    /// transaction's rollback able to undo everything.
     pub fn commit_txn(&mut self) {
-        self.txn = None;
+        self.txn_depth = self.txn_depth.saturating_sub(1);
+        if self.txn_depth == 0 {
+            self.txn = None;
+        }
     }
 
     /// Undo every `write`/`allocate`/`free` since [`PageStore::begin_txn`],
@@ -648,6 +717,7 @@ impl PageStore {
     /// page access, bypassing fault injection: recovery must not re-enter
     /// the failure it is recovering from.
     pub fn rollback_txn(&mut self) {
+        self.txn_depth = 0;
         let Some(txn) = self.txn.take() else {
             return;
         };
@@ -706,7 +776,7 @@ impl PageStore {
         let counters = self.buffer.counters();
         IoStats {
             reads: counters.misses,
-            writes: self.writes,
+            writes: self.writes.load(Ordering::Relaxed),
             buffer_hits: counters.hits,
         }
     }
@@ -719,18 +789,25 @@ impl PageStore {
                 .core_read()
                 .backend
                 .faults_injected()
-                .saturating_sub(self.injected_at_reset),
+                .saturating_sub(self.injected_at_reset.load(Ordering::Relaxed)),
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero the I/O and fault counters (start of a measured query batch).
-    pub fn reset_stats(&mut self) {
+    /// Zero the I/O and fault counters (start of a measured query
+    /// batch). Shared: counters are atomics (and, for reads/hits, live
+    /// inside the buffer shards), so an accounting reset needs no
+    /// exclusive access — see [`PageStore::reset_buffer`] for the
+    /// residency half, which does.
+    pub fn reset_stats(&self) {
         self.buffer.reset_counters();
-        self.writes = 0;
+        self.writes.store(0, Ordering::Relaxed);
         self.io_retries.store(0, Ordering::Relaxed);
         self.checksum_failures.store(0, Ordering::Relaxed);
-        self.injected_at_reset = core_mut(&mut self.core).backend.faults_injected();
+        self.injected_at_reset.store(
+            self.core_read().backend.faults_injected(),
+            Ordering::Relaxed,
+        );
     }
 
     /// Empty the buffer pool (the paper resets it before every query).
@@ -740,9 +817,11 @@ impl PageStore {
     }
 
     /// Replace the buffer pool capacity (clears residency, keeps the
-    /// shard count and accumulated counters).
+    /// shard count and accumulated counters). If the pool was shared
+    /// with other store versions, this store splits off its own copy
+    /// (`Arc::make_mut`): reconfiguration is a local decision.
     pub fn set_buffer_capacity(&mut self, capacity: usize) {
-        self.buffer.set_capacity(capacity);
+        Arc::make_mut(&mut self.buffer).set_capacity(capacity);
     }
 
     /// Re-stripe the buffer pool across `shards` lock shards (clears
@@ -751,7 +830,7 @@ impl PageStore {
     /// exactly; more shards trade strict global LRU for less reader
     /// contention (DESIGN.md §6).
     pub fn set_buffer_shards(&mut self, shards: usize) {
-        self.buffer.set_shards(shards);
+        Arc::make_mut(&mut self.buffer).set_shards(shards);
     }
 
     /// Number of buffer pool lock shards.
@@ -1242,6 +1321,101 @@ mod tests {
         assert_eq!(read(&s, a).unwrap().bytes()[0], 5);
         s.rollback_txn(); // no-op outside a txn
         assert_eq!(read(&s, a).unwrap().bytes()[0], 5);
+    }
+
+    #[test]
+    fn inner_commit_keeps_the_outer_txn_rollbackable() {
+        // The batch pattern: an outer txn brackets several inner
+        // begin/commit pairs (one per tree update). Committing an inner
+        // pair must NOT discard the undo log — the outer rollback still
+        // undoes everything since the outer begin.
+        let mut s = PageStore::new(4);
+        let a = s.allocate().unwrap();
+        s.write(a, &[1]).unwrap();
+        s.begin_txn(); // outer (batch)
+        assert_eq!(s.txn_depth(), 1);
+        s.begin_txn(); // inner (one update)
+        assert_eq!(s.txn_depth(), 2);
+        s.write(a, &[2]).unwrap();
+        s.commit_txn(); // inner commit: update done, batch still open
+        assert!(s.in_txn(), "outer txn survives the inner commit");
+        assert_eq!(s.txn_depth(), 1);
+        s.begin_txn(); // second update
+        s.write(a, &[3]).unwrap();
+        s.commit_txn();
+        s.rollback_txn(); // batch fails: everything comes back
+        assert_eq!(read(&s, a).unwrap().bytes()[0], 1, "both updates undone");
+        assert_eq!(s.txn_depth(), 0);
+        assert!(!s.in_txn());
+    }
+
+    #[test]
+    fn outermost_commit_discards_the_log() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate().unwrap();
+        s.begin_txn();
+        s.begin_txn();
+        s.write(a, &[7]).unwrap();
+        s.commit_txn();
+        s.commit_txn(); // outermost: log gone
+        assert!(!s.in_txn());
+        s.rollback_txn(); // no-op
+        assert_eq!(read(&s, a).unwrap().bytes()[0], 7);
+    }
+
+    #[test]
+    fn inner_rollback_aborts_the_whole_nest() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate().unwrap();
+        s.write(a, &[1]).unwrap();
+        s.begin_txn();
+        s.write(a, &[2]).unwrap();
+        s.begin_txn();
+        s.write(a, &[3]).unwrap();
+        s.rollback_txn(); // at depth 2: undoes back to the outer begin
+        assert_eq!(read(&s, a).unwrap().bytes()[0], 1);
+        assert_eq!(s.txn_depth(), 0, "rollback closes every level");
+        assert!(!s.in_txn());
+    }
+
+    #[test]
+    fn shared_pool_keeps_versions_residency_distinct() {
+        // Two stores share one pool under different tags: page 0 of one
+        // must never register as resident for the other, and the pool's
+        // counters account both stores' traffic.
+        let mut v1 = PageStore::new(8);
+        let a = v1.allocate().unwrap();
+        v1.write(a, &[1]).unwrap();
+        let mut backend2 = MemBackend::new();
+        let b = backend2.allocate().unwrap();
+        backend2.write(b, &[2]).unwrap();
+        let v2 = PageStore::with_backend_shared(Box::new(backend2), v1.share_buffer(), 1);
+        assert_eq!((a, b), (0, 0), "same page id in both versions");
+        assert_eq!(v2.buffer_tag(), 1);
+
+        v1.reset_stats();
+        v1.reset_buffer(); // drop the write-through residency
+        read(&v1, a).unwrap(); // miss: installs tag-0 key
+        assert_eq!(read(&v2, b).unwrap().bytes()[0], 2);
+        // v2's read of the same page id was a *miss* — tag-1 keys do not
+        // alias tag-0 residency — and returned v2's bytes, not v1's.
+        let st = v1.stats();
+        assert_eq!(st.reads, 2, "pool-wide: both versions' misses counted");
+        assert_eq!(st.buffer_hits, 0);
+        assert!(read(&v1, a).is_ok());
+        assert_eq!(v1.stats().buffer_hits, 1, "v1 re-read hits its own key");
+    }
+
+    #[test]
+    fn clone_of_a_sharing_store_gets_a_private_pool() {
+        let v1 = PageStore::new(4);
+        let v2 = PageStore::with_backend_shared(Box::new(MemBackend::new()), v1.share_buffer(), 1);
+        let clone = v2.clone();
+        clone.reset_stats(); // zeroes the clone's pool counters...
+        v1.reset_stats();
+        let mut probe = ReadProbe::new();
+        let _ = clone.read(0, &mut probe); // unallocated: error, no counters
+        assert_eq!(v1.stats(), IoStats::default(), "clone's pool is detached");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!                [--threads auto|seq|N]
 //! stidx nearest  --index index.stidx --backend ppr
 //!                --point x,y --time T [--k 5]
+//! stidx ingest   --data data.stdat --out index.stidx [--commit-every 8]
 //! ```
 //!
 //! Datasets use the `STDAT1` format (`sti_datagen::io`); indexes use the
@@ -25,8 +26,8 @@
 //! `IndexConfig::time_extent` would be misread here.
 
 use spatiotemporal_index::core::{
-    DistributionAlgorithm, IndexBackend, IndexConfig, Parallelism, SingleSplitAlgorithm,
-    SpatioTemporalIndex, SplitBudget,
+    DistributionAlgorithm, IndexBackend, IndexConfig, IngestPipeline, OnlineSplitConfig,
+    Parallelism, SingleSplitAlgorithm, SpatioTemporalIndex, SplitBudget,
 };
 use spatiotemporal_index::datagen::{
     load_dataset, save_dataset, DatasetStats, OrbitDatasetSpec, RailwayDatasetSpec,
@@ -34,7 +35,7 @@ use spatiotemporal_index::datagen::{
 };
 use spatiotemporal_index::geom::{Rect2, TimeInterval};
 use spatiotemporal_index::obs::MetricSet;
-use spatiotemporal_index::pprtree::PprTree;
+use spatiotemporal_index::pprtree::{PprParams, PprTree};
 use spatiotemporal_index::rstar::RStarTree;
 use spatiotemporal_index::trajectory::RasterizedObject;
 use std::collections::HashMap;
@@ -54,6 +55,7 @@ const USAGE: &str = "usage:
                  [--threads auto|seq|N]
   stidx nearest  --index FILE --backend ppr
                  --point x,y --time T [--k 5]
+  stidx ingest   --data FILE --out FILE [--commit-every N]
   stidx check    FILE | --index FILE
 
   --metrics FILE (any position) writes counters from the run — per-query
@@ -149,6 +151,7 @@ fn run(args: &[String], metrics: &mut MetricSet) -> Result<(), String> {
         "build" => build(&opts, metrics),
         "query" => query(&opts, metrics),
         "nearest" => nearest(&opts),
+        "ingest" => ingest(&opts, metrics),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -420,6 +423,89 @@ fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
     };
     saved.map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!("wrote {} pages to {}", index.num_pages(), out.display());
+    Ok(())
+}
+
+/// Replay a dataset as a live stream through the single-writer commit
+/// pipeline: updates arrive in time order, a batch commits every
+/// `--commit-every` instants (atomic snapshot publication each time),
+/// and the sealed published version is saved as a PPR-Tree index. The
+/// online splitter decides piece boundaries as the stream arrives, so
+/// the resulting index is what a live deployment would have built — not
+/// the offline split plan `stidx build` computes with full hindsight.
+fn ingest(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), String> {
+    let data = PathBuf::from(need(opts, "data")?);
+    let out = PathBuf::from(need(opts, "out")?);
+    let commit_every: u32 = match opts.get("commit-every") {
+        Some(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => return Err("--commit-every must be a positive integer".into()),
+        },
+        None => 8,
+    };
+
+    let objects = load_dataset(&data).map_err(|e| format!("reading {}: {e}", data.display()))?;
+    let mut updates: Vec<(u32, u64, Rect2)> = Vec::new();
+    let mut finishes: Vec<(u32, u64)> = Vec::new();
+    for obj in &objects {
+        for (i, r) in obj.rects().iter().enumerate() {
+            updates.push((obj.start() + i as u32, obj.id(), *r));
+        }
+        finishes.push((obj.lifetime().end, obj.id()));
+    }
+    updates.sort_by_key(|&(t, id, _)| (t, id));
+    finishes.sort_unstable_by_key(|&(end, id)| (end, id));
+    let horizon = finishes.iter().map(|&(end, _)| end).max().unwrap_or(0);
+
+    println!(
+        "replaying {} updates across {} objects as a live stream (commit every {commit_every} instants)...",
+        updates.len(),
+        objects.len()
+    );
+    let mut pipeline = IngestPipeline::new(OnlineSplitConfig::default(), PprParams::default());
+    let (mut ui, mut fi) = (0usize, 0usize);
+    for t in 0..horizon {
+        while ui < updates.len() && updates[ui].0 == t {
+            let (t, id, rect) = updates[ui];
+            pipeline.enqueue_update(id, rect, t);
+            ui += 1;
+        }
+        while fi < finishes.len() && finishes[fi].0 == t + 1 {
+            pipeline.enqueue_finish(finishes[fi].1, t + 1);
+            fi += 1;
+        }
+        if (t + 1) % commit_every == 0 {
+            let report = pipeline.commit();
+            if let Some(r) = report.rejected.first() {
+                return Err(format!("dataset operation rejected: {}", r.error));
+            }
+            if let Some(e) = report.error {
+                return Err(format!("commit at instant {t} failed: {e}"));
+            }
+        }
+    }
+    let report = pipeline.seal();
+    if let Some(r) = report.rejected.first() {
+        return Err(format!("dataset operation rejected: {}", r.error));
+    }
+    if let Some(e) = report.error {
+        return Err(format!("sealing the stream failed: {e}"));
+    }
+    if pipeline.pending_events() > 0 {
+        return Err("sealing left events uncommitted".into());
+    }
+    println!(
+        "published {} after {} commits ({} records posted)",
+        report.stamp,
+        pipeline.commits(),
+        pipeline.published().tree().total_records()
+    );
+    pipeline.record_metrics(metrics);
+
+    let mut tree = pipeline.into_published_tree();
+    tree.save_to_file(&out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {} pages to {}", tree.num_pages(), out.display());
     Ok(())
 }
 
