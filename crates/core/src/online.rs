@@ -529,26 +529,20 @@ impl OnlineIndexer {
     }
 
     /// Object `id` disappears; `end` is one past its last observed
-    /// instant.
+    /// instant. The finish validates against the *object's own* stream,
+    /// not the indexer clock: a straggler whose last observation is
+    /// behind `now` legally finishes in the past (its events start at
+    /// its open piece, which the watermark never passes while open).
     ///
     /// # Errors
-    /// [`OnlineError::Observe`] if `end` precedes an earlier update
-    /// (streams are time-ordered); [`OnlineError::Split`] if the
-    /// splitter rejects the call. In both cases the indexer is unchanged
-    /// (in particular, time does not advance). [`OnlineError::Storage`]
-    /// if flushing into the tree fails; the finish itself is recorded
-    /// and its events stay buffered for the next flush.
+    /// [`OnlineError::Split`] if the object is not open or `end` does
+    /// not follow its last observation; the indexer is unchanged (in
+    /// particular, time does not advance). [`OnlineError::Storage`] if
+    /// flushing into the tree fails; the finish itself is recorded and
+    /// its events stay buffered for the next flush.
     pub fn finish(&mut self, id: u64, end: Time) -> Result<(), OnlineError> {
-        if end < self.now {
-            return Err(ObserveError::OutOfOrder {
-                id,
-                t: end,
-                last: self.now,
-            }
-            .into());
-        }
         let record = self.splitter.finish(id, end)?;
-        self.now = end;
+        self.now = self.now.max(end);
         self.push_record(record);
         self.flush()?;
         Ok(())
@@ -948,10 +942,10 @@ mod tests {
         );
         assert_eq!(
             idx.finish(1, 5),
-            Err(OnlineError::Observe(ObserveError::OutOfOrder {
+            Err(OnlineError::Split(FinishError::WrongEnd {
                 id: 1,
-                t: 5,
-                last: 7
+                end: 5,
+                expected: 8
             }))
         );
         // Object 2 was never absorbed; object 1 still finishes cleanly.

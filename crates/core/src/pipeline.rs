@@ -118,7 +118,10 @@ pub struct RejectedOp {
 pub struct CommitReport {
     /// Where the batch ended: [`BatchState::Published`] on success,
     /// [`BatchState::RolledBack`] on a storage fault, or
-    /// [`BatchState::Queued`] when there was nothing to do.
+    /// [`BatchState::Queued`] when nothing was *finalized* — drained
+    /// operations may still have been absorbed into open pieces or the
+    /// reordering buffer (`drained` and `rejected` record that work),
+    /// but no event crossed the watermark and no version was published.
     pub state: BatchState,
     /// The published stamp after this call (unchanged unless `state`
     /// is `Published`).
@@ -134,6 +137,11 @@ pub struct CommitReport {
     pub lag_events: usize,
     /// The storage fault that rolled the batch back, if any.
     pub error: Option<StorageError>,
+    /// Set only by [`IngestPipeline::seal`]: `true` when it gave up
+    /// because a commit made no forward progress (nothing drained,
+    /// finalized, rolled back, or published) while events were still
+    /// pending — a diagnosable report instead of an infinite loop.
+    pub stalled: bool,
     /// Every [`BatchState`] the batch passed through, `Queued` first —
     /// the trace the property tests replay through [`transition`].
     pub trace: Vec<BatchState>,
@@ -384,7 +392,11 @@ impl IngestPipeline {
 
         let stamp = self.published().stamp();
         if self.pending.is_empty() && self.lag.is_empty() && watermark == stamp.watermark {
-            // Nothing moved: don't spin version numbers on no-ops.
+            // Nothing finalized and no watermark motion: don't spin
+            // version numbers on no-ops. Drained operations (if any)
+            // were still absorbed into open pieces and the reordering
+            // buffer above — `state: Queued` means "nothing published",
+            // not "nothing happened".
             return CommitReport {
                 state,
                 stamp,
@@ -393,6 +405,7 @@ impl IngestPipeline {
                 batch_events: 0,
                 lag_events: 0,
                 error: None,
+                stalled: false,
                 trace,
             };
         }
@@ -425,6 +438,7 @@ impl IngestPipeline {
                     batch_events,
                     lag_events,
                     error: Some(e),
+                    stalled: false,
                     trace,
                 }
             }
@@ -455,6 +469,7 @@ impl IngestPipeline {
                     batch_events,
                     lag_events,
                     error: None,
+                    stalled: false,
                     trace,
                 }
             }
@@ -462,11 +477,13 @@ impl IngestPipeline {
     }
 
     /// Close every still-open piece (each at one past its last
-    /// observation) and commit until nothing is pending, so the final
-    /// published version covers the whole stream. Returns the last
-    /// commit's report, with the rejects of *every* commit this call
-    /// made folded in; stops early (reporting the fault) if a commit
-    /// rolls back twice in a row with no progress.
+    /// observation — stragglers whose last observation is behind the
+    /// pipeline clock included) and commit until nothing is pending, so
+    /// the final published version covers the whole stream. Returns the
+    /// last commit's report, with the rejects of *every* commit this
+    /// call made folded in; stops early (reporting the fault) if a
+    /// commit rolls back twice in a row, or (flagging
+    /// [`CommitReport::stalled`]) if a commit makes no forward progress.
     pub fn seal(&mut self) -> CommitReport {
         // Drain whatever producers queued first — the open-piece
         // snapshot below must reflect every operation actually sent
@@ -479,12 +496,22 @@ impl IngestPipeline {
         }
         let mut consecutive_failures = 0u32;
         while (self.pending_events() > 0 || !self.queue.is_empty()) && consecutive_failures < 2 {
+            let before = (self.pending_events(), self.queue_len());
             report = self.commit();
             rejected.extend(std::mem::take(&mut report.rejected));
             if report.state == BatchState::RolledBack {
                 consecutive_failures += 1;
             } else {
                 consecutive_failures = 0;
+                if report.state != BatchState::Published
+                    && (self.pending_events(), self.queue_len()) == before
+                {
+                    // No rollback, no publish, and nothing moved: the
+                    // reorder buffer cannot drain. Surface the stuck
+                    // state instead of spinning on no-op commits.
+                    report.stalled = true;
+                    break;
+                }
             }
         }
         report.rejected = rejected;
@@ -532,16 +559,15 @@ impl IngestPipeline {
                 self.now = t;
             }
             IngestOp::Finish { id, end } => {
-                if end < self.now {
-                    return Err(ObserveError::OutOfOrder {
-                        id,
-                        t: end,
-                        last: self.now,
-                    }
-                    .into());
-                }
+                // A finish validates against the *object's own* stream
+                // (the splitter demands `end == last + 1`), not the
+                // global clock: a straggler whose last observation is
+                // behind `self.now` can only legally finish in the
+                // past, and its events cannot undercut the published
+                // watermark — they start at the piece's start, which
+                // the watermark never passes while the piece is open.
                 let record = self.splitter.finish(id, end)?;
-                self.now = end;
+                self.now = self.now.max(end);
                 self.push_record_events(record);
             }
         }
@@ -765,6 +791,63 @@ mod tests {
             .unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![1, 2]);
+    }
+
+    /// The review repro: object 1 stops reporting at t=3 while object 2
+    /// keeps going to t=10. Seal must close object 1's piece at 4 —
+    /// *behind* the pipeline clock — and terminate instead of spinning
+    /// on rejected straggler finishes.
+    #[test]
+    fn seal_closes_stragglers_behind_the_clock() {
+        let mut p = IngestPipeline::new(config(), params());
+        for t in 0..11 {
+            if t < 4 {
+                p.enqueue_update(1, rect_at(1, t), t);
+            }
+            p.enqueue_update(2, rect_at(2, t), t);
+        }
+        let report = p.commit();
+        assert!(report.rejected.is_empty());
+        let report = p.seal();
+        assert_eq!(report.state, BatchState::Published);
+        assert!(report.rejected.is_empty(), "{:?}", report.rejected);
+        assert!(!report.stalled);
+        assert_eq!(p.pending_events(), 0);
+        let v = p.published();
+        assert_eq!(v.stamp().watermark, 11);
+        let mut out = Vec::new();
+        v.tree().query_snapshot(&Rect2::UNIT, 3, &mut out).unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2], "both objects alive at t=3");
+        out.clear();
+        v.tree().query_snapshot(&Rect2::UNIT, 7, &mut out).unwrap();
+        assert_eq!(out, vec![2], "object 1 finished at 4");
+    }
+
+    /// A producer-enqueued finish for a straggler object (end behind
+    /// the pipeline clock but exactly one past the object's own last
+    /// observation) is accepted, not rejected as out of order.
+    #[test]
+    fn straggler_finish_behind_the_clock_is_accepted() {
+        let mut p = IngestPipeline::new(config(), params());
+        for t in 0..8 {
+            if t < 3 {
+                p.enqueue_update(1, rect_at(1, t), t);
+            }
+            p.enqueue_update(2, rect_at(2, t), t);
+        }
+        p.enqueue_finish(1, 3); // clock is at 7 by drain time
+        let report = p.commit();
+        assert!(report.rejected.is_empty(), "{:?}", report.rejected);
+        assert_eq!(p.now(), 7, "a past finish must not move the clock");
+        let report = p.seal();
+        assert_eq!(report.state, BatchState::Published);
+        let mut out = Vec::new();
+        p.published()
+            .tree()
+            .query_snapshot(&Rect2::UNIT, 5, &mut out)
+            .unwrap();
+        assert_eq!(out, vec![2]);
     }
 
     #[test]

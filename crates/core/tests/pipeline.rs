@@ -43,8 +43,13 @@ fn config() -> OnlineSplitConfig {
 
 /// A seeded stream of well-formed operations: objects spawn, observe a
 /// gap-free position every instant they are alive (random walk), and
-/// finish; every object is finished by the end. Also returns the raw
-/// observations for the brute-force shadow.
+/// finish; every object is finished by the end. Some objects go dormant
+/// first — they stop observing but stay unfinished, so their eventual
+/// finish lands *behind* the stream clock (a straggler, legal because a
+/// finish validates against the object's own last observation). The
+/// stream always keeps at least one active object so the final instant
+/// is observed and the sealed watermark reaches `horizon`. Also returns
+/// the raw observations for the brute-force shadow.
 fn gen_stream(
     seed: u64,
     max_objects: usize,
@@ -53,20 +58,27 @@ fn gen_stream(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ops = Vec::new();
     let mut raw = Vec::new();
-    // (id, x, y, last observed instant)
-    let mut alive: Vec<(u64, f64, f64, Time)> = Vec::new();
+    // (id, x, y, last observed instant, dormant)
+    let mut alive: Vec<(u64, f64, f64, Time, bool)> = Vec::new();
     let mut next_id = 0u64;
     for t in 0..horizon {
-        while alive.len() < max_objects && rng.random::<f64>() < 0.4 {
+        // Spawn; force one active object into existence when none is
+        // (the invariants below then keep at least one active forever).
+        while alive.len() < max_objects && (alive.iter().all(|o| o.4) || rng.random::<f64>() < 0.4)
+        {
             alive.push((
                 next_id,
                 rng.random::<f64>() * 0.9,
                 rng.random::<f64>() * 0.9,
                 t,
+                false,
             ));
             next_id += 1;
         }
         for obj in &mut alive {
+            if obj.4 {
+                continue;
+            }
             obj.1 = (obj.1 + (rng.random::<f64>() - 0.5) * 0.08).clamp(0.0, 0.9);
             obj.2 = (obj.2 + (rng.random::<f64>() - 0.5) * 0.08).clamp(0.0, 0.9);
             let rect = Rect2::from_bounds(obj.1, obj.2, obj.1 + 0.05, obj.2 + 0.05);
@@ -74,17 +86,32 @@ fn gen_stream(
             raw.push((obj.0, rect, t));
             obj.3 = t;
         }
+        let mut active = alive.iter().filter(|o| !o.4).count();
+        for obj in &mut alive {
+            if !obj.4 && active > 1 && rng.random::<f64>() < 0.04 {
+                obj.4 = true; // goes silent; finished later as a straggler
+                active -= 1;
+            }
+        }
         let mut i = 0;
         while i < alive.len() {
-            if rng.random::<f64>() < 0.05 {
-                let (id, _, _, last) = alive.swap_remove(i);
+            let is_active = !alive[i].4;
+            // The last active object never finishes mid-stream: the
+            // final instant must be observed for the sealed watermark
+            // to reach `horizon`.
+            let may_finish = !is_active || active > 1;
+            if may_finish && rng.random::<f64>() < 0.05 {
+                if is_active {
+                    active -= 1;
+                }
+                let (id, _, _, last, _) = alive.swap_remove(i);
                 ops.push(IngestOp::Finish { id, end: last + 1 });
             } else {
                 i += 1;
             }
         }
     }
-    for (id, _, _, last) in alive {
+    for (id, _, _, last, _) in alive {
         ops.push(IngestOp::Finish { id, end: last + 1 });
     }
     (ops, raw)
@@ -196,6 +223,7 @@ proptest! {
         }
         let report = p.seal();
         prop_assert_eq!(report.state, BatchState::Published);
+        prop_assert!(!report.stalled);
         prop_assert_eq!(p.pending_events(), 0);
         assert_trace_conforms(&report);
         prop_assert_eq!(p.rollbacks(), 0);
