@@ -110,9 +110,11 @@ impl HybridIndex {
         range: &TimeInterval,
     ) -> Result<(Vec<u64>, sti_obs::QueryStats), StorageError> {
         if range.len() < u64::from(self.threshold) {
+            // ordering: independent routing counter; read only for reporting.
             self.short_queries.fetch_add(1, Ordering::Relaxed);
             self.ppr.query_with_stats(area, range)
         } else {
+            // ordering: independent routing counter; read only for reporting.
             self.long_queries.fetch_add(1, Ordering::Relaxed);
             self.rstar.query_with_stats(area, range)
         }
@@ -120,11 +122,13 @@ impl HybridIndex {
 
     /// Queries routed to the PPR-Tree so far.
     pub fn short_queries(&self) -> u64 {
+        // ordering: relaxed counter snapshot; stats are advisory.
         self.short_queries.load(Ordering::Relaxed)
     }
 
     /// Queries routed to the R\*-Tree so far.
     pub fn long_queries(&self) -> u64 {
+        // ordering: relaxed counter snapshot; stats are advisory.
         self.long_queries.load(Ordering::Relaxed)
     }
 

@@ -1,0 +1,171 @@
+//! The committed findings baseline: CI fails only on *new* findings.
+//!
+//! A baseline entry is a line-number-free key — `rule | path | message
+//! with digit runs collapsed` — plus a multiplicity, so editing a file
+//! (moving a finding to another line) does not churn the baseline,
+//! while introducing an *additional* finding of the same shape does
+//! trip it. The file format is plain text, one entry per line:
+//!
+//! ```text
+//! <count>\t<rule>\t<path>\t<collapsed message>
+//! ```
+//!
+//! sorted for stable diffs; `#`-prefixed lines are comments.
+//! Regenerate with `cargo run -p stilint -- --write-baseline`.
+
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The default baseline file name at the workspace root.
+pub const BASELINE_FILE: &str = "stilint.baseline";
+
+/// Collapse every digit run to `#` so line numbers, counts, and chain
+/// positions embedded in messages don't make keys unstable.
+fn collapse_digits(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_run = false;
+    for c in s.chars() {
+        if c.is_ascii_digit() {
+            if !in_run {
+                out.push('#');
+                in_run = true;
+            }
+        } else {
+            in_run = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The move-stable identity of one diagnostic.
+pub fn key(d: &Diagnostic) -> String {
+    format!(
+        "{}\t{}\t{}",
+        d.rule,
+        d.path,
+        collapse_digits(&d.message).replace(['\t', '\n'], " ")
+    )
+}
+
+/// Load a baseline file into key -> count. A missing file is an empty
+/// baseline; malformed lines are ignored rather than fatal so a hand
+/// edit cannot brick the lint.
+pub fn load(path: &Path) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((count, rest)) = line.split_once('\t') else {
+            continue;
+        };
+        let Ok(count) = count.trim().parse::<usize>() else {
+            continue;
+        };
+        *out.entry(rest.to_string()).or_insert(0) += count;
+    }
+    out
+}
+
+/// Serialize the baseline for `diags`.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry(key(d)).or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# stilint baseline: pre-existing findings, keyed without line numbers.\n\
+         # Regenerate with `cargo run -p stilint -- --write-baseline`.\n",
+    );
+    for (k, c) in &counts {
+        out.push_str(&format!("{c}\t{k}\n"));
+    }
+    out
+}
+
+/// Split `diags` into `(fresh, baselined)` against `baseline`. For each
+/// key the first `count` occurrences (in the caller's sorted order) are
+/// baselined; any beyond that are fresh.
+pub fn partition(
+    diags: Vec<Diagnostic>,
+    baseline: &BTreeMap<String, usize>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let mut budget: BTreeMap<String, usize> = baseline.clone();
+    let mut fresh = Vec::new();
+    let mut old = Vec::new();
+    for d in diags {
+        let k = key(&d);
+        match budget.get_mut(&k) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                old.push(d);
+            }
+            _ => fresh.push(d),
+        }
+    }
+    (fresh, old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, line: usize, rule: &str, message: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn keys_ignore_line_numbers_and_digit_runs() {
+        let a = diag("a.rs", 10, "no_panic", "`v[3]` indexing at depth 2");
+        let b = diag("a.rs", 99, "no_panic", "`v[17]` indexing at depth 4");
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn round_trip_and_partition() {
+        let diags = vec![
+            diag("a.rs", 1, "no_panic", "`x.unwrap()` bad"),
+            diag("a.rs", 2, "no_panic", "`x.unwrap()` bad"),
+            diag("b.rs", 3, "float_eq", "`==` on float"),
+        ];
+        let rendered = render(&diags);
+        let dir = std::env::temp_dir().join("stilint-baseline-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let file = dir.join("baseline.txt");
+        std::fs::write(&file, &rendered).expect("write temp baseline");
+        let loaded = load(&file);
+
+        // Identical findings: nothing fresh.
+        let (fresh, old) = partition(diags.clone(), &loaded);
+        assert!(fresh.is_empty(), "{fresh:?}");
+        assert_eq!(old.len(), 3);
+
+        // One more duplicate than baselined: exactly one fresh.
+        let mut more = diags.clone();
+        more.push(diag("a.rs", 7, "no_panic", "`x.unwrap()` bad"));
+        let (fresh, old) = partition(more, &loaded);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(old.len(), 3);
+
+        // A new shape is always fresh.
+        let (fresh, _) = partition(vec![diag("c.rs", 1, "atomic_order", "new thing")], &loaded);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_baseline() {
+        let loaded = load(Path::new("/nonexistent/stilint.baseline"));
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Hand-rolled JSON emission for `--json` output (the workspace is
+//! offline; no serde). Schema `stilint/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "stilint/1",
+//!   "files_scanned": 42,
+//!   "total": 3, "new": 1, "baselined": 2,
+//!   "diagnostics": [
+//!     {"path": "...", "line": 7, "rule": "...", "message": "...",
+//!      "baselined": false}
+//!   ]
+//! }
+//! ```
+
+use crate::Diagnostic;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report. `diags` is the full finding list, with a
+/// per-entry flag for whether the baseline absorbs it.
+pub fn render(files_scanned: usize, diags: &[(&Diagnostic, bool)]) -> String {
+    let baselined = diags.iter().filter(|(_, b)| *b).count();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"stilint/1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"total\": {},\n", diags.len()));
+    out.push_str(&format!("  \"new\": {},\n", diags.len() - baselined));
+    out.push_str(&format!("  \"baselined\": {baselined},\n"));
+    out.push_str("  \"diagnostics\": [");
+    for (i, (d, b)) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"baselined\": {}}}",
+            escape(&d.path),
+            d.line,
+            escape(&d.rule),
+            escape(&d.message),
+            b
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escaped_diagnostics() {
+        let d = Diagnostic {
+            path: "a.rs".to_string(),
+            line: 3,
+            rule: "no_panic".to_string(),
+            message: "`x.unwrap()` with \"quotes\"\nand newline".to_string(),
+        };
+        let s = render(5, &[(&d, true)]);
+        assert!(s.contains("\"schema\": \"stilint/1\""));
+        assert!(s.contains("\"files_scanned\": 5"));
+        assert!(s.contains("\\\"quotes\\\"\\nand newline"));
+        assert!(s.contains("\"baselined\": true"));
+        assert!(s.contains("\"new\": 0"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let s = render(0, &[]);
+        assert!(s.contains("\"diagnostics\": []"));
+        assert!(s.contains("\"total\": 0"));
+    }
+}

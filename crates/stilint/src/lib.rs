@@ -1,7 +1,10 @@
 //! `stilint` — the workspace's repo-specific static-analysis pass.
 //!
-//! A dependency-free line/token scanner (no `syn`; the build environment
-//! is offline) enforcing rules the type system cannot express:
+//! A dependency-free analyzer (no `syn`; the build environment is
+//! offline) enforcing rules the type system cannot express. Phase 1
+//! masks each file (`mask`), runs the per-line rules, and parses an
+//! item model (`parse`); phase 2 links the models into a workspace
+//! call graph (`graph`) and runs the interprocedural rules:
 //!
 //! * **R1 `no_panic`** — no `unwrap`/`expect`/`panic!`/`unreachable!`/
 //!   `todo!`/`unimplemented!` in non-test, non-bench library code.
@@ -11,6 +14,15 @@
 //!   arithmetic in `sti-storage` and `sti-pprtree`.
 //! * **R4 `no_process_io`** — no `std::process::exit` or direct stdout
 //!   writes in library crates.
+//! * **R5 `no_io_unwrap`** — no `.unwrap()`/`.expect(` on storage-I/O
+//!   results.
+//! * **R6 `panic_path`** — a `pub fn` must not transitively reach a
+//!   panic source; diagnostics carry the call chain.
+//! * **R7 `lock_discipline`** — no backend I/O, second lock
+//!   acquisition, or unbounded `loop` while a lock guard is live.
+//! * **R8 `atomic_order`** — every atomic op names an explicit
+//!   `Ordering` with a `// ordering:` justification; `Relaxed` is
+//!   forbidden on the publication pointer path.
 //!
 //! Any hit can be suppressed with a justified escape hatch on (or
 //! immediately above) the offending line:
@@ -21,11 +33,21 @@
 //!
 //! Allows without a reason string, with an unknown rule name, or that no
 //! longer suppress anything are themselves diagnostics, so the allowlist
-//! cannot rot.
+//! cannot rot. Pre-existing findings live in the committed
+//! `stilint.baseline` at the workspace root (see `baseline`): the CLI
+//! fails only on findings the baseline does not absorb.
 
+pub mod atomic_order;
+pub mod baseline;
+pub mod graph;
+pub mod json;
+pub mod lock_discipline;
 pub mod mask;
+pub mod panic_path;
+pub mod parse;
 pub mod rules;
 
+use graph::{FileInput, Graph};
 use mask::Comment;
 use rules::{Finding, RuleId};
 use std::path::{Path, PathBuf};
@@ -61,6 +83,12 @@ pub struct FileClass {
     pub narrowing_cast: bool,
     pub no_process_io: bool,
     pub no_io_unwrap: bool,
+    pub panic_path: bool,
+    pub lock_discipline: bool,
+    pub atomic_order: bool,
+    /// `Ordering::Relaxed` forbidden (the publication pointer path).
+    /// A modifier on `atomic_order`, not a rule of its own.
+    pub strict_atomic: bool,
 }
 
 impl FileClass {
@@ -71,6 +99,10 @@ impl FileClass {
         narrowing_cast: false,
         no_process_io: false,
         no_io_unwrap: false,
+        panic_path: false,
+        lock_discipline: false,
+        atomic_order: false,
+        strict_atomic: false,
     };
 
     fn is_skip(&self) -> bool {
@@ -78,7 +110,10 @@ impl FileClass {
             || self.float_eq
             || self.narrowing_cast
             || self.no_process_io
-            || self.no_io_unwrap)
+            || self.no_io_unwrap
+            || self.panic_path
+            || self.lock_discipline
+            || self.atomic_order)
     }
 
     fn applies(&self, rule: RuleId) -> bool {
@@ -88,8 +123,24 @@ impl FileClass {
             RuleId::NarrowingCast => self.narrowing_cast,
             RuleId::NoProcessIo => self.no_process_io,
             RuleId::NoIoUnwrap => self.no_io_unwrap,
+            RuleId::PanicPath => self.panic_path,
+            RuleId::LockDiscipline => self.lock_discipline,
+            RuleId::AtomicOrder => self.atomic_order,
         }
     }
+}
+
+/// The full classification verdict for a path: lint it, skip it for a
+/// stated reason, or flag it as a file the matrix does not know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Library code: lint with these rules.
+    Lint(FileClass),
+    /// Deliberately out of scope (vendored stand-in, test, bench, bin).
+    Exempt(&'static str),
+    /// An `.rs` file the matrix has no entry for — surfaced as a
+    /// diagnostic so new top-level locations get a conscious decision.
+    Unknown,
 }
 
 /// Classify a workspace-relative path (forward slashes).
@@ -101,15 +152,21 @@ impl FileClass {
 ///   binaries or test code: measurement and test harnesses may panic and
 ///   print.
 /// * `crates/stilint` itself is a tool crate: panic-freedom applies
-///   (dogfood), terminal I/O is its job.
+///   (dogfood), terminal I/O is its job, and `panic_path` is off — its
+///   parser indexes its own token buffers heavily and every index is
+///   bounds-derived.
 /// * Everything else under `crates/*/src` or `src/` is library code.
-pub fn classify(rel: &str) -> FileClass {
+///   `strict_atomic` marks the snapshot-publication files in
+///   `crates/core`.
+/// * Any other `.rs` file is `Unknown` and reported, so a new top-level
+///   directory can't silently dodge the lint.
+pub fn classify_full(rel: &str) -> Classification {
     if !rel.ends_with(".rs") {
-        return FileClass::SKIP;
+        return Classification::Exempt("not a Rust source file");
     }
     for vendored in ["crates/rand/", "crates/proptest/", "crates/criterion/"] {
         if rel.starts_with(vendored) {
-            return FileClass::SKIP;
+            return Classification::Exempt("vendored offline stand-in");
         }
     }
     let test_or_bin = rel.starts_with("crates/bench/")
@@ -121,22 +178,26 @@ pub fn classify(rel: &str) -> FileClass {
         || rel.contains("/examples/")
         || rel.contains("/src/bin/");
     if test_or_bin {
-        return FileClass::SKIP;
+        return Classification::Exempt("test, bench, or binary harness");
     }
     if rel.starts_with("crates/stilint/") {
-        return FileClass {
+        return Classification::Lint(FileClass {
             no_panic: true,
             float_eq: false,
             narrowing_cast: false,
             no_process_io: false,
             no_io_unwrap: false,
-        };
+            panic_path: false,
+            lock_discipline: true,
+            atomic_order: true,
+            strict_atomic: false,
+        });
     }
     let library = rel.starts_with("src/") || rel.starts_with("crates/");
     if !library {
-        return FileClass::SKIP;
+        return Classification::Unknown;
     }
-    FileClass {
+    Classification::Lint(FileClass {
         no_panic: true,
         float_eq: rel.starts_with("crates/geom/") || rel.starts_with("crates/costmodel/"),
         narrowing_cast: rel.starts_with("crates/storage/") || rel.starts_with("crates/pprtree/"),
@@ -145,6 +206,19 @@ pub fn classify(rel: &str) -> FileClass {
             || rel.starts_with("crates/pprtree/")
             || rel.starts_with("crates/hrtree/")
             || rel.starts_with("crates/rstar/"),
+        panic_path: true,
+        lock_discipline: true,
+        atomic_order: true,
+        strict_atomic: rel == "crates/core/src/version.rs" || rel == "crates/core/src/pipeline.rs",
+    })
+}
+
+/// The rule set for a path, with skip reasons flattened away. Kept for
+/// callers that only care whether rules apply.
+pub fn classify(rel: &str) -> FileClass {
+    match classify_full(rel) {
+        Classification::Lint(c) => c,
+        Classification::Exempt(_) | Classification::Unknown => FileClass::SKIP,
     }
 }
 
@@ -334,94 +408,200 @@ fn test_exempt_lines(masked: &str) -> Vec<bool> {
     exempt
 }
 
-/// Scan one file's source, returning its diagnostics.
-pub fn scan_source(rel_path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    if class.is_skip() {
-        return diags;
-    }
-    let masked = mask::mask(src);
-    // Byte-index the masked text safely: non-ASCII can only sit in
-    // identifiers after masking; blank it for the rule matchers.
-    let ascii: String = masked
-        .text
-        .chars()
-        .map(|c| if c.is_ascii() { c } else { ' ' })
-        .collect();
-    let exempt = test_exempt_lines(&ascii);
-    let code_lines: Vec<bool> = ascii.lines().map(|l| !l.trim().is_empty()).collect();
-    let mut allows = parse_allows(&masked.comments, &code_lines, rel_path, &mut diags);
+/// Per-file state carried from the line pass into the graph pass.
+struct FileScan {
+    path: String,
+    class: FileClass,
+    diags: Vec<Diagnostic>,
+    allows: Vec<Allow>,
+    exempt: Vec<bool>,
+}
 
-    for (idx, line) in ascii.lines().enumerate() {
-        let line_no = idx + 1;
-        if exempt.get(line_no).copied().unwrap_or(false) {
+/// Scan a batch of files as one unit: phase 1 runs the per-line rules
+/// and parses each file's item model; phase 2 links the models into a
+/// workspace call graph and runs the interprocedural rules (R6–R8).
+/// Files must be passed together for cross-file call chains to resolve.
+pub fn scan_sources(files: &[(&str, &str, FileClass)]) -> Vec<Diagnostic> {
+    let mut scans: Vec<FileScan> = Vec::new();
+    let mut inputs: Vec<FileInput> = Vec::new();
+
+    for &(rel_path, src, class) in files {
+        if class.is_skip() {
             continue;
         }
-        let mut findings: Vec<Finding> = Vec::new();
-        if class.applies(RuleId::NoPanic) {
-            findings.extend(rules::check_no_panic(line));
-        }
-        if class.applies(RuleId::NoIoUnwrap) {
-            let io = rules::check_no_io_unwrap(line);
-            if !io.is_empty() {
-                // The specific rule owns the line: a storage-I/O unwrap
-                // is one defect, not two, so the generic no_panic hits
-                // for the same `.unwrap()`/`.expect(` tokens step aside
-                // (panic!/unreachable! and friends still report).
-                findings.retain(|f| {
-                    f.rule != RuleId::NoPanic
-                        || !(f.message.starts_with("`.unwrap()`")
-                            || f.message.starts_with("`.expect`"))
-                });
-            }
-            findings.extend(io);
-        }
-        if class.applies(RuleId::FloatEq) {
-            findings.extend(rules::check_float_eq(line));
-        }
-        if class.applies(RuleId::NarrowingCast) {
-            findings.extend(rules::check_narrowing_cast(line));
-        }
-        if class.applies(RuleId::NoProcessIo) {
-            findings.extend(rules::check_no_process_io(line));
-        }
-        for f in findings {
-            let allowed = allows
-                .iter_mut()
-                .find(|a| a.rule == f.rule && a.target_line == line_no);
-            if let Some(a) = allowed {
-                a.used = true;
+        let mut diags = Vec::new();
+        let masked = mask::mask(src);
+        // Byte-index the masked text safely: non-ASCII can only sit in
+        // identifiers after masking; blank it for the rule matchers.
+        let ascii: String = masked
+            .text
+            .chars()
+            .map(|c| if c.is_ascii() { c } else { ' ' })
+            .collect();
+        let exempt = test_exempt_lines(&ascii);
+        let code_lines: Vec<bool> = ascii.lines().map(|l| !l.trim().is_empty()).collect();
+        let mut allows = parse_allows(&masked.comments, &code_lines, rel_path, &mut diags);
+
+        for (idx, line) in ascii.lines().enumerate() {
+            let line_no = idx + 1;
+            if exempt.get(line_no).copied().unwrap_or(false) {
                 continue;
             }
-            diags.push(Diagnostic {
-                path: rel_path.to_string(),
-                line: line_no,
-                rule: f.rule.name().to_string(),
-                message: f.message,
-            });
-        }
-    }
-
-    for a in &allows {
-        if !a.used {
-            // Allows inside test-exempt regions are noise, not load-bearing.
-            let target_exempt = exempt.get(a.target_line).copied().unwrap_or(false)
-                || exempt.get(a.comment_line).copied().unwrap_or(false);
-            let rule_active = class.applies(a.rule);
-            if !target_exempt && rule_active {
+            let mut findings: Vec<Finding> = Vec::new();
+            if class.applies(RuleId::NoPanic) {
+                findings.extend(rules::check_no_panic(line));
+            }
+            if class.applies(RuleId::NoIoUnwrap) {
+                let io = rules::check_no_io_unwrap(line);
+                if !io.is_empty() {
+                    // The specific rule owns the line: a storage-I/O unwrap
+                    // is one defect, not two, so the generic no_panic hits
+                    // for the same `.unwrap()`/`.expect(` tokens step aside
+                    // (panic!/unreachable! and friends still report).
+                    findings.retain(|f| {
+                        f.rule != RuleId::NoPanic
+                            || !(f.message.starts_with("`.unwrap()`")
+                                || f.message.starts_with("`.expect`"))
+                    });
+                }
+                findings.extend(io);
+            }
+            if class.applies(RuleId::FloatEq) {
+                findings.extend(rules::check_float_eq(line));
+            }
+            if class.applies(RuleId::NarrowingCast) {
+                findings.extend(rules::check_narrowing_cast(line));
+            }
+            if class.applies(RuleId::NoProcessIo) {
+                findings.extend(rules::check_no_process_io(line));
+            }
+            for f in findings {
+                let allowed = allows
+                    .iter_mut()
+                    .find(|a| a.rule == f.rule && a.target_line == line_no);
+                if let Some(a) = allowed {
+                    a.used = true;
+                    continue;
+                }
                 diags.push(Diagnostic {
                     path: rel_path.to_string(),
-                    line: a.comment_line,
-                    rule: "unused_allow".to_string(),
-                    message: format!(
-                        "`stilint::allow({})` no longer suppresses anything; remove it",
-                        a.rule.name()
-                    ),
+                    line: line_no,
+                    rule: f.rule.name().to_string(),
+                    message: f.message,
                 });
             }
         }
+
+        let model = parse::parse(&ascii, &masked.comments, &exempt);
+
+        // A line-level allow (no_panic / no_io_unwrap) or an explicit
+        // panic_path allow on a panic site also excuses it as a
+        // transitive R6 source: the stated invariant covers every path
+        // through the line, not just the direct one.
+        let justified_panic_lines: Vec<usize> = allows
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a.rule,
+                    RuleId::NoPanic | RuleId::NoIoUnwrap | RuleId::PanicPath
+                )
+            })
+            .map(|a| a.target_line)
+            .collect();
+
+        // panic_path allows are consumed here, not by diagnostic
+        // matching: the excused site never produces an R6 finding, so
+        // "used" means "there is a panic site on the target line".
+        if class.panic_path {
+            for a in allows.iter_mut().filter(|a| a.rule == RuleId::PanicPath) {
+                let covers_site = model
+                    .fns
+                    .iter()
+                    .any(|f| f.panics.iter().any(|p| p.line == a.target_line));
+                if covers_site {
+                    a.used = true;
+                }
+            }
+        }
+
+        inputs.push(FileInput {
+            path: rel_path.to_string(),
+            model,
+            panic_path: class.panic_path,
+            lock_discipline: class.lock_discipline,
+            atomic_order: class.atomic_order,
+            strict_atomic: class.strict_atomic,
+            justified_panic_lines,
+        });
+        scans.push(FileScan {
+            path: rel_path.to_string(),
+            class,
+            diags,
+            allows,
+            exempt,
+        });
     }
-    diags
+
+    let graph = Graph::build(inputs);
+    let mut graph_diags = Vec::new();
+    graph_diags.extend(panic_path::run(&graph));
+    graph_diags.extend(lock_discipline::run(&graph));
+    graph_diags.extend(atomic_order::run(&graph));
+
+    let index: std::collections::HashMap<String, usize> = scans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.path.clone(), i))
+        .collect();
+    for d in graph_diags {
+        let Some(&i) = index.get(d.path.as_str()) else {
+            continue;
+        };
+        let scan = &mut scans[i];
+        let rule = RuleId::parse(&d.rule);
+        let allowed = scan
+            .allows
+            .iter_mut()
+            .find(|a| Some(a.rule) == rule && a.target_line == d.line);
+        if let Some(a) = allowed {
+            a.used = true;
+            continue;
+        }
+        scan.diags.push(d);
+    }
+
+    let mut out = Vec::new();
+    for scan in scans {
+        let class = scan.class;
+        for a in &scan.allows {
+            if !a.used {
+                // Allows inside test-exempt regions are noise, not load-bearing.
+                let target_exempt = scan.exempt.get(a.target_line).copied().unwrap_or(false)
+                    || scan.exempt.get(a.comment_line).copied().unwrap_or(false);
+                let rule_active = class.applies(a.rule);
+                if !target_exempt && rule_active {
+                    out.push(Diagnostic {
+                        path: scan.path.clone(),
+                        line: a.comment_line,
+                        rule: "unused_allow".to_string(),
+                        message: format!(
+                            "`stilint::allow({})` no longer suppresses anything; remove it",
+                            a.rule.name()
+                        ),
+                    });
+                }
+            }
+        }
+        out.extend(scan.diags);
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    out
+}
+
+/// Scan one file's source, returning its diagnostics. Cross-file call
+/// chains cannot resolve here; use [`scan_sources`] for a whole batch.
+pub fn scan_source(rel_path: &str, src: &str, class: FileClass) -> Vec<Diagnostic> {
+    scan_sources(&[(rel_path, src, class)])
 }
 
 /// Collect the `.rs` files to scan under `root` (workspace-relative,
@@ -448,26 +628,45 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Scan the whole workspace rooted at `root`.
+/// Scan the whole workspace rooted at `root`. Every linted file goes
+/// through one [`scan_sources`] batch so the call graph spans the
+/// workspace; `.rs` files the classification matrix does not know are
+/// reported as `unclassified_file`.
 pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
     let files = collect_files(root)?;
     let mut diags = Vec::new();
-    let mut scanned = 0usize;
+    let mut sources: Vec<(String, String, FileClass)> = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let class = classify(&rel);
-        if class.is_skip() {
-            continue;
+        match classify_full(&rel) {
+            Classification::Exempt(_) => continue,
+            Classification::Unknown => diags.push(Diagnostic {
+                path: rel,
+                line: 1,
+                rule: "unclassified_file".to_string(),
+                message: "no classification entry for this file; decide its rule set \
+                          in stilint's `classify_full` matrix"
+                    .to_string(),
+            }),
+            Classification::Lint(class) => {
+                if class.is_skip() {
+                    continue;
+                }
+                sources.push((rel, std::fs::read_to_string(file)?, class));
+            }
         }
-        scanned += 1;
-        let src = std::fs::read_to_string(file)?;
-        diags.extend(scan_source(&rel, &src, class));
     }
-    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    let scanned = sources.len();
+    let refs: Vec<(&str, &str, FileClass)> = sources
+        .iter()
+        .map(|(p, s, c)| (p.as_str(), s.as_str(), *c))
+        .collect();
+    diags.extend(scan_sources(&refs));
+    diags.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     Ok((diags, scanned))
 }
 
@@ -481,6 +680,10 @@ mod tests {
         narrowing_cast: true,
         no_process_io: true,
         no_io_unwrap: true,
+        panic_path: true,
+        lock_discipline: true,
+        atomic_order: true,
+        strict_atomic: false,
     };
 
     #[test]
@@ -503,6 +706,24 @@ mod tests {
         assert!(classify("src/lib.rs").no_panic);
         let tool = classify("crates/stilint/src/rules.rs");
         assert!(tool.no_panic && !tool.no_process_io);
+        // Interprocedural rules: on for library code, panic_path off for
+        // the tool crate, strict_atomic only on the publication files.
+        assert!(geom.panic_path && geom.lock_discipline && geom.atomic_order);
+        assert!(!geom.strict_atomic);
+        assert!(!tool.panic_path && tool.lock_discipline && tool.atomic_order);
+        assert!(classify("crates/core/src/version.rs").strict_atomic);
+        assert!(classify("crates/core/src/pipeline.rs").strict_atomic);
+        assert!(!classify("crates/core/src/store.rs").strict_atomic);
+        // Unknown top-level .rs files are flagged, not silently skipped.
+        assert_eq!(classify_full("build.rs"), Classification::Unknown);
+        assert!(matches!(
+            classify_full("crates/rand/src/lib.rs"),
+            Classification::Exempt(_)
+        ));
+        assert!(matches!(
+            classify_full("README.md"),
+            Classification::Exempt(_)
+        ));
     }
 
     #[test]
@@ -625,5 +846,114 @@ mod tests {
             classify("crates/storage/src/a.rs"),
         );
         assert!(d.iter().any(|d| d.rule == "narrowing_cast"));
+    }
+
+    /// Only the interprocedural rules, to keep graph tests focused.
+    const GRAPH_ONLY: FileClass = FileClass {
+        no_panic: false,
+        float_eq: false,
+        narrowing_cast: false,
+        no_process_io: false,
+        no_io_unwrap: false,
+        panic_path: true,
+        lock_discipline: true,
+        atomic_order: true,
+        strict_atomic: false,
+    };
+
+    #[test]
+    fn panic_path_chain_resolves_across_files() {
+        let api = "pub fn lookup(v: &[u32]) -> u32 { helper(v) }\n";
+        let util = "fn helper(v: &[u32]) -> u32 { decode(v) }\n\
+                    fn decode(v: &[u32]) -> u32 { v.iter().next().unwrap() }\n";
+        let d = scan_sources(&[
+            ("crates/core/src/api.rs", api, GRAPH_ONLY),
+            ("crates/core/src/util.rs", util, GRAPH_ONLY),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "panic_path");
+        assert!(
+            d[0].message.contains("lookup -> helper -> decode"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn no_panic_allow_also_excuses_the_panic_path() {
+        let bare = "pub fn get(v: &[u32]) -> u32 {\n\
+                    inner(v)\n\
+                    }\n\
+                    fn inner(v: &[u32]) -> u32 {\n\
+                    v.iter().next().unwrap()\n\
+                    }\n";
+        let d = scan_source("crates/core/src/a.rs", bare, LIB);
+        assert!(d.iter().any(|d| d.rule == "no_panic"), "{d:?}");
+        assert!(d.iter().any(|d| d.rule == "panic_path"), "{d:?}");
+
+        let allowed = "pub fn get(v: &[u32]) -> u32 {\n\
+                       inner(v)\n\
+                       }\n\
+                       fn inner(v: &[u32]) -> u32 {\n\
+                       // stilint::allow(no_panic, \"callers pre-check emptiness\")\n\
+                       v.iter().next().unwrap()\n\
+                       }\n";
+        let d = scan_source("crates/core/src/a.rs", allowed, LIB);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_path_allow_excuses_a_reachable_site() {
+        let src = "pub fn get(v: &[u32]) -> u32 { inner(v) }\n\
+                   fn inner(v: &[u32]) -> u32 {\n\
+                   // stilint::allow(panic_path, \"v checked non-empty at ingest\")\n\
+                   v[0]\n\
+                   }\n";
+        let d = scan_source("crates/core/src/a.rs", src, GRAPH_ONLY);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn lock_discipline_fires_and_allow_suppresses() {
+        let bare = "\
+struct S { inner: Mutex<u32> }
+impl S {
+    fn f(&self) {
+        let g = self.inner.lock();
+        self.backend.read(7);
+    }
+}
+";
+        let d = scan_source("crates/core/src/a.rs", bare, GRAPH_ONLY);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock_discipline");
+
+        let allowed = "\
+struct S { inner: Mutex<u32> }
+impl S {
+    fn f(&self) {
+        let g = self.inner.lock();
+        // stilint::allow(lock_discipline, \"read-only probe, bounded latency\")
+        self.backend.read(7);
+    }
+}
+";
+        let d = scan_source("crates/core/src/a.rs", allowed, GRAPH_ONLY);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn atomic_order_allow_suppresses_via_directive() {
+        let src = "\
+struct S { hits: AtomicU64 }
+impl S {
+    fn f(&self) {
+        // stilint::allow(atomic_order, \"counter increment, ordering irrelevant\")
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+";
+        let d = scan_source("crates/core/src/a.rs", src, GRAPH_ONLY);
+        assert!(d.is_empty(), "{d:?}");
     }
 }

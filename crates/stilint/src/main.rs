@@ -1,7 +1,17 @@
-//! Command-line driver: `cargo run -p stilint [-- [ROOT]]`.
+//! Command-line driver: `cargo run -p stilint [-- [FLAGS] [ROOT]]`.
 //!
-//! Scans the workspace, prints `file:line: [rule] message` diagnostics to
-//! stdout, and exits non-zero when any are found (so CI can gate on it).
+//! Scans the workspace, prints `file:line: [rule] message` diagnostics
+//! to stdout, and exits non-zero when any finding is *not* absorbed by
+//! the committed `stilint.baseline` (so CI gates on new findings only).
+//!
+//! Flags:
+//!
+//! * `--json[=PATH]` — emit the machine-readable report (schema
+//!   `stilint/1`) to stdout or PATH, in addition to the text output.
+//! * `--write-baseline` — rewrite `stilint.baseline` from the current
+//!   findings and exit 0.
+//! * `--no-baseline` — ignore the baseline; every finding is fresh.
+//! * `--baseline PATH` — use PATH instead of `ROOT/stilint.baseline`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,15 +33,79 @@ fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
     }
 }
 
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    json_path: Option<PathBuf>,
+    write_baseline: bool,
+    no_baseline: bool,
+    baseline_path: Option<PathBuf>,
+}
+
+fn usage() {
+    println!("usage: stilint [--json[=PATH]] [--write-baseline] [--no-baseline]");
+    println!("               [--baseline PATH] [WORKSPACE_ROOT]");
+    println!("Lints the workspace's library crates; see CONTRIBUTING.md for the rules.");
+    println!("Exits non-zero only on findings the committed baseline does not absorb.");
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        json_path: None,
+        write_baseline: false,
+        no_baseline: false,
+        baseline_path: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--help" || arg == "-h" {
+            return Ok(None);
+        } else if arg == "--json" {
+            opts.json = true;
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            opts.json = true;
+            opts.json_path = Some(PathBuf::from(path));
+        } else if arg == "--write-baseline" {
+            opts.write_baseline = true;
+        } else if arg == "--no-baseline" {
+            opts.no_baseline = true;
+        } else if arg == "--baseline" {
+            i += 1;
+            let Some(path) = args.get(i) else {
+                return Err("--baseline needs a PATH argument".to_string());
+            };
+            opts.baseline_path = Some(PathBuf::from(path));
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag `{arg}`"));
+        } else if opts.root.is_none() {
+            opts.root = Some(PathBuf::from(arg));
+        } else {
+            return Err(format!("unexpected extra argument `{arg}`"));
+        }
+        i += 1;
+    }
+    Ok(Some(opts))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.first() {
-        Some(arg) if arg == "--help" || arg == "-h" => {
-            println!("usage: stilint [WORKSPACE_ROOT]");
-            println!("Lints the workspace's library crates; see CONTRIBUTING.md for the rules.");
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            usage();
             return ExitCode::SUCCESS;
         }
-        Some(path) => PathBuf::from(path),
+        Err(msg) => {
+            eprintln!("stilint: {msg}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match opts.root {
+        Some(root) => root,
         None => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
             match find_workspace_root(cwd) {
@@ -43,22 +117,91 @@ fn main() -> ExitCode {
             }
         }
     };
-    match stilint::scan_workspace(&root) {
-        Ok((diags, scanned)) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            if diags.is_empty() {
-                println!("stilint: {scanned} files clean");
-                ExitCode::SUCCESS
-            } else {
-                println!("stilint: {} diagnostics in {scanned} files", diags.len());
-                ExitCode::FAILURE
-            }
-        }
+
+    let (diags, scanned) = match stilint::scan_workspace(&root) {
+        Ok(out) => out,
         Err(e) => {
             eprintln!("stilint: scanning {}: {e}", root.display());
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+
+    let baseline_path = opts
+        .baseline_path
+        .unwrap_or_else(|| root.join(stilint::baseline::BASELINE_FILE));
+
+    if opts.write_baseline {
+        let rendered = stilint::baseline::render(&diags);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("stilint: writing {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "stilint: wrote {} ({} finding(s) from {scanned} files)",
+            baseline_path.display(),
+            diags.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.no_baseline {
+        Default::default()
+    } else {
+        stilint::baseline::load(&baseline_path)
+    };
+    let (fresh, baselined) = stilint::baseline::partition(diags, &baseline);
+
+    // With `--json` on stdout, the human-readable lines move to stderr
+    // so the report stays machine-parseable.
+    let mut json_on_stdout = false;
+    if opts.json {
+        let mut tagged: Vec<(&stilint::Diagnostic, bool)> = Vec::new();
+        tagged.extend(fresh.iter().map(|d| (d, false)));
+        tagged.extend(baselined.iter().map(|d| (d, true)));
+        tagged.sort_by(|a, b| {
+            (&a.0.path, a.0.line, &a.0.rule).cmp(&(&b.0.path, b.0.line, &b.0.rule))
+        });
+        let report = stilint::json::render(scanned, &tagged);
+        match &opts.json_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &report) {
+                    eprintln!("stilint: writing {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => {
+                print!("{report}");
+                json_on_stdout = true;
+            }
+        }
+    }
+
+    let human = |line: String| {
+        if json_on_stdout {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    for d in &fresh {
+        human(d.to_string());
+    }
+    if fresh.is_empty() {
+        if baselined.is_empty() {
+            human(format!("stilint: {scanned} files clean"));
+        } else {
+            human(format!(
+                "stilint: {scanned} files clean ({} baselined finding(s))",
+                baselined.len()
+            ));
+        }
+        ExitCode::SUCCESS
+    } else {
+        human(format!(
+            "stilint: {} new diagnostics in {scanned} files ({} baselined)",
+            fresh.len(),
+            baselined.len()
+        ));
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,214 @@
+//! R6 `panic_path`: a public library fn must not transitively reach a
+//! panic source (`panic!` family, `.unwrap()`/`.expect(`, slice/array
+//! indexing) in non-test code.
+//!
+//! The rule BFSes forward from every `pub fn` entry point over the
+//! workspace call graph, keeping one witness parent per reached fn so
+//! each diagnostic can print the call chain. Reporting is per panic
+//! *site* (deduplicated), located at the site:
+//!
+//! * a site in a fn only reachable through calls reports with the chain
+//!   from its nearest entry point;
+//! * `unwrap`/`expect`/panic-macro sites directly inside a `pub fn`
+//!   are *not* reported — R1 `no_panic` already owns those lines —
+//!   but direct indexing in a `pub fn` is (R1 cannot see it);
+//! * sites whose line carries a justifying allow (`no_panic`,
+//!   `no_io_unwrap`, or `panic_path`) are not panic sources at all.
+
+use crate::graph::{FnId, Graph};
+use crate::Diagnostic;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+pub fn run(graph: &Graph) -> Vec<Diagnostic> {
+    // BFS from all pub entries in panic_path-enabled files.
+    let mut witness: HashMap<FnId, (FnId, usize)> = HashMap::new();
+    let mut reached: HashSet<FnId> = HashSet::new();
+    let mut queue: VecDeque<FnId> = VecDeque::new();
+    for &id in &graph.fn_ids {
+        let f = graph.fn_item(id);
+        if f.is_pub && !f.is_test && graph.files[id.0].panic_path {
+            reached.insert(id);
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        let caller = graph.fn_item(id);
+        for (ci, targets) in graph.callees(id).iter().enumerate() {
+            let line = caller.calls[ci].line;
+            for &t in targets {
+                if graph.fn_item(t).is_test {
+                    continue;
+                }
+                if reached.insert(t) {
+                    witness.insert(t, (id, line));
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut seen: HashSet<(usize, usize, String)> = HashSet::new();
+    for &id in &graph.fn_ids {
+        if !reached.contains(&id) {
+            continue;
+        }
+        let file = &graph.files[id.0];
+        if !file.panic_path {
+            continue;
+        }
+        let f = graph.fn_item(id);
+        let direct_entry = f.is_pub; // sites here are depth 0
+        for site in &f.panics {
+            if file.justified_panic_lines.contains(&site.line) {
+                continue;
+            }
+            // R1 owns direct panic-family hits in the entry itself.
+            if direct_entry && site.token != "indexing" && !witness.contains_key(&id) {
+                continue;
+            }
+            if !seen.insert((id.0, site.line, site.what.clone())) {
+                continue;
+            }
+            // Reconstruct the chain entry -> ... -> id from witnesses.
+            let mut chain = vec![graph.label(id)];
+            let mut cur = id;
+            while let Some(&(parent, _)) = witness.get(&cur) {
+                chain.push(graph.label(parent));
+                cur = parent;
+                if chain.len() > 6 {
+                    break;
+                }
+            }
+            chain.reverse();
+            let entry = chain.first().cloned().unwrap_or_default();
+            let what = if site.token == "indexing" {
+                format!("`{}` indexing", site.what)
+            } else {
+                format!("`{}`", site.what)
+            };
+            let message = if chain.len() == 1 {
+                format!(
+                    "{what} can panic inside pub fn `{entry}`: handle the \
+                     failure or add `// stilint::allow(panic_path, \"<invariant>\")`"
+                )
+            } else {
+                format!(
+                    "{what} can panic and is reachable from pub fn `{entry}` \
+                     via {}: handle the failure or add \
+                     `// stilint::allow(panic_path, \"<invariant>\")`",
+                    chain.join(" -> ")
+                )
+            };
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: site.line,
+                rule: "panic_path".to_string(),
+                message,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FileInput;
+    use crate::mask;
+
+    fn input(path: &str, src: &str) -> FileInput {
+        let m = mask::mask(src);
+        let exempt = crate::test_exempt_lines(&m.text);
+        FileInput {
+            path: path.to_string(),
+            model: crate::parse::parse(&m.text, &m.comments, &exempt),
+            panic_path: true,
+            lock_discipline: true,
+            atomic_order: true,
+            strict_atomic: false,
+            justified_panic_lines: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn transitive_panic_two_calls_deep_reports_the_chain() {
+        let g = Graph::build(vec![input(
+            "crates/x/src/lib.rs",
+            "\
+pub fn api() { middle(); }
+fn middle() { deepest(); }
+fn deepest() { opt.unwrap(); }
+",
+        )]);
+        let d = run(&g);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(
+            d[0].message.contains("api -> middle -> deepest"),
+            "{}",
+            d[0].message
+        );
+        assert!(d[0].message.contains("pub fn `api`"));
+    }
+
+    #[test]
+    fn direct_unwrap_in_pub_fn_is_r1s_business() {
+        let g = Graph::build(vec![input(
+            "crates/x/src/lib.rs",
+            "pub fn api(o: Option<u32>) -> u32 { o.unwrap() }\n",
+        )]);
+        assert!(run(&g).is_empty());
+    }
+
+    #[test]
+    fn direct_indexing_in_pub_fn_reports() {
+        let g = Graph::build(vec![input(
+            "crates/x/src/lib.rs",
+            "pub fn api(v: &[u32]) -> u32 { v[0] }\n",
+        )]);
+        let d = run(&g);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("indexing"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unreachable_private_panic_is_silent() {
+        let g = Graph::build(vec![input(
+            "crates/x/src/lib.rs",
+            "\
+pub fn api() {}
+fn orphan() { x.unwrap(); }
+",
+        )]);
+        assert!(run(&g).is_empty());
+    }
+
+    #[test]
+    fn justified_lines_are_not_sources() {
+        let mut f = input(
+            "crates/x/src/lib.rs",
+            "\
+pub fn api() { middle(); }
+fn middle() { opt.unwrap(); }
+",
+        );
+        f.justified_panic_lines.push(2);
+        let g = Graph::build(vec![f]);
+        assert!(run(&g).is_empty());
+    }
+
+    #[test]
+    fn rule_off_files_do_not_report() {
+        let mut f = input(
+            "crates/x/src/lib.rs",
+            "\
+pub fn api() { middle(); }
+fn middle() { opt.unwrap(); }
+",
+        );
+        f.panic_path = false;
+        let g = Graph::build(vec![f]);
+        assert!(run(&g).is_empty());
+    }
+}

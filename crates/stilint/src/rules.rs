@@ -18,6 +18,19 @@ pub enum RuleId {
     /// that read, write, allocate, or decode pages) in the tree and
     /// storage crates — fallible I/O must surface as `StorageError`.
     NoIoUnwrap,
+    /// R6: a public library fn must not transitively reach
+    /// `panic!`/`unwrap`/`expect`/slice-indexing in non-test code.
+    /// Interprocedural; diagnostics carry the call chain.
+    PanicPath,
+    /// R7: while a guard from the storage layer is live, no backend I/O,
+    /// no second lock acquisition, and no unbounded `loop` without a
+    /// `// bounded:` iteration-bound comment. Interprocedural.
+    LockDiscipline,
+    /// R8: every atomic `load`/`store`/`swap`/`compare_exchange`/`fetch_*`
+    /// must name an explicit `Ordering` carrying a `// ordering:`
+    /// justification; `Relaxed` is forbidden on the publication pointer
+    /// path (`core/src/version.rs`, `core/src/pipeline.rs`).
+    AtomicOrder,
 }
 
 impl RuleId {
@@ -29,6 +42,9 @@ impl RuleId {
             RuleId::NarrowingCast => "narrowing_cast",
             RuleId::NoProcessIo => "no_process_io",
             RuleId::NoIoUnwrap => "no_io_unwrap",
+            RuleId::PanicPath => "panic_path",
+            RuleId::LockDiscipline => "lock_discipline",
+            RuleId::AtomicOrder => "atomic_order",
         }
     }
 
@@ -40,17 +56,23 @@ impl RuleId {
             "narrowing_cast" => Some(RuleId::NarrowingCast),
             "no_process_io" => Some(RuleId::NoProcessIo),
             "no_io_unwrap" => Some(RuleId::NoIoUnwrap),
+            "panic_path" => Some(RuleId::PanicPath),
+            "lock_discipline" => Some(RuleId::LockDiscipline),
+            "atomic_order" => Some(RuleId::AtomicOrder),
             _ => None,
         }
     }
 
     /// All rules, for directive validation messages.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::NoPanic,
         RuleId::FloatEq,
         RuleId::NarrowingCast,
         RuleId::NoProcessIo,
         RuleId::NoIoUnwrap,
+        RuleId::PanicPath,
+        RuleId::LockDiscipline,
+        RuleId::AtomicOrder,
     ];
 }
 

@@ -225,6 +225,9 @@ impl Clone for PageStore {
             buffer: Arc::new((*self.buffer).clone()),
             tag: self.tag,
             free: self.free.clone(),
+            // ordering: relaxed snapshot of independent stat counters; the
+            // clone starts from whatever each counter held, no cross-counter
+            // consistency is promised.
             writes: AtomicU64::new(self.writes.load(Ordering::Relaxed)),
             io_retries: AtomicU64::new(self.io_retries.load(Ordering::Relaxed)),
             checksum_failures: AtomicU64::new(self.checksum_failures.load(Ordering::Relaxed)),
@@ -396,6 +399,7 @@ impl PageStore {
             match core.backend.allocate() {
                 Ok(id) => break id,
                 Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    // ordering: independent stat counter, read only for reporting.
                     io_retries.fetch_add(1, Ordering::Relaxed);
                     core.clock.pause(policy.delay_for(attempt));
                 }
@@ -528,6 +532,7 @@ impl PageStore {
         probe: &mut ReadProbe,
     ) -> Result<(), StorageError> {
         let mut attempt = 0u32;
+        // bounded: each pass returns or bumps `attempt`; retries stop at policy.max_attempts.
         loop {
             attempt += 1;
             let outcome = match core.backend.read(id) {
@@ -539,10 +544,12 @@ impl PageStore {
                 Err(e) => {
                     if is_checksum_mismatch(&e) {
                         probe.checksum_failures += 1;
+                        // ordering: independent stat counter, read only for reporting.
                         self.checksum_failures.fetch_add(1, Ordering::Relaxed);
                     }
                     if e.is_transient() && attempt < self.policy.max_attempts {
                         probe.io_retries += 1;
+                        // ordering: independent stat counter, read only for reporting.
                         self.io_retries.fetch_add(1, Ordering::Relaxed);
                         core.clock.pause(self.policy.delay_for(attempt));
                     } else {
@@ -623,15 +630,18 @@ impl PageStore {
             match outcome {
                 Ok(()) => {
                     core.sums[id as usize] = new_sum;
+                    // ordering: independent stat counter, read only for reporting.
                     writes.fetch_add(1, Ordering::Relaxed);
                     buffer.install(buffer_key(*tag, id));
                     return Ok(());
                 }
                 Err(e) => {
                     if is_checksum_mismatch(&e) {
+                        // ordering: independent stat counter, read only for reporting.
                         checksum_failures.fetch_add(1, Ordering::Relaxed);
                     }
                     if e.is_transient() && attempt < policy.max_attempts {
+                        // ordering: independent stat counter, read only for reporting.
                         io_retries.fetch_add(1, Ordering::Relaxed);
                         core.clock.pause(policy.delay_for(attempt));
                     } else {
@@ -664,6 +674,7 @@ impl PageStore {
             match core.backend.sync() {
                 Ok(()) => return Ok(()),
                 Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                    // ordering: independent stat counter, read only for reporting.
                     io_retries.fetch_add(1, Ordering::Relaxed);
                     core.clock.pause(policy.delay_for(attempt));
                 }
@@ -776,6 +787,7 @@ impl PageStore {
         let counters = self.buffer.counters();
         IoStats {
             reads: counters.misses,
+            // ordering: relaxed counter snapshot; stats are advisory.
             writes: self.writes.load(Ordering::Relaxed),
             buffer_hits: counters.hits,
         }
@@ -784,11 +796,13 @@ impl PageStore {
     /// Accumulated failure-path counters since the last reset.
     pub fn fault_stats(&self) -> FaultStats {
         FaultStats {
+            // ordering: relaxed counter snapshot; stats are advisory.
             io_retries: self.io_retries.load(Ordering::Relaxed),
             io_faults_injected: self
                 .core_read()
                 .backend
                 .faults_injected()
+                // ordering: relaxed counter snapshot; stats are advisory.
                 .saturating_sub(self.injected_at_reset.load(Ordering::Relaxed)),
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
@@ -801,6 +815,8 @@ impl PageStore {
     /// residency half, which does.
     pub fn reset_stats(&self) {
         self.buffer.reset_counters();
+        // ordering: relaxed zeroing of independent stat counters; callers
+        // quiesce queries around a reset, nothing synchronizes on these.
         self.writes.store(0, Ordering::Relaxed);
         self.io_retries.store(0, Ordering::Relaxed);
         self.checksum_failures.store(0, Ordering::Relaxed);

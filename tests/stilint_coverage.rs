@@ -1,0 +1,88 @@
+//! Every `.rs` file in the repository must get a *deliberate* decision
+//! from stilint's classification matrix: either it is linted with a
+//! non-empty rule set, or it is exempt for a stated reason. A file the
+//! matrix does not know (`Classification::Unknown`) fails this test, so
+//! adding a new top-level directory forces a conscious choice instead of
+//! silently dodging the lint.
+
+use std::path::{Path, PathBuf};
+use stilint::{classify, classify_full, collect_files, Classification, FileClass};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR for the root package *is* the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rel(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[test]
+fn every_rust_file_gets_a_deliberate_classification() {
+    let root = workspace_root();
+    let files = collect_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "suspiciously few files ({}) — walking the wrong root?",
+        files.len()
+    );
+    let mut unknown = Vec::new();
+    let mut empty_rule_set = Vec::new();
+    for file in &files {
+        let rel = rel(&root, file);
+        match classify_full(&rel) {
+            Classification::Unknown => unknown.push(rel),
+            Classification::Exempt(reason) => {
+                assert!(!reason.is_empty(), "{rel}: exemption without a reason");
+            }
+            Classification::Lint(class) => {
+                if class == FileClass::SKIP {
+                    empty_rule_set.push(rel);
+                }
+            }
+        }
+    }
+    assert!(
+        unknown.is_empty(),
+        "files without a classification entry (add them to stilint's \
+         classify_full matrix): {unknown:#?}"
+    );
+    assert!(
+        empty_rule_set.is_empty(),
+        "files classified as Lint but with no rules enabled: {empty_rule_set:#?}"
+    );
+}
+
+#[test]
+fn linted_files_all_enforce_the_interprocedural_rules() {
+    let root = workspace_root();
+    let files = collect_files(&root).expect("walk workspace");
+    for file in &files {
+        let rel = rel(&root, file);
+        if let Classification::Lint(class) = classify_full(&rel) {
+            // lock_discipline and atomic_order hold everywhere; panic_path
+            // everywhere except the tool crate (its parser indexes its own
+            // bounds-checked buffers heavily).
+            assert!(class.lock_discipline, "{rel}: lock_discipline off");
+            assert!(class.atomic_order, "{rel}: atomic_order off");
+            if !rel.starts_with("crates/stilint/") {
+                assert!(class.panic_path, "{rel}: panic_path off");
+            }
+        }
+    }
+}
+
+#[test]
+fn classify_agrees_with_classify_full() {
+    let root = workspace_root();
+    for file in collect_files(&root).expect("walk workspace") {
+        let rel = rel(&root, &file);
+        match classify_full(&rel) {
+            Classification::Lint(class) => assert_eq!(classify(&rel), class, "{rel}"),
+            _ => assert_eq!(classify(&rel), FileClass::SKIP, "{rel}"),
+        }
+    }
+}
