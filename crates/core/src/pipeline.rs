@@ -202,6 +202,9 @@ pub struct IngestPipeline {
     rollbacks: u64,
     /// Operations refused with typed errors, ever.
     rejected_total: u64,
+    /// Test hook: force [`IngestPipeline::seal`] to take its stalled
+    /// exit (see [`IngestPipeline::wedge_seal_for_test`]).
+    wedge_seal: bool,
 }
 
 impl IngestPipeline {
@@ -245,7 +248,20 @@ impl IngestPipeline {
             commits: 0,
             rollbacks: 0,
             rejected_total: 0,
+            wedge_seal: false,
         }
+    }
+
+    /// Force the next [`IngestPipeline::seal`] to take its stalled exit
+    /// even though the queue could drain, in the spirit of the storage
+    /// layer's `SaveCrash` fault injection: the genuine stall — a
+    /// reorder buffer that cannot drain — is unreachable from valid
+    /// input by construction, but callers still must handle the
+    /// [`CommitReport::stalled`] flag, and this hook lets tests pin
+    /// that handling end-to-end with real queue-depth diagnostics.
+    #[doc(hidden)]
+    pub fn wedge_seal_for_test(&mut self) {
+        self.wedge_seal = true;
     }
 
     /// Enqueue one operation (no validation happens here — the
@@ -485,6 +501,22 @@ impl IngestPipeline {
     /// commit rolls back twice in a row, or (flagging
     /// [`CommitReport::stalled`]) if a commit makes no forward progress.
     pub fn seal(&mut self) -> CommitReport {
+        if self.wedge_seal {
+            // Fault injection: report the genuine stalled exit before
+            // any draining commit runs, so the queue/pending
+            // diagnostics reflect the wedged state the caller sees.
+            return CommitReport {
+                state: BatchState::Queued,
+                stamp: self.published().stamp(),
+                drained: 0,
+                rejected: Vec::new(),
+                batch_events: 0,
+                lag_events: 0,
+                error: None,
+                stalled: true,
+                trace: vec![BatchState::Queued],
+            };
+        }
         // Drain whatever producers queued first — the open-piece
         // snapshot below must reflect every operation actually sent
         // (a queued finish not yet absorbed would otherwise earn its
@@ -822,6 +854,26 @@ mod tests {
         out.clear();
         v.tree().query_snapshot(&Rect2::UNIT, 7, &mut out).unwrap();
         assert_eq!(out, vec![2], "object 1 finished at 4");
+    }
+
+    /// The wedge hook forces seal down its stalled exit: the report
+    /// must carry `stalled = true` and leave the undrained queue depth
+    /// visible, so callers can surface real diagnostics instead of
+    /// silently saving a truncated index.
+    #[test]
+    fn wedged_seal_reports_stalled_with_undrained_work() {
+        let mut p = IngestPipeline::new(config(), params());
+        for t in 0..6 {
+            p.enqueue_update(1, rect_at(1, t), t);
+        }
+        p.wedge_seal_for_test();
+        let report = p.seal();
+        assert!(report.stalled, "wedge must surface as a stall");
+        assert!(report.error.is_none(), "a stall is not a storage fault");
+        assert!(
+            p.queue_len() + p.pending_events() > 0,
+            "a stalled seal leaves undrained work behind for diagnostics"
+        );
     }
 
     /// A producer-enqueued finish for a straggler object (end behind

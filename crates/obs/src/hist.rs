@@ -1,0 +1,267 @@
+//! A lock-free latency histogram with log-spaced buckets.
+//!
+//! The paper's metric of record is page I/Os per query, but a served
+//! index is judged by end-to-end latency under concurrency — a
+//! *distribution*, not an average, because tail latency is what an SLO
+//! bounds. [`LatencyHistogram`] records observations into geometrically
+//! spaced buckets behind atomic counters, so many worker threads can
+//! observe through one `&self` handle with no coordination beyond the
+//! cache line, and quantile estimates stay deterministic given the same
+//! observations (the estimate is always a bucket *upper bound*, never an
+//! interpolation that would depend on float summation order).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default smallest bucket upper bound: 1µs.
+const FIRST_BOUND_SECS: f64 = 1e-6;
+/// Default growth factor between bucket bounds: 2^(1/4) ≈ 1.19, i.e. a
+/// worst-case quantile overestimate of ~19%.
+const GROWTH: f64 = 1.189_207_115_002_721;
+/// Default bucket count, spanning 1µs to ~67s (the last bound is 104
+/// factors of 2^(1/4) above the first: 2^26 ≈ 6.7e7).
+const DEFAULT_BUCKETS: usize = 105;
+
+/// A point-in-time copy of a histogram, in the shape the Prometheus
+/// exposition format wants: per-bucket **cumulative** counts plus the
+/// total sum and count ([`crate::MetricSet::histogram`] renders it).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// `(upper_bound_secs, cumulative_count)`, ascending. Observations
+    /// above the last bound only show up in `count` (the `+Inf` bucket).
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of every observed value, in seconds.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+/// A shared, interior-mutable latency histogram.
+///
+/// `observe` is `&self` and lock-free: concurrent recorders only ever
+/// touch atomic counters. Reads (`snapshot`, `quantile`) are
+/// tear-tolerant — they may miss observations racing in while they
+/// read, which is the usual contract for scrape-time metrics.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// Ascending bucket upper bounds, in seconds.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts, same length as `bounds`.
+    counts: Vec<AtomicU64>,
+    /// Observations above the last bound (the `+Inf` bucket).
+    overflow: AtomicU64,
+    /// Total observed nanoseconds (for the `_sum` series).
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// A histogram with the default latency-oriented bounds: 105
+    /// log-spaced buckets from 1µs to ~67s (ratio 2^(1/4), so quantile
+    /// estimates overshoot by at most ~19%).
+    pub fn new() -> Self {
+        let mut bounds = Vec::with_capacity(DEFAULT_BUCKETS);
+        let mut bound = FIRST_BOUND_SECS;
+        for _ in 0..DEFAULT_BUCKETS {
+            bounds.push(bound);
+            bound *= GROWTH;
+        }
+        Self::with_bounds(bounds)
+    }
+
+    /// A histogram over explicit ascending bucket upper bounds (in
+    /// seconds). Non-finite, non-positive, or out-of-order bounds are
+    /// dropped rather than accepted into a nonsensical scale.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        let mut clean: Vec<f64> = Vec::with_capacity(bounds.len());
+        for b in bounds {
+            let ascending = clean.last().is_none_or(|&prev| b > prev);
+            if b.is_finite() && b > 0.0 && ascending {
+                clean.push(b);
+            }
+        }
+        let counts = clean.iter().map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: clean,
+            counts,
+            overflow: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation, in seconds. Negative and non-finite
+    /// values are clamped to zero (they can only come from clock
+    /// misbehavior, and a poisoned scale helps nobody).
+    pub fn observe_secs(&self, secs: f64) {
+        let secs = if secs.is_finite() && secs > 0.0 {
+            secs
+        } else {
+            0.0
+        };
+        let idx = self.bounds.partition_point(|&b| b < secs);
+        let cell = match self.counts.get(idx) {
+            Some(cell) => cell,
+            None => &self.overflow,
+        };
+        // ordering: independent monotonic counters; readers tolerate
+        // torn cross-counter views, so no ordering between cells is
+        // needed.
+        cell.fetch_add(1, Ordering::Relaxed);
+        let nanos = (secs * 1e9).min(u64::MAX as f64) as u64;
+        // ordering: same single-counter monotonicity argument as above.
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record one observation from a [`std::time::Duration`].
+    pub fn observe(&self, elapsed: std::time::Duration) {
+        self.observe_secs(elapsed.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        let mut total = 0u64;
+        for c in &self.counts {
+            // ordering: scrape-time read of independent counters;
+            // relaxed is the documented tear-tolerant contract.
+            total += c.load(Ordering::Relaxed);
+        }
+        // ordering: see above.
+        total + self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Sum of every observed value, in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        // ordering: scrape-time read; see `count`.
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// The estimated `q`-quantile (`0.0..=1.0`), as the upper bound of
+    /// the first bucket whose cumulative count reaches `ceil(q * n)`.
+    /// Returns 0 for an empty histogram; observations above the last
+    /// bound report the last bound (the estimate saturates rather than
+    /// inventing a number for the open-ended `+Inf` bucket).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let snap = self.snapshot();
+        if snap.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * snap.count as f64).ceil() as u64).max(1);
+        for &(bound, cumulative) in &snap.buckets {
+            if cumulative >= rank {
+                return bound;
+            }
+        }
+        snap.buckets.last().map_or(0.0, |&(bound, _)| bound)
+    }
+
+    /// A point-in-time copy with cumulative bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = 0u64;
+        let buckets = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(&bound, count)| {
+                // ordering: scrape-time read; see `count`.
+                cumulative += count.load(Ordering::Relaxed);
+                (bound, cumulative)
+            })
+            .collect();
+        // ordering: scrape-time read; see `count`.
+        let count = cumulative + self.overflow.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum_secs(),
+            count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bounds_are_ascending_and_span_the_latency_range() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.bounds.len(), DEFAULT_BUCKETS);
+        assert!(h.bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!(h.bounds.first().is_some_and(|&b| b == 1e-6));
+        assert!(h.bounds.last().is_some_and(|&b| b > 60.0 && b < 90.0));
+    }
+
+    #[test]
+    fn observations_land_in_le_buckets() {
+        let h = LatencyHistogram::with_bounds(vec![0.001, 0.01, 0.1]);
+        h.observe_secs(0.001); // exactly on a bound: le semantics
+        h.observe_secs(0.005);
+        h.observe_secs(0.05);
+        h.observe_secs(5.0); // overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(0.001, 1), (0.01, 2), (0.1, 3)]);
+        assert_eq!(snap.count, 4);
+        assert!((snap.sum - 5.056).abs() < 1e-6, "{}", snap.sum);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let h = LatencyHistogram::with_bounds(vec![1.0, 2.0, 4.0, 8.0]);
+        for _ in 0..90 {
+            h.observe_secs(0.5); // bucket le=1
+        }
+        for _ in 0..10 {
+            h.observe_secs(3.0); // bucket le=4
+        }
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.9), 1.0);
+        assert_eq!(h.quantile(0.95), 4.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.sum_secs(), 0.0);
+    }
+
+    #[test]
+    fn overflow_saturates_quantiles_at_the_last_bound() {
+        let h = LatencyHistogram::with_bounds(vec![0.5, 1.0]);
+        h.observe_secs(100.0);
+        assert_eq!(h.quantile(0.99), 1.0, "saturate, don't invent");
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn bogus_bounds_and_values_are_sanitized() {
+        let h = LatencyHistogram::with_bounds(vec![-1.0, 0.0, 1.0, 0.5, f64::NAN, 2.0]);
+        assert_eq!(h.bounds, vec![1.0, 2.0]);
+        h.observe_secs(f64::NAN);
+        h.observe_secs(-3.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2, "clamped to zero, still counted");
+        assert_eq!(snap.sum, 0.0);
+    }
+
+    #[test]
+    fn concurrent_observers_lose_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000 {
+                        h.observe_secs(0.0001 * f64::from(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -12,11 +12,13 @@
 //! touches stdout, files, or the process environment. Binaries decide
 //! where the bytes go.
 
+mod hist;
 mod json;
 mod metrics;
 mod span;
 mod stats;
 
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use json::JsonValue;
 pub use metrics::{Metric, MetricKind, MetricSet};
 pub use span::{NullSink, Span, SpanSink, SpanTimer, VecSink};

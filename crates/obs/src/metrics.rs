@@ -4,6 +4,7 @@
 //! `String`s — writing them anywhere is the binary's job (see the
 //! workspace lint rule `no_process_io`).
 
+use crate::hist::HistogramSnapshot;
 use crate::json::JsonValue;
 use core::fmt::Write as _;
 
@@ -14,6 +15,10 @@ pub enum MetricKind {
     Counter,
     /// Point-in-time value (pages allocated, phase seconds).
     Gauge,
+    /// Bucketed distribution (request latency); the sample carries a
+    /// [`HistogramSnapshot`] and renders as `_bucket`/`_sum`/`_count`
+    /// series.
+    Histogram,
 }
 
 impl MetricKind {
@@ -21,6 +26,7 @@ impl MetricKind {
         match self {
             MetricKind::Counter => "counter",
             MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
         }
     }
 }
@@ -37,8 +43,12 @@ pub struct Metric {
     pub kind: MetricKind,
     /// Label pairs, rendered in insertion order.
     pub labels: Vec<(String, String)>,
-    /// The sample value.
+    /// The sample value. Ignored for histograms, which carry their data
+    /// in `histogram`.
     pub value: f64,
+    /// Bucketed data for [`MetricKind::Histogram`] samples; `None` for
+    /// counters and gauges.
+    pub histogram: Option<HistogramSnapshot>,
 }
 
 /// An ordered collection of metric samples.
@@ -76,6 +86,7 @@ impl MetricSet {
             kind: MetricKind::Counter,
             labels: Vec::new(),
             value,
+            histogram: None,
         });
     }
 
@@ -87,6 +98,7 @@ impl MetricSet {
             kind: MetricKind::Gauge,
             labels: Vec::new(),
             value,
+            histogram: None,
         });
     }
 
@@ -101,6 +113,21 @@ impl MetricSet {
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
             value,
+            histogram: None,
+        });
+    }
+
+    /// Record a histogram sample from a bucket snapshot (see
+    /// [`crate::LatencyHistogram::snapshot`]). Renders as the standard
+    /// Prometheus `_bucket{le="..."}` / `_sum` / `_count` triple.
+    pub fn histogram(&mut self, name: &str, help: &str, snapshot: HistogramSnapshot) {
+        self.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Histogram,
+            labels: Vec::new(),
+            value: 0.0,
+            histogram: Some(snapshot),
         });
     }
 
@@ -131,6 +158,19 @@ impl MetricSet {
                     let _ = writeln!(out, "# HELP {name} {}", sanitize_help(&m.help));
                 }
                 let _ = writeln!(out, "# TYPE {name} {}", m.kind.as_str());
+            }
+            if let Some(snap) = &m.histogram {
+                for &(bound, cumulative) in &snap.buckets {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        fmt_value(bound)
+                    );
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+                let _ = writeln!(out, "{name}_sum {}", fmt_value(snap.sum));
+                let _ = writeln!(out, "{name}_count {}", snap.count);
+                continue;
             }
             out.push_str(&name);
             if !m.labels.is_empty() {
@@ -166,7 +206,22 @@ impl MetricSet {
                     ),
                 );
             }
-            obj.push_field("value", JsonValue::Num(m.value));
+            match &m.histogram {
+                Some(snap) => {
+                    let buckets = snap.buckets.iter().map(|&(bound, cumulative)| {
+                        JsonValue::array([JsonValue::Num(bound), JsonValue::UInt(cumulative)])
+                    });
+                    obj.push_field(
+                        "histogram",
+                        JsonValue::object([
+                            ("buckets", JsonValue::array(buckets)),
+                            ("sum", JsonValue::Num(snap.sum)),
+                            ("count", JsonValue::UInt(snap.count)),
+                        ]),
+                    );
+                }
+                None => obj.push_field("value", JsonValue::Num(m.value)),
+            }
             obj
         });
         JsonValue::array(items).render_pretty()
@@ -186,9 +241,26 @@ fn sanitize_name(name: &str) -> String {
     out
 }
 
-/// HELP text is a single line; fold newlines away.
+/// HELP text escapes backslash and newline per the exposition format, so
+/// multi-line help round-trips through a real scraper instead of being
+/// lossily folded. Bare `\r` has no spelling in the format; it is folded
+/// into the escaped newline.
 fn sanitize_help(help: &str) -> String {
-    help.replace(['\n', '\r'], " ")
+    let mut out = String::with_capacity(help.len());
+    let mut chars = help.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => {
+                if chars.peek() != Some(&'\n') {
+                    out.push_str("\\n");
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Label values escape backslash, quote, and newline per the exposition
@@ -294,5 +366,112 @@ mod tests {
         assert_eq!(fmt_value(f64::NAN), "NaN");
         assert_eq!(fmt_value(f64::INFINITY), "+Inf");
         assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+    }
+
+    /// Inverse of the exposition-format escaping, as a real scraper
+    /// would apply it when parsing a `# HELP` line or a label value.
+    fn unescape(escaped: &str) -> String {
+        let mut out = String::with_capacity(escaped.len());
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('"') => out.push('"'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn help_escapes_newline() {
+        assert_eq!(sanitize_help("line one\nline two"), "line one\\nline two");
+        assert_eq!(
+            unescape(&sanitize_help("line one\nline two")),
+            "line one\nline two"
+        );
+    }
+
+    #[test]
+    fn help_escapes_backslash() {
+        assert_eq!(sanitize_help(r"path\to\thing"), r"path\\to\\thing");
+        assert_eq!(unescape(&sanitize_help(r"path\to\thing")), r"path\to\thing");
+    }
+
+    #[test]
+    fn help_folds_carriage_returns_into_newlines() {
+        assert_eq!(sanitize_help("a\r\nb"), "a\\nb");
+        assert_eq!(sanitize_help("a\rb"), "a\\nb");
+    }
+
+    #[test]
+    fn help_leaves_quotes_alone() {
+        // Per the exposition format, HELP text escapes only `\` and
+        // newline — quotes pass through verbatim.
+        assert_eq!(sanitize_help("say \"hi\""), "say \"hi\"");
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        for raw in ["a\nb", "a\\b", "a\"b", "mix\\\"\nall"] {
+            assert_eq!(unescape(&escape_label(raw)), raw, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn tricky_help_survives_a_full_render() {
+        let mut set = MetricSet::new();
+        set.counter("m_total", "uses \\n literally\nand a real break", 1.0);
+        let text = set.to_prometheus();
+        let help_line = text
+            .lines()
+            .find(|l| l.starts_with("# HELP"))
+            .expect("help line");
+        assert_eq!(
+            help_line,
+            "# HELP m_total uses \\\\n literally\\nand a real break"
+        );
+        assert_eq!(
+            unescape(help_line.trim_start_matches("# HELP m_total ")),
+            "uses \\n literally\nand a real break"
+        );
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let h = crate::LatencyHistogram::with_bounds(vec![0.01, 0.1]);
+        h.observe_secs(0.005);
+        h.observe_secs(0.05);
+        h.observe_secs(7.0);
+        let mut set = MetricSet::new();
+        set.histogram("req_seconds", "request latency", h.snapshot());
+        let text = set.to_prometheus();
+        assert!(text.contains("# TYPE req_seconds histogram"), "{text}");
+        assert!(text.contains("req_seconds_bucket{le=\"0.01\"} 1"), "{text}");
+        assert!(text.contains("req_seconds_bucket{le=\"0.1\"} 2"), "{text}");
+        assert!(text.contains("req_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("req_seconds_count 3"), "{text}");
+        assert!(text.contains("req_seconds_sum 7.055"), "{text}");
+    }
+
+    #[test]
+    fn histogram_renders_in_json() {
+        let h = crate::LatencyHistogram::with_bounds(vec![1.0]);
+        h.observe_secs(0.5);
+        let mut set = MetricSet::new();
+        set.histogram("lat", "l", h.snapshot());
+        let text = set.to_json();
+        assert!(text.contains("\"kind\": \"histogram\""), "{text}");
+        assert!(text.contains("\"count\": 1"), "{text}");
+        assert!(text.contains("\"buckets\""), "{text}");
     }
 }

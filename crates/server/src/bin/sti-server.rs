@@ -1,0 +1,100 @@
+//! `sti-server` — serve a saved index over HTTP.
+//!
+//! ```text
+//! sti-server --index index.stidx [--addr 127.0.0.1:7070]
+//!            [--workers N] [--io-workers N] [--queue DEPTH]
+//!            [--time-extent T] [--read-timeout-ms MS]
+//!            [--test-delay-ms MS]
+//! ```
+//!
+//! Endpoints:
+//! - `GET /query?area=x0,y0,x1,y1&time=T[&until=T2]` — result ids, one
+//!   per line (the same id lines `stidx query` prints), with per-query
+//!   I/O stats in `X-Sti-*` headers.
+//! - `GET /healthz` — liveness; stays responsive under query overload.
+//! - `GET /metrics` — Prometheus text exposition of the server's
+//!   counters, the request-latency histogram, and query I/O aggregates.
+//!
+//! Backpressure: at most `--queue` queries wait for the `--workers`
+//! pool; one more is refused immediately with `503` + `Retry-After: 1`.
+//!
+//! `--test-delay-ms` inflates every query by a fixed sleep so tests can
+//! saturate the admission bound deterministically; it has no production
+//! use.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+use sti_server::cli::parse_flags;
+use sti_server::{Server, ServerConfig};
+
+const USAGE: &str = "usage:
+  sti-server --index FILE [--addr HOST:PORT] [--workers N]
+             [--io-workers N] [--queue DEPTH] [--time-extent T]
+             [--read-timeout-ms MS] [--test-delay-ms MS]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sti-server: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "index",
+            "addr",
+            "workers",
+            "io-workers",
+            "queue",
+            "time-extent",
+            "read-timeout-ms",
+            "test-delay-ms",
+        ],
+        &[],
+    )?;
+    let index_path = std::path::PathBuf::from(flags.need("index")?);
+    let time_extent: u32 = flags.parsed("time-extent")?.unwrap_or(1000);
+    let mut config = ServerConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7070").to_string(),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = flags.parsed("workers")? {
+        config.query_workers = n;
+    }
+    if let Some(n) = flags.parsed("io-workers")? {
+        config.io_workers = n;
+    }
+    if let Some(n) = flags.parsed("queue")? {
+        config.queue_depth = n;
+    }
+    if let Some(ms) = flags.parsed::<u64>("read-timeout-ms")? {
+        config.read_timeout = Duration::from_millis(ms);
+        config.write_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = flags.parsed::<u64>("test-delay-ms")? {
+        config.test_delay = Duration::from_millis(ms);
+    }
+
+    let index = sti_core::SpatioTemporalIndex::open_file_with(&index_path, time_extent)
+        .map_err(|e| format!("opening {}: {e}", index_path.display()))?;
+    let server =
+        Server::start(Arc::new(index), config).map_err(|e| format!("binding the listener: {e}"))?;
+    println!(
+        "sti-server: serving {} ({} backend, {} records, {} pages) on http://{}",
+        index_path.display(),
+        server.metrics().backend_name(),
+        server.metrics().index_records(),
+        server.metrics().index_pages(),
+        server.addr()
+    );
+    // Serve until the process is killed (CI and operators send SIGTERM).
+    server.join();
+    Ok(())
+}

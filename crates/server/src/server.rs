@@ -1,0 +1,728 @@
+//! The query server: admission control → worker pools → executor →
+//! shared index snapshot.
+//!
+//! Two bounded stages keep overload from becoming collapse:
+//!
+//! ```text
+//! acceptor ─► conn queue ─► io workers ─► query queue ─► query workers
+//!                           (parse, route,  (bounded       (executor,
+//!                            health, 4xx)    admission)     respond)
+//! ```
+//!
+//! The io workers answer `/healthz`, `/metrics`, and every error
+//! response inline, and *try* to enqueue `/query` work onto the bounded
+//! query queue. When that queue is full the request is refused
+//! immediately with `503` + `Retry-After` — so a saturated query pool
+//! sheds load in O(1) while health checks and scrapes keep answering,
+//! which is exactly the backpressure contract the load tests pin.
+//!
+//! Queries run against one shared [`SpatioTemporalIndex`] through the
+//! existing [`QueryExecutor`]: reads are `&self` end to end, so the
+//! worker pool shares a single `Arc` with no writer coordination.
+
+use crate::http::{self, RecvError, Request, Response};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use sti_core::{QueryExecutor, QueryRequest, SpatioTemporalIndex};
+use sti_geom::{Rect2, TimeInterval};
+use sti_obs::{LatencyHistogram, MetricSet};
+
+/// Tuning for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub addr: String,
+    /// Threads executing queries.
+    pub query_workers: usize,
+    /// Threads parsing requests and writing control responses.
+    pub io_workers: usize,
+    /// Bound on admitted-but-unstarted queries; one more in-flight
+    /// request beyond this is refused with 503.
+    pub queue_depth: usize,
+    /// Socket read timeout while receiving a request head (→ 408).
+    pub read_timeout: Duration,
+    /// Socket write timeout while sending a response.
+    pub write_timeout: Duration,
+    /// Artificial per-query delay. Zero in production; load tests use
+    /// it to saturate the admission bound deterministically.
+    pub test_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            query_workers: 2,
+            io_workers: 2,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            test_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Shared atomic counters behind `/metrics`. Everything is `&self` and
+/// relaxed: counters are independent monotonic cells read at scrape
+/// time, where a torn cross-counter view is acceptable by contract.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Requests routed, by endpoint.
+    requests_query: AtomicU64,
+    requests_healthz: AtomicU64,
+    requests_metrics: AtomicU64,
+    requests_other: AtomicU64,
+    /// Responses written, by status code (fixed vocabulary).
+    responses: Vec<(u16, AtomicU64)>,
+    /// `/query` requests refused because the admission queue was full.
+    admission_rejected: AtomicU64,
+    /// Connections that vanished before a response could be written.
+    disconnects: AtomicU64,
+    /// Admitted queries not yet answered.
+    inflight: AtomicU64,
+    /// End-to-end `/query` latency: admission to response written.
+    latency: LatencyHistogram,
+    /// Sums of per-query [`sti_obs::QueryStats`] fields.
+    q_disk_reads: AtomicU64,
+    q_buffer_hits: AtomicU64,
+    q_nodes_visited: AtomicU64,
+    q_entries_scanned: AtomicU64,
+    q_results: AtomicU64,
+    /// Index shape, captured at startup (the served snapshot is
+    /// immutable for the server's lifetime).
+    index_pages: u64,
+    index_records: u64,
+    backend: String,
+}
+
+/// The status codes this server can send, for the fixed counter table.
+const STATUS_VOCABULARY: [u16; 9] = [200, 400, 404, 405, 408, 414, 431, 500, 503];
+
+impl ServerMetrics {
+    fn new(index: &SpatioTemporalIndex) -> Self {
+        Self {
+            requests_query: AtomicU64::new(0),
+            requests_healthz: AtomicU64::new(0),
+            requests_metrics: AtomicU64::new(0),
+            requests_other: AtomicU64::new(0),
+            responses: STATUS_VOCABULARY
+                .iter()
+                .map(|&code| (code, AtomicU64::new(0)))
+                .collect(),
+            admission_rejected: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            q_disk_reads: AtomicU64::new(0),
+            q_buffer_hits: AtomicU64::new(0),
+            q_nodes_visited: AtomicU64::new(0),
+            q_entries_scanned: AtomicU64::new(0),
+            q_results: AtomicU64::new(0),
+            index_pages: index.num_pages() as u64,
+            index_records: index.record_count() as u64,
+            backend: index.backend().to_string(),
+        }
+    }
+
+    /// Pages in the served index.
+    pub fn index_pages(&self) -> u64 {
+        self.index_pages
+    }
+
+    /// Records posted to the served index.
+    pub fn index_records(&self) -> u64 {
+        self.index_records
+    }
+
+    /// Human name of the served backend.
+    pub fn backend_name(&self) -> &str {
+        &self.backend
+    }
+
+    fn count_request(&self, path: &str) {
+        let cell = match path {
+            "/query" => &self.requests_query,
+            "/healthz" => &self.requests_healthz,
+            "/metrics" => &self.requests_metrics,
+            _ => &self.requests_other,
+        };
+        // ordering: independent monotonic counter, scrape-tolerant.
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_response(&self, status: u16) {
+        for (code, cell) in &self.responses {
+            if *code == status {
+                // ordering: independent monotonic counter.
+                cell.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    fn count_disconnect(&self) {
+        // ordering: independent monotonic counter.
+        self.disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn absorb_query_stats(&self, stats: &sti_obs::QueryStats) {
+        let pairs = [
+            (&self.q_disk_reads, stats.disk_reads),
+            (&self.q_buffer_hits, stats.buffer_hits),
+            (&self.q_nodes_visited, stats.nodes_visited),
+            (&self.q_entries_scanned, stats.entries_scanned),
+            (&self.q_results, stats.results),
+        ];
+        for (cell, delta) in pairs {
+            cell.fetch_add(delta, Ordering::Relaxed); // ordering: independent monotonic counter.
+        }
+    }
+
+    /// `/query` requests answered so far (any status).
+    pub fn queries_answered(&self) -> u64 {
+        // ordering: scrape-time read.
+        self.latency.count()
+    }
+
+    /// Admitted queries not yet answered.
+    pub fn inflight(&self) -> u64 {
+        // ordering: scrape-time read.
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// `/query` requests refused at the admission bound.
+    pub fn admission_rejected(&self) -> u64 {
+        // ordering: scrape-time read.
+        self.admission_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Render everything as a fresh [`MetricSet`] (each `/metrics`
+    /// scrape builds its own point-in-time copy).
+    pub fn render(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        for (endpoint, cell) in [
+            ("query", &self.requests_query),
+            ("healthz", &self.requests_healthz),
+            ("metrics", &self.requests_metrics),
+            ("other", &self.requests_other),
+        ] {
+            set.push(sti_obs::Metric {
+                name: "sti_http_requests_total".to_string(),
+                help: "requests routed, by endpoint".to_string(),
+                kind: sti_obs::MetricKind::Counter,
+                labels: vec![("endpoint".to_string(), endpoint.to_string())],
+                // ordering: scrape-time read.
+                value: cell.load(Ordering::Relaxed) as f64,
+                histogram: None,
+            });
+        }
+        for (code, cell) in &self.responses {
+            set.push(sti_obs::Metric {
+                name: "sti_http_responses_total".to_string(),
+                help: "responses written, by status code".to_string(),
+                kind: sti_obs::MetricKind::Counter,
+                labels: vec![("code".to_string(), code.to_string())],
+                // ordering: scrape-time read.
+                value: cell.load(Ordering::Relaxed) as f64,
+                histogram: None,
+            });
+        }
+        set.counter(
+            "sti_admission_rejected_total",
+            "queries refused with 503 at the admission bound",
+            self.admission_rejected() as f64,
+        );
+        set.counter(
+            "sti_http_disconnects_total",
+            "connections lost before a response could be written",
+            // ordering: scrape-time read.
+            self.disconnects.load(Ordering::Relaxed) as f64,
+        );
+        set.gauge(
+            "sti_http_inflight_requests",
+            "admitted queries not yet answered",
+            self.inflight() as f64,
+        );
+        set.histogram(
+            "sti_request_seconds",
+            "end-to-end query latency: admission to response written",
+            self.latency.snapshot(),
+        );
+        for (name, help, cell) in [
+            (
+                "sti_query_disk_reads_total",
+                "pages fetched from disk by queries",
+                &self.q_disk_reads,
+            ),
+            (
+                "sti_query_buffer_hits_total",
+                "page requests served by the buffer pool",
+                &self.q_buffer_hits,
+            ),
+            (
+                "sti_query_nodes_visited_total",
+                "tree nodes visited by queries",
+                &self.q_nodes_visited,
+            ),
+            (
+                "sti_query_entries_scanned_total",
+                "node entries tested by queries",
+                &self.q_entries_scanned,
+            ),
+            (
+                "sti_query_results_total",
+                "result ids returned by queries",
+                &self.q_results,
+            ),
+        ] {
+            // ordering: scrape-time read.
+            set.counter(name, help, cell.load(Ordering::Relaxed) as f64);
+        }
+        set.gauge(
+            "sti_index_pages",
+            "pages in the served index",
+            self.index_pages as f64,
+        );
+        set.gauge(
+            "sti_index_records",
+            "records posted to the served index",
+            self.index_records as f64,
+        );
+        set
+    }
+}
+
+/// One admitted query: the connection to answer on, the parsed request,
+/// and the admission instant the latency histogram measures from.
+struct QueryJob {
+    stream: TcpStream,
+    request: QueryRequest,
+    admitted: Instant,
+}
+
+/// A running server. Dropping it does *not* stop the threads; call
+/// [`Server::shutdown`] for an orderly stop or [`Server::join`] to
+/// serve until the process dies.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    io_workers: Vec<std::thread::JoinHandle<()>>,
+    query_workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the pools, and start serving `index`.
+    ///
+    /// # Errors
+    /// The bind error when the address is unavailable.
+    pub fn start(index: Arc<SpatioTemporalIndex>, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::new(&index));
+
+        let io_workers_n = config.io_workers.max(1);
+        let query_workers_n = config.query_workers.max(1);
+        // The conn queue sits between the acceptor and the io workers;
+        // it only needs to cover parse latency, the real admission
+        // bound is the query queue below.
+        let (conn_tx, conn_rx) =
+            std::sync::mpsc::sync_channel::<TcpStream>((io_workers_n * 2).max(8));
+        let (query_tx, query_rx) =
+            std::sync::mpsc::sync_channel::<QueryJob>(config.queue_depth.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let query_rx = Arc::new(Mutex::new(query_rx));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &conn_tx, &stop))
+        };
+        let io_workers = (0..io_workers_n)
+            .map(|_| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let query_tx = query_tx.clone();
+                let metrics = Arc::clone(&metrics);
+                let config = config.clone();
+                std::thread::spawn(move || io_loop(&conn_rx, &query_tx, &metrics, &config))
+            })
+            .collect();
+        // The io workers hold the only longer-lived clones; dropping
+        // the original here lets the query channel close as soon as
+        // they exit.
+        drop(query_tx);
+        let query_workers = (0..query_workers_n)
+            .map(|_| {
+                let query_rx = Arc::clone(&query_rx);
+                let index = Arc::clone(&index);
+                let metrics = Arc::clone(&metrics);
+                let test_delay = config.test_delay;
+                std::thread::spawn(move || query_loop(&query_rx, &index, &metrics, test_delay))
+            })
+            .collect();
+
+        Ok(Self {
+            addr,
+            stop,
+            metrics,
+            acceptor: Some(acceptor),
+            io_workers,
+            query_workers,
+        })
+    }
+
+    /// The bound address (the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics handle.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stop accepting, drain the pipeline, and join every thread:
+    /// closing the conn channel stops the io workers, whose exit closes
+    /// the query channel and stops the query workers. In-flight
+    /// requests finish; queued ones are answered before their worker
+    /// sees the closed channel.
+    pub fn shutdown(mut self) {
+        // ordering: release pairs with the acceptor's acquire load, so
+        // the acceptor observes the flag no later than the wake-up
+        // connection below.
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.io_workers.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.query_workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Block this thread while the pools serve (until process death).
+    pub fn join(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accept connections until the stop flag; forward each to the io pool.
+/// A full conn queue blocks the acceptor — overload then backs up into
+/// the kernel's accept backlog instead of growing server memory.
+fn accept_loop(listener: &TcpListener, conn_tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        // ordering: acquire pairs with shutdown's release store.
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match stream {
+            Ok(conn) => {
+                if conn_tx.send(conn).is_err() {
+                    break;
+                }
+            }
+            // Transient accept errors (aborted handshakes, fd pressure)
+            // must not kill the server.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Parse one request per connection and route it: control endpoints and
+/// every error answer inline; `/query` admission-checks into the
+/// bounded query queue.
+fn io_loop(
+    conn_rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    query_tx: &SyncSender<QueryJob>,
+    metrics: &ServerMetrics,
+    config: &ServerConfig,
+) {
+    loop {
+        let conn = {
+            // Holding the lock across `recv` is the point: it makes the
+            // receiver single-consumer-at-a-time, which is all mpsc
+            // offers anyway.
+            let guard = conn_rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(mut stream) = conn else {
+            break; // channel closed: acceptor exited
+        };
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        let _ = stream.set_nodelay(true);
+        match http::read_request(&mut stream) {
+            Ok(request) => handle_request(stream, request, query_tx, metrics),
+            Err(RecvError::Disconnected) => metrics.count_disconnect(),
+            Err(e) => {
+                let status = match &e {
+                    RecvError::TimedOut => 408,
+                    RecvError::LineTooLong => 414,
+                    RecvError::HeadTooLarge => 431,
+                    _ => 400,
+                };
+                respond(stream, Response::text(status, format!("{e}\n")), metrics);
+            }
+        }
+    }
+}
+
+/// Route a parsed request.
+fn handle_request(
+    stream: TcpStream,
+    request: Request,
+    query_tx: &SyncSender<QueryJob>,
+    metrics: &ServerMetrics,
+) {
+    metrics.count_request(request.path());
+    if request.method != "GET" {
+        let resp = Response::text(405, format!("method {} not allowed\n", request.method))
+            .header("Allow", "GET");
+        respond(stream, resp, metrics);
+        return;
+    }
+    match request.path() {
+        "/healthz" => respond(stream, Response::text(200, "ok\n"), metrics),
+        "/metrics" => {
+            let body = metrics.render().to_prometheus();
+            respond(stream, Response::text(200, body), metrics);
+        }
+        "/query" => admit_query(stream, &request, query_tx, metrics),
+        other => respond(
+            stream,
+            Response::text(404, format!("no such path {other}\n")),
+            metrics,
+        ),
+    }
+}
+
+/// Validate `/query` parameters and try to enqueue the job; a full
+/// queue is an immediate 503 with `Retry-After`.
+fn admit_query(
+    stream: TcpStream,
+    request: &Request,
+    query_tx: &SyncSender<QueryJob>,
+    metrics: &ServerMetrics,
+) {
+    let parsed = match parse_query_params(request) {
+        Ok(p) => p,
+        Err(why) => {
+            respond(stream, Response::text(400, format!("{why}\n")), metrics);
+            return;
+        }
+    };
+    // ordering: relaxed gauge update; readers only need an eventually
+    // consistent in-flight count.
+    metrics.inflight.fetch_add(1, Ordering::Relaxed);
+    let job = QueryJob {
+        stream,
+        request: parsed,
+        admitted: Instant::now(),
+    };
+    match query_tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(job)) => {
+            // ordering: relaxed gauge update, paired with the add above.
+            metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+            // ordering: independent monotonic counter.
+            metrics.admission_rejected.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::text(503, "admission queue full; retry shortly\n")
+                .header("Retry-After", 1);
+            respond(job.stream, resp, metrics);
+        }
+        Err(TrySendError::Disconnected(job)) => {
+            // ordering: relaxed gauge update, paired with the add above.
+            metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+            let resp = Response::text(503, "server is shutting down\n");
+            respond(job.stream, resp, metrics);
+        }
+    }
+}
+
+/// `GET /query?area=x0,y0,x1,y1&time=T[&until=T2]` → a validated
+/// [`QueryRequest`]. `until` defaults to `time + 1` (a snapshot).
+fn parse_query_params(request: &Request) -> Result<QueryRequest, String> {
+    let mut area: Option<&str> = None;
+    let mut time: Option<&str> = None;
+    let mut until: Option<&str> = None;
+    for (key, value) in request.query_pairs() {
+        match key {
+            "area" if area.is_none() => area = Some(value),
+            "time" if time.is_none() => time = Some(value),
+            "until" if until.is_none() => until = Some(value),
+            "area" | "time" | "until" => return Err(format!("duplicate parameter {key}")),
+            other => {
+                return Err(format!(
+                    "unknown parameter {other} (valid: area, time, until)"
+                ))
+            }
+        }
+    }
+    let area = parse_area(area.ok_or("missing parameter area=x0,y0,x1,y1")?)?;
+    let time: u32 = time
+        .ok_or("missing parameter time=T")?
+        .parse()
+        .map_err(|_| "time must be a non-negative integer".to_string())?;
+    let until: u32 = match until {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| "until must be a non-negative integer".to_string())?,
+        None => time.saturating_add(1),
+    };
+    if until <= time {
+        return Err("until must be after time".to_string());
+    }
+    Ok(QueryRequest {
+        area,
+        range: TimeInterval::new(time, until),
+    })
+}
+
+/// `x0,y0,x1,y1` → a validated [`Rect2`].
+fn parse_area(raw: &str) -> Result<Rect2, String> {
+    let parts: Vec<f64> = raw
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad coordinate {p:?} in area"))
+                .and_then(|v| {
+                    if v.is_finite() {
+                        Ok(v)
+                    } else {
+                        Err("area coordinates must be finite".to_string())
+                    }
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    match parts.as_slice() {
+        &[x0, y0, x1, y1] => {
+            if x0 > x1 || y0 > y1 {
+                return Err("area corners are reversed".to_string());
+            }
+            Ok(Rect2::from_bounds(x0, y0, x1, y1))
+        }
+        _ => Err("area takes exactly x0,y0,x1,y1".to_string()),
+    }
+}
+
+/// Execute admitted queries and answer on their connections. Each
+/// worker drives the shared index through a sequential
+/// [`QueryExecutor`] — the pool itself is the parallelism, so outcomes
+/// stay byte-identical to a one-at-a-time replay of the same requests.
+fn query_loop(
+    query_rx: &Arc<Mutex<Receiver<QueryJob>>>,
+    index: &SpatioTemporalIndex,
+    metrics: &ServerMetrics,
+    test_delay: Duration,
+) {
+    let executor = QueryExecutor::sequential();
+    loop {
+        let job = {
+            // Single-consumer-at-a-time receiver; see `io_loop`.
+            let guard = query_rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(mut job) = job else {
+            break; // channel closed: io workers exited
+        };
+        if test_delay > Duration::ZERO {
+            std::thread::sleep(test_delay);
+        }
+        let response = match executor.run(index, &[job.request]).into_iter().next() {
+            Some(Ok((ids, stats))) => {
+                metrics.absorb_query_stats(&stats);
+                let mut body = String::with_capacity(ids.len() * 8);
+                for id in &ids {
+                    body.push_str(&id.to_string());
+                    body.push('\n');
+                }
+                Response::text(200, body)
+                    .header("X-Sti-Results", ids.len())
+                    .header("X-Sti-Disk-Reads", stats.disk_reads)
+                    .header("X-Sti-Buffer-Hits", stats.buffer_hits)
+                    .header("X-Sti-Nodes-Visited", stats.nodes_visited)
+            }
+            Some(Err(e)) => Response::text(500, format!("query failed: {e}\n")),
+            None => Response::text(500, "executor returned no outcome\n"),
+        };
+        respond_streamed(&mut job.stream, response, metrics);
+        metrics.latency.observe(job.admitted.elapsed());
+        // ordering: relaxed gauge update, paired with the admission add.
+        metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Write a response, counting its status or the disconnect.
+fn respond(mut stream: TcpStream, response: Response, metrics: &ServerMetrics) {
+    respond_streamed(&mut stream, response, metrics);
+}
+
+fn respond_streamed(stream: &mut TcpStream, response: Response, metrics: &ServerMetrics) {
+    match response.write_to(stream) {
+        Ok(()) => metrics.count_response(response.status),
+        Err(_) => metrics.count_disconnect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(target: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+        }
+    }
+
+    #[test]
+    fn query_params_parse_snapshot_and_interval() {
+        let p = parse_query_params(&req("/query?area=0.1,0.2,0.3,0.4&time=5")).unwrap();
+        assert_eq!(p.range, TimeInterval::new(5, 6));
+        let p = parse_query_params(&req("/query?area=0,0,1,1&time=5&until=9")).unwrap();
+        assert_eq!(p.range, TimeInterval::new(5, 9));
+    }
+
+    #[test]
+    fn query_param_errors_are_specific() {
+        for (target, needle) in [
+            ("/query", "missing parameter area"),
+            ("/query?area=0,0,1,1", "missing parameter time"),
+            ("/query?area=0,0,1&time=1", "exactly x0,y0,x1,y1"),
+            ("/query?area=1,1,0,0&time=1", "reversed"),
+            ("/query?area=a,b,c,d&time=1", "bad coordinate"),
+            ("/query?area=0,0,1,1&time=x", "time must be"),
+            ("/query?area=0,0,1,1&time=5&until=5", "until must be after"),
+            (
+                "/query?area=0,0,1,1&time=5&bogus=1",
+                "unknown parameter bogus",
+            ),
+            (
+                "/query?area=0,0,1,1&area=0,0,1,1&time=1",
+                "duplicate parameter area",
+            ),
+            ("/query?area=inf,0,1,1&time=1", "finite"),
+        ] {
+            let err = parse_query_params(&req(target)).unwrap_err();
+            assert!(err.contains(needle), "{target}: {err}");
+        }
+    }
+
+    #[test]
+    fn time_overflow_saturates_instead_of_wrapping() {
+        let p = parse_query_params(&req("/query?area=0,0,1,1&time=4294967295"));
+        // u32::MAX + 1 saturates; the range is then empty and refused.
+        assert!(p.is_err());
+    }
+}

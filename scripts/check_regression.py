@@ -7,12 +7,15 @@ Usage:
 The workspace's benchmarks are deterministic end to end: datasets are
 seeded, split planning is deterministic, and tree construction is
 single-threaded, so every I/O-derived metric in a profile (average disk
-reads per query, percentiles, nodes visited, buffer hits) must match the
-baseline *exactly*. Any difference — better or worse — fails the gate,
-because a silent improvement is just as much an unreviewed behavior
-change as a regression. Wall-clock time is the one machine-dependent
-number; it only fails when the current run is more than --wall-tolerance
-times slower than the baseline (default 1.5x).
+reads per query, percentiles, nodes visited, buffer hits, error counts)
+must match the baseline *exactly*. Any difference — better or worse —
+fails the gate, because a silent improvement is just as much an
+unreviewed behavior change as a regression. Time is the one
+machine-dependent dimension: every profile key ending in `_secs`
+(`wall_secs`, and the `p50_secs`/`p95_secs`/`p99_secs` latency
+percentiles the serving benchmark reports) only fails when the current
+run is more than --wall-tolerance times slower than the baseline
+(default 1.5x).
 
 Re-baselining: see CONTRIBUTING.md ("Performance baselines").
 
@@ -23,9 +26,11 @@ schema errors. Pure stdlib; no third-party imports.
 import json
 import sys
 
-# Exact-compared profile keys. `avg_formatted` stands in for `avg` so
-# the comparison is on the printed representation, not float identity.
-EXACT_PROFILE_KEYS = ["avg_formatted", "p50", "p95", "max", "queries"]
+# Exact-compared profile keys (absent in both documents passes).
+# `avg_formatted` stands in for `avg` so the comparison is on the
+# printed representation, not float identity. `errors` is the serving
+# benchmark's failed-request count: a baseline of 0 pins it at 0.
+EXACT_PROFILE_KEYS = ["avg_formatted", "p50", "p95", "max", "queries", "errors"]
 # Exact-compared keys inside the summed per-query totals (`io`).
 EXACT_IO_KEYS = [
     "disk_reads",
@@ -111,12 +116,22 @@ def main(argv):
                 failures.append(
                     f"{key}: io.{field} changed: baseline {bio.get(field)!r} -> {cio.get(field)!r}"
                 )
-        checked += 1
-        bw, cw = float(b["wall_secs"]), float(c["wall_secs"])
-        if cw > bw * tol:
-            failures.append(
-                f"{key}: wall_secs {cw:.4f} exceeds baseline {bw:.4f} x {tol} tolerance"
-            )
+        # Every `_secs` key is machine-dependent time: gate it with the
+        # slowdown tolerance instead of exact equality.
+        secs_keys = sorted(
+            k for k in set(b) | set(c) if isinstance(k, str) and k.endswith("_secs")
+        )
+        for field in secs_keys:
+            checked += 1
+            if field not in b or field not in c:
+                missing_in = "current run" if field not in c else "baseline"
+                failures.append(f"{key}: {field} missing from {missing_in}")
+                continue
+            bw, cw = float(b[field]), float(c[field])
+            if cw > bw * tol:
+                failures.append(
+                    f"{key}: {field} {cw:.4f} exceeds baseline {bw:.4f} x {tol} tolerance"
+                )
 
     bench = cur_doc.get("bench")
     if failures:
@@ -126,7 +141,7 @@ def main(argv):
         return 1
     print(
         f"perf gate ok for {bench!r}: {len(base)} profiles, {checked} checks "
-        f"(I/O exact, wall x{tol} tolerance)"
+        f"(I/O exact, *_secs x{tol} tolerance)"
     )
     return 0
 

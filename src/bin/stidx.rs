@@ -37,8 +37,8 @@ use spatiotemporal_index::geom::{Rect2, TimeInterval};
 use spatiotemporal_index::obs::MetricSet;
 use spatiotemporal_index::pprtree::{PprParams, PprTree};
 use spatiotemporal_index::rstar::RStarTree;
+use spatiotemporal_index::server::cli::{parse_flags, Flags};
 use spatiotemporal_index::trajectory::RasterizedObject;
-use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -129,8 +129,8 @@ fn run(args: &[String], metrics: &mut MetricSet) -> Result<(), String> {
                 return check(&PathBuf::from(path));
             }
         }
-        let opts = parse_flags(rest)?;
-        return check(&PathBuf::from(need(&opts, "index")?));
+        let opts = parse_flags(rest, &["index"], &[])?;
+        return check(&PathBuf::from(opts.need("index")?));
     }
     if cmd == "stats" {
         if let [path] = rest {
@@ -138,14 +138,27 @@ fn run(args: &[String], metrics: &mut MetricSet) -> Result<(), String> {
                 return stats(&PathBuf::from(path), metrics);
             }
         }
-        let opts = parse_flags(rest)?;
+        let opts = parse_flags(rest, &["data", "index"], &[])?;
         let path = opts
             .get("data")
             .or_else(|| opts.get("index"))
             .ok_or("stats needs a file: positional, --data, or --index")?;
         return stats(&PathBuf::from(path), metrics);
     }
-    let opts = parse_flags(rest)?;
+    // Each subcommand declares its flag vocabulary; the shared strict
+    // parser (`sti_server::cli`) then refuses unknown and duplicated
+    // flags instead of silently dropping a typo onto a default.
+    let vocabulary: &[&str] = match cmd.as_str() {
+        "generate" => &["kind", "n", "out", "seed"],
+        "build" => &[
+            "data", "out", "backend", "splits", "single", "dist", "threads",
+        ],
+        "query" => &["index", "backend", "area", "time", "until", "threads"],
+        "nearest" => &["index", "backend", "point", "time", "k"],
+        "ingest" => &["data", "out", "commit-every"],
+        other => return Err(format!("unknown command {other}")),
+    };
+    let opts = parse_flags(rest, vocabulary, &[])?;
     match cmd.as_str() {
         "generate" => generate(&opts),
         "build" => build(&opts, metrics),
@@ -184,31 +197,13 @@ fn check(path: &Path) -> Result<(), String> {
     }
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut map = HashMap::new();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let Some(name) = flag.strip_prefix("--") else {
-            return Err(format!("expected a --flag, got {flag}"));
-        };
-        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
-        map.insert(name.to_string(), value.clone());
-    }
-    Ok(map)
-}
-
-fn need<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    opts.get(key)
-        .map(String::as_str)
-        .ok_or_else(|| format!("missing --{key}"))
-}
-
-fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
-    let kind = need(opts, "kind")?;
-    let n: usize = need(opts, "n")?
+fn generate(opts: &Flags) -> Result<(), String> {
+    let kind = opts.need("kind")?;
+    let n: usize = opts
+        .need("n")?
         .parse()
         .map_err(|_| "--n must be an integer")?;
-    let out = PathBuf::from(need(opts, "out")?);
+    let out = PathBuf::from(opts.need("out")?);
     let seed: Option<u64> = match opts.get("seed") {
         Some(s) => Some(s.parse().map_err(|_| "--seed must be an integer")?),
         None => None,
@@ -351,11 +346,11 @@ fn index_stats(path: &Path, metrics: &mut MetricSet) -> Result<(), String> {
     }
 }
 
-fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), String> {
-    let data = PathBuf::from(need(opts, "data")?);
-    let out = PathBuf::from(need(opts, "out")?);
-    let backend = parse_backend(opts.get("backend").map(String::as_str).unwrap_or("ppr"))?;
-    let budget = match opts.get("splits").map(String::as_str) {
+fn build(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
+    let data = PathBuf::from(opts.need("data")?);
+    let out = PathBuf::from(opts.need("out")?);
+    let backend = parse_backend(opts.get("backend").unwrap_or("ppr"))?;
+    let budget = match opts.get("splits") {
         None => SplitBudget::Percent(150.0),
         Some(s) => match s.strip_suffix('%') {
             Some(p) => {
@@ -370,12 +365,12 @@ fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
             None => SplitBudget::Count(s.parse().map_err(|_| "--splits must be N or P%")?),
         },
     };
-    let single = match opts.get("single").map(String::as_str).unwrap_or("merge") {
+    let single = match opts.get("single").unwrap_or("merge") {
         "merge" => SingleSplitAlgorithm::MergeSplit,
         "dp" => SingleSplitAlgorithm::DpSplit,
         other => return Err(format!("unknown single-object algorithm {other}")),
     };
-    let dist = match opts.get("dist").map(String::as_str).unwrap_or("lagreedy") {
+    let dist = match opts.get("dist").unwrap_or("lagreedy") {
         "lagreedy" => DistributionAlgorithm::LaGreedy,
         "greedy" => DistributionAlgorithm::Greedy,
         "optimal" => DistributionAlgorithm::Optimal,
@@ -433,9 +428,9 @@ fn build(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), 
 /// online splitter decides piece boundaries as the stream arrives, so
 /// the resulting index is what a live deployment would have built — not
 /// the offline split plan `stidx build` computes with full hindsight.
-fn ingest(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), String> {
-    let data = PathBuf::from(need(opts, "data")?);
-    let out = PathBuf::from(need(opts, "out")?);
+fn ingest(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
+    let data = PathBuf::from(opts.need("data")?);
+    let out = PathBuf::from(opts.need("out")?);
     let commit_every: u32 = match opts.get("commit-every") {
         Some(s) => match s.parse() {
             Ok(n) if n > 0 => n,
@@ -463,6 +458,11 @@ fn ingest(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(),
         objects.len()
     );
     let mut pipeline = IngestPipeline::new(OnlineSplitConfig::default(), PprParams::default());
+    // Hidden fault-injection hook so the CLI tests can pin the stalled
+    // exit path without a dataset that genuinely wedges the splitter.
+    if std::env::var("STIDX_TEST_WEDGE_SEAL").as_deref() == Ok("1") {
+        pipeline.wedge_seal_for_test();
+    }
     let (mut ui, mut fi) = (0usize, 0usize);
     for t in 0..horizon {
         while ui < updates.len() && updates[ui].0 == t {
@@ -490,6 +490,17 @@ fn ingest(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(),
     }
     if let Some(e) = report.error {
         return Err(format!("sealing the stream failed: {e}"));
+    }
+    // A stalled seal publishes nothing new: the stream was NOT fully
+    // indexed, and saving the partial snapshot as if it were complete
+    // would silently lose the tail of the data.
+    if report.stalled {
+        return Err(format!(
+            "sealing stalled without forward progress: {} queued op(s) and {} pending \
+             event(s) were never committed; the index on disk would be missing them",
+            pipeline.queue_len(),
+            pipeline.pending_events()
+        ));
     }
     if pipeline.pending_events() > 0 {
         return Err("sealing left events uncommitted".into());
@@ -533,11 +544,12 @@ where
     })
 }
 
-fn query(opts: &HashMap<String, String>, metrics: &mut MetricSet) -> Result<(), String> {
-    let path = PathBuf::from(need(opts, "index")?);
-    let backend = parse_backend(need(opts, "backend")?)?;
-    let area = parse_area(need(opts, "area")?)?;
-    let t: u32 = need(opts, "time")?
+fn query(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
+    let path = PathBuf::from(opts.need("index")?);
+    let backend = parse_backend(opts.need("backend")?)?;
+    let area = parse_area(opts.need("area")?)?;
+    let t: u32 = opts
+        .need("time")?
         .parse()
         .map_err(|_| "--time must be an integer")?;
     let until: u32 = match opts.get("until") {
@@ -647,11 +659,12 @@ fn print_or_pipe(text: &str) -> Result<(), String> {
     }
 }
 
-fn nearest(opts: &HashMap<String, String>) -> Result<(), String> {
-    let path = PathBuf::from(need(opts, "index")?);
-    let backend = parse_backend(need(opts, "backend")?)?;
-    let point = parse_point(need(opts, "point")?)?;
-    let t: u32 = need(opts, "time")?
+fn nearest(opts: &Flags) -> Result<(), String> {
+    let path = PathBuf::from(opts.need("index")?);
+    let backend = parse_backend(opts.need("backend")?)?;
+    let point = parse_point(opts.need("point")?)?;
+    let t: u32 = opts
+        .need("time")?
         .parse()
         .map_err(|_| "--time must be an integer")?;
     let k: usize = match opts.get("k") {

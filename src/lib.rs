@@ -20,6 +20,7 @@ pub use sti_hrtree as hrtree;
 pub use sti_obs as obs;
 pub use sti_pprtree as pprtree;
 pub use sti_rstar as rstar;
+pub use sti_server as server;
 pub use sti_storage as storage;
 pub use sti_trajectory as trajectory;
 

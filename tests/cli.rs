@@ -284,6 +284,109 @@ fn helpful_errors() {
 }
 
 #[test]
+fn unknown_and_duplicate_flags_are_refused_with_suggestions() {
+    // A typo'd flag used to be silently dropped (and its default used);
+    // now the parser refuses and names the nearest valid flag.
+    let out = stidx()
+        .args([
+            "ingest",
+            "--data",
+            "/tmp/x",
+            "--out",
+            "/tmp/y",
+            "--commit-evry",
+            "4",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown flag --commit-evry (did you mean --commit-every?)"),
+        "{err}"
+    );
+
+    // A flag from a *different* subcommand is just as unknown here.
+    let out = stidx()
+        .args(["query", "--index", "/tmp/x", "--kind", "random"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown flag --kind"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Duplicates are ambiguous, not last-one-wins.
+    let out = stidx()
+        .args([
+            "generate", "--kind", "random", "--kind", "railway", "--n", "5", "--out", "/tmp/x",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("duplicate flag --kind"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn stalled_seal_fails_the_ingest_run() {
+    let data = temp("stall.stdat");
+    let idx = temp("stall.ppr");
+    assert!(stidx()
+        .args(["generate", "--kind", "random", "--n", "60", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+
+    // The hidden wedge hook forces seal() onto its genuine stalled exit;
+    // the run must fail loudly instead of saving a partial index.
+    let out = stidx()
+        .env("STIDX_TEST_WEDGE_SEAL", "1")
+        .args(["ingest", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&idx)
+        .output()
+        .expect("run ingest");
+    assert!(
+        !out.status.success(),
+        "a stalled seal must be a non-zero exit"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sealing stalled"), "{err}");
+    assert!(
+        err.contains("pending") && err.contains("queued"),
+        "diagnostics must quote the undrained queue/pending counts: {err}"
+    );
+    assert!(
+        !idx.exists(),
+        "no index file may be written for a stalled stream"
+    );
+
+    // Control: the same dataset without the wedge ingests fine.
+    let out = stidx()
+        .args(["ingest", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&idx)
+        .output()
+        .expect("run ingest");
+    assert!(
+        out.status.success(),
+        "unwedged ingest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&idx).ok();
+}
+
+#[test]
 fn nearest_subcommand_works() {
     let data = temp("knn.stdat");
     let idx = temp("knn.ppr");
