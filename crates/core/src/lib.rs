@@ -23,6 +23,7 @@ pub mod online;
 pub mod parallel;
 pub mod pipeline;
 pub mod plan;
+pub mod recover;
 pub mod single;
 pub mod tuning;
 mod util;
@@ -41,6 +42,10 @@ pub use pipeline::{CommitReport, IngestOp, IngestPipeline, IngestQueue, IngestRe
 pub use plan::{
     piecewise_records, record_events, total_volume, unsplit_records, ObjectRecord, PlanStats,
     RecordEvent, SplitBudget, SplitPlan,
+};
+pub use recover::{
+    decode_op, encode_op, CheckpointReport, CrashPoint, DurabilityError, RecoverError,
+    RecoveryReport,
 };
 pub use single::{SingleObjectSplitter, SingleSplitAlgorithm};
 pub use tuning::{QueryProfile, TuningResult};

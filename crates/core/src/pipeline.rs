@@ -38,14 +38,20 @@
 
 use crate::online::{Ev, ObserveError, OnlineError, OnlineSplitConfig, OnlineSplitter};
 use crate::plan::RecordEvent;
+use crate::recover::{
+    decode_op, encode_op, idx_path, meta_path, prune_below, scan_generations, CheckpointMeta,
+    CheckpointReport, CrashPoint, Durability, DurabilityError, RecoverError, RecoveryReport,
+};
 use crate::version::{transition, BatchEvent, BatchState, PublishedIndex, VersionStamp};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::io::Write;
+use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 use sti_geom::{Rect2, Time};
 use sti_obs::MetricSet;
 use sti_pprtree::{DeleteError, PprParams, PprTree};
-use sti_storage::{MemBackend, PageBackend, StorageError};
+use sti_storage::{MemBackend, PageBackend, StorageError, Wal, WalConfig, WalStats};
 
 /// One queued ingest operation, mirroring the [`crate::online`] calls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,6 +148,12 @@ pub struct CommitReport {
     /// finalized, rolled back, or published) while events were still
     /// pending — a diagnosable report instead of an infinite loop.
     pub stalled: bool,
+    /// The durability failure that blocked or followed this commit, if
+    /// any: a WAL sync error aborts the commit *before* any tree work
+    /// (published state must never run ahead of the durable log), and
+    /// an injected crash at the publish boundary lands here *after* a
+    /// successful publish.
+    pub durability: Option<DurabilityError>,
     /// Every [`BatchState`] the batch passed through, `Queued` first —
     /// the trace the property tests replay through [`transition`].
     pub trace: Vec<BatchState>,
@@ -205,6 +217,9 @@ pub struct IngestPipeline {
     /// Test hook: force [`IngestPipeline::seal`] to take its stalled
     /// exit (see [`IngestPipeline::wedge_seal_for_test`]).
     wedge_seal: bool,
+    /// The durable half, when attached: WAL handle, retained
+    /// checkpoints, crash-injection state (see [`crate::recover`]).
+    durability: Option<Durability>,
 }
 
 impl IngestPipeline {
@@ -249,6 +264,7 @@ impl IngestPipeline {
             rollbacks: 0,
             rejected_total: 0,
             wedge_seal: false,
+            durability: None,
         }
     }
 
@@ -364,6 +380,49 @@ impl IngestPipeline {
             "clock minus published watermark",
             f64::from(self.now.saturating_sub(stamp.watermark)),
         );
+        if let Some(d) = &self.durability {
+            let wal = d.wal.stats();
+            set.counter(
+                "wal_appends_total",
+                "operations appended to the write-ahead log",
+                wal.appends as f64,
+            );
+            set.counter(
+                "wal_bytes_total",
+                "bytes written to the write-ahead log",
+                wal.bytes as f64,
+            );
+            set.counter(
+                "wal_fsyncs_total",
+                "fsync calls issued by the write-ahead log",
+                wal.fsyncs as f64,
+            );
+            set.counter(
+                "wal_segments_created_total",
+                "log segments opened",
+                wal.segments_created as f64,
+            );
+            set.counter(
+                "wal_segments_deleted_total",
+                "log segments reclaimed by checkpoints",
+                wal.segments_deleted as f64,
+            );
+            set.gauge(
+                "wal_segments",
+                "log segments currently on disk",
+                d.wal.segment_count() as f64,
+            );
+            set.gauge(
+                "wal_next_lsn",
+                "next log sequence number to be assigned",
+                d.wal.next_lsn() as f64,
+            );
+            set.counter(
+                "checkpoints_total",
+                "checkpoints committed since attach or recovery",
+                d.checkpoints_total as f64,
+            );
+        }
     }
 
     /// Drain the queue, validate, and commit one batch; on success the
@@ -379,6 +438,33 @@ impl IngestPipeline {
     pub fn commit(&mut self) -> CommitReport {
         let mut trace = vec![BatchState::Queued];
         let mut state = BatchState::Queued;
+
+        // Durable prelude: everything this commit may publish must be
+        // on disk first, whatever the fsync policy — a published
+        // version must never run ahead of the durable log. A sync
+        // failure (or an injected crash) aborts the commit before any
+        // tree work; the queue and buffers are untouched and the next
+        // commit retries.
+        if let Some(d) = self.durability.as_mut() {
+            let prelude = d
+                .crash_check(CrashPoint::BeforeCommitSync)
+                .and_then(|()| d.wal.sync().map_err(DurabilityError::from))
+                .and_then(|()| d.crash_check(CrashPoint::AfterCommitSync));
+            if let Err(e) = prelude {
+                return CommitReport {
+                    state,
+                    stamp: self.published().stamp(),
+                    drained: 0,
+                    rejected: Vec::new(),
+                    batch_events: 0,
+                    lag_events: 0,
+                    error: None,
+                    stalled: false,
+                    durability: Some(e),
+                    trace,
+                };
+            }
+        }
 
         // Drain + validate through the splitter (typed rejects).
         let ops = self.queue.drain_all();
@@ -422,6 +508,7 @@ impl IngestPipeline {
                 lag_events: 0,
                 error: None,
                 stalled: false,
+                durability: None,
                 trace,
             };
         }
@@ -455,6 +542,7 @@ impl IngestPipeline {
                     lag_events,
                     error: Some(e),
                     stalled: false,
+                    durability: None,
                     trace,
                 }
             }
@@ -477,6 +565,13 @@ impl IngestPipeline {
                 };
                 self.standby = Standby::Retired(old);
                 Self::step(&mut state, BatchEvent::Publish, &mut trace);
+                // The publish boundary: an armed crash here models a
+                // process dying with the new version already visible —
+                // recovery must converge to this same published state.
+                let durability = self
+                    .durability
+                    .as_mut()
+                    .and_then(|d| d.crash_check(CrashPoint::AfterPublish).err());
                 CommitReport {
                     state,
                     stamp: new_stamp,
@@ -486,6 +581,7 @@ impl IngestPipeline {
                     lag_events,
                     error: None,
                     stalled: false,
+                    durability,
                     trace,
                 }
             }
@@ -514,6 +610,7 @@ impl IngestPipeline {
                 lag_events: 0,
                 error: None,
                 stalled: true,
+                durability: None,
                 trace: vec![BatchState::Queued],
             };
         }
@@ -570,6 +667,322 @@ impl IngestPipeline {
                 inner.tree().clone()
             }
         }
+    }
+
+    /// Attach a write-ahead log rooted at `dir` (created if missing) to
+    /// this pipeline. From here on, [`IngestPipeline::enqueue_durable`]
+    /// logs every accepted operation before acknowledging it, every
+    /// commit syncs the log before publishing, and
+    /// [`IngestPipeline::checkpoint`] persists restartable state.
+    ///
+    /// Fails with [`DurabilityError::DirNotInitial`] if `dir` already
+    /// holds WAL records or checkpoints: attaching a *fresh* pipeline
+    /// to a *used* directory would silently shadow recoverable history
+    /// — that directory belongs to [`IngestPipeline::recover`].
+    pub fn attach_durability(
+        &mut self,
+        dir: &Path,
+        config: WalConfig,
+    ) -> Result<(), DurabilityError> {
+        if self.durability.is_some() {
+            return Err(DurabilityError::AlreadyAttached);
+        }
+        let opened = Wal::open(dir, config)?;
+        let generations = scan_generations(dir)?;
+        if !opened.records.is_empty() || opened.torn.is_some() || !generations.is_empty() {
+            return Err(DurabilityError::DirNotInitial);
+        }
+        self.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal: opened.wal,
+            retained: Vec::new(),
+            next_generation: 1,
+            crash: None,
+            dead: false,
+            checkpoints_total: 0,
+        });
+        Ok(())
+    }
+
+    /// Arm one [`CrashPoint`]: the next durable call that reaches it
+    /// "kills" the pipeline (the crash-matrix hook, in the spirit of
+    /// [`sti_storage::SaveCrash`]). Requires an attached WAL.
+    #[doc(hidden)]
+    pub fn arm_crash_point(&mut self, point: CrashPoint) -> Result<(), DurabilityError> {
+        match self.durability.as_mut() {
+            Some(d) => {
+                d.crash = Some(point);
+                Ok(())
+            }
+            None => Err(DurabilityError::NotAttached),
+        }
+    }
+
+    /// Accumulated WAL counters, when a log is attached.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(|d| d.wal.stats())
+    }
+
+    /// Enqueue one operation durably: the op is appended to the WAL
+    /// (fsynced per the configured policy) *before* it enters the
+    /// queue, so an `Ok` return is an acknowledgment recovery honors.
+    /// Returns the op's log sequence number.
+    pub fn enqueue_durable(&mut self, op: IngestOp) -> Result<u64, DurabilityError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Err(DurabilityError::NotAttached);
+        };
+        d.crash_check(CrashPoint::BeforeWalAppend)?;
+        let lsn = d.wal.append(&encode_op(&op))?;
+        // A crash here leaves the op logged but unacknowledged: the
+        // caller saw an error, yet recovery may legitimately replay it
+        // (at-least-once for unacknowledged ops, exactly-once for
+        // acknowledged ones).
+        d.crash_check(CrashPoint::AfterWalAppend)?;
+        self.queue.push(op);
+        Ok(lsn)
+    }
+
+    /// Persist a restartable snapshot: sync the WAL, save the published
+    /// tree to `checkpoint-<g>.idx` (via the crash-safe `save_to`
+    /// path), then commit the generation by renaming its meta file into
+    /// place. Keeps the last two generations and truncates WAL segments
+    /// every retained checkpoint already covers.
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport, DurabilityError> {
+        // Phase 1 (durability borrow): sync and capture the cut.
+        let (generation, wal_lsn, dir) = {
+            let Some(d) = self.durability.as_mut() else {
+                return Err(DurabilityError::NotAttached);
+            };
+            d.crash_check(CrashPoint::CheckpointBegin)?;
+            d.wal.sync()?;
+            (d.next_generation, d.wal.next_lsn(), d.dir.clone())
+        };
+        let idx = idx_path(&dir, generation);
+
+        // Phase 2: the index image. The published tree sits behind an
+        // `Arc`, so the save works on a deep copy (recovery tolerates
+        // the copy's private buffer pool — DESIGN.md §8). An armed
+        // mid-save crash leaves a torn image at the final path; no meta
+        // ever points at it, so recovery never reads it.
+        if let Some(d) = self.durability.as_mut() {
+            if let Err(e) = d.crash_check(CrashPoint::CheckpointMidTreeSave) {
+                if matches!(e, DurabilityError::InjectedCrash(_)) {
+                    std::fs::write(&idx, b"torn checkpoint image").ok();
+                }
+                return Err(e);
+            }
+        }
+        let meta = self.build_checkpoint_meta(generation, wal_lsn)?;
+        let published = self.published();
+        let mut tree = published.tree().clone();
+        tree.save_to_file(&idx)?;
+        drop(published);
+
+        // Phase 3: commit the generation — meta temp, fsync, rename.
+        let meta_target = meta_path(&dir, generation);
+        let meta_tmp = {
+            let mut os = meta_target.as_os_str().to_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        {
+            let Some(d) = self.durability.as_mut() else {
+                return Err(DurabilityError::NotAttached);
+            };
+            let image = meta.encode()?;
+            let mut f = std::fs::File::create(&meta_tmp)?;
+            f.write_all(&image)?;
+            f.sync_all()?;
+            drop(f);
+            d.crash_check(CrashPoint::CheckpointBeforeMetaRename)?;
+            std::fs::rename(&meta_tmp, &meta_target)?;
+            std::fs::File::open(&dir)?.sync_all()?;
+            d.crash_check(CrashPoint::CheckpointAfterMetaRename)?;
+        }
+
+        // Phase 4: retention. Keep two generations; prune everything
+        // older (including crash orphans) and drop WAL segments fully
+        // covered by the *oldest* retained cut, so a one-generation
+        // fallback always finds its replay tail.
+        let Some(d) = self.durability.as_mut() else {
+            return Err(DurabilityError::NotAttached);
+        };
+        d.retained.push((generation, wal_lsn));
+        while d.retained.len() > 2 {
+            d.retained.remove(0);
+        }
+        let (keep_generation, keep_lsn) = match d.retained.first() {
+            Some(&pair) => pair,
+            None => (generation, wal_lsn), // unreachable: pushed above
+        };
+        let pruned_generations = prune_below(&dir, keep_generation)?;
+        let wal_segments_deleted = d.wal.truncate_below(keep_lsn)?;
+        d.next_generation = generation + 1;
+        d.checkpoints_total += 1;
+        d.crash_check(CrashPoint::CheckpointEnd)?;
+        Ok(CheckpointReport {
+            generation,
+            wal_lsn,
+            pruned_generations,
+            wal_segments_deleted,
+        })
+    }
+
+    /// Snapshot the committer's volatile state (everything a restart
+    /// cannot re-derive from the saved tree alone).
+    fn build_checkpoint_meta(
+        &self,
+        generation: u64,
+        wal_lsn: u64,
+    ) -> Result<CheckpointMeta, DurabilityError> {
+        let mut reorder: Vec<Ev> = self.reorder.iter().map(|Reverse(ev)| ev.clone()).collect();
+        // Heap iteration order is arbitrary; sort so identical states
+        // always serialize to identical bytes.
+        reorder.sort();
+        Ok(CheckpointMeta {
+            generation,
+            wal_lsn,
+            stamp: self.published().stamp(),
+            now: self.now,
+            seq: self.seq,
+            commits: self.commits,
+            rollbacks: self.rollbacks,
+            rejected_total: self.rejected_total,
+            splits_issued: self.splitter.splits_issued(),
+            open_pieces: self.splitter.snapshot_open_pieces(),
+            reorder,
+            pending: self.pending.clone(),
+            queued: self.queue.ops.iter().copied().collect(),
+        })
+    }
+
+    /// Rebuild a pipeline from the WAL directory `dir`: load the newest
+    /// usable checkpoint (meta + index), restore the committer's state
+    /// exactly, then replay the WAL tail (`lsn >= wal_lsn`) into the
+    /// queue — through the same validate/absorb path as live traffic,
+    /// at the next commit. With no checkpoint yet, the whole WAL
+    /// replays onto an empty pipeline.
+    ///
+    /// Nothing is committed here: the restored queue and buffers stay
+    /// visible (non-zero `ingest_queue_depth` / `ingest_pending_events`
+    /// gauges are how a dashboard tells a recovered process from a
+    /// fresh one). Torn artifacts of a crash are truncated or skipped
+    /// by design; genuine corruption is a typed [`RecoverError`].
+    pub fn recover(
+        dir: &Path,
+        config: OnlineSplitConfig,
+        params: PprParams,
+        wal_config: WalConfig,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let generations = scan_generations(dir)?;
+        let mut checkpoints_skipped = 0u64;
+        let mut chosen: Option<(CheckpointMeta, PprTree)> = None;
+        for &g in generations.iter().rev() {
+            let Ok(bytes) = std::fs::read(meta_path(dir, g)) else {
+                checkpoints_skipped += 1;
+                continue;
+            };
+            let Ok(meta) = CheckpointMeta::decode(&bytes) else {
+                checkpoints_skipped += 1;
+                continue;
+            };
+            let Ok(tree) = PprTree::open_file(&idx_path(dir, g)) else {
+                checkpoints_skipped += 1;
+                continue;
+            };
+            chosen = Some((meta, tree));
+            break;
+        }
+        if chosen.is_none() && !generations.is_empty() {
+            return Err(RecoverError::NoUsableCheckpoint {
+                tried: generations.len(),
+            });
+        }
+
+        let opened = Wal::open(dir, wal_config)?;
+        let torn_tail = opened.torn.is_some();
+        let (mut pipeline, meta) = match chosen {
+            Some((meta, tree)) => {
+                // Both trees start from the checkpointed content (the
+                // standby is a deep copy), so there is no lag to
+                // replay; the clone's buffer pool is private, a
+                // documented deviation from the live shared pool.
+                let standby = tree.clone();
+                let mut reorder = BinaryHeap::new();
+                for ev in &meta.reorder {
+                    reorder.push(Reverse(ev.clone()));
+                }
+                let pipeline = Self {
+                    queue: IngestQueue::new(),
+                    splitter: OnlineSplitter::restore(
+                        config,
+                        &meta.open_pieces,
+                        meta.splits_issued,
+                    ),
+                    reorder,
+                    pending: meta.pending.clone(),
+                    lag: Vec::new(),
+                    seq: meta.seq,
+                    now: meta.now,
+                    standby: Standby::Owned(Box::new(standby)),
+                    slot: Arc::new(Mutex::new(Arc::new(PublishedIndex::new(tree, meta.stamp)))),
+                    commits: meta.commits,
+                    rollbacks: meta.rollbacks,
+                    rejected_total: meta.rejected_total,
+                    wedge_seal: false,
+                    durability: None,
+                };
+                (pipeline, Some(meta))
+            }
+            None => (Self::new(config, params), None),
+        };
+
+        // Restore the queue in arrival order: the checkpoint's queued
+        // ops (all logged below `wal_lsn`) first, then the WAL tail.
+        let mut queued_restored = 0u64;
+        if let Some(m) = &meta {
+            for op in &m.queued {
+                pipeline.queue.push(*op);
+                queued_restored += 1;
+            }
+        }
+        let cut = meta.as_ref().map_or(0, |m| m.wal_lsn);
+        let mut wal_records_replayed = 0u64;
+        for record in &opened.records {
+            if record.lsn < cut {
+                continue;
+            }
+            let op = decode_op(&record.payload).map_err(|what| RecoverError::BadWalRecord {
+                lsn: record.lsn,
+                what,
+            })?;
+            pipeline.queue.push(op);
+            wal_records_replayed += 1;
+        }
+
+        let report = RecoveryReport {
+            checkpoint_generation: meta.as_ref().map(|m| m.generation),
+            checkpoints_skipped,
+            stamp: pipeline.published().stamp(),
+            wal_records_replayed,
+            torn_tail,
+            queued_restored,
+            pending_restored: meta
+                .as_ref()
+                .map_or(0, |m| (m.reorder.len() + m.pending.len()) as u64),
+        };
+        pipeline.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal: opened.wal,
+            retained: meta
+                .as_ref()
+                .map_or_else(Vec::new, |m| vec![(m.generation, m.wal_lsn)]),
+            next_generation: generations.last().map_or(1, |g| g + 1),
+            crash: None,
+            dead: false,
+            checkpoints_total: 0,
+        });
+        Ok((pipeline, report))
     }
 
     /// Feed one operation into the splitter, buffering any closed

@@ -251,6 +251,56 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero_across_the_whole_q_range() {
+        let h = LatencyHistogram::with_bounds(vec![0.001, 0.01, 0.1]);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q} on an empty histogram");
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0.0);
+        assert_eq!(snap.buckets, vec![(0.001, 0), (0.01, 0), (0.1, 0)]);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_with_its_bucket_bound() {
+        let h = LatencyHistogram::with_bounds(vec![0.001, 0.01, 0.1]);
+        h.observe_secs(0.004); // lands in the le=0.01 bucket
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.01, "q={q} with one sample");
+        }
+        assert_eq!(h.count(), 1);
+        assert!((h.sum_secs() - 0.004).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_q_is_clamped_not_extrapolated() {
+        let h = LatencyHistogram::with_bounds(vec![1.0, 2.0]);
+        h.observe_secs(0.5);
+        h.observe_secs(1.5);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert_eq!(h.quantile(7.0), 2.0);
+    }
+
+    #[test]
+    fn saturating_top_bucket_keeps_count_and_sum_honest() {
+        let h = LatencyHistogram::with_bounds(vec![0.001, 0.01]);
+        h.observe_secs(0.0005); // le=0.001
+        h.observe_secs(5.0); // +Inf: above every bound
+        h.observe_secs(7.0); // +Inf
+        let snap = h.snapshot();
+        // Overflow shows up in the total count but never in a bucket.
+        assert_eq!(snap.buckets, vec![(0.001, 1), (0.01, 1)]);
+        assert_eq!(snap.count, 3);
+        assert!((snap.sum - 12.0005).abs() < 1e-6, "{}", snap.sum);
+        // A majority-overflow distribution still saturates at the last
+        // bound instead of inventing a value for the +Inf bucket.
+        assert_eq!(h.quantile(0.5), 0.01);
+        assert_eq!(h.quantile(1.0), 0.01);
+    }
+
+    #[test]
     fn concurrent_observers_lose_nothing() {
         let h = LatencyHistogram::new();
         std::thread::scope(|scope| {

@@ -336,6 +336,52 @@ mod tests {
     }
 
     #[test]
+    fn durability_counters_and_gauges_render_with_their_types() {
+        // The names the ingest pipeline and recovery report export
+        // (`record_metrics` in sti-core); pin that the renderer gives
+        // each one a HELP/TYPE pair with the right kind and an exact
+        // integer value line.
+        let mut set = MetricSet::new();
+        set.counter("wal_appends_total", "records appended to the WAL", 128.0);
+        set.counter("wal_fsyncs_total", "fsync calls issued by the WAL", 128.0);
+        set.gauge("wal_segments", "live WAL segment files", 3.0);
+        set.counter(
+            "recovery_wal_records_replayed",
+            "WAL records replayed at recovery",
+            17.0,
+        );
+        set.gauge(
+            "recovery_checkpoint_generation",
+            "checkpoint generation recovery loaded",
+            5.0,
+        );
+        let text = set.to_prometheus();
+        assert!(text.contains("# TYPE wal_appends_total counter"), "{text}");
+        assert!(text.contains("wal_appends_total 128"), "{text}");
+        assert!(text.contains("# TYPE wal_segments gauge"), "{text}");
+        assert!(text.contains("wal_segments 3"), "{text}");
+        assert!(
+            text.contains("# TYPE recovery_wal_records_replayed counter"),
+            "{text}"
+        );
+        assert!(text.contains("recovery_wal_records_replayed 17"), "{text}");
+        assert!(
+            text.contains("# TYPE recovery_checkpoint_generation gauge"),
+            "{text}"
+        );
+        assert!(text.contains("recovery_checkpoint_generation 5"), "{text}");
+        assert!(
+            text.contains(
+                "# HELP recovery_checkpoint_generation checkpoint generation recovery loaded"
+            ),
+            "{text}"
+        );
+        let json = set.to_json();
+        assert!(json.contains("\"name\": \"wal_fsyncs_total\""), "{json}");
+        assert!(json.contains("\"kind\": \"counter\""), "{json}");
+    }
+
+    #[test]
     fn json_rendering_includes_labels() {
         let mut set = MetricSet::new();
         set.counter("a_total", "", 3.0);

@@ -31,7 +31,13 @@ use sti_server::{Server, ServerConfig};
 const USAGE: &str = "usage:
   sti-server --index FILE [--addr HOST:PORT] [--workers N]
              [--io-workers N] [--queue DEPTH] [--time-extent T]
-             [--read-timeout-ms MS] [--test-delay-ms MS]";
+             [--read-timeout-ms MS] [--test-delay-ms MS]
+             [--shutdown-on-stdin-close] [--drain-ms MS]
+
+  With --shutdown-on-stdin-close the server drains gracefully when its
+  stdin reaches end-of-file (close the pipe to stop it): it stops
+  accepting, finishes in-flight queries, answers anything still queued
+  after --drain-ms (default 5000) with 503, and exits 0.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,8 +62,9 @@ fn run(args: &[String]) -> Result<(), String> {
             "time-extent",
             "read-timeout-ms",
             "test-delay-ms",
+            "drain-ms",
         ],
-        &[],
+        &["shutdown-on-stdin-close"],
     )?;
     let index_path = std::path::PathBuf::from(flags.need("index")?);
     let time_extent: u32 = flags.parsed("time-extent")?.unwrap_or(1000);
@@ -94,6 +101,19 @@ fn run(args: &[String]) -> Result<(), String> {
         server.metrics().index_pages(),
         server.addr()
     );
+    if flags.has("shutdown-on-stdin-close") {
+        let drain = Duration::from_millis(flags.parsed::<u64>("drain-ms")?.unwrap_or(5000));
+        // Block on stdin until the other end closes it — the graceful
+        // stop signal available without any OS signal machinery. An
+        // operator (or CI script) holds a pipe open for the server's
+        // lifetime and closes it to stop.
+        let mut sink = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut sink);
+        println!("sti-server: stdin closed; draining (deadline {drain:?})");
+        server.shutdown_within(drain);
+        println!("sti-server: drained, exiting");
+        return Ok(());
+    }
     // Serve until the process is killed (CI and operators send SIGTERM).
     server.join();
     Ok(())

@@ -79,6 +79,9 @@ pub struct ServerMetrics {
     responses: Vec<(u16, AtomicU64)>,
     /// `/query` requests refused because the admission queue was full.
     admission_rejected: AtomicU64,
+    /// Queued queries answered 503 because the drain deadline passed
+    /// during shutdown.
+    drain_rejected: AtomicU64,
     /// Connections that vanished before a response could be written.
     disconnects: AtomicU64,
     /// Admitted queries not yet answered.
@@ -113,6 +116,7 @@ impl ServerMetrics {
                 .map(|&code| (code, AtomicU64::new(0)))
                 .collect(),
             admission_rejected: AtomicU64::new(0),
+            drain_rejected: AtomicU64::new(0),
             disconnects: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
@@ -199,6 +203,12 @@ impl ServerMetrics {
         self.admission_rejected.load(Ordering::Relaxed)
     }
 
+    /// Queued queries 503'd because shutdown's drain deadline passed.
+    pub fn drain_rejected(&self) -> u64 {
+        // ordering: scrape-time read.
+        self.drain_rejected.load(Ordering::Relaxed)
+    }
+
     /// Render everything as a fresh [`MetricSet`] (each `/metrics`
     /// scrape builds its own point-in-time copy).
     pub fn render(&self) -> MetricSet {
@@ -234,6 +244,11 @@ impl ServerMetrics {
             "sti_admission_rejected_total",
             "queries refused with 503 at the admission bound",
             self.admission_rejected() as f64,
+        );
+        set.counter(
+            "sti_drain_rejected_total",
+            "queued queries 503'd past the shutdown drain deadline",
+            self.drain_rejected() as f64,
         );
         set.counter(
             "sti_http_disconnects_total",
@@ -309,6 +324,10 @@ struct QueryJob {
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    /// Set by [`Server::shutdown_within`]: once this instant passes,
+    /// query workers answer still-queued jobs with 503 instead of
+    /// executing them.
+    drain_deadline: Arc<Mutex<Option<Instant>>>,
     metrics: Arc<ServerMetrics>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     io_workers: Vec<std::thread::JoinHandle<()>>,
@@ -324,6 +343,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let drain_deadline = Arc::new(Mutex::new(None));
         let metrics = Arc::new(ServerMetrics::new(&index));
 
         let io_workers_n = config.io_workers.max(1);
@@ -360,14 +380,18 @@ impl Server {
                 let query_rx = Arc::clone(&query_rx);
                 let index = Arc::clone(&index);
                 let metrics = Arc::clone(&metrics);
+                let drain_deadline = Arc::clone(&drain_deadline);
                 let test_delay = config.test_delay;
-                std::thread::spawn(move || query_loop(&query_rx, &index, &metrics, test_delay))
+                std::thread::spawn(move || {
+                    query_loop(&query_rx, &index, &metrics, &drain_deadline, test_delay)
+                })
             })
             .collect();
 
         Ok(Self {
             addr,
             stop,
+            drain_deadline,
             metrics,
             acceptor: Some(acceptor),
             io_workers,
@@ -390,7 +414,27 @@ impl Server {
     /// the query channel and stops the query workers. In-flight
     /// requests finish; queued ones are answered before their worker
     /// sees the closed channel.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        self.stop_and_drain(None);
+    }
+
+    /// [`Server::shutdown`] with a drain deadline: queries already
+    /// running (or dequeued before the deadline passes) finish and
+    /// answer normally; jobs still queued after `grace` are answered
+    /// `503` instead of executed, so a backlog of slow queries cannot
+    /// hold the process open indefinitely. Every admitted request gets
+    /// *some* response either way.
+    pub fn shutdown_within(self, grace: Duration) {
+        self.stop_and_drain(Some(grace));
+    }
+
+    fn stop_and_drain(mut self, grace: Option<Duration>) {
+        if let Some(grace) = grace {
+            *self
+                .drain_deadline
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now() + grace);
+        }
         // ordering: release pairs with the acceptor's acquire load, so
         // the acceptor observes the flag no later than the wake-up
         // connection below.
@@ -624,6 +668,7 @@ fn query_loop(
     query_rx: &Arc<Mutex<Receiver<QueryJob>>>,
     index: &SpatioTemporalIndex,
     metrics: &ServerMetrics,
+    drain_deadline: &Mutex<Option<Instant>>,
     test_delay: Duration,
 ) {
     let executor = QueryExecutor::sequential();
@@ -636,6 +681,23 @@ fn query_loop(
         let Ok(mut job) = job else {
             break; // channel closed: io workers exited
         };
+        // Past the shutdown drain deadline, stragglers get a response
+        // but not an execution — the backlog flushes in O(queue) writes
+        // instead of O(queue) queries.
+        let expired = drain_deadline
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some_and(|deadline| Instant::now() >= deadline);
+        if expired {
+            // ordering: independent monotonic counter.
+            metrics.drain_rejected.fetch_add(1, Ordering::Relaxed);
+            let resp = Response::text(503, "server is shutting down\n");
+            respond_streamed(&mut job.stream, resp, metrics);
+            metrics.latency.observe(job.admitted.elapsed());
+            // ordering: relaxed gauge update, paired with the admission add.
+            metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
         if test_delay > Duration::ZERO {
             std::thread::sleep(test_delay);
         }

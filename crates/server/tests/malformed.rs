@@ -343,3 +343,89 @@ fn disconnects(server: &Server) -> u64 {
         .map(|v| v as u64)
         .unwrap_or(0)
 }
+
+/// Graceful shutdown under load: with a slow query pool saturated by
+/// concurrent clients, `shutdown_within` must (1) stop accepting,
+/// (2) finish what is in flight, (3) answer — not execute — stragglers
+/// queued past the drain deadline with 503, and (4) join every thread,
+/// leaving no admitted request unanswered and inflight at zero.
+#[test]
+fn shutdown_under_load_drains_with_deadline_and_503s_stragglers() {
+    let server = start_server(ServerConfig {
+        query_workers: 1,
+        io_workers: 2,
+        queue_depth: 16,
+        test_delay: Duration::from_millis(40),
+        ..small_config()
+    });
+    let metrics = server.metrics();
+    let addr = server.addr();
+
+    // Saturate: one worker at 40ms/query, 12 concurrent clients.
+    let clients: Vec<_> = (0..12)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let Ok(mut stream) = TcpStream::connect(addr) else {
+                    return String::new();
+                };
+                let _ = stream
+                    .write_all(b"GET /query?area=0,0,1,1&time=100 HTTP/1.1\r\nHost: t\r\n\r\n");
+                let _ = stream.flush();
+                read_response(&mut stream)
+            })
+        })
+        .collect();
+
+    // Let the first queries land (some finish, the rest queue up), then
+    // shut down with a deadline shorter than the remaining backlog.
+    std::thread::sleep(Duration::from_millis(100));
+    let begun = Instant::now();
+    server.shutdown_within(Duration::from_millis(20));
+    let drained_in = begun.elapsed();
+
+    let responses: Vec<String> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let oks = responses
+        .iter()
+        .filter(|r| r.starts_with("HTTP/1.1 200"))
+        .count();
+    let refused = responses
+        .iter()
+        .filter(|r| r.starts_with("HTTP/1.1 503"))
+        .count();
+    let malformed = responses
+        .iter()
+        .filter(|r| {
+            !r.is_empty() && !r.starts_with("HTTP/1.1 200") && !r.starts_with("HTTP/1.1 503")
+        })
+        .count();
+    assert_eq!(malformed, 0, "only 200 or 503 may come back: {responses:?}");
+    assert!(oks > 0, "queries before the deadline must succeed");
+    assert!(
+        refused > 0,
+        "the saturated backlog must be shed with 503s (got {oks} oks)"
+    );
+    // The deadline turned the backlog into O(queue) response writes: a
+    // full execution drain would need ~11 * 40ms of single-worker time.
+    assert!(
+        drained_in < Duration::from_millis(400),
+        "drain took {drained_in:?}, deadline was ignored"
+    );
+    assert_eq!(metrics.inflight(), 0, "every admitted request answered");
+
+    // The listener is gone: new clients are refused outright (or get an
+    // immediate EOF if the OS raced the close), never silently queued.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            assert_eq!(
+                read_response(&mut stream),
+                "",
+                "server answered after shutdown"
+            );
+        }
+    }
+}

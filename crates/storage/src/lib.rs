@@ -19,7 +19,10 @@
 //!   epochs, atomic temp-then-rename) failing closed with a typed
 //!   [`OpenError`],
 //! * [`codec`] — bounds-checked little-endian encode/decode helpers used
-//!   by the tree node serializers.
+//!   by the tree node serializers,
+//! * [`wal`] — a checksummed, segmented write-ahead log (per-record
+//!   xxh64 framing, torn-tail truncation, typed [`WalError`]) backing
+//!   the durable ingest pipeline.
 //!
 //! Every fallible operation returns a typed [`StorageError`]; the I/O
 //! path through this crate and the trees above it is panic-free (see
@@ -36,6 +39,7 @@ pub mod persist;
 pub mod retry;
 pub mod shard;
 pub mod store;
+pub mod wal;
 
 pub use backend::{FileBackend, MemBackend, PageBackend};
 pub use buffer::{BufferKey, LruBuffer};
@@ -48,3 +52,4 @@ pub use persist::{OpenError, Region, SaveCrash};
 pub use retry::{RetryClock, RetryPolicy, SimClock};
 pub use shard::{BufferCounters, ReadProbe, ScratchPool, ShardedBuffer};
 pub use store::{FaultStats, IoStats, PageStore};
+pub use wal::{FsyncPolicy, TornTail, Wal, WalConfig, WalError, WalOpen, WalRecord, WalStats};

@@ -161,10 +161,39 @@ pub enum SaveCrash {
 }
 
 /// The `.tmp` sibling a save writes before renaming into place.
-fn temp_sibling(path: &Path) -> PathBuf {
+pub fn temp_sibling(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
     os.push(".tmp");
     PathBuf::from(os)
+}
+
+/// Removes the `.tmp` sibling on drop unless defused. A save that fails
+/// after creating the temp file (disk full, rename onto a directory, an
+/// interrupting signal unwinding the caller) must not leave a partial
+/// image behind; only a *successful* rename — or a simulated
+/// [`SaveCrash`], which models a process that never got to run cleanup —
+/// keeps the temp path alone.
+struct TempGuard {
+    path: PathBuf,
+    armed: bool,
+}
+
+impl TempGuard {
+    fn new(path: PathBuf) -> Self {
+        Self { path, armed: true }
+    }
+
+    fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for TempGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
 }
 
 impl PageStore {
@@ -240,6 +269,7 @@ impl PageStore {
         let epoch = self.epoch() + 1;
         let image = self.encode(meta, epoch)?;
         let tmp = temp_sibling(path);
+        let mut guard = TempGuard::new(tmp.clone());
         {
             let mut f = std::fs::File::create(&tmp)?;
             match crash {
@@ -247,6 +277,9 @@ impl PageStore {
                     let keep = keep_bytes.min(image.len());
                     f.write_all(&image[..keep])?;
                     f.sync_all()?;
+                    // The simulated process died here; a real crash runs
+                    // no destructors, so the torn temp stays on disk.
+                    guard.defuse();
                     return Ok(());
                 }
                 _ => {
@@ -256,9 +289,11 @@ impl PageStore {
             }
         }
         if crash == Some(SaveCrash::BeforeRename) {
+            guard.defuse();
             return Ok(());
         }
         std::fs::rename(&tmp, path)?;
+        guard.defuse();
         self.set_epoch(epoch);
         Ok(())
     }
@@ -637,6 +672,25 @@ mod tests {
         assert_eq!(back.stats().reads, 0);
         back.read(a, &mut ReadProbe::new()).unwrap();
         assert_eq!(back.stats().reads, 1);
+    }
+
+    /// A save that fails *after* the temp file is written — here the
+    /// rename is forced to fail by making the target a directory — must
+    /// clean its `.tmp` sibling up instead of leaving a partial image
+    /// behind (the `stidx ingest` interrupted-mid-commit bug).
+    #[test]
+    fn failed_save_removes_its_temp_file() {
+        let (mut store, ..) = small_store();
+        let path = temp_path("tmp-cleanup");
+        std::fs::remove_file(&path).ok();
+        std::fs::create_dir_all(&path).expect("decoy directory");
+        let err = store.save_to(&path, b"meta").unwrap_err();
+        let tmp = temp_sibling(&path);
+        let leftover = tmp.exists();
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::remove_file(&tmp).ok();
+        assert_eq!(store.epoch(), 0, "failed save must not bump the epoch");
+        assert!(!leftover, "temp file survived a failed save: {err}");
     }
 
     #[test]

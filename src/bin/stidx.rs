@@ -26,7 +26,7 @@
 //! `IndexConfig::time_extent` would be misread here.
 
 use spatiotemporal_index::core::{
-    DistributionAlgorithm, IndexBackend, IndexConfig, IngestPipeline, OnlineSplitConfig,
+    DistributionAlgorithm, IndexBackend, IndexConfig, IngestOp, IngestPipeline, OnlineSplitConfig,
     Parallelism, SingleSplitAlgorithm, SpatioTemporalIndex, SplitBudget,
 };
 use spatiotemporal_index::datagen::{
@@ -38,6 +38,7 @@ use spatiotemporal_index::obs::MetricSet;
 use spatiotemporal_index::pprtree::{PprParams, PprTree};
 use spatiotemporal_index::rstar::RStarTree;
 use spatiotemporal_index::server::cli::{parse_flags, Flags};
+use spatiotemporal_index::storage::{FsyncPolicy, WalConfig};
 use spatiotemporal_index::trajectory::RasterizedObject;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -56,7 +57,15 @@ const USAGE: &str = "usage:
   stidx nearest  --index FILE --backend ppr
                  --point x,y --time T [--k 5]
   stidx ingest   --data FILE --out FILE [--commit-every N]
+                 [--wal DIR] [--fsync always|commit|N] [--checkpoint-every N]
+  stidx recover  --wal DIR --out FILE [--fsync always|commit|N]
   stidx check    FILE | --index FILE
+
+  --wal DIR makes ingest durable: every accepted operation is logged
+  (fsynced per --fsync: every append, at commit only, or every N
+  appends) and a checkpoint is taken every N commits. After a crash,
+  stidx recover rebuilds from DIR, replays the log tail, seals, and
+  writes the index.
 
   --metrics FILE (any position) writes counters from the run — per-query
   I/O, build phase timings, index gauges — in Prometheus text format, or
@@ -155,7 +164,15 @@ fn run(args: &[String], metrics: &mut MetricSet) -> Result<(), String> {
         ],
         "query" => &["index", "backend", "area", "time", "until", "threads"],
         "nearest" => &["index", "backend", "point", "time", "k"],
-        "ingest" => &["data", "out", "commit-every"],
+        "ingest" => &[
+            "data",
+            "out",
+            "commit-every",
+            "wal",
+            "fsync",
+            "checkpoint-every",
+        ],
+        "recover" => &["wal", "out", "fsync"],
         other => return Err(format!("unknown command {other}")),
     };
     let opts = parse_flags(rest, vocabulary, &[])?;
@@ -165,6 +182,7 @@ fn run(args: &[String], metrics: &mut MetricSet) -> Result<(), String> {
         "query" => query(&opts, metrics),
         "nearest" => nearest(&opts),
         "ingest" => ingest(&opts, metrics),
+        "recover" => recover(&opts, metrics),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -349,6 +367,7 @@ fn index_stats(path: &Path, metrics: &mut MetricSet) -> Result<(), String> {
 fn build(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
     let data = PathBuf::from(opts.need("data")?);
     let out = PathBuf::from(opts.need("out")?);
+    remove_stale_temp(&out)?;
     let backend = parse_backend(opts.get("backend").unwrap_or("ppr"))?;
     let budget = match opts.get("splits") {
         None => SplitBudget::Percent(150.0),
@@ -431,6 +450,7 @@ fn build(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
 fn ingest(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
     let data = PathBuf::from(opts.need("data")?);
     let out = PathBuf::from(opts.need("out")?);
+    remove_stale_temp(&out)?;
     let commit_every: u32 = match opts.get("commit-every") {
         Some(s) => match s.parse() {
             Ok(n) if n > 0 => n,
@@ -438,6 +458,19 @@ fn ingest(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
         },
         None => 8,
     };
+    let wal_dir = opts.get("wal").map(PathBuf::from);
+    let fsync = parse_fsync(opts.get("fsync"))?;
+    let checkpoint_every: u64 = match opts.get("checkpoint-every") {
+        Some(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => return Err("--checkpoint-every must be a positive integer".into()),
+        },
+        None => 4,
+    };
+    if wal_dir.is_none() && (opts.get("fsync").is_some() || opts.get("checkpoint-every").is_some())
+    {
+        return Err("--fsync and --checkpoint-every need --wal DIR".into());
+    }
 
     let objects = load_dataset(&data).map_err(|e| format!("reading {}: {e}", data.display()))?;
     let mut updates: Vec<(u32, u64, Rect2)> = Vec::new();
@@ -463,15 +496,35 @@ fn ingest(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
     if std::env::var("STIDX_TEST_WEDGE_SEAL").as_deref() == Ok("1") {
         pipeline.wedge_seal_for_test();
     }
+    if let Some(dir) = &wal_dir {
+        let config = WalConfig {
+            fsync,
+            ..WalConfig::default()
+        };
+        pipeline
+            .attach_durability(dir, config)
+            .map_err(|e| format!("attaching WAL at {}: {e}", dir.display()))?;
+    }
+    // Hidden crash hook for the crash-matrix CI job: abort (no cleanup,
+    // no destructors — a genuine crash) right after the Nth commit.
+    let crash_after_commits: Option<u64> = std::env::var("STIDX_TEST_CRASH_AFTER_COMMITS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let durable = wal_dir.is_some();
+    // Checkpoint cadence counts commit *calls*, not published versions:
+    // a stream whose objects are all still open pins the watermark and
+    // makes most commits publish nothing, yet the WAL keeps growing.
+    let mut commit_calls: u64 = 0;
     let (mut ui, mut fi) = (0usize, 0usize);
     for t in 0..horizon {
         while ui < updates.len() && updates[ui].0 == t {
             let (t, id, rect) = updates[ui];
-            pipeline.enqueue_update(id, rect, t);
+            enqueue_cli_op(&mut pipeline, durable, IngestOp::Update { id, rect, t })?;
             ui += 1;
         }
         while fi < finishes.len() && finishes[fi].0 == t + 1 {
-            pipeline.enqueue_finish(finishes[fi].1, t + 1);
+            let (end, id) = finishes[fi];
+            enqueue_cli_op(&mut pipeline, durable, IngestOp::Finish { id, end })?;
             fi += 1;
         }
         if (t + 1) % commit_every == 0 {
@@ -479,14 +532,101 @@ fn ingest(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
             if let Some(r) = report.rejected.first() {
                 return Err(format!("dataset operation rejected: {}", r.error));
             }
+            if let Some(e) = report.durability {
+                return Err(format!("commit at instant {t} could not sync the WAL: {e}"));
+            }
             if let Some(e) = report.error {
                 return Err(format!("commit at instant {t} failed: {e}"));
             }
+            commit_calls += 1;
+            if crash_after_commits == Some(commit_calls) {
+                std::process::abort();
+            }
+            if durable && commit_calls.is_multiple_of(checkpoint_every) {
+                pipeline
+                    .checkpoint()
+                    .map_err(|e| format!("checkpoint after instant {t}: {e}"))?;
+            }
         }
     }
+    seal_and_save(pipeline, &out, metrics, true)
+}
+
+/// Route one operation through the durable or volatile enqueue path.
+fn enqueue_cli_op(
+    pipeline: &mut IngestPipeline,
+    durable: bool,
+    op: IngestOp,
+) -> Result<(), String> {
+    if durable {
+        pipeline
+            .enqueue_durable(op)
+            .map(|_| ())
+            .map_err(|e| format!("logging an operation to the WAL: {e}"))
+    } else {
+        pipeline.enqueue(op);
+        Ok(())
+    }
+}
+
+/// Rebuild a pipeline from a WAL directory written by a durable
+/// `stidx ingest` run that crashed, replaying the log tail, then seal
+/// and save the index exactly as an uninterrupted run would have.
+fn recover(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
+    let dir = PathBuf::from(opts.need("wal")?);
+    let out = PathBuf::from(opts.need("out")?);
+    remove_stale_temp(&out)?;
+    let fsync = parse_fsync(opts.get("fsync"))?;
+    let config = WalConfig {
+        fsync,
+        ..WalConfig::default()
+    };
+    let (pipeline, report) = IngestPipeline::recover(
+        &dir,
+        OnlineSplitConfig::default(),
+        PprParams::default(),
+        config,
+    )
+    .map_err(|e| format!("recovering from {}: {e}", dir.display()))?;
+    match report.checkpoint_generation {
+        Some(g) => println!(
+            "recovered from checkpoint generation {g} at {}; replayed {} WAL record(s){}",
+            report.stamp,
+            report.wal_records_replayed,
+            if report.torn_tail {
+                " (torn tail truncated)"
+            } else {
+                ""
+            }
+        ),
+        None => println!(
+            "no checkpoint yet; replayed {} WAL record(s) onto an empty pipeline",
+            report.wal_records_replayed
+        ),
+    }
+    // Snapshot the gauges NOW, before sealing drains the restored queue:
+    // non-zero ingest_queue_depth / ingest_pending_events alongside the
+    // recovery_* counters are how a dashboard tells a recovered process
+    // from a fresh one.
+    pipeline.record_metrics(metrics);
+    report.record_metrics(metrics);
+    seal_and_save(pipeline, &out, metrics, false)
+}
+
+/// The common tail of `ingest` and `recover`: drain and finish every
+/// stream, publish the final version, and save it as a PPR index.
+fn seal_and_save(
+    mut pipeline: IngestPipeline,
+    out: &Path,
+    metrics: &mut MetricSet,
+    record: bool,
+) -> Result<(), String> {
     let report = pipeline.seal();
     if let Some(r) = report.rejected.first() {
         return Err(format!("dataset operation rejected: {}", r.error));
+    }
+    if let Some(e) = report.durability {
+        return Err(format!("sealing could not sync the WAL: {e}"));
     }
     if let Some(e) = report.error {
         return Err(format!("sealing the stream failed: {e}"));
@@ -511,13 +651,46 @@ fn ingest(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
         pipeline.commits(),
         pipeline.published().tree().total_records()
     );
-    pipeline.record_metrics(metrics);
+    if record {
+        pipeline.record_metrics(metrics);
+    }
 
     let mut tree = pipeline.into_published_tree();
-    tree.save_to_file(&out)
+    tree.save_to_file(out)
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!("wrote {} pages to {}", tree.num_pages(), out.display());
     Ok(())
+}
+
+/// `--fsync always|commit|N` (N = sync every N appends).
+fn parse_fsync(arg: Option<&str>) -> Result<FsyncPolicy, String> {
+    match arg {
+        None | Some("always") => Ok(FsyncPolicy::Always),
+        Some("commit") => Ok(FsyncPolicy::Commit),
+        Some(n) => match n.parse() {
+            Ok(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+            _ => Err("--fsync takes always, commit, or a positive integer".into()),
+        },
+    }
+}
+
+/// Drop the torn temp file a killed process may have left beside `out`.
+/// The save path writes `out.tmp`, fsyncs, then renames, so the temp is
+/// never the live index — a leftover is pure garbage from a crash
+/// between those steps and would otherwise accumulate forever.
+fn remove_stale_temp(out: &Path) -> Result<(), String> {
+    let tmp = spatiotemporal_index::storage::persist::temp_sibling(out);
+    match std::fs::remove_file(&tmp) {
+        Ok(()) => {
+            eprintln!(
+                "note: removed stale temp file {} from an interrupted save",
+                tmp.display()
+            );
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(format!("removing stale temp {}: {e}", tmp.display())),
+    }
 }
 
 /// Replay a query across `workers` concurrent readers on one shared

@@ -436,3 +436,209 @@ fn nearest_subcommand_works() {
     std::fs::remove_file(&data).ok();
     std::fs::remove_file(&idx).ok();
 }
+
+#[test]
+fn stale_temp_from_a_killed_save_is_cleaned_before_the_next_run() {
+    let data = temp("staletmp.stdat");
+    let idx = temp("staletmp.ppr");
+    let tmp = {
+        let mut os = idx.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    assert!(stidx()
+        .args(["generate", "--kind", "random", "--n", "40", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+
+    // A process killed between temp-write and rename leaves the torn
+    // temp behind (no destructors run); the next run must sweep it.
+    std::fs::write(&tmp, b"torn partial index from a killed process").expect("plant stale temp");
+    let out = stidx()
+        .args(["ingest", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&idx)
+        .output()
+        .expect("run ingest");
+    assert!(
+        out.status.success(),
+        "ingest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("removed stale temp"),
+        "the sweep must be announced: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!tmp.exists(), "stale temp must be gone after the run");
+    assert!(idx.exists());
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&idx).ok();
+}
+
+#[test]
+fn failed_save_leaves_no_temp_file_behind() {
+    let data = temp("failsave.stdat");
+    let out_dir = temp("failsave.dir");
+    assert!(stidx()
+        .args(["generate", "--kind", "random", "--n", "40", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+
+    // Renaming the finished temp onto a directory fails, so the save
+    // errors out after writing its temp — which must then be removed,
+    // not stranded next to the target.
+    std::fs::create_dir_all(&out_dir).expect("create blocking directory");
+    let out = stidx()
+        .args(["ingest", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("run ingest");
+    assert!(!out.status.success(), "saving onto a directory must fail");
+    let tmp = {
+        let mut os = out_dir.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    assert!(
+        !tmp.exists(),
+        "a failed save must clean up its own temp file"
+    );
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn durable_ingest_crash_and_recover_round_trip() {
+    let data = temp("durable.stdat");
+    let control = temp("durable-control.ppr");
+    let recovered = temp("durable-recovered.ppr");
+    let crashed = temp("durable-crashed.ppr");
+    let wal = temp("durable-wal");
+    let metrics = temp("durable-recover.prom");
+    std::fs::remove_dir_all(&wal).ok();
+    assert!(stidx()
+        .args(["generate", "--kind", "random", "--n", "60", "--seed", "11", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate")
+        .success());
+
+    // Control: the same stream ingested without interruption.
+    assert!(stidx()
+        .args(["ingest", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&control)
+        .status()
+        .expect("control ingest")
+        .success());
+
+    // Durable run, killed (abort — no cleanup) right after commit 3.
+    let out = stidx()
+        .env("STIDX_TEST_CRASH_AFTER_COMMITS", "3")
+        .args(["ingest", "--data"])
+        .arg(&data)
+        .args(["--out"])
+        .arg(&crashed)
+        .args(["--wal"])
+        .arg(&wal)
+        .args(["--checkpoint-every", "2"])
+        .output()
+        .expect("crashed ingest");
+    assert!(!out.status.success(), "the crash hook must kill the run");
+    assert!(!crashed.exists(), "a killed run must not leave an index");
+    assert!(wal.is_dir(), "the WAL directory must survive the crash");
+
+    // Recover: replay the log tail, seal, save — and export the
+    // restored backlog, which must be visibly non-zero (a recovered
+    // process does not report itself as a fresh one).
+    let out = stidx()
+        .arg("--metrics")
+        .arg(&metrics)
+        .args(["recover", "--wal"])
+        .arg(&wal)
+        .args(["--out"])
+        .arg(&recovered)
+        .output()
+        .expect("recover");
+    assert!(
+        out.status.success(),
+        "recover failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("recovered from checkpoint generation"),
+        "{stdout}"
+    );
+    let text = std::fs::read_to_string(&metrics).expect("metrics file");
+    let queue_depth: f64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("ingest_queue_depth "))
+        .expect("queue gauge present")
+        .trim()
+        .parse()
+        .expect("queue gauge numeric");
+    assert!(
+        queue_depth > 0.0,
+        "restored queue depth must be non-zero, metrics:\n{text}"
+    );
+    assert!(text.contains("recovery_wal_records_replayed"), "{text}");
+    assert!(text.contains("recovery_checkpoint_generation"), "{text}");
+
+    // The recovered index passes the invariant checker...
+    assert!(stidx()
+        .arg("check")
+        .arg(&recovered)
+        .status()
+        .expect("check")
+        .success());
+
+    // ...and answers queries exactly like the uninterrupted control —
+    // within the horizon the crashed run had acknowledged. (The tail of
+    // the stream was never submitted, so it is legitimately absent; the
+    // crash hook fires after commit 3 = instant 23 at the default
+    // cadence, and every acked op below that must have survived.)
+    for (t, until) in [("10", None), ("2", Some("16"))] {
+        let mut answers = Vec::new();
+        for idx in [&control, &recovered] {
+            let mut cmd = stidx();
+            cmd.args(["query", "--index"]).arg(idx).args([
+                "--backend",
+                "ppr",
+                "--area",
+                "0,0,1,1",
+                "--time",
+                t,
+            ]);
+            if let Some(u) = until {
+                cmd.args(["--until", u]);
+            }
+            let out = cmd.output().expect("query");
+            assert!(
+                out.status.success(),
+                "query failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            answers.push(String::from_utf8_lossy(&out.stdout).into_owned());
+        }
+        assert_eq!(
+            answers[0], answers[1],
+            "recovered index diverges from the control at t={t}"
+        );
+    }
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&control).ok();
+    std::fs::remove_file(&recovered).ok();
+    std::fs::remove_file(&metrics).ok();
+    std::fs::remove_dir_all(&wal).ok();
+}

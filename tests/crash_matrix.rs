@@ -1,0 +1,459 @@
+//! The crash-recovery matrix: kill the durable ingest pipeline at every
+//! WAL / checkpoint / publish boundary and prove that recovery
+//!
+//!   1. never panics — injected crashes and disk damage surface as
+//!      typed errors only,
+//!   2. never loses an acknowledged operation under `fsync = Always`,
+//!   3. never resurrects an operation the pipeline rejected, and
+//!   4. produces an index that answers snapshot and interval queries
+//!      exactly like a shadow pipeline that ran uninterrupted.
+//!
+//! A byte-level corruption sweep then flips every byte of every WAL
+//! segment (and of checkpoint artifacts) and re-runs recovery: every
+//! outcome must be a typed error or a pipeline whose sealed index still
+//! upholds the invariants above.
+
+use spatiotemporal_index::core::{
+    CrashPoint, DurabilityError, IngestOp, IngestPipeline, OnlineSplitConfig, RecoverError,
+};
+use spatiotemporal_index::geom::{Rect2, TimeInterval};
+use spatiotemporal_index::obs::MetricSet;
+use spatiotemporal_index::pprtree::PprParams;
+use spatiotemporal_index::storage::{FsyncPolicy, WalConfig};
+use std::path::{Path, PathBuf};
+
+/// Fresh scratch directory (removed first if a previous run left one).
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sti-crash-{}-{name}", std::process::id()));
+    if p.exists() {
+        std::fs::remove_dir_all(&p).expect("clear scratch dir");
+    }
+    p
+}
+
+/// Tiny segments so the workload exercises rotation and truncation.
+fn wal_config() -> WalConfig {
+    WalConfig {
+        segment_max_bytes: 256,
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+fn rect_for(id: u64, t: u32) -> Rect2 {
+    let x = id as f64 * 0.1;
+    let y = f64::from(t) * 0.02;
+    Rect2::from_bounds(x, y, x + 0.05, y + 0.05)
+}
+
+/// Where the rejected op claims to be — nothing else goes near it, so a
+/// non-empty query here means recovery resurrected a rejected op.
+const REJECTED_CORNER: Rect2 = Rect2 {
+    lo: spatiotemporal_index::geom::Point2 { x: 0.88, y: 0.88 },
+    hi: spatiotemporal_index::geom::Point2 { x: 1.0, y: 1.0 },
+};
+const REJECTED_T: u32 = 5;
+
+/// The full intended stream, in arrival order: four objects observed on
+/// contiguous instants, then finished — plus one op the pipeline must
+/// reject (its instant is behind the global clock by the time it
+/// arrives) sitting in the middle of the stream.
+fn workload() -> Vec<IngestOp> {
+    let mut timeline: Vec<(u32, u8, u64, IngestOp)> = Vec::new();
+    for id in 1..=4u64 {
+        let start = id as u32;
+        let end = start + 10;
+        for t in start..end {
+            let op = IngestOp::Update {
+                id,
+                rect: rect_for(id, t),
+                t,
+            };
+            timeline.push((t, 0, id, op));
+        }
+        timeline.push((end, 1, id, IngestOp::Finish { id, end }));
+    }
+    timeline.sort_by_key(|&(t, tie, id, _)| (t, tie, id));
+    let mut ops: Vec<IngestOp> = timeline.into_iter().map(|(_, _, _, op)| op).collect();
+    // Stale by the time it arrives: the stream is already past t = 8.
+    let past_t8 = ops
+        .iter()
+        .position(|op| matches!(op, IngestOp::Update { t: 9, .. }))
+        .expect("stream reaches t = 9");
+    ops.insert(
+        past_t8,
+        IngestOp::Update {
+            id: 99,
+            rect: Rect2::from_bounds(0.9, 0.9, 0.95, 0.95),
+            t: REJECTED_T,
+        },
+    );
+    ops
+}
+
+const COMMIT_EVERY: usize = 7;
+const CHECKPOINT_EVERY: u64 = 2;
+
+/// Why a drive stopped early, and where the resumed client must pick
+/// the stream back up. A client that saw `enqueue_durable` fail before
+/// the WAL append re-submits that op; one that saw it fail *after* the
+/// append must not (recovery replays it from the log) — at-least-once
+/// for unacknowledged ops, exactly-once for acknowledged ones.
+struct CrashStop {
+    resume_from: usize,
+}
+
+/// Feed `ops[start..]` through the pipeline with periodic commits and
+/// (when durable) checkpoints. Stops at the first durability error.
+fn drive(
+    pipeline: &mut IngestPipeline,
+    ops: &[IngestOp],
+    start: usize,
+    durable: bool,
+) -> Result<(), CrashStop> {
+    // Checkpoint cadence counts commit *calls*: `commits()` only counts
+    // commits that published, and a stream whose objects are all still
+    // open pins the watermark, making most commits no-ops.
+    let mut commit_calls = 0u64;
+    for (i, op) in ops.iter().enumerate().skip(start) {
+        if durable {
+            if let Err(e) = pipeline.enqueue_durable(*op) {
+                let resume_from = match e {
+                    DurabilityError::InjectedCrash(CrashPoint::AfterWalAppend) => i + 1,
+                    _ => i,
+                };
+                return Err(CrashStop { resume_from });
+            }
+        } else {
+            pipeline.enqueue(*op);
+        }
+        if (i + 1) % COMMIT_EVERY == 0 {
+            let report = pipeline.commit();
+            if report.durability.is_some() {
+                return Err(CrashStop { resume_from: i + 1 });
+            }
+            assert!(report.error.is_none(), "commit hit a storage fault");
+            commit_calls += 1;
+            if durable
+                && commit_calls.is_multiple_of(CHECKPOINT_EVERY)
+                && pipeline.checkpoint().is_err()
+            {
+                return Err(CrashStop { resume_from: i + 1 });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Seal and return the sorted, deduplicated answers to a fixed probe
+/// battery of snapshot and interval queries.
+fn seal_and_probe(mut pipeline: IngestPipeline) -> Vec<Vec<u64>> {
+    let report = pipeline.seal();
+    assert!(report.error.is_none(), "seal hit a storage fault");
+    assert!(report.durability.is_none(), "seal hit a durability fault");
+    assert!(!report.stalled, "seal stalled");
+    assert_eq!(pipeline.pending_events(), 0, "seal left events pending");
+    probe(&pipeline)
+}
+
+fn probe(pipeline: &IngestPipeline) -> Vec<Vec<u64>> {
+    let published = pipeline.published();
+    let tree = published.tree();
+    let everything = Rect2::from_bounds(0.0, 0.0, 1.0, 1.0);
+    let window = Rect2::from_bounds(0.05, 0.05, 0.45, 0.45);
+    let mut answers = Vec::new();
+    for t in 0..16 {
+        for area in [&everything, &window, &REJECTED_CORNER] {
+            let mut out = Vec::new();
+            tree.query_snapshot(area, t, &mut out).expect("snapshot");
+            out.sort_unstable();
+            out.dedup();
+            answers.push(out);
+        }
+    }
+    for range in [TimeInterval::new(2, 9), TimeInterval::new(0, 16)] {
+        for area in [&everything, &window] {
+            let mut out = Vec::new();
+            tree.query_interval(area, &range, &mut out)
+                .expect("interval");
+            out.sort_unstable();
+            out.dedup();
+            answers.push(out);
+        }
+    }
+    answers
+}
+
+/// The uninterrupted reference: same stream, no WAL, sealed.
+fn shadow_answers(ops: &[IngestOp]) -> Vec<Vec<u64>> {
+    let mut shadow = IngestPipeline::new(OnlineSplitConfig::default(), PprParams::default());
+    drive(&mut shadow, ops, 0, false).unwrap_or_else(|_| unreachable!("volatile drive"));
+    seal_and_probe(shadow)
+}
+
+fn recover(
+    dir: &Path,
+) -> Result<(IngestPipeline, spatiotemporal_index::core::RecoveryReport), RecoverError> {
+    IngestPipeline::recover(
+        dir,
+        OnlineSplitConfig::default(),
+        PprParams::default(),
+        wal_config(),
+    )
+}
+
+/// A durable run crashed at `point`, recovered, and resumed must end up
+/// answer-identical to the uninterrupted shadow.
+#[test]
+fn every_crash_point_recovers_to_the_shadow_answers() {
+    let ops = workload();
+    let reference = shadow_answers(&ops);
+    // The rejected corner must stay empty in the reference too — the
+    // probe battery includes it at every instant.
+    assert!(reference.iter().all(|ids| !ids.contains(&99)));
+
+    for (i, point) in CrashPoint::ALL.into_iter().enumerate() {
+        let dir = temp_dir(&format!("point-{i}"));
+        let mut pipeline = IngestPipeline::new(OnlineSplitConfig::default(), PprParams::default());
+        pipeline
+            .attach_durability(&dir, wal_config())
+            .expect("attach");
+        pipeline.arm_crash_point(point).expect("arm");
+
+        let stop = drive(&mut pipeline, &ops, 0, true)
+            .expect_err("every armed crash point fires under this cadence");
+        // A dead pipeline refuses all further durable work.
+        assert!(matches!(
+            pipeline.enqueue_durable(ops[0]),
+            Err(DurabilityError::Dead)
+        ));
+        drop(pipeline);
+
+        let (mut recovered, report) =
+            recover(&dir).unwrap_or_else(|e| panic!("recovery after {point} failed: {e}"));
+        assert!(
+            !report.torn_tail,
+            "fsync=Always leaves no torn tail ({point})"
+        );
+        drive(&mut recovered, &ops, stop.resume_from, true)
+            .unwrap_or_else(|_| panic!("resumed drive crashed again after {point}"));
+        let answers = seal_and_probe(recovered);
+        assert_eq!(
+            answers, reference,
+            "recovered index diverges from the shadow after a crash at {point}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Run the durable workload to completion (commits + checkpoints, no
+/// seal) and leave the WAL directory behind for damage experiments.
+fn durable_run(dir: &Path) {
+    let ops = workload();
+    let mut pipeline = IngestPipeline::new(OnlineSplitConfig::default(), PprParams::default());
+    pipeline
+        .attach_durability(dir, wal_config())
+        .expect("attach");
+    drive(&mut pipeline, &ops, 0, true).unwrap_or_else(|_| unreachable!("no crash armed"));
+}
+
+/// Every single-byte flip in every WAL segment must yield a typed error
+/// or a recoverable pipeline — never a panic, and never a resurrected
+/// rejected op.
+#[test]
+fn wal_corruption_sweep_fails_closed() {
+    let dir = temp_dir("sweep");
+    durable_run(&dir);
+    let baseline = recover(&dir).expect("pristine recovery");
+    let baseline_replayed = baseline.1.wal_records_replayed;
+    drop(baseline);
+
+    let segments: Vec<PathBuf> = {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("read wal dir")
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".seg"))
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert!(
+        segments.len() > 1,
+        "workload must span several segments to make the sweep meaningful"
+    );
+
+    // Bit rot: every single-byte flip leaves frame lengths intact, so
+    // none can masquerade as a torn tail — recovery must refuse every
+    // one with a typed error (that is the point of checksumming the
+    // length field separately).
+    for segment in &segments {
+        let pristine = std::fs::read(segment).expect("read segment");
+        for offset in 0..pristine.len() {
+            let mut damaged = pristine.clone();
+            damaged[offset] ^= 0xFF;
+            std::fs::write(segment, &damaged).expect("write damaged segment");
+            match recover(&dir) {
+                Ok(_) => panic!(
+                    "recovery accepted a flipped byte at {}+{offset}",
+                    segment.display()
+                ),
+                // Force the error through its Display path too.
+                Err(e) => drop(e.to_string()),
+            }
+            std::fs::write(segment, &pristine).expect("restore segment");
+        }
+    }
+
+    // Torn tails: a crash mid-write shears the *last* segment at an
+    // arbitrary byte. Every truncation length must recover — the torn
+    // suffix is dropped fail-closed, never misread as data.
+    let last = segments.last().expect("at least one segment");
+    let pristine = std::fs::read(last).expect("read last segment");
+    let mut survived = 0u32;
+    for keep in 0..pristine.len() {
+        std::fs::write(last, &pristine[..keep]).expect("shear segment");
+        let (pipeline, report) =
+            recover(&dir).unwrap_or_else(|e| panic!("torn tail at {keep} bytes must recover: {e}"));
+        survived += 1;
+        assert!(report.wal_records_replayed <= baseline_replayed);
+        let mut out = Vec::new();
+        pipeline
+            .published()
+            .tree()
+            .query_snapshot(&REJECTED_CORNER, REJECTED_T, &mut out)
+            .expect("probe torn recovery");
+        assert!(out.is_empty(), "rejected op resurrected by a torn tail");
+    }
+    std::fs::write(last, &pristine).expect("restore last segment");
+    assert!(survived > 0);
+
+    // Shearing an *interior* segment is not a torn tail — the chain to
+    // the next segment breaks, and recovery must say so.
+    let interior = &segments[0];
+    let bytes = std::fs::read(interior).expect("read interior segment");
+    std::fs::write(interior, &bytes[..bytes.len() / 2]).expect("shear interior");
+    assert!(
+        recover(&dir).is_err(),
+        "a sheared interior segment must fail recovery"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Damaging the newest checkpoint demotes recovery to the previous
+/// generation; damaging every checkpoint is a typed error, not a panic.
+#[test]
+fn checkpoint_damage_falls_back_then_fails_closed() {
+    let dir = temp_dir("ckpt");
+    durable_run(&dir);
+
+    let mut metas: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("read wal dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "meta"))
+        .collect();
+    metas.sort();
+    assert_eq!(metas.len(), 2, "retention keeps exactly two generations");
+
+    let (pristine, report) = recover(&dir).expect("pristine recovery");
+    let newest_gen = report.checkpoint_generation.expect("has a checkpoint");
+    assert_eq!(report.checkpoints_skipped, 0);
+    drop(pristine);
+
+    // Corrupt the newest meta: fall back one generation, count the skip.
+    let newest = metas.last().expect("two metas");
+    let saved = std::fs::read(newest).expect("read meta");
+    let mut damaged = saved.clone();
+    damaged[saved.len() / 2] ^= 0xFF;
+    std::fs::write(newest, &damaged).expect("damage meta");
+    let (_, report) = recover(&dir).expect("fallback recovery");
+    assert_eq!(report.checkpoints_skipped, 1);
+    assert_eq!(
+        report.checkpoint_generation,
+        Some(newest_gen - 1),
+        "fallback must land on the previous generation"
+    );
+    std::fs::write(newest, &saved).expect("restore meta");
+
+    // Corrupt the newest *index image* instead: same fallback.
+    let idx = newest.with_extension("idx");
+    let saved_idx = std::fs::read(&idx).expect("read idx");
+    std::fs::write(&idx, b"torn checkpoint image").expect("damage idx");
+    let (_, report) = recover(&dir).expect("fallback recovery via idx");
+    assert_eq!(report.checkpoints_skipped, 1);
+    std::fs::write(&idx, &saved_idx).expect("restore idx");
+
+    // Damage every meta: recovery must refuse with a typed error rather
+    // than silently replaying the whole WAL as if no checkpoint existed
+    // (the WAL below the oldest cut is already truncated).
+    for meta in &metas {
+        let bytes = std::fs::read(meta).expect("read meta");
+        let mut broken = bytes.clone();
+        broken[0] ^= 0xFF;
+        std::fs::write(meta, &broken).expect("damage meta");
+    }
+    match recover(&dir) {
+        Err(RecoverError::NoUsableCheckpoint { tried }) => assert_eq!(tried, 2),
+        Err(e) => panic!("expected NoUsableCheckpoint, got {e}"),
+        Ok(_) => panic!("expected NoUsableCheckpoint, got a recovered pipeline"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite 6 at the library level: a recovered pipeline reports its
+/// restored backlog — the queue-depth and pending-event gauges pick up
+/// where the crashed process left off instead of resetting to zero.
+#[test]
+fn recovered_gauges_report_the_restored_backlog() {
+    let dir = temp_dir("gauges");
+    let ops = workload();
+    let mut pipeline = IngestPipeline::new(OnlineSplitConfig::default(), PprParams::default());
+    pipeline
+        .attach_durability(&dir, wal_config())
+        .expect("attach");
+    // Stop mid-stream with acknowledged-but-uncommitted ops in flight:
+    // past the last commit boundary, before the next.
+    let cutoff = COMMIT_EVERY * 3 + 4;
+    drive(&mut pipeline, &ops[..cutoff], 0, true).unwrap_or_else(|_| unreachable!("no crash"));
+    let backlog = pipeline.queue_len();
+    assert!(backlog > 0, "cutoff must strand ops in the queue");
+    drop(pipeline);
+
+    let (recovered, report) = recover(&dir).expect("recovery");
+    // The restored queue holds everything past the checkpoint's LSN
+    // cut, which includes the stranded backlog (and may include already
+    // committed ops the replay re-derives deterministically).
+    let restored = recovered.queue_len();
+    assert!(restored >= backlog, "restored queue lost stranded ops");
+    assert!(report.wal_records_replayed > 0 || report.queued_restored > 0);
+
+    let mut metrics = MetricSet::new();
+    recovered.record_metrics(&mut metrics);
+    report.record_metrics(&mut metrics);
+    let text = metrics.to_prometheus();
+    assert!(
+        text.contains(&format!("ingest_queue_depth {restored}")),
+        "queue gauge must survive recovery, got:\n{text}"
+    );
+    assert!(text.contains("recovery_wal_records_replayed"));
+    assert!(text.contains("recovery_checkpoint_generation"));
+    assert!(text.contains("wal_appends_total"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Attaching a fresh pipeline to a directory that already holds durable
+/// history must fail loudly — that directory belongs to `recover`.
+#[test]
+fn attach_refuses_a_used_directory() {
+    let dir = temp_dir("used");
+    durable_run(&dir);
+    let mut fresh = IngestPipeline::new(OnlineSplitConfig::default(), PprParams::default());
+    assert!(matches!(
+        fresh.attach_durability(&dir, wal_config()),
+        Err(DurabilityError::DirNotInitial)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

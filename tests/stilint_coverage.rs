@@ -76,6 +76,23 @@ fn linted_files_all_enforce_the_interprocedural_rules() {
 }
 
 #[test]
+fn durability_layer_is_covered_by_the_io_rules() {
+    // The WAL and the recovery module perform storage I/O on the
+    // durability path; both must sit inside R5 `no_io_unwrap` (and the
+    // universal R7 `lock_discipline`) so a panic on a failed read can
+    // never slip into crash recovery.
+    for rel in ["crates/storage/src/wal.rs", "crates/core/src/recover.rs"] {
+        match classify_full(rel) {
+            Classification::Lint(class) => {
+                assert!(class.no_io_unwrap, "{rel}: no_io_unwrap off");
+                assert!(class.lock_discipline, "{rel}: lock_discipline off");
+            }
+            other => panic!("{rel}: expected Lint, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn classify_agrees_with_classify_full() {
     let root = workspace_root();
     for file in collect_files(&root).expect("walk workspace") {
