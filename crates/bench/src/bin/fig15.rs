@@ -5,15 +5,99 @@
 //! the R\*-Tree *degrades* (more records → more nodes → more overlap).
 
 use sti_bench::{
-    build_index, query_io_profile, random_dataset, series, split_records, BenchReport, Scale,
+    build_index, bulk_tier_index, query_io_profile, random_dataset, series, split_records,
+    tier_records, warm_query_io_profile, BenchReport, Scale, Tier,
 };
 use sti_core::{DistributionAlgorithm, IndexBackend, SingleSplitAlgorithm, SplitBudget};
 use sti_datagen::QuerySetSpec;
+use sti_obs::JsonValue;
+use sti_storage::BufferPolicy;
 
 const BUDGETS: [f64; 8] = [0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0];
 
+/// The scale tier: one bulk-loaded `FileBackend` tree, queried with a
+/// warm shared buffer under both eviction policies. The contrast the
+/// gate watches is `2q` (scan-resistant, with readahead) vs `lru`
+/// (paper policy, no readahead) on identical queries.
+fn scale_tier(scale: Scale) {
+    let mut report = BenchReport::new("fig15", &scale);
+    let n = scale.tier.objects();
+    let queries = sti_bench::tier_queries(scale.queries);
+
+    let (mut index, stats, dir) =
+        bulk_tier_index(tier_records(scale.tier, scale.data.as_deref()), "fig15");
+    report.note(
+        "bulk_stats",
+        JsonValue::object([
+            ("pieces", JsonValue::UInt(stats.pieces)),
+            ("pages_written", JsonValue::UInt(stats.pages_written)),
+            ("leaf_pages", JsonValue::UInt(stats.leaf_pages)),
+            ("levels", JsonValue::UInt(u64::from(stats.levels))),
+            ("fill_factor", JsonValue::Num(stats.fill_factor)),
+            ("spilled_runs", JsonValue::UInt(stats.spilled_runs)),
+        ]),
+    );
+
+    let mut rows = Vec::new();
+    let mut profiles = Vec::new();
+    for (label, policy, readahead) in [
+        ("lru", BufferPolicy::Lru, false),
+        ("2q", BufferPolicy::TwoQ, true),
+    ] {
+        index.set_buffer_policy(policy);
+        index.set_readahead(readahead);
+        index.clear_buffer();
+        index.reset_counters();
+        let profile = warm_query_io_profile(&index, &queries);
+        let ra = index.readahead_stats();
+        let avoided = index.scan_evictions_avoided();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", profile.avg),
+            profile.p50.to_string(),
+            profile.p95.to_string(),
+            avoided.to_string(),
+            ra.hits.to_string(),
+            ra.wasted.to_string(),
+        ]);
+        report.note(
+            &format!("buffer_{label}"),
+            JsonValue::object([
+                ("scan_evictions_avoided", JsonValue::UInt(avoided)),
+                ("readahead_hits", JsonValue::UInt(ra.hits)),
+                ("readahead_wasted", JsonValue::UInt(ra.wasted)),
+            ]),
+        );
+        profiles.push(series(label, label, profile));
+    }
+    report.table_with_profiles(
+        &format!(
+            "Figure 15 ({} tier) — {n} bulk-loaded pieces on FileBackend, warm {}-page buffer",
+            scale.tier.name(),
+            sti_bench::TIER_BUFFER_PAGES,
+        ),
+        &[
+            "Policy",
+            "Avg I/O",
+            "p50",
+            "p95",
+            "ScanEvictAvoided",
+            "RA hits",
+            "RA wasted",
+        ],
+        &rows,
+        profiles,
+    );
+    report.finish();
+    drop(index);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let scale = Scale::from_args_with(&sti_bench::IO_SIZES);
+    if scale.tier != Tier::Paper {
+        return scale_tier(scale);
+    }
     let mut report = BenchReport::new("fig15", &scale);
     // The paper uses the 50k dataset: third entry of the ladder.
     let n = scale.sizes[scale.sizes.len().saturating_sub(2)];

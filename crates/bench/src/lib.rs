@@ -28,6 +28,52 @@ pub const PAPER_SIZES: [usize; 4] = [10_000, 30_000, 50_000, 80_000];
 /// density for page-level effects to show.
 pub const IO_SIZES: [usize; 4] = [2_500, 5_000, 10_000, 20_000];
 
+/// Scale tier beyond the paper ladder. `--scale=mid|big` switches the
+/// tier-aware binaries (`fig15`, `throughput`) from the in-memory
+/// incremental build onto the out-of-core bulk-loaded `FileBackend`
+/// path, with a warm shared buffer — at a million objects the paper's
+/// reset-per-query methodology measures nothing but compulsory misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tier {
+    /// The paper-shaped figure runs (no `--scale=` flag).
+    #[default]
+    Paper,
+    /// 100k-object smoke tier: same code path as `Big`, minutes cheaper.
+    Mid,
+    /// The million-object scale gate tier.
+    Big,
+}
+
+impl Tier {
+    /// Parse a tier name (`mid` / `big`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mid" => Some(Tier::Mid),
+            "big" => Some(Tier::Big),
+            _ => None,
+        }
+    }
+
+    /// Objects in the tier's generated dataset (0 for `Paper`, whose
+    /// binaries use their own size ladders).
+    pub fn objects(self) -> usize {
+        match self {
+            Tier::Paper => 0,
+            Tier::Mid => 100_000,
+            Tier::Big => 1_000_000,
+        }
+    }
+
+    /// Flag-spelling of the tier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Paper => "paper",
+            Tier::Mid => "mid",
+            Tier::Big => "big",
+        }
+    }
+}
+
 /// Parsed command-line scale options.
 #[derive(Debug, Clone)]
 pub struct Scale {
@@ -45,6 +91,12 @@ pub struct Scale {
     /// `--json` (empty path) uses the default `BENCH_<name>.json` in the
     /// working directory.
     pub json: Option<PathBuf>,
+    /// Scale tier (`--scale=mid|big`); [`Tier::Paper`] without the flag.
+    pub tier: Tier,
+    /// Pre-generated STDAT dataset for the scale tier (`--data=PATH`,
+    /// written by `stidx generate`); the tier generates its dataset in
+    /// process when absent.
+    pub data: Option<PathBuf>,
 }
 
 impl Scale {
@@ -67,6 +119,8 @@ impl Scale {
             queries: 1000,
             threads: Parallelism::Sequential,
             json: None,
+            tier: Tier::Paper,
+            data: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -94,10 +148,16 @@ impl Scale {
                 }
             } else if let Some(p) = arg.strip_prefix("--json=") {
                 scale.json = Some(PathBuf::from(p));
+            } else if let Some(t) = arg.strip_prefix("--scale=") {
+                scale.tier =
+                    Tier::parse(t).unwrap_or_else(|| panic!("--scale takes mid or big, not {t:?}"));
+            } else if let Some(p) = arg.strip_prefix("--data=") {
+                scale.data = Some(PathBuf::from(p));
             } else {
                 panic!(
                     "unknown argument {arg} \
-                     (expected --paper, --sizes=.., --queries=.., --threads=.., --json[=path])"
+                     (expected --paper, --sizes=.., --queries=.., --threads=.., --json[=path], \
+                      --scale=mid|big, --data=path)"
                 );
             }
             i += 1;
@@ -123,6 +183,105 @@ pub fn random_dataset(n: usize) -> Vec<RasterizedObject> {
 /// Generate (deterministically) the railway dataset of `n` trains.
 pub fn railway_dataset(n: usize) -> Vec<RasterizedObject> {
     RailwayDatasetSpec::paper(n).generate_rasterized()
+}
+
+/// The unsplit record of one object: its MBR over its whole lifetime.
+/// The scale tiers index raw pieces — at a million short-lived objects
+/// the split planner is not the subject under test.
+pub fn object_record(o: &RasterizedObject) -> ObjectRecord {
+    ObjectRecord {
+        id: o.id(),
+        stbox: sti_geom::StBox::new(o.mbr_range(0, o.len()), o.lifetime()),
+    }
+}
+
+/// Stream a scale tier's records: from an STDAT dataset file when
+/// `--data` was given (the CI cache path, written by `stidx generate`),
+/// else straight from the deterministic generator — both orders are
+/// identical, so the built tree is too.
+///
+/// # Panics
+/// On an unreadable or corrupt `--data` file (a bench run on the wrong
+/// dataset must die loudly, not silently regenerate).
+pub fn tier_records(
+    tier: Tier,
+    data: Option<&std::path::Path>,
+) -> Box<dyn Iterator<Item = ObjectRecord>> {
+    assert!(tier != Tier::Paper, "tier_records needs --scale=mid|big");
+    match data {
+        Some(path) => {
+            let reader = sti_datagen::DatasetReader::open(path)
+                .unwrap_or_else(|e| panic!("--data={}: {e}", path.display()));
+            Box::new(reader.map(|o| object_record(&o.expect("corrupt dataset object"))))
+        }
+        None => {
+            // The spec iterator borrows the spec; a bench binary builds
+            // exactly one, so leaking it buys a 'static stream.
+            let spec: &'static _ = Box::leak(Box::new(RandomDatasetSpec::big(tier.objects())));
+            Box::new(spec.iter().map(|o| object_record(&o)))
+        }
+    }
+}
+
+/// Buffer pool size for the warm scale-tier runs: large enough to keep
+/// the directory hot, far too small to cache the leaf level, so the
+/// eviction policy is what is actually measured.
+pub const TIER_BUFFER_PAGES: usize = 256;
+
+/// Bulk-load a tier's records into a PPR-Tree backed by a fresh
+/// `FileBackend` under a scratch directory (which also hosts the sort
+/// spool). Returns the index, the loader's stats, and the scratch dir —
+/// callers remove it when the index is dropped.
+pub fn bulk_tier_index(
+    records: impl IntoIterator<Item = ObjectRecord>,
+    tag: &str,
+) -> (SpatioTemporalIndex, sti_pprtree::BulkStats, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("sti-bench-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let backend =
+        sti_storage::FileBackend::create(&dir.join("tree.pages")).expect("create backing file");
+    let store = sti_storage::PageStore::with_backend(Box::new(backend), TIER_BUFFER_PAGES);
+    let config = IndexConfig::paper(IndexBackend::PprTree);
+    let (index, stats) = SpatioTemporalIndex::bulk_build_ppr(records, &config, store, &dir)
+        .expect("bulk build failed");
+    (index, stats, dir)
+}
+
+/// The scale-tier query mix: small snapshot probes with every eighth
+/// query a medium interval scan. The scans are the one-shot leaf floods
+/// a scan-resistant buffer exists to absorb; the probes are the hot
+/// directory traffic an LRU loses each time a scan washes its pool.
+/// Deterministic: same cardinality, same mix.
+pub fn tier_queries(cardinality: usize) -> Vec<Query> {
+    let mut scan_spec = sti_datagen::QuerySetSpec::medium_range();
+    scan_spec.cardinality = cardinality / 8;
+    let mut probe_spec = sti_datagen::QuerySetSpec::small_snapshot();
+    probe_spec.cardinality = cardinality - scan_spec.cardinality;
+    let scans = scan_spec.generate();
+    let probes = probe_spec.generate();
+    let mut out = Vec::with_capacity(cardinality);
+    let (mut scan, mut probe) = (scans.into_iter(), probes.into_iter());
+    for i in 0..cardinality {
+        let q = if i % 8 == 7 {
+            scan.next().or_else(|| probe.next())
+        } else {
+            probe.next().or_else(|| scan.next())
+        };
+        out.extend(q);
+    }
+    out
+}
+
+/// Warm-buffer query profile: per-query stats are deltas from the
+/// tree's own probes, and residency persists across the whole set — the
+/// opposite of [`query_io_profile`]'s reset-per-query methodology.
+pub fn warm_query_io_profile(index: &SpatioTemporalIndex, queries: &[Query]) -> IoProfile {
+    profile_queries(queries, |q| {
+        index
+            .query_with_stats(&q.area, &q.range)
+            .expect("query failed")
+            .1
+    })
 }
 
 /// Plan splits and materialize the records.
@@ -339,6 +498,7 @@ impl BenchReport {
             ),
             ("queries", JsonValue::UInt(scale.queries as u64)),
             ("threads", JsonValue::str(format!("{:?}", scale.threads))),
+            ("tier", JsonValue::str(scale.tier.name())),
         ]);
         BenchReport {
             name: name.to_string(),

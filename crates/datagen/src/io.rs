@@ -10,7 +10,7 @@
 //! ```
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use sti_geom::Rect2;
 use sti_trajectory::RasterizedObject;
@@ -20,10 +20,42 @@ pub const DATASET_MAGIC: &[u8; 8] = b"STDAT1\0\0";
 
 /// Write a rasterized dataset to `path`.
 pub fn save_dataset(path: &Path, objects: &[RasterizedObject]) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(DATASET_MAGIC)?;
-    w.write_all(&field_u32(objects.len(), "object count")?.to_le_bytes())?;
+    let mut w = DatasetWriter::create(path)?;
     for o in objects {
+        w.append(o)?;
+    }
+    w.finish()
+}
+
+/// Streaming dataset writer: [`DatasetWriter::append`] objects one at a
+/// time, then [`DatasetWriter::finish`] patches the object count into
+/// the header. The big tier generates millions of objects straight to
+/// disk through this instead of materializing them.
+#[derive(Debug)]
+pub struct DatasetWriter {
+    w: BufWriter<File>,
+    count: u32,
+}
+
+impl DatasetWriter {
+    /// Create (or truncate) a dataset file at `path`. The header's
+    /// object count is a placeholder until [`DatasetWriter::finish`].
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(DATASET_MAGIC)?;
+        w.write_all(&0u32.to_le_bytes())?;
+        Ok(Self { w, count: 0 })
+    }
+
+    /// Append one object.
+    pub fn append(&mut self, o: &RasterizedObject) -> io::Result<()> {
+        if self.count == u32::MAX {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "dataset file format caps object count at u32::MAX",
+            ));
+        }
+        let w = &mut self.w;
         w.write_all(&o.id().to_le_bytes())?;
         w.write_all(&o.start().to_le_bytes())?;
         w.write_all(&field_u32(o.len(), "instant count")?.to_le_bytes())?;
@@ -38,8 +70,18 @@ pub fn save_dataset(path: &Path, objects: &[RasterizedObject]) -> io::Result<()>
                 w.write_all(&v.to_le_bytes())?;
             }
         }
+        self.count += 1;
+        Ok(())
     }
-    w.flush()
+
+    /// Flush and patch the final object count into the header.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.flush()?;
+        let f = self.w.get_mut();
+        f.seek(SeekFrom::Start(DATASET_MAGIC.len() as u64))?;
+        f.write_all(&self.count.to_le_bytes())?;
+        f.flush()
+    }
 }
 
 /// Encode a length/offset field, rejecting values the `u32` file format
@@ -55,36 +97,62 @@ fn field_u32(n: usize, what: &str) -> io::Result<u32> {
 
 /// Read a dataset previously written by [`save_dataset`].
 pub fn load_dataset(path: &Path) -> io::Result<Vec<RasterizedObject>> {
-    let bad = |m: &'static str| io::Error::new(io::ErrorKind::InvalidData, m);
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != DATASET_MAGIC {
-        return Err(bad("not an STDAT dataset file"));
+    DatasetReader::open(path)?.collect()
+}
+
+/// Streaming dataset reader: iterates objects without holding the whole
+/// dataset in memory. [`DatasetReader::remaining`] reports how many
+/// objects the header promises are still unread.
+#[derive(Debug)]
+pub struct DatasetReader {
+    r: BufReader<File>,
+    remaining: u32,
+}
+
+impl DatasetReader {
+    /// Open a dataset file and validate its header.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != DATASET_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an STDAT dataset file",
+            ));
+        }
+        let remaining = read_u32(&mut r)?;
+        Ok(Self { r, remaining })
     }
-    let count = read_u32(&mut r)? as usize;
-    let mut objects = Vec::with_capacity(count.min(1 << 20));
-    for _ in 0..count {
-        let id = read_u64(&mut r)?;
-        let start = read_u32(&mut r)?;
-        let instants = read_u32(&mut r)? as usize;
+
+    /// Objects not yet yielded (from the file header).
+    pub fn remaining(&self) -> usize {
+        self.remaining as usize
+    }
+
+    fn read_object(&mut self) -> io::Result<RasterizedObject> {
+        let bad = |m: &'static str| io::Error::new(io::ErrorKind::InvalidData, m);
+        let r = &mut self.r;
+        let id = read_u64(r)?;
+        let start = read_u32(r)?;
+        let instants = read_u32(r)? as usize;
         if instants == 0 || instants > 1 << 24 {
             return Err(bad("implausible instant count"));
         }
-        let bcount = read_u32(&mut r)? as usize;
+        let bcount = read_u32(r)? as usize;
         if bcount >= instants {
             return Err(bad("more boundaries than instants"));
         }
         let mut boundaries = Vec::with_capacity(bcount);
         for _ in 0..bcount {
-            boundaries.push(read_u32(&mut r)? as usize);
+            boundaries.push(read_u32(r)? as usize);
         }
         let mut rects = Vec::with_capacity(instants);
         for _ in 0..instants {
-            let lx = read_f64(&mut r)?;
-            let ly = read_f64(&mut r)?;
-            let hx = read_f64(&mut r)?;
-            let hy = read_f64(&mut r)?;
+            let lx = read_f64(r)?;
+            let ly = read_f64(r)?;
+            let hx = read_f64(r)?;
+            let hy = read_f64(r)?;
             let finite = [lx, ly, hx, hy].iter().all(|v| v.is_finite());
             if !(finite && lx <= hx && ly <= hy) {
                 return Err(bad("corrupt rectangle"));
@@ -98,11 +166,22 @@ pub fn load_dataset(path: &Path) -> io::Result<Vec<RasterizedObject>> {
         {
             return Err(bad("corrupt boundaries"));
         }
-        objects.push(RasterizedObject::with_boundaries(
+        Ok(RasterizedObject::with_boundaries(
             id, start, rects, boundaries,
-        ));
+        ))
     }
-    Ok(objects)
+}
+
+impl Iterator for DatasetReader {
+    type Item = io::Result<RasterizedObject>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.read_object())
+    }
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -154,6 +233,35 @@ mod tests {
         assert_eq!(back, objs);
         // boundaries survive (the piecewise baseline depends on them)
         assert!(back.iter().any(|o| !o.boundaries().is_empty()));
+    }
+
+    #[test]
+    fn streaming_writer_and_reader_match_batch_path() {
+        let objs = RandomDatasetSpec::paper(25).generate();
+        let path = temp("stream");
+        let mut w = DatasetWriter::create(&path).expect("create");
+        for o in &objs {
+            w.append(o).expect("append");
+        }
+        w.finish().expect("finish");
+        let mut r = DatasetReader::open(&path).expect("open");
+        assert_eq!(r.remaining(), objs.len());
+        let mut back = Vec::new();
+        for item in &mut r {
+            back.push(item.expect("object"));
+        }
+        assert_eq!(r.remaining(), 0);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, objs);
+    }
+
+    #[test]
+    fn big_tier_spec_streams_identically_to_generate() {
+        let spec = RandomDatasetSpec::big(40);
+        let streamed: Vec<_> = spec.iter().collect();
+        assert_eq!(streamed, spec.generate());
+        // Big tier means churn: short lifetimes.
+        assert!(streamed.iter().all(|o| o.len() <= 10));
     }
 
     #[test]

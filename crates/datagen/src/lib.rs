@@ -24,7 +24,7 @@ pub mod random;
 pub mod regions;
 pub mod stats;
 
-pub use io::{load_dataset, save_dataset};
+pub use io::{load_dataset, save_dataset, DatasetReader, DatasetWriter};
 pub use map::{City, RailwayMap, Track};
 pub use orbits::OrbitDatasetSpec;
 pub use queries::{Query, QuerySetSpec};

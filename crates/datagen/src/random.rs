@@ -48,10 +48,35 @@ impl RandomDatasetSpec {
         }
     }
 
+    /// The big scale tier: the same motion model at production-like
+    /// cardinality — short lifetimes (churn) and fewer segments per
+    /// object, so a million objects stay a few million leaf pieces.
+    /// Used by `--scale=big` in datagen, `stidx`, and `sti-bench`.
+    pub fn big(n: usize) -> Self {
+        Self {
+            num_objects: n,
+            lifetime: (2, 10),
+            segments: (1, 3),
+            seed: 0x5eed_0b16,
+            ..Self::paper(n)
+        }
+    }
+
     /// Generate the dataset. Objects are produced rasterized (one
     /// rectangle per alive instant) with segment boundaries recorded for
     /// the piecewise baseline. Object ids are `0..num_objects`.
     pub fn generate(&self) -> Vec<RasterizedObject> {
+        self.iter().collect()
+    }
+
+    /// Generate the dataset one object at a time — same objects as
+    /// [`RandomDatasetSpec::generate`] (one shared RNG stream), without
+    /// materializing the whole dataset. The big tier writes straight to
+    /// disk through this.
+    ///
+    /// # Panics
+    /// If the lifetime/segment bounds are empty or exceed the evolution.
+    pub fn iter(&self) -> impl Iterator<Item = RasterizedObject> + '_ {
         assert!(self.lifetime.0 >= 1 && self.lifetime.0 <= self.lifetime.1);
         assert!(self.segments.0 >= 1 && self.segments.0 <= self.segments.1);
         assert!(
@@ -59,9 +84,7 @@ impl RandomDatasetSpec {
             "lifetime exceeds evolution"
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.num_objects)
-            .map(|id| self.generate_object(id as u64, &mut rng))
-            .collect()
+        (0..self.num_objects).map(move |id| self.generate_object(id as u64, &mut rng))
     }
 
     fn generate_object(&self, id: u64, rng: &mut StdRng) -> RasterizedObject {
@@ -90,11 +113,7 @@ impl RandomDatasetSpec {
         let mut boundaries = Vec::with_capacity(cut_points.len());
         let mut seg_start = 0u32;
         for seg in 0..=cut_points.len() {
-            let seg_end = if seg == cut_points.len() {
-                life
-            } else {
-                cut_points[seg]
-            };
+            let seg_end = cut_points.get(seg).copied().unwrap_or(life);
             if seg > 0 {
                 boundaries.push(seg_start as usize);
             }

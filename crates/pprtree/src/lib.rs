@@ -28,12 +28,14 @@
 //! paper's 10-page LRU buffer is measured faithfully. Paper parameters:
 //! `B = 50`, `P_version = 0.22`, `P_svo = 0.8`, `P_svu = 0.4`.
 
+pub mod bulk;
 pub mod check;
 pub mod knn;
 pub mod node;
 pub mod split;
 pub mod tree;
 
+pub use bulk::{BulkError, BulkLoader, BulkPiece, BulkStats};
 pub use check::{CheckReport, Violation, ViolationKind};
 pub use node::{PprEntry, PprNode, PprParams};
 pub use tree::{DeleteError, PprTree, RootSpan};

@@ -1,0 +1,295 @@
+//! Bulk-loader oracles: a bulk-loaded tree must answer exactly like an
+//! incrementally built one (both backends), pass the full-history
+//! sanitizer, and build deterministically whether or not the external
+//! sort spilled to disk.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::path::PathBuf;
+use sti_geom::{Rect2, TimeInterval};
+use sti_pprtree::{check, BulkLoader, BulkPiece, PprParams, PprTree};
+use sti_storage::{FileBackend, PageStore};
+
+fn params() -> PprParams {
+    PprParams {
+        max_entries: 12,
+        buffer_pages: 8,
+        ..PprParams::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sti-bulk-test-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Random closed pieces in the unit square; a sprinkle of still-open
+/// lifetimes when `with_open`.
+fn random_pieces(seed: u64, n: usize, with_open: bool) -> Vec<BulkPiece> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.random::<f64>() * 0.9;
+            let y = rng.random::<f64>() * 0.9;
+            let ins = rng.random_range(0..150u32);
+            let deletion = if with_open && rng.random_range(0..10u32) == 0 {
+                TimeInterval::OPEN_END
+            } else {
+                ins + rng.random_range(1..=40u32)
+            };
+            BulkPiece {
+                rect: Rect2::from_bounds(x, y, x + 0.05, y + 0.05),
+                ptr: i as u64,
+                insertion: ins,
+                deletion,
+            }
+        })
+        .collect()
+}
+
+fn bulk_build(pieces: &[BulkPiece], store: PageStore, tag: &str) -> PprTree {
+    let dir = scratch_dir(tag);
+    let mut loader = BulkLoader::new(params(), 200, &dir);
+    for p in pieces {
+        loader.push(*p).unwrap();
+    }
+    let (tree, stats) = loader.finish(store).unwrap();
+    assert_eq!(stats.pieces, pieces.len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+    tree
+}
+
+/// Replay the same pieces through the incremental update path, in time
+/// order (the PPR-Tree only accepts non-decreasing update times).
+fn incremental_build(pieces: &[BulkPiece]) -> PprTree {
+    let mut events: Vec<(u32, u8, usize)> = Vec::new();
+    for (i, p) in pieces.iter().enumerate() {
+        events.push((p.insertion, 0, i));
+        if p.deletion != TimeInterval::OPEN_END {
+            events.push((p.deletion, 1, i));
+        }
+    }
+    events.sort_unstable();
+    let mut tree = PprTree::new(params());
+    for (t, kind, i) in events {
+        let p = &pieces[i];
+        if kind == 0 {
+            tree.insert(p.ptr, p.rect, t).unwrap();
+        } else {
+            tree.delete(p.ptr, p.rect, t).unwrap();
+        }
+    }
+    tree
+}
+
+fn snapshot(tree: &PprTree, area: &Rect2, t: u32) -> Vec<u64> {
+    let mut v = Vec::new();
+    tree.query_snapshot(area, t, &mut v).unwrap();
+    v.sort_unstable();
+    v
+}
+
+fn interval(tree: &PprTree, area: &Rect2, range: &TimeInterval) -> Vec<u64> {
+    let mut v = Vec::new();
+    tree.query_interval(area, range, &mut v).unwrap();
+    v.sort_unstable();
+    v
+}
+
+fn assert_equivalent(bulk: &PprTree, incr: &PprTree) {
+    let areas = [
+        Rect2::from_bounds(0.0, 0.0, 1.0, 1.0),
+        Rect2::from_bounds(0.2, 0.1, 0.8, 0.9),
+        Rect2::from_bounds(0.0, 0.0, 0.4, 0.4),
+        Rect2::from_bounds(0.55, 0.55, 0.7, 0.7),
+    ];
+    for area in &areas {
+        for t in (0..200).step_by(13) {
+            assert_eq!(
+                snapshot(bulk, area, t),
+                snapshot(incr, area, t),
+                "snapshot diverged at t={t} area={area:?}"
+            );
+        }
+        for start in (0..180).step_by(19) {
+            let range = TimeInterval::new(start, start + 1 + (start % 31));
+            assert_eq!(
+                interval(bulk, area, &range),
+                interval(incr, area, &range),
+                "interval diverged at {range} area={area:?}"
+            );
+        }
+    }
+}
+
+fn assert_valid(tree: &PprTree) {
+    if let Err(violations) = check::validate(tree) {
+        let lines: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        panic!("bulk tree broke invariants:\n{}", lines.join("\n"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn bulk_matches_incremental_mem_backend(seed in any::<u64>(), n in 50usize..300) {
+        let pieces = random_pieces(seed, n, true);
+        let bulk = bulk_build(&pieces, PageStore::new(params().buffer_pages), "mem");
+        assert_valid(&bulk);
+        let incr = incremental_build(&pieces);
+        assert_equivalent(&bulk, &incr);
+        prop_assert_eq!(bulk.total_records(), pieces.len() as u64);
+        prop_assert_eq!(bulk.alive_records(), incr.alive_records());
+    }
+
+    #[test]
+    fn bulk_matches_incremental_file_backend(seed in any::<u64>(), n in 50usize..200) {
+        let pieces = random_pieces(seed, n, false);
+        let dir = scratch_dir("fb");
+        let path = dir.join(format!("tree-{seed}-{n}.pages"));
+        let backend = FileBackend::create(&path).unwrap();
+        let store = PageStore::with_backend(Box::new(backend), params().buffer_pages);
+        let bulk = bulk_build(&pieces, store, "fb");
+        assert_valid(&bulk);
+        let incr = incremental_build(&pieces);
+        assert_equivalent(&bulk, &incr);
+        drop(bulk);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The spilled (external-sort) path and the in-memory path must produce
+/// byte-identical trees: same pieces, same pages, same saved file.
+#[test]
+fn spilled_and_in_memory_builds_are_byte_identical() {
+    let pieces = random_pieces(77, 2200, true);
+    let dir = scratch_dir("det");
+
+    let in_mem = bulk_build(&pieces, PageStore::new(8), "det-mem");
+    let mut loader = BulkLoader::new(params(), 200, &dir).chunk_capacity(1024);
+    for p in &pieces {
+        loader.push(*p).unwrap();
+    }
+    let (spilled, stats) = loader.finish(PageStore::new(8)).unwrap();
+    assert!(stats.spilled_runs >= 2, "test must exercise the merge path");
+    assert_valid(&spilled);
+
+    let a = dir.join("a.idx");
+    let b = dir.join("b.idx");
+    let mut in_mem = in_mem;
+    let mut spilled = spilled;
+    in_mem.save_to_file(&a).unwrap();
+    spilled.save_to_file(&b).unwrap();
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "external sort changed the packed tree"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_and_single_piece_edge_cases() {
+    let dir = scratch_dir("edge");
+    let (tree, stats) = BulkLoader::new(params(), 10, &dir)
+        .finish(PageStore::new(4))
+        .unwrap();
+    assert_eq!(stats.pages_written, 0);
+    assert_eq!(tree.total_records(), 0);
+    assert_valid(&tree);
+
+    let mut loader = BulkLoader::new(params(), 10, &dir);
+    loader
+        .push(BulkPiece {
+            rect: Rect2::from_bounds(0.1, 0.1, 0.2, 0.2),
+            ptr: 42,
+            insertion: 3,
+            deletion: 8,
+        })
+        .unwrap();
+    let (tree, stats) = loader.finish(PageStore::new(4)).unwrap();
+    assert_eq!(stats.pages_written, 1);
+    assert_valid(&tree);
+    assert_eq!(
+        snapshot(&tree, &Rect2::from_bounds(0.0, 0.0, 1.0, 1.0), 5),
+        vec![42]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejects_empty_lifetimes_and_non_finite_rects() {
+    let dir = scratch_dir("rej");
+    let mut loader = BulkLoader::new(params(), 10, &dir);
+    let bad_time = BulkPiece {
+        rect: Rect2::from_bounds(0.0, 0.0, 0.1, 0.1),
+        ptr: 1,
+        insertion: 5,
+        deletion: 5,
+    };
+    assert!(loader.push(bad_time).is_err());
+    let bad_rect = BulkPiece {
+        rect: Rect2 {
+            lo: sti_geom::Point2 {
+                x: f64::NAN,
+                y: 0.0,
+            },
+            hi: sti_geom::Point2 { x: 0.1, y: 0.1 },
+        },
+        ptr: 2,
+        insertion: 0,
+        deletion: 5,
+    };
+    assert!(loader.push(bad_rect).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Big-tier smoke: a million-piece build on `FileBackend` completes
+/// with bounded memory and passes the sanitizer. Gated so default
+/// `cargo test` stays fast — run with `STI_SCALE=big cargo test -p
+/// sti-pprtree --release -- --ignored big_tier`.
+#[test]
+#[ignore = "big tier; set STI_SCALE=big and run with --ignored"]
+fn big_tier_million_piece_bulk_build() {
+    if std::env::var("STI_SCALE").as_deref() != Ok("big") {
+        eprintln!("skipping: STI_SCALE != big");
+        return;
+    }
+    let dir = scratch_dir("big");
+    let path = dir.join("big.pages");
+    let store = PageStore::with_backend(
+        Box::new(FileBackend::create(&path).unwrap()),
+        PprParams::default().buffer_pages,
+    );
+    let mut rng = StdRng::seed_from_u64(0xb16);
+    let mut loader = BulkLoader::new(PprParams::default(), 1000, &dir);
+    // `STI_BIG_N` shrinks the run for quick local iteration; CI and the
+    // acceptance criterion use the one-million default.
+    let n: u64 = std::env::var("STI_BIG_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    for i in 0..n {
+        let x = rng.random::<f64>() * 0.99;
+        let y = rng.random::<f64>() * 0.99;
+        let ins = rng.random_range(0..990u32);
+        loader
+            .push(BulkPiece {
+                rect: Rect2::from_bounds(x, y, x + 0.004, y + 0.004),
+                ptr: i,
+                insertion: ins,
+                deletion: ins + rng.random_range(1..=10u32),
+            })
+            .unwrap();
+    }
+    let (tree, stats) = loader.finish(store).unwrap();
+    assert_eq!(stats.pieces, n);
+    assert!(stats.spilled_runs > 0, "1M pieces must spill");
+    assert!(stats.fill_factor > 0.3, "fill factor {}", stats.fill_factor);
+    assert_valid(&tree);
+    drop(tree);
+    let _ = std::fs::remove_dir_all(&dir);
+}

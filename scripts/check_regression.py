@@ -3,6 +3,7 @@
 
 Usage:
     check_regression.py BASELINE.json CURRENT.json [--wall-tolerance 1.5]
+    check_regression.py --self-test
 
 The workspace's benchmarks are deterministic end to end: datasets are
 seeded, split planning is deterministic, and tree construction is
@@ -18,6 +19,11 @@ run is more than --wall-tolerance times slower than the baseline
 (default 1.5x).
 
 Re-baselining: see CONTRIBUTING.md ("Performance baselines").
+
+--self-test exercises the gate against synthetic documents (identical
+pass, perturbed I/O fail, over-tolerance wall-time fail, within-
+tolerance pass) so CI can prove the gate itself still bites before
+trusting a green comparison.
 
 Exit status: 0 when everything matches, 1 on any mismatch, 2 on usage or
 schema errors. Pure stdlib; no third-party imports.
@@ -63,31 +69,8 @@ def profile_map(doc):
     return out
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    tol = 1.5
-    for a in argv[1:]:
-        if a.startswith("--wall-tolerance"):
-            try:
-                tol = float(a.split("=", 1)[1]) if "=" in a else float(
-                    argv[argv.index(a) + 1]
-                )
-            except (IndexError, ValueError):
-                print("error: --wall-tolerance needs a number", file=sys.stderr)
-                return 2
-    if len(args) < 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-
-    base_doc, cur_doc = load(args[0]), load(args[1])
-    if base_doc.get("bench") != cur_doc.get("bench"):
-        print(
-            f"error: bench mismatch: baseline is {base_doc.get('bench')!r}, "
-            f"current is {cur_doc.get('bench')!r}",
-            file=sys.stderr,
-        )
-        return 2
-
+def compare(base_doc, cur_doc, tol):
+    """All gate logic in one place; returns (failures, checked)."""
     base, cur = profile_map(base_doc), profile_map(cur_doc)
     failures = []
     checked = 0
@@ -132,7 +115,87 @@ def main(argv):
                 failures.append(
                     f"{key}: {field} {cw:.4f} exceeds baseline {bw:.4f} x {tol} tolerance"
                 )
+    return failures, checked
 
+
+def synthetic_doc(avg="3.10", p95=12, wall=1.0):
+    """A minimal but schema-complete document for the self-test."""
+    return {
+        "schema": "sti-bench/1",
+        "bench": "selftest",
+        "tables": [
+            {
+                "profiles": [
+                    {
+                        "row": "r0",
+                        "series": "s0",
+                        "avg_formatted": avg,
+                        "p50": 3,
+                        "p95": p95,
+                        "max": 40,
+                        "queries": 1000,
+                        "wall_secs": wall,
+                        "io": {"disk_reads": 3100, "buffer_hits": 900},
+                    }
+                ]
+            }
+        ],
+    }
+
+
+def self_test():
+    cases = [
+        ("identical documents pass", synthetic_doc(), synthetic_doc(), 1.5, True),
+        ("perturbed I/O fails", synthetic_doc(), synthetic_doc(avg="3.11"), 1.5, False),
+        ("perturbed percentile fails", synthetic_doc(), synthetic_doc(p95=13), 1.5, False),
+        ("over-tolerance wall fails", synthetic_doc(), synthetic_doc(wall=1.6), 1.5, False),
+        ("within-tolerance wall passes", synthetic_doc(), synthetic_doc(wall=1.4), 1.5, True),
+    ]
+    broken = 0
+    for name, base, cur, tol, should_pass in cases:
+        failures, _ = compare(base, cur, tol)
+        ok = (not failures) == should_pass
+        print(f"  {'ok' if ok else 'BROKEN'}: {name}")
+        if not ok:
+            broken += 1
+            for f in failures:
+                print(f"      unexpected: {f}")
+    if broken:
+        print(f"self-test FAILED: the gate no longer bites in {broken} case(s)")
+        return 1
+    print(f"self-test ok: {len(cases)} cases behave")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv[1:]:
+        return self_test()
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tol = 1.5
+    for a in argv[1:]:
+        if a.startswith("--wall-tolerance"):
+            try:
+                tol = float(a.split("=", 1)[1]) if "=" in a else float(
+                    argv[argv.index(a) + 1]
+                )
+            except (IndexError, ValueError):
+                print("error: --wall-tolerance needs a number", file=sys.stderr)
+                return 2
+    if len(args) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base_doc, cur_doc = load(args[0]), load(args[1])
+    if base_doc.get("bench") != cur_doc.get("bench"):
+        print(
+            f"error: bench mismatch: baseline is {base_doc.get('bench')!r}, "
+            f"current is {cur_doc.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures, checked = compare(base_doc, cur_doc, tol)
+    base = profile_map(base_doc)
     bench = cur_doc.get("bench")
     if failures:
         print(f"perf gate FAILED for {bench!r} ({len(failures)} problem(s)):")

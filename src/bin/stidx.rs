@@ -26,19 +26,19 @@
 //! `IndexConfig::time_extent` would be misread here.
 
 use spatiotemporal_index::core::{
-    DistributionAlgorithm, IndexBackend, IndexConfig, IngestOp, IngestPipeline, OnlineSplitConfig,
-    Parallelism, SingleSplitAlgorithm, SpatioTemporalIndex, SplitBudget,
+    DistributionAlgorithm, IndexBackend, IndexConfig, IngestOp, IngestPipeline, ObjectRecord,
+    OnlineSplitConfig, Parallelism, SingleSplitAlgorithm, SpatioTemporalIndex, SplitBudget,
 };
 use spatiotemporal_index::datagen::{
-    load_dataset, save_dataset, DatasetStats, OrbitDatasetSpec, RailwayDatasetSpec,
-    RandomDatasetSpec, RegionDatasetSpec, TIME_EXTENT,
+    load_dataset, save_dataset, DatasetReader, DatasetStats, DatasetWriter, OrbitDatasetSpec,
+    RailwayDatasetSpec, RandomDatasetSpec, RegionDatasetSpec, TIME_EXTENT,
 };
-use spatiotemporal_index::geom::{Rect2, TimeInterval};
+use spatiotemporal_index::geom::{Rect2, StBox, TimeInterval};
 use spatiotemporal_index::obs::MetricSet;
 use spatiotemporal_index::pprtree::{PprParams, PprTree};
 use spatiotemporal_index::rstar::RStarTree;
 use spatiotemporal_index::server::cli::{parse_flags, Flags};
-use spatiotemporal_index::storage::{FsyncPolicy, WalConfig};
+use spatiotemporal_index::storage::{BufferPolicy, FileBackend, FsyncPolicy, PageStore, WalConfig};
 use spatiotemporal_index::trajectory::RasterizedObject;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -47,13 +47,15 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   stidx [--metrics FILE] COMMAND ...
   stidx generate --kind random|railway|orbits|regions --n N --out FILE [--seed S]
+  stidx generate --kind random --scale mid|big --out FILE [--n N] [--seed S]
   stidx stats    FILE | --data FILE | --index FILE
   stidx build    --data FILE --out FILE [--backend ppr|rstar]
                  [--splits P% | --splits N] [--single merge|dp]
                  [--dist lagreedy|greedy|optimal] [--threads auto|seq|N]
+  stidx build    --data FILE --out FILE --bulk [--scale-stats]
   stidx query    --index FILE --backend ppr|rstar
                  --area x0,y0,x1,y1 --time T [--until T2]
-                 [--threads auto|seq|N]
+                 [--threads auto|seq|N] [--policy lru|2q] [--readahead]
   stidx nearest  --index FILE --backend ppr
                  --point x,y --time T [--k 5]
   stidx ingest   --data FILE --out FILE [--commit-every N]
@@ -67,9 +69,20 @@ const USAGE: &str = "usage:
   stidx recover rebuilds from DIR, replays the log tail, seals, and
   writes the index.
 
+  --scale mid|big streams the scale-tier random dataset (100k / 1M
+  objects) straight to disk — nothing is materialized in memory, so the
+  big tier generates in constant space.
+
+  --bulk streams the dataset through the external-sort bulk loader into
+  a file-backed PPR-Tree: sort by space-time Hilbert order, pack pages
+  bottom-up at target fanout. Never holds the dataset in memory.
+  --scale-stats prints pages written / peak resident / fill factor.
+
   --metrics FILE (any position) writes counters from the run — per-query
   I/O, build phase timings, index gauges — in Prometheus text format, or
-  JSON when FILE ends in .json.";
+  JSON when FILE ends in .json. A --bulk build exports
+  bulk_pages_written; a --policy/--readahead query exports
+  buffer_scan_evictions_avoided and readahead_pages_{hit,wasted}.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -157,25 +170,36 @@ fn run(args: &[String], metrics: &mut MetricSet) -> Result<(), String> {
     // Each subcommand declares its flag vocabulary; the shared strict
     // parser (`sti_server::cli`) then refuses unknown and duplicated
     // flags instead of silently dropping a typo onto a default.
-    let vocabulary: &[&str] = match cmd.as_str() {
-        "generate" => &["kind", "n", "out", "seed"],
-        "build" => &[
-            "data", "out", "backend", "splits", "single", "dist", "threads",
-        ],
-        "query" => &["index", "backend", "area", "time", "until", "threads"],
-        "nearest" => &["index", "backend", "point", "time", "k"],
-        "ingest" => &[
-            "data",
-            "out",
-            "commit-every",
-            "wal",
-            "fsync",
-            "checkpoint-every",
-        ],
-        "recover" => &["wal", "out", "fsync"],
+    let (vocabulary, switches): (&[&str], &[&str]) = match cmd.as_str() {
+        "generate" => (&["kind", "n", "out", "seed", "scale"], &[]),
+        "build" => (
+            &[
+                "data", "out", "backend", "splits", "single", "dist", "threads",
+            ],
+            &["bulk", "scale-stats"],
+        ),
+        "query" => (
+            &[
+                "index", "backend", "area", "time", "until", "threads", "policy",
+            ],
+            &["readahead"],
+        ),
+        "nearest" => (&["index", "backend", "point", "time", "k"], &[]),
+        "ingest" => (
+            &[
+                "data",
+                "out",
+                "commit-every",
+                "wal",
+                "fsync",
+                "checkpoint-every",
+            ],
+            &[],
+        ),
+        "recover" => (&["wal", "out", "fsync"], &[]),
         other => return Err(format!("unknown command {other}")),
     };
-    let opts = parse_flags(rest, vocabulary, &[])?;
+    let opts = parse_flags(rest, vocabulary, switches)?;
     match cmd.as_str() {
         "generate" => generate(&opts),
         "build" => build(&opts, metrics),
@@ -217,15 +241,18 @@ fn check(path: &Path) -> Result<(), String> {
 
 fn generate(opts: &Flags) -> Result<(), String> {
     let kind = opts.need("kind")?;
-    let n: usize = opts
-        .need("n")?
-        .parse()
-        .map_err(|_| "--n must be an integer")?;
     let out = PathBuf::from(opts.need("out")?);
     let seed: Option<u64> = match opts.get("seed") {
         Some(s) => Some(s.parse().map_err(|_| "--seed must be an integer")?),
         None => None,
     };
+    if let Some(scale) = opts.get("scale") {
+        return generate_scale(kind, scale, opts.get("n"), seed, &out);
+    }
+    let n: usize = opts
+        .need("n")?
+        .parse()
+        .map_err(|_| "--n must be an integer")?;
     let objects: Vec<RasterizedObject> = match kind {
         "random" => {
             let mut spec = RandomDatasetSpec::paper(n);
@@ -259,6 +286,47 @@ fn generate(opts: &Flags) -> Result<(), String> {
     };
     save_dataset(&out, &objects).map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!("wrote {} objects to {}", objects.len(), out.display());
+    Ok(())
+}
+
+/// `stidx generate --scale mid|big`: stream the scale-tier random
+/// dataset to disk one object at a time. The spec (and therefore the
+/// file) is byte-identical to what the benches generate in process, so
+/// a CI-cached dataset and an in-process run build the same tree.
+fn generate_scale(
+    kind: &str,
+    scale: &str,
+    n: Option<&str>,
+    seed: Option<u64>,
+    out: &Path,
+) -> Result<(), String> {
+    if kind != "random" {
+        return Err(format!(
+            "--scale only applies to the random dataset (got --kind {kind})"
+        ));
+    }
+    let default_n = match scale {
+        "mid" => 100_000,
+        "big" => 1_000_000,
+        other => return Err(format!("unknown scale {other} (expected mid or big)")),
+    };
+    let n: usize = match n {
+        Some(s) => s.parse().map_err(|_| "--n must be an integer")?,
+        None => default_n,
+    };
+    let mut spec = RandomDatasetSpec::big(n);
+    if let Some(s) = seed {
+        spec.seed = s;
+    }
+    let mut w =
+        DatasetWriter::create(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    for obj in spec.iter() {
+        w.append(&obj)
+            .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    }
+    w.finish()
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {n} objects ({scale} tier) to {}", out.display());
     Ok(())
 }
 
@@ -368,6 +436,20 @@ fn build(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
     let data = PathBuf::from(opts.need("data")?);
     let out = PathBuf::from(opts.need("out")?);
     remove_stale_temp(&out)?;
+    if opts.has("bulk") {
+        for flag in ["backend", "splits", "single", "dist", "threads"] {
+            if opts.get(flag).is_some() {
+                return Err(format!(
+                    "--{flag} does not apply to --bulk (the bulk loader is ppr-only \
+                     and indexes whole lifetimes, no split planning)"
+                ));
+            }
+        }
+        return bulk_build(&data, &out, metrics, opts.has("scale-stats"));
+    }
+    if opts.has("scale-stats") {
+        return Err("--scale-stats needs --bulk".into());
+    }
     let backend = parse_backend(opts.get("backend").unwrap_or("ppr"))?;
     let budget = match opts.get("splits") {
         None => SplitBudget::Percent(150.0),
@@ -437,6 +519,112 @@ fn build(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
     };
     saved.map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!("wrote {} pages to {}", index.num_pages(), out.display());
+    Ok(())
+}
+
+/// `stidx build --bulk`: stream the dataset through the external-sort
+/// bulk loader into a file-backed PPR-Tree, then persist it in the
+/// standard `STIDX1` format (so `stidx check` / `query` / `stats` work
+/// on it unchanged). The dataset is never materialized: objects flow
+/// from [`DatasetReader`] straight into the loader's spill files, and
+/// the tree pages land in a scratch `FileBackend` as they are packed.
+fn bulk_build(
+    data: &Path,
+    out: &Path,
+    metrics: &mut MetricSet,
+    scale_stats: bool,
+) -> Result<(), String> {
+    let reader =
+        DatasetReader::open(data).map_err(|e| format!("reading {}: {e}", data.display()))?;
+    let expected = reader.remaining() as u64;
+    println!("bulk-loading {expected} objects from {}...", data.display());
+
+    // Scratch directory beside the output for the backing page file and
+    // the sort spool; removed whether or not the build succeeds.
+    let scratch = out.with_extension("bulk-scratch");
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| format!("creating scratch dir {}: {e}", scratch.display()))?;
+    let result = bulk_build_in(reader, expected, &scratch, out, metrics, scale_stats);
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+fn bulk_build_in(
+    reader: DatasetReader,
+    expected: u64,
+    scratch: &Path,
+    out: &Path,
+    metrics: &mut MetricSet,
+    scale_stats: bool,
+) -> Result<(), String> {
+    let backend = FileBackend::create(&scratch.join("tree.pages"))
+        .map_err(|e| format!("creating the backing page file: {e}"))?;
+    let config = IndexConfig::paper(IndexBackend::PprTree);
+    let store = PageStore::with_backend(Box::new(backend), config.ppr.buffer_pages);
+
+    // Surface a mid-stream dataset read error through the iterator
+    // without panicking: stash it, stop the stream, and check after.
+    let read_err = std::cell::RefCell::new(None);
+    let records = reader.map_while(|r| match r {
+        Ok(o) => Some(ObjectRecord {
+            id: o.id(),
+            stbox: StBox::new(o.mbr_range(0, o.len()), o.lifetime()),
+        }),
+        Err(e) => {
+            *read_err.borrow_mut() = Some(e);
+            None
+        }
+    });
+    let (mut index, stats) = SpatioTemporalIndex::bulk_build_ppr(records, &config, store, scratch)
+        .map_err(|e| format!("bulk build failed: {e}"))?;
+    if let Some(e) = read_err.into_inner() {
+        return Err(format!("reading the dataset mid-stream: {e}"));
+    }
+    if stats.pieces != expected {
+        return Err(format!(
+            "dataset promised {expected} objects but yielded {}",
+            stats.pieces
+        ));
+    }
+
+    metrics.gauge(
+        "bulk_pages_written",
+        "pages the bulk loader wrote (all levels plus the root chain)",
+        stats.pages_written as f64,
+    );
+    metrics.gauge(
+        "bulk_peak_resident_pages",
+        "peak node-sized working set held in memory during the build",
+        stats.peak_resident_pages as f64,
+    );
+    metrics.gauge(
+        "bulk_fill_factor",
+        "entries recorded / (pages written x fanout)",
+        stats.fill_factor,
+    );
+    metrics.gauge(
+        "bulk_spilled_runs",
+        "sorted runs spooled to disk by the external sort",
+        stats.spilled_runs as f64,
+    );
+    if scale_stats {
+        println!("pages written     {}", stats.pages_written);
+        println!("  leaf pages      {}", stats.leaf_pages);
+        println!("levels            {}", stats.levels);
+        println!("peak resident     {} pages", stats.peak_resident_pages);
+        println!("fill factor       {:.3}", stats.fill_factor);
+        println!("spilled runs      {}", stats.spilled_runs);
+    }
+
+    let tree = index.as_ppr_mut().expect("bulk build is ppr-only");
+    tree.save_to_file(out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "bulk-loaded {} pieces into {} pages; wrote {}",
+        stats.pieces,
+        stats.pages_written,
+        out.display()
+    );
     Ok(())
 }
 
@@ -740,11 +928,27 @@ fn query(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
         None => 1,
     };
 
+    let policy = match opts.get("policy") {
+        Some(p) => Some(
+            BufferPolicy::parse(p)
+                .ok_or_else(|| format!("unknown buffer policy {p} (expected lru or 2q)"))?,
+        ),
+        None => None,
+    };
+    let readahead = opts.has("readahead");
+    if (policy.is_some() || readahead) && backend == IndexBackend::RStar {
+        return Err("--policy and --readahead apply to the ppr backend only".into());
+    }
+
     let (mut ids, qs) = match backend {
         IndexBackend::PprTree => {
             let mut tree = PprTree::open_file(&path)
                 .map_err(|e| format!("opening {}: {e}", path.display()))?;
             tree.reset_for_query();
+            if let Some(p) = policy {
+                tree.set_buffer_policy(p);
+            }
+            tree.set_readahead(readahead);
             if workers > 1 {
                 tree.set_buffer_shards(workers);
             }
@@ -771,6 +975,22 @@ fn query(opts: &Flags, metrics: &mut MetricSet) -> Result<(), String> {
                     Ok(ids)
                 })?;
             }
+            let ra = tree.readahead_stats();
+            metrics.gauge(
+                "buffer_scan_evictions_avoided",
+                "probation evictions the 2Q policy absorbed while protected pages stayed resident",
+                tree.scan_evictions_avoided() as f64,
+            );
+            metrics.gauge(
+                "readahead_pages_hit",
+                "prefetched pages later touched by the query",
+                ra.hits as f64,
+            );
+            metrics.gauge(
+                "readahead_pages_wasted",
+                "prefetched pages evicted or invalidated untouched",
+                ra.wasted as f64,
+            );
             (out, qs)
         }
         IndexBackend::RStar => {
